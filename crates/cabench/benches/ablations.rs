@@ -1,0 +1,93 @@
+//! Criterion wrapper for the extension experiments at bench scale: the §I
+//! tail-latency instrument, the §III SMT packing, the §IV protocol and
+//! fallback ablations, and the §VI HTM comparator. Each benchmark runs one
+//! small configuration end to end (prefill + measured phase), so Criterion
+//! tracks regressions in both the simulator and the protocols under test.
+
+use caharness::runner::{run_fallback_list, run_htm_list, run_set_latency};
+use caharness::{run_set, Mix, RunConfig, SetKind};
+use casmr::SchemeKind;
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcsim::coherence::Protocol;
+use mcsim::CacheConfig;
+
+fn cfg() -> RunConfig {
+    RunConfig {
+        threads: 4,
+        key_range: 256,
+        prefill: 128,
+        ops_per_thread: 300,
+        mix: Mix {
+            insert_pct: 50,
+            delete_pct: 50,
+        },
+        ..Default::default()
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+
+    for scheme in [SchemeKind::Ca, SchemeKind::Qsbr] {
+        g.bench_function(format!("latency_instrumented/{}", scheme.name()), |b| {
+            b.iter(|| run_set_latency(SetKind::LazyList, scheme, &cfg()))
+        });
+    }
+
+    for smt in [1usize, 2, 4] {
+        g.bench_function(format!("smt/ca_packed_{smt}"), |b| {
+            let config = RunConfig {
+                smt,
+                ..cfg()
+            };
+            b.iter(|| run_set(SetKind::LazyList, SchemeKind::Ca, &config))
+        });
+    }
+
+    for (name, protocol) in [("msi", Protocol::Msi), ("mesi", Protocol::Mesi)] {
+        g.bench_function(format!("protocol/ca_{name}"), |b| {
+            let config = RunConfig {
+                cache: CacheConfig {
+                    protocol,
+                    ..CacheConfig::default()
+                },
+                ..cfg()
+            };
+            b.iter(|| run_set(SetKind::LazyList, SchemeKind::Ca, &config))
+        });
+    }
+
+    g.bench_function("fallback/roomy_fast_path", |b| {
+        b.iter(|| run_fallback_list(&cfg(), 32))
+    });
+    g.bench_function("fallback/hostile_direct_mapped", |b| {
+        let config = RunConfig {
+            key_range: 64,
+            prefill: 32,
+            ops_per_thread: 150,
+            cache: CacheConfig {
+                l1_bytes: 1024,
+                l1_assoc: 1,
+                l2_bytes: 64 * 1024,
+                l2_assoc: 8,
+                ..CacheConfig::default()
+            },
+            ..cfg()
+        };
+        b.iter(|| run_fallback_list(&config, 8))
+    });
+
+    for slots in [256usize, 16] {
+        g.bench_function(format!("htm_hoh/slots_{slots}"), |b| {
+            b.iter(|| run_htm_list(&cfg(), slots))
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

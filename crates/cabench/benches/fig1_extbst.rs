@@ -1,0 +1,35 @@
+//! Criterion wrapper for Figure 1 (bottom): external-BST experiment at
+//! bench scale.
+
+use caharness::{run_set, Mix, RunConfig, SetKind};
+use casmr::SchemeKind;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn cfg(mix: Mix) -> RunConfig {
+    RunConfig {
+        threads: 4,
+        key_range: 2048,
+        prefill: 1024,
+        ops_per_thread: 300,
+        mix,
+        ..Default::default()
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_extbst");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for mix in Mix::PAPER {
+        for scheme in SchemeKind::ALL {
+            g.bench_function(format!("{}/{}", mix.label(), scheme.name()), |b| {
+                b.iter(|| run_set(SetKind::ExtBst, scheme, &cfg(mix)))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion wrapper for Figure 1 (top): lazy-list experiment at bench
+//! scale, one benchmark per (scheme, workload) pair. Regression-guards the
+//! end-to-end simulation path; run the `fig1_lazylist` binary for the
+//! full figure.
+
+use caharness::{run_set, Mix, RunConfig, SetKind};
+use casmr::SchemeKind;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn cfg(mix: Mix) -> RunConfig {
+    RunConfig {
+        threads: 4,
+        key_range: 256,
+        prefill: 128,
+        ops_per_thread: 200,
+        mix,
+        ..Default::default()
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_lazylist");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for mix in Mix::PAPER {
+        for scheme in SchemeKind::ALL {
+            g.bench_function(format!("{}/{}", mix.label(), scheme.name()), |b| {
+                b.iter(|| run_set(SetKind::LazyList, scheme, &cfg(mix)))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion wrapper for Figure 3: the footprint-over-time experiment at
+//! bench scale (validates the sampling path; the binary prints the series).
+
+use caharness::{run_set, Mix, RunConfig, SetKind};
+use casmr::SchemeKind;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_memory");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for scheme in [SchemeKind::Ca, SchemeKind::Qsbr, SchemeKind::None] {
+        g.bench_function(scheme.name(), |b| {
+            b.iter(|| {
+                run_set(
+                    SetKind::LazyList,
+                    scheme,
+                    &RunConfig {
+                        threads: 4,
+                        key_range: 256,
+                        prefill: 128,
+                        ops_per_thread: 300,
+                        mix: Mix {
+                            insert_pct: 50,
+                            delete_pct: 50,
+                        },
+                        sample_every: Some(100),
+                        ..Default::default()
+                    },
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Microbenchmarks of the simulator substrate itself: cost (host-side) of
+//! the hot event paths. These guard the simulator's own performance, which
+//! bounds how large the paper-scale experiments can be.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcsim::{Machine, MachineConfig};
+
+fn machine(cores: usize) -> Machine {
+    Machine::new(MachineConfig {
+        cores,
+        mem_bytes: 8 << 20,
+        static_lines: 1024,
+        ..Default::default()
+    })
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro_sim");
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+
+    g.bench_function("l1_hit_reads_x1000", |b| {
+        let m = machine(1);
+        let a = m.alloc_static(1);
+        b.iter(|| {
+            m.run_on(1, |_, ctx| {
+                let mut acc = 0u64;
+                for _ in 0..1000 {
+                    acc = acc.wrapping_add(ctx.read(a));
+                }
+                acc
+            })
+        })
+    });
+
+    g.bench_function("cread_hits_x1000", |b| {
+        let m = machine(1);
+        let a = m.alloc_static(1);
+        b.iter(|| {
+            m.run_on(1, |_, ctx| {
+                for _ in 0..1000 {
+                    let _ = ctx.cread(a);
+                }
+                ctx.untag_all();
+            })
+        })
+    });
+
+    g.bench_function("cold_misses_x1000", |b| {
+        let m = machine(1);
+        let base = m.alloc_static(1000);
+        b.iter(|| {
+            m.run_on(1, |_, ctx| {
+                for i in 0..1000u64 {
+                    let _ = ctx.read(base.word(i * 8));
+                }
+            })
+        })
+    });
+
+    g.bench_function("cas_pingpong_2cores_x500", |b| {
+        let m = machine(2);
+        let a = m.alloc_static(1);
+        b.iter(|| {
+            m.run_on(2, |_, ctx| {
+                for _ in 0..500 {
+                    loop {
+                        let v = ctx.read(a);
+                        if ctx.cas(a, v, v + 1).is_ok() {
+                            break;
+                        }
+                    }
+                }
+            })
+        })
+    });
+
+    g.bench_function("alloc_free_x1000", |b| {
+        let m = machine(1);
+        b.iter(|| {
+            m.run_on(1, |_, ctx| {
+                for _ in 0..1000 {
+                    let n = ctx.alloc();
+                    ctx.free(n);
+                }
+            })
+        })
+    });
+
+    g.bench_function("scheduler_handoff_4cores", |b| {
+        // Quantum 0 forces a handoff on nearly every event: measures the
+        // condvar turn-passing cost.
+        let m = Machine::new(MachineConfig {
+            cores: 4,
+            mem_bytes: 1 << 20,
+            static_lines: 64,
+            quantum: 0,
+            ..Default::default()
+        });
+        let a = m.alloc_static(1);
+        b.iter(|| {
+            m.run_on(4, |_, ctx| {
+                for _ in 0..250 {
+                    let _ = ctx.read(a);
+                }
+            })
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,270 @@
+//! The CA external BST wrapped in the §IV **fallback path** — the tree
+//! counterpart of [`FbCaLazyList`](crate::ca::FbCaLazyList).
+//!
+//! The BST's optimistic search keeps a {grandparent, parent, leaf} tag
+//! window, so it has the same hardware requirement as the list: an L1 whose
+//! associativity can hold three simultaneously tagged lines. On a
+//! direct-mapped L1 with colliding window lines the bare structure
+//! livelocks deterministically; wrapped in the [`FallbackLock`], those
+//! operations complete on a plain sequential path under quiescence.
+
+use cacore::FallbackLock;
+use mcsim::machine::Ctx;
+use mcsim::{Addr, Machine};
+
+use crate::ca::extbst::CaExtBst;
+use crate::layout::{
+    KEY_INF2, MAX_REAL_KEY, TICK_PER_HOP, TICK_PER_OP, W_BST_LOCK, W_BST_MARK, W_KEY, W_LEFT,
+    W_RIGHT,
+};
+use crate::traits::SetDs;
+
+/// Default consecutive-failure threshold before an operation falls back.
+pub const DEFAULT_MAX_ATTEMPTS: u64 = 32;
+
+/// An external BST with guaranteed progress on any cache geometry.
+pub struct FbCaExtBst {
+    bst: CaExtBst,
+    fb: FallbackLock,
+}
+
+impl FbCaExtBst {
+    /// Build an empty tree for up to `threads` threads with the default
+    /// fallback threshold.
+    pub fn new(machine: &Machine, threads: usize) -> Self {
+        Self::with_max_attempts(machine, threads, DEFAULT_MAX_ATTEMPTS)
+    }
+
+    /// Build with an explicit consecutive-failure threshold.
+    pub fn with_max_attempts(machine: &Machine, threads: usize, max_attempts: u64) -> Self {
+        Self {
+            bst: CaExtBst::new(machine),
+            fb: FallbackLock::new(machine, threads, max_attempts),
+        }
+    }
+
+    /// Root address (for final-state checkers).
+    pub fn root_node(&self) -> Addr {
+        self.bst.root_node()
+    }
+
+    /// How many operations completed on the sequential fallback path.
+    pub fn fallbacks_taken(&self) -> u64 {
+        self.fb.fallbacks_taken()
+    }
+}
+
+/// Which child field routes `key` under a node with `parent_key`.
+#[inline]
+fn side(parent_key: u64, key: u64) -> u64 {
+    if key < parent_key {
+        W_LEFT
+    } else {
+        W_RIGHT
+    }
+}
+
+/// Sequential search with plain accesses (caller holds the fallback lock,
+/// all optimistic operations quiesced). Returns (gp, gp_key, p, p_key,
+/// leaf, leaf_key).
+fn seq_search(ctx: &mut Ctx, root: Addr, key: u64) -> (Addr, u64, Addr, u64, Addr, u64) {
+    debug_assert!((1..=MAX_REAL_KEY).contains(&key));
+    ctx.tick(TICK_PER_OP);
+    let mut gp = root;
+    let mut gp_key = KEY_INF2;
+    let mut p = root;
+    let mut p_key = KEY_INF2;
+    let mut node = Addr(ctx.read(root.word(side(KEY_INF2, key))));
+    loop {
+        ctx.tick(TICK_PER_HOP);
+        let node_key = ctx.read(node.word(W_KEY));
+        let left = ctx.read(node.word(W_LEFT));
+        if left == 0 {
+            return (gp, gp_key, p, p_key, node, node_key);
+        }
+        let next = if key < node_key {
+            left
+        } else {
+            ctx.read(node.word(W_RIGHT))
+        };
+        gp = p;
+        gp_key = p_key;
+        p = node;
+        p_key = node_key;
+        node = Addr(next);
+    }
+}
+
+impl SetDs for FbCaExtBst {
+    type Tls = ();
+
+    fn register(&self, _tid: usize) -> Self::Tls {}
+
+    fn contains(&self, ctx: &mut Ctx, _tls: &mut Self::Tls, key: u64) -> bool {
+        self.fb.execute(
+            ctx,
+            |ctx| self.bst.contains_attempt(ctx, key),
+            |ctx| seq_search(ctx, self.bst.root_node(), key).5 == key,
+        )
+    }
+
+    fn insert(&self, ctx: &mut Ctx, _tls: &mut Self::Tls, key: u64) -> bool {
+        self.fb.execute(
+            ctx,
+            |ctx| self.bst.insert_attempt(ctx, key),
+            |ctx| {
+                let (_, _, p, p_key, leaf, leaf_key) =
+                    seq_search(ctx, self.bst.root_node(), key);
+                if leaf_key == key {
+                    return false;
+                }
+                // Recycled nodes carry stale marks/locks: initialize fully,
+                // like the optimistic path does.
+                let new_leaf = ctx.alloc();
+                ctx.write(new_leaf.word(W_KEY), key);
+                ctx.write(new_leaf.word(W_LEFT), 0);
+                ctx.write(new_leaf.word(W_RIGHT), 0);
+                ctx.write(new_leaf.word(W_BST_LOCK), 0);
+                ctx.write(new_leaf.word(W_BST_MARK), 0);
+                let internal = ctx.alloc();
+                let (ikey, ileft, iright) = if key < leaf_key {
+                    (leaf_key, new_leaf.0, leaf.0)
+                } else {
+                    (key, leaf.0, new_leaf.0)
+                };
+                ctx.write(internal.word(W_KEY), ikey);
+                ctx.write(internal.word(W_LEFT), ileft);
+                ctx.write(internal.word(W_RIGHT), iright);
+                ctx.write(internal.word(W_BST_LOCK), 0);
+                ctx.write(internal.word(W_BST_MARK), 0);
+                ctx.write(p.word(side(p_key, key)), internal.0);
+                true
+            },
+        )
+    }
+
+    fn delete(&self, ctx: &mut Ctx, _tls: &mut Self::Tls, key: u64) -> bool {
+        let victims = self.fb.execute(
+            ctx,
+            |ctx| self.bst.delete_attempt(ctx, key),
+            |ctx| {
+                let (gp, gp_key, p, p_key, leaf, leaf_key) =
+                    seq_search(ctx, self.bst.root_node(), key);
+                if leaf_key != key {
+                    return None;
+                }
+                ctx.write(p.word(W_BST_MARK), 1);
+                ctx.write(leaf.word(W_BST_MARK), 1);
+                let leaf_side = side(p_key, key);
+                let sibling_side = if leaf_side == W_LEFT { W_RIGHT } else { W_LEFT };
+                let sibling = ctx.read(p.word(sibling_side));
+                ctx.write(gp.word(side(gp_key, key)), sibling);
+                Some((p, leaf))
+            },
+        );
+        match victims {
+            Some((p, leaf)) => {
+                ctx.free(p);
+                ctx.free(leaf);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seqcheck::walk_bst;
+    use mcsim::coherence::CacheConfig;
+    use mcsim::MachineConfig;
+
+    fn machine(cores: usize) -> Machine {
+        Machine::new(MachineConfig {
+            cores,
+            mem_bytes: 8 << 20,
+            static_lines: 256,
+            quantum: 0,
+            ..Default::default()
+        })
+    }
+
+    fn direct_mapped(cores: usize) -> Machine {
+        Machine::new(MachineConfig {
+            cores,
+            cache: CacheConfig {
+                l1_bytes: 1024,
+                l1_assoc: 1,
+                l2_bytes: 64 * 1024,
+                l2_assoc: 8,
+                ..Default::default()
+            },
+            mem_bytes: 8 << 20,
+            static_lines: 256,
+            quantum: 0,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn basic_set_semantics() {
+        let m = machine(1);
+        let b = FbCaExtBst::new(&m, 1);
+        m.run_on(1, |_, ctx| {
+            let mut t = ();
+            assert!(b.insert(ctx, &mut t, 50));
+            assert!(!b.insert(ctx, &mut t, 50));
+            assert!(b.insert(ctx, &mut t, 25));
+            assert!(b.contains(ctx, &mut t, 25));
+            assert!(!b.contains(ctx, &mut t, 26));
+            assert!(b.delete(ctx, &mut t, 50));
+            assert!(!b.delete(ctx, &mut t, 50));
+        });
+        assert_eq!(walk_bst(&m, b.root_node()), vec![25]);
+        assert_eq!(b.fallbacks_taken(), 0, "roomy cache: pure fast path");
+    }
+
+    #[test]
+    fn concurrent_ops_exact_on_roomy_cache() {
+        let m = machine(4);
+        let b = FbCaExtBst::new(&m, 4);
+        m.run_on(4, |tid, ctx| {
+            let mut t = ();
+            let base = 1 + 1000 * tid as u64;
+            for i in 0..40 {
+                assert!(b.insert(ctx, &mut t, base + i));
+            }
+            for i in (0..40).step_by(2) {
+                assert!(b.delete(ctx, &mut t, base + i));
+            }
+        });
+        assert_eq!(walk_bst(&m, b.root_node()).len(), 4 * 20);
+        m.check_invariants();
+    }
+
+    #[test]
+    fn direct_mapped_l1_completes_via_fallback() {
+        let m = direct_mapped(2);
+        let b = FbCaExtBst::with_max_attempts(&m, 2, 8);
+        m.run_on(2, |tid, ctx| {
+            let mut t = ();
+            for i in 0..30u64 {
+                let k = 1 + tid as u64 + 2 * i;
+                b.insert(ctx, &mut t, k);
+                if i % 3 == 0 {
+                    b.delete(ctx, &mut t, k);
+                }
+                b.contains(ctx, &mut t, 1 + i);
+            }
+        });
+        let keys = walk_bst(&m, b.root_node());
+        // External BST: 2 heap nodes per live key after clean deletes.
+        assert_eq!(m.stats().allocated_not_freed as usize, 2 * keys.len());
+        assert!(
+            b.fallbacks_taken() > 0,
+            "tag-window self-eviction must push operations onto the fallback"
+        );
+        m.check_invariants();
+    }
+}

@@ -1,0 +1,8 @@
+//! Data structures built on the **HTM comparator** (paper §VI): short
+//! hardware transactions chained hand-over-hand, with a metadata version
+//! table that gives precise (immediate) memory reclamation — the Zhou,
+//! Luchangco and Spear design the paper compares Conditional Access against.
+
+pub mod lazylist;
+
+pub use lazylist::HtmLazyList;

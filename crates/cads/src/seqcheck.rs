@@ -1,0 +1,127 @@
+//! Final-state checkers used by tests: walk a quiesced structure through
+//! host-side (zero-cost, non-coherent) reads and verify its invariants.
+
+use mcsim::{Addr, Machine};
+
+use crate::layout::{KEY_TAIL, W_KEY, W_LEFT, W_MARK, W_NEXT, W_RIGHT};
+
+/// Walk a (CA or SMR) lazy list from its head sentinel and return the real
+/// keys in order. Panics if the list is unsorted, contains duplicates, or
+/// contains a marked node — those are structural corruption.
+pub fn walk_list(machine: &Machine, head: Addr) -> Vec<u64> {
+    let mut keys = Vec::new();
+    let mut node = Addr(machine.host_read(head.word(W_NEXT)));
+    let mut prev_key = 0u64;
+    let mut hops = 0u64;
+    loop {
+        assert!(!node.is_null(), "list truncated: next == null before tail");
+        let key = machine.host_read(node.word(W_KEY));
+        if key == KEY_TAIL {
+            break;
+        }
+        assert!(
+            key > prev_key,
+            "list unsorted or duplicate: {prev_key} then {key}"
+        );
+        assert_eq!(
+            machine.host_read(node.word(W_MARK)),
+            0,
+            "marked node {node:?} (key {key}) still reachable in quiesced list"
+        );
+        keys.push(key);
+        prev_key = key;
+        node = Addr(machine.host_read(node.word(W_NEXT)));
+        hops += 1;
+        assert!(hops < 10_000_000, "list cycle suspected");
+    }
+    keys
+}
+
+/// Walk an external BST from its root and return the real leaf keys in
+/// order. Verifies the search-tree property, leaf/internal shape, and that
+/// no reachable node is marked.
+pub fn walk_bst(machine: &Machine, root: Addr) -> Vec<u64> {
+    let mut keys = Vec::new();
+    walk_bst_rec(machine, root, 0, u64::MAX, &mut keys, 0);
+    // Drop sentinels (inner/outer infinities are above MAX_REAL_KEY).
+    keys.retain(|&k| k <= crate::layout::MAX_REAL_KEY);
+    for w in keys.windows(2) {
+        assert!(w[0] < w[1], "BST leaves unsorted: {} then {}", w[0], w[1]);
+    }
+    keys
+}
+
+fn walk_bst_rec(
+    machine: &Machine,
+    node: Addr,
+    lo: u64,
+    hi: u64,
+    keys: &mut Vec<u64>,
+    depth: u32,
+) {
+    assert!(depth < 200, "BST depth explosion — cycle or corruption");
+    assert!(!node.is_null(), "null child in reachable BST position");
+    let key = machine.host_read(node.word(W_KEY));
+    assert!(
+        lo <= key && key <= hi,
+        "BST order violated: key {key} outside [{lo}, {hi}]"
+    );
+    assert_eq!(
+        machine.host_read(node.word(crate::layout::W_BST_MARK)),
+        0,
+        "marked node {node:?} reachable in quiesced BST"
+    );
+    let left = machine.host_read(node.word(W_LEFT));
+    let right = machine.host_read(node.word(W_RIGHT));
+    if left == 0 {
+        assert_eq!(right, 0, "half-leaf node {node:?}: external BSTs have none");
+        keys.push(key);
+        return;
+    }
+    assert_ne!(right, 0, "internal node {node:?} missing right child");
+    // Leaf-oriented convention: keys < node.key go left, ≥ go right.
+    walk_bst_rec(machine, Addr(left), lo, key.saturating_sub(1), keys, depth + 1);
+    walk_bst_rec(machine, Addr(right), key, hi, keys, depth + 1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcsim::MachineConfig;
+
+    #[test]
+    fn walk_empty_list() {
+        let m = Machine::new(MachineConfig {
+            cores: 1,
+            mem_bytes: 1 << 20,
+            static_lines: 64,
+            ..Default::default()
+        });
+        let l = crate::ca::lazylist::CaLazyList::new(&m);
+        assert!(walk_list(&m, l.head_node()).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "unsorted")]
+    fn walk_detects_disorder() {
+        let m = Machine::new(MachineConfig {
+            cores: 1,
+            mem_bytes: 1 << 20,
+            static_lines: 64,
+            ..Default::default()
+        });
+        let l = crate::ca::lazylist::CaLazyList::new(&m);
+        m.run_on(1, |_, ctx| {
+            let mut t = ();
+            use crate::traits::SetDs;
+            l.insert(ctx, &mut t, 5);
+            l.insert(ctx, &mut t, 9);
+        });
+        // Corrupt: swap the two keys via host writes.
+        let first = Addr(m.host_read(l.head_node().word(W_NEXT)));
+        let second = Addr(m.host_read(first.word(W_NEXT)));
+        m.host_write(first.word(W_KEY), 9);
+        m.host_write(second.word(W_KEY), 5);
+        walk_list(&m, l.head_node());
+    }
+}

@@ -1,0 +1,12 @@
+//! SMR-parameterized data structures: unlinked nodes are retired to the
+//! scheme instead of freed.
+
+pub mod extbst;
+pub mod lazylist;
+pub mod queue;
+pub mod stack;
+
+pub use extbst::SmrExtBst;
+pub use lazylist::SmrLazyList;
+pub use queue::SmrQueue;
+pub use stack::SmrStack;

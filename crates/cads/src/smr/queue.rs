@@ -1,0 +1,249 @@
+//! Michael–Scott queue over a pluggable SMR scheme (Michael & Scott,
+//! PODC'96, with Michael's hazard-pointer protocol from the HP paper).
+//!
+//! Protection discipline in `dequeue` (the delicate part):
+//! 1. protect `head`'s target (slot 0);
+//! 2. protect `head→next`'s target (slot 1) — the read_ptr revalidation
+//!    pins `h.next == next` after the hazard is visible;
+//! 3. for hazard-based schemes, re-check `head == h`: if `h` is still the
+//!    head it was not retired when the hazards were published, and the
+//!    successor of a linked dummy is linked too. Epoch/interval schemes
+//!    skip this (retroactive protection).
+//!
+//! `tail` never overtakes pending nodes and dequeuers help lagging tails,
+//! so the node `tail` names is never retired — the enqueue-side CAS on
+//! `tail` is ABA-safe once its target is protected.
+
+use casmr::Smr;
+use mcsim::machine::Ctx;
+use mcsim::{Addr, Machine};
+
+use crate::layout::{TICK_PER_OP, W_KEY, W_NEXT};
+use crate::traits::QueueDs;
+
+/// The SMR-parameterized MS queue.
+pub struct SmrQueue<S: Smr> {
+    head: Addr,
+    tail: Addr,
+    smr: S,
+}
+
+impl<S: Smr> SmrQueue<S> {
+    /// Build an empty queue (heap-allocated initial dummy).
+    pub fn new(machine: &Machine, smr: S) -> Self {
+        let head = machine.alloc_static(1);
+        let tail = machine.alloc_static(1);
+        let q = Self { head, tail, smr };
+        machine.run_on(1, |_, ctx| {
+            let dummy = ctx.alloc();
+            ctx.write(dummy.word(W_NEXT), 0);
+            ctx.write(head, dummy.0);
+            ctx.write(tail, dummy.0);
+        });
+        q
+    }
+
+    /// The underlying scheme.
+    pub fn smr(&self) -> &S {
+        &self.smr
+    }
+}
+
+impl<S: Smr> QueueDs for SmrQueue<S> {
+    type Tls = S::Tls;
+
+    fn register(&self, tid: usize) -> Self::Tls {
+        self.smr.register(tid)
+    }
+
+    fn enqueue(&self, ctx: &mut Ctx, tls: &mut Self::Tls, value: u64) {
+        let n = ctx.alloc();
+        self.smr.on_alloc(ctx, tls, n);
+        ctx.write(n.word(W_KEY), value);
+        ctx.write(n.word(W_NEXT), 0);
+        self.smr.begin_op(ctx, tls);
+        loop {
+            ctx.tick(TICK_PER_OP);
+            let t = self.smr.read_ptr(ctx, tls, 0, self.tail);
+            let t = Addr(t);
+            let next = ctx.read(t.word(W_NEXT)); // t protected
+            if next != 0 {
+                // Help the lagging tail. `next` is ahead of `tail`, so its
+                // node is not retired (head never passes tail).
+                let _ = ctx.cas(self.tail, t.0, next);
+                continue;
+            }
+            if ctx.cas(t.word(W_NEXT), 0, n.0).is_ok() {
+                let _ = ctx.cas(self.tail, t.0, n.0);
+                break;
+            }
+        }
+        self.smr.end_op(ctx, tls);
+    }
+
+    fn dequeue(&self, ctx: &mut Ctx, tls: &mut Self::Tls) -> Option<u64> {
+        self.smr.begin_op(ctx, tls);
+        let result = loop {
+            ctx.tick(TICK_PER_OP);
+            let h = Addr(self.smr.read_ptr(ctx, tls, 0, self.head));
+            let next = self.smr.read_ptr(ctx, tls, 1, h.word(W_NEXT));
+            if self.smr.needs_validation() && ctx.read(self.head) != h.0 {
+                // h was dequeued before `next`'s hazard landed; its frozen
+                // next pointer may name a retired node. Retry.
+                continue;
+            }
+            let t = ctx.read(self.tail);
+            if h.0 == t {
+                if next == 0 {
+                    break None; // empty
+                }
+                let _ = ctx.cas(self.tail, t, next); // help
+                continue;
+            }
+            let next = Addr(next);
+            let v = ctx.read(next.word(W_KEY)); // next protected
+            if ctx.cas(self.head, h.0, next.0).is_ok() {
+                self.smr.retire(ctx, tls, h);
+                break Some(v);
+            }
+        };
+        self.smr.end_op(ctx, tls);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use casmr::{He, Hp, Ibr, Leaky, Qsbr, Rcu, SmrConfig};
+    use mcsim::MachineConfig;
+
+    fn machine(cores: usize) -> Machine {
+        Machine::new(MachineConfig {
+            cores,
+            mem_bytes: 8 << 20,
+            static_lines: 256,
+            quantum: 0,
+            ..Default::default()
+        })
+    }
+
+    fn fifo_smoke<S: Smr>(m: &Machine, q: &SmrQueue<S>) {
+        m.run_on(1, |_, ctx| {
+            let mut t = q.register(0);
+            assert_eq!(q.dequeue(ctx, &mut t), None);
+            for v in 1..=10 {
+                q.enqueue(ctx, &mut t, v);
+            }
+            for v in 1..=10 {
+                assert_eq!(q.dequeue(ctx, &mut t), Some(v));
+            }
+            assert_eq!(q.dequeue(ctx, &mut t), None);
+        });
+    }
+
+    #[test]
+    fn fifo_all_schemes() {
+        {
+            let m = machine(1);
+            let q = SmrQueue::new(&m, Leaky::new());
+            fifo_smoke(&m, &q);
+        }
+        {
+            let m = machine(1);
+            let s = Qsbr::new(&m, 1, SmrConfig::default());
+            let q = SmrQueue::new(&m, s);
+            fifo_smoke(&m, &q);
+        }
+        {
+            let m = machine(1);
+            let s = Rcu::new(&m, 1, SmrConfig::default());
+            let q = SmrQueue::new(&m, s);
+            fifo_smoke(&m, &q);
+        }
+        {
+            let m = machine(1);
+            let s = Ibr::new(&m, 1, SmrConfig::default());
+            let q = SmrQueue::new(&m, s);
+            fifo_smoke(&m, &q);
+        }
+        {
+            let m = machine(1);
+            let s = Hp::new(&m, 1, SmrConfig::default());
+            let q = SmrQueue::new(&m, s);
+            fifo_smoke(&m, &q);
+        }
+        {
+            let m = machine(1);
+            let s = He::new(&m, 1, SmrConfig::default());
+            let q = SmrQueue::new(&m, s);
+            fifo_smoke(&m, &q);
+        }
+    }
+
+    #[test]
+    fn hp_producer_consumer_stress() {
+        let m = machine(4);
+        let s = Hp::new(&m, 4, SmrConfig {
+            reclaim_freq: 4,
+            ..Default::default()
+        });
+        let q = SmrQueue::new(&m, s);
+        let done = m.alloc_static(1);
+        let results = m.run_on(4, |tid, ctx| {
+            let mut t = q.register(tid);
+            if tid < 2 {
+                for i in 0..80u64 {
+                    q.enqueue(ctx, &mut t, (tid as u64) << 32 | i);
+                }
+                loop {
+                    let d = ctx.read(done);
+                    if ctx.cas(done, d, d + 1).is_ok() {
+                        break;
+                    }
+                }
+                Vec::new()
+            } else {
+                let mut got = Vec::new();
+                loop {
+                    match q.dequeue(ctx, &mut t) {
+                        Some(v) => got.push(v),
+                        None => {
+                            if ctx.read(done) == 2 && q.dequeue(ctx, &mut t).is_none() {
+                                break;
+                            }
+                            ctx.tick(20);
+                        }
+                    }
+                }
+                got
+            }
+        });
+        let consumed: Vec<u64> = results.into_iter().flatten().collect();
+        assert_eq!(consumed.len(), 160);
+        m.check_invariants();
+    }
+
+    #[test]
+    fn footprint_bounded_with_reclaiming_scheme() {
+        let m = machine(1);
+        let s = Qsbr::new(&m, 1, SmrConfig {
+            reclaim_freq: 5,
+            epoch_freq: 5,
+            ..Default::default()
+        });
+        let q = SmrQueue::new(&m, s);
+        m.run_on(1, |_, ctx| {
+            let mut t = q.register(0);
+            for v in 0..200 {
+                q.enqueue(ctx, &mut t, v);
+                q.dequeue(ctx, &mut t);
+            }
+        });
+        assert!(
+            m.stats().allocated_not_freed < 50,
+            "qsbr must bound the dummy churn, got {}",
+            m.stats().allocated_not_freed
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! Structure-kind traits the experiment harness drives.
+//!
+//! Every benchmarked structure — Conditional Access or SMR-based — exposes
+//! one of these interfaces. `Tls` carries the per-thread reclamation state
+//! (retire lists, hazard mirrors); CA structures have none (`Tls = ()`),
+//! which is itself one of the paper's points: CA needs no per-thread
+//! bookkeeping at all.
+
+use mcsim::machine::Ctx;
+
+/// A set of `u64` keys (lazy list, external BST, hash table).
+pub trait SetDs: Sync {
+    /// Per-thread state.
+    type Tls: Send;
+
+    /// Create thread `tid`'s state. Call once per simulated thread.
+    fn register(&self, tid: usize) -> Self::Tls;
+
+    /// Insert `key`; false if already present.
+    fn insert(&self, ctx: &mut Ctx, tls: &mut Self::Tls, key: u64) -> bool;
+
+    /// Delete `key`; false if absent.
+    fn delete(&self, ctx: &mut Ctx, tls: &mut Self::Tls, key: u64) -> bool;
+
+    /// Membership test.
+    fn contains(&self, ctx: &mut Ctx, tls: &mut Self::Tls, key: u64) -> bool;
+}
+
+/// A LIFO stack of `u64` values (Treiber).
+pub trait StackDs: Sync {
+    /// Per-thread state.
+    type Tls: Send;
+
+    /// Create thread `tid`'s state.
+    fn register(&self, tid: usize) -> Self::Tls;
+
+    /// Push a value.
+    fn push(&self, ctx: &mut Ctx, tls: &mut Self::Tls, value: u64);
+
+    /// Pop the top value, if any.
+    fn pop(&self, ctx: &mut Ctx, tls: &mut Self::Tls) -> Option<u64>;
+
+    /// Read the top value without removing it (the figures' "read" op).
+    fn peek(&self, ctx: &mut Ctx, tls: &mut Self::Tls) -> Option<u64>;
+}
+
+/// A FIFO queue of `u64` values (Michael–Scott).
+pub trait QueueDs: Sync {
+    /// Per-thread state.
+    type Tls: Send;
+
+    /// Create thread `tid`'s state.
+    fn register(&self, tid: usize) -> Self::Tls;
+
+    /// Enqueue a value at the tail.
+    fn enqueue(&self, ctx: &mut Ctx, tls: &mut Self::Tls, value: u64);
+
+    /// Dequeue the head value, if any.
+    fn dequeue(&self, ctx: &mut Ctx, tls: &mut Self::Tls) -> Option<u64>;
+}

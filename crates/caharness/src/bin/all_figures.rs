@@ -1,0 +1,49 @@
+//! Runs the complete evaluation: every figure and ablation, sequentially.
+//! Tables go to stdout, CSVs under `results/`.
+//!
+//! Usage: `cargo run -p caharness --release --bin all_figures [--quick|--paper]`
+
+use caharness::experiments::*;
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("[all_figures at {scale:?} scale]");
+    for (i, t) in fig1_lazylist(scale).into_iter().enumerate() {
+        t.emit(&format!("fig1_lazylist_panel{i}.csv"));
+    }
+    for (i, t) in fig1_extbst(scale).into_iter().enumerate() {
+        t.emit(&format!("fig1_extbst_panel{i}.csv"));
+    }
+    for (i, t) in fig2_hashtable(scale).into_iter().enumerate() {
+        t.emit(&format!("fig2_hashtable_panel{i}.csv"));
+    }
+    for (i, t) in fig2_stack(scale).into_iter().enumerate() {
+        t.emit(&format!("fig2_stack_panel{i}.csv"));
+    }
+    fig3_memory(scale).emit("fig3_memory.csv");
+    let (t1, t2) = ablation_associativity(scale);
+    t1.emit("ablation_assoc_throughput.csv");
+    t2.emit("ablation_assoc_spurious.csv");
+    let (t1, t2) = ablation_reclaim_freq(scale);
+    t1.emit("ablation_freq_throughput.csv");
+    t2.emit("ablation_freq_peak.csv");
+    ablation_quantum(scale).emit("ablation_quantum.csv");
+    ablation_ctx_switch(scale).emit("ablation_ctxswitch.csv");
+    ablation_latency(scale).emit("ablation_latency.csv");
+    let (t1, t2) = ablation_smt(scale);
+    t1.emit("ablation_smt_throughput.csv");
+    t2.emit("ablation_smt_revokes.csv");
+    let (t1, t2) = ablation_protocol(scale);
+    t1.emit("ablation_protocol_throughput.csv");
+    t2.emit("ablation_protocol_mesi_events.csv");
+    let (t1, t2) = ablation_fallback(scale);
+    t1.emit("ablation_fallback_overhead.csv");
+    t2.emit("ablation_fallback_hostile.csv");
+    queue_bench(scale).emit("queue_bench.csv");
+    harris_bench(scale).emit("harris_bench.csv");
+    lfbst_bench(scale).emit("lfbst_bench.csv");
+    let (t1, t2, t3) = htm_bench(scale);
+    t1.emit("htm_bench_readonly.csv");
+    t2.emit("htm_bench_updates.csv");
+    t3.emit("htm_bench_aborts.csv");
+}

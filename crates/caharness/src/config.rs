@@ -1,0 +1,155 @@
+//! Experiment configuration.
+
+use casmr::SmrConfig;
+use mcsim::{CacheConfig, LatencyModel, MachineConfig, UafMode};
+
+/// Operation mix, in percent. The paper's three workloads are
+/// `0i-0d` (read-only), `5i-5d` (10% updates) and `50i-50d` (100% updates);
+/// the remainder are `contains` (sets), `peek` (stacks).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Mix {
+    /// Insert (or push/enqueue) percentage.
+    pub insert_pct: u64,
+    /// Delete (or pop/dequeue) percentage.
+    pub delete_pct: u64,
+}
+
+impl Mix {
+    /// The paper's workload triplet.
+    pub const PAPER: [Mix; 3] = [
+        Mix { insert_pct: 0, delete_pct: 0 },
+        Mix { insert_pct: 5, delete_pct: 5 },
+        Mix { insert_pct: 50, delete_pct: 50 },
+    ];
+
+    /// Figure-panel label, e.g. `50i-50d`.
+    pub fn label(&self) -> String {
+        format!("{}i-{}d", self.insert_pct, self.delete_pct)
+    }
+
+    /// Total update percentage.
+    pub fn updates(&self) -> u64 {
+        self.insert_pct + self.delete_pct
+    }
+}
+
+/// One experiment run's parameters.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// Simulated hardware threads = workload threads.
+    pub threads: usize,
+    /// Hardware threads per physical core (1 = the paper's no-SMT setup).
+    pub smt: usize,
+    /// Keys are drawn uniformly from `1..=key_range`.
+    pub key_range: u64,
+    /// Prefill the structure to this many elements (paper: 50% of range).
+    pub prefill: u64,
+    /// Operations per thread in the measured phase (paper: 3000).
+    pub ops_per_thread: u64,
+    /// Operation mix.
+    pub mix: Mix,
+    /// Workload RNG seed (streams are per-thread functions of this).
+    pub seed: u64,
+    /// Reclamation-scheme tuning (paper defaults).
+    pub smr: SmrConfig,
+    /// Scheduler lookahead quantum.
+    pub quantum: u64,
+    /// L1 geometry (the associativity ablation overrides this).
+    pub cache: CacheConfig,
+    /// Latency model.
+    pub latency: LatencyModel,
+    /// Sample the allocation footprint every N global ops (Figure 3).
+    pub sample_every: Option<u64>,
+    /// Hash-table bucket count (paper: 128).
+    pub buckets: usize,
+    /// OS-preemption model: (interval, cost) in cycles (see
+    /// `MachineConfig::ctx_switch`).
+    pub ctx_switch: Option<(u64, u64)>,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self {
+            threads: 1,
+            smt: 1,
+            key_range: 1000,
+            prefill: 500,
+            ops_per_thread: 3000,
+            mix: Mix {
+                insert_pct: 50,
+                delete_pct: 50,
+            },
+            seed: 0xC0FFEE,
+            smr: SmrConfig::default(),
+            quantum: 64,
+            cache: CacheConfig::default(),
+            latency: LatencyModel::default(),
+            sample_every: None,
+            buckets: 128,
+            ctx_switch: None,
+        }
+    }
+}
+
+impl RunConfig {
+    /// Build the simulated machine for this run.
+    pub fn machine_config(&self) -> MachineConfig {
+        // Heap must fit the leaky worst case: prefill (×2 for the BST's
+        // internal nodes) plus one node per op (×2 again), plus slack.
+        let worst_nodes = 2 * self.prefill + 2 * self.ops_per_thread * self.threads as u64 + 4096;
+        let mem_bytes = (worst_nodes * 64).next_power_of_two().max(1 << 22);
+        MachineConfig {
+            cores: self.threads,
+            smt: self.smt,
+            cache: self.cache.clone(),
+            latency: self.latency.clone(),
+            mem_bytes,
+            static_lines: 4096,
+            quantum: self.quantum,
+            sample_every: self.sample_every,
+            uaf_mode: UafMode::Panic,
+            ctx_switch: self.ctx_switch,
+        }
+    }
+
+    /// Per-thread workload seed.
+    pub fn thread_seed(&self, tid: usize) -> u64 {
+        // SplitMix the (seed, tid) pair so streams are unrelated.
+        let mut sm = mcsim::SplitMix64::new(self.seed ^ (tid as u64).wrapping_mul(0x9E37_79B9));
+        sm.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_labels() {
+        assert_eq!(Mix::PAPER[0].label(), "0i-0d");
+        assert_eq!(Mix::PAPER[1].label(), "5i-5d");
+        assert_eq!(Mix::PAPER[2].label(), "50i-50d");
+        assert_eq!(Mix::PAPER[2].updates(), 100);
+    }
+
+    #[test]
+    fn machine_sized_for_leaky_worst_case() {
+        let cfg = RunConfig {
+            threads: 32,
+            ops_per_thread: 3000,
+            ..Default::default()
+        };
+        let mc = cfg.machine_config();
+        let heap_lines = mc.mem_bytes / 64 - mc.static_lines - 1;
+        assert!(heap_lines > 2 * 32 * 3000, "heap fits all-insert leaky run");
+    }
+
+    #[test]
+    fn thread_seeds_differ() {
+        let cfg = RunConfig::default();
+        let a = cfg.thread_seed(0);
+        let b = cfg.thread_seed(1);
+        assert_ne!(a, b);
+        assert_eq!(a, cfg.thread_seed(0), "deterministic");
+    }
+}

@@ -1,0 +1,827 @@
+//! The paper's experiments, parameterized by scale.
+//!
+//! Each `fig*` function reproduces one figure of the paper's §V; the
+//! `ablation_*` functions cover claims the paper makes in prose (§I batch
+//! tradeoffs, §III associativity insensitivity) plus one simulator-fidelity
+//! check. See DESIGN.md §4 for the experiment index and EXPERIMENTS.md for
+//! recorded paper-vs-measured results.
+
+use casmr::{SchemeKind, SmrConfig};
+use mcsim::coherence::Protocol;
+use mcsim::CacheConfig;
+
+use crate::config::{Mix, RunConfig};
+use crate::runner::{
+    run_fallback_list, run_harris, run_htm_list, run_lf_bst, run_queue, run_set, run_set_latency,
+    run_stack, SetKind,
+};
+use crate::table::SeriesTable;
+
+/// Experiment scale: trades fidelity to the paper's exact parameters
+/// against wall-clock time on the host.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Smoke scale for CI and Criterion: 4 threads max, 300 ops/thread.
+    Quick,
+    /// Default: full thread sweep, 1000 ops/thread.
+    Standard,
+    /// The paper's §V parameters: 3000 ops/thread, threads 1..32.
+    Paper,
+}
+
+impl Scale {
+    /// Parse from a CLI argument.
+    pub fn from_args() -> Scale {
+        let args: Vec<String> = std::env::args().collect();
+        if args.iter().any(|a| a == "--quick") {
+            Scale::Quick
+        } else if args.iter().any(|a| a == "--paper") {
+            Scale::Paper
+        } else {
+            Scale::Standard
+        }
+    }
+
+    /// Thread sweep for throughput figures.
+    pub fn threads(self) -> Vec<usize> {
+        match self {
+            Scale::Quick => vec![1, 2, 4],
+            Scale::Standard => vec![1, 2, 4, 8, 16, 24, 32],
+            Scale::Paper => vec![1, 2, 4, 8, 16, 24, 32],
+        }
+    }
+
+    /// Measured operations per thread.
+    pub fn ops(self) -> u64 {
+        match self {
+            Scale::Quick => 300,
+            Scale::Standard => 1000,
+            Scale::Paper => 3000,
+        }
+    }
+}
+
+fn base_config(scale: Scale) -> RunConfig {
+    RunConfig {
+        ops_per_thread: scale.ops(),
+        ..Default::default()
+    }
+}
+
+/// Throughput sweep (one figure panel): threads on the x axis, one series
+/// per scheme, cells in ops/Mcycle.
+pub fn throughput_panel(
+    kind: Option<SetKind>, // None = stack
+    mix: Mix,
+    scale: Scale,
+    key_range: u64,
+    title: &str,
+) -> SeriesTable {
+    let threads = scale.threads();
+    let mut table = SeriesTable::new(
+        format!("{title} — workload {}", mix.label()),
+        "scheme\\threads",
+        threads.iter().map(|t| t.to_string()).collect(),
+    );
+    for scheme in SchemeKind::ALL {
+        let mut row = Vec::with_capacity(threads.len());
+        for &t in &threads {
+            let cfg = RunConfig {
+                threads: t,
+                key_range,
+                prefill: key_range / 2,
+                mix,
+                ..base_config(scale)
+            };
+            let m = match kind {
+                Some(k) => run_set(k, scheme, &cfg),
+                None => run_stack(scheme, &cfg),
+            };
+            row.push(m.throughput);
+        }
+        table.push_series(scheme.name(), row);
+    }
+    table
+}
+
+/// Figure 1 (top row): lazy list, keys 0..1K, three workload panels.
+pub fn fig1_lazylist(scale: Scale) -> Vec<SeriesTable> {
+    Mix::PAPER
+        .iter()
+        .map(|&mix| {
+            throughput_panel(
+                Some(SetKind::LazyList),
+                mix,
+                scale,
+                1000,
+                "Fig 1 (top) lazy list, size ~500",
+            )
+        })
+        .collect()
+}
+
+/// Figure 1 (bottom row): external BST, keys 0..10K.
+pub fn fig1_extbst(scale: Scale) -> Vec<SeriesTable> {
+    Mix::PAPER
+        .iter()
+        .map(|&mix| {
+            throughput_panel(
+                Some(SetKind::ExtBst),
+                mix,
+                scale,
+                10_000,
+                "Fig 1 (bottom) external BST, size ~5K",
+            )
+        })
+        .collect()
+}
+
+/// Figure 2 (top row): 128-bucket chaining hash table, keys 0..1K.
+pub fn fig2_hashtable(scale: Scale) -> Vec<SeriesTable> {
+    Mix::PAPER
+        .iter()
+        .map(|&mix| {
+            throughput_panel(
+                Some(SetKind::HashTable),
+                mix,
+                scale,
+                1000,
+                "Fig 2 (top) hash table, 128 buckets",
+            )
+        })
+        .collect()
+}
+
+/// Figure 2 (bottom row): Treiber stack (reads are peeks).
+pub fn fig2_stack(scale: Scale) -> Vec<SeriesTable> {
+    Mix::PAPER
+        .iter()
+        .map(|&mix| throughput_panel(None, mix, scale, 1000, "Fig 2 (bottom) stack"))
+        .collect()
+}
+
+/// Figure 3: nodes allocated-but-not-freed over time. Lazy list of ~500
+/// nodes, 16 threads, 100% updates, 5000 ops/thread, sampled every 1000
+/// global operations (all parameters straight from the paper).
+pub fn fig3_memory(scale: Scale) -> SeriesTable {
+    let (threads, ops) = match scale {
+        Scale::Quick => (4, 1500),
+        _ => (16, 5000),
+    };
+    let sample_every = 1000;
+    let total_ops = threads as u64 * ops;
+    let n_samples = (total_ops / sample_every) as usize;
+    let mut table = SeriesTable::new(
+        format!(
+            "Fig 3 — unreclaimed nodes over time (lazy list ~500, {threads} threads, 50i-50d)"
+        ),
+        "scheme\\ops",
+        (1..=n_samples)
+            .map(|i| (i as u64 * sample_every).to_string())
+            .collect(),
+    );
+    for scheme in SchemeKind::ALL {
+        let cfg = RunConfig {
+            threads,
+            key_range: 1000,
+            prefill: 500,
+            ops_per_thread: ops,
+            mix: Mix {
+                insert_pct: 50,
+                delete_pct: 50,
+            },
+            sample_every: Some(sample_every),
+            ..Default::default()
+        };
+        let m = run_set(SetKind::LazyList, scheme, &cfg);
+        let mut row: Vec<f64> = m.footprint.iter().map(|(_, live)| *live as f64).collect();
+        row.resize(n_samples, f64::NAN);
+        table.push_series(scheme.name(), row);
+    }
+    table
+}
+
+/// §III ablation: L1 associativity must not meaningfully hurt CA progress.
+/// Reports CA throughput and the spurious-failure counts per associativity.
+///
+/// The sweep starts at 2-way: a direct-mapped L1 cannot hold the CA lazy
+/// list's three-line tag window when two window lines map to the same set,
+/// which livelocks an operation *deterministically* — the situation for
+/// which the paper's §IV "facilitating progress" discussion prescribes a
+/// fallback. Our reproduction surfaces that boundary faithfully (the
+/// `ca_loop` retry ceiling turns it into a loud failure); see
+/// EXPERIMENTS.md.
+pub fn ablation_associativity(scale: Scale) -> (SeriesTable, SeriesTable) {
+    let threads = match scale {
+        Scale::Quick => 4,
+        _ => 16,
+    };
+    let assocs = [2usize, 4, 8, 16];
+    let mut tput = SeriesTable::new(
+        format!("Associativity ablation — CA lazy list, {threads} threads, 50i-50d"),
+        "metric\\assoc",
+        assocs.iter().map(|a| a.to_string()).collect(),
+    );
+    let mut spurious = SeriesTable::new(
+        "Associativity ablation — ARB sets from evictions (spurious sources)",
+        "metric\\assoc",
+        assocs.iter().map(|a| a.to_string()).collect(),
+    );
+    let mut tput_row = Vec::new();
+    let mut fail_row = Vec::new();
+    let mut evict_row = Vec::new();
+    for &assoc in &assocs {
+        let cfg = RunConfig {
+            threads,
+            key_range: 1000,
+            prefill: 500,
+            mix: Mix {
+                insert_pct: 50,
+                delete_pct: 50,
+            },
+            cache: CacheConfig {
+                l1_assoc: assoc,
+                ..CacheConfig::default()
+            },
+            ..base_config(scale)
+        };
+        let m = run_set(SetKind::LazyList, SchemeKind::Ca, &cfg);
+        tput_row.push(m.throughput);
+        fail_row.push(m.cread_fail as f64);
+        evict_row.push(m.spurious_revokes as f64);
+    }
+    tput.push_series("ca ops/Mcycle", tput_row);
+    spurious.push_series("cread failures", fail_row);
+    spurious.push_series("eviction revokes", evict_row);
+    (tput, spurious)
+}
+
+/// §I ablation: the batch-size/epoch-frequency tradeoff that motivates the
+/// paper. Sweeps the reclamation frequency for qsbr and ibr; CA needs no
+/// such parameter (its row is flat by construction).
+pub fn ablation_reclaim_freq(scale: Scale) -> (SeriesTable, SeriesTable) {
+    let threads = match scale {
+        Scale::Quick => 4,
+        _ => 16,
+    };
+    let freqs = [1u64, 10, 30, 100, 1000];
+    let labels: Vec<String> = freqs.iter().map(|f| f.to_string()).collect();
+    let mut tput = SeriesTable::new(
+        format!("Reclamation-frequency ablation — lazy list, {threads} threads, 50i-50d"),
+        "scheme\\freq",
+        labels.clone(),
+    );
+    let mut peak = SeriesTable::new(
+        "Reclamation-frequency ablation — peak unreclaimed nodes",
+        "scheme\\freq",
+        labels,
+    );
+    for scheme in [SchemeKind::Qsbr, SchemeKind::Ibr, SchemeKind::Ca] {
+        let mut tput_row = Vec::new();
+        let mut peak_row = Vec::new();
+        for &f in &freqs {
+            let cfg = RunConfig {
+                threads,
+                key_range: 1000,
+                prefill: 500,
+                mix: Mix {
+                    insert_pct: 50,
+                    delete_pct: 50,
+                },
+                smr: SmrConfig {
+                    reclaim_freq: f,
+                    epoch_freq: 5 * f,
+                    ..Default::default()
+                },
+                ..base_config(scale)
+            };
+            let m = run_set(SetKind::LazyList, scheme, &cfg);
+            tput_row.push(m.throughput);
+            peak_row.push(m.peak_allocated as f64);
+        }
+        tput.push_series(scheme.name(), tput_row);
+        peak.push_series(scheme.name(), peak_row);
+    }
+    (tput, peak)
+}
+
+/// Simulator-fidelity ablation: scheduler lookahead quantum. Throughput
+/// estimates should drift only mildly with the quantum; this bounds the
+/// modeling error introduced by lax synchronization.
+pub fn ablation_quantum(scale: Scale) -> SeriesTable {
+    let threads = match scale {
+        Scale::Quick => 4,
+        _ => 16,
+    };
+    let quanta = [0u64, 16, 64, 256, 1024];
+    let mut table = SeriesTable::new(
+        format!("Scheduler-quantum ablation — lazy list, {threads} threads, 50i-50d"),
+        "scheme\\quantum",
+        quanta.iter().map(|q| q.to_string()).collect(),
+    );
+    for scheme in [SchemeKind::Ca, SchemeKind::Qsbr, SchemeKind::Hp] {
+        let mut row = Vec::new();
+        for &q in &quanta {
+            let cfg = RunConfig {
+                threads,
+                key_range: 1000,
+                prefill: 500,
+                mix: Mix {
+                    insert_pct: 50,
+                    delete_pct: 50,
+                },
+                quantum: q,
+                ..base_config(scale)
+            };
+            row.push(run_set(SetKind::LazyList, scheme, &cfg).throughput);
+        }
+        table.push_series(scheme.name(), row);
+    }
+    table
+}
+
+/// §III multiuser extension: OS preemption sets the ARB of switched-out
+/// threads. Sweeps the context-switch interval and reports CA throughput,
+/// switch-induced revokes, and a qsbr baseline (which only pays the switch
+/// cost itself). Demonstrates CA degrades gracefully in multiuser systems.
+pub fn ablation_ctx_switch(scale: Scale) -> SeriesTable {
+    let threads = match scale {
+        Scale::Quick => 4,
+        _ => 16,
+    };
+    // Interval in cycles; a 1 GHz core with HZ=1000 switches every ~1M
+    // cycles, so even the harshest point here (20k) is pessimistic.
+    let intervals: [Option<u64>; 4] = [None, Some(500_000), Some(100_000), Some(20_000)];
+    let labels = ["never", "500k", "100k", "20k"];
+    let mut table = SeriesTable::new(
+        format!("Context-switch ablation — lazy list, {threads} threads, 50i-50d"),
+        "metric\\interval",
+        labels.iter().map(|l| l.to_string()).collect(),
+    );
+    let mut ca_row = Vec::new();
+    let mut revoke_row = Vec::new();
+    let mut qsbr_row = Vec::new();
+    for iv in intervals {
+        let cfg = RunConfig {
+            threads,
+            key_range: 1000,
+            prefill: 500,
+            mix: Mix {
+                insert_pct: 50,
+                delete_pct: 50,
+            },
+            ctx_switch: iv.map(|i| (i, 2000)),
+            ..base_config(scale)
+        };
+        let ca = run_set(SetKind::LazyList, SchemeKind::Ca, &cfg);
+        ca_row.push(ca.throughput);
+        revoke_row.push(ca.spurious_revokes as f64);
+        qsbr_row.push(run_set(SetKind::LazyList, SchemeKind::Qsbr, &cfg).throughput);
+    }
+    table.push_series("ca ops/Mcycle", ca_row);
+    table.push_series("qsbr ops/Mcycle", qsbr_row);
+    table.push_series("ca spurious revokes", revoke_row);
+    table
+}
+
+/// Extension: the lock-free CA Harris list (paper future work) vs. the
+/// lock-based CA lazy list and the fastest baselines, 100% updates.
+pub fn harris_bench(scale: Scale) -> SeriesTable {
+    let threads = scale.threads();
+    let mut table = SeriesTable::new(
+        "Lock-free CA Harris list vs lock-based lists — 50i-50d",
+        "variant\\threads",
+        threads.iter().map(|t| t.to_string()).collect(),
+    );
+    let cfg_for = |t: usize, scale: Scale| RunConfig {
+        threads: t,
+        key_range: 1000,
+        prefill: 500,
+        mix: Mix {
+            insert_pct: 50,
+            delete_pct: 50,
+        },
+        ..base_config(scale)
+    };
+    let mut harris = Vec::new();
+    for &t in &threads {
+        harris.push(run_harris(&cfg_for(t, scale)).throughput);
+    }
+    table.push_series("ca-harris (lock-free)", harris);
+    for scheme in [SchemeKind::Ca, SchemeKind::Qsbr, SchemeKind::None] {
+        let mut row = Vec::new();
+        for &t in &threads {
+            row.push(run_set(SetKind::LazyList, scheme, &cfg_for(t, scale)).throughput);
+        }
+        table.push_series(format!("{}-lazy", scheme.name()), row);
+    }
+    table
+}
+
+/// Extension: the lock-free CA external BST (future work, tree half) vs
+/// the paper's lock-based CA BST and the fastest baselines, 100% updates.
+pub fn lfbst_bench(scale: Scale) -> SeriesTable {
+    let threads = scale.threads();
+    let mut table = SeriesTable::new(
+        "Lock-free CA external BST vs lock-based BSTs — 50i-50d, keys 0..10K",
+        "variant\\threads",
+        threads.iter().map(|t| t.to_string()).collect(),
+    );
+    let cfg_for = |t: usize| RunConfig {
+        threads: t,
+        key_range: 10_000,
+        prefill: 5_000,
+        mix: Mix {
+            insert_pct: 50,
+            delete_pct: 50,
+        },
+        ..base_config(scale)
+    };
+    let mut lf = Vec::new();
+    for &t in &threads {
+        lf.push(run_lf_bst(&cfg_for(t)).throughput);
+    }
+    table.push_series("ca-lf-bst (lock-free)", lf);
+    for scheme in [SchemeKind::Ca, SchemeKind::Qsbr, SchemeKind::None] {
+        let mut row = Vec::new();
+        for &t in &threads {
+            row.push(run_set(SetKind::ExtBst, scheme, &cfg_for(t)).throughput);
+        }
+        table.push_series(format!("{}-bst", scheme.name()), row);
+    }
+    table
+}
+
+/// §IV-A extra: MS queue, 50% enqueue / 50% dequeue.
+pub fn queue_bench(scale: Scale) -> SeriesTable {
+    let threads = scale.threads();
+    let mut table = SeriesTable::new(
+        "MS queue — 50enq-50deq",
+        "scheme\\threads",
+        threads.iter().map(|t| t.to_string()).collect(),
+    );
+    for scheme in SchemeKind::ALL {
+        let mut row = Vec::new();
+        for &t in &threads {
+            let cfg = RunConfig {
+                threads: t,
+                key_range: 1000,
+                prefill: 256,
+                mix: Mix {
+                    insert_pct: 50,
+                    delete_pct: 50,
+                },
+                ..base_config(scale)
+            };
+            row.push(run_queue(scheme, &cfg).throughput);
+        }
+        table.push_series(scheme.name(), row);
+    }
+    table
+}
+
+/// §I claim: batch reclamation causes "long program interruptions and
+/// dramatically increases tail latency". Records per-operation latency
+/// (simulated cycles) and reports the distribution per scheme; the second
+/// group re-runs the epoch schemes with a 10× larger batch to show the tail
+/// scaling with the tuning knob while CA has no knob and no tail.
+pub fn ablation_latency(scale: Scale) -> SeriesTable {
+    let threads = match scale {
+        Scale::Quick => 4,
+        _ => 16,
+    };
+    let quantiles: [(&str, f64); 4] = [("p50", 0.50), ("p90", 0.90), ("p99", 0.99), ("p99.9", 0.999)];
+    let mut cols: Vec<String> = quantiles.iter().map(|(n, _)| n.to_string()).collect();
+    cols.push("max".into());
+    let mut table = SeriesTable::new(
+        format!("Tail-latency ablation — lazy list, {threads} threads, 50i-50d (cycles)"),
+        "scheme\\quantile",
+        cols,
+    );
+    let base = RunConfig {
+        threads,
+        key_range: 1000,
+        prefill: 500,
+        mix: Mix {
+            insert_pct: 50,
+            delete_pct: 50,
+        },
+        // Enough deletes per thread that even the 300-deep batches of the
+        // second group actually fill and flush (a thread retires roughly
+        // ops/4 nodes in this mix).
+        ops_per_thread: match scale {
+            Scale::Quick => scale.ops(),
+            _ => scale.ops().max(2500),
+        },
+        ..base_config(scale)
+    };
+    for scheme in SchemeKind::ALL {
+        let (_, h) = run_set_latency(SetKind::LazyList, scheme, &base);
+        let mut row: Vec<f64> = quantiles.iter().map(|&(_, q)| h.quantile(q) as f64).collect();
+        row.push(h.max() as f64);
+        table.push_series(scheme.name(), row);
+    }
+    // The knob turned up: reclaim batches of 300 (epoch bump every 1500).
+    for scheme in [SchemeKind::Qsbr, SchemeKind::Ibr, SchemeKind::He] {
+        let cfg = RunConfig {
+            smr: SmrConfig {
+                reclaim_freq: 300,
+                epoch_freq: 1500,
+                ..Default::default()
+            },
+            ..base.clone()
+        };
+        let (_, h) = run_set_latency(SetKind::LazyList, scheme, &cfg);
+        let mut row: Vec<f64> = quantiles.iter().map(|&(_, q)| h.quantile(q) as f64).collect();
+        row.push(h.max() as f64);
+        table.push_series(format!("{}@300", scheme.name()), row);
+    }
+    table
+}
+
+/// §III SMT rules: the same workload threads packed 2 (and 4) hyperthreads
+/// per physical core. Sibling stores revoke tags without coherence traffic;
+/// shared L1 capacity halves. Reports CA and qsbr throughput per packing,
+/// plus CA's sibling-revoke counts.
+pub fn ablation_smt(scale: Scale) -> (SeriesTable, SeriesTable) {
+    let threads: Vec<usize> = match scale {
+        Scale::Quick => vec![2, 4],
+        _ => vec![4, 8, 16, 32],
+    };
+    let labels: Vec<String> = threads.iter().map(|t| t.to_string()).collect();
+    let mut tput = SeriesTable::new(
+        "SMT ablation — lazy list, 50i-50d, threads packed k per core",
+        "variant\\threads",
+        labels.clone(),
+    );
+    let mut revokes = SeriesTable::new(
+        "SMT ablation — CA revocation sources (k=2 packing)",
+        "metric\\threads",
+        labels,
+    );
+    let cfg_for = |t: usize, smt: usize| RunConfig {
+        threads: t,
+        smt,
+        key_range: 1000,
+        prefill: 500,
+        mix: Mix {
+            insert_pct: 50,
+            delete_pct: 50,
+        },
+        ..base_config(scale)
+    };
+    for smt in [1usize, 2, 4] {
+        for scheme in [SchemeKind::Ca, SchemeKind::Qsbr] {
+            let mut row = Vec::new();
+            for &t in &threads {
+                if t % smt != 0 {
+                    row.push(f64::NAN);
+                    continue;
+                }
+                row.push(run_set(SetKind::LazyList, scheme, &cfg_for(t, smt)).throughput);
+            }
+            tput.push_series(format!("{} smt={smt}", scheme.name()), row);
+        }
+    }
+    let mut sib = Vec::new();
+    let mut remote = Vec::new();
+    for &t in &threads {
+        let m = run_set(SetKind::LazyList, SchemeKind::Ca, &cfg_for(t, 2));
+        sib.push(m.sibling_revokes as f64);
+        remote.push((m.cread_fail + m.cwrite_fail) as f64);
+    }
+    revokes.push_series("sibling-store revokes", sib);
+    revokes.push_series("conditional-access failures", remote);
+    (tput, revokes)
+}
+
+/// §IV claim: CA only assumes "MSI, MESI or other such equivalent
+/// mechanisms". Runs the lazy list and stack under both protocols; CA's
+/// relative standing must be protocol-independent (the MESI columns get
+/// faster in absolute terms from E-grants and silent upgrades, for every
+/// scheme alike).
+pub fn ablation_protocol(scale: Scale) -> (SeriesTable, SeriesTable) {
+    let threads = match scale {
+        Scale::Quick => 4,
+        _ => 16,
+    };
+    let mut tput = SeriesTable::new(
+        format!("Protocol ablation — {threads} threads, 50i-50d"),
+        "structure/scheme\\protocol",
+        vec!["msi".into(), "mesi".into()],
+    );
+    let mut mesi_stats = SeriesTable::new(
+        "Protocol ablation — MESI-only event counts",
+        "structure/scheme\\counter",
+        vec!["e_grants".into(), "silent_upgrades".into()],
+    );
+    let cfg_for = |protocol: Protocol| RunConfig {
+        threads,
+        key_range: 1000,
+        prefill: 500,
+        mix: Mix {
+            insert_pct: 50,
+            delete_pct: 50,
+        },
+        cache: CacheConfig {
+            protocol,
+            ..CacheConfig::default()
+        },
+        ..base_config(scale)
+    };
+    for scheme in [SchemeKind::Ca, SchemeKind::None, SchemeKind::Qsbr] {
+        let msi = run_set(SetKind::LazyList, scheme, &cfg_for(Protocol::Msi));
+        let mesi = run_set(SetKind::LazyList, scheme, &cfg_for(Protocol::Mesi));
+        tput.push_series(
+            format!("list/{}", scheme.name()),
+            vec![msi.throughput, mesi.throughput],
+        );
+        mesi_stats.push_series(
+            format!("list/{}", scheme.name()),
+            vec![mesi.e_grants as f64, mesi.silent_upgrades as f64],
+        );
+        let msi_s = run_stack(scheme, &cfg_for(Protocol::Msi));
+        let mesi_s = run_stack(scheme, &cfg_for(Protocol::Mesi));
+        tput.push_series(
+            format!("stack/{}", scheme.name()),
+            vec![msi_s.throughput, mesi_s.throughput],
+        );
+        mesi_stats.push_series(
+            format!("stack/{}", scheme.name()),
+            vec![mesi_s.e_grants as f64, mesi_s.silent_upgrades as f64],
+        );
+    }
+    (tput, mesi_stats)
+}
+
+/// §IV "facilitating progress": the elision-style fallback path. Table 1
+/// measures its fast-path overhead (two stores + one fence per op) on the
+/// paper's geometry, where the fallback never triggers. Table 2 runs a
+/// hostile geometry — a 16-line direct-mapped L1, where bare CA livelocks
+/// deterministically — and shows operations completing via the sequential
+/// path instead.
+pub fn ablation_fallback(scale: Scale) -> (SeriesTable, SeriesTable) {
+    let threads: Vec<usize> = match scale {
+        Scale::Quick => vec![1, 2, 4],
+        _ => vec![1, 4, 16, 32],
+    };
+    let labels: Vec<String> = threads.iter().map(|t| t.to_string()).collect();
+    let mut overhead = SeriesTable::new(
+        "Fallback ablation — fast-path overhead on the paper geometry (lazy list, 50i-50d)",
+        "variant\\threads",
+        labels,
+    );
+    let mix = Mix {
+        insert_pct: 50,
+        delete_pct: 50,
+    };
+    let mut ca_row = Vec::new();
+    let mut fb_row = Vec::new();
+    let mut taken_row = Vec::new();
+    for &t in &threads {
+        let cfg = RunConfig {
+            threads: t,
+            key_range: 1000,
+            prefill: 500,
+            mix,
+            ..base_config(scale)
+        };
+        ca_row.push(run_set(SetKind::LazyList, SchemeKind::Ca, &cfg).throughput);
+        let (m, taken) = run_fallback_list(&cfg, 32);
+        fb_row.push(m.throughput);
+        taken_row.push(taken as f64);
+    }
+    overhead.push_series("ca (bare)", ca_row);
+    overhead.push_series("ca+fallback", fb_row);
+    overhead.push_series("fallbacks taken", taken_row);
+
+    // Hostile geometry: a 16-line direct-mapped L1. Bare CA livelocks here
+    // (the ca_loop ceiling turns that into a panic), so only the fallback
+    // variant is run.
+    let hostile_threads: Vec<usize> = match scale {
+        Scale::Quick => vec![1, 2],
+        _ => vec![1, 2, 4],
+    };
+    let mut hostile = SeriesTable::new(
+        "Fallback ablation — hostile geometry (1 KiB direct-mapped L1); bare CA livelocks",
+        "metric\\threads",
+        hostile_threads.iter().map(|t| t.to_string()).collect(),
+    );
+    let mut tput = Vec::new();
+    let mut taken = Vec::new();
+    let mut share = Vec::new();
+    for &t in &hostile_threads {
+        let cfg = RunConfig {
+            threads: t,
+            key_range: 64,
+            prefill: 32,
+            ops_per_thread: scale.ops().min(300),
+            mix,
+            cache: CacheConfig {
+                l1_bytes: 1024,
+                l1_assoc: 1,
+                l2_bytes: 64 * 1024,
+                l2_assoc: 8,
+                ..CacheConfig::default()
+            },
+            ..base_config(scale)
+        };
+        let (m, k) = run_fallback_list(&cfg, 8);
+        tput.push(m.throughput);
+        taken.push(k as f64);
+        share.push(k as f64 / m.total_ops as f64);
+    }
+    hostile.push_series("ca+fallback ops/Mcycle", tput);
+    hostile.push_series("fallbacks taken", taken);
+    hostile.push_series("fallback share of ops", share);
+    (overhead, hostile)
+}
+
+/// §VI comparator: the hand-over-hand transactional list (Zhou et al.) vs
+/// CA and the fastest epoch baseline, on the read-only and 100%-update
+/// workloads. Returns (read-only panel, update panel, HTM abort-rate table).
+pub fn htm_bench(scale: Scale) -> (SeriesTable, SeriesTable, SeriesTable) {
+    let threads = scale.threads();
+    let labels: Vec<String> = threads.iter().map(|t| t.to_string()).collect();
+    let cfg_for = |t: usize, mix: Mix| RunConfig {
+        threads: t,
+        key_range: 1000,
+        prefill: 500,
+        mix,
+        ..base_config(scale)
+    };
+    let read_only = Mix {
+        insert_pct: 0,
+        delete_pct: 0,
+    };
+    let updates = Mix {
+        insert_pct: 50,
+        delete_pct: 50,
+    };
+    let mut panels = Vec::new();
+    for (mix, title) in [
+        (read_only, "HTM comparator — lazy list, 0i-0d"),
+        (updates, "HTM comparator — lazy list, 50i-50d"),
+    ] {
+        let mut table = SeriesTable::new(title, "variant\\threads", labels.clone());
+        for scheme in [SchemeKind::Ca, SchemeKind::Qsbr, SchemeKind::None] {
+            let mut row = Vec::new();
+            for &t in &threads {
+                row.push(run_set(SetKind::LazyList, scheme, &cfg_for(t, mix)).throughput);
+            }
+            table.push_series(scheme.name(), row);
+        }
+        for slots in [256usize, 16] {
+            let mut row = Vec::new();
+            for &t in &threads {
+                row.push(run_htm_list(&cfg_for(t, mix), slots).throughput);
+            }
+            table.push_series(format!("htm-hoh/{slots}"), row);
+        }
+        panels.push(table);
+    }
+    let mut aborts = SeriesTable::new(
+        "HTM comparator — aborts per operation and transactions per operation, 50i-50d",
+        "metric\\threads",
+        labels,
+    );
+    for slots in [256usize, 16] {
+        let mut abort_row = Vec::new();
+        let mut tx_row = Vec::new();
+        for &t in &threads {
+            let m = run_htm_list(&cfg_for(t, updates), slots);
+            abort_row.push(m.tx_aborts as f64 / m.total_ops.max(1) as f64);
+            tx_row.push(m.tx_begins as f64 / m.total_ops.max(1) as f64);
+        }
+        aborts.push_series(format!("htm-hoh/{slots} aborts/op"), abort_row);
+        aborts.push_series(format!("htm-hoh/{slots} tx/op"), tx_row);
+    }
+    let updates_panel = panels.pop().expect("two panels built");
+    let read_panel = panels.pop().expect("two panels built");
+    (read_panel, updates_panel, aborts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scale_shapes() {
+        assert_eq!(Scale::Quick.threads(), vec![1, 2, 4]);
+        assert_eq!(Scale::Paper.ops(), 3000);
+    }
+
+    #[test]
+    fn fig3_quick_has_all_schemes() {
+        let t = fig3_memory(Scale::Quick);
+        assert_eq!(t.series.len(), 7);
+        // CA stays near the live-set size throughout; none only grows.
+        let ca = &t.series.iter().find(|(n, _)| n == "ca").unwrap().1;
+        let none = &t.series.iter().find(|(n, _)| n == "none").unwrap().1;
+        assert!(ca.iter().all(|&v| v.is_nan() || v < 700.0), "ca flat: {ca:?}");
+        assert!(
+            none.last().unwrap() > ca.last().unwrap(),
+            "leaky footprint must exceed CA"
+        );
+    }
+}

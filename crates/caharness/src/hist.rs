@@ -1,0 +1,246 @@
+//! Log-linear latency histogram (HDR-style).
+//!
+//! Values are bucketed by power-of-two magnitude with `SUB_BITS` linear
+//! sub-buckets per octave, giving a guaranteed relative error below
+//! `1/2^SUB_BITS` ≈ 1.6 % — plenty for latency percentiles — with a small,
+//! fixed memory footprint and O(1) recording.
+//!
+//! Used to measure **per-operation latency in simulated cycles**, which the
+//! throughput figures hide: the paper's §I motivation is precisely that
+//! batch reclamation causes "long program interruptions and dramatically
+//! increases tail latency", while Conditional Access reclaims one node at a
+//! time. `ablation_latency` regenerates that comparison.
+
+/// Linear sub-bucket bits per octave.
+const SUB_BITS: u32 = 6;
+const SUB_COUNT: usize = 1 << SUB_BITS;
+/// Octaves covered (values up to 2^40 cycles ≈ 18 minutes at 1 GHz).
+const OCTAVES: usize = 40;
+
+/// A fixed-size log-linear histogram of `u64` values.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    total: u128,
+    max: u64,
+    min: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: vec![0; SUB_COUNT * (OCTAVES + 1)],
+            count: 0,
+            total: 0,
+            max: 0,
+            min: u64::MAX,
+        }
+    }
+
+    #[inline]
+    fn bucket_of(v: u64) -> usize {
+        if v < SUB_COUNT as u64 {
+            // Values below 2^SUB_BITS are exact.
+            return v as usize;
+        }
+        let msb = 63 - v.leading_zeros();
+        let octave = (msb - SUB_BITS + 1).min(OCTAVES as u32);
+        let sub = (v >> (octave - 1)) as usize & (SUB_COUNT - 1);
+        octave as usize * SUB_COUNT + sub
+    }
+
+    /// Lower edge of bucket `b` (the smallest value mapping into it).
+    fn bucket_low(b: usize) -> u64 {
+        let octave = (b / SUB_COUNT) as u32;
+        let sub = (b % SUB_COUNT) as u64;
+        if octave == 0 {
+            sub
+        } else {
+            (SUB_COUNT as u64 + sub) << (octave - 1)
+        }
+    }
+
+    /// Record one value.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.total += v as u128;
+        self.max = self.max.max(v);
+        self.min = self.min.min(v);
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.total += other.total;
+        self.max = self.max.max(other.max);
+        self.min = self.min.min(other.min);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact maximum recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact minimum recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Mean of recorded values.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.count as f64
+        }
+    }
+
+    /// Value at quantile `q` in `[0, 1]` (e.g. `0.99` for p99), accurate to
+    /// the bucket resolution. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        debug_assert!((0.0..=1.0).contains(&q));
+        // Rank of the target value (1-based), clamped into range.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if rank == self.count {
+            return self.max; // p100 is exact
+        }
+        let mut seen = 0;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Report the bucket's lower edge, clamped to observed range
+                // (keeps p100 == max exact).
+                return Self::bucket_low(b).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..SUB_COUNT as u64 {
+            h.record(v);
+        }
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), SUB_COUNT as u64 - 1);
+        // Rank ceil(0.5·64) = 32, i.e. the 32nd smallest value, which is 31.
+        assert_eq!(h.quantile(0.5), (SUB_COUNT / 2) as u64 - 1);
+        assert_eq!(h.quantile(1.0), SUB_COUNT as u64 - 1);
+    }
+
+    #[test]
+    fn quantiles_within_relative_error() {
+        let mut h = Histogram::new();
+        for i in 1..=100_000u64 {
+            h.record(i * 17); // values up to 1.7M
+        }
+        for q in [0.5f64, 0.9, 0.99, 0.999] {
+            let exact = (q * 100_000.0).ceil() as u64 * 17;
+            let est = h.quantile(q);
+            let rel = (est as f64 - exact as f64).abs() / exact as f64;
+            assert!(
+                rel < 1.0 / SUB_COUNT as f64 + 1e-9,
+                "q={q}: est {est} vs exact {exact} (rel {rel})"
+            );
+        }
+        assert_eq!(h.quantile(1.0), 1_700_000);
+        assert_eq!(h.count(), 100_000);
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut c = Histogram::new();
+        for i in 0..1000u64 {
+            let v = i * i % 7919 + 1;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            c.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), c.count());
+        assert_eq!(a.max(), c.max());
+        assert_eq!(a.min(), c.min());
+        for q in [0.1, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), c.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn huge_values_do_not_overflow_buckets() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(1);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile(1.0) == u64::MAX);
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30, 40] {
+            h.record(v);
+        }
+        assert!((h.mean() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bucket_low_is_monotone_and_consistent() {
+        // Every bucket's lower edge must map back into that bucket, and the
+        // edges must be non-decreasing.
+        let mut prev = 0;
+        for b in 0..(SUB_COUNT * (OCTAVES + 1)) {
+            let low = Histogram::bucket_low(b);
+            assert!(low >= prev, "bucket {b} edge not monotone");
+            if low > 0 && b < SUB_COUNT * OCTAVES {
+                assert_eq!(Histogram::bucket_of(low), b, "edge of bucket {b}");
+            }
+            prev = low;
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # caharness — workload generation and the paper's experiments
+//!
+//! Reproduces every figure of the paper's §V evaluation plus the prose
+//! claims, at three scales (`--quick`, default, `--paper`). Each figure has
+//! a binary (`cargo run -p caharness --release --bin fig1_lazylist`) that
+//! prints the series as text tables and writes CSVs under `results/`.
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `fig1_lazylist` | Fig. 1 top (lazy list, 3 workload panels) |
+//! | `fig1_extbst` | Fig. 1 bottom (external BST) |
+//! | `fig2_hashtable` | Fig. 2 top (128-bucket hash table) |
+//! | `fig2_stack` | Fig. 2 bottom (Treiber stack) |
+//! | `fig3_memory` | Fig. 3 (unreclaimed nodes over time) |
+//! | `ablation_assoc` | §III associativity-insensitivity claim |
+//! | `ablation_freq` | §I batch-size/epoch-frequency tradeoff |
+//! | `ablation_quantum` | simulator lax-sync fidelity check |
+//! | `ablation_ctxswitch` | §III multiuser claim: preemption sets the ARB |
+//! | `ablation_latency` | §I claim: batch reclamation inflates tail latency |
+//! | `ablation_smt` | §III SMT rules: 2-way hyperthreading vs dedicated cores |
+//! | `ablation_protocol` | §IV claim: CA works identically on MSI and MESI |
+//! | `ablation_fallback` | §IV fallback path: progress on hostile geometries |
+//! | `queue_bench` | §IV-A MS queue (implemented, not plotted, in paper) |
+//! | `harris_bench` | extension: lock-free CA Harris list (paper future work) |
+//! | `lfbst_bench` | extension: lock-free CA external BST (paper future work) |
+//! | `htm_bench` | §VI comparator: hand-over-hand transactions (Zhou et al.) |
+//! | `all_figures` | everything above, sequentially |
+
+pub mod config;
+pub mod experiments;
+pub mod hist;
+pub mod metrics;
+pub mod runner;
+pub mod table;
+
+pub use config::{Mix, RunConfig};
+pub use experiments::Scale;
+pub use hist::Histogram;
+pub use metrics::Metrics;
+pub use runner::{run_queue, run_set, run_set_latency, run_stack, SetKind};
+pub use table::SeriesTable;

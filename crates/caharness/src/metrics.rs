@@ -1,0 +1,106 @@
+//! Per-run measurement record.
+
+use mcsim::{FootprintSample, MachineStats};
+
+/// Everything measured in one experiment run.
+#[derive(Clone, Debug)]
+pub struct Metrics {
+    /// Scheme legend name (`none`, `ca`, `ibr`, ...).
+    pub scheme: &'static str,
+    /// Threads in the measured phase.
+    pub threads: usize,
+    /// Completed operations.
+    pub total_ops: u64,
+    /// Simulated finish time (max core clock, cycles).
+    pub cycles: u64,
+    /// Throughput in operations per million cycles (≙ Mops/s at 1 GHz).
+    pub throughput: f64,
+    /// Nodes allocated but not freed at the end (live + retired backlog).
+    pub final_allocated: u64,
+    /// High-water mark of allocated-not-freed.
+    pub peak_allocated: u64,
+    /// Footprint samples over time (Figure 3 series).
+    pub footprint: Vec<FootprintSample>,
+    /// Failed creads (conflict + spurious).
+    pub cread_fail: u64,
+    /// Failed cwrites.
+    pub cwrite_fail: u64,
+    /// ARB sets from evictions (spurious-failure sources, §III).
+    pub spurious_revokes: u64,
+    /// Fences executed (the hp/he/ibr per-read cost).
+    pub fences: u64,
+    /// L1 miss ratio over all accesses.
+    pub l1_miss_ratio: f64,
+    /// ARB sets caused by sibling-hyperthread stores (SMT runs only).
+    pub sibling_revokes: u64,
+    /// MESI runs only: read misses granted Exclusive.
+    pub e_grants: u64,
+    /// MESI runs only: silent E→M promotions.
+    pub silent_upgrades: u64,
+    /// HTM comparator: transactions begun.
+    pub tx_begins: u64,
+    /// HTM comparator: transactions aborted.
+    pub tx_aborts: u64,
+}
+
+impl Metrics {
+    /// Extract metrics from a machine snapshot.
+    pub fn from_stats(
+        scheme: &'static str,
+        threads: usize,
+        stats: &MachineStats,
+        footprint: Vec<FootprintSample>,
+    ) -> Self {
+        let accesses = stats.sum(|c| c.accesses).max(1);
+        let hits = stats.sum(|c| c.l1_hits);
+        Self {
+            scheme,
+            threads,
+            total_ops: stats.total_ops,
+            cycles: stats.max_cycles,
+            throughput: stats.ops_per_mcycle(),
+            final_allocated: stats.allocated_not_freed,
+            peak_allocated: stats.peak_allocated,
+            footprint,
+            cread_fail: stats.sum(|c| c.cread_fail),
+            cwrite_fail: stats.sum(|c| c.cwrite_fail),
+            spurious_revokes: stats.sum(|c| c.spurious_revokes()),
+            fences: stats.sum(|c| c.fences),
+            l1_miss_ratio: 1.0 - hits as f64 / accesses as f64,
+            sibling_revokes: stats.sum(|c| c.revoke_sibling),
+            e_grants: stats.sum(|c| c.e_grants),
+            silent_upgrades: stats.sum(|c| c.silent_upgrades),
+            tx_begins: stats.sum(|c| c.tx_begins),
+            tx_aborts: stats.sum(|c| c.tx_aborts),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcsim::CoreStats;
+
+    #[test]
+    fn from_stats_computes_ratios() {
+        let stats = MachineStats {
+            cores: vec![CoreStats {
+                accesses: 100,
+                l1_hits: 90,
+                cread_fail: 3,
+                fences: 7,
+                ..Default::default()
+            }],
+            allocated_not_freed: 5,
+            peak_allocated: 9,
+            total_ops: 50,
+            max_cycles: 1_000_000,
+        };
+        let m = Metrics::from_stats("ca", 1, &stats, vec![]);
+        assert!((m.throughput - 50.0).abs() < 1e-9);
+        assert!((m.l1_miss_ratio - 0.1).abs() < 1e-9);
+        assert_eq!(m.cread_fail, 3);
+        assert_eq!(m.final_allocated, 5);
+        assert_eq!(m.peak_allocated, 9);
+    }
+}

@@ -1,0 +1,518 @@
+//! Experiment runner: builds a machine + structure for a (kind, scheme)
+//! pair, prefills to 50%, runs the measured phase, and collects metrics.
+
+use cads::ca::{CaExtBst, CaHarrisList, CaLazyList, CaLfExtBst, CaQueue, CaStack, FbCaLazyList};
+use cads::htm::HtmLazyList;
+use cads::smr::{SmrExtBst, SmrLazyList, SmrQueue, SmrStack};
+use cads::{HashTable, QueueDs, SetDs, StackDs};
+use casmr::{He, Hp, Ibr, Leaky, Qsbr, Rcu, SchemeKind};
+use mcsim::{Machine, Rng};
+
+use crate::config::RunConfig;
+use crate::hist::Histogram;
+use crate::metrics::Metrics;
+
+/// Which set structure to benchmark.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SetKind {
+    /// Lazy linked list (Figure 1 top).
+    LazyList,
+    /// External BST (Figure 1 bottom).
+    ExtBst,
+    /// 128-bucket chaining hash table (Figure 2 top).
+    HashTable,
+}
+
+impl SetKind {
+    /// Figure label.
+    pub fn name(self) -> &'static str {
+        match self {
+            SetKind::LazyList => "lazylist",
+            SetKind::ExtBst => "extbst",
+            SetKind::HashTable => "hashtable",
+        }
+    }
+}
+
+/// Instantiate a baseline scheme and run `body` with it. `Ca` has no scheme
+/// object and must be special-cased before calling this.
+macro_rules! with_scheme {
+    ($machine:expr, $cfg:expr, $scheme:expr, |$s:ident| $body:expr) => {
+        match $scheme {
+            SchemeKind::None => {
+                let $s = Leaky::new();
+                $body
+            }
+            SchemeKind::Qsbr => {
+                let $s = Qsbr::new($machine, $cfg.threads, $cfg.smr.clone());
+                $body
+            }
+            SchemeKind::Rcu => {
+                let $s = Rcu::new($machine, $cfg.threads, $cfg.smr.clone());
+                $body
+            }
+            SchemeKind::Ibr => {
+                let $s = Ibr::new($machine, $cfg.threads, $cfg.smr.clone());
+                $body
+            }
+            SchemeKind::Hp => {
+                let $s = Hp::new($machine, $cfg.threads, $cfg.smr.clone());
+                $body
+            }
+            SchemeKind::He => {
+                let $s = He::new($machine, $cfg.threads, $cfg.smr.clone());
+                $body
+            }
+            SchemeKind::Ca => unreachable!("CA is handled before dispatch"),
+        }
+    };
+}
+
+/// Run one set-structure experiment.
+pub fn run_set(kind: SetKind, scheme: SchemeKind, cfg: &RunConfig) -> Metrics {
+    let m = Machine::new(cfg.machine_config());
+    match (kind, scheme) {
+        (SetKind::LazyList, SchemeKind::Ca) => {
+            let ds = CaLazyList::new(&m);
+            drive_set(&m, &ds, scheme, cfg)
+        }
+        (SetKind::LazyList, s) => with_scheme!(&m, cfg, s, |sch| {
+            let ds = SmrLazyList::new(&m, sch);
+            drive_set(&m, &ds, s, cfg)
+        }),
+        (SetKind::ExtBst, SchemeKind::Ca) => {
+            let ds = CaExtBst::new(&m);
+            drive_set(&m, &ds, scheme, cfg)
+        }
+        (SetKind::ExtBst, s) => with_scheme!(&m, cfg, s, |sch| {
+            let ds = SmrExtBst::new(&m, sch);
+            drive_set(&m, &ds, s, cfg)
+        }),
+        (SetKind::HashTable, SchemeKind::Ca) => {
+            let ds = HashTable::new(&m, cfg.buckets, CaLazyList::new);
+            drive_set(&m, &ds, scheme, cfg)
+        }
+        (SetKind::HashTable, s) => with_scheme!(&m, cfg, s, |sch| {
+            let ds = HashTable::new(&m, cfg.buckets, |mm| SmrLazyList::new(mm, &sch));
+            drive_set(&m, &ds, s, cfg)
+        }),
+    }
+}
+
+/// Run the lock-free Conditional-Access Harris list (extension beyond the
+/// paper; only the `ca` scheme applies — the structure embodies it).
+pub fn run_harris(cfg: &RunConfig) -> Metrics {
+    let m = Machine::new(cfg.machine_config());
+    let ds = CaHarrisList::new(&m);
+    drive_set(&m, &ds, SchemeKind::Ca, cfg)
+}
+
+/// Run the **lock-free** Conditional-Access external BST (extension beyond
+/// the paper, mirroring [`run_harris`] for trees).
+pub fn run_lf_bst(cfg: &RunConfig) -> Metrics {
+    let m = Machine::new(cfg.machine_config());
+    let ds = CaLfExtBst::new(&m);
+    drive_set(&m, &ds, SchemeKind::Ca, cfg)
+}
+
+/// Run the hand-over-hand **transactional** lazy list (the Zhou et al.
+/// comparator of §VI) with a `slots`-entry metadata version table. Like CA
+/// it reclaims immediately and needs no SMR scheme.
+pub fn run_htm_list(cfg: &RunConfig, slots: usize) -> Metrics {
+    let m = Machine::new(cfg.machine_config());
+    let ds = HtmLazyList::with_slots(&m, slots);
+    drive_set(&m, &ds, SchemeKind::Ca, cfg)
+}
+
+/// Run the CA lazy list wrapped in the §IV fallback path. Returns the usual
+/// metrics plus how many operations completed on the sequential path.
+pub fn run_fallback_list(cfg: &RunConfig, max_attempts: u64) -> (Metrics, u64) {
+    let m = Machine::new(cfg.machine_config());
+    let ds = FbCaLazyList::with_max_attempts(&m, cfg.threads, max_attempts);
+    let metrics = drive_set(&m, &ds, SchemeKind::Ca, cfg);
+    let fallbacks = ds.fallbacks_taken();
+    (metrics, fallbacks)
+}
+
+/// Like [`run_set`] but additionally records **per-operation latency** (in
+/// simulated cycles) into a merged histogram — the §I tail-latency claim's
+/// instrument.
+pub fn run_set_latency(kind: SetKind, scheme: SchemeKind, cfg: &RunConfig) -> (Metrics, Histogram) {
+    let m = Machine::new(cfg.machine_config());
+    match (kind, scheme) {
+        (SetKind::LazyList, SchemeKind::Ca) => {
+            let ds = CaLazyList::new(&m);
+            drive_set_latency(&m, &ds, scheme, cfg)
+        }
+        (SetKind::LazyList, s) => with_scheme!(&m, cfg, s, |sch| {
+            let ds = SmrLazyList::new(&m, sch);
+            drive_set_latency(&m, &ds, s, cfg)
+        }),
+        (SetKind::ExtBst, SchemeKind::Ca) => {
+            let ds = CaExtBst::new(&m);
+            drive_set_latency(&m, &ds, scheme, cfg)
+        }
+        (SetKind::ExtBst, s) => with_scheme!(&m, cfg, s, |sch| {
+            let ds = SmrExtBst::new(&m, sch);
+            drive_set_latency(&m, &ds, s, cfg)
+        }),
+        (SetKind::HashTable, SchemeKind::Ca) => {
+            let ds = HashTable::new(&m, cfg.buckets, CaLazyList::new);
+            drive_set_latency(&m, &ds, scheme, cfg)
+        }
+        (SetKind::HashTable, s) => with_scheme!(&m, cfg, s, |sch| {
+            let ds = HashTable::new(&m, cfg.buckets, |mm| SmrLazyList::new(mm, &sch));
+            drive_set_latency(&m, &ds, s, cfg)
+        }),
+    }
+}
+
+/// Run one stack experiment (Figure 2 bottom). Reads are `peek`.
+pub fn run_stack(scheme: SchemeKind, cfg: &RunConfig) -> Metrics {
+    let m = Machine::new(cfg.machine_config());
+    match scheme {
+        SchemeKind::Ca => {
+            let ds = CaStack::new(&m);
+            drive_stack(&m, &ds, scheme, cfg)
+        }
+        s => with_scheme!(&m, cfg, s, |sch| {
+            let ds = SmrStack::new(&m, sch);
+            drive_stack(&m, &ds, s, cfg)
+        }),
+    }
+}
+
+/// Run one queue experiment (the §IV-A extra). Requires a 100%-update mix.
+pub fn run_queue(scheme: SchemeKind, cfg: &RunConfig) -> Metrics {
+    assert_eq!(
+        cfg.mix.updates(),
+        100,
+        "queues have no read operation: use an enqueue/dequeue-only mix"
+    );
+    let m = Machine::new(cfg.machine_config());
+    match scheme {
+        SchemeKind::Ca => {
+            let ds = CaQueue::new(&m);
+            drive_queue(&m, &ds, scheme, cfg)
+        }
+        s => with_scheme!(&m, cfg, s, |sch| {
+            let ds = SmrQueue::new(&m, sch);
+            drive_queue(&m, &ds, s, cfg)
+        }),
+    }
+}
+
+fn drive_set<D: SetDs>(m: &Machine, ds: &D, scheme: SchemeKind, cfg: &RunConfig) -> Metrics {
+    assert!(
+        cfg.prefill <= cfg.key_range,
+        "cannot prefill {} distinct keys from a range of {}",
+        cfg.prefill,
+        cfg.key_range
+    );
+    // Prefill to exactly `prefill` elements with random keys (paper: 50%).
+    let prefill_seed = cfg.thread_seed(usize::MAX);
+    m.run_on(1, |_, ctx| {
+        let mut tls = ds.register(0);
+        let mut rng = Rng::new(prefill_seed);
+        let mut live = 0;
+        while live < cfg.prefill {
+            if ds.insert(ctx, &mut tls, 1 + rng.below(cfg.key_range)) {
+                live += 1;
+            }
+        }
+    });
+    m.reset_timing();
+    m.run_on(cfg.threads, |tid, ctx| {
+        let mut tls = ds.register(tid);
+        let mut rng = Rng::new(cfg.thread_seed(tid));
+        for _ in 0..cfg.ops_per_thread {
+            let key = 1 + rng.below(cfg.key_range);
+            let roll = rng.below(100);
+            if roll < cfg.mix.insert_pct {
+                ds.insert(ctx, &mut tls, key);
+            } else if roll < cfg.mix.updates() {
+                ds.delete(ctx, &mut tls, key);
+            } else {
+                ds.contains(ctx, &mut tls, key);
+            }
+            ctx.op_completed();
+        }
+    });
+    Metrics::from_stats(scheme.name(), cfg.threads, &m.stats(), m.footprint_samples())
+}
+
+/// `drive_set` with per-operation latency capture. The `ctx.now()` probes
+/// are host-side (no simulated cycles), so throughput is unaffected.
+fn drive_set_latency<D: SetDs>(
+    m: &Machine,
+    ds: &D,
+    scheme: SchemeKind,
+    cfg: &RunConfig,
+) -> (Metrics, Histogram) {
+    let prefill_seed = cfg.thread_seed(usize::MAX);
+    m.run_on(1, |_, ctx| {
+        let mut tls = ds.register(0);
+        let mut rng = Rng::new(prefill_seed);
+        let mut live = 0;
+        while live < cfg.prefill {
+            if ds.insert(ctx, &mut tls, 1 + rng.below(cfg.key_range)) {
+                live += 1;
+            }
+        }
+    });
+    m.reset_timing();
+    let hists = m.run_on(cfg.threads, |tid, ctx| {
+        let mut tls = ds.register(tid);
+        let mut rng = Rng::new(cfg.thread_seed(tid));
+        let mut hist = Histogram::new();
+        for _ in 0..cfg.ops_per_thread {
+            let key = 1 + rng.below(cfg.key_range);
+            let roll = rng.below(100);
+            let start = ctx.now();
+            if roll < cfg.mix.insert_pct {
+                ds.insert(ctx, &mut tls, key);
+            } else if roll < cfg.mix.updates() {
+                ds.delete(ctx, &mut tls, key);
+            } else {
+                ds.contains(ctx, &mut tls, key);
+            }
+            hist.record(ctx.now() - start);
+            ctx.op_completed();
+        }
+        hist
+    });
+    let mut merged = Histogram::new();
+    for h in &hists {
+        merged.merge(h);
+    }
+    let metrics = Metrics::from_stats(scheme.name(), cfg.threads, &m.stats(), m.footprint_samples());
+    (metrics, merged)
+}
+
+fn drive_stack<D: StackDs>(m: &Machine, ds: &D, scheme: SchemeKind, cfg: &RunConfig) -> Metrics {
+    m.run_on(1, |_, ctx| {
+        let mut tls = ds.register(0);
+        let mut rng = Rng::new(cfg.thread_seed(usize::MAX));
+        for _ in 0..cfg.prefill {
+            ds.push(ctx, &mut tls, 1 + rng.below(cfg.key_range));
+        }
+    });
+    m.reset_timing();
+    m.run_on(cfg.threads, |tid, ctx| {
+        let mut tls = ds.register(tid);
+        let mut rng = Rng::new(cfg.thread_seed(tid));
+        for _ in 0..cfg.ops_per_thread {
+            let roll = rng.below(100);
+            if roll < cfg.mix.insert_pct {
+                ds.push(ctx, &mut tls, 1 + rng.below(cfg.key_range));
+            } else if roll < cfg.mix.updates() {
+                ds.pop(ctx, &mut tls);
+            } else {
+                ds.peek(ctx, &mut tls);
+            }
+            ctx.op_completed();
+        }
+    });
+    Metrics::from_stats(scheme.name(), cfg.threads, &m.stats(), m.footprint_samples())
+}
+
+fn drive_queue<D: QueueDs>(m: &Machine, ds: &D, scheme: SchemeKind, cfg: &RunConfig) -> Metrics {
+    m.run_on(1, |_, ctx| {
+        let mut tls = ds.register(0);
+        let mut rng = Rng::new(cfg.thread_seed(usize::MAX));
+        for _ in 0..cfg.prefill {
+            ds.enqueue(ctx, &mut tls, 1 + rng.below(cfg.key_range));
+        }
+    });
+    m.reset_timing();
+    m.run_on(cfg.threads, |tid, ctx| {
+        let mut tls = ds.register(tid);
+        let mut rng = Rng::new(cfg.thread_seed(tid));
+        for _ in 0..cfg.ops_per_thread {
+            let roll = rng.below(100);
+            if roll < cfg.mix.insert_pct {
+                ds.enqueue(ctx, &mut tls, 1 + rng.below(cfg.key_range));
+            } else {
+                ds.dequeue(ctx, &mut tls);
+            }
+            ctx.op_completed();
+        }
+    });
+    Metrics::from_stats(scheme.name(), cfg.threads, &m.stats(), m.footprint_samples())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Mix;
+
+    fn tiny(threads: usize, mix: Mix) -> RunConfig {
+        RunConfig {
+            threads,
+            key_range: 64,
+            prefill: 32,
+            ops_per_thread: 150,
+            mix,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn every_scheme_runs_on_the_lazylist() {
+        for scheme in SchemeKind::ALL {
+            let m = run_set(
+                SetKind::LazyList,
+                scheme,
+                &tiny(2, Mix { insert_pct: 50, delete_pct: 50 }),
+            );
+            assert_eq!(m.total_ops, 300, "{scheme}");
+            assert!(m.throughput > 0.0, "{scheme}");
+        }
+    }
+
+    #[test]
+    fn every_scheme_runs_on_the_bst() {
+        for scheme in SchemeKind::ALL {
+            let m = run_set(
+                SetKind::ExtBst,
+                scheme,
+                &tiny(2, Mix { insert_pct: 25, delete_pct: 25 }),
+            );
+            assert_eq!(m.total_ops, 300, "{scheme}");
+        }
+    }
+
+    #[test]
+    fn every_scheme_runs_on_the_hashtable() {
+        for scheme in SchemeKind::ALL {
+            let cfg = RunConfig {
+                buckets: 8,
+                ..tiny(2, Mix { insert_pct: 5, delete_pct: 5 })
+            };
+            let m = run_set(SetKind::HashTable, scheme, &cfg);
+            assert_eq!(m.total_ops, 300, "{scheme}");
+        }
+    }
+
+    #[test]
+    fn every_scheme_runs_on_stack_and_queue() {
+        for scheme in SchemeKind::ALL {
+            let m = run_stack(scheme, &tiny(2, Mix { insert_pct: 30, delete_pct: 30 }));
+            assert_eq!(m.total_ops, 300, "stack {scheme}");
+            let m = run_queue(scheme, &tiny(2, Mix { insert_pct: 50, delete_pct: 50 }));
+            assert_eq!(m.total_ops, 300, "queue {scheme}");
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let cfg = tiny(3, Mix { insert_pct: 50, delete_pct: 50 });
+        let a = run_set(SetKind::LazyList, SchemeKind::Ca, &cfg);
+        let b = run_set(SetKind::LazyList, SchemeKind::Ca, &cfg);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.final_allocated, b.final_allocated);
+        assert_eq!(a.cread_fail, b.cread_fail);
+    }
+
+    #[test]
+    fn ca_footprint_tracks_live_set_smr_does_not() {
+        let mix = Mix { insert_pct: 50, delete_pct: 50 };
+        let ca = run_set(SetKind::LazyList, SchemeKind::Ca, &tiny(2, mix));
+        let none = run_set(SetKind::LazyList, SchemeKind::None, &tiny(2, mix));
+        assert!(
+            ca.final_allocated <= 64,
+            "CA keeps only live nodes (≤ key range), got {}",
+            ca.final_allocated
+        );
+        assert!(
+            none.final_allocated > ca.final_allocated,
+            "leaky must hold strictly more ({} vs {})",
+            none.final_allocated,
+            ca.final_allocated
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no read operation")]
+    fn queue_rejects_read_mixes() {
+        run_queue(SchemeKind::Ca, &tiny(1, Mix { insert_pct: 5, delete_pct: 5 }));
+    }
+
+    #[test]
+    fn latency_runner_matches_plain_runner() {
+        // The ctx.now() probes are host-side: throughput and op counts must
+        // be identical to an uninstrumented run, and the histogram must hold
+        // exactly one sample per operation.
+        let cfg = tiny(2, Mix { insert_pct: 50, delete_pct: 50 });
+        let plain = run_set(SetKind::LazyList, SchemeKind::Ca, &cfg);
+        let (instr, hist) = run_set_latency(SetKind::LazyList, SchemeKind::Ca, &cfg);
+        assert_eq!(plain.cycles, instr.cycles, "instrumentation must be free");
+        assert_eq!(plain.total_ops, instr.total_ops);
+        assert_eq!(hist.count(), instr.total_ops);
+        assert!(hist.quantile(0.5) > 0, "ops take nonzero simulated time");
+        assert!(hist.max() >= hist.quantile(0.99));
+    }
+
+    #[test]
+    fn htm_runner_reports_transactions() {
+        let cfg = tiny(2, Mix { insert_pct: 50, delete_pct: 50 });
+        let m = run_htm_list(&cfg, 64);
+        assert_eq!(m.total_ops, 300);
+        assert!(m.tx_begins > 0, "every op runs transactions");
+        assert!(m.throughput > 0.0);
+        // Immediate reclamation: like CA, allocated tracks the live set.
+        assert!(m.final_allocated <= 64);
+    }
+
+    #[test]
+    fn fallback_runner_roomy_geometry_never_falls_back() {
+        let cfg = tiny(2, Mix { insert_pct: 50, delete_pct: 50 });
+        let (m, fallbacks) = run_fallback_list(&cfg, 32);
+        assert_eq!(m.total_ops, 300);
+        assert_eq!(fallbacks, 0);
+    }
+
+    #[test]
+    fn lf_bst_runner_runs() {
+        let cfg = tiny(2, Mix { insert_pct: 50, delete_pct: 50 });
+        let m = run_lf_bst(&cfg);
+        assert_eq!(m.total_ops, 300);
+        assert!(m.throughput > 0.0);
+    }
+
+    #[test]
+    fn smt_config_drives_sibling_revokes() {
+        let cfg = RunConfig {
+            smt: 2,
+            ..tiny(4, Mix { insert_pct: 50, delete_pct: 50 })
+        };
+        let m = run_set(SetKind::LazyList, SchemeKind::Ca, &cfg);
+        assert_eq!(m.total_ops, 600);
+        assert!(
+            m.sibling_revokes > 0,
+            "2 hyperthreads per core must conflict somewhere in 600 ops"
+        );
+    }
+
+    #[test]
+    fn mesi_config_reports_e_grants() {
+        use mcsim::coherence::Protocol;
+        // Working set (1024 nodes) larger than the 512-line L1, single
+        // thread: read misses with no other holder are guaranteed, and MESI
+        // must grant them Exclusive.
+        let cfg = RunConfig {
+            threads: 1,
+            key_range: 2048,
+            prefill: 1024,
+            ops_per_thread: 150,
+            mix: Mix { insert_pct: 50, delete_pct: 50 },
+            cache: mcsim::CacheConfig {
+                protocol: Protocol::Mesi,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let m = run_set(SetKind::LazyList, SchemeKind::Ca, &cfg);
+        assert!(m.e_grants > 0, "MESI runs must grant Exclusive lines");
+    }
+}

@@ -1,0 +1,254 @@
+//! The reclamation-scheme interface shared by every baseline, plus the
+//! machinery they have in common (global era, retire lists, scan cadence).
+//!
+//! Design rule of this crate: **all cross-thread SMR metadata lives in
+//! simulated shared memory** — global epoch/era counters, per-thread
+//! announcement lines, hazard slots, reservation intervals. Reading another
+//! thread's slot is a simulated load with real coherence cost, publishing a
+//! hazard pays a simulated fence. This is what makes the paper's comparison
+//! meaningful: hp/he/ibr pay per-read costs, rcu/qsbr pay per-op costs, CA
+//! and leaky pay none.
+//!
+//! Per-thread bookkeeping that a real implementation would keep in
+//! thread-local *private* memory (the retire list itself, cached era values,
+//! counters) is host-side, charged with [`mcsim::machine::Ctx::tick`].
+
+use mcsim::machine::Ctx;
+use mcsim::{Addr, Machine};
+
+/// Sentinel published by inactive threads (no reservation/announcement).
+pub const INACTIVE: u64 = u64::MAX;
+
+/// Word index inside every node reserved for SMR metadata (birth era for
+/// ibr/he). Data structures must not use this word.
+pub const NODE_BIRTH_WORD: u64 = 7;
+
+/// Tuning knobs, defaulted to the paper's §V configuration (which follows
+/// the IBR benchmark defaults).
+#[derive(Clone, Debug)]
+pub struct SmrConfig {
+    /// Attempt reclamation after this many retires ("reclamation frequency",
+    /// paper: 30 successful removes).
+    pub reclaim_freq: u64,
+    /// Advance the global era/epoch after this many allocations ("epoch
+    /// frequency", paper: 150 allocations).
+    pub epoch_freq: u64,
+    /// Hazard/era slots per thread (hp/he). 4 suffices for every structure
+    /// in this repository (BST traversal holds grandparent/parent/leaf plus
+    /// one rotating slot).
+    pub slots_per_thread: usize,
+}
+
+impl Default for SmrConfig {
+    fn default() -> Self {
+        Self {
+            reclaim_freq: 30,
+            epoch_freq: 150,
+            slots_per_thread: 4,
+        }
+    }
+}
+
+/// A retired-but-not-yet-freed node, stamped with its lifetime interval.
+#[derive(Copy, Clone, Debug)]
+pub struct Retired {
+    /// Node address.
+    pub addr: Addr,
+    /// Era current when the node was allocated (ibr/he; 0 elsewhere).
+    pub birth: u64,
+    /// Era/epoch current when the node was retired.
+    pub retire: u64,
+}
+
+/// A safe-memory-reclamation scheme.
+///
+/// Data structures call [`Smr::read_ptr`] to traverse pointer fields into
+/// nodes that may be concurrently retired, bracketed by
+/// [`Smr::begin_op`]/[`Smr::end_op`]; unlinked nodes go to [`Smr::retire`]
+/// instead of being freed.
+pub trait Smr: Sync {
+    /// Host-side per-thread state.
+    type Tls: Send;
+
+    /// Create thread `tid`'s state (call once per simulated thread).
+    fn register(&self, tid: usize) -> Self::Tls;
+
+    /// Operation prologue (rcu: pin; ibr: open reservation; others: no-op).
+    fn begin_op(&self, ctx: &mut Ctx, tls: &mut Self::Tls);
+
+    /// Operation epilogue (qsbr: quiescent announcement; rcu: unpin;
+    /// ibr: close reservation; hp/he: clear slots).
+    fn end_op(&self, ctx: &mut Ctx, tls: &mut Self::Tls);
+
+    /// Protected read of the pointer-sized word at `field`, whose value
+    /// names a node. On return the named node is protected (per the
+    /// scheme's rules) under `slot` until the slot is reused, cleared, or
+    /// the operation ends. Null results need no protection.
+    fn read_ptr(&self, ctx: &mut Ctx, tls: &mut Self::Tls, slot: usize, field: Addr) -> u64;
+
+    /// Release one protection slot early (hp/he; no-op elsewhere).
+    fn clear_slot(&self, _ctx: &mut Ctx, _tls: &mut Self::Tls, _slot: usize) {}
+
+    /// Hook invoked right after a node is allocated (ibr/he stamp the birth
+    /// era into [`NODE_BIRTH_WORD`]; also drives era advancement).
+    fn on_alloc(&self, ctx: &mut Ctx, tls: &mut Self::Tls, node: Addr);
+
+    /// Hand an unlinked node to the scheme. The scheme frees it once no
+    /// thread can hold a protected reference (leaky: never).
+    fn retire(&self, ctx: &mut Ctx, tls: &mut Self::Tls, node: Addr);
+
+    /// Whether traversals must re-validate reachability (mark checks +
+    /// restart) after protecting a node. True for hazard-based schemes
+    /// (hp/he), whose protection does not retroactively cover nodes retired
+    /// before the hazard was published; false for interval/epoch schemes.
+    fn needs_validation(&self) -> bool {
+        false
+    }
+
+    /// Scheme name as used in the paper's figures.
+    fn name(&self) -> &'static str;
+}
+
+/// A shared reference to a scheme is a scheme: lets many data-structure
+/// instances (e.g. the 128 buckets of the paper's hash table) share one
+/// scheme's metadata and per-thread state.
+impl<S: Smr> Smr for &S {
+    type Tls = S::Tls;
+
+    fn register(&self, tid: usize) -> Self::Tls {
+        (**self).register(tid)
+    }
+    fn begin_op(&self, ctx: &mut Ctx, tls: &mut Self::Tls) {
+        (**self).begin_op(ctx, tls)
+    }
+    fn end_op(&self, ctx: &mut Ctx, tls: &mut Self::Tls) {
+        (**self).end_op(ctx, tls)
+    }
+    fn read_ptr(&self, ctx: &mut Ctx, tls: &mut Self::Tls, slot: usize, field: Addr) -> u64 {
+        (**self).read_ptr(ctx, tls, slot, field)
+    }
+    fn clear_slot(&self, ctx: &mut Ctx, tls: &mut Self::Tls, slot: usize) {
+        (**self).clear_slot(ctx, tls, slot)
+    }
+    fn on_alloc(&self, ctx: &mut Ctx, tls: &mut Self::Tls, node: Addr) {
+        (**self).on_alloc(ctx, tls, node)
+    }
+    fn retire(&self, ctx: &mut Ctx, tls: &mut Self::Tls, node: Addr) {
+        (**self).retire(ctx, tls, node)
+    }
+    fn needs_validation(&self) -> bool {
+        (**self).needs_validation()
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+/// Global-era helpers shared by the epoch/era-based schemes.
+pub(crate) struct EraClock {
+    pub era: Addr,
+}
+
+impl EraClock {
+    /// Allocate the era line and initialize the clock to 1 (0 is reserved so
+    /// that "birth 0" can mean "no birth metadata").
+    pub fn new(machine: &Machine) -> Self {
+        let era = machine.alloc_static(1);
+        machine.host_write(era, 1);
+        Self { era }
+    }
+
+    /// Read the current era (simulated load; usually an S-state hit, a miss
+    /// right after someone bumps it — that cost is the point).
+    #[inline]
+    pub fn read(&self, ctx: &mut Ctx) -> u64 {
+        ctx.read(self.era)
+    }
+
+    /// Count an allocation; every `epoch_freq`-th allocation bumps the era.
+    /// A lost CAS race means someone else bumped it, which is just as good.
+    pub fn on_alloc(&self, ctx: &mut Ctx, alloc_count: &mut u64, epoch_freq: u64) {
+        *alloc_count += 1;
+        if (*alloc_count).is_multiple_of(epoch_freq) {
+            let e = ctx.read(self.era);
+            let _ = ctx.cas(self.era, e, e + 1);
+        }
+    }
+}
+
+/// Allocate one static line per thread, returning their base addresses.
+/// One line each avoids false sharing between threads' metadata — standard
+/// practice in real SMR implementations, and necessary here so one thread's
+/// publishes don't invalidate another's cached metadata.
+pub(crate) fn per_thread_lines(machine: &Machine, threads: usize, init: u64) -> Vec<Addr> {
+    (0..threads)
+        .map(|_| {
+            let a = machine.alloc_static(1);
+            for w in 0..mcsim::WORDS_PER_LINE {
+                machine.host_write(a.word(w), init);
+            }
+            a
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcsim::MachineConfig;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = SmrConfig::default();
+        assert_eq!(c.reclaim_freq, 30);
+        assert_eq!(c.epoch_freq, 150);
+    }
+
+    #[test]
+    fn era_clock_advances_every_epoch_freq_allocs() {
+        let m = Machine::new(MachineConfig {
+            cores: 1,
+            mem_bytes: 1 << 20,
+            static_lines: 64,
+            ..Default::default()
+        });
+        let clock = EraClock::new(&m);
+        let eras = m.run_on(1, |_, ctx| {
+            let mut count = 0;
+            let e0 = clock.read(ctx);
+            for _ in 0..150 {
+                clock.on_alloc(ctx, &mut count, 150);
+            }
+            let e1 = clock.read(ctx);
+            for _ in 0..149 {
+                clock.on_alloc(ctx, &mut count, 150);
+            }
+            let e_mid = clock.read(ctx);
+            clock.on_alloc(ctx, &mut count, 150);
+            let e2 = clock.read(ctx);
+            (e0, e1, e_mid, e2)
+        });
+        assert_eq!(eras, vec![(1, 2, 2, 3)]);
+    }
+
+    #[test]
+    fn per_thread_lines_are_distinct_and_initialized() {
+        let m = Machine::new(MachineConfig {
+            cores: 1,
+            mem_bytes: 1 << 20,
+            static_lines: 64,
+            ..Default::default()
+        });
+        let lines = per_thread_lines(&m, 3, INACTIVE);
+        assert_eq!(lines.len(), 3);
+        for (i, a) in lines.iter().enumerate() {
+            for (j, b) in lines.iter().enumerate() {
+                if i != j {
+                    assert_ne!(a.line(), b.line(), "false sharing between threads");
+                }
+            }
+            assert_eq!(m.host_read(*a), INACTIVE);
+            assert_eq!(m.host_read(a.word(7)), INACTIVE);
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! Hazard eras (`he` — Ramalhete & Correia, SPAA'17).
+//!
+//! A drop-in replacement for hazard pointers that publishes **eras** instead
+//! of addresses: protecting a node publishes the current global era into one
+//! of the thread's slots (store + fence when the slot value changes) and
+//! re-reads the era to confirm stability. Nodes carry `[birth, retire]` era
+//! intervals (like ibr); a retired node is freed only if no published slot
+//! era falls inside its interval.
+//!
+//! The advantage over hp is that consecutive protections in a stable era
+//! reuse the published value (no store, no fence); the paper still groups
+//! he with the per-read-overhead schemes because under update-heavy
+//! workloads the era keeps moving — every bump is a coherence miss on the
+//! era line for every reader plus a republish fence.
+//!
+//! Like hp, hazard-era protection is not retroactive, so traversals must
+//! validate reachability after protecting ([`Smr::needs_validation`]).
+
+use mcsim::machine::Ctx;
+use mcsim::{Addr, Machine};
+
+use crate::api::{per_thread_lines, EraClock, Retired, Smr, SmrConfig, NODE_BIRTH_WORD};
+
+/// Hazard-eras scheme state.
+pub struct He {
+    clock: EraClock,
+    /// Per-thread era-slot lines: words `0..K` hold published eras (0 =
+    /// empty; real eras start at 1).
+    slots: Vec<Addr>,
+    cfg: SmrConfig,
+    threads: usize,
+}
+
+/// Per-thread hazard-eras state.
+pub struct HeTls {
+    tid: usize,
+    alloc_count: u64,
+    /// Host-side mirror of published slot eras.
+    published: Vec<u64>,
+    retired: Vec<Retired>,
+    retires_since_scan: u64,
+}
+
+impl He {
+    /// Build the scheme, allocating metadata.
+    pub fn new(machine: &Machine, threads: usize, cfg: SmrConfig) -> Self {
+        assert!(cfg.slots_per_thread <= mcsim::WORDS_PER_LINE as usize);
+        Self {
+            clock: EraClock::new(machine),
+            slots: per_thread_lines(machine, threads, 0),
+            cfg,
+            threads,
+        }
+    }
+
+    fn slot_addr(&self, tid: usize, slot: usize) -> Addr {
+        debug_assert!(slot < self.cfg.slots_per_thread);
+        self.slots[tid].word(slot as u64)
+    }
+
+    fn scan(&self, ctx: &mut Ctx, tls: &mut HeTls) {
+        // Snapshot every published era.
+        let mut eras: Vec<u64> = Vec::with_capacity(self.threads * self.cfg.slots_per_thread);
+        for t in 0..self.threads {
+            for s in 0..self.cfg.slots_per_thread {
+                let e = ctx.read(self.slots[t].word(s as u64));
+                if e != 0 {
+                    eras.push(e);
+                }
+            }
+        }
+        let mut i = 0;
+        while i < tls.retired.len() {
+            ctx.tick(1);
+            let r = tls.retired[i];
+            if eras.iter().any(|&e| r.birth <= e && e <= r.retire) {
+                i += 1;
+            } else {
+                tls.retired.swap_remove(i);
+                ctx.free(r.addr);
+            }
+        }
+    }
+}
+
+impl Smr for He {
+    type Tls = HeTls;
+
+    fn register(&self, tid: usize) -> HeTls {
+        HeTls {
+            tid,
+            alloc_count: 0,
+            published: vec![0; self.cfg.slots_per_thread],
+            retired: Vec::new(),
+            retires_since_scan: 0,
+        }
+    }
+
+    #[inline]
+    fn begin_op(&self, _ctx: &mut Ctx, _tls: &mut Self::Tls) {}
+
+    fn end_op(&self, ctx: &mut Ctx, tls: &mut Self::Tls) {
+        for s in 0..self.cfg.slots_per_thread {
+            if tls.published[s] != 0 {
+                ctx.write(self.slot_addr(tls.tid, s), 0);
+                tls.published[s] = 0;
+            }
+        }
+    }
+
+    /// The hazard-era protect loop: publish the era (if the slot doesn't
+    /// already hold it), fence, read the pointer, confirm era stability.
+    fn read_ptr(&self, ctx: &mut Ctx, tls: &mut Self::Tls, slot: usize, field: Addr) -> u64 {
+        let mut e = self.clock.read(ctx);
+        loop {
+            if tls.published[slot] != e {
+                ctx.write(self.slot_addr(tls.tid, slot), e);
+                ctx.fence();
+                tls.published[slot] = e;
+            }
+            let v = ctx.read(field);
+            let e2 = self.clock.read(ctx);
+            if e2 == e {
+                return v;
+            }
+            e = e2;
+        }
+    }
+
+    fn clear_slot(&self, ctx: &mut Ctx, tls: &mut Self::Tls, slot: usize) {
+        if tls.published[slot] != 0 {
+            ctx.write(self.slot_addr(tls.tid, slot), 0);
+            tls.published[slot] = 0;
+        }
+    }
+
+    /// Stamp birth era and drive the era clock.
+    fn on_alloc(&self, ctx: &mut Ctx, tls: &mut Self::Tls, node: Addr) {
+        self.clock
+            .on_alloc(ctx, &mut tls.alloc_count, self.cfg.epoch_freq);
+        let e = self.clock.read(ctx);
+        ctx.write(node.word(NODE_BIRTH_WORD), e);
+    }
+
+    fn retire(&self, ctx: &mut Ctx, tls: &mut Self::Tls, node: Addr) {
+        let birth = ctx.read(node.word(NODE_BIRTH_WORD));
+        let stamp = self.clock.read(ctx);
+        tls.retired.push(Retired {
+            addr: node,
+            birth,
+            retire: stamp,
+        });
+        tls.retires_since_scan += 1;
+        if tls.retires_since_scan >= self.cfg.reclaim_freq {
+            tls.retires_since_scan = 0;
+            self.scan(ctx, tls);
+        }
+    }
+
+    fn needs_validation(&self) -> bool {
+        true
+    }
+
+    fn name(&self) -> &'static str {
+        "he"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcsim::MachineConfig;
+
+    fn machine(cores: usize) -> Machine {
+        Machine::new(MachineConfig {
+            cores,
+            mem_bytes: 1 << 20,
+            static_lines: 128,
+            quantum: 0,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn era_slot_blocks_interval() {
+        let m = machine(2);
+        let cfg = SmrConfig {
+            reclaim_freq: 1,
+            epoch_freq: 1, // every alloc bumps the era
+            ..Default::default()
+        };
+        let s = He::new(&m, 2, cfg);
+        let mailbox = m.alloc_static(1);
+        let done = m.alloc_static(1);
+        m.run_on(2, |tid, ctx| {
+            let mut tls = s.register(tid);
+            if tid == 1 {
+                let mut p = 0;
+                while p == 0 {
+                    p = s.read_ptr(ctx, &mut tls, 0, mailbox);
+                    ctx.tick(1);
+                }
+                while ctx.read(done) == 0 {
+                    let _ = ctx.read(Addr(p));
+                    ctx.tick(10);
+                }
+                s.end_op(ctx, &mut tls);
+                return;
+            }
+            let first = ctx.alloc();
+            s.on_alloc(ctx, &mut tls, first);
+            ctx.write(first, 7);
+            ctx.write(mailbox, first.0);
+            while ctx.read(s.slot_addr(1, 0)) == 0 {
+                ctx.tick(1);
+            }
+            s.retire(ctx, &mut tls, first); // era-protected: must survive
+            for _ in 0..30 {
+                let n = ctx.alloc();
+                s.on_alloc(ctx, &mut tls, n);
+                ctx.write(n, 1);
+                s.retire(ctx, &mut tls, n);
+            }
+            ctx.write(done, 1);
+        });
+        // The protected node's interval contains the reader's published era;
+        // later nodes' intervals lie entirely above it and are freed.
+        let live = m.stats().allocated_not_freed;
+        assert!(
+            (1..=3).contains(&live),
+            "era-protected node must survive, churn must not: got {live}"
+        );
+        m.check_invariants();
+    }
+
+    #[test]
+    fn stable_era_skips_fences() {
+        // With a huge epoch_freq the era never moves: after the first
+        // publish, further protected reads cost no store and no fence.
+        let m = machine(1);
+        let s = He::new(&m, 1, SmrConfig {
+            epoch_freq: 1_000_000,
+            ..Default::default()
+        });
+        let mailbox = m.alloc_static(1);
+        m.run_on(1, |_, ctx| {
+            let mut tls = s.register(0);
+            let n = ctx.alloc();
+            s.on_alloc(ctx, &mut tls, n);
+            ctx.write(mailbox, n.0);
+            for _ in 0..10 {
+                let _ = s.read_ptr(ctx, &mut tls, 0, mailbox);
+            }
+        });
+        assert_eq!(
+            m.stats().sum(|c| c.fences),
+            1,
+            "one fence on first publish, zero while the era is stable"
+        );
+    }
+
+    #[test]
+    fn moving_era_republishes() {
+        let m = machine(1);
+        let s = He::new(&m, 1, SmrConfig {
+            epoch_freq: 1,
+            ..Default::default()
+        });
+        let mailbox = m.alloc_static(1);
+        m.run_on(1, |_, ctx| {
+            let mut tls = s.register(0);
+            for _ in 0..5 {
+                let n = ctx.alloc();
+                s.on_alloc(ctx, &mut tls, n); // bumps era every time
+                let _ = s.read_ptr(ctx, &mut tls, 0, mailbox);
+            }
+        });
+        assert!(
+            m.stats().sum(|c| c.fences) >= 5,
+            "era movement must force republishes"
+        );
+    }
+}

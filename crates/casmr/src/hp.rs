@@ -1,0 +1,277 @@
+//! Hazard pointers (`hp` — Michael, TPDS'04).
+//!
+//! Each thread owns K hazard slots in simulated shared memory. Protecting a
+//! node publishes its address (store) and **fences**, then re-reads the
+//! source field to confirm the pointer still leads there; reclamation scans
+//! every thread's slots and frees only unprotected retired nodes.
+//!
+//! The per-read store+fence is the canonical "high per-read overhead" of the
+//! paper's §V — hp pays it for *every node visited* during a traversal,
+//! which is why it sits at the bottom of every throughput figure.
+//!
+//! hp (like he) also requires traversals to validate reachability after
+//! protecting ([`Smr::needs_validation`] = true): a hazard does not protect
+//! a node that was already retired before the hazard became visible, so the
+//! data structure must confirm the node was still reachable afterwards
+//! (in the lazy list: source node unmarked) and restart otherwise.
+
+use std::collections::HashSet;
+
+use mcsim::machine::Ctx;
+use mcsim::{Addr, Machine};
+
+use crate::api::{per_thread_lines, Retired, Smr, SmrConfig};
+
+/// Hazard-pointer scheme state.
+pub struct Hp {
+    /// Per-thread hazard lines: words `0..K` hold protected addresses (0 =
+    /// empty).
+    slots: Vec<Addr>,
+    cfg: SmrConfig,
+    threads: usize,
+}
+
+/// Per-thread hazard-pointer state.
+pub struct HpTls {
+    tid: usize,
+    /// Host-side mirror of the published slots (skip redundant publishes).
+    published: Vec<u64>,
+    retired: Vec<Retired>,
+    retires_since_scan: u64,
+    /// Workhorse set reused by scans.
+    hazard_set: HashSet<u64>,
+}
+
+impl Hp {
+    /// Build the scheme, allocating one hazard line per thread.
+    pub fn new(machine: &Machine, threads: usize, cfg: SmrConfig) -> Self {
+        assert!(
+            cfg.slots_per_thread <= mcsim::WORDS_PER_LINE as usize,
+            "hazard slots must fit the thread's line"
+        );
+        Self {
+            slots: per_thread_lines(machine, threads, 0),
+            cfg,
+            threads,
+        }
+    }
+
+    fn slot_addr(&self, tid: usize, slot: usize) -> Addr {
+        debug_assert!(slot < self.cfg.slots_per_thread);
+        self.slots[tid].word(slot as u64)
+    }
+
+    fn scan(&self, ctx: &mut Ctx, tls: &mut HpTls) {
+        // Collect every published hazard (simulated loads of all threads'
+        // hazard lines — N*K shared reads, the scan cost the paper charges
+        // hp with).
+        tls.hazard_set.clear();
+        for t in 0..self.threads {
+            for s in 0..self.cfg.slots_per_thread {
+                let h = ctx.read(self.slots[t].word(s as u64));
+                if h != 0 {
+                    tls.hazard_set.insert(h);
+                }
+            }
+        }
+        let mut i = 0;
+        while i < tls.retired.len() {
+            ctx.tick(1);
+            if tls.hazard_set.contains(&tls.retired[i].addr.0) {
+                i += 1;
+            } else {
+                let r = tls.retired.swap_remove(i);
+                ctx.free(r.addr);
+            }
+        }
+    }
+}
+
+impl Smr for Hp {
+    type Tls = HpTls;
+
+    fn register(&self, tid: usize) -> HpTls {
+        HpTls {
+            tid,
+            published: vec![0; self.cfg.slots_per_thread],
+            retired: Vec::new(),
+            retires_since_scan: 0,
+            hazard_set: HashSet::new(),
+        }
+    }
+
+    #[inline]
+    fn begin_op(&self, _ctx: &mut Ctx, _tls: &mut Self::Tls) {}
+
+    /// Clear the slots that were used this operation.
+    fn end_op(&self, ctx: &mut Ctx, tls: &mut Self::Tls) {
+        for s in 0..self.cfg.slots_per_thread {
+            if tls.published[s] != 0 {
+                ctx.write(self.slot_addr(tls.tid, s), 0);
+                tls.published[s] = 0;
+            }
+        }
+    }
+
+    /// Michael's protect loop: publish, fence, re-read the source field;
+    /// retry until the field still names the protected node.
+    fn read_ptr(&self, ctx: &mut Ctx, tls: &mut Self::Tls, slot: usize, field: Addr) -> u64 {
+        loop {
+            let v = ctx.read(field);
+            if v == 0 {
+                return 0; // null needs no protection
+            }
+            if tls.published[slot] != v {
+                ctx.write(self.slot_addr(tls.tid, slot), v);
+                ctx.fence();
+                tls.published[slot] = v;
+            }
+            let v2 = ctx.read(field);
+            if v2 == v {
+                return v;
+            }
+        }
+    }
+
+    fn clear_slot(&self, ctx: &mut Ctx, tls: &mut Self::Tls, slot: usize) {
+        if tls.published[slot] != 0 {
+            ctx.write(self.slot_addr(tls.tid, slot), 0);
+            tls.published[slot] = 0;
+        }
+    }
+
+    #[inline]
+    fn on_alloc(&self, _ctx: &mut Ctx, _tls: &mut Self::Tls, _node: Addr) {}
+
+    fn retire(&self, ctx: &mut Ctx, tls: &mut Self::Tls, node: Addr) {
+        tls.retired.push(Retired {
+            addr: node,
+            birth: 0,
+            retire: 0,
+        });
+        tls.retires_since_scan += 1;
+        if tls.retires_since_scan >= self.cfg.reclaim_freq {
+            tls.retires_since_scan = 0;
+            self.scan(ctx, tls);
+        }
+    }
+
+    fn needs_validation(&self) -> bool {
+        true
+    }
+
+    fn name(&self) -> &'static str {
+        "hp"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcsim::MachineConfig;
+
+    fn machine(cores: usize) -> Machine {
+        Machine::new(MachineConfig {
+            cores,
+            mem_bytes: 1 << 20,
+            static_lines: 128,
+            quantum: 0,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn hazard_blocks_free_bounded_backlog() {
+        // Thread 1 protects one node forever; thread 0 retires many. Only
+        // the protected one may survive thread 0's scans (plus the ones not
+        // yet scanned).
+        let m = machine(2);
+        let cfg = SmrConfig {
+            reclaim_freq: 1,
+            ..Default::default()
+        };
+        let s = Hp::new(&m, 2, cfg);
+        let mailbox = m.alloc_static(1);
+        let done = m.alloc_static(1);
+        m.run_on(2, |tid, ctx| {
+            let mut tls = s.register(tid);
+            if tid == 1 {
+                // Wait for a node to appear, protect it, hold.
+                let mut p = 0;
+                while p == 0 {
+                    p = s.read_ptr(ctx, &mut tls, 0, mailbox);
+                    ctx.tick(1);
+                }
+                while ctx.read(done) == 0 {
+                    let _ = ctx.read(Addr(p)); // must stay valid
+                    ctx.tick(10);
+                }
+                s.end_op(ctx, &mut tls);
+                return;
+            }
+            // Publish the first node, then churn and retire others.
+            let first = ctx.alloc();
+            ctx.write(first, 7);
+            ctx.write(mailbox, first.0);
+            // Wait until the reader has protected it.
+            while ctx.read(s.slot_addr(1, 0)) != first.0 {
+                ctx.tick(1);
+            }
+            s.retire(ctx, &mut tls, first); // protected: must survive
+            for _ in 0..30 {
+                let n = ctx.alloc();
+                ctx.write(n, 1);
+                s.retire(ctx, &mut tls, n); // unprotected: freed by scans
+            }
+            ctx.write(done, 1);
+        });
+        let live = m.stats().allocated_not_freed;
+        assert!(
+            (1..=3).contains(&live),
+            "exactly the hazard-protected node (± scan lag) survives, got {live}"
+        );
+    }
+
+    #[test]
+    fn protect_republish_loop_validates_source() {
+        // If the field changes between publish and re-read, read_ptr must
+        // loop and return the *new* value with protection.
+        let m = machine(1);
+        let s = Hp::new(&m, 1, SmrConfig::default());
+        let mailbox = m.alloc_static(1);
+        m.run_on(1, |_, ctx| {
+            let mut tls = s.register(0);
+            let n = ctx.alloc();
+            ctx.write(mailbox, n.0);
+            let got = s.read_ptr(ctx, &mut tls, 0, mailbox);
+            assert_eq!(got, n.0);
+            // The hazard is published in simulated memory.
+            assert_eq!(ctx.read(s.slot_addr(0, 0)), n.0);
+            s.end_op(ctx, &mut tls);
+            assert_eq!(ctx.read(s.slot_addr(0, 0)), 0);
+        });
+    }
+
+    #[test]
+    fn fence_per_new_protection() {
+        let m = machine(1);
+        let s = Hp::new(&m, 1, SmrConfig::default());
+        let boxes: Vec<Addr> = (0..4).map(|_| m.alloc_static(1)).collect();
+        m.run_on(1, |_, ctx| {
+            let mut tls = s.register(0);
+            for (i, b) in boxes.iter().enumerate() {
+                let n = ctx.alloc();
+                ctx.write(*b, n.0);
+                // Each protection of a *new* value costs one fence.
+                let _ = s.read_ptr(ctx, &mut tls, i % 2, *b);
+            }
+        });
+        assert_eq!(m.stats().sum(|c| c.fences), 4, "one fence per protected read");
+    }
+
+    #[test]
+    fn needs_validation_flag() {
+        let m = machine(1);
+        assert!(Hp::new(&m, 1, SmrConfig::default()).needs_validation());
+    }
+}

@@ -1,0 +1,86 @@
+//! The `none` baseline: no reclamation at all.
+//!
+//! Retired nodes are simply leaked. This is the performance ceiling used
+//! throughout the paper's figures (no per-read cost, no per-op cost, no
+//! reclamation work) — and the memory-footprint *floor* of usefulness: in
+//! Figure 3 its allocated-not-freed count grows without bound.
+
+use mcsim::machine::Ctx;
+use mcsim::Addr;
+
+use crate::api::Smr;
+
+/// The leaking non-scheme.
+pub struct Leaky;
+
+impl Leaky {
+    /// Build (nothing to allocate).
+    pub fn new() -> Self {
+        Leaky
+    }
+}
+
+impl Default for Leaky {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Smr for Leaky {
+    type Tls = ();
+
+    fn register(&self, _tid: usize) -> Self::Tls {}
+
+    #[inline]
+    fn begin_op(&self, _ctx: &mut Ctx, _tls: &mut Self::Tls) {}
+
+    #[inline]
+    fn end_op(&self, _ctx: &mut Ctx, _tls: &mut Self::Tls) {}
+
+    #[inline]
+    fn read_ptr(&self, ctx: &mut Ctx, _tls: &mut Self::Tls, _slot: usize, field: Addr) -> u64 {
+        ctx.read(field)
+    }
+
+    #[inline]
+    fn on_alloc(&self, _ctx: &mut Ctx, _tls: &mut Self::Tls, _node: Addr) {}
+
+    #[inline]
+    fn retire(&self, _ctx: &mut Ctx, _tls: &mut Self::Tls, _node: Addr) {
+        // Leak: never freed. The footprint counter keeps growing, which is
+        // exactly what Figure 3 shows for `none`.
+    }
+
+    fn name(&self) -> &'static str {
+        "none"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcsim::{Machine, MachineConfig};
+
+    #[test]
+    fn leaks_forever() {
+        let m = Machine::new(MachineConfig {
+            cores: 1,
+            mem_bytes: 1 << 20,
+            static_lines: 64,
+            ..Default::default()
+        });
+        let s = Leaky::new();
+        m.run_on(1, |_, ctx| {
+            s.register(0);
+            for _ in 0..10 {
+                s.begin_op(ctx, &mut ());
+                let n = ctx.alloc();
+                s.on_alloc(ctx, &mut (), n);
+                ctx.write(n, 1);
+                s.retire(ctx, &mut (), n);
+                s.end_op(ctx, &mut ());
+            }
+        });
+        assert_eq!(m.stats().allocated_not_freed, 10, "nothing is ever freed");
+    }
+}

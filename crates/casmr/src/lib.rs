@@ -1,0 +1,112 @@
+//! # casmr — baseline safe-memory-reclamation schemes
+//!
+//! The six reclamation baselines the paper benchmarks Conditional Access
+//! against (§V), implemented from scratch over the `mcsim` simulator:
+//!
+//! | scheme | per-read cost | per-op cost | bound on garbage |
+//! |---|---|---|---|
+//! | [`Leaky`] (`none`) | — | — | unbounded (leaks) |
+//! | [`Qsbr`] | — | load+store | unbounded (stalled thread) |
+//! | [`Rcu`] (EBR) | — | 2 stores + fence | unbounded (stalled reader) |
+//! | [`Ibr`] (2GE-IBR) | era check (+ fence on change) | 2 stores + fence | bounded |
+//! | [`Hp`] | store + fence + revalidate | slot clears | bounded |
+//! | [`He`] | era check (+ fence on change) + revalidate | slot clears | bounded |
+//!
+//! All cross-thread metadata (epochs, reservations, hazard slots) lives in
+//! **simulated shared memory**, so the fence and coherence costs that drive
+//! the paper's figures are modeled, not assumed.
+//!
+//! Conditional Access itself needs no scheme object: CA data structures free
+//! immediately (see the `cads` crate). [`SchemeKind`] enumerates all seven
+//! configurations for the experiment harness.
+
+pub mod api;
+pub mod he;
+pub mod hp;
+pub mod ibr;
+pub mod leaky;
+pub mod qsbr;
+pub mod rcu;
+
+pub use api::{Retired, Smr, SmrConfig, INACTIVE, NODE_BIRTH_WORD};
+pub use he::He;
+pub use hp::Hp;
+pub use ibr::Ibr;
+pub use leaky::Leaky;
+pub use qsbr::Qsbr;
+pub use rcu::Rcu;
+
+/// The seven reclamation configurations of the paper's evaluation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum SchemeKind {
+    /// Leak everything (`none`).
+    None,
+    /// Conditional Access: immediate reclamation inside the data structure.
+    Ca,
+    /// Interval-based reclamation (2GE-IBR).
+    Ibr,
+    /// Epoch-based read-side critical sections.
+    Rcu,
+    /// Quiescent-state-based reclamation.
+    Qsbr,
+    /// Hazard pointers.
+    Hp,
+    /// Hazard eras.
+    He,
+}
+
+impl SchemeKind {
+    /// All schemes, in the order the paper's legends list them.
+    pub const ALL: [SchemeKind; 7] = [
+        SchemeKind::None,
+        SchemeKind::Ca,
+        SchemeKind::Ibr,
+        SchemeKind::Rcu,
+        SchemeKind::Qsbr,
+        SchemeKind::Hp,
+        SchemeKind::He,
+    ];
+
+    /// Figure-legend name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchemeKind::None => "none",
+            SchemeKind::Ca => "ca",
+            SchemeKind::Ibr => "ibr",
+            SchemeKind::Rcu => "rcu",
+            SchemeKind::Qsbr => "qsbr",
+            SchemeKind::Hp => "hp",
+            SchemeKind::He => "he",
+        }
+    }
+
+    /// Parse a legend name.
+    pub fn parse(s: &str) -> Option<SchemeKind> {
+        Self::ALL.into_iter().find(|k| k.name() == s)
+    }
+}
+
+impl std::fmt::Display for SchemeKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheme_kind_roundtrip() {
+        for k in SchemeKind::ALL {
+            assert_eq!(SchemeKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(SchemeKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn scheme_names_match_paper_legends() {
+        let names: Vec<_> = SchemeKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names, ["none", "ca", "ibr", "rcu", "qsbr", "hp", "he"]);
+    }
+}

@@ -1,0 +1,823 @@
+//! The simulated machine: configuration, thread execution, and the per-core
+//! [`Ctx`] handle through which simulated programs touch memory.
+//!
+//! A [`Machine`] owns the coherence hub, the allocator and the scheduler.
+//! [`Machine::run`] executes one closure per simulated core on real OS
+//! threads; every memory event is serialized and deterministically ordered
+//! by the min-clock scheduler (see [`crate::sched`]).
+//!
+//! A machine can be `run` multiple times (e.g. a single-core prefill run
+//! followed by [`Machine::reset_timing`] and a measured multi-core run);
+//! memory, cache and allocator state persist across runs.
+
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::addr::{Addr, CoreId};
+use crate::alloc::{Allocator, Fault, UafMode};
+use crate::coherence::{CacheConfig, CoherenceHub};
+use crate::latency::LatencyModel;
+use crate::sched::{Sched, NO_TURN};
+use crate::stats::MachineStats;
+
+/// Machine configuration.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Number of simulated hardware threads (one workload thread runs on
+    /// each). With `smt == 1` (the default, and the paper's configuration)
+    /// this is also the number of physical cores.
+    pub cores: usize,
+    /// Hardware threads per physical core (1 = no SMT). With `smt == 2`,
+    /// threads {0,1} share core 0's L1 (with per-hyperthread tag bits and
+    /// ARBs, paper §III), threads {2,3} share core 1's, and so on. `cores`
+    /// must be a multiple of `smt`.
+    pub smt: usize,
+    /// Cache hierarchy geometry.
+    pub cache: CacheConfig,
+    /// Cycle-cost model.
+    pub latency: LatencyModel,
+    /// Simulated physical memory size in bytes.
+    pub mem_bytes: u64,
+    /// Lines reserved for static allocations (list heads, SMR metadata).
+    pub static_lines: u64,
+    /// Scheduler lookahead quantum in cycles (0 = exact min-clock order).
+    pub quantum: u64,
+    /// If set, sample `allocated_not_freed` every N completed operations
+    /// (the paper's Figure 3 instrumentation).
+    pub sample_every: Option<u64>,
+    /// Use-after-free detector policy.
+    pub uaf_mode: UafMode,
+    /// Optional OS-preemption model (paper §III: a context switch sets the
+    /// ARB — the kernel cannot track invalidations for switched-out
+    /// threads). `Some((interval, cost))` preempts each core every
+    /// `interval` cycles of its local clock, charging `cost` cycles.
+    pub ctx_switch: Option<(u64, u64)>,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self {
+            cores: 8,
+            smt: 1,
+            cache: CacheConfig::default(),
+            latency: LatencyModel::default(),
+            mem_bytes: 64 << 20,
+            static_lines: 4096,
+            quantum: 64,
+            sample_every: None,
+            uaf_mode: UafMode::Panic,
+            ctx_switch: None,
+        }
+    }
+}
+
+impl MachineConfig {
+    /// The paper's Graphite configuration with `cores` cores.
+    pub fn paper(cores: usize) -> Self {
+        Self {
+            cores,
+            ..Self::default()
+        }
+    }
+
+    /// The paper configuration with 2-way SMT: `threads` hardware threads
+    /// packed two per physical core (paper §III's hyperthreading rules).
+    pub fn paper_smt2(threads: usize) -> Self {
+        Self {
+            cores: threads,
+            smt: 2,
+            ..Self::default()
+        }
+    }
+}
+
+/// A sample of the allocation footprint: (completed ops, allocated-not-freed).
+pub type FootprintSample = (u64, u64);
+
+/// A boxed per-core program, as passed to [`Machine::run`].
+pub type CoreFn<'env, R> = Box<dyn FnOnce(&mut Ctx) -> R + Send + 'env>;
+
+pub(crate) struct SimState {
+    pub hub: CoherenceHub,
+    pub alloc: Allocator,
+    pub sched: Sched,
+    pub global_ops: u64,
+    pub sample_every: Option<u64>,
+    pub next_sample_at: u64,
+    pub samples: Vec<FootprintSample>,
+    /// OS-preemption model: (interval, cost) and each core's next deadline.
+    pub ctx_switch: Option<(u64, u64)>,
+    pub next_preempt: Vec<u64>,
+}
+
+struct Shared {
+    state: Mutex<SimState>,
+    /// One condvar per core; a core waits on its own when it lacks the turn.
+    cvs: Vec<Condvar>,
+}
+
+/// The simulated multicore machine.
+pub struct Machine {
+    shared: Arc<Shared>,
+    cfg: MachineConfig,
+}
+
+impl Machine {
+    /// Build a machine.
+    pub fn new(cfg: MachineConfig) -> Self {
+        let hub = CoherenceHub::new(
+            cfg.cores,
+            cfg.smt,
+            &cfg.cache,
+            cfg.latency.clone(),
+            cfg.mem_bytes,
+        );
+        let mut alloc = Allocator::new(cfg.cores, cfg.mem_bytes, cfg.static_lines);
+        alloc.uaf_mode = cfg.uaf_mode;
+        let state = SimState {
+            hub,
+            alloc,
+            sched: Sched::new(cfg.cores, cfg.quantum),
+            global_ops: 0,
+            sample_every: cfg.sample_every,
+            next_sample_at: cfg.sample_every.unwrap_or(0),
+            samples: Vec::new(),
+            ctx_switch: cfg.ctx_switch,
+            next_preempt: vec![cfg.ctx_switch.map_or(u64::MAX, |(i, _)| i); cfg.cores],
+        };
+        Self {
+            shared: Arc::new(Shared {
+                state: Mutex::new(state),
+                cvs: (0..cfg.cores).map(|_| Condvar::new()).collect(),
+            }),
+            cfg,
+        }
+    }
+
+    /// The configuration this machine was built with.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Allocate `lines` consecutive static cache lines (zero-initialized).
+    /// Call between runs, not during one.
+    pub fn alloc_static(&self, lines: u64) -> Addr {
+        self.shared.state.lock().alloc.alloc_static(lines)
+    }
+
+    /// Run one closure per core, on cores `0..fns.len()`. Blocks until every
+    /// simulated thread finishes and returns their outputs in core order.
+    ///
+    /// If a closure panics (including the use-after-free detector firing),
+    /// its core is retired first — so the other simulated threads keep being
+    /// scheduled — and the panic then propagates out of `run`.
+    pub fn run<'env, R: Send + 'env>(
+        &'env self,
+        fns: Vec<CoreFn<'env, R>>,
+    ) -> Vec<R> {
+        let n = fns.len();
+        assert!(
+            n >= 1 && n <= self.cfg.cores,
+            "need 1..={} closures, got {n}",
+            self.cfg.cores
+        );
+        self.shared.state.lock().sched.start_run(n);
+        let shared = &self.shared;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = fns
+                .into_iter()
+                .enumerate()
+                .map(|(core, f)| {
+                    scope.spawn(move || {
+                        let mut ctx = Ctx {
+                            core,
+                            shared,
+                            pending_ticks: 0,
+                        };
+                        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                            || f(&mut ctx),
+                        ));
+                        // Retire even on panic, so the other simulated
+                        // threads are not left waiting for a dead core.
+                        ctx.retire();
+                        match out {
+                            Ok(r) => r,
+                            Err(e) => std::panic::resume_unwind(e),
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(r) => r,
+                    Err(e) => std::panic::resume_unwind(e),
+                })
+                .collect()
+        })
+    }
+
+    /// Convenience: run the same closure on `n` cores; the closure receives
+    /// the core id.
+    pub fn run_on<R: Send>(&self, n: usize, f: impl Fn(usize, &mut Ctx) -> R + Sync) -> Vec<R> {
+        let f = &f;
+        self.run(
+            (0..n)
+                .map(|i| {
+                    Box::new(move |ctx: &mut Ctx| f(i, ctx))
+                        as Box<dyn FnOnce(&mut Ctx) -> R + Send + '_>
+                })
+                .collect(),
+        )
+    }
+
+    /// Zero clocks, statistics, the op counter and footprint samples.
+    /// Memory, cache contents and allocator state persist (warm start).
+    pub fn reset_timing(&self) {
+        let mut st = self.shared.state.lock();
+        st.sched.reset_clocks();
+        st.hub.stats.reset();
+        st.global_ops = 0;
+        st.samples.clear();
+        st.next_sample_at = st.sample_every.unwrap_or(0);
+        let interval = st.ctx_switch.map_or(u64::MAX, |(i, _)| i);
+        st.next_preempt.fill(interval);
+    }
+
+    /// Snapshot machine statistics.
+    pub fn stats(&self) -> MachineStats {
+        let st = self.shared.state.lock();
+        let mut cores = st.hub.stats.cores.clone();
+        for (c, s) in cores.iter_mut().enumerate() {
+            s.cycles = st.sched.clocks[c];
+        }
+        MachineStats {
+            cores,
+            allocated_not_freed: st.alloc.allocated_not_freed,
+            peak_allocated: st.alloc.peak,
+            total_ops: st.global_ops,
+            max_cycles: st.sched.max_clock(),
+        }
+    }
+
+    /// Footprint samples collected so far (Figure 3 series).
+    pub fn footprint_samples(&self) -> Vec<FootprintSample> {
+        self.shared.state.lock().samples.clone()
+    }
+
+    /// Faults recorded in [`UafMode::Record`] mode.
+    pub fn faults(&self) -> Vec<Fault> {
+        self.shared.state.lock().alloc.faults.clone()
+    }
+
+    /// Host-side read of simulated memory (no timing, no coherence). For
+    /// checkers walking final data-structure state.
+    pub fn host_read(&self, a: Addr) -> u64 {
+        self.shared.state.lock().hub.host_read(a)
+    }
+
+    /// Host-side write (test setup only; bypasses coherence).
+    pub fn host_write(&self, a: Addr, v: u64) {
+        self.shared.state.lock().hub.host_write(a, v)
+    }
+
+    /// Run the coherence invariant checker (panics on violation).
+    pub fn check_invariants(&self) {
+        self.shared.state.lock().hub.check_invariants();
+    }
+
+    /// Introspect a core's ARB (tests only; programs must use cread/cwrite
+    /// failure results instead).
+    pub fn probe_arb(&self, c: CoreId) -> bool {
+        self.shared.state.lock().hub.arb(c)
+    }
+
+    /// Lines currently tagged by hardware thread `c` (tests only).
+    pub fn probe_tagged_lines(&self, c: CoreId) -> Vec<crate::addr::Line> {
+        let st = self.shared.state.lock();
+        let pcore = st.hub.pc(c);
+        st.hub.l1s[pcore].tagged_lines(c % self.cfg.smt)
+    }
+}
+
+/// Per-core handle used by simulated programs to touch the machine.
+///
+/// All methods charge simulated cycles and participate in the deterministic
+/// schedule. The `cread`/`cwrite`/`untag*` primitives are re-exported with
+/// their paper semantics by the `cacore` crate; prefer that API in
+/// data-structure code.
+pub struct Ctx<'m> {
+    core: CoreId,
+    shared: &'m Shared,
+    pending_ticks: u64,
+}
+
+impl<'m> Ctx<'m> {
+    /// This simulated core's id.
+    #[inline]
+    pub fn core(&self) -> CoreId {
+        self.core
+    }
+
+    /// Charge `cycles` of local computation (no scheduling point; the cost
+    /// is folded into the next memory event).
+    #[inline]
+    pub fn tick(&mut self, cycles: u64) {
+        self.pending_ticks += cycles;
+    }
+
+    /// Execute one memory event under the turn. `f` returns (output, cost).
+    fn event<T>(&mut self, f: impl FnOnce(&mut SimState, CoreId) -> (T, u64)) -> T {
+        let c = self.core;
+        let mut st = self.shared.state.lock();
+        while st.sched.turn != c {
+            self.shared.cvs[c].wait(&mut st);
+        }
+        st.sched.clocks[c] += std::mem::take(&mut self.pending_ticks);
+        let (out, cost) = f(&mut st, c);
+        st.sched.clocks[c] += cost;
+        // OS-preemption model: deadline-driven, hence deterministic.
+        if let Some((interval, switch_cost)) = st.ctx_switch {
+            if st.sched.clocks[c] >= st.next_preempt[c] {
+                st.hub.preempt(c);
+                st.sched.clocks[c] += switch_cost;
+                while st.next_preempt[c] <= st.sched.clocks[c] {
+                    st.next_preempt[c] += interval;
+                }
+            }
+        }
+        if let Some(next) = st.sched.after_event(c) {
+            self.shared.cvs[next].notify_one();
+        }
+        out
+    }
+
+    fn retire(&mut self) {
+        let c = self.core;
+        let mut st = self.shared.state.lock();
+        while st.sched.turn != c {
+            self.shared.cvs[c].wait(&mut st);
+        }
+        st.sched.clocks[c] += std::mem::take(&mut self.pending_ticks);
+        st.hub.stats.core(c).cycles = st.sched.clocks[c];
+        if let Some(next) = st.sched.retire(c) {
+            self.shared.cvs[next].notify_one();
+        }
+        debug_assert!(st.sched.turn != c || st.sched.turn == NO_TURN);
+    }
+
+    // --- architectural operations --------------------------------------
+
+    /// Plain 64-bit load.
+    pub fn read(&mut self, a: Addr) -> u64 {
+        self.event(|st, c| {
+            st.alloc.check_access(c, a, "read");
+            st.hub.read(c, a)
+        })
+    }
+
+    /// Plain 64-bit store.
+    pub fn write(&mut self, a: Addr, v: u64) {
+        self.event(|st, c| {
+            st.alloc.check_access(c, a, "write");
+            ((), st.hub.write(c, a, v))
+        })
+    }
+
+    /// Compare-and-swap: `Ok(expected)` on success, `Err(actual)` otherwise.
+    pub fn cas(&mut self, a: Addr, expected: u64, new: u64) -> Result<u64, u64> {
+        self.event(|st, c| {
+            st.alloc.check_access(c, a, "cas");
+            st.hub.cas(c, a, expected, new)
+        })
+    }
+
+    /// Memory fence.
+    pub fn fence(&mut self) {
+        self.event(|st, c| ((), st.hub.fence(c)));
+    }
+
+    /// `cread`: conditional load (None = failed, CAFAIL set). See paper
+    /// §II-B and `cacore::isa`.
+    pub fn cread(&mut self, a: Addr) -> Option<u64> {
+        self.event(|st, c| {
+            let (v, cost) = st.hub.cread(c, a);
+            if v.is_some() {
+                // The load architecturally happened: validate it.
+                st.alloc.check_access(c, a, "cread");
+            }
+            (v, cost)
+        })
+    }
+
+    /// `cwrite`: conditional store (false = failed, CAFAIL set).
+    pub fn cwrite(&mut self, a: Addr, v: u64) -> bool {
+        self.event(|st, c| {
+            // Check whether the store would actually execute before
+            // validating the target (a failed cwrite touches no memory).
+            let (ok, cost) = st.hub.cwrite(c, a, v);
+            if ok {
+                st.alloc.check_access(c, a, "cwrite");
+            }
+            (ok, cost)
+        })
+    }
+
+    /// `untagOne`.
+    pub fn untag_one(&mut self, a: Addr) {
+        self.event(|st, c| ((), st.hub.untag_one(c, a)));
+    }
+
+    /// `untagAll` (clears the tag set and the ARB).
+    pub fn untag_all(&mut self) {
+        self.event(|st, c| ((), st.hub.untag_all(c)));
+    }
+
+    /// Allocate one node (a 64-byte line). Charges the malloc latency.
+    pub fn alloc(&mut self) -> Addr {
+        self.event(|st, c| {
+            let a = st.alloc.alloc(c);
+            (a, st.hub.lat.malloc)
+        })
+    }
+
+    /// Free one node. Charges the free latency. Traps double frees.
+    pub fn free(&mut self, a: Addr) {
+        self.event(|st, c| {
+            st.alloc.free(c, a);
+            ((), st.hub.lat.free)
+        })
+    }
+
+    // --- HTM comparator (paper §VI) -------------------------------------
+
+    /// Begin a hardware transaction. Panics on nesting; plain memory
+    /// operations are forbidden until `tx_commit`/`tx_abort`.
+    pub fn tx_begin(&mut self) {
+        self.event(|st, c| ((), st.hub.tx_begin(c)));
+    }
+
+    /// Speculative load inside a transaction. `None` means the transaction
+    /// detected a conflict and **has aborted**; restart it.
+    pub fn tx_read(&mut self, a: Addr) -> Option<u64> {
+        self.event(|st, c| {
+            let (v, cost) = st.hub.tx_read(c, a);
+            if v.is_some() {
+                st.alloc.check_access(c, a, "tx_read");
+            }
+            (v, cost)
+        })
+    }
+
+    /// Speculative store inside a transaction (buffered until commit).
+    /// `false` means the transaction has aborted.
+    pub fn tx_write(&mut self, a: Addr, v: u64) -> bool {
+        self.event(|st, c| st.hub.tx_write(c, a, v))
+    }
+
+    /// Attempt to commit. On success all buffered writes become visible
+    /// atomically (and the use-after-free detector validates each target);
+    /// on conflict the transaction is rolled back and `false` is returned.
+    pub fn tx_commit(&mut self) -> bool {
+        self.event(|st, c| {
+            let (writes, abort_cost) = st.hub.tx_commit_begin(c);
+            match writes {
+                None => (false, abort_cost),
+                Some(w) => {
+                    for &(a, _) in &w {
+                        st.alloc.check_access(c, a, "tx_commit");
+                    }
+                    let cost = st.hub.tx_commit_apply(c, &w);
+                    (true, cost)
+                }
+            }
+        })
+    }
+
+    /// Explicitly abort the in-flight transaction (e.g. a version validation
+    /// inside it failed).
+    pub fn tx_abort(&mut self) {
+        self.event(|st, c| ((), st.hub.tx_abort(c)));
+    }
+
+    /// Is a transaction in flight on this hardware thread? (Introspection;
+    /// no cycles are charged.)
+    pub fn tx_active(&mut self) -> bool {
+        let c = self.core;
+        self.shared.state.lock().hub.tx_active(c)
+    }
+
+    /// Record one completed data-structure operation (throughput numerator,
+    /// Figure 3 sampling trigger).
+    pub fn op_completed(&mut self) {
+        self.event(|st, c| {
+            st.hub.stats.core(c).ops += 1;
+            st.global_ops += 1;
+            if let Some(every) = st.sample_every {
+                if st.global_ops >= st.next_sample_at {
+                    let live = st.alloc.allocated_not_freed;
+                    let ops = st.global_ops;
+                    st.samples.push((ops, live));
+                    st.next_sample_at += every;
+                }
+            }
+            ((), 0)
+        })
+    }
+
+    /// This core's current simulated clock (cycles).
+    pub fn now(&mut self) -> u64 {
+        let c = self.core;
+        let pending = self.pending_ticks;
+        let st = self.shared.state.lock();
+        st.sched.clocks[c] + pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Machine {
+        Machine::new(MachineConfig {
+            cores: 4,
+            mem_bytes: 1 << 20,
+            static_lines: 64,
+            quantum: 0,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn single_thread_roundtrip() {
+        let m = small();
+        let a = m.alloc_static(1);
+        let out = m.run_on(1, |_, ctx| {
+            ctx.write(a, 123);
+            ctx.read(a)
+        });
+        assert_eq!(out, vec![123]);
+        assert!(m.stats().max_cycles > 0);
+    }
+
+    #[test]
+    fn two_threads_share_memory() {
+        let m = small();
+        let a = m.alloc_static(1);
+        // Both threads CAS-increment the counter 100 times; the total must
+        // be exactly 200 regardless of interleaving.
+        m.run_on(2, |_, ctx| {
+            for _ in 0..100 {
+                loop {
+                    let cur = ctx.read(a);
+                    if ctx.cas(a, cur, cur + 1).is_ok() {
+                        break;
+                    }
+                }
+            }
+        });
+        assert_eq!(m.host_read(a), 200);
+        m.check_invariants();
+    }
+
+    #[test]
+    fn deterministic_interleaving() {
+        let run = || {
+            let m = small();
+            let a = m.alloc_static(1);
+            m.run_on(3, |i, ctx| {
+                for _ in 0..50 {
+                    loop {
+                        let cur = ctx.read(a);
+                        // Mix in the core id so the final value depends on
+                        // the exact interleaving.
+                        if ctx.cas(a, cur, cur.wrapping_mul(31) + i as u64 + 1).is_ok() {
+                            break;
+                        }
+                    }
+                }
+            });
+            (m.host_read(a), m.stats().max_cycles)
+        };
+        let (v1, c1) = run();
+        let (v2, c2) = run();
+        assert_eq!(v1, v2, "same program must give the same interleaving");
+        assert_eq!(c1, c2, "and the same timing");
+    }
+
+    #[test]
+    fn quantum_changes_interleaving_but_not_safety() {
+        let run = |q: u64| {
+            let m = Machine::new(MachineConfig {
+                cores: 4,
+                mem_bytes: 1 << 20,
+                static_lines: 64,
+                quantum: q,
+                ..Default::default()
+            });
+            let a = m.alloc_static(1);
+            m.run_on(4, |_, ctx| {
+                for _ in 0..50 {
+                    loop {
+                        let cur = ctx.read(a);
+                        if ctx.cas(a, cur, cur + 1).is_ok() {
+                            break;
+                        }
+                    }
+                }
+            });
+            m.host_read(a)
+        };
+        for q in [0, 10, 1000] {
+            assert_eq!(run(q), 200, "quantum {q}");
+        }
+    }
+
+    #[test]
+    fn ticks_accumulate_into_clock() {
+        let m = small();
+        let a = m.alloc_static(1);
+        m.run_on(1, |_, ctx| {
+            ctx.tick(1000);
+            ctx.read(a);
+        });
+        assert!(m.stats().max_cycles >= 1000);
+    }
+
+    #[test]
+    fn reset_timing_preserves_memory() {
+        let m = small();
+        let a = m.alloc_static(1);
+        m.run_on(1, |_, ctx| ctx.write(a, 7));
+        m.reset_timing();
+        assert_eq!(m.host_read(a), 7);
+        assert_eq!(m.stats().max_cycles, 0);
+        let v = m.run_on(1, |_, ctx| ctx.read(a));
+        assert_eq!(v, vec![7]);
+    }
+
+    #[test]
+    fn multiple_runs_allowed() {
+        let m = small();
+        let a = m.alloc_static(1);
+        for i in 0..3 {
+            m.run_on(2, |_, ctx| {
+                let v = ctx.read(a);
+                ctx.write(a, v + 1);
+            });
+            assert!(m.host_read(a) >= i); // at least monotone
+        }
+    }
+
+    #[test]
+    fn alloc_free_through_ctx() {
+        let m = small();
+        let addrs = m.run_on(2, |_, ctx| {
+            let a = ctx.alloc();
+            ctx.write(a, 1);
+            ctx.free(a);
+            let b = ctx.alloc(); // immediate reuse on the same core
+            ctx.write(b, 2);
+            (a, b)
+        });
+        for (a, b) in addrs {
+            assert_eq!(a, b, "LIFO reuse");
+        }
+        assert_eq!(m.stats().allocated_not_freed, 2);
+    }
+
+    #[test]
+    fn op_sampling() {
+        let m = Machine::new(MachineConfig {
+            cores: 2,
+            mem_bytes: 1 << 20,
+            static_lines: 64,
+            sample_every: Some(10),
+            ..Default::default()
+        });
+        m.run_on(2, |_, ctx| {
+            for _ in 0..25 {
+                let a = ctx.alloc();
+                ctx.write(a, 1);
+                ctx.op_completed();
+            }
+        });
+        let samples = m.footprint_samples();
+        assert_eq!(samples.len(), 5, "50 ops / sample_every 10");
+        assert!(samples.windows(2).all(|w| w[0].0 < w[1].0));
+        // Footprint grows: each op leaks one node here.
+        assert!(samples.last().unwrap().1 >= samples.first().unwrap().1);
+    }
+
+    #[test]
+    fn panic_in_one_thread_propagates_and_frees_scheduler() {
+        let m = small();
+        let a = m.alloc_static(1);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            m.run_on(3, |i, ctx| {
+                for _ in 0..10 {
+                    ctx.read(a);
+                }
+                if i == 1 {
+                    panic!("deliberate test panic");
+                }
+                for _ in 0..10 {
+                    ctx.read(a);
+                }
+            });
+        }));
+        assert!(result.is_err(), "panic must propagate out of run()");
+        // The machine is still usable afterwards.
+        let v = m.run_on(2, |_, ctx| ctx.read(a));
+        assert_eq!(v, vec![0, 0]);
+    }
+
+    #[test]
+    fn uaf_detector_fires_through_ctx() {
+        let m = small();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            m.run_on(1, |_, ctx| {
+                let a = ctx.alloc();
+                ctx.write(a, 1);
+                ctx.free(a);
+                ctx.read(a); // use-after-free
+            });
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn context_switch_sets_arb_deterministically() {
+        let mk = || {
+            Machine::new(MachineConfig {
+                cores: 1,
+                mem_bytes: 1 << 20,
+                static_lines: 64,
+                ctx_switch: Some((500, 100)),
+                ..Default::default()
+            })
+        };
+        let m = mk();
+        let a = m.alloc_static(1);
+        let fails = m.run_on(1, |_, ctx| {
+            let mut fails = 0;
+            for _ in 0..200 {
+                if ctx.cread(a).is_none() {
+                    fails += 1;
+                    ctx.untag_all();
+                }
+            }
+            fails
+        });
+        let stats = m.stats();
+        assert!(
+            stats.cores[0].ctx_switches > 0,
+            "preemption must fire on a long run"
+        );
+        assert_eq!(
+            stats.cores[0].revoke_ctx_switch, stats.cores[0].ctx_switches,
+            "every switch revokes (the thread always holds a tag here)"
+        );
+        assert!(fails[0] > 0, "creads after a switch must fail");
+        // Deterministic: same config, same counts.
+        let m2 = mk();
+        let _a2 = m2.alloc_static(1);
+        let fails2 = m2.run_on(1, |_, ctx| {
+            let mut fails = 0;
+            for _ in 0..200 {
+                if ctx.cread(Addr(a.0)).is_none() {
+                    fails += 1;
+                    ctx.untag_all();
+                }
+            }
+            fails
+        });
+        assert_eq!(fails, fails2);
+    }
+
+    #[test]
+    fn no_preemption_by_default() {
+        let m = small();
+        let a = m.alloc_static(1);
+        m.run_on(1, |_, ctx| {
+            for _ in 0..100 {
+                let _ = ctx.read(a);
+            }
+        });
+        assert_eq!(m.stats().sum(|c| c.ctx_switches), 0);
+    }
+
+    #[test]
+    fn cread_cwrite_through_ctx() {
+        let m = small();
+        let a = m.alloc_static(1);
+        let outs = m.run_on(1, |_, ctx| {
+            let v = ctx.cread(a);
+            let ok = ctx.cwrite(a, 9);
+            ctx.untag_all();
+            (v, ok, ctx.read(a))
+        });
+        assert_eq!(outs, vec![(Some(0), true, 9)]);
+    }
+}

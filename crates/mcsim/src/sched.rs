@@ -1,0 +1,215 @@
+//! Conservative min-clock scheduler.
+//!
+//! Simulated threads run on real OS threads, but every memory event is
+//! serialized by a single *turn*: exactly one core may execute events at a
+//! time. The turn owner keeps executing while its local clock is within
+//! `quantum` cycles of the minimum clock of the other active cores, then
+//! hands the turn to the min-clock core (ties broken by core id).
+//!
+//! * `quantum == 0` gives exact min-clock interleaving (finest grain).
+//! * Larger quanta amortize handoffs at the price of bounded clock skew —
+//!   the same trade Graphite's "lax synchronization" makes.
+//!
+//! Because every clock mutation happens while holding the turn, and the
+//! handoff decision is a pure function of the clocks, the interleaving is a
+//! deterministic function of (program, seeds, quantum). The determinism
+//! integration test relies on this.
+
+use crate::addr::CoreId;
+
+/// Sentinel for "no core holds the turn" (all retired).
+pub const NO_TURN: usize = usize::MAX;
+
+/// Scheduler state (owned by the machine, mutated under its lock).
+#[derive(Debug)]
+pub struct Sched {
+    /// Per-core local clocks, in cycles. Persist across runs until
+    /// explicitly reset.
+    pub clocks: Vec<u64>,
+    /// Which cores are currently executing a workload closure.
+    pub active: Vec<bool>,
+    /// Current turn owner, or [`NO_TURN`].
+    pub turn: usize,
+    /// Lookahead quantum in cycles.
+    pub quantum: u64,
+}
+
+impl Sched {
+    pub fn new(cores: usize, quantum: u64) -> Self {
+        Self {
+            clocks: vec![0; cores],
+            active: vec![false; cores],
+            turn: NO_TURN,
+            quantum,
+        }
+    }
+
+    /// Number of active cores.
+    pub fn n_active(&self) -> usize {
+        self.active.iter().filter(|&&a| a).count()
+    }
+
+    /// Min-clock active core other than `me` (ties → lowest id).
+    fn min_other(&self, me: CoreId) -> Option<(CoreId, u64)> {
+        let mut best: Option<(CoreId, u64)> = None;
+        for (i, (&a, &clk)) in self.active.iter().zip(&self.clocks).enumerate() {
+            if a && i != me && best.is_none_or(|(_, b)| clk < b) {
+                best = Some((i, clk));
+            }
+        }
+        best
+    }
+
+    /// Min-clock active core (ties → lowest id).
+    fn min_active(&self) -> Option<CoreId> {
+        self.min_other(NO_TURN).map(|(i, _)| i)
+    }
+
+    /// Activate cores `0..n` for a run. Panics if a previous run left cores
+    /// active. Returns the initial turn owner.
+    pub fn start_run(&mut self, n: usize) -> CoreId {
+        assert_eq!(self.n_active(), 0, "previous run still active");
+        assert!(n >= 1 && n <= self.active.len());
+        for c in 0..n {
+            self.active[c] = true;
+        }
+        self.turn = self.min_active().expect("n >= 1");
+        self.turn
+    }
+
+    /// After `me` (the turn owner) finishes an event, decide whether to keep
+    /// the turn. Returns the core to wake if the turn moves.
+    pub fn after_event(&mut self, me: CoreId) -> Option<CoreId> {
+        debug_assert_eq!(self.turn, me);
+        if let Some((next, min)) = self.min_other(me) {
+            // Keep running while within the lookahead window; the window is
+            // measured from the minimum of the *other* cores.
+            if self.clocks[me] > min.saturating_add(self.quantum) {
+                self.turn = next;
+                return Some(next);
+            }
+        }
+        None
+    }
+
+    /// Retire `me` (must hold the turn). Returns the next turn owner, if any
+    /// core is still active.
+    pub fn retire(&mut self, me: CoreId) -> Option<CoreId> {
+        debug_assert_eq!(self.turn, me);
+        debug_assert!(self.active[me]);
+        self.active[me] = false;
+        match self.min_active() {
+            Some(next) => {
+                self.turn = next;
+                Some(next)
+            }
+            None => {
+                self.turn = NO_TURN;
+                None
+            }
+        }
+    }
+
+    /// Zero all clocks (between the prefill run and the measured run).
+    pub fn reset_clocks(&mut self) {
+        assert_eq!(self.n_active(), 0, "cannot reset clocks mid-run");
+        self.clocks.fill(0);
+    }
+
+    /// The machine's finish time: max clock over all cores.
+    pub fn max_clock(&self) -> u64 {
+        self.clocks.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn start_picks_lowest_id_on_ties() {
+        let mut s = Sched::new(4, 0);
+        assert_eq!(s.start_run(3), 0);
+        assert_eq!(s.n_active(), 3);
+        assert!(!s.active[3]);
+    }
+
+    #[test]
+    fn zero_quantum_alternates_by_clock() {
+        let mut s = Sched::new(2, 0);
+        s.start_run(2);
+        // Core 0 executes an event costing 5.
+        s.clocks[0] += 5;
+        assert_eq!(s.after_event(0), Some(1), "core 1 at 0 is now min");
+        s.clocks[1] += 3;
+        assert_eq!(s.after_event(1), None, "3 <= 5: core 1 is still min, keeps turn");
+        s.clocks[1] += 4;
+        assert_eq!(s.after_event(1), Some(0), "7 > 5: hand back to core 0");
+    }
+
+    #[test]
+    fn turn_kept_while_within_quantum() {
+        let mut s = Sched::new(2, 100);
+        s.start_run(2);
+        s.clocks[0] += 50;
+        assert_eq!(s.after_event(0), None, "50 <= 0+100: keep turn");
+        s.clocks[0] += 60;
+        assert_eq!(s.after_event(0), Some(1), "110 > 100: hand off");
+    }
+
+    #[test]
+    fn tie_break_prefers_lower_id() {
+        let mut s = Sched::new(3, 0);
+        s.start_run(3);
+        s.clocks[0] = 10;
+        // Cores 1 and 2 both at 0; the turn must go to 1.
+        assert_eq!(s.after_event(0), Some(1));
+    }
+
+    #[test]
+    fn retire_hands_off_and_ends() {
+        let mut s = Sched::new(2, 0);
+        s.start_run(2);
+        assert_eq!(s.retire(0), Some(1));
+        assert_eq!(s.turn, 1);
+        assert_eq!(s.retire(1), None);
+        assert_eq!(s.turn, NO_TURN);
+        assert_eq!(s.n_active(), 0);
+    }
+
+    #[test]
+    fn single_core_never_hands_off() {
+        let mut s = Sched::new(1, 0);
+        s.start_run(1);
+        s.clocks[0] += 1_000_000;
+        assert_eq!(s.after_event(0), None);
+        assert_eq!(s.retire(0), None);
+    }
+
+    #[test]
+    fn clocks_persist_until_reset() {
+        let mut s = Sched::new(2, 0);
+        s.start_run(1);
+        s.clocks[0] = 42;
+        s.retire(0);
+        assert_eq!(s.clocks[0], 42);
+        s.reset_clocks();
+        assert_eq!(s.clocks[0], 0);
+        assert_eq!(s.max_clock(), 0);
+    }
+
+    #[test]
+    fn max_clock() {
+        let mut s = Sched::new(3, 0);
+        s.clocks = vec![5, 9, 2];
+        assert_eq!(s.max_clock(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "previous run still active")]
+    fn double_start_panics() {
+        let mut s = Sched::new(2, 0);
+        s.start_run(2);
+        s.start_run(2);
+    }
+}

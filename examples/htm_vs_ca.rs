@@ -1,0 +1,94 @@
+//! Conditional Access vs hand-over-hand hardware transactions (paper §VI).
+//!
+//! ```text
+//! cargo run --release --example htm_vs_ca
+//! ```
+//!
+//! The closest immediate-reclamation competitor in the paper's related work
+//! is Zhou et al.'s *hand-over-hand transactions with precise memory
+//! reclamation*. This example runs the same read-heavy workload on the
+//! paper's CA lazy list (Algorithm 3) and on the transactional list, and
+//! prints why the paper found the latter slow: every traversal hop pays a
+//! transaction begin/commit pair, and the metadata version table causes
+//! false conflicts between unrelated keys.
+
+use conditional_access::ds::ca::CaLazyList;
+use conditional_access::ds::htm::HtmLazyList;
+use conditional_access::ds::SetDs;
+use conditional_access::sim::{Machine, MachineConfig, Rng};
+
+const THREADS: usize = 4;
+const RANGE: u64 = 256;
+const OPS: u64 = 500;
+
+fn drive<D: SetDs>(machine: &Machine, ds: &D) -> f64 {
+    // Prefill to half the key range, then run a 90% read mix.
+    machine.run_on(1, |_, ctx| {
+        let mut tls = ds.register(0);
+        let mut rng = Rng::new(7);
+        let mut live = 0;
+        while live < RANGE / 2 {
+            if ds.insert(ctx, &mut tls, 1 + rng.below(RANGE)) {
+                live += 1;
+            }
+        }
+    });
+    machine.reset_timing();
+    machine.run_on(THREADS, |tid, ctx| {
+        let mut tls = ds.register(tid);
+        let mut rng = Rng::new(0x11E ^ tid as u64);
+        for _ in 0..OPS {
+            let key = 1 + rng.below(RANGE);
+            match rng.below(20) {
+                0 => {
+                    ds.insert(ctx, &mut tls, key);
+                }
+                1 => {
+                    ds.delete(ctx, &mut tls, key);
+                }
+                _ => {
+                    ds.contains(ctx, &mut tls, key);
+                }
+            }
+            ctx.op_completed();
+        }
+    });
+    machine.stats().ops_per_mcycle()
+}
+
+fn main() {
+    println!("CA (Algorithm 3) vs hand-over-hand transactions (Zhou et al.)\n");
+
+    let m_ca = Machine::new(MachineConfig {
+        cores: THREADS,
+        mem_bytes: 16 << 20,
+        ..Default::default()
+    });
+    let ca = CaLazyList::new(&m_ca);
+    let ca_tput = drive(&m_ca, &ca);
+
+    let m_htm = Machine::new(MachineConfig {
+        cores: THREADS,
+        mem_bytes: 16 << 20,
+        ..Default::default()
+    });
+    let htm = HtmLazyList::new(&m_htm);
+    let htm_tput = drive(&m_htm, &htm);
+    let htm_stats = m_htm.stats();
+    let begins = htm_stats.sum(|c| c.tx_begins);
+    let aborts = htm_stats.sum(|c| c.tx_aborts);
+
+    println!("ca lazy list   : {ca_tput:8.0} ops/Mcycle, 0 transactions");
+    println!(
+        "htm-hoh list   : {htm_tput:8.0} ops/Mcycle, {begins} transactions \
+         ({aborts} aborted, {:.2} tx/op)",
+        begins as f64 / htm_stats.total_ops as f64,
+    );
+    println!(
+        "\nBoth reclaim immediately and both are exact; the transactional \
+         list pays a begin/commit\npair per traversal hop — the \"significant \
+         latency\" for read-only operations the paper\nreports — which CA \
+         replaces with a ~1-cycle flag check per hop. Speedup here: {:.1}x.",
+        ca_tput / htm_tput,
+    );
+}

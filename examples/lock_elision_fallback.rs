@@ -1,0 +1,90 @@
+//! The §IV fallback path in action: Conditional Access on hardware whose
+//! L1 cannot hold the algorithm's tag window.
+//!
+//! ```text
+//! cargo run --release --example lock_elision_fallback
+//! ```
+//!
+//! The paper notes that spurious failures (associativity evictions of
+//! tagged lines) can stall progress and says "a fallback technique could be
+//! used" — without constructing one. This example runs the repository's
+//! construction ([`FallbackLock`]: announce → optimistic attempts →
+//! global-lock + quiescence after repeated failures):
+//!
+//! * on the paper's 8-way 32 KiB L1, every operation completes on the pure
+//!   CA fast path (zero fallbacks, ~2 stores + 1 fence of overhead);
+//! * on a 16-line **direct-mapped** L1 — where the bare CA lazy list
+//!   livelocks deterministically — operations complete on the sequential
+//!   path instead.
+//!
+//! [`FallbackLock`]: conditional_access::ca::FallbackLock
+
+use conditional_access::ds::ca::FbCaLazyList;
+use conditional_access::ds::SetDs;
+use conditional_access::sim::coherence::CacheConfig;
+use conditional_access::sim::{Machine, MachineConfig, Rng};
+
+fn run(label: &str, cache: CacheConfig) {
+    let threads = 4;
+    let machine = Machine::new(MachineConfig {
+        cores: threads,
+        cache,
+        mem_bytes: 16 << 20,
+        ..Default::default()
+    });
+    let list = FbCaLazyList::with_max_attempts(&machine, threads, 16);
+
+    machine.run_on(threads, |tid, ctx| {
+        let mut tls = ();
+        let mut rng = Rng::new(0xE11 ^ tid as u64);
+        for _ in 0..400u64 {
+            let key = 1 + rng.below(64);
+            match rng.below(3) {
+                0 => {
+                    list.insert(ctx, &mut tls, key);
+                }
+                1 => {
+                    list.delete(ctx, &mut tls, key);
+                }
+                _ => {
+                    list.contains(ctx, &mut tls, key);
+                }
+            }
+        }
+    });
+
+    let stats = machine.stats();
+    let total_ops = threads as u64 * 400;
+    println!(
+        "{label}: {} ops completed, {} via fallback ({:.1}%), {} spurious revokes, \
+         footprint {} nodes",
+        total_ops,
+        list.fallbacks_taken(),
+        100.0 * list.fallbacks_taken() as f64 / total_ops as f64,
+        stats.sum(|c| c.spurious_revokes()),
+        stats.allocated_not_freed,
+    );
+}
+
+fn main() {
+    println!("The \u{a7}IV fallback path (lock elision + quiescence)\n");
+    run("paper geometry (32K 8-way L1)  ", CacheConfig::default());
+    run(
+        "hostile geometry (1K 1-way L1) ",
+        CacheConfig {
+            l1_bytes: 1024,
+            l1_assoc: 1,
+            l2_bytes: 64 * 1024,
+            l2_assoc: 8,
+            ..CacheConfig::default()
+        },
+    );
+    println!(
+        "\nOn the hostile geometry the bare CA list never finishes (its \
+         three-line tag window\nself-evicts in the direct-mapped L1 on every \
+         retry); the fallback turns that into\nsequential-path completions, \
+         while the paper geometry all but never leaves the\nfast path (a \
+         16-failure streak under contention occasionally falls back, \
+         harmlessly)."
+    );
+}

@@ -1,0 +1,59 @@
+//! Quickstart: a Conditional-Access stack on a 4-core simulated machine.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Demonstrates the core loop of the paper: build a machine, build a CA
+//! data structure, run simulated threads against it, and observe that
+//! popped nodes were freed *immediately* — the memory footprint equals the
+//! live set, with zero reclamation bookkeeping.
+
+use conditional_access::ds::ca::CaStack;
+use conditional_access::ds::StackDs;
+use conditional_access::sim::{Machine, MachineConfig};
+
+fn main() {
+    // A 4-core machine with the paper's cache configuration (32K private
+    // L1s, 256K shared inclusive L2, directory MSI).
+    let machine = Machine::new(MachineConfig {
+        cores: 4,
+        ..Default::default()
+    });
+    let stack = CaStack::new(&machine);
+
+    // Each simulated thread pushes 1000 values and pops 1000 times.
+    let pops: Vec<u64> = machine.run_on(4, |tid, ctx| {
+        let mut tls = ();
+        let mut popped = 0;
+        for i in 0..1000u64 {
+            stack.push(ctx, &mut tls, (tid as u64) << 32 | i);
+            if stack.pop(ctx, &mut tls).is_some() {
+                popped += 1;
+            }
+        }
+        popped
+    });
+
+    let stats = machine.stats();
+    println!("popped per thread     : {pops:?}");
+    println!("simulated cycles      : {}", stats.max_cycles);
+    println!(
+        "throughput            : {:.1} ops/Mcycle (≈ Mops/s at 1 GHz)",
+        8000.0 * 1e6 / stats.max_cycles as f64
+    );
+    println!(
+        "allocated - freed     : {} nodes (immediate reclamation: every pop freed its node)",
+        stats.allocated_not_freed
+    );
+    println!(
+        "peak footprint        : {} nodes for a stack that saw 4000 pushes",
+        stats.peak_allocated
+    );
+    println!(
+        "failed creads/cwrites : {}/{} (each failure cost ~1 cycle and a retry)",
+        stats.sum(|c| c.cread_fail),
+        stats.sum(|c| c.cwrite_fail),
+    );
+    assert_eq!(stats.allocated_not_freed, 0);
+}

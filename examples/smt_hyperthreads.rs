@@ -1,0 +1,67 @@
+//! SMT demo (paper §III): two hyperthreads sharing one physical core get
+//! **per-hardware-thread tag bits and ARBs**, and a sibling's store to a
+//! tagged line revokes the tagger *without any coherence traffic* — the
+//! line never leaves the shared L1.
+//!
+//! ```text
+//! cargo run --release --example smt_hyperthreads
+//! ```
+//!
+//! The same producer/consumer pair is run twice: packed on one core
+//! (2-way SMT) and spread over two cores. Both are ABA-safe and exact; the
+//! difference is *how* the revocation signal travels — sibling-store
+//! detection inside the L1 versus invalidation messages through the
+//! directory.
+
+use conditional_access::ca::{ca_check, ca_loop, ca_try, CaStep};
+use conditional_access::sim::{Machine, MachineConfig};
+
+fn run(smt: usize) {
+    let machine = Machine::new(MachineConfig {
+        cores: 2,
+        smt,
+        ..Default::default()
+    });
+    let counter = machine.alloc_static(1);
+
+    // Two threads perform Algorithm-1-style conditional increments on one
+    // contended word: cread, compute, cwrite; retry on failure.
+    machine.run_on(2, |_, ctx| {
+        for _ in 0..2000 {
+            ca_loop(ctx, |ctx| {
+                let v = ca_try!(ctx.cread(counter));
+                ca_check!(ctx.cwrite(counter, v + 1));
+                CaStep::Done(())
+            });
+        }
+    });
+
+    let stats = machine.stats();
+    let label = if smt == 2 {
+        "2 hyperthreads, 1 physical core"
+    } else {
+        "2 threads, 2 physical cores   "
+    };
+    println!(
+        "{label}: counter={} (exact), sibling revokes={}, remote revokes={}, \
+         invalidations={}, cycles={}",
+        machine.host_read(counter),
+        stats.sum(|c| c.revoke_sibling),
+        stats.sum(|c| c.revoke_remote),
+        stats.sum(|c| c.invalidations_received),
+        stats.max_cycles,
+    );
+    assert_eq!(machine.host_read(counter), 4000, "no lost updates either way");
+}
+
+fn main() {
+    println!("Conditional Access under SMT (paper \u{a7}III)\n");
+    run(1); // two dedicated cores: conflicts travel as invalidations
+    run(2); // one shared core: conflicts are sibling-store revocations
+    println!(
+        "\nBoth runs are exact. On the SMT core the conflict signal is a \
+         sibling-store revocation\ninside the shared L1 (zero invalidation \
+         messages for the contended line); on separate\ncores the same \
+         conflicts appear as directory invalidations."
+    );
+}

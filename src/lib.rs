@@ -1,0 +1,28 @@
+//! # conditional-access — facade crate
+//!
+//! Reproduction of *"Efficient Hardware Primitives for Immediate Memory
+//! Reclamation in Optimistic Data Structures"* (Singh, Brown, Spear —
+//! IPDPS 2023, arXiv:2302.12958).
+//!
+//! This crate re-exports the whole workspace under one roof; see the README
+//! for the architecture tour and `examples/` for runnable entry points.
+//!
+//! * [`sim`] — the multicore simulator substrate (stands in for Graphite):
+//!   MSI/MESI directory coherence, optional SMT packing with
+//!   per-hyperthread tag bits, a lazy-versioning HTM engine, and the
+//!   use-after-free detector.
+//! * [`ca`] — the Conditional Access primitives, the abstract tag-set
+//!   oracle, the Algorithm-2 try-lock, the §IV fallback lock, and the
+//!   transactional retry scaffolding for the §VI comparator.
+//! * [`smr`] — the six baseline reclamation schemes.
+//! * [`ds`] — the benchmarked data structures (CA + SMR variants, the
+//!   lock-free CA Harris list and external BST, the fallback-wrapped list,
+//!   and the hand-over-hand transactional list).
+//! * [`harness`] — workload generation, the paper's experiments, and the
+//!   tail-latency histogram.
+
+pub use cacore as ca;
+pub use cads as ds;
+pub use caharness as harness;
+pub use casmr as smr;
+pub use mcsim as sim;
