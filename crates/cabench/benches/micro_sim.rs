@@ -3,13 +3,24 @@
 //! bounds how large the paper-scale experiments can be.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mcsim::{Machine, MachineConfig};
+use mcsim::{ExecBackend, Machine, MachineConfig};
 
 fn machine(cores: usize) -> Machine {
     Machine::new(MachineConfig {
         cores,
         mem_bytes: 8 << 20,
         static_lines: 1024,
+        ..Default::default()
+    })
+}
+
+fn handoff_machine(cores: usize, quantum: u64, exec: ExecBackend) -> Machine {
+    Machine::new(MachineConfig {
+        cores,
+        mem_bytes: 1 << 20,
+        static_lines: 64,
+        quantum,
+        exec,
         ..Default::default()
     })
 }
@@ -90,14 +101,38 @@ fn bench(c: &mut Criterion) {
 
     g.bench_function("scheduler_handoff_4cores", |b| {
         // Quantum 0 forces a handoff on nearly every event: measures the
-        // condvar turn-passing cost.
-        let m = Machine::new(MachineConfig {
-            cores: 4,
-            mem_bytes: 1 << 20,
-            static_lines: 64,
-            quantum: 0,
-            ..Default::default()
-        });
+        // turn-passing cost on the default (auto) backend.
+        let m = handoff_machine(4, 0, ExecBackend::Auto);
+        let a = m.alloc_static(1);
+        b.iter(|| {
+            m.run_on(4, |_, ctx| {
+                for _ in 0..250 {
+                    let _ = ctx.read(a);
+                }
+            })
+        })
+    });
+
+    g.bench_function("scheduler_handoff_4cores_threads", |b| {
+        // The same handoff storm on the OS-thread backend: the baseline the
+        // coroutine backend is measured against (park/unpark + kernel
+        // context switch per handoff).
+        let m = handoff_machine(4, 0, ExecBackend::Threads);
+        let a = m.alloc_static(1);
+        b.iter(|| {
+            m.run_on(4, |_, ctx| {
+                for _ in 0..250 {
+                    let _ = ctx.read(a);
+                }
+            })
+        })
+    });
+
+    g.bench_function("batched_events_q1024_4cores", |b| {
+        // Large quantum: almost every event keeps the turn, exercising the
+        // guard-held batched fast path (no lock, no switch, no O(cores)
+        // scan per event).
+        let m = handoff_machine(4, 1024, ExecBackend::Auto);
         let a = m.alloc_static(1);
         b.iter(|| {
             m.run_on(4, |_, ctx| {

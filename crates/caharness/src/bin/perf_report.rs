@@ -1,0 +1,69 @@
+//! Host wall-clock report for the simulator hot path.
+//!
+//! Runs the Figure-1 lazy-list and external-BST experiments (CA scheme) at
+//! 8 cores for quantum 0 (handoff-dominated) and 64 (batching-friendly),
+//! and prints one JSON object per configuration with the host wall-clock
+//! and the simulated metrics. This is the end-to-end instrument behind
+//! `BENCH_pr*.json`: simulated results are deterministic, so any wall-clock
+//! difference between commits is simulator (host) performance, not workload
+//! noise.
+//!
+//! Usage: `cargo run --release -p caharness --bin perf_report [reps]`
+
+use std::time::Instant;
+
+use caharness::{run_set, Mix, RunConfig, SetKind};
+use casmr::SchemeKind;
+
+fn main() {
+    let reps: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(3);
+    println!("[");
+    let mut first = true;
+    for (kind, label) in [
+        (SetKind::LazyList, "fig1_lazylist"),
+        (SetKind::ExtBst, "fig1_extbst"),
+    ] {
+        for quantum in [0u64, 64] {
+            let cfg = RunConfig {
+                threads: 8,
+                key_range: 1000,
+                prefill: 500,
+                ops_per_thread: 2000,
+                mix: Mix {
+                    insert_pct: 50,
+                    delete_pct: 50,
+                },
+                quantum,
+                ..Default::default()
+            };
+            // Warm-up run (page faults, allocator), then best-of-`reps`:
+            // min is the right statistic for a deterministic workload on a
+            // noisy host.
+            let warm = run_set(kind, SchemeKind::Ca, &cfg);
+            let mut best_ms = f64::INFINITY;
+            for _ in 0..reps {
+                let t0 = Instant::now();
+                let m = run_set(kind, SchemeKind::Ca, &cfg);
+                let ms = t0.elapsed().as_secs_f64() * 1e3;
+                best_ms = best_ms.min(ms);
+                assert_eq!(m.cycles, warm.cycles, "deterministic runs diverged");
+            }
+            let events_per_sec = warm.total_ops as f64 / (best_ms / 1e3);
+            if !first {
+                println!(",");
+            }
+            first = false;
+            print!(
+                "  {{\"bench\": \"{label}\", \"threads\": 8, \"quantum\": {quantum}, \
+                 \"scheme\": \"ca\", \"wall_ms\": {best_ms:.1}, \
+                 \"sim_cycles\": {}, \"total_ops\": {}, \"ops_per_host_sec\": {:.0}, \
+                 \"turn_handoffs\": {}, \"batched_events\": {}}}",
+                warm.cycles, warm.total_ops, events_per_sec, warm.turn_handoffs, warm.batched_events
+            );
+        }
+    }
+    println!("\n]");
+}

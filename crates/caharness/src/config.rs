@@ -1,7 +1,7 @@
 //! Experiment configuration.
 
 use casmr::SmrConfig;
-use mcsim::{CacheConfig, LatencyModel, MachineConfig, UafMode};
+use mcsim::{CacheConfig, ExecBackend, LatencyModel, MachineConfig, UafMode};
 
 /// Operation mix, in percent. The paper's three workloads are
 /// `0i-0d` (read-only), `5i-5d` (10% updates) and `50i-50d` (100% updates);
@@ -65,6 +65,9 @@ pub struct RunConfig {
     /// OS-preemption model: (interval, cost) in cycles (see
     /// `MachineConfig::ctx_switch`).
     pub ctx_switch: Option<(u64, u64)>,
+    /// Host execution backend (simulated results are identical across
+    /// backends; see `mcsim::ExecBackend`).
+    pub exec: ExecBackend,
 }
 
 impl Default for RunConfig {
@@ -87,6 +90,7 @@ impl Default for RunConfig {
             sample_every: None,
             buckets: 128,
             ctx_switch: None,
+            exec: ExecBackend::Auto,
         }
     }
 }
@@ -109,6 +113,7 @@ impl RunConfig {
             sample_every: self.sample_every,
             uaf_mode: UafMode::Panic,
             ctx_switch: self.ctx_switch,
+            exec: self.exec,
         }
     }
 

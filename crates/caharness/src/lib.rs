@@ -37,5 +37,5 @@ pub use config::{Mix, RunConfig};
 pub use experiments::Scale;
 pub use hist::Histogram;
 pub use metrics::Metrics;
-pub use runner::{run_queue, run_set, run_set_latency, run_stack, SetKind};
+pub use runner::{run_queue, run_set, run_set_latency, run_set_with_stats, run_stack, SetKind};
 pub use table::SeriesTable;

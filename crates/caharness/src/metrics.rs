@@ -41,6 +41,12 @@ pub struct Metrics {
     pub tx_begins: u64,
     /// HTM comparator: transactions aborted.
     pub tx_aborts: u64,
+    /// Simulator host-path: events that kept the turn (executed under the
+    /// batched, lock-free-for-the-owner fast path).
+    pub batched_events: u64,
+    /// Simulator host-path: scheduler turn handoffs (lock release + thread
+    /// wake). `batched / (batched + handoffs)` is the batching hit rate.
+    pub turn_handoffs: u64,
 }
 
 impl Metrics {
@@ -72,6 +78,8 @@ impl Metrics {
             silent_upgrades: stats.sum(|c| c.silent_upgrades),
             tx_begins: stats.sum(|c| c.tx_begins),
             tx_aborts: stats.sum(|c| c.tx_aborts),
+            batched_events: stats.sum(|c| c.batched_events),
+            turn_handoffs: stats.sum(|c| c.turn_handoffs),
         }
     }
 }

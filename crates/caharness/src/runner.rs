@@ -70,6 +70,18 @@ macro_rules! with_scheme {
 
 /// Run one set-structure experiment.
 pub fn run_set(kind: SetKind, scheme: SchemeKind, cfg: &RunConfig) -> Metrics {
+    run_set_with_stats(kind, scheme, cfg).0
+}
+
+/// Like [`run_set`], but also returns the raw per-core machine statistics
+/// snapshot — the instrument behind the determinism tests (identical runs
+/// must produce identical per-core counters, not just identical
+/// aggregates).
+pub fn run_set_with_stats(
+    kind: SetKind,
+    scheme: SchemeKind,
+    cfg: &RunConfig,
+) -> (Metrics, mcsim::MachineStats) {
     let m = Machine::new(cfg.machine_config());
     match (kind, scheme) {
         (SetKind::LazyList, SchemeKind::Ca) => {
@@ -104,7 +116,7 @@ pub fn run_set(kind: SetKind, scheme: SchemeKind, cfg: &RunConfig) -> Metrics {
 pub fn run_harris(cfg: &RunConfig) -> Metrics {
     let m = Machine::new(cfg.machine_config());
     let ds = CaHarrisList::new(&m);
-    drive_set(&m, &ds, SchemeKind::Ca, cfg)
+    drive_set(&m, &ds, SchemeKind::Ca, cfg).0
 }
 
 /// Run the **lock-free** Conditional-Access external BST (extension beyond
@@ -112,7 +124,7 @@ pub fn run_harris(cfg: &RunConfig) -> Metrics {
 pub fn run_lf_bst(cfg: &RunConfig) -> Metrics {
     let m = Machine::new(cfg.machine_config());
     let ds = CaLfExtBst::new(&m);
-    drive_set(&m, &ds, SchemeKind::Ca, cfg)
+    drive_set(&m, &ds, SchemeKind::Ca, cfg).0
 }
 
 /// Run the hand-over-hand **transactional** lazy list (the Zhou et al.
@@ -121,7 +133,7 @@ pub fn run_lf_bst(cfg: &RunConfig) -> Metrics {
 pub fn run_htm_list(cfg: &RunConfig, slots: usize) -> Metrics {
     let m = Machine::new(cfg.machine_config());
     let ds = HtmLazyList::with_slots(&m, slots);
-    drive_set(&m, &ds, SchemeKind::Ca, cfg)
+    drive_set(&m, &ds, SchemeKind::Ca, cfg).0
 }
 
 /// Run the CA lazy list wrapped in the §IV fallback path. Returns the usual
@@ -129,7 +141,7 @@ pub fn run_htm_list(cfg: &RunConfig, slots: usize) -> Metrics {
 pub fn run_fallback_list(cfg: &RunConfig, max_attempts: u64) -> (Metrics, u64) {
     let m = Machine::new(cfg.machine_config());
     let ds = FbCaLazyList::with_max_attempts(&m, cfg.threads, max_attempts);
-    let metrics = drive_set(&m, &ds, SchemeKind::Ca, cfg);
+    let metrics = drive_set(&m, &ds, SchemeKind::Ca, cfg).0;
     let fallbacks = ds.fallbacks_taken();
     (metrics, fallbacks)
 }
@@ -202,7 +214,12 @@ pub fn run_queue(scheme: SchemeKind, cfg: &RunConfig) -> Metrics {
     }
 }
 
-fn drive_set<D: SetDs>(m: &Machine, ds: &D, scheme: SchemeKind, cfg: &RunConfig) -> Metrics {
+fn drive_set<D: SetDs>(
+    m: &Machine,
+    ds: &D,
+    scheme: SchemeKind,
+    cfg: &RunConfig,
+) -> (Metrics, mcsim::MachineStats) {
     assert!(
         cfg.prefill <= cfg.key_range,
         "cannot prefill {} distinct keys from a range of {}",
@@ -238,7 +255,9 @@ fn drive_set<D: SetDs>(m: &Machine, ds: &D, scheme: SchemeKind, cfg: &RunConfig)
             ctx.op_completed();
         }
     });
-    Metrics::from_stats(scheme.name(), cfg.threads, &m.stats(), m.footprint_samples())
+    let stats = m.stats();
+    let metrics = Metrics::from_stats(scheme.name(), cfg.threads, &stats, m.footprint_samples());
+    (metrics, stats)
 }
 
 /// `drive_set` with per-operation latency capture. The `ctx.now()` probes

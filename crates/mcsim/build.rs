@@ -1,0 +1,13 @@
+//! Emits the `mcsim_coop` cfg when the coroutine execution backend is
+//! available (x86-64 Linux, not under Miri), so the availability predicate
+//! lives in exactly one place. A future aarch64 port only edits this file.
+
+fn main() {
+    println!("cargo:rustc-check-cfg=cfg(mcsim_coop)");
+    let arch = std::env::var("CARGO_CFG_TARGET_ARCH").unwrap_or_default();
+    let os = std::env::var("CARGO_CFG_TARGET_OS").unwrap_or_default();
+    let miri = std::env::var("CARGO_CFG_MIRI").is_ok();
+    if arch == "x86_64" && os == "linux" && !miri {
+        println!("cargo:rustc-cfg=mcsim_coop");
+    }
+}

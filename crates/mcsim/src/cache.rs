@@ -35,8 +35,14 @@ pub struct Entry<P> {
 }
 
 /// Generic set-associative array with true-LRU replacement.
+///
+/// The set count is always a power of two, so set indexing is a bitmask
+/// (`line & set_mask`) rather than a division — this sits on the simulator's
+/// hottest path, one index per cache probe per memory event.
 pub struct SetAssoc<P> {
     sets: usize,
+    /// `sets - 1`; valid because `sets` is a power of two.
+    set_mask: usize,
     assoc: usize,
     ways: Vec<Option<Entry<P>>>,
     stamp: u64,
@@ -44,7 +50,10 @@ pub struct SetAssoc<P> {
 
 impl<P> SetAssoc<P> {
     /// Build a cache of `size_bytes` capacity with `assoc` ways of 64-byte
-    /// lines. `size_bytes` must be a multiple of `assoc * 64`.
+    /// lines. `size_bytes` must be a multiple of `assoc * 64`. A
+    /// non-power-of-two set count is rounded **up** to the next power of
+    /// two (growing the capacity), so that set indexing can use a bitmask;
+    /// [`Self::capacity_lines`] reflects the rounded geometry.
     pub fn new(size_bytes: usize, assoc: usize) -> Self {
         assert!(assoc >= 1, "associativity must be at least 1");
         let lines = size_bytes / LINE_BYTES as usize;
@@ -52,11 +61,24 @@ impl<P> SetAssoc<P> {
             lines >= assoc && lines.is_multiple_of(assoc),
             "cache of {size_bytes} bytes cannot hold {assoc}-way sets of 64B lines"
         );
-        let sets = lines / assoc;
+        let sets = (lines / assoc).next_power_of_two();
+        if sets != lines / assoc {
+            // Loud, because the rounded geometry has more capacity and
+            // different conflict behaviour than the requested one — results
+            // would otherwise be silently misattributed to the stated size.
+            eprintln!(
+                "mcsim: warning: {size_bytes}-byte {assoc}-way cache has {} sets; \
+                 rounding up to {sets} (power-of-two set indexing) — simulated \
+                 capacity grows to {} bytes",
+                lines / assoc,
+                sets * assoc * LINE_BYTES as usize,
+            );
+        }
         Self {
             sets,
+            set_mask: sets - 1,
             assoc,
-            ways: (0..lines).map(|_| None).collect(),
+            ways: (0..sets * assoc).map(|_| None).collect(),
             stamp: 0,
         }
     }
@@ -78,7 +100,7 @@ impl<P> SetAssoc<P> {
 
     #[inline]
     fn set_range(&self, line: Line) -> std::ops::Range<usize> {
-        let set = (line.0 as usize) % self.sets;
+        let set = (line.0 as usize) & self.set_mask;
         set * self.assoc..(set + 1) * self.assoc
     }
 
@@ -91,21 +113,21 @@ impl<P> SetAssoc<P> {
             .find(|e| e.line == line)
     }
 
-    /// Find a resident line, mutably, bumping its LRU stamp.
+    /// Find a resident line, mutably, bumping its LRU stamp. Computes the
+    /// set range once and leaves the stamp untouched on a miss (stamps are
+    /// only compared between resident entries, so skipping the bump cannot
+    /// change any eviction decision).
     #[inline]
     pub fn lookup_touch(&mut self, line: Line) -> Option<&mut Entry<P>> {
-        self.stamp += 1;
-        let stamp = self.stamp;
         let range = self.set_range(line);
-        let entry = self.ways[range]
-            .iter_mut()
-            .flatten()
-            .find(|e| e.line == line);
-        if let Some(e) = entry {
-            e.lru = stamp;
-            return Some(e);
+        match self.ways[range].iter_mut().flatten().find(|e| e.line == line) {
+            Some(e) => {
+                self.stamp += 1;
+                e.lru = self.stamp;
+                Some(e)
+            }
+            None => None,
         }
-        None
     }
 
     /// Find a resident line mutably *without* touching LRU (metadata edits by
@@ -250,29 +272,30 @@ impl L1 {
     /// Clear every tag bit of hyperthread `ht` (`untagAll`). Returns how many
     /// bits were actually cleared. Entries still tagged by a sibling
     /// hyperthread stay on the side list.
+    ///
+    /// Allocation-free: surviving lines are compacted in place (swap-retain
+    /// over `tag_list`), since `untagAll` runs once per failed conditional
+    /// access and once per completed CA operation.
     pub fn clear_all_tags(&mut self, ht: usize) -> usize {
         let bit = 1u8 << ht;
         let mut cleared = 0;
-        let mut keep = Vec::new();
-        for line in self.tag_list.drain(..) {
-            // Look up without touching LRU.
-            let set = (line.0 as usize) % self.array.sets;
-            let range = set * self.array.assoc..(set + 1) * self.array.assoc;
-            if let Some(e) = self.array.ways[range]
-                .iter_mut()
-                .flatten()
-                .find(|e| e.line == line)
-            {
+        let mut kept = 0;
+        for i in 0..self.tag_list.len() {
+            let line = self.tag_list[i];
+            // Look up without touching LRU; stale entries (evicted or
+            // already-untagged lines) are dropped from the list.
+            if let Some(e) = self.array.lookup_mut(line) {
                 if e.payload.tags & bit != 0 {
                     e.payload.tags &= !bit;
                     cleared += 1;
                 }
                 if e.payload.tags != 0 {
-                    keep.push(line);
+                    self.tag_list[kept] = line;
+                    kept += 1;
                 }
             }
         }
-        self.tag_list = keep;
+        self.tag_list.truncate(kept);
         cleared
     }
 
@@ -351,6 +374,30 @@ mod tests {
     #[should_panic(expected = "cannot hold")]
     fn bad_geometry_panics() {
         let _: SetAssoc<()> = SetAssoc::new(100, 8);
+    }
+
+    #[test]
+    fn non_power_of_two_sets_round_up() {
+        // 24 lines, 2-way → 12 sets, rounded up to 16 so indexing is a mask.
+        let c: SetAssoc<()> = SetAssoc::new(24 * 64, 2);
+        assert_eq!(c.sets(), 16);
+        assert_eq!(c.assoc(), 2);
+        assert_eq!(c.capacity_lines(), 32, "capacity reflects the rounding");
+        // Power-of-two geometries are untouched.
+        let c: SetAssoc<()> = SetAssoc::new(32 * 1024, 8);
+        assert_eq!(c.sets(), 64);
+        assert_eq!(c.capacity_lines(), 512);
+    }
+
+    #[test]
+    fn rounded_geometry_maps_lines_by_mask() {
+        // 12 sets round to 16: lines 0 and 16 share set 0, line 12 does not.
+        let mut c: SetAssoc<u32> = SetAssoc::new(12 * 64, 1);
+        assert_eq!(c.sets(), 16);
+        assert!(c.insert(l(0), 0).is_none());
+        assert!(c.insert(l(12), 12).is_none(), "12 & 15 = 12: different set");
+        let ev = c.insert(l(16), 16).expect("16 & 15 = 0: conflicts with 0");
+        assert_eq!(ev.line, l(0));
     }
 
     #[test]

@@ -280,7 +280,11 @@ impl CoherenceHub {
             return self.lat.l1_hit;
         }
         let mut cost = self.l2_get_or_fill(t, line);
-        let d = self.l2.lookup_mut(line).expect("just filled").payload;
+        // One directory probe: edit the entry in place (the L1s are a
+        // disjoint field, so the owner downgrade can happen while it is
+        // borrowed), and finish every directory edit before `l1_insert`,
+        // whose victim writeback may probe the L2 itself.
+        let d = &mut self.l2.lookup_mut(line).expect("just filled").payload;
         if let Some(o) = d.owner {
             debug_assert_ne!(o, pcore, "owner with an L1 miss is impossible");
             // Downgrade the owner to S: its copy stays valid, tags unaffected.
@@ -291,7 +295,6 @@ impl CoherenceHub {
             let was_modified = e.payload.state == MsiState::Modified;
             debug_assert!(e.payload.state != MsiState::Shared, "owner cannot be S");
             e.payload.state = MsiState::Shared;
-            let d = &mut self.l2.lookup_mut(line).expect("resident").payload;
             d.owner = None;
             d.add_sharer(o);
             if was_modified {
@@ -300,18 +303,13 @@ impl CoherenceHub {
                 cost += self.lat.dirty_supply;
             }
         }
-        let d = self.l2.lookup(line).expect("resident").payload;
         if self.protocol == Protocol::Mesi && d.holders() == 0 {
             // MESI: sole reader is granted Exclusive.
+            d.owner = Some(pcore);
             self.stats.core(t).e_grants += 1;
-            self.l2.lookup_mut(line).expect("resident").payload.owner = Some(pcore);
             self.l1_insert(t, line, MsiState::Exclusive);
         } else {
-            self.l2
-                .lookup_mut(line)
-                .expect("resident")
-                .payload
-                .add_sharer(pcore);
+            d.add_sharer(pcore);
             self.l1_insert(t, line, MsiState::Shared);
         }
         cost
@@ -343,15 +341,19 @@ impl CoherenceHub {
                 self.lat.l1_hit
             }
             Some(MsiState::Shared) => {
-                // Upgrade: directory invalidates the other sharers.
+                // Upgrade: directory invalidates the other sharers. One
+                // directory probe: claim ownership in place, then deliver
+                // the invalidations (which only touch L1s and stats).
                 let mut cost = self.lat.upgrade;
-                let d = self
+                let d = &mut self
                     .l2
-                    .lookup(line)
+                    .lookup_mut(line)
                     .expect("inclusion: S line resident in L2")
                     .payload;
                 debug_assert!(d.owner.is_none(), "S copy cannot coexist with an owner");
                 let others = d.sharers & !(1u64 << pcore);
+                d.sharers = 0;
+                d.owner = Some(pcore);
                 if others != 0 {
                     cost += self.lat.invalidation;
                     self.stats.core(t).invalidations_sent += 1;
@@ -359,9 +361,6 @@ impl CoherenceHub {
                         self.invalidate_l1_copy(h, line, RevokeCause::RemoteInvalidation);
                     }
                 }
-                let d = &mut self.l2.lookup_mut(line).expect("resident").payload;
-                d.sharers = 0;
-                d.owner = Some(pcore);
                 self.l1s[pcore]
                     .array
                     .lookup_mut(line)
@@ -372,27 +371,25 @@ impl CoherenceHub {
             }
             None => {
                 let mut cost = self.l2_get_or_fill(t, line);
-                let d = self.l2.lookup_mut(line).expect("resident").payload;
+                // Claim the line in one directory probe; the previous
+                // holders were snapshot before the edit, and only a dirty
+                // writeback needs a second probe.
+                let d = &mut self.l2.lookup_mut(line).expect("resident").payload;
+                let owner = d.owner;
+                let others = d.sharers & !(1u64 << pcore);
+                d.sharers = 0;
+                d.owner = Some(pcore);
                 let mut sent = false;
-                if let Some(o) = d.owner {
+                if let Some(o) = owner {
                     debug_assert_ne!(o, pcore);
                     let removed =
                         self.invalidate_l1_copy(o, line, RevokeCause::RemoteInvalidation);
-                    let d = &mut self.l2.lookup_mut(line).expect("resident").payload;
-                    d.owner = None;
                     if removed == Some(MsiState::Modified) {
-                        d.dirty = true;
+                        self.l2.lookup_mut(line).expect("resident").payload.dirty = true;
                         cost += self.lat.dirty_supply;
                     }
                     sent = true;
                 }
-                let others = self
-                    .l2
-                    .lookup(line)
-                    .expect("resident")
-                    .payload
-                    .sharers
-                    & !(1u64 << pcore);
                 if others != 0 {
                     cost += self.lat.invalidation;
                     sent = true;
@@ -403,9 +400,6 @@ impl CoherenceHub {
                 if sent {
                     self.stats.core(t).invalidations_sent += 1;
                 }
-                let d = &mut self.l2.lookup_mut(line).expect("resident").payload;
-                d.sharers = 0;
-                d.owner = Some(pcore);
                 self.l1_insert(t, line, MsiState::Modified);
                 cost
             }

@@ -16,10 +16,16 @@
 //!   lines set the ARB. The ISA-level semantics (`cread`, `cwrite`,
 //!   `untagOne`, `untagAll`) are exposed on [`machine::Ctx`] and re-exported
 //!   with documentation and a verification oracle by the `cacore` crate.
-//! * **A deterministic scheduler** ([`sched`]): simulated threads run on OS
-//!   threads, but all memory events are serialized in min-clock order with a
-//!   configurable lookahead quantum, making every run a pure function of
-//!   (program, seeds, quantum).
+//! * **A deterministic scheduler** ([`sched`]): all memory events are
+//!   serialized in min-clock order with a configurable lookahead quantum,
+//!   making every run a pure function of (program, seeds, quantum). The
+//!   handoff decision is O(1) (two-min clock tracking), and the turn owner
+//!   executes runs of events without touching a lock ([`machine`] batching).
+//! * **Two host execution backends** ([`machine::ExecBackend`]): stackful
+//!   coroutines on one OS thread ([`coop`], x86-64 Linux; turn handoffs are
+//!   ~10 ns user-space stack switches) or one OS thread per simulated core
+//!   (portable fallback). Simulated results are bit-identical across
+//!   backends.
 //! * **A simulated allocator** ([`alloc`]): line-granular nodes with
 //!   immediate LIFO address reuse (needed for the paper's ABA discussion)
 //!   and a use-after-free detector that machine-checks the paper's safety
@@ -47,6 +53,8 @@ pub mod addr;
 pub mod alloc;
 pub mod cache;
 pub mod coherence;
+#[cfg(mcsim_coop)]
+pub mod coop;
 pub mod latency;
 pub mod machine;
 pub mod mem;
@@ -59,6 +67,6 @@ pub use alloc::{Fault, LineStatus, UafMode};
 pub use cache::MsiState;
 pub use coherence::CacheConfig;
 pub use latency::LatencyModel;
-pub use machine::{Ctx, FootprintSample, Machine, MachineConfig};
+pub use machine::{Ctx, ExecBackend, FootprintSample, Machine, MachineConfig};
 pub use rng::{Rng, SplitMix64};
 pub use stats::{CoreStats, MachineStats, RevokeCause};

@@ -2,17 +2,32 @@
 //! [`Ctx`] handle through which simulated programs touch memory.
 //!
 //! A [`Machine`] owns the coherence hub, the allocator and the scheduler.
-//! [`Machine::run`] executes one closure per simulated core on real OS
-//! threads; every memory event is serialized and deterministically ordered
-//! by the min-clock scheduler (see [`crate::sched`]).
+//! [`Machine::run`] executes one closure per simulated core — as stackful
+//! coroutines on the calling thread where supported, or on one OS thread
+//! per core elsewhere (see [`ExecBackend`]); every memory event is
+//! serialized and deterministically ordered by the min-clock scheduler
+//! (see [`crate::sched`]), identically on either backend.
 //!
 //! A machine can be `run` multiple times (e.g. a single-core prefill run
 //! followed by [`Machine::reset_timing`] and a measured multi-core run);
 //! memory, cache and allocator state persist across runs.
+//!
+//! ## Event batching (the hot path)
+//!
+//! Exactly one core owns the scheduler *turn* at a time, and the turn is
+//! the only licence to touch [`SimState`]. The owner therefore **keeps the
+//! state guard cached in its [`Ctx`] across consecutive events** and only
+//! releases it when [`Sched::after_event`] actually moves the turn: within
+//! a lookahead quantum the common case costs no lock operation, no syscall
+//! and no O(cores) scan. Handoff is a single atomic store of the next
+//! owner's id plus a `Thread::unpark`; waiters park on their own thread
+//! token, so the state mutex is only ever taken uncontended. None of this
+//! changes the simulated schedule — the decision sequence is identical to
+//! locking per event, so determinism is preserved bit-for-bit.
 
-use std::sync::Arc;
-
-use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier, Mutex, MutexGuard, PoisonError};
+use std::thread::Thread;
 
 use crate::addr::{Addr, CoreId};
 use crate::alloc::{Allocator, Fault, UafMode};
@@ -20,6 +35,30 @@ use crate::coherence::{CacheConfig, CoherenceHub};
 use crate::latency::LatencyModel;
 use crate::sched::{Sched, NO_TURN};
 use crate::stats::MachineStats;
+
+/// How simulated cores are executed on the host.
+///
+/// Both backends produce **bit-identical simulated results** — the
+/// scheduler's decision sequence does not depend on the backend — so this
+/// is purely a host-performance knob.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum ExecBackend {
+    /// Pick the fastest supported backend: [`Self::Coop`] where available
+    /// (x86-64 Linux), [`Self::Threads`] otherwise.
+    #[default]
+    Auto,
+    /// One OS thread per simulated core; turn handoffs park/unpark threads.
+    /// Works everywhere; each handoff costs a kernel context switch.
+    Threads,
+    /// All simulated cores on one OS thread as stackful coroutines
+    /// (see [`crate::coop`]); turn handoffs are user-space stack switches
+    /// (~100× cheaper). Falls back to [`Self::Threads`] on unsupported
+    /// targets.
+    Coop,
+}
+
+/// Is the coroutine backend available on this target?
+const COOP_SUPPORTED: bool = cfg!(mcsim_coop);
 
 /// Machine configuration.
 #[derive(Clone, Debug)]
@@ -53,6 +92,9 @@ pub struct MachineConfig {
     /// threads). `Some((interval, cost))` preempts each core every
     /// `interval` cycles of its local clock, charging `cost` cycles.
     pub ctx_switch: Option<(u64, u64)>,
+    /// Host execution backend (a host-performance knob; simulated results
+    /// are identical across backends).
+    pub exec: ExecBackend,
 }
 
 impl Default for MachineConfig {
@@ -68,6 +110,7 @@ impl Default for MachineConfig {
             sample_every: None,
             uaf_mode: UafMode::Panic,
             ctx_switch: None,
+            exec: ExecBackend::Auto,
         }
     }
 }
@@ -109,12 +152,79 @@ pub(crate) struct SimState {
     /// OS-preemption model: (interval, cost) and each core's next deadline.
     pub ctx_switch: Option<(u64, u64)>,
     pub next_preempt: Vec<u64>,
+    /// OS thread handle per simulated core, registered at the start of each
+    /// run; the turn owner unparks the next owner's handle on handoff.
+    pub threads: Vec<Option<Thread>>,
 }
 
 struct Shared {
     state: Mutex<SimState>,
-    /// One condvar per core; a core waits on its own when it lacks the turn.
-    cvs: Vec<Condvar>,
+    /// Mirror of `sched.turn`, published on every handoff so waiters can
+    /// check for their turn without taking the state mutex. The mutex
+    /// remains the authority; this is only a wake-up signal.
+    turn_word: AtomicUsize,
+}
+
+std::thread_local! {
+    /// The `Shared` whose state lock is held by this OS thread — by a
+    /// turn-owning `Ctx` batching events (threads backend) or by a whole
+    /// coop run. Host-side `Machine` methods called from a workload closure
+    /// would relock that mutex on the same thread — a silent permanent
+    /// hang; this marker turns it into a loud panic. Calls on a *different*
+    /// machine are unaffected (the marker is machine-scoped).
+    static HOLDING_STATE: std::cell::Cell<*const ()> =
+        const { std::cell::Cell::new(std::ptr::null()) };
+}
+
+/// RAII marker for [`HOLDING_STATE`]: panic-safe, restores the previous
+/// value so nested runs of different machines on one thread keep their
+/// markers intact. (Only the coop backend holds the lock for a whole run;
+/// the threads backend sets/clears the cell directly around its cached
+/// guard, hence the dead-code allowance on non-coop targets.)
+#[cfg_attr(
+    not(mcsim_coop),
+    allow(dead_code)
+)]
+struct StateHoldMark {
+    prev: *const (),
+}
+
+#[cfg_attr(
+    not(mcsim_coop),
+    allow(dead_code)
+)]
+impl StateHoldMark {
+    fn set(shared: &Shared) -> Self {
+        let prev = HOLDING_STATE.replace(shared as *const Shared as *const ());
+        StateHoldMark { prev }
+    }
+}
+
+impl Drop for StateHoldMark {
+    fn drop(&mut self) {
+        HOLDING_STATE.set(self.prev);
+    }
+}
+
+impl Shared {
+    /// Lock the simulator state. Poisoning is ignored: a simulated thread
+    /// panicking (e.g. the use-after-free detector firing) must not wedge
+    /// the other simulated threads, which still need the scheduler to retire
+    /// them (the seed used parking_lot, which has no poisoning).
+    fn lock(&self) -> MutexGuard<'_, SimState> {
+        assert!(
+            !std::ptr::eq(
+                HOLDING_STATE.get(),
+                self as *const Shared as *const ()
+            ),
+            "Machine host-side methods (stats, host_read, check_invariants, ...) \
+             cannot be called from inside this machine's run closures: the \
+             calling core holds the machine's state lock (for the whole run on \
+             the coop backend, while it owns the turn on the threads backend). \
+             Use the Ctx API, or move the call outside Machine::run."
+        );
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
 }
 
 /// The simulated multicore machine.
@@ -145,11 +255,12 @@ impl Machine {
             samples: Vec::new(),
             ctx_switch: cfg.ctx_switch,
             next_preempt: vec![cfg.ctx_switch.map_or(u64::MAX, |(i, _)| i); cfg.cores],
+            threads: vec![None; cfg.cores],
         };
         Self {
             shared: Arc::new(Shared {
                 state: Mutex::new(state),
-                cvs: (0..cfg.cores).map(|_| Condvar::new()).collect(),
+                turn_word: AtomicUsize::new(NO_TURN),
             }),
             cfg,
         }
@@ -163,7 +274,7 @@ impl Machine {
     /// Allocate `lines` consecutive static cache lines (zero-initialized).
     /// Call between runs, not during one.
     pub fn alloc_static(&self, lines: u64) -> Addr {
-        self.shared.state.lock().alloc.alloc_static(lines)
+        self.shared.lock().alloc.alloc_static(lines)
     }
 
     /// Run one closure per core, on cores `0..fns.len()`. Blocks until every
@@ -182,18 +293,126 @@ impl Machine {
             "need 1..={} closures, got {n}",
             self.cfg.cores
         );
-        self.shared.state.lock().sched.start_run(n);
+        let coop = match self.cfg.exec {
+            ExecBackend::Threads => false,
+            ExecBackend::Auto | ExecBackend::Coop => COOP_SUPPORTED,
+        };
+        if coop {
+            #[cfg(mcsim_coop)]
+            return self.run_coop(fns);
+        }
+        self.run_threads(fns)
+    }
+
+    /// Coroutine backend: all simulated cores on the calling OS thread,
+    /// with the state lock held once for the whole run. Turn handoffs are
+    /// user-space stack switches (see [`crate::coop`]).
+    #[cfg(mcsim_coop)]
+    fn run_coop<'env, R: Send + 'env>(&'env self, fns: Vec<CoreFn<'env, R>>) -> Vec<R> {
+        use crate::coop;
+        let n = fns.len();
+        let mut guard = self.shared.lock();
+        // From here until the run ends, any host-side call on this machine
+        // from this thread would deadlock on the held lock; make it panic
+        // instead.
+        let _mark = StateHoldMark::set(&self.shared);
+        let state_ptr: *mut SimState = &mut *guard;
+        let mut stacks: Vec<coop::Stack> =
+            (0..n).map(|_| coop::Stack::new(coop::STACK_SIZE)).collect();
+        // Context table: one slot per core plus the main (scheduler) slot.
+        let mut ctxs: Vec<*mut u8> = vec![std::ptr::null_mut(); n + 1];
+        let ctxs_ptr = ctxs.as_mut_ptr();
+        let mut outs: Vec<Option<std::thread::Result<R>>> = (0..n).map(|_| None).collect();
+        let mut payloads: Vec<Box<coop::CoroPayload>> = fns
+            .into_iter()
+            .enumerate()
+            .map(|(core, f)| {
+                let out_slot: *mut Option<std::thread::Result<R>> = &mut outs[core];
+                let body: Box<dyn FnOnce() -> usize + 'env> = Box::new(move || {
+                    let mut ctx = Ctx {
+                        core,
+                        pending_ticks: 0,
+                        backend: CtxBackend::Coop(CoopCtx {
+                            state: state_ptr,
+                            ctxs: ctxs_ptr,
+                            main_slot: n,
+                            retire_target: None,
+                        }),
+                    };
+                    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                        || f(&mut ctx),
+                    ));
+                    unsafe { *out_slot = Some(out) };
+                    // Retire records where to go; returning lets the entry
+                    // shim free this closure *before* the final switch (a
+                    // closure that switched away itself would leak its
+                    // captures every run).
+                    ctx.retire();
+                    match &ctx.backend {
+                        CtxBackend::Coop(cb) => {
+                            cb.retire_target.expect("coop retire records a target")
+                        }
+                        CtxBackend::Threads(_) => unreachable!("coop body on threads ctx"),
+                    }
+                });
+                // Erase 'env: every coroutine is fully consumed before this
+                // function returns, so the closure cannot outlive its
+                // borrows.
+                let body: Box<dyn FnOnce() -> usize> = unsafe { std::mem::transmute(body) };
+                Box::new(coop::CoroPayload {
+                    f: Some(body),
+                    ctxs: ctxs_ptr,
+                    own_slot: core,
+                })
+            })
+            .collect();
+        for core in 0..n {
+            ctxs[core] = unsafe { coop::prepare(&mut stacks[core], &mut *payloads[core]) };
+        }
+        let first = guard.sched.start_run(n);
+        // Enter the coroutine world; control returns here when the last
+        // core retires and switches back to the main slot.
+        unsafe { coop::switch(ctxs_ptr.add(n), ctxs[first]) };
+        debug_assert_eq!(guard.sched.turn, NO_TURN, "run ended with live cores");
+        drop(guard);
+        outs.into_iter()
+            .map(|r| match r.expect("coroutine finished without a result") {
+                Ok(r) => r,
+                Err(e) => std::panic::resume_unwind(e),
+            })
+            .collect()
+    }
+
+    /// OS-thread backend: one thread per simulated core, park/unpark
+    /// handoffs. The portable fallback, and the only option when workload
+    /// closures are not safe to multiplex on one stack.
+    fn run_threads<'env, R: Send + 'env>(&'env self, fns: Vec<CoreFn<'env, R>>) -> Vec<R> {
+        let n = fns.len();
         let shared = &self.shared;
+        // Every worker registers its OS thread handle (the unpark target)
+        // before the run starts; the barrier guarantees registration is
+        // complete before the first handoff can happen.
+        let barrier = &Barrier::new(n + 1);
         std::thread::scope(|scope| {
             let handles: Vec<_> = fns
                 .into_iter()
                 .enumerate()
                 .map(|(core, f)| {
                     scope.spawn(move || {
+                        shared.lock().threads[core] = Some(std::thread::current());
+                        barrier.wait();
+                        // Snapshot the peer handles (complete after the
+                        // barrier) so handoffs unpark without touching
+                        // shared state.
+                        let peers = shared.lock().threads.clone();
                         let mut ctx = Ctx {
                             core,
-                            shared,
                             pending_ticks: 0,
+                            backend: CtxBackend::Threads(ThreadsCtx {
+                                shared,
+                                turn_guard: None,
+                                peers,
+                            }),
                         };
                         let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
                             || f(&mut ctx),
@@ -208,6 +427,16 @@ impl Machine {
                     })
                 })
                 .collect();
+            barrier.wait();
+            let first_thread = {
+                let mut st = shared.lock();
+                let first = st.sched.start_run(n);
+                shared.turn_word.store(first, Ordering::Release);
+                st.threads[first].clone()
+            };
+            if let Some(t) = first_thread {
+                t.unpark();
+            }
             handles
                 .into_iter()
                 .map(|h| match h.join() {
@@ -235,7 +464,7 @@ impl Machine {
     /// Zero clocks, statistics, the op counter and footprint samples.
     /// Memory, cache contents and allocator state persist (warm start).
     pub fn reset_timing(&self) {
-        let mut st = self.shared.state.lock();
+        let mut st = self.shared.lock();
         st.sched.reset_clocks();
         st.hub.stats.reset();
         st.global_ops = 0;
@@ -247,7 +476,7 @@ impl Machine {
 
     /// Snapshot machine statistics.
     pub fn stats(&self) -> MachineStats {
-        let st = self.shared.state.lock();
+        let st = self.shared.lock();
         let mut cores = st.hub.stats.cores.clone();
         for (c, s) in cores.iter_mut().enumerate() {
             s.cycles = st.sched.clocks[c];
@@ -263,39 +492,39 @@ impl Machine {
 
     /// Footprint samples collected so far (Figure 3 series).
     pub fn footprint_samples(&self) -> Vec<FootprintSample> {
-        self.shared.state.lock().samples.clone()
+        self.shared.lock().samples.clone()
     }
 
     /// Faults recorded in [`UafMode::Record`] mode.
     pub fn faults(&self) -> Vec<Fault> {
-        self.shared.state.lock().alloc.faults.clone()
+        self.shared.lock().alloc.faults.clone()
     }
 
     /// Host-side read of simulated memory (no timing, no coherence). For
     /// checkers walking final data-structure state.
     pub fn host_read(&self, a: Addr) -> u64 {
-        self.shared.state.lock().hub.host_read(a)
+        self.shared.lock().hub.host_read(a)
     }
 
     /// Host-side write (test setup only; bypasses coherence).
     pub fn host_write(&self, a: Addr, v: u64) {
-        self.shared.state.lock().hub.host_write(a, v)
+        self.shared.lock().hub.host_write(a, v)
     }
 
     /// Run the coherence invariant checker (panics on violation).
     pub fn check_invariants(&self) {
-        self.shared.state.lock().hub.check_invariants();
+        self.shared.lock().hub.check_invariants();
     }
 
     /// Introspect a core's ARB (tests only; programs must use cread/cwrite
     /// failure results instead).
     pub fn probe_arb(&self, c: CoreId) -> bool {
-        self.shared.state.lock().hub.arb(c)
+        self.shared.lock().hub.arb(c)
     }
 
     /// Lines currently tagged by hardware thread `c` (tests only).
     pub fn probe_tagged_lines(&self, c: CoreId) -> Vec<crate::addr::Line> {
-        let st = self.shared.state.lock();
+        let st = self.shared.lock();
         let pcore = st.hub.pc(c);
         st.hub.l1s[pcore].tagged_lines(c % self.cfg.smt)
     }
@@ -309,8 +538,124 @@ impl Machine {
 /// data-structure code.
 pub struct Ctx<'m> {
     core: CoreId,
-    shared: &'m Shared,
     pending_ticks: u64,
+    backend: CtxBackend<'m>,
+}
+
+/// Backend-specific part of a [`Ctx`] (see [`ExecBackend`]).
+enum CtxBackend<'m> {
+    Threads(ThreadsCtx<'m>),
+    #[cfg_attr(not(mcsim_coop), allow(dead_code))]
+    Coop(CoopCtx),
+}
+
+struct ThreadsCtx<'m> {
+    shared: &'m Shared,
+    /// The state guard, held across consecutive events while this core
+    /// keeps the turn (see the module docs on event batching). `Some` iff
+    /// this core currently owns the turn.
+    turn_guard: Option<MutexGuard<'m, SimState>>,
+    /// Per-run snapshot of every core's OS thread handle (unpark targets),
+    /// so handoffs need no access to shared state after the guard drops.
+    peers: Vec<Option<Thread>>,
+}
+
+impl<'m> ThreadsCtx<'m> {
+    /// Ensure core `c` owns the turn and the state guard is cached.
+    ///
+    /// Fast path: the guard is already held from a previous event. Slow
+    /// path: park until the current owner publishes `c` in `turn_word` and
+    /// unparks us, then take the (uncontended) mutex.
+    fn acquire_turn(&mut self, c: CoreId) -> &mut SimState {
+        if self.turn_guard.is_none() {
+            loop {
+                if self.shared.turn_word.load(Ordering::Acquire) == c {
+                    let st = self.shared.lock();
+                    if st.sched.turn == c {
+                        self.turn_guard = Some(st);
+                        // While the guard is cached, a host-side call on
+                        // this machine from this thread must panic, not
+                        // self-deadlock (see `Shared::lock`).
+                        HOLDING_STATE.set(self.shared as *const Shared as *const ());
+                        break;
+                    }
+                    // Stale wake (cannot normally happen — the turn leaves
+                    // `c` only by `c`'s own action): re-park below.
+                    drop(st);
+                }
+                // A leftover unpark token makes this return immediately
+                // once; the loop re-checks, so spurious wakes are harmless.
+                std::thread::park();
+            }
+        }
+        self.turn_guard.as_deref_mut().expect("turn acquired")
+    }
+
+    /// Release the turn to `next`: publish its id, drop the state guard,
+    /// and wake its OS thread.
+    fn release_turn_to(&mut self, next: CoreId) {
+        self.shared.turn_word.store(next, Ordering::Release);
+        self.turn_guard = None;
+        HOLDING_STATE.set(std::ptr::null());
+        if let Some(t) = self.peers.get(next).and_then(Option::as_ref) {
+            t.unpark();
+        }
+    }
+}
+
+/// Raw handles for the coroutine backend. All pointers are owned by
+/// `run_coop`'s frame and outlive the coroutine; exclusivity of `state`
+/// access is guaranteed by the turn (only the owner's coroutine runs).
+#[cfg_attr(
+    not(mcsim_coop),
+    allow(dead_code)
+)]
+struct CoopCtx {
+    state: *mut SimState,
+    /// Context-slot table (`cores + 1` entries; the last is the main slot).
+    ctxs: *mut *mut u8,
+    main_slot: usize,
+    /// Set by `retire`: the slot the entry shim must switch to after the
+    /// coroutine body returns (next turn owner, or the main slot).
+    retire_target: Option<usize>,
+}
+
+/// Charge pending ticks, execute `f`, charge its cost, apply the
+/// OS-preemption model, and take the scheduling decision — the
+/// backend-independent core of every event.
+#[inline]
+fn run_event_on<T>(
+    st: &mut SimState,
+    c: CoreId,
+    pending: u64,
+    f: impl FnOnce(&mut SimState, CoreId) -> (T, u64),
+) -> (T, Option<CoreId>) {
+    st.sched.clocks[c] += pending;
+    let (out, cost) = f(st, c);
+    st.sched.clocks[c] += cost;
+    // OS-preemption model: deadline-driven, hence deterministic.
+    if let Some((interval, switch_cost)) = st.ctx_switch {
+        if st.sched.clocks[c] >= st.next_preempt[c] {
+            st.hub.preempt(c);
+            st.sched.clocks[c] += switch_cost;
+            while st.next_preempt[c] <= st.sched.clocks[c] {
+                st.next_preempt[c] += interval;
+            }
+        }
+    }
+    let next = st.sched.after_event(c);
+    match next {
+        Some(_) => st.hub.stats.core(c).turn_handoffs += 1,
+        None => st.hub.stats.core(c).batched_events += 1,
+    }
+    (out, next)
+}
+
+/// Backend-independent retire bookkeeping; returns the next turn owner.
+fn finish_retire(st: &mut SimState, c: CoreId, pending: u64) -> Option<CoreId> {
+    st.sched.clocks[c] += pending;
+    st.hub.stats.core(c).cycles = st.sched.clocks[c];
+    st.sched.retire(c)
 }
 
 impl<'m> Ctx<'m> {
@@ -330,41 +675,59 @@ impl<'m> Ctx<'m> {
     /// Execute one memory event under the turn. `f` returns (output, cost).
     fn event<T>(&mut self, f: impl FnOnce(&mut SimState, CoreId) -> (T, u64)) -> T {
         let c = self.core;
-        let mut st = self.shared.state.lock();
-        while st.sched.turn != c {
-            self.shared.cvs[c].wait(&mut st);
-        }
-        st.sched.clocks[c] += std::mem::take(&mut self.pending_ticks);
-        let (out, cost) = f(&mut st, c);
-        st.sched.clocks[c] += cost;
-        // OS-preemption model: deadline-driven, hence deterministic.
-        if let Some((interval, switch_cost)) = st.ctx_switch {
-            if st.sched.clocks[c] >= st.next_preempt[c] {
-                st.hub.preempt(c);
-                st.sched.clocks[c] += switch_cost;
-                while st.next_preempt[c] <= st.sched.clocks[c] {
-                    st.next_preempt[c] += interval;
+        let pending = std::mem::take(&mut self.pending_ticks);
+        match &mut self.backend {
+            CtxBackend::Threads(tb) => {
+                let st = tb.acquire_turn(c);
+                let (out, next) = run_event_on(st, c, pending, f);
+                if let Some(next) = next {
+                    tb.release_turn_to(next);
                 }
+                // (None: keep the turn — and the guard — so the next event
+                // skips the lock entirely.)
+                out
+            }
+            CtxBackend::Coop(cb) => {
+                // A coroutine only runs while it owns the turn, so state
+                // access needs no locking at all.
+                let st = unsafe { &mut *cb.state };
+                debug_assert_eq!(st.sched.turn, c, "coop: non-owner coroutine running");
+                let (out, next) = run_event_on(st, c, pending, f);
+                if let Some(next) = next {
+                    // A coop Ctx only exists on targets where the module is
+                    // compiled (run_coop constructs it), so the arm is
+                    // unreachable elsewhere.
+                    #[cfg(mcsim_coop)]
+                    unsafe {
+                        crate::coop::switch(cb.ctxs.add(c), *cb.ctxs.add(next))
+                    };
+                    #[cfg(not(mcsim_coop))]
+                    unreachable!("coop backend unavailable on this target: core {next}");
+                }
+                out
             }
         }
-        if let Some(next) = st.sched.after_event(c) {
-            self.shared.cvs[next].notify_one();
-        }
-        out
     }
 
     fn retire(&mut self) {
         let c = self.core;
-        let mut st = self.shared.state.lock();
-        while st.sched.turn != c {
-            self.shared.cvs[c].wait(&mut st);
+        let pending = std::mem::take(&mut self.pending_ticks);
+        match &mut self.backend {
+            CtxBackend::Threads(tb) => {
+                let st = tb.acquire_turn(c);
+                let next = finish_retire(st, c, pending);
+                tb.release_turn_to(next.unwrap_or(NO_TURN));
+            }
+            CtxBackend::Coop(cb) => {
+                let st = unsafe { &mut *cb.state };
+                let next = finish_retire(st, c, pending);
+                // Record the final switch target (next owner, or the main
+                // slot when this was the last active core); the entry shim
+                // performs the switch after the body returns, so the body
+                // closure's allocation is freed first.
+                cb.retire_target = Some(next.unwrap_or(cb.main_slot));
+            }
         }
-        st.sched.clocks[c] += std::mem::take(&mut self.pending_ticks);
-        st.hub.stats.core(c).cycles = st.sched.clocks[c];
-        if let Some(next) = st.sched.retire(c) {
-            self.shared.cvs[next].notify_one();
-        }
-        debug_assert!(st.sched.turn != c || st.sched.turn == NO_TURN);
     }
 
     // --- architectural operations --------------------------------------
@@ -505,7 +868,13 @@ impl<'m> Ctx<'m> {
     /// no cycles are charged.)
     pub fn tx_active(&mut self) -> bool {
         let c = self.core;
-        self.shared.state.lock().hub.tx_active(c)
+        match &self.backend {
+            CtxBackend::Threads(tb) => match tb.turn_guard.as_deref() {
+                Some(st) => st.hub.tx_active(c),
+                None => tb.shared.lock().hub.tx_active(c),
+            },
+            CtxBackend::Coop(cb) => unsafe { (&*cb.state).hub.tx_active(c) },
+        }
     }
 
     /// Record one completed data-structure operation (throughput numerator,
@@ -530,8 +899,13 @@ impl<'m> Ctx<'m> {
     pub fn now(&mut self) -> u64 {
         let c = self.core;
         let pending = self.pending_ticks;
-        let st = self.shared.state.lock();
-        st.sched.clocks[c] + pending
+        match &self.backend {
+            CtxBackend::Threads(tb) => match tb.turn_guard.as_deref() {
+                Some(st) => st.sched.clocks[c] + pending,
+                None => tb.shared.lock().sched.clocks[c] + pending,
+            },
+            CtxBackend::Coop(cb) => unsafe { (&*cb.state).sched.clocks[c] + pending },
+        }
     }
 }
 
@@ -806,6 +1180,60 @@ mod tests {
             }
         });
         assert_eq!(m.stats().sum(|c| c.ctx_switches), 0);
+    }
+
+    #[test]
+    fn host_calls_inside_a_run_panic_instead_of_deadlocking() {
+        // On both backends, a host-side Machine call from a run closure
+        // whose core holds the state lock must panic loudly rather than
+        // relock the mutex on the same thread (a permanent hang).
+        for exec in [ExecBackend::Coop, ExecBackend::Threads] {
+            let m = Machine::new(MachineConfig {
+                cores: 1,
+                mem_bytes: 1 << 20,
+                static_lines: 64,
+                exec,
+                ..Default::default()
+            });
+            let a = m.alloc_static(1);
+            let m_ref = &m;
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                m_ref.run_on(1, |_, ctx| {
+                    // First event caches the guard on the threads backend
+                    // (a single core always keeps the turn).
+                    ctx.read(a);
+                    let _ = m_ref.stats(); // would self-deadlock unguarded
+                });
+            }));
+            assert!(
+                result.is_err(),
+                "{exec:?}: host-side call inside a run must panic loudly"
+            );
+            // The machine is still usable afterwards.
+            assert_eq!(m.stats().total_ops, 0);
+        }
+    }
+
+    #[test]
+    fn host_calls_on_a_different_machine_are_allowed_mid_run() {
+        // The hold marker is machine-scoped: using an independent machine
+        // as an oracle from inside a run closure is fine.
+        let oracle = Machine::new(MachineConfig {
+            cores: 1,
+            mem_bytes: 1 << 20,
+            static_lines: 64,
+            ..Default::default()
+        });
+        let key = oracle.alloc_static(1);
+        oracle.host_write(key, 99);
+        let m = small();
+        let a = m.alloc_static(1);
+        let oracle_ref = &oracle;
+        let out = m.run_on(1, |_, ctx| {
+            ctx.read(a);
+            oracle_ref.host_read(key)
+        });
+        assert_eq!(out, vec![99]);
     }
 
     #[test]

@@ -14,6 +14,24 @@
 //! handoff decision is a pure function of the clocks, the interleaving is a
 //! deterministic function of (program, seeds, quantum). The determinism
 //! integration test relies on this.
+//!
+//! ## Two-min bookkeeping
+//!
+//! The handoff decision needs the minimum clock over the *other* active
+//! cores. Rescanning all cores per event made every simulated memory access
+//! O(cores); instead the scheduler tracks the two smallest active
+//! `(clock, id)` keys, refreshed by a full scan only when the turn moves,
+//! a core activates, or a core retires. The refresh points are sufficient
+//! because **only the turn owner's clock ever advances**: between refreshes
+//! every other core's key is frozen, so
+//!
+//! * if `min1` is not the owner, `min1` is still the minimum over the
+//!   others (their clocks are unchanged and the owner is excluded);
+//! * if `min1` *is* the owner, the minimum over the others is `min2`.
+//!
+//! Hence the keep-turn case — the hot path — is O(1), and ties still break
+//! toward the lowest core id exactly as the full scan did (the scan visits
+//! cores in id order and replaces only on strictly smaller clocks).
 
 use crate::addr::CoreId;
 
@@ -24,7 +42,8 @@ pub const NO_TURN: usize = usize::MAX;
 #[derive(Debug)]
 pub struct Sched {
     /// Per-core local clocks, in cycles. Persist across runs until
-    /// explicitly reset.
+    /// explicitly reset. Only the turn owner's clock may advance mid-run
+    /// (the two-min bookkeeping depends on this).
     pub clocks: Vec<u64>,
     /// Which cores are currently executing a workload closure.
     pub active: Vec<bool>,
@@ -32,6 +51,14 @@ pub struct Sched {
     pub turn: usize,
     /// Lookahead quantum in cycles.
     pub quantum: u64,
+    /// Smallest active `(core, clock)` as of the last rescan (ties →
+    /// lowest id).
+    min1: Option<(CoreId, u64)>,
+    /// Second-smallest active `(core, clock)` as of the last rescan.
+    min2: Option<(CoreId, u64)>,
+    /// Full O(cores) rescans performed (introspection: unit tests assert
+    /// the keep-turn path never rescans).
+    pub rescans: u64,
 }
 
 impl Sched {
@@ -41,6 +68,9 @@ impl Sched {
             active: vec![false; cores],
             turn: NO_TURN,
             quantum,
+            min1: None,
+            min2: None,
+            rescans: 0,
         }
     }
 
@@ -49,20 +79,44 @@ impl Sched {
         self.active.iter().filter(|&&a| a).count()
     }
 
-    /// Min-clock active core other than `me` (ties → lowest id).
-    fn min_other(&self, me: CoreId) -> Option<(CoreId, u64)> {
-        let mut best: Option<(CoreId, u64)> = None;
+    /// Recompute the two smallest active `(clock, id)` keys. O(cores);
+    /// called only on turn moves, activation and retirement.
+    fn rescan(&mut self) {
+        self.rescans += 1;
+        let mut m1: Option<(CoreId, u64)> = None;
+        let mut m2: Option<(CoreId, u64)> = None;
         for (i, (&a, &clk)) in self.active.iter().zip(&self.clocks).enumerate() {
-            if a && i != me && best.is_none_or(|(_, b)| clk < b) {
-                best = Some((i, clk));
+            if !a {
+                continue;
+            }
+            // Strict `<` with id-ordered iteration keeps the lowest id in
+            // front on clock ties — the documented tie-break.
+            match m1 {
+                None => m1 = Some((i, clk)),
+                Some((_, c1)) if clk < c1 => {
+                    m2 = m1;
+                    m1 = Some((i, clk));
+                }
+                _ => match m2 {
+                    None => m2 = Some((i, clk)),
+                    Some((_, c2)) if clk < c2 => m2 = Some((i, clk)),
+                    _ => {}
+                },
             }
         }
-        best
+        self.min1 = m1;
+        self.min2 = m2;
     }
 
-    /// Min-clock active core (ties → lowest id).
-    fn min_active(&self) -> Option<CoreId> {
-        self.min_other(NO_TURN).map(|(i, _)| i)
+    /// Min-clock active core other than `me` (ties → lowest id). O(1):
+    /// served from the two-min bookkeeping, which is valid because only
+    /// `me` (the turn owner) can have advanced its clock since the last
+    /// rescan.
+    fn min_other(&self, me: CoreId) -> Option<(CoreId, u64)> {
+        match self.min1 {
+            Some((i, _)) if i == me => self.min2,
+            other => other,
+        }
     }
 
     /// Activate cores `0..n` for a run. Panics if a previous run left cores
@@ -73,12 +127,14 @@ impl Sched {
         for c in 0..n {
             self.active[c] = true;
         }
-        self.turn = self.min_active().expect("n >= 1");
+        self.rescan();
+        self.turn = self.min1.expect("n >= 1").0;
         self.turn
     }
 
     /// After `me` (the turn owner) finishes an event, decide whether to keep
-    /// the turn. Returns the core to wake if the turn moves.
+    /// the turn. Returns the core to wake if the turn moves. The keep-turn
+    /// case is O(1).
     pub fn after_event(&mut self, me: CoreId) -> Option<CoreId> {
         debug_assert_eq!(self.turn, me);
         if let Some((next, min)) = self.min_other(me) {
@@ -86,6 +142,9 @@ impl Sched {
             // measured from the minimum of the *other* cores.
             if self.clocks[me] > min.saturating_add(self.quantum) {
                 self.turn = next;
+                // `me`'s clock is now final until the turn returns to it:
+                // refresh the two-min keys for the new owner's decisions.
+                self.rescan();
                 return Some(next);
             }
         }
@@ -98,8 +157,9 @@ impl Sched {
         debug_assert_eq!(self.turn, me);
         debug_assert!(self.active[me]);
         self.active[me] = false;
-        match self.min_active() {
-            Some(next) => {
+        self.rescan();
+        match self.min1 {
+            Some((next, _)) => {
                 self.turn = next;
                 Some(next)
             }
@@ -114,6 +174,8 @@ impl Sched {
     pub fn reset_clocks(&mut self) {
         assert_eq!(self.n_active(), 0, "cannot reset clocks mid-run");
         self.clocks.fill(0);
+        self.min1 = None;
+        self.min2 = None;
     }
 
     /// The machine's finish time: max clock over all cores.
@@ -211,5 +273,126 @@ mod tests {
         let mut s = Sched::new(2, 0);
         s.start_run(2);
         s.start_run(2);
+    }
+
+    // --- two-min bookkeeping --------------------------------------------
+
+    #[test]
+    fn keep_turn_case_never_rescans() {
+        let mut s = Sched::new(8, 1_000);
+        s.start_run(8);
+        let scans = s.rescans;
+        for _ in 0..1_000 {
+            s.clocks[0] += 1;
+            assert_eq!(s.after_event(0), None, "within quantum: keep turn");
+        }
+        assert_eq!(s.rescans, scans, "keep-turn decisions must be O(1)");
+    }
+
+    #[test]
+    fn rescans_only_on_structural_events() {
+        let mut s = Sched::new(4, 0);
+        s.start_run(4); // rescan #1
+        assert_eq!(s.rescans, 1);
+        s.clocks[0] += 10;
+        assert_eq!(s.after_event(0), Some(1)); // move → rescan #2
+        assert_eq!(s.rescans, 2);
+        assert_eq!(s.retire(1), Some(2)); // retire → rescan #3
+        assert_eq!(s.rescans, 3);
+    }
+
+    /// Reference implementation: the seed's O(cores) full-scan scheduler.
+    /// The incremental scheduler must make byte-identical decisions.
+    struct RefSched {
+        clocks: Vec<u64>,
+        active: Vec<bool>,
+        turn: usize,
+        quantum: u64,
+    }
+
+    impl RefSched {
+        fn min_other(&self, me: usize) -> Option<(usize, u64)> {
+            let mut best: Option<(usize, u64)> = None;
+            for (i, (&a, &clk)) in self.active.iter().zip(&self.clocks).enumerate() {
+                if a && i != me && best.is_none_or(|(_, b)| clk < b) {
+                    best = Some((i, clk));
+                }
+            }
+            best
+        }
+
+        fn after_event(&mut self, me: usize) -> Option<usize> {
+            if let Some((next, min)) = self.min_other(me) {
+                if self.clocks[me] > min.saturating_add(self.quantum) {
+                    self.turn = next;
+                    return Some(next);
+                }
+            }
+            None
+        }
+
+        fn retire(&mut self, me: usize) -> Option<usize> {
+            self.active[me] = false;
+            match self.min_other(NO_TURN) {
+                Some((next, _)) => {
+                    self.turn = next;
+                    Some(next)
+                }
+                None => {
+                    self.turn = NO_TURN;
+                    None
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn two_min_matches_full_scan_reference() {
+        for quantum in [0u64, 3, 17, 1_000] {
+            let cores = 6;
+            let mut s = Sched::new(cores, quantum);
+            let mut r = RefSched {
+                clocks: vec![0; cores],
+                active: vec![false; cores],
+                turn: 0,
+                quantum,
+            };
+            s.start_run(cores);
+            for c in 0..cores {
+                r.active[c] = true;
+            }
+            r.turn = 0;
+            assert_eq!(s.turn, r.turn);
+
+            // Deterministic pseudo-random event costs; occasionally retire
+            // the owner, until all cores are done.
+            let mut lcg: u64 = 0x1234_5678 ^ quantum;
+            let mut step = || {
+                lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                lcg >> 33
+            };
+            let mut events = 0u32;
+            while s.turn != NO_TURN {
+                let me = s.turn;
+                assert_eq!(me, r.turn, "turn diverged (quantum {quantum})");
+                events += 1;
+                if events > 20_000 {
+                    panic!("runaway");
+                }
+                if step() % 37 == 0 {
+                    assert_eq!(s.retire(me), r.retire(me), "retire (quantum {quantum})");
+                    continue;
+                }
+                let cost = step() % 23;
+                s.clocks[me] += cost;
+                r.clocks[me] += cost;
+                assert_eq!(
+                    s.after_event(me),
+                    r.after_event(me),
+                    "handoff decision diverged at event {events} (quantum {quantum})"
+                );
+            }
+            assert_eq!(r.turn, NO_TURN);
+        }
     }
 }

@@ -88,6 +88,12 @@ pub struct CoreStats {
     pub ops: u64,
     /// Cycles spent by this core (mirror of its local clock at snapshot time).
     pub cycles: u64,
+    /// Events after which this core kept the turn (executed under the
+    /// still-held machine lock — the batched fast path).
+    pub batched_events: u64,
+    /// Events after which the turn moved to another core (lock release +
+    /// wake-up — the expensive path the quantum amortizes).
+    pub turn_handoffs: u64,
 }
 
 impl CoreStats {

@@ -1,0 +1,236 @@
+//! Minimal, dependency-free drop-in for the [`criterion`] benchmark harness.
+//!
+//! This workspace builds in offline environments where crates.io is not
+//! reachable, so the real `criterion` cannot be vendored. This shim
+//! implements exactly the API subset the `cabench` benches use:
+//!
+//! * `Criterion::benchmark_group` with `sample_size`, `warm_up_time`,
+//!   `measurement_time`, `bench_function`, `finish`;
+//! * `Bencher::iter`;
+//! * the `criterion_group!` / `criterion_main!` macros;
+//! * the `--test` CLI flag (run every benchmark body once, no timing) used
+//!   by CI to catch bench bitrot cheaply.
+//!
+//! Measurements are wall-clock means over whole-`iter` samples — far less
+//! statistics than the real criterion, but stable enough to compare runs of
+//! the deterministic simulator on an idle machine.
+//!
+//! [`criterion`]: https://docs.rs/criterion
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness state (one per bench binary).
+pub struct Criterion {
+    /// `--test`: run each benchmark once, unmeasured (smoke mode).
+    test_mode: bool,
+}
+
+impl Criterion {
+    /// Build from CLI arguments (`cargo bench -- --test` sets smoke mode;
+    /// all other flags cargo passes, e.g. `--bench`, are ignored).
+    pub fn from_args() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self { test_mode }
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+
+    /// Standalone benchmark (same semantics as a single-entry group).
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        let mut g = self.benchmark_group(id.clone());
+        g.bench_function("", f);
+        g.finish();
+    }
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self::from_args()
+    }
+}
+
+/// A named group of benchmarks sharing sampling parameters.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Run one benchmark. The closure receives a [`Bencher`] and must call
+    /// [`Bencher::iter`] exactly once per invocation (criterion's contract).
+    pub fn bench_function(&mut self, id: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        let label = if id.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        let mut b = Bencher {
+            test_mode: self.criterion.test_mode,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            report: None,
+        };
+        f(&mut b);
+        match b.report {
+            Some(r) => println!(
+                "{label:<56} time: [{} {} {}]",
+                fmt_ns(r.min),
+                fmt_ns(r.mean),
+                fmt_ns(r.max)
+            ),
+            None if self.criterion.test_mode => println!("{label:<56} (smoke: ok)"),
+            None => println!("{label:<56} (no samples)"),
+        }
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+struct Report {
+    min: f64,
+    mean: f64,
+    max: f64,
+}
+
+/// Passed to each benchmark body; times the closure given to [`Self::iter`].
+pub struct Bencher {
+    test_mode: bool,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    report: Option<Report>,
+}
+
+impl Bencher {
+    /// Measure `f`. In `--test` mode, run it once and skip timing.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
+        // Warm-up: run until the warm-up budget is spent (at least once).
+        let warm_end = Instant::now() + self.warm_up_time;
+        loop {
+            black_box(f());
+            if Instant::now() >= warm_end {
+                break;
+            }
+        }
+        // Measurement: whole-call samples until sample_size samples are
+        // taken or the time budget runs out (at least one sample).
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        let measure_end = Instant::now() + self.measurement_time;
+        while samples.len() < self.sample_size {
+            let t0 = Instant::now();
+            black_box(f());
+            samples.push(t0.elapsed().as_nanos() as f64);
+            if Instant::now() >= measure_end && !samples.is_empty() {
+                break;
+            }
+        }
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(0.0, f64::max);
+        self.report = Some(Report { min, mean, max });
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Declare a bench group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::from_args();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = Criterion { test_mode: true };
+        let mut ran = 0;
+        let mut g = c.benchmark_group("g");
+        g.bench_function("case", |b| b.iter(|| ran += 1));
+        g.finish();
+        assert_eq!(ran, 1, "--test mode runs the body exactly once");
+    }
+
+    #[test]
+    fn measured_mode_produces_samples() {
+        let mut c = Criterion { test_mode: false };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut count = 0u64;
+        g.bench_function("case", |b| b.iter(|| count += 1));
+        assert!(count >= 4, "warm-up + at least 3 samples, got {count}");
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(fmt_ns(500.0), "500 ns");
+        assert_eq!(fmt_ns(1500.0), "1.500 µs");
+        assert_eq!(fmt_ns(2.5e6), "2.500 ms");
+        assert_eq!(fmt_ns(3.2e9), "3.200 s");
+    }
+}

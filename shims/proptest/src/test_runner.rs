@@ -1,0 +1,74 @@
+//! Test-runner configuration and the deterministic RNG behind strategies.
+
+/// Subset of proptest's config: only `cases` is honoured.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` cases (the only knob these tests use).
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Deterministic splitmix64 stream, seeded from the property's name so each
+/// test explores a different (but reproducible) region of the input space.
+#[derive(Clone, Debug)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seed from a test name (FNV-1a over the bytes).
+    pub fn deterministic(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self(h)
+    }
+
+    /// Next raw 64-bit value (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform-enough value in `0..n` (modulo bias is irrelevant for test
+    /// generation). `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_differ_by_name() {
+        let a = TestRng::deterministic("a").next_u64();
+        let b = TestRng::deterministic("b").next_u64();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn below_is_in_range() {
+        let mut rng = TestRng::deterministic("below");
+        for _ in 0..1000 {
+            assert!(rng.below(7) < 7);
+        }
+    }
+}
