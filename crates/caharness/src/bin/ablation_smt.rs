@@ -2,12 +2,13 @@
 //! revocation without coherence traffic. Compares the same workload packed
 //! 1, 2 and 4 hardware threads per physical core.
 //!
-//! Usage: `cargo run -p caharness --release --bin ablation_smt [--quick|--paper]`
+//! Usage: `cargo run -p caharness --release --bin ablation_smt [--quick|--paper] [--jobs N]`
 
 use caharness::experiments::{ablation_smt, Scale};
 
 fn main() {
     let scale = Scale::from_args();
+    caharness::sweep::set_jobs_from_args();
     eprintln!("[ablation_smt at {scale:?} scale]");
     let (tput, revokes) = ablation_smt(scale);
     tput.emit("ablation_smt_throughput.csv");

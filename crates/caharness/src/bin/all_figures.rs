@@ -1,12 +1,13 @@
 //! Runs the complete evaluation: every figure and ablation, sequentially.
 //! Tables go to stdout, CSVs under `results/`.
 //!
-//! Usage: `cargo run -p caharness --release --bin all_figures [--quick|--paper]`
+//! Usage: `cargo run -p caharness --release --bin all_figures [--quick|--paper] [--jobs N]`
 
 use caharness::experiments::*;
 
 fn main() {
     let scale = Scale::from_args();
+    caharness::sweep::set_jobs_from_args();
     eprintln!("[all_figures at {scale:?} scale]");
     for (i, t) in fig1_lazylist(scale).into_iter().enumerate() {
         t.emit(&format!("fig1_lazylist_panel{i}.csv"));

@@ -2,12 +2,13 @@
 //! list of ~500 nodes under a 100%-update workload with 16 threads,
 //! sampled every 1000 operations.
 //!
-//! Usage: `cargo run -p caharness --release --bin fig3_memory [--quick|--paper]`
+//! Usage: `cargo run -p caharness --release --bin fig3_memory [--quick|--paper] [--jobs N]`
 
 use caharness::experiments::{fig3_memory, Scale};
 
 fn main() {
     let scale = Scale::from_args();
+    caharness::sweep::set_jobs_from_args();
     eprintln!("[fig3_memory at {scale:?} scale]");
     fig3_memory(scale).emit("fig3_memory.csv");
 }

@@ -3,12 +3,13 @@
 //! paper's two criticisms: per-hop transaction latency on read-only
 //! workloads and metadata-table false conflicts.
 //!
-//! Usage: `cargo run -p caharness --release --bin htm_bench [--quick|--paper]`
+//! Usage: `cargo run -p caharness --release --bin htm_bench [--quick|--paper] [--jobs N]`
 
 use caharness::experiments::{htm_bench, Scale};
 
 fn main() {
     let scale = Scale::from_args();
+    caharness::sweep::set_jobs_from_args();
     eprintln!("[htm_bench at {scale:?} scale]");
     let (read_only, updates, aborts) = htm_bench(scale);
     read_only.emit("htm_bench_readonly.csv");

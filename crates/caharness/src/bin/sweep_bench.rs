@@ -1,0 +1,85 @@
+//! Host wall-clock instrument for the parallel sweep engine, behind
+//! `BENCH_pr2.json`.
+//!
+//! Runs one figure-style grid — 7 schemes × 4 thread counts = 28
+//! configurations of the Figure-1 lazy list — once with `--jobs 1` and once
+//! with `--jobs N`, verifies the rendered metrics tables are byte-identical
+//! (the sweep determinism contract), and prints one JSON object with both
+//! wall clocks and the speedup. Simulated results are deterministic, so the
+//! wall-clock ratio is pure host-scheduling performance.
+//!
+//! Usage: `cargo run --release -p caharness --bin sweep_bench [reps] [--jobs N]`
+//! (default reps 3; default jobs = one worker per host CPU)
+
+use std::time::Instant;
+
+use caharness::config::jobs_from_args;
+use caharness::{sweep, Mix, RunConfig, SeriesTable, SetKind};
+use casmr::SchemeKind;
+
+fn grid() -> SeriesTable {
+    let threads = [1usize, 2, 4, 8];
+    let mut table = SeriesTable::new(
+        "sweep_bench — lazy list 50i-50d, 7 schemes × 4 thread counts",
+        "scheme\\threads",
+        threads.iter().map(|t| t.to_string()).collect(),
+    );
+    let rows = sweep::grid("sweep_bench", &SchemeKind::ALL, &threads, |&scheme, &t| {
+        let cfg = RunConfig {
+            threads: t,
+            key_range: 1000,
+            prefill: 500,
+            ops_per_thread: 500,
+            mix: Mix {
+                insert_pct: 50,
+                delete_pct: 50,
+            },
+            ..Default::default()
+        };
+        caharness::run_set(SetKind::LazyList, scheme, &cfg).throughput
+    });
+    for (scheme, row) in SchemeKind::ALL.iter().zip(rows) {
+        table.push_series(scheme.name(), row);
+    }
+    table
+}
+
+/// Best-of-`reps` wall clock for the grid at the given worker count, plus
+/// the rendered table (identical across reps by determinism).
+fn time_grid(jobs: usize, reps: usize) -> (f64, String) {
+    sweep::set_jobs(jobs);
+    let warm = grid().to_csv();
+    let mut best_ms = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let csv = grid().to_csv();
+        best_ms = best_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(csv, warm, "deterministic sweep diverged between reps");
+    }
+    sweep::set_jobs(0);
+    (best_ms, warm)
+}
+
+fn main() {
+    let reps: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(3);
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let jobs = match jobs_from_args() {
+        0 => host,
+        n => n,
+    };
+    eprintln!("[sweep_bench: 28 configs, best of {reps}, jobs 1 vs {jobs}, host CPUs {host}]");
+    let (serial_ms, serial_csv) = time_grid(1, reps);
+    let (par_ms, par_csv) = time_grid(jobs, reps);
+    let identical = serial_csv == par_csv;
+    assert!(identical, "--jobs {jobs} table differs from --jobs 1");
+    println!(
+        "{{\"bench\": \"sweep_bench\", \"configs\": 28, \"host_cpus\": {host}, \
+         \"reps\": {reps}, \"jobs\": {jobs}, \"wall_ms_jobs1\": {serial_ms:.1}, \
+         \"wall_ms_jobsN\": {par_ms:.1}, \"speedup\": {:.2}, \
+         \"byte_identical\": {identical}}}",
+        serial_ms / par_ms
+    );
+}

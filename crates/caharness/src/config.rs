@@ -95,6 +95,29 @@ impl Default for RunConfig {
     }
 }
 
+/// Parse the `--jobs N` / `--jobs=N` / `-jN` sweep-parallelism flag from
+/// the CLI (0 = auto: one host worker per CPU). Every harness bin threads
+/// this into [`crate::sweep::set_jobs`]; it is a host-performance knob only
+/// — simulated results are bit-identical for every value (see
+/// [`crate::sweep`]).
+pub fn jobs_from_args() -> usize {
+    let parse = |v: &str| -> usize {
+        v.parse()
+            .unwrap_or_else(|_| panic!("--jobs requires a non-negative integer, got {v:?}"))
+    };
+    let args: Vec<String> = std::env::args().collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--jobs" || a == "-j" {
+            let v = it.next().expect("--jobs requires a value (0 = auto)");
+            return parse(v);
+        } else if let Some(v) = a.strip_prefix("--jobs=").or_else(|| a.strip_prefix("-j")) {
+            return parse(v);
+        }
+    }
+    0
+}
+
 impl RunConfig {
     /// Build the simulated machine for this run.
     pub fn machine_config(&self) -> MachineConfig {

@@ -5,16 +5,23 @@
 //! tradeoffs, §III associativity insensitivity) plus one simulator-fidelity
 //! check. See DESIGN.md §4 for the experiment index and EXPERIMENTS.md for
 //! recorded paper-vs-measured results.
+//!
+//! Every function builds its cell cross-product as a task list and executes
+//! it on the [`crate::sweep`] work-stealing pool (`--jobs N` in the bins).
+//! Cells are independent (one `Machine` each, per-config seeds), so the
+//! tables are byte-identical for every worker count.
 
 use casmr::{SchemeKind, SmrConfig};
 use mcsim::coherence::Protocol;
 use mcsim::CacheConfig;
 
 use crate::config::{Mix, RunConfig};
+use crate::metrics::Metrics;
 use crate::runner::{
     run_fallback_list, run_harris, run_htm_list, run_lf_bst, run_queue, run_set, run_set_latency,
     run_stack, SetKind,
 };
+use crate::sweep;
 use crate::table::SeriesTable;
 
 /// Experiment scale: trades fidelity to the paper's exact parameters
@@ -69,7 +76,8 @@ fn base_config(scale: Scale) -> RunConfig {
 }
 
 /// Throughput sweep (one figure panel): threads on the x axis, one series
-/// per scheme, cells in ops/Mcycle.
+/// per scheme, cells in ops/Mcycle. All `schemes × threads` cells run
+/// concurrently on the sweep pool.
 pub fn throughput_panel(
     kind: Option<SetKind>, // None = stack
     mix: Mix,
@@ -83,22 +91,26 @@ pub fn throughput_panel(
         "scheme\\threads",
         threads.iter().map(|t| t.to_string()).collect(),
     );
-    for scheme in SchemeKind::ALL {
-        let mut row = Vec::with_capacity(threads.len());
-        for &t in &threads {
-            let cfg = RunConfig {
-                threads: t,
-                key_range,
-                prefill: key_range / 2,
-                mix,
-                ..base_config(scale)
-            };
-            let m = match kind {
-                Some(k) => run_set(k, scheme, &cfg),
-                None => run_stack(scheme, &cfg),
-            };
-            row.push(m.throughput);
-        }
+    let label = format!(
+        "{} {}",
+        kind.map_or("stack", SetKind::name),
+        mix.label()
+    );
+    let rows = sweep::grid(&label, &SchemeKind::ALL, &threads, |&scheme, &t| {
+        let cfg = RunConfig {
+            threads: t,
+            key_range,
+            prefill: key_range / 2,
+            mix,
+            ..base_config(scale)
+        };
+        let m = match kind {
+            Some(k) => run_set(k, scheme, &cfg),
+            None => run_stack(scheme, &cfg),
+        };
+        m.throughput
+    });
+    for (scheme, row) in SchemeKind::ALL.iter().zip(rows) {
         table.push_series(scheme.name(), row);
     }
     table
@@ -180,20 +192,25 @@ pub fn fig3_memory(scale: Scale) -> SeriesTable {
             .map(|i| (i as u64 * sample_every).to_string())
             .collect(),
     );
-    for scheme in SchemeKind::ALL {
-        let cfg = RunConfig {
-            threads,
-            key_range: 1000,
-            prefill: 500,
-            ops_per_thread: ops,
-            mix: Mix {
-                insert_pct: 50,
-                delete_pct: 50,
-            },
-            sample_every: Some(sample_every),
-            ..Default::default()
-        };
-        let m = run_set(SetKind::LazyList, scheme, &cfg);
+    let tasks: Vec<sweep::Task<Metrics>> = SchemeKind::ALL
+        .iter()
+        .map(|&scheme| {
+            let cfg = RunConfig {
+                threads,
+                key_range: 1000,
+                prefill: 500,
+                ops_per_thread: ops,
+                mix: Mix {
+                    insert_pct: 50,
+                    delete_pct: 50,
+                },
+                sample_every: Some(sample_every),
+                ..Default::default()
+            };
+            Box::new(move || run_set(SetKind::LazyList, scheme, &cfg)) as sweep::Task<Metrics>
+        })
+        .collect();
+    for (scheme, m) in SchemeKind::ALL.iter().zip(sweep::run("fig3", tasks)) {
         let mut row: Vec<f64> = m.footprint.iter().map(|(_, live)| *live as f64).collect();
         row.resize(n_samples, f64::NAN);
         table.push_series(scheme.name(), row);
@@ -227,32 +244,34 @@ pub fn ablation_associativity(scale: Scale) -> (SeriesTable, SeriesTable) {
         "metric\\assoc",
         assocs.iter().map(|a| a.to_string()).collect(),
     );
-    let mut tput_row = Vec::new();
-    let mut fail_row = Vec::new();
-    let mut evict_row = Vec::new();
-    for &assoc in &assocs {
-        let cfg = RunConfig {
-            threads,
-            key_range: 1000,
-            prefill: 500,
-            mix: Mix {
-                insert_pct: 50,
-                delete_pct: 50,
-            },
-            cache: CacheConfig {
-                l1_assoc: assoc,
-                ..CacheConfig::default()
-            },
-            ..base_config(scale)
-        };
-        let m = run_set(SetKind::LazyList, SchemeKind::Ca, &cfg);
-        tput_row.push(m.throughput);
-        fail_row.push(m.cread_fail as f64);
-        evict_row.push(m.spurious_revokes as f64);
-    }
-    tput.push_series("ca ops/Mcycle", tput_row);
-    spurious.push_series("cread failures", fail_row);
-    spurious.push_series("eviction revokes", evict_row);
+    let tasks: Vec<sweep::Task<Metrics>> = assocs
+        .iter()
+        .map(|&assoc| {
+            let cfg = RunConfig {
+                threads,
+                key_range: 1000,
+                prefill: 500,
+                mix: Mix {
+                    insert_pct: 50,
+                    delete_pct: 50,
+                },
+                cache: CacheConfig {
+                    l1_assoc: assoc,
+                    ..CacheConfig::default()
+                },
+                ..base_config(scale)
+            };
+            Box::new(move || run_set(SetKind::LazyList, SchemeKind::Ca, &cfg))
+                as sweep::Task<Metrics>
+        })
+        .collect();
+    let ms = sweep::run("ablation_assoc", tasks);
+    tput.push_series("ca ops/Mcycle", ms.iter().map(|m| m.throughput).collect());
+    spurious.push_series("cread failures", ms.iter().map(|m| m.cread_fail as f64).collect());
+    spurious.push_series(
+        "eviction revokes",
+        ms.iter().map(|m| m.spurious_revokes as f64).collect(),
+    );
     (tput, spurious)
 }
 
@@ -264,6 +283,7 @@ pub fn ablation_reclaim_freq(scale: Scale) -> (SeriesTable, SeriesTable) {
         Scale::Quick => 4,
         _ => 16,
     };
+    let schemes = [SchemeKind::Qsbr, SchemeKind::Ibr, SchemeKind::Ca];
     let freqs = [1u64, 10, 30, 100, 1000];
     let labels: Vec<String> = freqs.iter().map(|f| f.to_string()).collect();
     let mut tput = SeriesTable::new(
@@ -276,31 +296,30 @@ pub fn ablation_reclaim_freq(scale: Scale) -> (SeriesTable, SeriesTable) {
         "scheme\\freq",
         labels,
     );
-    for scheme in [SchemeKind::Qsbr, SchemeKind::Ibr, SchemeKind::Ca] {
-        let mut tput_row = Vec::new();
-        let mut peak_row = Vec::new();
-        for &f in &freqs {
-            let cfg = RunConfig {
-                threads,
-                key_range: 1000,
-                prefill: 500,
-                mix: Mix {
-                    insert_pct: 50,
-                    delete_pct: 50,
-                },
-                smr: SmrConfig {
-                    reclaim_freq: f,
-                    epoch_freq: 5 * f,
-                    ..Default::default()
-                },
-                ..base_config(scale)
-            };
-            let m = run_set(SetKind::LazyList, scheme, &cfg);
-            tput_row.push(m.throughput);
-            peak_row.push(m.peak_allocated as f64);
-        }
-        tput.push_series(scheme.name(), tput_row);
-        peak.push_series(scheme.name(), peak_row);
+    let cells = sweep::grid("ablation_freq", &schemes, &freqs, |&scheme, &f| {
+        let cfg = RunConfig {
+            threads,
+            key_range: 1000,
+            prefill: 500,
+            mix: Mix {
+                insert_pct: 50,
+                delete_pct: 50,
+            },
+            smr: SmrConfig {
+                reclaim_freq: f,
+                epoch_freq: 5 * f,
+                ..Default::default()
+            },
+            ..base_config(scale)
+        };
+        run_set(SetKind::LazyList, scheme, &cfg)
+    });
+    for (scheme, row) in schemes.iter().zip(cells) {
+        tput.push_series(scheme.name(), row.iter().map(|m| m.throughput).collect());
+        peak.push_series(
+            scheme.name(),
+            row.iter().map(|m| m.peak_allocated as f64).collect(),
+        );
     }
     (tput, peak)
 }
@@ -313,28 +332,28 @@ pub fn ablation_quantum(scale: Scale) -> SeriesTable {
         Scale::Quick => 4,
         _ => 16,
     };
+    let schemes = [SchemeKind::Ca, SchemeKind::Qsbr, SchemeKind::Hp];
     let quanta = [0u64, 16, 64, 256, 1024];
     let mut table = SeriesTable::new(
         format!("Scheduler-quantum ablation — lazy list, {threads} threads, 50i-50d"),
         "scheme\\quantum",
         quanta.iter().map(|q| q.to_string()).collect(),
     );
-    for scheme in [SchemeKind::Ca, SchemeKind::Qsbr, SchemeKind::Hp] {
-        let mut row = Vec::new();
-        for &q in &quanta {
-            let cfg = RunConfig {
-                threads,
-                key_range: 1000,
-                prefill: 500,
-                mix: Mix {
-                    insert_pct: 50,
-                    delete_pct: 50,
-                },
-                quantum: q,
-                ..base_config(scale)
-            };
-            row.push(run_set(SetKind::LazyList, scheme, &cfg).throughput);
-        }
+    let cells = sweep::grid("ablation_quantum", &schemes, &quanta, |&scheme, &q| {
+        let cfg = RunConfig {
+            threads,
+            key_range: 1000,
+            prefill: 500,
+            mix: Mix {
+                insert_pct: 50,
+                delete_pct: 50,
+            },
+            quantum: q,
+            ..base_config(scale)
+        };
+        run_set(SetKind::LazyList, scheme, &cfg).throughput
+    });
+    for (scheme, row) in schemes.iter().zip(cells) {
         table.push_series(scheme.name(), row);
     }
     table
@@ -353,15 +372,14 @@ pub fn ablation_ctx_switch(scale: Scale) -> SeriesTable {
     // cycles, so even the harshest point here (20k) is pessimistic.
     let intervals: [Option<u64>; 4] = [None, Some(500_000), Some(100_000), Some(20_000)];
     let labels = ["never", "500k", "100k", "20k"];
+    let schemes = [SchemeKind::Ca, SchemeKind::Qsbr];
     let mut table = SeriesTable::new(
         format!("Context-switch ablation — lazy list, {threads} threads, 50i-50d"),
         "metric\\interval",
         labels.iter().map(|l| l.to_string()).collect(),
     );
-    let mut ca_row = Vec::new();
-    let mut revoke_row = Vec::new();
-    let mut qsbr_row = Vec::new();
-    for iv in intervals {
+    // Rows are intervals so each (interval, scheme) cell is one task.
+    let cells = sweep::grid("ablation_ctxswitch", &intervals, &schemes, |&iv, &scheme| {
         let cfg = RunConfig {
             threads,
             key_range: 1000,
@@ -373,83 +391,126 @@ pub fn ablation_ctx_switch(scale: Scale) -> SeriesTable {
             ctx_switch: iv.map(|i| (i, 2000)),
             ..base_config(scale)
         };
-        let ca = run_set(SetKind::LazyList, SchemeKind::Ca, &cfg);
-        ca_row.push(ca.throughput);
-        revoke_row.push(ca.spurious_revokes as f64);
-        qsbr_row.push(run_set(SetKind::LazyList, SchemeKind::Qsbr, &cfg).throughput);
+        run_set(SetKind::LazyList, scheme, &cfg)
+    });
+    table.push_series(
+        "ca ops/Mcycle",
+        cells.iter().map(|row| row[0].throughput).collect(),
+    );
+    table.push_series(
+        "qsbr ops/Mcycle",
+        cells.iter().map(|row| row[1].throughput).collect(),
+    );
+    table.push_series(
+        "ca spurious revokes",
+        cells.iter().map(|row| row[0].spurious_revokes as f64).collect(),
+    );
+    table
+}
+
+/// Labels of a [`lockfree_vs_baselines`] panel.
+struct LfLabels {
+    /// Table caption.
+    title: &'static str,
+    /// Sweep progress label.
+    sweep: &'static str,
+    /// Series name of the lock-free variant row.
+    variant: &'static str,
+    /// Suffix of the baseline series names (`{scheme}-{suffix}`).
+    suffix: &'static str,
+}
+
+/// Shared scaffold of the lock-free-extension benches ([`harris_bench`],
+/// [`lfbst_bench`]): one lock-free variant row, then the lock-based
+/// baselines for `kind`, all cells in one flat sweep (variant row first,
+/// then one row per scheme, reassembled by `chunks(threads.len())`).
+fn lockfree_vs_baselines(
+    labels: LfLabels,
+    scale: Scale,
+    kind: SetKind,
+    variant: impl Fn(&RunConfig) -> f64 + Sync,
+    cfg_for: impl Fn(usize) -> RunConfig + Sync,
+) -> SeriesTable {
+    let threads = scale.threads();
+    let mut table = SeriesTable::new(
+        labels.title,
+        "variant\\threads",
+        threads.iter().map(|t| t.to_string()).collect(),
+    );
+    let schemes = [SchemeKind::Ca, SchemeKind::Qsbr, SchemeKind::None];
+    let variant = &variant;
+    let cfg_for = &cfg_for;
+    let mut tasks: Vec<sweep::Task<f64>> = Vec::new();
+    for &t in &threads {
+        tasks.push(Box::new(move || variant(&cfg_for(t))));
     }
-    table.push_series("ca ops/Mcycle", ca_row);
-    table.push_series("qsbr ops/Mcycle", qsbr_row);
-    table.push_series("ca spurious revokes", revoke_row);
+    for &scheme in &schemes {
+        for &t in &threads {
+            tasks.push(Box::new(move || run_set(kind, scheme, &cfg_for(t)).throughput));
+        }
+    }
+    let flat = sweep::run(labels.sweep, tasks);
+    let mut rows = flat.chunks(threads.len());
+    table.push_series(labels.variant, rows.next().expect("variant row").to_vec());
+    for scheme in schemes {
+        table.push_series(
+            format!("{}-{}", scheme.name(), labels.suffix),
+            rows.next().expect("baseline row").to_vec(),
+        );
+    }
     table
 }
 
 /// Extension: the lock-free CA Harris list (paper future work) vs. the
 /// lock-based CA lazy list and the fastest baselines, 100% updates.
 pub fn harris_bench(scale: Scale) -> SeriesTable {
-    let threads = scale.threads();
-    let mut table = SeriesTable::new(
-        "Lock-free CA Harris list vs lock-based lists — 50i-50d",
-        "variant\\threads",
-        threads.iter().map(|t| t.to_string()).collect(),
-    );
-    let cfg_for = |t: usize, scale: Scale| RunConfig {
-        threads: t,
-        key_range: 1000,
-        prefill: 500,
-        mix: Mix {
-            insert_pct: 50,
-            delete_pct: 50,
+    lockfree_vs_baselines(
+        LfLabels {
+            title: "Lock-free CA Harris list vs lock-based lists — 50i-50d",
+            sweep: "harris_bench",
+            variant: "ca-harris (lock-free)",
+            suffix: "lazy",
         },
-        ..base_config(scale)
-    };
-    let mut harris = Vec::new();
-    for &t in &threads {
-        harris.push(run_harris(&cfg_for(t, scale)).throughput);
-    }
-    table.push_series("ca-harris (lock-free)", harris);
-    for scheme in [SchemeKind::Ca, SchemeKind::Qsbr, SchemeKind::None] {
-        let mut row = Vec::new();
-        for &t in &threads {
-            row.push(run_set(SetKind::LazyList, scheme, &cfg_for(t, scale)).throughput);
-        }
-        table.push_series(format!("{}-lazy", scheme.name()), row);
-    }
-    table
+        scale,
+        SetKind::LazyList,
+        |cfg| run_harris(cfg).throughput,
+        move |t| RunConfig {
+            threads: t,
+            key_range: 1000,
+            prefill: 500,
+            mix: Mix {
+                insert_pct: 50,
+                delete_pct: 50,
+            },
+            ..base_config(scale)
+        },
+    )
 }
 
 /// Extension: the lock-free CA external BST (future work, tree half) vs
 /// the paper's lock-based CA BST and the fastest baselines, 100% updates.
 pub fn lfbst_bench(scale: Scale) -> SeriesTable {
-    let threads = scale.threads();
-    let mut table = SeriesTable::new(
-        "Lock-free CA external BST vs lock-based BSTs — 50i-50d, keys 0..10K",
-        "variant\\threads",
-        threads.iter().map(|t| t.to_string()).collect(),
-    );
-    let cfg_for = |t: usize| RunConfig {
-        threads: t,
-        key_range: 10_000,
-        prefill: 5_000,
-        mix: Mix {
-            insert_pct: 50,
-            delete_pct: 50,
+    lockfree_vs_baselines(
+        LfLabels {
+            title: "Lock-free CA external BST vs lock-based BSTs — 50i-50d, keys 0..10K",
+            sweep: "lfbst_bench",
+            variant: "ca-lf-bst (lock-free)",
+            suffix: "bst",
         },
-        ..base_config(scale)
-    };
-    let mut lf = Vec::new();
-    for &t in &threads {
-        lf.push(run_lf_bst(&cfg_for(t)).throughput);
-    }
-    table.push_series("ca-lf-bst (lock-free)", lf);
-    for scheme in [SchemeKind::Ca, SchemeKind::Qsbr, SchemeKind::None] {
-        let mut row = Vec::new();
-        for &t in &threads {
-            row.push(run_set(SetKind::ExtBst, scheme, &cfg_for(t)).throughput);
-        }
-        table.push_series(format!("{}-bst", scheme.name()), row);
-    }
-    table
+        scale,
+        SetKind::ExtBst,
+        |cfg| run_lf_bst(cfg).throughput,
+        move |t| RunConfig {
+            threads: t,
+            key_range: 10_000,
+            prefill: 5_000,
+            mix: Mix {
+                insert_pct: 50,
+                delete_pct: 50,
+            },
+            ..base_config(scale)
+        },
+    )
 }
 
 /// §IV-A extra: MS queue, 50% enqueue / 50% dequeue.
@@ -460,21 +521,20 @@ pub fn queue_bench(scale: Scale) -> SeriesTable {
         "scheme\\threads",
         threads.iter().map(|t| t.to_string()).collect(),
     );
-    for scheme in SchemeKind::ALL {
-        let mut row = Vec::new();
-        for &t in &threads {
-            let cfg = RunConfig {
-                threads: t,
-                key_range: 1000,
-                prefill: 256,
-                mix: Mix {
-                    insert_pct: 50,
-                    delete_pct: 50,
-                },
-                ..base_config(scale)
-            };
-            row.push(run_queue(scheme, &cfg).throughput);
-        }
+    let rows = sweep::grid("queue_bench", &SchemeKind::ALL, &threads, |&scheme, &t| {
+        let cfg = RunConfig {
+            threads: t,
+            key_range: 1000,
+            prefill: 256,
+            mix: Mix {
+                insert_pct: 50,
+                delete_pct: 50,
+            },
+            ..base_config(scale)
+        };
+        run_queue(scheme, &cfg).throughput
+    });
+    for (scheme, row) in SchemeKind::ALL.iter().zip(rows) {
         table.push_series(scheme.name(), row);
     }
     table
@@ -515,14 +575,22 @@ pub fn ablation_latency(scale: Scale) -> SeriesTable {
         },
         ..base_config(scale)
     };
-    for scheme in SchemeKind::ALL {
-        let (_, h) = run_set_latency(SetKind::LazyList, scheme, &base);
+    let big_batch = [SchemeKind::Qsbr, SchemeKind::Ibr, SchemeKind::He];
+    let mut tasks: Vec<sweep::Task<Vec<f64>>> = Vec::new();
+    let quantile_row = move |h: &crate::hist::Histogram| -> Vec<f64> {
         let mut row: Vec<f64> = quantiles.iter().map(|&(_, q)| h.quantile(q) as f64).collect();
         row.push(h.max() as f64);
-        table.push_series(scheme.name(), row);
+        row
+    };
+    for scheme in SchemeKind::ALL {
+        let cfg = base.clone();
+        tasks.push(Box::new(move || {
+            let (_, h) = run_set_latency(SetKind::LazyList, scheme, &cfg);
+            quantile_row(&h)
+        }));
     }
     // The knob turned up: reclaim batches of 300 (epoch bump every 1500).
-    for scheme in [SchemeKind::Qsbr, SchemeKind::Ibr, SchemeKind::He] {
+    for &scheme in &big_batch {
         let cfg = RunConfig {
             smr: SmrConfig {
                 reclaim_freq: 300,
@@ -531,10 +599,18 @@ pub fn ablation_latency(scale: Scale) -> SeriesTable {
             },
             ..base.clone()
         };
-        let (_, h) = run_set_latency(SetKind::LazyList, scheme, &cfg);
-        let mut row: Vec<f64> = quantiles.iter().map(|&(_, q)| h.quantile(q) as f64).collect();
-        row.push(h.max() as f64);
-        table.push_series(format!("{}@300", scheme.name()), row);
+        tasks.push(Box::new(move || {
+            let (_, h) = run_set_latency(SetKind::LazyList, scheme, &cfg);
+            quantile_row(&h)
+        }));
+    }
+    let rows = sweep::run("ablation_latency", tasks);
+    let mut rows = rows.into_iter();
+    for scheme in SchemeKind::ALL {
+        table.push_series(scheme.name(), rows.next().expect("base row"));
+    }
+    for scheme in big_batch {
+        table.push_series(format!("{}@300", scheme.name()), rows.next().expect("batch row"));
     }
     table
 }
@@ -559,39 +635,63 @@ pub fn ablation_smt(scale: Scale) -> (SeriesTable, SeriesTable) {
         "metric\\threads",
         labels,
     );
-    let cfg_for = |t: usize, smt: usize| RunConfig {
-        threads: t,
-        smt,
-        key_range: 1000,
-        prefill: 500,
-        mix: Mix {
-            insert_pct: 50,
-            delete_pct: 50,
-        },
-        ..base_config(scale)
-    };
-    for smt in [1usize, 2, 4] {
-        for scheme in [SchemeKind::Ca, SchemeKind::Qsbr] {
-            let mut row = Vec::new();
-            for &t in &threads {
-                if t % smt != 0 {
-                    row.push(f64::NAN);
-                    continue;
-                }
-                row.push(run_set(SetKind::LazyList, scheme, &cfg_for(t, smt)).throughput);
-            }
-            tput.push_series(format!("{} smt={smt}", scheme.name()), row);
+    // One task per (packing, scheme, threads) cell; the (2, ca) row is
+    // reused for the revocation table instead of re-running it.
+    let combos: Vec<(usize, SchemeKind)> = [1usize, 2, 4]
+        .iter()
+        .flat_map(|&smt| {
+            [SchemeKind::Ca, SchemeKind::Qsbr]
+                .iter()
+                .map(move |&s| (smt, s))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let cells = sweep::grid("ablation_smt", &combos, &threads, |&(smt, scheme), &t| {
+        if t % smt != 0 {
+            return None;
         }
+        let cfg = RunConfig {
+            threads: t,
+            smt,
+            key_range: 1000,
+            prefill: 500,
+            mix: Mix {
+                insert_pct: 50,
+                delete_pct: 50,
+            },
+            ..base_config(scale)
+        };
+        Some(run_set(SetKind::LazyList, scheme, &cfg))
+    });
+    for (&(smt, scheme), row) in combos.iter().zip(&cells) {
+        tput.push_series(
+            format!("{} smt={smt}", scheme.name()),
+            row.iter()
+                .map(|m| m.as_ref().map_or(f64::NAN, |m| m.throughput))
+                .collect(),
+        );
     }
-    let mut sib = Vec::new();
-    let mut remote = Vec::new();
-    for &t in &threads {
-        let m = run_set(SetKind::LazyList, SchemeKind::Ca, &cfg_for(t, 2));
-        sib.push(m.sibling_revokes as f64);
-        remote.push((m.cread_fail + m.cwrite_fail) as f64);
-    }
-    revokes.push_series("sibling-store revokes", sib);
-    revokes.push_series("conditional-access failures", remote);
+    let ca2 = combos
+        .iter()
+        .position(|&(smt, s)| smt == 2 && s == SchemeKind::Ca)
+        .expect("(2, ca) combo exists");
+    revokes.push_series(
+        "sibling-store revokes",
+        cells[ca2]
+            .iter()
+            .map(|m| m.as_ref().map_or(f64::NAN, |m| m.sibling_revokes as f64))
+            .collect(),
+    );
+    revokes.push_series(
+        "conditional-access failures",
+        cells[ca2]
+            .iter()
+            .map(|m| {
+                m.as_ref()
+                    .map_or(f64::NAN, |m| (m.cread_fail + m.cwrite_fail) as f64)
+            })
+            .collect(),
+    );
     (tput, revokes)
 }
 
@@ -615,40 +715,59 @@ pub fn ablation_protocol(scale: Scale) -> (SeriesTable, SeriesTable) {
         "structure/scheme\\counter",
         vec!["e_grants".into(), "silent_upgrades".into()],
     );
-    let cfg_for = |protocol: Protocol| RunConfig {
-        threads,
-        key_range: 1000,
-        prefill: 500,
-        mix: Mix {
-            insert_pct: 50,
-            delete_pct: 50,
+    let schemes = [SchemeKind::Ca, SchemeKind::None, SchemeKind::Qsbr];
+    // Columns: (protocol, is_stack) — four cells per scheme.
+    let variants: [(Protocol, bool); 4] = [
+        (Protocol::Msi, false),
+        (Protocol::Mesi, false),
+        (Protocol::Msi, true),
+        (Protocol::Mesi, true),
+    ];
+    let cells = sweep::grid(
+        "ablation_protocol",
+        &schemes,
+        &variants,
+        |&scheme, &(protocol, is_stack)| {
+            let cfg = RunConfig {
+                threads,
+                key_range: 1000,
+                prefill: 500,
+                mix: Mix {
+                    insert_pct: 50,
+                    delete_pct: 50,
+                },
+                cache: CacheConfig {
+                    protocol,
+                    ..CacheConfig::default()
+                },
+                ..base_config(scale)
+            };
+            if is_stack {
+                run_stack(scheme, &cfg)
+            } else {
+                run_set(SetKind::LazyList, scheme, &cfg)
+            }
         },
-        cache: CacheConfig {
-            protocol,
-            ..CacheConfig::default()
-        },
-        ..base_config(scale)
-    };
-    for scheme in [SchemeKind::Ca, SchemeKind::None, SchemeKind::Qsbr] {
-        let msi = run_set(SetKind::LazyList, scheme, &cfg_for(Protocol::Msi));
-        let mesi = run_set(SetKind::LazyList, scheme, &cfg_for(Protocol::Mesi));
+    );
+    for (scheme, row) in schemes.iter().zip(&cells) {
+        let [list_msi, list_mesi, stack_msi, stack_mesi] = &row[..] else {
+            unreachable!("four variants per scheme");
+        };
         tput.push_series(
             format!("list/{}", scheme.name()),
-            vec![msi.throughput, mesi.throughput],
+            vec![list_msi.throughput, list_mesi.throughput],
         );
         mesi_stats.push_series(
             format!("list/{}", scheme.name()),
-            vec![mesi.e_grants as f64, mesi.silent_upgrades as f64],
+            vec![list_mesi.e_grants as f64, list_mesi.silent_upgrades as f64],
         );
-        let msi_s = run_stack(scheme, &cfg_for(Protocol::Msi));
-        let mesi_s = run_stack(scheme, &cfg_for(Protocol::Mesi));
         tput.push_series(
             format!("stack/{}", scheme.name()),
-            vec![msi_s.throughput, mesi_s.throughput],
+            vec![stack_msi.throughput, stack_mesi.throughput],
         );
         mesi_stats.push_series(
             format!("stack/{}", scheme.name()),
-            vec![mesi_s.e_grants as f64, mesi_s.silent_upgrades as f64],
+            vec![stack_mesi.e_grants as f64, stack_mesi.silent_upgrades as f64],
         );
     }
     (tput, mesi_stats)
@@ -675,9 +794,9 @@ pub fn ablation_fallback(scale: Scale) -> (SeriesTable, SeriesTable) {
         insert_pct: 50,
         delete_pct: 50,
     };
-    let mut ca_row = Vec::new();
-    let mut fb_row = Vec::new();
-    let mut taken_row = Vec::new();
+    // Two tasks per thread count (bare CA; CA+fallback), flattened so the
+    // heavyweight 32-thread cells run concurrently with everything else.
+    let mut tasks: Vec<sweep::Task<(f64, f64)>> = Vec::new();
     for &t in &threads {
         let cfg = RunConfig {
             threads: t,
@@ -686,14 +805,25 @@ pub fn ablation_fallback(scale: Scale) -> (SeriesTable, SeriesTable) {
             mix,
             ..base_config(scale)
         };
-        ca_row.push(run_set(SetKind::LazyList, SchemeKind::Ca, &cfg).throughput);
-        let (m, taken) = run_fallback_list(&cfg, 32);
-        fb_row.push(m.throughput);
-        taken_row.push(taken as f64);
+        let cfg2 = cfg.clone();
+        tasks.push(Box::new(move || {
+            (run_set(SetKind::LazyList, SchemeKind::Ca, &cfg).throughput, f64::NAN)
+        }));
+        tasks.push(Box::new(move || {
+            let (m, taken) = run_fallback_list(&cfg2, 32);
+            (m.throughput, taken as f64)
+        }));
     }
-    overhead.push_series("ca (bare)", ca_row);
-    overhead.push_series("ca+fallback", fb_row);
-    overhead.push_series("fallbacks taken", taken_row);
+    let flat = sweep::run("ablation_fallback", tasks);
+    overhead.push_series("ca (bare)", flat.iter().step_by(2).map(|c| c.0).collect());
+    overhead.push_series(
+        "ca+fallback",
+        flat.iter().skip(1).step_by(2).map(|c| c.0).collect(),
+    );
+    overhead.push_series(
+        "fallbacks taken",
+        flat.iter().skip(1).step_by(2).map(|c| c.1).collect(),
+    );
 
     // Hostile geometry: a 16-line direct-mapped L1. Bare CA livelocks here
     // (the ca_loop ceiling turns that into a panic), so only the fallback
@@ -707,33 +837,34 @@ pub fn ablation_fallback(scale: Scale) -> (SeriesTable, SeriesTable) {
         "metric\\threads",
         hostile_threads.iter().map(|t| t.to_string()).collect(),
     );
-    let mut tput = Vec::new();
-    let mut taken = Vec::new();
-    let mut share = Vec::new();
-    for &t in &hostile_threads {
-        let cfg = RunConfig {
-            threads: t,
-            key_range: 64,
-            prefill: 32,
-            ops_per_thread: scale.ops().min(300),
-            mix,
-            cache: CacheConfig {
-                l1_bytes: 1024,
-                l1_assoc: 1,
-                l2_bytes: 64 * 1024,
-                l2_assoc: 8,
-                ..CacheConfig::default()
-            },
-            ..base_config(scale)
-        };
-        let (m, k) = run_fallback_list(&cfg, 8);
-        tput.push(m.throughput);
-        taken.push(k as f64);
-        share.push(k as f64 / m.total_ops as f64);
-    }
-    hostile.push_series("ca+fallback ops/Mcycle", tput);
-    hostile.push_series("fallbacks taken", taken);
-    hostile.push_series("fallback share of ops", share);
+    let tasks: Vec<sweep::Task<(f64, f64, f64)>> = hostile_threads
+        .iter()
+        .map(|&t| {
+            let cfg = RunConfig {
+                threads: t,
+                key_range: 64,
+                prefill: 32,
+                ops_per_thread: scale.ops().min(300),
+                mix,
+                cache: CacheConfig {
+                    l1_bytes: 1024,
+                    l1_assoc: 1,
+                    l2_bytes: 64 * 1024,
+                    l2_assoc: 8,
+                    ..CacheConfig::default()
+                },
+                ..base_config(scale)
+            };
+            Box::new(move || {
+                let (m, k) = run_fallback_list(&cfg, 8);
+                (m.throughput, k as f64, k as f64 / m.total_ops as f64)
+            }) as sweep::Task<(f64, f64, f64)>
+        })
+        .collect();
+    let cells = sweep::run("ablation_fallback_hostile", tasks);
+    hostile.push_series("ca+fallback ops/Mcycle", cells.iter().map(|c| c.0).collect());
+    hostile.push_series("fallbacks taken", cells.iter().map(|c| c.1).collect());
+    hostile.push_series("fallback share of ops", cells.iter().map(|c| c.2).collect());
     (overhead, hostile)
 }
 
@@ -758,25 +889,33 @@ pub fn htm_bench(scale: Scale) -> (SeriesTable, SeriesTable, SeriesTable) {
         insert_pct: 50,
         delete_pct: 50,
     };
+    let schemes = [SchemeKind::Ca, SchemeKind::Qsbr, SchemeKind::None];
+    let slot_sizes = [256usize, 16];
     let mut panels = Vec::new();
+    let mut update_htm: Vec<Vec<Metrics>> = Vec::new();
     for (mix, title) in [
         (read_only, "HTM comparator — lazy list, 0i-0d"),
         (updates, "HTM comparator — lazy list, 50i-50d"),
     ] {
         let mut table = SeriesTable::new(title, "variant\\threads", labels.clone());
-        for scheme in [SchemeKind::Ca, SchemeKind::Qsbr, SchemeKind::None] {
-            let mut row = Vec::new();
-            for &t in &threads {
-                row.push(run_set(SetKind::LazyList, scheme, &cfg_for(t, mix)).throughput);
-            }
+        let srows = sweep::grid("htm_baselines", &schemes, &threads, |&scheme, &t| {
+            run_set(SetKind::LazyList, scheme, &cfg_for(t, mix)).throughput
+        });
+        for (scheme, row) in schemes.iter().zip(srows) {
             table.push_series(scheme.name(), row);
         }
-        for slots in [256usize, 16] {
-            let mut row = Vec::new();
-            for &t in &threads {
-                row.push(run_htm_list(&cfg_for(t, mix), slots).throughput);
-            }
-            table.push_series(format!("htm-hoh/{slots}"), row);
+        let hrows = sweep::grid("htm_hoh", &slot_sizes, &threads, |&slots, &t| {
+            run_htm_list(&cfg_for(t, mix), slots)
+        });
+        for (&slots, row) in slot_sizes.iter().zip(&hrows) {
+            table.push_series(
+                format!("htm-hoh/{slots}"),
+                row.iter().map(|m| m.throughput).collect(),
+            );
+        }
+        if mix == updates {
+            // Reused below for the abort-rate table (no re-run).
+            update_htm = hrows;
         }
         panels.push(table);
     }
@@ -785,16 +924,19 @@ pub fn htm_bench(scale: Scale) -> (SeriesTable, SeriesTable, SeriesTable) {
         "metric\\threads",
         labels,
     );
-    for slots in [256usize, 16] {
-        let mut abort_row = Vec::new();
-        let mut tx_row = Vec::new();
-        for &t in &threads {
-            let m = run_htm_list(&cfg_for(t, updates), slots);
-            abort_row.push(m.tx_aborts as f64 / m.total_ops.max(1) as f64);
-            tx_row.push(m.tx_begins as f64 / m.total_ops.max(1) as f64);
-        }
-        aborts.push_series(format!("htm-hoh/{slots} aborts/op"), abort_row);
-        aborts.push_series(format!("htm-hoh/{slots} tx/op"), tx_row);
+    for (&slots, row) in slot_sizes.iter().zip(&update_htm) {
+        aborts.push_series(
+            format!("htm-hoh/{slots} aborts/op"),
+            row.iter()
+                .map(|m| m.tx_aborts as f64 / m.total_ops.max(1) as f64)
+                .collect(),
+        );
+        aborts.push_series(
+            format!("htm-hoh/{slots} tx/op"),
+            row.iter()
+                .map(|m| m.tx_begins as f64 / m.total_ops.max(1) as f64)
+                .collect(),
+        );
     }
     let updates_panel = panels.pop().expect("two panels built");
     let read_panel = panels.pop().expect("two panels built");

@@ -25,12 +25,18 @@
 //! | `lfbst_bench` | extension: lock-free CA external BST (paper future work) |
 //! | `htm_bench` | §VI comparator: hand-over-hand transactions (Zhou et al.) |
 //! | `all_figures` | everything above, sequentially |
+//!
+//! Every binary accepts `--jobs N`: experiment configurations are
+//! independent (one simulated machine each, per-config seeds), so the
+//! [`sweep`] engine runs them concurrently on `N` host threads with
+//! bit-identical results for every `N` (0/default = one per host CPU).
 
 pub mod config;
 pub mod experiments;
 pub mod hist;
 pub mod metrics;
 pub mod runner;
+pub mod sweep;
 pub mod table;
 
 pub use config::{Mix, RunConfig};

@@ -1,0 +1,352 @@
+//! Parallel deterministic sweep engine.
+//!
+//! The paper's evaluation is a large cross-product of data structures ×
+//! reclamation schemes × thread counts × workloads. Every cell of that
+//! cross-product is an *independent* experiment: it builds its own
+//! [`mcsim::Machine`], derives every RNG stream from its own
+//! [`crate::RunConfig::seed`], and shares no mutable state with any other
+//! cell. This module exploits that independence: a small work-stealing pool
+//! of **host** threads executes many configurations concurrently while the
+//! simulated results stay bit-identical to a serial run.
+//!
+//! ## Determinism contract
+//!
+//! Results do not depend on the number of host workers or on completion
+//! order, because
+//!
+//! 1. every task is a pure function of its config (one `Machine` per task;
+//!    `mcsim` has no cross-machine shared state — see the Send/Sync audit in
+//!    `mcsim::machine`),
+//! 2. per-config RNG streams are derived from the config's own seed
+//!    ([`crate::RunConfig::thread_seed`]), never from a shared generator,
+//!    and
+//! 3. results are collected into **index-ordered** slots, so tables are
+//!    assembled in task-submission order regardless of which worker finished
+//!    first.
+//!
+//! `--jobs 1`, `--jobs 4` and `--jobs 8` therefore produce byte-identical
+//! metrics tables (enforced by `tests/quantum_sweep.rs`).
+//!
+//! ## Scheduling
+//!
+//! Tasks are dealt round-robin into one deque per worker; a worker pops
+//! from the front of its own deque and, when empty, steals from the back of
+//! a victim's. Experiment cells vary in cost by orders of magnitude (32
+//! simulated threads vs 1), so stealing — not static partitioning — is what
+//! keeps all workers busy until the tail of the sweep.
+//!
+//! Progress (configs done / ETA) is reported on stderr: live `\r` updates
+//! when stderr is a terminal, one summary line otherwise.
+
+use std::collections::VecDeque;
+use std::io::{IsTerminal, Write as _};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One unit of sweep work (an experiment configuration to run).
+pub type Task<'env, T> = Box<dyn FnOnce() -> T + Send + 'env>;
+
+/// A worker's deque of (submission index, task) pairs.
+type WorkQueue<'env, T> = Mutex<VecDeque<(usize, Task<'env, T>)>>;
+
+/// Global worker-count knob. 0 = auto (one worker per host CPU).
+static JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Set the number of host worker threads for subsequent sweeps
+/// (0 = auto: one per host CPU). Bins thread `--jobs N` through here; the
+/// setting only affects host wall-clock, never simulated results.
+pub fn set_jobs(n: usize) {
+    JOBS.store(n, Ordering::Relaxed);
+}
+
+/// Parse `--jobs` from the CLI and install it as the pool width — the
+/// one-liner every harness bin calls (see
+/// [`crate::config::jobs_from_args`] for the accepted spellings).
+pub fn set_jobs_from_args() {
+    set_jobs(crate::config::jobs_from_args());
+}
+
+/// The effective worker count for a sweep started now.
+pub fn jobs() -> usize {
+    match JOBS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        n => n,
+    }
+}
+
+/// Shared progress meter: completion counter + ETA, reported on stderr.
+struct Progress {
+    label: String,
+    total: usize,
+    workers: usize,
+    done: AtomicUsize,
+    start: Instant,
+    live: bool,
+}
+
+impl Progress {
+    fn new(label: &str, total: usize, workers: usize) -> Self {
+        Self {
+            label: label.to_string(),
+            total,
+            workers,
+            done: AtomicUsize::new(0),
+            start: Instant::now(),
+            live: std::io::stderr().is_terminal() && total > 1,
+        }
+    }
+
+    /// Record one finished task; repaint the live line if stderr is a tty.
+    fn bump(&self) {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        if !self.live {
+            return;
+        }
+        let elapsed = self.start.elapsed().as_secs_f64();
+        let eta = elapsed / done as f64 * (self.total - done) as f64;
+        let mut err = std::io::stderr().lock();
+        let _ = write!(
+            err,
+            "\r[sweep {}] {done}/{} configs, {elapsed:.1}s elapsed, eta {eta:.1}s ",
+            self.label, self.total
+        );
+        let _ = err.flush();
+    }
+
+    /// Print the closing summary (called once, from the submitting thread).
+    fn finish(&self) {
+        if self.total <= 1 {
+            return;
+        }
+        let mut err = std::io::stderr().lock();
+        if self.live {
+            let _ = writeln!(err);
+        } else {
+            let _ = writeln!(
+                err,
+                "[sweep {}] {} configs in {:.1}s (jobs={})",
+                self.label,
+                self.total,
+                self.start.elapsed().as_secs_f64(),
+                self.workers
+            );
+        }
+    }
+}
+
+/// Run every task and return their results **in submission order**,
+/// executing up to [`jobs`] tasks concurrently on host threads.
+///
+/// A panicking task (e.g. a livelock ceiling firing inside one
+/// configuration) aborts the sweep promptly: workers finish their
+/// in-flight tasks, abandon the queues, and the panic then propagates to
+/// the caller.
+pub fn run<'env, T: Send + 'env>(label: &str, tasks: Vec<Task<'env, T>>) -> Vec<T> {
+    let total = tasks.len();
+    let workers = jobs().clamp(1, total.max(1));
+    let progress = Progress::new(label, total, workers);
+    if workers <= 1 {
+        let out: Vec<T> = tasks
+            .into_iter()
+            .map(|t| {
+                let r = t();
+                progress.bump();
+                r
+            })
+            .collect();
+        progress.finish();
+        return out;
+    }
+
+    // Deal round-robin; worker w owns deque w.
+    let queues: Vec<WorkQueue<'env, T>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (i, t) in tasks.into_iter().enumerate() {
+        queues[i % workers].lock().unwrap().push_back((i, t));
+    }
+    // Index-ordered result slots: completion order cannot perturb output
+    // order (the determinism contract above).
+    let slots: Vec<Mutex<Option<T>>> = (0..total).map(|_| Mutex::new(None)).collect();
+    // Raised by a panicking worker so its peers stop pulling queued work
+    // instead of draining a doomed sweep; `thread::scope` re-raises the
+    // panic once every worker has returned.
+    let aborted = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let queues = &queues;
+            let slots = &slots;
+            let progress = &progress;
+            let aborted = &aborted;
+            scope.spawn(move || loop {
+                if aborted.load(Ordering::Relaxed) != 0 {
+                    break;
+                }
+                // Own work first (front), then steal from a victim (back):
+                // stolen tasks are the ones their owner would reach last.
+                let next = queues[w].lock().unwrap().pop_front().or_else(|| {
+                    (1..workers)
+                        .map(|d| (w + d) % workers)
+                        .find_map(|v| queues[v].lock().unwrap().pop_back())
+                });
+                match next {
+                    Some((i, task)) => {
+                        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(task)) {
+                            Ok(r) => {
+                                *slots[i].lock().unwrap() = Some(r);
+                                progress.bump();
+                            }
+                            Err(e) => {
+                                aborted.store(1, Ordering::Relaxed);
+                                std::panic::resume_unwind(e);
+                            }
+                        }
+                    }
+                    // All deques empty and no task spawns tasks: done.
+                    None => break,
+                }
+            });
+        }
+    });
+    progress.finish();
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().unwrap().expect("every sweep task ran"))
+        .collect()
+}
+
+/// Sweep a rows × cols cross-product: one task per cell, results returned
+/// as one `Vec` per row (row-major, same order as the inputs). The shape
+/// every figure panel uses (schemes × thread counts).
+pub fn grid<T, R, C, F>(label: &str, rows: &[R], cols: &[C], cell: F) -> Vec<Vec<T>>
+where
+    T: Send,
+    R: Sync,
+    C: Sync,
+    F: Fn(&R, &C) -> T + Sync,
+{
+    let cell = &cell;
+    let tasks: Vec<Task<'_, T>> = rows
+        .iter()
+        .flat_map(|r| {
+            cols.iter()
+                .map(move |c| Box::new(move || cell(r, c)) as Task<'_, T>)
+        })
+        .collect();
+    let mut flat = run(label, tasks).into_iter();
+    rows.iter()
+        .map(|_| cols.iter().map(|_| flat.next().expect("grid shape")).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::MutexGuard;
+
+    /// `JOBS` is process-global and the test harness runs these tests on
+    /// concurrent threads; serialize them so each actually executes at the
+    /// worker count it sets (results never depend on it — that's the
+    /// engine's contract — but the *coverage* of specific pool widths
+    /// does). Restores auto on drop, even on panic.
+    struct JobsLock(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+    impl JobsLock {
+        fn take() -> Self {
+            static LOCK: Mutex<()> = Mutex::new(());
+            JobsLock(LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner))
+        }
+    }
+
+    impl Drop for JobsLock {
+        fn drop(&mut self) {
+            set_jobs(0);
+        }
+    }
+
+    #[test]
+    fn results_in_submission_order() {
+        let _jobs = JobsLock::take();
+        // Tasks finish in scrambled order (cost inversely related to
+        // index); outputs must still come back in submission order.
+        for jobs in [1, 2, 4, 8] {
+            set_jobs(jobs);
+            let tasks: Vec<Task<usize>> = (0..20usize)
+                .map(|i| {
+                    Box::new(move || {
+                        // Unequal spin so completion order ≠ submission order.
+                        let mut x = 0u64;
+                        for k in 0..((20 - i) as u64 * 5_000) {
+                            x = x.wrapping_mul(31).wrapping_add(k);
+                        }
+                        std::hint::black_box(x);
+                        i
+                    }) as Task<usize>
+                })
+                .collect();
+            let out = run("test", tasks);
+            assert_eq!(out, (0..20).collect::<Vec<_>>(), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let _jobs = JobsLock::take();
+        set_jobs(3);
+        let hits = AtomicU64::new(0);
+        let tasks: Vec<Task<()>> = (0..17)
+            .map(|_| {
+                Box::new(|| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                }) as Task<()>
+            })
+            .collect();
+        run("test", tasks);
+        assert_eq!(hits.load(Ordering::Relaxed), 17);
+    }
+
+    #[test]
+    fn grid_is_row_major() {
+        let _jobs = JobsLock::take();
+        set_jobs(4);
+        let rows = [10u64, 20, 30];
+        let cols = [1u64, 2];
+        let g = grid("test", &rows, &cols, |r, c| r + c);
+        assert_eq!(g, vec![vec![11, 12], vec![21, 22], vec![31, 32]]);
+    }
+
+    #[test]
+    fn more_workers_than_tasks_is_fine() {
+        let _jobs = JobsLock::take();
+        set_jobs(64);
+        let out = run("test", vec![Box::new(|| 7u32) as Task<u32>]);
+        assert_eq!(out, vec![7]);
+    }
+
+    #[test]
+    fn task_panic_propagates() {
+        let _jobs = JobsLock::take();
+        set_jobs(2);
+        let tasks: Vec<Task<u32>> = (0..4u32)
+            .map(|i| {
+                Box::new(move || {
+                    if i == 2 {
+                        panic!("deliberate sweep panic");
+                    }
+                    i
+                }) as Task<u32>
+            })
+            .collect();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run("test", tasks)));
+        assert!(r.is_err(), "a task panic must propagate out of the sweep");
+    }
+
+    #[test]
+    fn jobs_zero_is_auto() {
+        let _jobs = JobsLock::take();
+        set_jobs(0);
+        assert!(jobs() >= 1);
+    }
+}

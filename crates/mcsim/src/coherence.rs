@@ -250,11 +250,17 @@ impl CoherenceHub {
     /// an L2 victim if necessary. Returns the cycle cost.
     fn l2_get_or_fill(&mut self, t: CoreId, line: Line) -> u64 {
         if self.l2.lookup_touch(line).is_some() {
-            self.stats.core(t).l2_hits += 1;
-            return self.lat.l2_hit;
+            let c = self.lat.l2_hit;
+            let s = self.stats.core(t);
+            s.l2_hits += 1;
+            s.l2_hit_cycles += c;
+            return c;
         }
-        self.stats.core(t).mem_accesses += 1;
-        let mut cost = self.lat.l2_hit + self.lat.mem;
+        let fill = self.lat.l2_hit + self.lat.mem;
+        let s = self.stats.core(t);
+        s.mem_accesses += 1;
+        s.mem_fill_cycles += fill;
+        let mut cost = fill;
         // Fill; the inclusive L2 back-invalidates every L1 copy of its victim.
         if let Some(v) = self.l2.insert(line, DirMeta::default()) {
             for h in bits(v.payload.holders()) {
@@ -276,8 +282,11 @@ impl CoherenceHub {
     fn acquire_shared(&mut self, t: CoreId, line: Line) -> u64 {
         let pcore = self.pc(t);
         if self.l1s[pcore].array.lookup_touch(line).is_some() {
-            self.stats.core(t).l1_hits += 1;
-            return self.lat.l1_hit;
+            let c = self.lat.l1_hit;
+            let s = self.stats.core(t);
+            s.l1_hits += 1;
+            s.l1_hit_cycles += c;
+            return c;
         }
         let mut cost = self.l2_get_or_fill(t, line);
         // One directory probe: edit the entry in place (the L1s are a
@@ -325,13 +334,19 @@ impl CoherenceHub {
             .map(|e| e.payload.state);
         match state {
             Some(MsiState::Modified) => {
-                self.stats.core(t).l1_hits += 1;
-                self.lat.l1_hit
+                let c = self.lat.l1_hit;
+                let s = self.stats.core(t);
+                s.l1_hits += 1;
+                s.l1_hit_cycles += c;
+                c
             }
             Some(MsiState::Exclusive) => {
                 // MESI silent promotion: no directory traffic at all.
-                self.stats.core(t).l1_hits += 1;
-                self.stats.core(t).silent_upgrades += 1;
+                let c = self.lat.l1_hit;
+                let s = self.stats.core(t);
+                s.l1_hits += 1;
+                s.l1_hit_cycles += c;
+                s.silent_upgrades += 1;
                 self.l1s[pcore]
                     .array
                     .lookup_mut(line)
@@ -356,7 +371,9 @@ impl CoherenceHub {
                 d.owner = Some(pcore);
                 if others != 0 {
                     cost += self.lat.invalidation;
-                    self.stats.core(t).invalidations_sent += 1;
+                    let s = self.stats.core(t);
+                    s.invalidations_sent += 1;
+                    s.invalidation_cycles += self.lat.invalidation;
                     for h in bits(others) {
                         self.invalidate_l1_copy(h, line, RevokeCause::RemoteInvalidation);
                     }
@@ -392,6 +409,7 @@ impl CoherenceHub {
                 }
                 if others != 0 {
                     cost += self.lat.invalidation;
+                    self.stats.core(t).invalidation_cycles += self.lat.invalidation;
                     sent = true;
                     for h in bits(others) {
                         self.invalidate_l1_copy(h, line, RevokeCause::RemoteInvalidation);
@@ -532,6 +550,7 @@ impl CoherenceHub {
     /// No memory access.
     pub fn untag_one(&mut self, t: CoreId, a: Addr) -> u64 {
         self.assert_outside_tx(t, "untag_one");
+        self.stats.core(t).untag_ones += 1;
         let ht = self.ht(t);
         let pcore = self.pc(t);
         self.l1s[pcore].clear_tag(a.line(), ht);
@@ -541,6 +560,7 @@ impl CoherenceHub {
     /// `untagAll`: clear the calling hardware thread's tag set and its ARB.
     pub fn untag_all(&mut self, t: CoreId) -> u64 {
         self.assert_outside_tx(t, "untag_all");
+        self.stats.core(t).untag_alls += 1;
         let ht = self.ht(t);
         let pcore = self.pc(t);
         self.l1s[pcore].clear_all_tags(ht);
@@ -1074,6 +1094,53 @@ mod tests {
         assert_eq!(s.mem_accesses, 1);
         assert_eq!(s.l1_hits, 2);
         assert_eq!(s.accesses, 3);
+    }
+
+    #[test]
+    fn event_cost_micro_profile_pinned() {
+        // A tiny scripted workload whose per-path counts AND cycle
+        // attribution are pinned exactly (relative to the latency model, so
+        // retuning constants does not break it). Any change to a coherence
+        // hot path's cost accounting fails here, in CI, instead of
+        // surfacing as unexplained end-to-end wall-clock or throughput
+        // drift.
+        let mut h = hub(2);
+        let lat = h.lat.clone();
+        h.read(0, A); // core 0: cold fill from memory
+        h.read(0, A); // core 0: L1 hit
+        h.read(1, A); // core 1: L2 hit, joins sharers
+        h.write(1, A, 1); // core 1: S→M upgrade, invalidates core 0
+        let (v, _) = h.cread(0, A); // core 0: refill, L2 hit + dirty supply
+        assert_eq!(v, Some(1));
+        h.untag_all(0);
+        h.untag_one(0, A);
+        h.write(0, A, 2); // core 0: S→M upgrade, invalidates core 1
+
+        let s0 = &h.stats.cores[0];
+        assert_eq!(
+            (s0.accesses, s0.l1_hits, s0.l2_hits, s0.mem_accesses),
+            (4, 1, 1, 1)
+        );
+        assert_eq!(s0.l1_hit_cycles, lat.l1_hit);
+        assert_eq!(s0.l2_hit_cycles, lat.l2_hit);
+        assert_eq!(s0.mem_fill_cycles, lat.l2_hit + lat.mem);
+        assert_eq!(s0.invalidation_cycles, lat.invalidation);
+        assert_eq!(s0.invalidations_sent, 1);
+        assert_eq!(s0.invalidations_received, 1);
+        assert_eq!((s0.untag_alls, s0.untag_ones), (1, 1));
+
+        let s1 = &h.stats.cores[1];
+        assert_eq!(
+            (s1.accesses, s1.l1_hits, s1.l2_hits, s1.mem_accesses),
+            (2, 0, 1, 0)
+        );
+        assert_eq!(s1.l1_hit_cycles, 0);
+        assert_eq!(s1.l2_hit_cycles, lat.l2_hit);
+        assert_eq!(s1.mem_fill_cycles, 0);
+        assert_eq!(s1.invalidation_cycles, lat.invalidation);
+        assert_eq!(s1.invalidations_sent, 1);
+        assert_eq!((s1.untag_alls, s1.untag_ones), (0, 0));
+        h.check_invariants();
     }
 
     #[test]

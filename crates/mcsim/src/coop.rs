@@ -35,6 +35,21 @@
 //! the machine falls back to the
 //! OS-thread backend elsewhere (identical simulated behaviour, see
 //! `machine.rs`).
+//!
+//! ## Thread confinement (Send/Sync audit)
+//!
+//! A [`Stack`], the context pointers [`prepare`] returns, and every
+//! [`CoroPayload`] are confined to the single host thread running
+//! `run_coop`: created in its frame, switched into only from it, and
+//! unmapped before it returns. **Coroutine stacks must never leak across
+//! host threads** — a context saved on one OS thread and resumed on
+//! another would corrupt thread-locals (including the machine's
+//! `HOLDING_STATE` deadlock guard) and panic bookkeeping. The raw pointers
+//! in these types make them `!Send`/`!Sync`, so the compiler enforces the
+//! confinement; keep it that way when extending this module. Concurrent
+//! coop runs of *different* machines on different host threads are safe
+//! and exercised by the caharness parallel sweep (each run owns its
+//! stacks, and the machine lock is per-machine).
 
 use std::arch::global_asm;
 

@@ -24,6 +24,32 @@
 //! token, so the state mutex is only ever taken uncontended. None of this
 //! changes the simulated schedule — the decision sequence is identical to
 //! locking per event, so determinism is preserved bit-for-bit.
+//!
+//! ## Host-thread safety (Send/Sync audit)
+//!
+//! Independent machines may run **concurrently on different host threads**
+//! — the `caharness` parallel sweep depends on this. The boundaries:
+//!
+//! * [`Machine`] is `Send + Sync` (asserted at compile time below): all
+//!   simulator state lives in `Mutex<SimState>` behind an `Arc`, and
+//!   `SimState` owns plain data (caches, memory, allocator, scheduler,
+//!   `std::thread::Thread` handles) — no `Rc`, no raw pointers.
+//! * There is **no cross-machine shared state**: no globals, no channels —
+//!   two machines interact with each other in no way, so N machines on N
+//!   host threads are trivially race-free and each run stays a pure
+//!   function of (program, config, seeds).
+//! * The per-host-thread [`HOLDING_STATE`] marker is keyed by the machine's
+//!   `Shared` address, so machine A's run on host thread 1 never trips the
+//!   deadlock guard of machine B running on host thread 2 (or a nested
+//!   host-side call to B from inside A's closures).
+//! * The coop backend's coroutine stacks and context pointers are created,
+//!   used and unmapped entirely inside one `run_coop` frame, i.e. on a
+//!   single host thread; they are never sent across threads (the raw
+//!   pointers inside [`crate::coop`]'s types make them `!Send` by
+//!   construction, so the compiler enforces this confinement).
+//! * A [`Ctx`] is handed to exactly one workload closure and never aliased;
+//!   the closures themselves must be `Send` because the threads backend
+//!   runs each on its own OS thread.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier, Mutex, MutexGuard, PoisonError};
@@ -59,6 +85,32 @@ pub enum ExecBackend {
 
 /// Is the coroutine backend available on this target?
 const COOP_SUPPORTED: bool = cfg!(mcsim_coop);
+
+impl ExecBackend {
+    /// Environment override consulted by [`Self::Auto`] only:
+    /// `MCSIM_EXEC=threads|coop` pins the backend the whole process-wide
+    /// default resolves to (the CI matrix runs the test suite once per
+    /// value). Explicit `Threads`/`Coop` configs are never overridden.
+    /// Cached after the first read.
+    fn env_override() -> Option<ExecBackend> {
+        static OVERRIDE: std::sync::OnceLock<Option<ExecBackend>> = std::sync::OnceLock::new();
+        *OVERRIDE.get_or_init(|| match std::env::var("MCSIM_EXEC").ok()?.as_str() {
+            "threads" => Some(ExecBackend::Threads),
+            // The env var exists so CI can *guarantee* which backend a run
+            // exercised; a silent fallback would let the coop matrix leg go
+            // green without running coop code, so unsupported targets fail
+            // loudly here (unlike an explicit ExecBackend::Coop config,
+            // which documents its portable fallback).
+            "coop" if COOP_SUPPORTED => Some(ExecBackend::Coop),
+            "coop" => panic!(
+                "MCSIM_EXEC=coop, but the coroutine backend is not supported \
+                 on this target (x86-64 Linux only)"
+            ),
+            "auto" => None,
+            other => panic!("MCSIM_EXEC must be threads|coop|auto, got {other:?}"),
+        })
+    }
+}
 
 /// Machine configuration.
 #[derive(Clone, Debug)]
@@ -233,6 +285,16 @@ pub struct Machine {
     cfg: MachineConfig,
 }
 
+// Compile-time Send/Sync audit (see the module docs): a Machine may be
+// built on one host thread and driven from another, and independent
+// machines run concurrently on different host threads under the caharness
+// parallel sweep. If a future field breaks either bound, this fails to
+// compile instead of racing at runtime.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Machine>();
+};
+
 impl Machine {
     /// Build a machine.
     pub fn new(cfg: MachineConfig) -> Self {
@@ -293,7 +355,11 @@ impl Machine {
             "need 1..={} closures, got {n}",
             self.cfg.cores
         );
-        let coop = match self.cfg.exec {
+        let effective = match self.cfg.exec {
+            ExecBackend::Auto => ExecBackend::env_override().unwrap_or(ExecBackend::Auto),
+            explicit => explicit,
+        };
+        let coop = match effective {
             ExecBackend::Threads => false,
             ExecBackend::Auto | ExecBackend::Coop => COOP_SUPPORTED,
         };
@@ -1211,6 +1277,45 @@ mod tests {
             );
             // The machine is still usable afterwards.
             assert_eq!(m.stats().total_ops, 0);
+        }
+    }
+
+    #[test]
+    fn concurrent_machines_on_host_threads_stay_deterministic() {
+        // The caharness parallel sweep runs one independent machine per
+        // host worker. Machines share no state, so N concurrent runs must
+        // produce exactly the results of N serial runs — on both backends
+        // (coop stacks are confined to their run's host thread).
+        let program = |exec: ExecBackend| {
+            let m = Machine::new(MachineConfig {
+                cores: 3,
+                mem_bytes: 1 << 20,
+                static_lines: 64,
+                exec,
+                ..Default::default()
+            });
+            let a = m.alloc_static(1);
+            m.run_on(3, |i, ctx| {
+                for _ in 0..100 {
+                    loop {
+                        let cur = ctx.read(a);
+                        if ctx.cas(a, cur, cur.wrapping_mul(31) + i as u64 + 1).is_ok() {
+                            break;
+                        }
+                    }
+                }
+            });
+            (m.host_read(a), m.stats().max_cycles)
+        };
+        for exec in [ExecBackend::Threads, ExecBackend::Coop] {
+            let serial = program(exec);
+            let concurrent: Vec<_> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..4).map(|_| s.spawn(move || program(exec))).collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            for r in concurrent {
+                assert_eq!(r, serial, "{exec:?}: concurrent run diverged from serial");
+            }
         }
     }
 

@@ -94,6 +94,27 @@ pub struct CoreStats {
     /// Events after which the turn moved to another core (lock release +
     /// wake-up — the expensive path the quantum amortizes).
     pub turn_handoffs: u64,
+    // --- Event-cost micro-profile --------------------------------------
+    // Cycle attribution per coherence hot path, alongside the event counts
+    // above. A scripted-workload test pins these exactly (see
+    // `coherence::tests::event_cost_micro_profile_pinned`), so a
+    // regression in a hot path's cost model fails CI rather than showing
+    // up as end-to-end wall-clock drift.
+    /// Cycles charged on L1-hit fast paths (including MESI silent E→M).
+    pub l1_hit_cycles: u64,
+    /// Cycles charged on fills served by the shared L2.
+    pub l2_hit_cycles: u64,
+    /// Cycles charged on fills that went to memory (includes the L2 probe
+    /// on the way; excludes separately-attributed invalidation and
+    /// dirty-supply extras).
+    pub mem_fill_cycles: u64,
+    /// Cycles charged for directory invalidation round trips initiated by
+    /// this core's writes.
+    pub invalidation_cycles: u64,
+    /// `untagAll` instructions executed (each costs 1 cycle).
+    pub untag_alls: u64,
+    /// `untagOne` instructions executed (each costs 1 cycle).
+    pub untag_ones: u64,
 }
 
 impl CoreStats {

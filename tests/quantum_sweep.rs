@@ -93,6 +93,36 @@ fn larger_quanta_batch_more_events() {
 }
 
 #[test]
+fn parallel_sweep_is_byte_identical_across_jobs() {
+    // The caharness sweep engine runs experiment configurations on a
+    // work-stealing pool of host threads. Host parallelism must be
+    // invisible in the output: a 21-configuration grid (7 schemes × 3
+    // thread counts) rendered with --jobs 1, 4 and 8 must produce
+    // byte-identical metrics tables — same cells, same order, same
+    // formatting — regardless of completion order.
+    use caharness::experiments::{throughput_panel, Scale};
+    use caharness::sweep;
+    let render = |jobs: usize| {
+        sweep::set_jobs(jobs);
+        let t = throughput_panel(
+            Some(SetKind::LazyList),
+            Mix {
+                insert_pct: 50,
+                delete_pct: 50,
+            },
+            Scale::Quick,
+            64,
+            "jobs determinism",
+        );
+        sweep::set_jobs(0);
+        format!("{}\n{}", t.render(), t.to_csv())
+    };
+    let serial = render(1);
+    assert_eq!(serial, render(4), "--jobs 4 diverged from --jobs 1");
+    assert_eq!(serial, render(8), "--jobs 8 diverged from --jobs 1");
+}
+
+#[test]
 fn seeds_still_perturb_the_schedule() {
     // Sanity check that the determinism above is not a constant function.
     let (a, _) = run_set_with_stats(SetKind::LazyList, SchemeKind::Ca, &cfg(64, 1, ExecBackend::Auto));

@@ -1,0 +1,275 @@
+//! Differential SMR test battery.
+//!
+//! The strongest correctness signal available for the reclamation layer is
+//! differential: every scheme in `casmr` (and CA itself) must be
+//! *behaviourally invisible* — the same randomized workload must produce
+//! operation histories indistinguishable from the leaky oracle, which
+//! never frees anything and therefore cannot have a reclamation bug. This
+//! is the same obligation VBR (Sheffi et al.) and Brown's "there has to be
+//! a better way" discharge by comparison against unreclaimed baselines.
+//!
+//! Two instruments, one shared harness:
+//!
+//! * **Identical logical histories** (single-threaded): with one thread
+//!   the operation sequence is a pure function of the seed, so every
+//!   scheme must return bit-identical `(op, key, result)` logs and final
+//!   contents. Any scheme whose protection machinery perturbs a logical
+//!   outcome (skipped node, resurrected key, phantom delete) diverges.
+//! * **Zero use-after-reclaim oracle violations** (multi-threaded): the
+//!   simulator's allocator knows the exact lifetime of every node; in
+//!   [`UafMode::Record`] every access to freed or recycled memory is
+//!   recorded. Concurrent runs under aggressive reclamation frequencies
+//!   must record none, and the per-key accounting must still balance.
+
+mod common;
+
+use std::collections::BTreeMap;
+
+use common::{check_set_accounting, SetAccounting};
+use conditional_access::ds::ca::{CaExtBst, CaLazyList};
+use conditional_access::ds::seqcheck::{walk_bst, walk_list};
+use conditional_access::ds::smr::{SmrExtBst, SmrLazyList};
+use conditional_access::ds::SetDs;
+use conditional_access::sim::{Machine, MachineConfig, Rng, UafMode};
+use conditional_access::smr::{He, Hp, Ibr, Leaky, Qsbr, Rcu, SchemeKind, SmrConfig};
+
+/// `(op kind, key, result)`: 0 = insert, 1 = delete, 2 = contains.
+type Op = (u8, u64, bool);
+
+fn machine(cores: usize, uaf: UafMode) -> Machine {
+    Machine::new(MachineConfig {
+        cores,
+        mem_bytes: 32 << 20,
+        static_lines: 2048,
+        uaf_mode: uaf,
+        ..Default::default()
+    })
+}
+
+/// Aggressive frequencies: more reclamation events = more chances for a
+/// protection hole to surface as a UAF fault or a history divergence.
+fn tight_smr() -> SmrConfig {
+    SmrConfig {
+        reclaim_freq: 4,
+        epoch_freq: 6,
+        ..Default::default()
+    }
+}
+
+/// Run the shared randomized workload and return one op log per thread.
+/// The op stream is a pure function of (seed, tid), never of the scheme.
+fn drive<D: SetDs>(m: &Machine, ds: &D, threads: usize, ops: u64, range: u64, seed: u64) -> Vec<Vec<Op>> {
+    m.run_on(threads, |tid, ctx| {
+        let mut tls = ds.register(tid);
+        let mut rng = Rng::new(seed ^ ((tid as u64) << 32));
+        let mut log = Vec::with_capacity(ops as usize);
+        for _ in 0..ops {
+            let key = 1 + rng.below(range);
+            let entry = match rng.below(3) {
+                0 => (0, key, ds.insert(ctx, &mut tls, key)),
+                1 => (1, key, ds.delete(ctx, &mut tls, key)),
+                _ => (2, key, ds.contains(ctx, &mut tls, key)),
+            };
+            log.push(entry);
+        }
+        log
+    })
+}
+
+/// Per-key net successful inserts − deletes, summed over the whole history.
+fn accounting(history: &[Vec<Op>]) -> SetAccounting {
+    let mut net: BTreeMap<u64, i64> = BTreeMap::new();
+    for log in history {
+        for &(kind, key, ok) in log {
+            match (kind, ok) {
+                (0, true) => *net.entry(key).or_default() += 1,
+                (1, true) => *net.entry(key).or_default() -= 1,
+                _ => {}
+            }
+        }
+    }
+    SetAccounting { net }
+}
+
+/// One lazy-list run of the shared workload under `scheme`. Returns the
+/// history, the final (sorted) contents, and any recorded UAF faults.
+fn lazylist_run(
+    scheme: SchemeKind,
+    threads: usize,
+    ops: u64,
+    range: u64,
+    seed: u64,
+    uaf: UafMode,
+) -> (Vec<Vec<Op>>, Vec<u64>, usize) {
+    let m = machine(threads, uaf);
+    let (history, keys) = match scheme {
+        SchemeKind::Ca => {
+            let ds = CaLazyList::new(&m);
+            let h = drive(&m, &ds, threads, ops, range, seed);
+            let keys = walk_list(&m, ds.head_node());
+            (h, keys)
+        }
+        SchemeKind::None => smr_lazylist_run(&m, Leaky::new(), threads, ops, range, seed),
+        SchemeKind::Qsbr => {
+            smr_lazylist_run(&m, Qsbr::new(&m, threads, tight_smr()), threads, ops, range, seed)
+        }
+        SchemeKind::Rcu => {
+            smr_lazylist_run(&m, Rcu::new(&m, threads, tight_smr()), threads, ops, range, seed)
+        }
+        SchemeKind::Ibr => {
+            smr_lazylist_run(&m, Ibr::new(&m, threads, tight_smr()), threads, ops, range, seed)
+        }
+        SchemeKind::Hp => {
+            smr_lazylist_run(&m, Hp::new(&m, threads, tight_smr()), threads, ops, range, seed)
+        }
+        SchemeKind::He => {
+            smr_lazylist_run(&m, He::new(&m, threads, tight_smr()), threads, ops, range, seed)
+        }
+    };
+    let faults = m.faults().len();
+    (history, keys, faults)
+}
+
+fn smr_lazylist_run<S: conditional_access::smr::Smr>(
+    m: &Machine,
+    s: S,
+    threads: usize,
+    ops: u64,
+    range: u64,
+    seed: u64,
+) -> (Vec<Vec<Op>>, Vec<u64>) {
+    let ds = SmrLazyList::new(m, s);
+    let h = drive(m, &ds, threads, ops, range, seed);
+    let keys = walk_list(m, ds.head_node());
+    (h, keys)
+}
+
+/// Same shape for the external BST.
+fn extbst_run(
+    scheme: SchemeKind,
+    threads: usize,
+    ops: u64,
+    range: u64,
+    seed: u64,
+    uaf: UafMode,
+) -> (Vec<Vec<Op>>, Vec<u64>, usize) {
+    let m = machine(threads, uaf);
+    let (history, keys) = match scheme {
+        SchemeKind::Ca => {
+            let ds = CaExtBst::new(&m);
+            let h = drive(&m, &ds, threads, ops, range, seed);
+            let keys = walk_bst(&m, ds.root_node());
+            (h, keys)
+        }
+        SchemeKind::None => smr_extbst_run(&m, Leaky::new(), threads, ops, range, seed),
+        SchemeKind::Qsbr => {
+            smr_extbst_run(&m, Qsbr::new(&m, threads, tight_smr()), threads, ops, range, seed)
+        }
+        SchemeKind::Rcu => {
+            smr_extbst_run(&m, Rcu::new(&m, threads, tight_smr()), threads, ops, range, seed)
+        }
+        SchemeKind::Ibr => {
+            smr_extbst_run(&m, Ibr::new(&m, threads, tight_smr()), threads, ops, range, seed)
+        }
+        SchemeKind::Hp => {
+            smr_extbst_run(&m, Hp::new(&m, threads, tight_smr()), threads, ops, range, seed)
+        }
+        SchemeKind::He => {
+            smr_extbst_run(&m, He::new(&m, threads, tight_smr()), threads, ops, range, seed)
+        }
+    };
+    let faults = m.faults().len();
+    (history, keys, faults)
+}
+
+fn smr_extbst_run<S: conditional_access::smr::Smr>(
+    m: &Machine,
+    s: S,
+    threads: usize,
+    ops: u64,
+    range: u64,
+    seed: u64,
+) -> (Vec<Vec<Op>>, Vec<u64>) {
+    let ds = SmrExtBst::new(m, s);
+    let h = drive(m, &ds, threads, ops, range, seed);
+    let keys = walk_bst(m, ds.root_node());
+    (h, keys)
+}
+
+const SEEDS: [u64; 3] = [0xD1FF, 0x5EED5, 0xFACADE];
+
+#[test]
+fn lazylist_histories_match_the_leaky_oracle() {
+    // Single-threaded: identical op logs AND identical final contents, for
+    // every scheme, on every seed. The leaky baseline is the oracle.
+    for seed in SEEDS {
+        let (oracle_h, oracle_keys, f) =
+            lazylist_run(SchemeKind::None, 1, 400, 48, seed, UafMode::Panic);
+        assert_eq!(f, 0);
+        for scheme in SchemeKind::ALL.into_iter().filter(|&s| s != SchemeKind::None) {
+            let (h, keys, faults) = lazylist_run(scheme, 1, 400, 48, seed, UafMode::Panic);
+            assert_eq!(
+                h, oracle_h,
+                "{scheme} lazy-list history diverged from leaky oracle (seed {seed:#x})"
+            );
+            assert_eq!(
+                keys, oracle_keys,
+                "{scheme} lazy-list final contents diverged (seed {seed:#x})"
+            );
+            assert_eq!(faults, 0, "{scheme}: UAF oracle violation");
+        }
+    }
+}
+
+#[test]
+fn extbst_histories_match_the_leaky_oracle() {
+    for seed in SEEDS {
+        let (oracle_h, oracle_keys, f) =
+            extbst_run(SchemeKind::None, 1, 400, 64, seed, UafMode::Panic);
+        assert_eq!(f, 0);
+        for scheme in SchemeKind::ALL.into_iter().filter(|&s| s != SchemeKind::None) {
+            let (h, keys, faults) = extbst_run(scheme, 1, 400, 64, seed, UafMode::Panic);
+            assert_eq!(
+                h, oracle_h,
+                "{scheme} BST history diverged from leaky oracle (seed {seed:#x})"
+            );
+            assert_eq!(
+                keys, oracle_keys,
+                "{scheme} BST final contents diverged (seed {seed:#x})"
+            );
+            assert_eq!(faults, 0, "{scheme}: UAF oracle violation");
+        }
+    }
+}
+
+#[test]
+fn concurrent_lazylist_runs_have_zero_uaf_violations() {
+    // Multi-threaded histories legitimately differ across schemes (timing
+    // differs, so interleavings differ); what must NOT differ is safety:
+    // the allocator oracle records every access to freed/recycled memory,
+    // and the per-key accounting must balance against the final contents.
+    for scheme in SchemeKind::ALL {
+        for seed in SEEDS {
+            let (h, keys, faults) = lazylist_run(scheme, 4, 250, 48, seed, UafMode::Record);
+            assert_eq!(
+                faults, 0,
+                "{scheme}: use-after-reclaim oracle violation(s) on seed {seed:#x}"
+            );
+            check_set_accounting(&accounting(&h), &keys);
+        }
+    }
+}
+
+#[test]
+fn concurrent_extbst_runs_have_zero_uaf_violations() {
+    for scheme in SchemeKind::ALL {
+        for seed in SEEDS {
+            let (h, keys, faults) = extbst_run(scheme, 4, 250, 64, seed, UafMode::Record);
+            assert_eq!(
+                faults, 0,
+                "{scheme}: use-after-reclaim oracle violation(s) on seed {seed:#x}"
+            );
+            check_set_accounting(&accounting(&h), &keys);
+        }
+    }
+}
