@@ -100,6 +100,19 @@ impl<S: Smr> QueueDs for SmrQueue<S> {
                 let _ = ctx.cas(self.tail, t, next); // help
                 continue;
             }
+            if next == 0 {
+                // Inconsistent snapshot, NOT an empty queue: `h.next` was
+                // read while the queue was empty, and other threads then
+                // enqueued (moving `tail` past `h`) before our `tail` read.
+                // Classic Michael–Scott re-validates `head == h` here for
+                // every scheme; this code only does that re-read for
+                // hazard-based schemes (`needs_validation`), so without
+                // this retry the epoch/leaky schemes fell through and
+                // dereferenced `Addr(0)` — a null read that, in
+                // `UafMode::Record`, went on to CAS `head` to 0 and wedge
+                // the queue permanently.
+                continue;
+            }
             let next = Addr(next);
             let v = ctx.read(next.word(W_KEY)); // next protected
             if ctx.cas(self.head, h.0, next.0).is_ok() {
@@ -116,7 +129,7 @@ impl<S: Smr> QueueDs for SmrQueue<S> {
 mod tests {
     use super::*;
     use casmr::{He, Hp, Ibr, Leaky, Qsbr, Rcu, SmrConfig};
-    use mcsim::MachineConfig;
+    use mcsim::{MachineConfig, Rng};
 
     fn machine(cores: usize) -> Machine {
         Machine::new(MachineConfig {
@@ -245,5 +258,54 @@ mod tests {
             "qsbr must bound the dummy churn, got {}",
             m.stats().allocated_not_freed
         );
+    }
+
+    #[test]
+    #[allow(clippy::let_unit_value)] // Leaky's Tls is (), bound for symmetry
+    fn dequeue_retries_on_stale_null_next_snapshot() {
+        // Regression: `dequeue` reads `h.next` *before* `tail` and only
+        // re-validated `head` for hazard-based schemes. Under epoch/leaky
+        // schemes this deterministic interleaving (4 threads, quantum 64)
+        // produced `next == 0` with `h != t` — an empty-queue snapshot
+        // gone stale — and dereferenced `Addr(0)`: a null read that the
+        // UAF detector flagged (and that, in Record mode, CASed `head` to
+        // 0 and wedged the queue forever). The fix retries the
+        // inconsistent snapshot; this exact workload must now conserve
+        // values with the detector armed.
+        let m = Machine::new(MachineConfig {
+            cores: 4,
+            mem_bytes: 32 << 20,
+            static_lines: 2048,
+            quantum: 64,
+            ..Default::default()
+        });
+        let q = SmrQueue::new(&m, Leaky::new());
+        let outs = m.run_on(4, |tid, ctx| {
+            let mut tls = q.register(tid);
+            let mut rng = Rng::new(0xD1FF ^ ((tid as u64) << 32));
+            let (mut enq, mut deq) = (0i64, 0i64);
+            for _ in 0..250 {
+                if rng.below(2) == 0 {
+                    q.enqueue(ctx, &mut tls, 1 + rng.below(48));
+                    enq += 1;
+                } else if q.dequeue(ctx, &mut tls).is_some() {
+                    deq += 1;
+                }
+            }
+            (enq, deq)
+        });
+        let (enq, deq): (i64, i64) = outs
+            .iter()
+            .fold((0, 0), |(a, b), &(e, d)| (a + e, b + d));
+        let drained = m.run_on(1, |_, ctx| {
+            let mut tls = q.register(0);
+            let mut n = 0i64;
+            while q.dequeue(ctx, &mut tls).is_some() {
+                n += 1;
+            }
+            n
+        })[0];
+        assert_eq!(enq, deq + drained, "values lost or duplicated");
+        m.check_invariants();
     }
 }

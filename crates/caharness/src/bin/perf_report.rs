@@ -56,12 +56,28 @@ fn main() {
                 println!(",");
             }
             first = false;
+            // The PR-2 event-cost micro-profile counters ride along so a
+            // cost-model regression is visible in per-commit artifacts,
+            // not just in end-to-end wall clock.
             print!(
                 "  {{\"bench\": \"{label}\", \"threads\": 8, \"quantum\": {quantum}, \
                  \"scheme\": \"ca\", \"wall_ms\": {best_ms:.1}, \
                  \"sim_cycles\": {}, \"total_ops\": {}, \"ops_per_host_sec\": {:.0}, \
-                 \"turn_handoffs\": {}, \"batched_events\": {}}}",
-                warm.cycles, warm.total_ops, events_per_sec, warm.turn_handoffs, warm.batched_events
+                 \"turn_handoffs\": {}, \"batched_events\": {}, \
+                 \"l1_hit_cycles\": {}, \"l2_hit_cycles\": {}, \
+                 \"mem_fill_cycles\": {}, \"invalidation_cycles\": {}, \
+                 \"untag_alls\": {}, \"untag_ones\": {}}}",
+                warm.cycles,
+                warm.total_ops,
+                events_per_sec,
+                warm.turn_handoffs,
+                warm.batched_events,
+                warm.l1_hit_cycles,
+                warm.l2_hit_cycles,
+                warm.mem_fill_cycles,
+                warm.invalidation_cycles,
+                warm.untag_alls,
+                warm.untag_ones
             );
         }
     }

@@ -1,12 +1,21 @@
-//! Host wall-clock instrument for the parallel sweep engine, behind
-//! `BENCH_pr2.json`.
+//! Host wall-clock instrument for the parallel sweep engine
+//! (`BENCH_pr2.json`) and for intra-machine gang scheduling
+//! (`BENCH_pr3.json`).
 //!
-//! Runs one figure-style grid — 7 schemes × 4 thread counts = 28
-//! configurations of the Figure-1 lazy list — once with `--jobs 1` and once
-//! with `--jobs N`, verifies the rendered metrics tables are byte-identical
-//! (the sweep determinism contract), and prints one JSON object with both
-//! wall clocks and the speedup. Simulated results are deterministic, so the
-//! wall-clock ratio is pure host-scheduling performance.
+//! Two instruments, one JSON array on stdout:
+//!
+//! 1. **Sweep** (PR 2): one figure-style grid — 7 schemes × 4 thread
+//!    counts = 28 configurations of the Figure-1 lazy list — once with
+//!    `--jobs 1` and once with `--jobs N`, asserting byte-identical tables
+//!    (the sweep determinism contract).
+//! 2. **Gang** (PR 3): one *single* 16-simulated-core machine (the
+//!    workload one `--jobs` worker cannot split) at `gangs` 1, 2 and 4,
+//!    asserting bit-identical repeated runs per gang count. On a 1-vCPU
+//!    host this records the protocol's overhead bound; on multi-core hosts
+//!    (CI) it records the intra-machine speedup.
+//!
+//! Simulated results are deterministic, so every wall-clock ratio is pure
+//! host-scheduling performance.
 //!
 //! Usage: `cargo run --release -p caharness --bin sweep_bench [reps] [--jobs N]`
 //! (default reps 3; default jobs = one worker per host CPU)
@@ -14,7 +23,7 @@
 use std::time::Instant;
 
 use caharness::config::jobs_from_args;
-use caharness::{sweep, Mix, RunConfig, SeriesTable, SetKind};
+use caharness::{run_set_with_stats, sweep, Mix, RunConfig, SeriesTable, SetKind};
 use casmr::SchemeKind;
 
 fn grid() -> SeriesTable {
@@ -60,6 +69,34 @@ fn time_grid(jobs: usize, reps: usize) -> (f64, String) {
     (best_ms, warm)
 }
 
+/// One deterministic 16-simulated-core machine at the given gang count and
+/// mix. Returns (best wall ms over `reps`, simulated cycles, total
+/// deferred events, epoch barriers) — repeated runs asserted bit-identical.
+fn time_gangs(gangs: usize, mix: Mix, reps: usize) -> (f64, u64, u64, u64) {
+    let cfg = RunConfig {
+        threads: 16,
+        key_range: 1000,
+        prefill: 500,
+        ops_per_thread: 500,
+        mix,
+        gangs,
+        ..Default::default()
+    };
+    let (warm, warm_stats) = run_set_with_stats(SetKind::LazyList, SchemeKind::Ca, &cfg);
+    let mut best_ms = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let (m, s) = run_set_with_stats(SetKind::LazyList, SchemeKind::Ca, &cfg);
+        best_ms = best_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(m.cycles, warm.cycles, "gangs={gangs}: repeated runs diverged");
+        assert_eq!(
+            s.cores, warm_stats.cores,
+            "gangs={gangs}: per-core stats diverged between reps"
+        );
+    }
+    (best_ms, warm.cycles, warm.deferred_events, warm.epoch_barriers)
+}
+
 fn main() {
     let reps: usize = std::env::args()
         .nth(1)
@@ -75,11 +112,44 @@ fn main() {
     let (par_ms, par_csv) = time_grid(jobs, reps);
     let identical = serial_csv == par_csv;
     assert!(identical, "--jobs {jobs} table differs from --jobs 1");
+    println!("[");
     println!(
-        "{{\"bench\": \"sweep_bench\", \"configs\": 28, \"host_cpus\": {host}, \
+        "  {{\"bench\": \"sweep_bench\", \"configs\": 28, \"host_cpus\": {host}, \
          \"reps\": {reps}, \"jobs\": {jobs}, \"wall_ms_jobs1\": {serial_ms:.1}, \
          \"wall_ms_jobsN\": {par_ms:.1}, \"speedup\": {:.2}, \
-         \"byte_identical\": {identical}}}",
+         \"byte_identical\": {identical}}},",
         serial_ms / par_ms
     );
+    // PR 3: intra-machine gang speedup on ONE 16-core machine, at the
+    // paper's read-only (0i-0d) and update-heavy (50i-50d) mixes. Gang
+    // counts are different (each deterministic) schedules, so wall clocks
+    // are compared per gang count against its own repeats; the g1-vs-gN
+    // ratio is the host-parallelism payoff (or, on 1 vCPU, the overhead
+    // bound — reads resolve on the gang-local lane, so the read-mostly
+    // panel bounds the protocol's intrinsic cost, while the update panel
+    // stresses the barrier merge with misses, invalidations and frees).
+    for (label, mix) in [
+        ("gang_bench", Mix { insert_pct: 0, delete_pct: 0 }),
+        ("gang_bench_update", Mix { insert_pct: 50, delete_pct: 50 }),
+    ] {
+        eprintln!("[sweep_bench: {label}, 16 simulated cores, gangs 1/2/4]");
+        let (g1_ms, g1_cycles, _, _) = time_gangs(1, mix, reps);
+        let (g2_ms, g2_cycles, g2_defer, g2_epochs) = time_gangs(2, mix, reps);
+        let (g4_ms, g4_cycles, g4_defer, g4_epochs) = time_gangs(4, mix, reps);
+        println!(
+            "  {{\"bench\": \"{label}\", \"threads\": 16, \"mix\": \"{}\", \
+             \"host_cpus\": {host}, \
+             \"reps\": {reps}, \"wall_ms_g1\": {g1_ms:.1}, \"wall_ms_g2\": {g2_ms:.1}, \
+             \"wall_ms_g4\": {g4_ms:.1}, \"speedup_g2\": {:.2}, \"speedup_g4\": {:.2}, \
+             \"sim_cycles_g1\": {g1_cycles}, \"sim_cycles_g2\": {g2_cycles}, \
+             \"sim_cycles_g4\": {g4_cycles}, \"deferred_g2\": {g2_defer}, \
+             \"deferred_g4\": {g4_defer}, \"epochs_g2\": {g2_epochs}, \
+             \"epochs_g4\": {g4_epochs}, \"deterministic\": true}}{}",
+            mix.label(),
+            g1_ms / g2_ms,
+            g1_ms / g4_ms,
+            if label == "gang_bench" { "," } else { "" }
+        );
+    }
+    println!("]");
 }

@@ -68,6 +68,17 @@ pub struct RunConfig {
     /// Host execution backend (simulated results are identical across
     /// backends; see `mcsim::ExecBackend`).
     pub exec: ExecBackend,
+    /// Intra-machine gangs (see `mcsim`'s gang scheduling): 1 = the classic
+    /// single-turn scheduler (byte-identical to the pre-gang simulator);
+    /// G > 1 runs one machine across G host threads with deterministic
+    /// epoch barriers. Unlike `--jobs`, this *is* part of the simulated
+    /// configuration: results are a pure function of
+    /// `(program, seeds, quantum, gangs)` — deterministic for every fixed
+    /// value, but different values are different (bounded-skew) schedules.
+    pub gangs: usize,
+    /// Gang epoch window W in cycles (bounds inter-gang skew and
+    /// cross-gang event latency; see `mcsim`). Ignored at `gangs == 1`.
+    pub gang_window: u64,
 }
 
 impl Default for RunConfig {
@@ -91,8 +102,57 @@ impl Default for RunConfig {
             buckets: 128,
             ctx_switch: None,
             exec: ExecBackend::Auto,
+            gangs: default_gangs(),
+            gang_window: 4096,
         }
     }
+}
+
+/// Process-wide default for [`RunConfig::gangs`], installed by the bins'
+/// `--gangs N` flag (mirrors the `--jobs` plumbing in [`crate::sweep`]).
+/// 0 is not meaningful here: the default of the default is 1.
+static DEFAULT_GANGS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(1);
+
+/// Set the default gang count newly-built [`RunConfig`]s start with.
+pub fn set_default_gangs(n: usize) {
+    DEFAULT_GANGS.store(n.max(1), std::sync::atomic::Ordering::Relaxed);
+}
+
+/// The current default gang count.
+pub fn default_gangs() -> usize {
+    DEFAULT_GANGS.load(std::sync::atomic::Ordering::Relaxed).max(1)
+}
+
+/// Parse the `--gangs N` / `--gangs=N` flag (default 1). Unlike `--jobs`
+/// this changes the *simulated* schedule (deterministically per value); the
+/// figure bins thread it through [`set_default_gangs`] so every cell of a
+/// sweep runs its machine gang-scheduled.
+pub fn gangs_from_args() -> usize {
+    let parse = |v: &str| -> usize {
+        let n: usize = v
+            .parse()
+            .unwrap_or_else(|_| panic!("--gangs requires a positive integer, got {v:?}"));
+        assert!(n >= 1, "--gangs requires a positive integer, got 0");
+        n
+    };
+    let args: Vec<String> = std::env::args().collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--gangs" {
+            let v = it.next().expect("--gangs requires a value");
+            return parse(v);
+        } else if let Some(v) = a.strip_prefix("--gangs=") {
+            return parse(v);
+        }
+    }
+    1
+}
+
+/// Parse `--gangs` from the CLI and install it as the process default —
+/// the one-liner every harness bin calls next to
+/// [`crate::sweep::set_jobs_from_args`].
+pub fn set_gangs_from_args() {
+    set_default_gangs(gangs_from_args());
 }
 
 /// Parse the `--jobs N` / `--jobs=N` / `-jN` sweep-parallelism flag from
@@ -137,6 +197,8 @@ impl RunConfig {
             uaf_mode: UafMode::Panic,
             ctx_switch: self.ctx_switch,
             exec: self.exec,
+            gangs: self.gangs,
+            gang_window: self.gang_window,
         }
     }
 

@@ -52,7 +52,16 @@ impl Histogram {
             return v as usize;
         }
         let msb = 63 - v.leading_zeros();
-        let octave = (msb - SUB_BITS + 1).min(OCTAVES as u32);
+        let octave = msb - SUB_BITS + 1;
+        if octave as usize > OCTAVES {
+            // Beyond the covered range (~2^(OCTAVES+SUB_BITS-1)): saturate
+            // into the very last bucket. Clamping the octave alone would
+            // keep shifting by the capped amount, scattering huge values
+            // across arbitrary sub-buckets of the top octave — breaking
+            // bucket monotonicity and making quantiles under-report by
+            // orders of magnitude.
+            return SUB_COUNT * (OCTAVES + 1) - 1;
+        }
         let sub = (v >> (octave - 1)) as usize & (SUB_COUNT - 1);
         octave as usize * SUB_COUNT + sub
     }
@@ -218,6 +227,56 @@ mod tests {
         assert_eq!(h.max(), u64::MAX);
         assert_eq!(h.count(), 2);
         assert!(h.quantile(1.0) == u64::MAX);
+    }
+
+    #[test]
+    fn out_of_range_values_saturate_into_the_last_bucket() {
+        // Regression: the octave used to be clamped at OCTAVES while the
+        // sub-bucket shift kept using the clamped exponent, so distinct huge
+        // values aliased into arbitrary sub-buckets of the top octave —
+        // out of order — and quantiles under-reported by orders of
+        // magnitude (2^50 landed in a bucket whose lower edge is 2^45).
+        let last = SUB_COUNT * (OCTAVES + 1) - 1;
+        let in_range_top = (1u64 << (OCTAVES as u32 + SUB_BITS)) - 1; // 2^46 - 1
+        assert_eq!(Histogram::bucket_of(in_range_top), last);
+        for huge in [1u64 << 46, 1 << 50, 1 << 55, 1 << 60, u64::MAX] {
+            assert_eq!(
+                Histogram::bucket_of(huge),
+                last,
+                "{huge:#x} must saturate into the final bucket"
+            );
+        }
+        // bucket_of must stay monotone across the whole range boundary.
+        let below = Histogram::bucket_of(in_range_top >> 1);
+        assert!(below < last);
+    }
+
+    #[test]
+    fn quantiles_with_huge_values_do_not_under_report() {
+        // 100, 2^50, 2^51: the 2nd-smallest (q≈0.67) is 2^50. The broken
+        // bucketing reported 2^45 (clamped to min only when min was larger).
+        let mut h = Histogram::new();
+        h.record(100);
+        h.record(1 << 50);
+        h.record(1 << 51);
+        let est = h.quantile(0.67);
+        let floor = Histogram::bucket_low(SUB_COUNT * (OCTAVES + 1) - 1);
+        assert!(
+            est >= floor,
+            "q0.67 of [100, 2^50, 2^51] reported {est}, below the final \
+             bucket's edge {floor} — huge values aliased into a wrong bucket"
+        );
+        assert_eq!(h.quantile(1.0), 1 << 51, "p100 stays exact");
+        // Several distinct huge values all share the saturated bucket: the
+        // estimate is floor-bounded, ordered, and never tiny.
+        let mut h2 = Histogram::new();
+        for v in [1u64 << 47, 1 << 52, 1 << 57, 1 << 62] {
+            h2.record(v);
+        }
+        for q in [0.25, 0.5, 0.75] {
+            assert!(h2.quantile(q) >= floor.min(h2.min()), "q{q}");
+        }
+        assert_eq!(h2.quantile(1.0), 1 << 62);
     }
 
     #[test]

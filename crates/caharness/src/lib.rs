@@ -30,6 +30,13 @@
 //! independent (one simulated machine each, per-config seeds), so the
 //! [`sweep`] engine runs them concurrently on `N` host threads with
 //! bit-identical results for every `N` (0/default = one per host CPU).
+//!
+//! Every binary also accepts `--gangs G` (default 1): each simulated
+//! machine is itself split across `G` host threads with deterministic
+//! epoch barriers (`mcsim` gang scheduling). Unlike `--jobs`, this is
+//! part of the simulated configuration — `gangs=1` is byte-identical to
+//! the classic scheduler, every fixed `G` is bit-deterministic, and
+//! different `G` are different (bounded-skew) schedules.
 
 pub mod config;
 pub mod experiments;

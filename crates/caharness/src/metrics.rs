@@ -47,6 +47,23 @@ pub struct Metrics {
     /// Simulator host-path: scheduler turn handoffs (lock release + thread
     /// wake). `batched / (batched + handoffs)` is the batching hit rate.
     pub turn_handoffs: u64,
+    /// Gang runs: events deferred to epoch barriers (0 at gangs=1).
+    pub deferred_events: u64,
+    /// Gang runs: epoch barriers crossed (0 at gangs=1).
+    pub epoch_barriers: u64,
+    // --- event-cost micro-profile (see mcsim::stats::CoreStats) --------
+    /// Cycles charged on L1-hit fast paths.
+    pub l1_hit_cycles: u64,
+    /// Cycles charged on fills served by the shared L2.
+    pub l2_hit_cycles: u64,
+    /// Cycles charged on fills that went to memory.
+    pub mem_fill_cycles: u64,
+    /// Cycles charged for directory invalidation round trips.
+    pub invalidation_cycles: u64,
+    /// `untagAll` instructions executed.
+    pub untag_alls: u64,
+    /// `untagOne` instructions executed.
+    pub untag_ones: u64,
 }
 
 impl Metrics {
@@ -80,6 +97,14 @@ impl Metrics {
             tx_aborts: stats.sum(|c| c.tx_aborts),
             batched_events: stats.sum(|c| c.batched_events),
             turn_handoffs: stats.sum(|c| c.turn_handoffs),
+            deferred_events: stats.sum(|c| c.deferred_events),
+            epoch_barriers: stats.epoch_barriers,
+            l1_hit_cycles: stats.sum(|c| c.l1_hit_cycles),
+            l2_hit_cycles: stats.sum(|c| c.l2_hit_cycles),
+            mem_fill_cycles: stats.sum(|c| c.mem_fill_cycles),
+            invalidation_cycles: stats.sum(|c| c.invalidation_cycles),
+            untag_alls: stats.sum(|c| c.untag_alls),
+            untag_ones: stats.sum(|c| c.untag_ones),
         }
     }
 }
@@ -103,6 +128,7 @@ mod tests {
             peak_allocated: 9,
             total_ops: 50,
             max_cycles: 1_000_000,
+            epoch_barriers: 0,
         };
         let m = Metrics::from_stats("ca", 1, &stats, vec![]);
         assert!((m.throughput - 50.0).abs() < 1e-9);

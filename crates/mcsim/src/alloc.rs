@@ -212,27 +212,48 @@ impl Allocator {
         }
     }
 
+    /// Classify a program data access **read-only**: `Some(fault)` if the
+    /// access would trip the detector. The gang runtime's parallel phase
+    /// uses this (allocator state is frozen between epoch barriers), with
+    /// fault *recording* deferred to the barrier merge.
+    pub fn access_fault(&self, core: CoreId, addr: Addr, kind: &'static str) -> Option<Fault> {
+        let status = self.line_status(addr.line());
+        if matches!(status, LineStatus::Static | LineStatus::Allocated) {
+            None
+        } else {
+            Some(Fault {
+                core,
+                addr,
+                status,
+                kind,
+            })
+        }
+    }
+
     /// Validate a program data access; returns true if it may proceed.
     /// In [`UafMode::Panic`] an invalid access aborts the simulation.
     pub fn check_access(&mut self, core: CoreId, addr: Addr, kind: &'static str) -> bool {
-        let status = self.line_status(addr.line());
-        let ok = matches!(status, LineStatus::Static | LineStatus::Allocated);
-        if !ok {
-            match self.uaf_mode {
-                UafMode::Panic => panic!(
-                    "MEMORY SAFETY VIOLATION: core {core} {kind} {addr:?} → {status:?} \
-                     (use-after-free or wild access detected by the simulator)"
-                ),
-                UafMode::Record => self.faults.push(Fault {
-                    core,
-                    addr,
-                    status,
-                    kind,
-                }),
+        match self.access_fault(core, addr, kind) {
+            None => true,
+            Some(f) => {
+                match self.uaf_mode {
+                    UafMode::Panic => panic_access(&f),
+                    UafMode::Record => self.faults.push(f),
+                }
+                false
             }
         }
-        ok
     }
+}
+
+/// Panic with the canonical detector message (one source of truth for the
+/// machine-lock path and the gang lane).
+pub(crate) fn panic_access(f: &Fault) -> ! {
+    panic!(
+        "MEMORY SAFETY VIOLATION: core {} {} {:?} → {:?} \
+         (use-after-free or wild access detected by the simulator)",
+        f.core, f.kind, f.addr, f.status
+    )
 }
 
 #[cfg(test)]

@@ -73,6 +73,13 @@ pub struct CacheConfig {
     pub l2_bytes: usize,
     /// L2 associativity.
     pub l2_assoc: usize,
+    /// L2/directory banks (paper §V: Graphite's L2 is banked). Rounded to a
+    /// power of two and clamped to the set count. Banking is **exactly
+    /// set-preserving** (see [`BankedL2`]), so simulated results are
+    /// bit-identical for every bank count — the banks model a banked
+    /// directory and give future multi-writer backends independently
+    /// lockable shards.
+    pub l2_banks: usize,
     /// Coherence protocol (paper: MSI).
     pub protocol: Protocol,
 }
@@ -84,25 +91,118 @@ impl Default for CacheConfig {
             l1_assoc: 8,
             l2_bytes: 256 * 1024,
             l2_assoc: 8,
+            l2_banks: 8,
             protocol: Protocol::Msi,
         }
     }
 }
 
+/// The shared inclusive L2 (directory) as independent banks selected by the
+/// low bits of the line index.
+///
+/// Bank decomposition is *exactly* equivalent to the flat array: with
+/// `sets` total sets and `B = 2^b` banks, the flat structure groups lines
+/// by `line & (sets-1)`, and the banked one by the pair
+/// `(line & (B-1), (line >> b) & (sets/B - 1))` — the same bits, split.
+/// Each set lives entirely inside one bank, per-set LRU order follows the
+/// (monotone per-bank) stamp order, so every lookup, hit, eviction and
+/// back-invalidation decision is identical. `l2_banks = 1` degenerates to
+/// the original flat array.
+pub(crate) struct BankedL2 {
+    banks: Vec<SetAssoc<DirMeta>>,
+    bank_mask: u64,
+}
+
+impl BankedL2 {
+    /// Build a banked L2 of `size_bytes` capacity. `banks` is rounded to a
+    /// power of two and clamped to `[1, sets]` so every bank keeps at least
+    /// one whole set.
+    pub fn new(size_bytes: usize, assoc: usize, banks: usize) -> Self {
+        assert!(assoc >= 1, "associativity must be at least 1");
+        let lines = size_bytes / crate::addr::LINE_BYTES as usize;
+        assert!(
+            lines >= assoc && lines.is_multiple_of(assoc),
+            "L2 of {size_bytes} bytes cannot hold {assoc}-way sets of 64B lines"
+        );
+        let sets = (lines / assoc).next_power_of_two();
+        if sets != lines / assoc {
+            eprintln!(
+                "mcsim: warning: {size_bytes}-byte {assoc}-way L2 has {} sets; \
+                 rounding up to {sets} (power-of-two set indexing) — simulated \
+                 capacity grows to {} bytes",
+                lines / assoc,
+                sets * assoc * crate::addr::LINE_BYTES as usize,
+            );
+        }
+        let banks = banks.max(1).next_power_of_two().min(sets);
+        let bank_bits = banks.trailing_zeros();
+        let per_bank_bytes = (sets / banks) * assoc * crate::addr::LINE_BYTES as usize;
+        Self {
+            banks: (0..banks)
+                .map(|_| SetAssoc::with_shift(per_bank_bytes, assoc, bank_bits))
+                .collect(),
+            bank_mask: banks as u64 - 1,
+        }
+    }
+
+    /// Number of banks (introspection; used by tests).
+    #[cfg(test)]
+    pub fn bank_count(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Which bank a line's directory entry lives in.
+    #[inline]
+    pub fn bank_of(&self, line: Line) -> usize {
+        (line.0 & self.bank_mask) as usize
+    }
+
+    #[inline]
+    pub fn lookup(&self, line: Line) -> Option<&crate::cache::Entry<DirMeta>> {
+        self.banks[self.bank_of(line)].lookup(line)
+    }
+
+    #[inline]
+    pub fn lookup_mut(&mut self, line: Line) -> Option<&mut crate::cache::Entry<DirMeta>> {
+        let b = self.bank_of(line);
+        self.banks[b].lookup_mut(line)
+    }
+
+    #[inline]
+    pub fn lookup_touch(&mut self, line: Line) -> Option<&mut crate::cache::Entry<DirMeta>> {
+        let b = self.bank_of(line);
+        self.banks[b].lookup_touch(line)
+    }
+
+    #[inline]
+    pub fn insert(&mut self, line: Line, payload: DirMeta) -> Option<crate::cache::Entry<DirMeta>> {
+        let b = self.bank_of(line);
+        self.banks[b].insert(line, payload)
+    }
+
+    /// Iterate over all resident entries, bank by bank (order differs from
+    /// the flat array; all consumers are order-insensitive).
+    pub fn iter(&self) -> impl Iterator<Item = &crate::cache::Entry<DirMeta>> {
+        self.banks.iter().flat_map(|b| b.iter())
+    }
+}
+
 /// Per-hardware-thread transaction state for the HTM comparator.
+/// `pub(crate)` so the gang lane (see `crate::gang`) can consult and roll
+/// back transactions inside its partition.
 #[derive(Debug, Default)]
-struct TxState {
+pub(crate) struct TxState {
     /// A transaction is in flight.
-    active: bool,
+    pub(crate) active: bool,
     /// Buffered (lazy-versioned) speculative stores, in program order.
-    writes: Vec<(Addr, u64)>,
+    pub(crate) writes: Vec<(Addr, u64)>,
 }
 
 /// The coherence engine: caches + directory + functional memory + ARBs.
 pub struct CoherenceHub {
     /// One private L1 per *physical core* (shared by its hyperthreads).
     pub(crate) l1s: Vec<L1>,
-    pub(crate) l2: SetAssoc<DirMeta>,
+    pub(crate) l2: BankedL2,
     pub(crate) mem: Memory,
     pub(crate) lat: LatencyModel,
     /// Hardware threads per physical core (1 = no SMT).
@@ -111,7 +211,7 @@ pub struct CoherenceHub {
     /// Per-hardware-thread access-revoked bit.
     pub(crate) arb: Vec<bool>,
     /// Per-hardware-thread HTM state.
-    tx: Vec<TxState>,
+    pub(crate) tx: Vec<TxState>,
     pub(crate) stats: StatsBank,
 }
 
@@ -138,7 +238,7 @@ impl CoherenceHub {
             l1s: (0..pcores)
                 .map(|_| L1::new(cache.l1_bytes, cache.l1_assoc))
                 .collect(),
-            l2: SetAssoc::new(cache.l2_bytes, cache.l2_assoc),
+            l2: BankedL2::new(cache.l2_bytes, cache.l2_assoc, cache.l2_banks),
             mem: Memory::new(mem_bytes),
             lat,
             smt,
@@ -836,6 +936,7 @@ mod tests {
                 l1_assoc: 1,
                 l2_bytes: 512,
                 l2_assoc: 2,
+                l2_banks: 1,
                 protocol: Protocol::Msi,
             },
             LatencyModel::default(),
@@ -1157,6 +1258,79 @@ mod tests {
         h.check_invariants();
     }
 
+    // --- banked L2 -------------------------------------------------------
+
+    #[test]
+    fn banked_l2_is_bit_identical_to_flat() {
+        // Bank decomposition must be exactly set-preserving: a scripted
+        // workload with misses, upgrades, evictions and back-invalidations
+        // produces identical per-core stats, ARBs and memory contents for
+        // every bank count.
+        let run = |banks: usize| {
+            let mut h = CoherenceHub::new(
+                4,
+                1,
+                &CacheConfig {
+                    l1_bytes: 256,
+                    l1_assoc: 1,
+                    l2_bytes: 1024,
+                    l2_assoc: 2,
+                    l2_banks: banks,
+                    protocol: Protocol::Msi,
+                },
+                LatencyModel::default(),
+                1 << 20,
+            );
+            let mut lcg: u64 = 0xDEADBEEF;
+            let mut step = || {
+                lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                lcg >> 33
+            };
+            let mut costs = 0u64;
+            for _ in 0..4000 {
+                let c = (step() % 4) as usize;
+                let a = Line(step() % 64).base();
+                match step() % 5 {
+                    0 => costs += h.read(c, a).1,
+                    1 => costs += h.write(c, a, step()),
+                    2 => costs += h.cread(c, a).1,
+                    3 => costs += h.cwrite(c, a, step()).1,
+                    _ => costs += h.untag_all(c),
+                }
+            }
+            h.check_invariants();
+            let words: Vec<u64> = (0..64).map(|l| h.host_read(Line(l).base())).collect();
+            (h.stats.cores.clone(), h.arb.clone(), words, costs)
+        };
+        let flat = run(1);
+        for banks in [2, 4, 8, 64] {
+            assert_eq!(run(banks), flat, "banks={banks} diverged from flat L2");
+        }
+    }
+
+    #[test]
+    fn bank_count_is_clamped_to_sets() {
+        // 1024B 2-way = 8 sets: requests beyond that clamp.
+        let h = CoherenceHub::new(
+            1,
+            1,
+            &CacheConfig {
+                l1_bytes: 256,
+                l1_assoc: 1,
+                l2_bytes: 1024,
+                l2_assoc: 2,
+                l2_banks: 64,
+                protocol: Protocol::Msi,
+            },
+            LatencyModel::default(),
+            1 << 20,
+        );
+        assert_eq!(h.l2.bank_count(), 8);
+        // Power-of-two rounding.
+        let h = CoherenceHub::new(1, 1, &CacheConfig { l2_banks: 3, ..CacheConfig::default() }, LatencyModel::default(), 1 << 20);
+        assert_eq!(h.l2.bank_count(), 4);
+    }
+
     // --- MESI -----------------------------------------------------------
 
     #[test]
@@ -1244,6 +1418,7 @@ mod tests {
                 l1_assoc: 1,
                 l2_bytes: 1024,
                 l2_assoc: 4,
+                l2_banks: 1,
                 protocol: Protocol::Mesi,
             },
             LatencyModel::default(),

@@ -1,0 +1,1580 @@
+//! Intra-machine gang scheduling: one large simulated machine across many
+//! host threads, with deterministic epoch barriers.
+//!
+//! ## Model
+//!
+//! With `MachineConfig::gangs = G > 1`, a run's cores are partitioned into
+//! G contiguous, SMT-aligned blocks ("gangs"). Each gang owns a **scheduler
+//! shard** — the same two-min turn structure the single-gang machine uses
+//! ([`crate::sched::Sched`]), over the gang's cores only — and executes on
+//! its own host thread: a per-gang coroutine arena on the coop backend
+//! (stacks stay `!Send`, confined to the gang worker), or per-core OS
+//! threads coordinated by a per-gang turn word on the threads backend.
+//!
+//! Time advances in **epochs**. At each epoch barrier the conductor (the
+//! thread that called `Machine::run`) computes a clock ceiling
+//! `global_min_clock + gang_window`; inside the epoch a gang may only run
+//! cores whose clocks are at or below the ceiling. Within the epoch, a core
+//! executes **gang-local events** directly and in parallel with other
+//! gangs; any event that touches shared state is **deferred**: queued with
+//! its issue key and applied by the conductor at the barrier in
+//! `(clock, core id, seq)` order against the full machine state, using the
+//! *same* `exec_op` the single-gang pipeline uses.
+//!
+//! ## What is gang-local (and why it is race-free)
+//!
+//! The coherence protocol itself partitions the state:
+//!
+//! * **L1-hit events** touch only the issuing gang's L1s, ARBs, tx state
+//!   and stats (all physically sliced per gang) plus the functional memory
+//!   word. The word access is race-free *by MSI/MESI*: a store requires an
+//!   M (or silently-upgraded E) copy, which excludes every other copy in
+//!   the system, so no concurrent reader can exist; a load requires a
+//!   resident copy, which excludes any concurrent M writer. Any event that
+//!   would need the directory (a miss, an S→M upgrade, an eviction) is
+//!   deferred instead.
+//! * `untagOne`/`untagAll`/`fence`, failed-fast conditional accesses (ARB
+//!   set / untagged target), and the OS-preemption model touch only the
+//!   gang partition: always local.
+//! * `alloc`, `free` and all HTM operations defer (shared allocator / cold
+//!   path; `free` blocks so the UAF oracle stays exact for everything the
+//!   freeing core does next — a blocked core's clock freezes, so blocking
+//!   costs no simulated time). `op_completed` splits: per-core stats are
+//!   charged locally, the global counter + Fig-3 sample is queued
+//!   **non-blocking** (nothing the core does next depends on it).
+//!
+//! ## Determinism contract
+//!
+//! For a fixed `(program, seeds, quantum, gangs, gang_window)` the results
+//! are bit-identical across repeated runs, host scheduling, and both exec
+//! backends: every intra-gang decision is a pure function of gang-local
+//! state, every cross-gang effect is applied in the sorted deterministic
+//! barrier order, and the ceiling is a pure function of the merged clocks.
+//! `gangs = 1` never enters this module — `Machine::run` keeps the classic
+//! single-turn path, byte-identical to the pre-gang scheduler. Different
+//! gang layouts are *different (each deterministic) schedules*: cross-gang
+//! coherence (invalidation → ARB revocation) lands at the next barrier, a
+//! bounded-skew relaxation equivalent to the paper's lax-synchronized
+//! banked Graphite simulation (§V).
+//!
+//! ## Aliasing discipline (unsafe audit)
+//!
+//! All raw pointers derive from one `&mut SimState` taken by the conductor
+//! for the whole run. Phases strictly alternate: in the *parallel* phase
+//! each gang actor touches only its `LaneParts` slices (disjoint per gang)
+//! plus protocol-guarded memory words, and the conductor touches nothing;
+//! in the *serial* phase (between `Gate::wait_all_arrived` and
+//! `Gate::open_epoch`) the conductor has exclusive access to everything.
+//! Gang actors re-create their slice references transiently per event and
+//! never hold them across a barrier.
+
+use std::cell::UnsafeCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Barrier, Condvar, Mutex};
+use std::thread::Thread;
+
+use crate::addr::{Addr, CoreId, Line};
+use crate::alloc::{panic_access, Allocator, Fault, UafMode};
+use crate::cache::{MsiState, L1};
+use crate::coherence::TxState;
+use crate::latency::LatencyModel;
+use crate::machine::{exec_op, CoreFn, CtxBackend, Ctx, Op, Out, SimState};
+use crate::sched::{Sched, NO_TURN};
+use crate::stats::{CoreStats, RevokeCause};
+
+const ABORT_MSG: &str =
+    "gang run aborted: the epoch-barrier conductor panicked (see its panic)";
+
+/// How a run's cores are partitioned into gangs.
+#[derive(Copy, Clone, Debug)]
+pub(crate) struct Layout {
+    /// Cores participating in this run (`fns.len()`).
+    pub n: usize,
+    /// Cores per gang (the last gang may be smaller).
+    pub block: usize,
+    /// Effective gang count.
+    pub gangs: usize,
+}
+
+impl Layout {
+    /// Partition `n` cores into at most `gangs_requested` contiguous blocks,
+    /// aligned so sibling hyperthreads never straddle a gang boundary.
+    pub fn new(n: usize, gangs_requested: usize, smt: usize) -> Layout {
+        let block = n
+            .div_ceil(gangs_requested.max(1))
+            .next_multiple_of(smt.max(1));
+        Layout {
+            n,
+            block,
+            gangs: n.div_ceil(block),
+        }
+    }
+
+    #[inline]
+    pub fn gang_of(&self, c: CoreId) -> usize {
+        c / self.block
+    }
+
+    #[inline]
+    pub fn base(&self, g: usize) -> usize {
+        g * self.block
+    }
+
+    #[inline]
+    pub fn size(&self, g: usize) -> usize {
+        (self.n - self.base(g)).min(self.block)
+    }
+}
+
+/// A queued cross-gang item, applied at the epoch barrier.
+enum Deferred {
+    /// A full event: executed via `exec_op`, result delivered to the
+    /// issuing (blocked) core's slot.
+    Blocking(Op),
+    /// Global half of `op_completed` (global op counter + Fig-3 sampling).
+    OpDone,
+    /// A detector fault observed on the parallel fast path (Record mode).
+    Fault(Fault),
+}
+
+/// Queue entry with its deterministic merge key.
+struct Queued {
+    clock: u64,
+    core: CoreId,
+    seq: u64,
+    pending: u64,
+    item: Deferred,
+}
+
+/// Per-gang run state. Touched by the gang's current actor during the
+/// parallel phase (exclusivity via the gang turn) and by the conductor
+/// during the serial phase.
+pub(crate) struct GangState {
+    /// The gang's scheduler shard (local core ids `0..size`).
+    sched: Sched,
+    retired: Vec<bool>,
+    blocked: Vec<bool>,
+    queue: Vec<Queued>,
+    seq: u64,
+}
+
+/// Raw views of one gang's partition of the machine state (plus the
+/// protocol-guarded shared memory). `Copy`; real slices are re-created
+/// transiently per event by [`Lane::new`].
+#[derive(Copy, Clone)]
+pub(crate) struct LaneParts {
+    l1s: *mut L1,
+    n_pcores: usize,
+    pcore_base: usize,
+    arb: *mut bool,
+    tx: *mut TxState,
+    stats: *mut CoreStats,
+    next_preempt: *mut u64,
+    /// Hardware-thread span covered by the slices above (whole physical
+    /// cores, so sibling revokes on a ragged last gang stay in bounds).
+    n_threads: usize,
+    thread_base: usize,
+    mem: *mut u64,
+    mem_words: usize,
+    alloc: *const Allocator,
+}
+
+/// Epoch barrier: gangs arrive, the conductor merges and opens the next
+/// epoch.
+struct Gate {
+    st: Mutex<GateSt>,
+    workers: Condvar,
+    conductor: Condvar,
+}
+
+struct GateSt {
+    epoch: u64,
+    arrived: usize,
+    expected: usize,
+    done: bool,
+}
+
+impl Gate {
+    fn new() -> Self {
+        Gate {
+            st: Mutex::new(GateSt {
+                epoch: 0,
+                arrived: 0,
+                expected: 0,
+                done: false,
+            }),
+            workers: Condvar::new(),
+            conductor: Condvar::new(),
+        }
+    }
+
+    /// A gang finished its parallel phase.
+    fn arrive(&self) {
+        let mut s = self.st.lock().unwrap();
+        s.arrived += 1;
+        if s.arrived >= s.expected {
+            self.conductor.notify_one();
+        }
+    }
+
+    /// Conductor: wait until every expected gang arrived.
+    fn wait_all_arrived(&self) {
+        let mut s = self.st.lock().unwrap();
+        while s.arrived < s.expected {
+            s = self.conductor.wait(s).unwrap();
+        }
+    }
+
+    /// Conductor: start the next epoch (or signal completion).
+    fn open_epoch(&self, expected: usize, pre_arrived: usize, done: bool) {
+        let mut s = self.st.lock().unwrap();
+        s.epoch += 1;
+        s.arrived = pre_arrived;
+        s.expected = expected;
+        s.done = done;
+        self.workers.notify_all();
+    }
+
+    /// Coop gang worker: wait for the epoch after `last_seen`.
+    fn worker_wait(&self, last_seen: u64) -> (u64, bool) {
+        let mut s = self.st.lock().unwrap();
+        while s.epoch == last_seen {
+            s = self.workers.wait(s).unwrap();
+        }
+        (s.epoch, s.done)
+    }
+}
+
+/// Shared state of one gang run. Lives on the conductor's stack; shared by
+/// reference with the gang threads for the duration of `Machine::run`.
+pub(crate) struct GangRun {
+    pub(crate) layout: Layout,
+    window: u64,
+    smt: usize,
+    lat: LatencyModel,
+    uaf: UafMode,
+    ctx_switch: Option<(u64, u64)>,
+    root: *mut SimState,
+    ceiling: AtomicU64,
+    aborted: AtomicBool,
+    gangs: Vec<UnsafeCell<GangState>>,
+    lanes: Vec<LaneParts>,
+    /// Stable per-gang pointers to the shards' clock arrays (for the
+    /// race-free `Ctx::now` probe).
+    clock_ptrs: Vec<*mut u64>,
+    /// Per-core result slots for blocking deferred events.
+    results: Vec<UnsafeCell<Option<Out>>>,
+    /// Threads mechanism: per-gang turn word (local core id or NO_TURN).
+    turn_words: Vec<AtomicUsize>,
+    gate: Gate,
+}
+
+// Safety: the raw pointers are only dereferenced under the phase/turn
+// protocol documented in the module header.
+unsafe impl Send for GangRun {}
+unsafe impl Sync for GangRun {}
+
+impl GangRun {
+    /// Derive the run structure from the machine state. `root` must stay
+    /// exclusively owned by this run (the conductor holds the state lock).
+    ///
+    /// # Safety
+    /// `root` must be valid for the whole run and not aliased outside the
+    /// gang protocol.
+    pub(crate) unsafe fn new(
+        root: *mut SimState,
+        layout: Layout,
+        quantum: u64,
+        window: u64,
+    ) -> GangRun {
+        let st = &mut *root;
+        let smt = st.hub.smt();
+        let lat = st.hub.lat.clone();
+        let uaf = st.alloc.uaf_mode;
+        let ctx_switch = st.ctx_switch;
+        let (mem, mem_words) = st.hub.mem.raw_words();
+        let alloc_ptr = &st.alloc as *const Allocator;
+        let l1s_base = st.hub.l1s.as_mut_ptr();
+        let arb_base = st.hub.arb.as_mut_ptr();
+        let tx_base = st.hub.tx.as_mut_ptr();
+        let stats_base = st.hub.stats.cores.as_mut_ptr();
+        let np_base = st.next_preempt.as_mut_ptr();
+        let mut gangs = Vec::with_capacity(layout.gangs);
+        let mut lanes = Vec::with_capacity(layout.gangs);
+        for g in 0..layout.gangs {
+            let base = layout.base(g);
+            let size = layout.size(g);
+            let mut sched = Sched::new(size, quantum);
+            for l in 0..size {
+                sched.clocks[l] = st.sched.clocks[base + l];
+            }
+            gangs.push(UnsafeCell::new(GangState {
+                sched,
+                retired: vec![false; size],
+                blocked: vec![false; size],
+                queue: Vec::new(),
+                seq: 0,
+            }));
+            // Cover whole physical cores: only the last gang can be ragged,
+            // and the machine guarantees cores % smt == 0, so the rounded
+            // span stays in bounds.
+            let pcore_base = base / smt;
+            let pcore_hi = (base + size).div_ceil(smt);
+            let span = pcore_hi * smt - base;
+            lanes.push(LaneParts {
+                l1s: l1s_base.add(pcore_base),
+                n_pcores: pcore_hi - pcore_base,
+                pcore_base,
+                arb: arb_base.add(base),
+                tx: tx_base.add(base),
+                stats: stats_base.add(base),
+                next_preempt: np_base.add(base),
+                n_threads: span,
+                thread_base: base,
+                mem,
+                mem_words,
+                alloc: alloc_ptr,
+            });
+        }
+        let clock_ptrs = gangs
+            .iter()
+            .map(|g| (*g.get()).sched.clocks.as_mut_ptr())
+            .collect();
+        GangRun {
+            layout,
+            window,
+            smt,
+            lat,
+            uaf,
+            ctx_switch,
+            root,
+            ceiling: AtomicU64::new(0),
+            aborted: AtomicBool::new(false),
+            gangs,
+            lanes,
+            clock_ptrs,
+            results: (0..layout.n).map(|_| UnsafeCell::new(None)).collect(),
+            turn_words: (0..layout.gangs).map(|_| AtomicUsize::new(NO_TURN)).collect(),
+            gate: Gate::new(),
+        }
+    }
+
+    /// Publish the shards' clocks back into the global scheduler after the
+    /// run (stats()/max_clock read them between runs).
+    ///
+    /// # Safety
+    /// Call only after every gang thread has quiesced.
+    pub(crate) unsafe fn writeback(&self, st: &mut SimState) {
+        for g in 0..self.layout.gangs {
+            let gs = &*self.gangs[g].get();
+            let base = self.layout.base(g);
+            for l in 0..self.layout.size(g) {
+                st.sched.clocks[base + l] = gs.sched.clocks[l];
+            }
+        }
+    }
+}
+
+/// Race-free clock probe for `Ctx::now` (only a core's own events — or the
+/// conductor while the core is blocked — write its clock slot).
+///
+/// # Safety
+/// `run` must point to a live [`GangRun`]; `c` must belong to the run.
+pub(crate) unsafe fn probe_clock(run: *const GangRun, c: CoreId) -> u64 {
+    let run = &*run;
+    let g = run.layout.gang_of(c);
+    *run.clock_ptrs[g].add(c - run.layout.base(g))
+}
+
+/// Race-free tx-state probe for `Ctx::tx_active` (same ownership argument
+/// as [`probe_clock`]).
+///
+/// # Safety
+/// `run` must point to a live [`GangRun`]; `c` must belong to the run.
+pub(crate) unsafe fn probe_tx_active(run: *const GangRun, c: CoreId) -> bool {
+    let run = &*run;
+    let lane = &run.lanes[run.layout.gang_of(c)];
+    (*lane.tx.add(c - lane.thread_base)).active
+}
+
+// ---------------------------------------------------------------------
+// The gang-local fast path ("lane"): L1-hit events executed against the
+// gang's partition, mirroring the hub's hit paths counter for counter.
+// ---------------------------------------------------------------------
+
+
+/// Outcome of a local-execution attempt.
+enum TryOp {
+    /// Executed entirely inside the gang partition: (output, cycle cost).
+    Local(Out, u64),
+    /// Touches shared state: queue it (blocking) and suspend the core.
+    /// Guaranteed to have mutated nothing.
+    Defer,
+}
+
+/// Lightweight view of one gang's partition: a copy of the raw
+/// [`LaneParts`] plus the run scalars. Accessors index through the raw
+/// pointers directly (debug-asserted bounds) — this sits on the simulator's
+/// hottest path, one lane per event, so no per-event slice construction.
+struct Lane<'a> {
+    parts: LaneParts,
+    smt: usize,
+    lat: &'a LatencyModel,
+    uaf: UafMode,
+}
+
+impl<'a> Lane<'a> {
+    /// # Safety
+    /// Caller must own the gang turn (or be the conductor in the serial
+    /// phase); the parts' pointers must be live.
+    unsafe fn new(parts: &LaneParts, run: &'a GangRun) -> Lane<'a> {
+        Lane {
+            parts: *parts,
+            smt: run.smt,
+            lat: &run.lat,
+            uaf: run.uaf,
+        }
+    }
+
+    #[inline]
+    fn lp(&self, c: CoreId) -> usize {
+        c / self.smt - self.parts.pcore_base
+    }
+
+    #[inline]
+    fn lt(&self, c: CoreId) -> usize {
+        c - self.parts.thread_base
+    }
+
+    #[inline]
+    fn ht(&self, c: CoreId) -> usize {
+        c % self.smt
+    }
+
+    /// This gang's physical core `lp`'s L1.
+    #[inline]
+    fn l1(&mut self, lp: usize) -> &mut L1 {
+        debug_assert!(lp < self.parts.n_pcores);
+        // Safety: in-partition index; exclusivity via the gang turn.
+        unsafe { &mut *self.parts.l1s.add(lp) }
+    }
+
+    #[inline]
+    fn arb(&self, lt: usize) -> bool {
+        debug_assert!(lt < self.parts.n_threads);
+        unsafe { *self.parts.arb.add(lt) }
+    }
+
+    #[inline]
+    fn arb_set(&mut self, lt: usize, v: bool) {
+        debug_assert!(lt < self.parts.n_threads);
+        unsafe { *self.parts.arb.add(lt) = v }
+    }
+
+    #[inline]
+    fn tx_state(&mut self, lt: usize) -> &mut TxState {
+        debug_assert!(lt < self.parts.n_threads);
+        unsafe { &mut *self.parts.tx.add(lt) }
+    }
+
+    #[inline]
+    fn tx_active(&self, lt: usize) -> bool {
+        debug_assert!(lt < self.parts.n_threads);
+        unsafe { (*self.parts.tx.add(lt)).active }
+    }
+
+    #[inline]
+    fn stats_at(&mut self, lt: usize) -> &mut CoreStats {
+        debug_assert!(lt < self.parts.n_threads);
+        unsafe { &mut *self.parts.stats.add(lt) }
+    }
+
+    #[inline]
+    fn stats_mut(&mut self, c: CoreId) -> &mut CoreStats {
+        let lt = self.lt(c);
+        self.stats_at(lt)
+    }
+
+    #[inline]
+    fn allocator(&self) -> &Allocator {
+        unsafe { &*self.parts.alloc }
+    }
+
+    #[inline]
+    fn mem_read(&self, a: Addr) -> u64 {
+        let i = a.word_index();
+        assert!(i < self.parts.mem_words, "simulated read out of bounds: {a:?}");
+        // Safety: module-header protocol — a resident copy excludes any
+        // concurrent M writer.
+        unsafe { self.parts.mem.add(i).read() }
+    }
+
+    #[inline]
+    fn mem_write(&mut self, a: Addr, v: u64) {
+        let i = a.word_index();
+        assert!(i < self.parts.mem_words, "simulated write out of bounds: {a:?}");
+        // Safety: writes only through an M/E copy, which excludes every
+        // other copy (hence every concurrent access).
+        unsafe { self.parts.mem.add(i).write(v) }
+    }
+
+    /// Mirror of the machine's `check_access` for the parallel phase:
+    /// classification is read-only (the allocator is frozen between
+    /// barriers); Record-mode faults are queued for the deterministic
+    /// barrier merge instead of being pushed directly.
+    fn check_access(
+        &mut self,
+        c: CoreId,
+        a: Addr,
+        kind: &'static str,
+        clock: u64,
+        queue: &mut Vec<Queued>,
+        seq: &mut u64,
+    ) {
+        if let Some(f) = self.allocator().access_fault(c, a, kind) {
+            match self.uaf {
+                UafMode::Panic => panic_access(&f),
+                UafMode::Record => {
+                    *seq += 1;
+                    queue.push(Queued {
+                        clock,
+                        core: c,
+                        seq: *seq,
+                        pending: 0,
+                        item: Deferred::Fault(f),
+                    });
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn set_arb(&mut self, t: CoreId, cause: RevokeCause) {
+        let lt = self.lt(t);
+        if !self.arb(lt) {
+            self.arb_set(lt, true);
+            self.stats_at(lt).record_revoke(cause);
+        }
+    }
+
+    /// Paper §III SMT rule, inside the gang (siblings share the gang by
+    /// construction: gang blocks are SMT-aligned).
+    #[inline]
+    fn revoke_siblings_on_store(&mut self, t: CoreId, line: Line) {
+        if self.smt == 1 {
+            return;
+        }
+        let lp = self.lp(t);
+        let mut mask = self.l1(lp).tag_mask(line) & !(1u8 << self.ht(t));
+        let pcore = lp + self.parts.pcore_base;
+        while mask != 0 {
+            let h = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            self.set_arb(pcore * self.smt + h, RevokeCause::SiblingWrite);
+        }
+    }
+
+    /// Classify-and-execute the `acquire_shared` hit case in one probe:
+    /// `lookup_touch` bumps LRU only on a hit — exactly the touch the hub
+    /// performs — and mutates nothing on a miss, so a `false` return is a
+    /// safe defer. Returns whether the line was resident.
+    fn shared_hit_touch(&mut self, c: CoreId, line: Line) -> bool {
+        let lp = self.lp(c);
+        if self.l1(lp).array.lookup_touch(line).is_none() {
+            return false;
+        }
+        let cost = self.lat.l1_hit;
+        let s = self.stats_mut(c);
+        s.l1_hits += 1;
+        s.l1_hit_cycles += cost;
+        true
+    }
+
+    /// Hub `acquire_exclusive` L1-hit arm (M, or MESI E with silent
+    /// promotion).
+    fn exclusive_hit(&mut self, c: CoreId, line: Line) -> u64 {
+        let lp = self.lp(c);
+        let e = self.l1(lp).array.lookup_touch(line).expect("classified as hit");
+        let was_exclusive = e.payload.state == MsiState::Exclusive;
+        debug_assert!(e.payload.state != MsiState::Shared, "S is not a local write hit");
+        e.payload.state = MsiState::Modified;
+        let cost = self.lat.l1_hit;
+        let s = self.stats_mut(c);
+        s.l1_hits += 1;
+        s.l1_hit_cycles += cost;
+        if was_exclusive {
+            s.silent_upgrades += 1;
+        }
+        cost
+    }
+
+    /// L1 state of `line` in `c`'s physical core, without touching LRU
+    /// (classification must not perturb replacement).
+    #[inline]
+    fn peek_state(&mut self, c: CoreId, line: Line) -> Option<MsiState> {
+        let lp = self.lp(c);
+        self.l1(lp).array.lookup(line).map(|e| e.payload.state)
+    }
+
+    /// Mirror of `CoherenceHub::preempt` inside the partition.
+    fn preempt(&mut self, c: CoreId) {
+        self.stats_mut(c).ctx_switches += 1;
+        let lt = self.lt(c);
+        if self.tx_active(lt) {
+            let ht = self.ht(c);
+            let lp = self.lp(c);
+            self.l1(lp).clear_all_tags(ht);
+            self.arb_set(lt, false);
+            let tx = self.tx_state(lt);
+            tx.writes.clear();
+            tx.active = false;
+            self.stats_mut(c).tx_aborts += 1;
+        }
+        self.set_arb(c, RevokeCause::ContextSwitch);
+    }
+
+    /// Attempt to execute `op` inside the gang partition. Returns
+    /// [`TryOp::Defer`] — having mutated nothing — when the event needs
+    /// shared state. Non-blocking split ops (`free`, `op_completed`) charge
+    /// their local half here and queue the global half.
+    fn try_op(
+        &mut self,
+        c: CoreId,
+        op: Op,
+        clock: u64,
+        queue: &mut Vec<Queued>,
+        seq: &mut u64,
+    ) -> TryOp {
+        let in_tx = self.tx_active(self.lt(c));
+        match op {
+            // Plain ops inside a transaction defer so the hub raises its
+            // canonical panic at the barrier.
+            Op::Read(a) => {
+                if in_tx || !self.shared_hit_touch(c, a.line()) {
+                    return TryOp::Defer;
+                }
+                // Counter order differs from the hub (hit stats landed
+                // first); the *set* of mutations per event is identical.
+                self.check_access(c, a, "read", clock, queue, seq);
+                self.stats_mut(c).accesses += 1;
+                TryOp::Local(Out::Val(self.mem_read(a)), self.lat.l1_hit)
+            }
+            Op::Write(a, v) => {
+                match self.peek_state(c, a.line()) {
+                    Some(MsiState::Modified) | Some(MsiState::Exclusive) if !in_tx => {}
+                    _ => return TryOp::Defer,
+                }
+                self.check_access(c, a, "write", clock, queue, seq);
+                self.stats_mut(c).accesses += 1;
+                let cost = self.exclusive_hit(c, a.line());
+                self.revoke_siblings_on_store(c, a.line());
+                self.mem_write(a, v);
+                TryOp::Local(Out::Unit, cost)
+            }
+            Op::Cas(a, expected, new) => {
+                match self.peek_state(c, a.line()) {
+                    Some(MsiState::Modified) | Some(MsiState::Exclusive) if !in_tx => {}
+                    _ => return TryOp::Defer,
+                }
+                self.check_access(c, a, "cas", clock, queue, seq);
+                {
+                    let s = self.stats_mut(c);
+                    s.accesses += 1;
+                    s.cas_ops += 1;
+                }
+                let cost = self.exclusive_hit(c, a.line()) + self.lat.cas_extra;
+                let cur = self.mem_read(a);
+                if cur == expected {
+                    self.revoke_siblings_on_store(c, a.line());
+                    self.mem_write(a, new);
+                    TryOp::Local(Out::CasR(Ok(expected)), cost)
+                } else {
+                    self.stats_mut(c).cas_failures += 1;
+                    TryOp::Local(Out::CasR(Err(cur)), cost)
+                }
+            }
+            Op::Fence => {
+                if in_tx {
+                    return TryOp::Defer;
+                }
+                self.stats_mut(c).fences += 1;
+                TryOp::Local(Out::Unit, self.lat.fence)
+            }
+            Op::Cread(a) => {
+                if in_tx {
+                    return TryOp::Defer;
+                }
+                let lt = self.lt(c);
+                if self.arb(lt) {
+                    // Fail-fast: purely thread-local, like the hub.
+                    let s = self.stats_mut(c);
+                    s.accesses += 1;
+                    s.cread_fail += 1;
+                    return TryOp::Local(Out::Opt(None), self.lat.ca_fail);
+                }
+                if !self.shared_hit_touch(c, a.line()) {
+                    return TryOp::Defer;
+                }
+                self.stats_mut(c).accesses += 1;
+                let cost = self.lat.l1_hit;
+                let lp = self.lp(c);
+                let ht = self.ht(c);
+                let tagged = self.l1(lp).set_tag(a.line(), ht);
+                debug_assert!(tagged, "line resident on the hit path");
+                // A hit evicts nothing, so the ARB cannot have been set by
+                // this access (mirrors the hub's post-fill recheck).
+                self.stats_mut(c).cread_ok += 1;
+                let v = self.mem_read(a);
+                self.check_access(c, a, "cread", clock, queue, seq);
+                TryOp::Local(Out::Opt(Some(v)), cost + self.lat.ca_check)
+            }
+            Op::Cwrite(a, v) => {
+                if in_tx {
+                    return TryOp::Defer;
+                }
+                let lt = self.lt(c);
+                let lp = self.lp(c);
+                let ht = self.ht(c);
+                if self.arb(lt) || !self.l1(lp).is_tagged(a.line(), ht) {
+                    let s = self.stats_mut(c);
+                    s.accesses += 1;
+                    s.cwrite_fail += 1;
+                    return TryOp::Local(Out::Flag(false), self.lat.ca_fail);
+                }
+                match self.peek_state(c, a.line()) {
+                    Some(MsiState::Modified) | Some(MsiState::Exclusive) => {}
+                    _ => return TryOp::Defer, // S upgrade needs the directory
+                }
+                self.stats_mut(c).accesses += 1;
+                let cost = self.exclusive_hit(c, a.line());
+                debug_assert!(!self.arb(lt), "a hit cannot revoke the writer's own tags");
+                self.revoke_siblings_on_store(c, a.line());
+                self.mem_write(a, v);
+                self.stats_mut(c).cwrite_ok += 1;
+                self.check_access(c, a, "cwrite", clock, queue, seq);
+                TryOp::Local(Out::Flag(true), cost + self.lat.ca_check)
+            }
+            Op::UntagOne(a) => {
+                if in_tx {
+                    return TryOp::Defer;
+                }
+                self.stats_mut(c).untag_ones += 1;
+                let lp = self.lp(c);
+                let ht = self.ht(c);
+                self.l1(lp).clear_tag(a.line(), ht);
+                TryOp::Local(Out::Unit, 1)
+            }
+            Op::UntagAll => {
+                if in_tx {
+                    return TryOp::Defer;
+                }
+                self.stats_mut(c).untag_alls += 1;
+                let lp = self.lp(c);
+                let ht = self.ht(c);
+                self.l1(lp).clear_all_tags(ht);
+                let lt = self.lt(c);
+                self.arb_set(lt, false);
+                TryOp::Local(Out::Unit, 1)
+            }
+            // Split op: local cost now, global counter at the barrier.
+            Op::OpCompleted => {
+                *seq += 1;
+                queue.push(Queued {
+                    clock,
+                    core: c,
+                    seq: *seq,
+                    pending: 0,
+                    item: Deferred::OpDone,
+                });
+                let s = self.stats_mut(c);
+                s.deferred_events += 1;
+                s.ops += 1;
+                TryOp::Local(Out::Unit, 0)
+            }
+            // Shared allocator / HTM cold paths: always defer. `free` is
+            // deliberately *blocking* even though nothing reads its result:
+            // applying it at the barrier before the core resumes keeps the
+            // use-after-free oracle exact for everything the freeing core
+            // does afterwards (a non-blocking free would let a same-window
+            // L1-hit access to the freed line escape the detector), and a
+            // blocked core's clock freezes, so blocking costs no simulated
+            // time at all — only host-side barrier latency.
+            Op::Alloc
+            | Op::Free(_)
+            | Op::TxBegin
+            | Op::TxRead(_)
+            | Op::TxWrite(_, _)
+            | Op::TxCommit
+            | Op::TxAbort => TryOp::Defer,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The shared event engine: one decision path for both mechanisms.
+// ---------------------------------------------------------------------
+
+/// What the mechanism driver must do after an event attempt.
+#[derive(Copy, Clone, Debug)]
+pub(crate) enum Action {
+    /// The core keeps the gang turn: continue executing.
+    Keep,
+    /// Hand the gang turn to this local core.
+    Switch(usize),
+    /// No runnable core remains in the gang: arrive at the epoch barrier.
+    Arrive,
+}
+
+/// Execute one event for core `c` under the gang protocol. The caller must
+/// own gang `g`'s turn. Returns `(Some(out), action)` for a completed event
+/// or `(None, action)` when the event was queued blocking (the core is now
+/// deactivated; its result appears in its slot after the barrier merge).
+///
+/// # Safety
+/// Caller owns the gang turn; `run` outlives the call.
+unsafe fn gang_event_inner(
+    run: &GangRun,
+    g: usize,
+    l: usize,
+    c: CoreId,
+    pending: u64,
+    op: Op,
+) -> (Option<Out>, Action) {
+    if run.aborted.load(Ordering::Acquire) {
+        panic!("{ABORT_MSG}");
+    }
+    let gs = &mut *run.gangs[g].get();
+    let issue_clock = gs.sched.clocks[l] + pending;
+    let mut lane = Lane::new(&run.lanes[g], run);
+    match lane.try_op(c, op, issue_clock, &mut gs.queue, &mut gs.seq) {
+        TryOp::Local(out, cost) => {
+            gs.sched.clocks[l] += pending + cost;
+            // OS-preemption model: gang-local (own ARB/tx/stats). The
+            // deadline reference comes straight from the raw parts so the
+            // closure may borrow `lane`; `Lane::preempt` never touches
+            // `next_preempt`, so the two do not alias.
+            let np = &mut *run.lanes[g].next_preempt.add(lane.lt(c));
+            crate::machine::apply_preempt_model(
+                &mut gs.sched.clocks[l],
+                np,
+                run.ctx_switch,
+                || lane.preempt(c),
+            );
+            let ceiling = run.ceiling.load(Ordering::Relaxed);
+            let action = if gs.sched.clocks[l] > ceiling {
+                // Pause at the epoch ceiling: leave the active set; the
+                // next window re-admits us once the global min catches up.
+                match gs.sched.retire(l) {
+                    Some(nl) => Action::Switch(nl),
+                    None => Action::Arrive,
+                }
+            } else {
+                match gs.sched.after_event(l) {
+                    None => Action::Keep,
+                    Some(nl) => Action::Switch(nl),
+                }
+            };
+            match action {
+                Action::Keep => lane.stats_mut(c).batched_events += 1,
+                _ => lane.stats_mut(c).turn_handoffs += 1,
+            }
+            (Some(out), action)
+        }
+        TryOp::Defer => {
+            gs.seq += 1;
+            gs.queue.push(Queued {
+                clock: issue_clock,
+                core: c,
+                seq: gs.seq,
+                pending,
+                item: Deferred::Blocking(op),
+            });
+            gs.blocked[l] = true;
+            {
+                let s = lane.stats_mut(c);
+                s.deferred_events += 1;
+                s.turn_handoffs += 1;
+            }
+            let action = match gs.sched.retire(l) {
+                Some(nl) => Action::Switch(nl),
+                None => Action::Arrive,
+            };
+            (None, action)
+        }
+    }
+}
+
+/// Epoch-window start for one gang: re-admit every non-retired core whose
+/// clock is within the new ceiling, and pick the min-clock turn owner.
+/// Called by the gang worker (coop) or the conductor (threads) — both with
+/// exclusive access to the gang state.
+unsafe fn begin_window(run: &GangRun, g: usize) -> Option<usize> {
+    let gs = &mut *run.gangs[g].get();
+    let ceiling = run.ceiling.load(Ordering::Acquire);
+    for l in 0..gs.retired.len() {
+        debug_assert!(!gs.blocked[l], "blocked cores must be drained by the merge");
+        if !gs.retired[l] && gs.sched.clocks[l] <= ceiling {
+            // Bulk admission: set the flags directly and let start_window's
+            // single rescan rebuild the two-min keys (Sched::activate would
+            // rescan per core — O(size²) per window).
+            gs.sched.active[l] = true;
+        }
+    }
+    gs.sched.start_window()
+}
+
+/// Retirement bookkeeping shared by both mechanisms (caller owns the turn).
+unsafe fn finish_gang_retire(run: &GangRun, g: usize, l: usize, c: CoreId, pending: u64) -> Action {
+    let gs = &mut *run.gangs[g].get();
+    gs.sched.clocks[l] += pending;
+    let mut lane = Lane::new(&run.lanes[g], run);
+    lane.stats_mut(c).cycles = gs.sched.clocks[l];
+    gs.retired[l] = true;
+    match gs.sched.retire(l) {
+        Some(nl) => Action::Switch(nl),
+        None => Action::Arrive,
+    }
+}
+
+// ---------------------------------------------------------------------
+// The conductor: epoch planning and the deterministic barrier merge.
+// ---------------------------------------------------------------------
+
+/// Per-epoch plan: minimum clock over non-retired cores and gang liveness.
+unsafe fn plan(run: &GangRun) -> (u64, Vec<bool>) {
+    let mut min = u64::MAX;
+    let mut live = vec![false; run.layout.gangs];
+    for (g, slot) in run.gangs.iter().enumerate() {
+        let gs = &*slot.get();
+        for l in 0..gs.retired.len() {
+            if !gs.retired[l] {
+                live[g] = true;
+                min = min.min(gs.sched.clocks[l]);
+            }
+        }
+    }
+    (min, live)
+}
+
+/// Apply every queued cross-gang item in `(clock, core, seq)` order against
+/// the full machine state, then advance the epoch counter.
+unsafe fn merge(run: &GangRun) {
+    let st = &mut *run.root;
+    let mut items: Vec<Queued> = Vec::new();
+    for slot in &run.gangs {
+        items.append(&mut (*slot.get()).queue);
+    }
+    items.sort_by_key(|q| (q.clock, q.core, q.seq));
+    for q in items {
+        let g = run.layout.gang_of(q.core);
+        let l = q.core - run.layout.base(g);
+        match q.item {
+            Deferred::Blocking(op) => {
+                let gs = &mut *run.gangs[g].get();
+                gs.sched.clocks[l] += q.pending;
+                let (out, cost) = exec_op(st, q.core, op);
+                gs.sched.clocks[l] += cost;
+                let SimState {
+                    next_preempt,
+                    hub,
+                    ctx_switch,
+                    ..
+                } = &mut *st;
+                crate::machine::apply_preempt_model(
+                    &mut gs.sched.clocks[l],
+                    &mut next_preempt[q.core],
+                    *ctx_switch,
+                    || hub.preempt(q.core),
+                );
+                gs.blocked[l] = false;
+                *run.results[q.core].get() = Some(out);
+            }
+            Deferred::OpDone => {
+                st.global_ops += 1;
+                if let Some(every) = st.sample_every {
+                    if st.global_ops >= st.next_sample_at {
+                        let live = st.alloc.allocated_not_freed;
+                        let ops = st.global_ops;
+                        st.samples.push((ops, live));
+                        st.next_sample_at += every;
+                    }
+                }
+            }
+            Deferred::Fault(f) => st.alloc.faults.push(f),
+        }
+    }
+    st.gang_epochs += 1;
+}
+
+/// Which in-gang execution mechanism a run uses.
+#[derive(Copy, Clone)]
+pub(crate) enum Mech {
+    Threads,
+    #[cfg(mcsim_coop)]
+    Coop,
+}
+
+/// The conductor loop: plan → open epoch → wait for all gangs → merge.
+/// Returns `Err` with the panic payload if a deferred event panicked at a
+/// barrier (e.g. the UAF detector firing); the run is aborted and every
+/// gang thread is released so it can unwind.
+unsafe fn conduct(
+    run: &GangRun,
+    mech: Mech,
+    peers: &[Vec<Option<Thread>>],
+) -> std::thread::Result<()> {
+    loop {
+        let (min, live) = plan(run);
+        let live_count = live.iter().filter(|&&x| x).count();
+        if live_count == 0 {
+            run.gate.open_epoch(0, 0, true);
+            return Ok(());
+        }
+        run.ceiling.store(min.saturating_add(run.window), Ordering::Release);
+        let mut pre_arrived = 0;
+        let mut firsts: Vec<(usize, usize)> = Vec::new();
+        if let Mech::Threads = mech {
+            // The threads mechanism has no per-gang worker: the conductor
+            // opens each gang's window and wakes its first turn owner.
+            // The window bookkeeping happens *before* the epoch opens
+            // (still the exclusive serial phase), but the turn words are
+            // published only *after* — a core that never parked polls its
+            // turn word, and publishing early would let it run its whole
+            // phase and arrive at the gate before `open_epoch` resets the
+            // arrival counter, losing the arrival and deadlocking the run.
+            for (g, &is_live) in live.iter().enumerate() {
+                if !is_live {
+                    continue;
+                }
+                match begin_window(run, g) {
+                    Some(first) => firsts.push((g, first)),
+                    None => {
+                        // Every core of the gang is beyond the ceiling:
+                        // the gang skips this epoch.
+                        pre_arrived += 1;
+                    }
+                }
+            }
+        }
+        run.gate.open_epoch(live_count, pre_arrived, false);
+        for (g, first) in firsts {
+            run.turn_words[g].store(first, Ordering::Release);
+            if let Some(t) = peers[g].get(first).and_then(Option::as_ref) {
+                t.unpark();
+            }
+        }
+        run.gate.wait_all_arrived();
+        if let Err(e) = catch_unwind(AssertUnwindSafe(|| merge(run))) {
+            run.aborted.store(true, Ordering::Release);
+            // Release everyone so parked cores / waiting workers unwind.
+            run.gate.open_epoch(0, 0, true);
+            for row in peers {
+                for t in row.iter().flatten() {
+                    t.unpark();
+                }
+            }
+            return Err(e);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Threads mechanism: one OS thread per core, per-gang turn words.
+// ---------------------------------------------------------------------
+
+/// Per-core context for the threads mechanism.
+pub(crate) struct GangThreadsCtx {
+    run: *const GangRun,
+    gang: usize,
+    local: usize,
+    has_turn: bool,
+    /// This gang's core threads (local-indexed unpark targets).
+    peers: Vec<Option<Thread>>,
+}
+
+impl GangThreadsCtx {
+    pub(crate) fn run(&self) -> *const GangRun {
+        self.run
+    }
+
+    /// Wait (park) until this core owns its gang's turn.
+    fn ensure_turn(&mut self, run: &GangRun) {
+        if self.has_turn {
+            return;
+        }
+        loop {
+            if run.aborted.load(Ordering::Acquire) {
+                panic!("{ABORT_MSG}");
+            }
+            if run.turn_words[self.gang].load(Ordering::Acquire) == self.local {
+                self.has_turn = true;
+                return;
+            }
+            // A leftover unpark token makes this return immediately once;
+            // the loop re-checks, so spurious wakes are harmless.
+            std::thread::park();
+        }
+    }
+
+    fn release_to(&mut self, run: &GangRun, next_local: usize) {
+        self.has_turn = false;
+        run.turn_words[self.gang].store(next_local, Ordering::Release);
+        if let Some(t) = self.peers.get(next_local).and_then(Option::as_ref) {
+            t.unpark();
+        }
+    }
+
+    fn arrive(&mut self, run: &GangRun) {
+        self.has_turn = false;
+        run.turn_words[self.gang].store(NO_TURN, Ordering::Release);
+        run.gate.arrive();
+    }
+}
+
+/// One event on the threads mechanism.
+///
+/// # Safety
+/// `gt.run` must outlive the call (guaranteed by `run_threads_mech`).
+pub(crate) unsafe fn event_threads(gt: &mut GangThreadsCtx, c: CoreId, pending: u64, op: Op) -> Out {
+    let run = &*gt.run;
+    gt.ensure_turn(run);
+    let (out, action) = gang_event_inner(run, gt.gang, gt.local, c, pending, op);
+    match action {
+        Action::Keep => {}
+        Action::Switch(nl) => gt.release_to(run, nl),
+        Action::Arrive => gt.arrive(run),
+    }
+    match out {
+        Some(o) => o,
+        None => {
+            // Blocked: the conductor executes the queued event at the
+            // barrier; we run again once a later window schedules us.
+            gt.ensure_turn(run);
+            (*run.results[c].get())
+                .take()
+                .expect("blocked core rescheduled without a result")
+        }
+    }
+}
+
+/// Core retirement on the threads mechanism.
+///
+/// # Safety
+/// Same contract as [`event_threads`].
+pub(crate) unsafe fn retire_threads(gt: &mut GangThreadsCtx, c: CoreId, pending: u64) {
+    let run = &*gt.run;
+    if run.aborted.load(Ordering::Acquire) {
+        // Aborted runs skip the bookkeeping: the scheduler shards are dead
+        // and other cores unwind concurrently.
+        return;
+    }
+    gt.ensure_turn(run);
+    match finish_gang_retire(run, gt.gang, gt.local, c, pending) {
+        Action::Keep => unreachable!("retire always leaves the active set"),
+        Action::Switch(nl) => gt.release_to(run, nl),
+        Action::Arrive => gt.arrive(run),
+    }
+}
+
+/// Run the gang protocol with per-core OS threads. Returns per-core results
+/// (global core order) plus the conductor's outcome.
+pub(crate) fn run_threads_mech<'env, R: Send + 'env>(
+    run: &GangRun,
+    fns: Vec<CoreFn<'env, R>>,
+    marker: usize,
+) -> (Vec<Option<std::thread::Result<R>>>, std::thread::Result<()>) {
+    let n = fns.len();
+    let layout = run.layout;
+    let barrier = Barrier::new(n + 1);
+    let registry: Mutex<Vec<Option<Thread>>> = Mutex::new(vec![None; n]);
+    let mut outs: Vec<Option<std::thread::Result<R>>> = Vec::new();
+    let mut conductor_result: std::thread::Result<()> = Ok(());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = fns
+            .into_iter()
+            .enumerate()
+            .map(|(c, f)| {
+                let barrier = &barrier;
+                let registry = &registry;
+                scope.spawn(move || {
+                    // The conductor holds the machine lock for the whole
+                    // run: host-side Machine calls from this closure must
+                    // panic loudly, not deadlock.
+                    let _mark = crate::machine::hold_state_marker(marker);
+                    registry.lock().unwrap()[c] = Some(std::thread::current());
+                    barrier.wait();
+                    let g = layout.gang_of(c);
+                    let base = layout.base(g);
+                    let peers = {
+                        let r = registry.lock().unwrap();
+                        r[base..base + layout.size(g)].to_vec()
+                    };
+                    let mut ctx = Ctx::from_parts(
+                        c,
+                        CtxBackend::GangThreads(GangThreadsCtx {
+                            run: run as *const GangRun,
+                            gang: g,
+                            local: c - base,
+                            has_turn: false,
+                            peers,
+                        }),
+                    );
+                    let out = catch_unwind(AssertUnwindSafe(|| f(&mut ctx)));
+                    // Retire even on panic, so the gang keeps scheduling.
+                    ctx.retire();
+                    out
+                })
+            })
+            .collect();
+        barrier.wait();
+        let peers: Vec<Vec<Option<Thread>>> = {
+            let r = registry.lock().unwrap();
+            (0..layout.gangs)
+                .map(|g| r[layout.base(g)..layout.base(g) + layout.size(g)].to_vec())
+                .collect()
+        };
+        conductor_result = unsafe { conduct(run, Mech::Threads, &peers) };
+        outs = handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => Some(r),
+                Err(e) => Some(Err(e)),
+            })
+            .collect();
+    });
+    (outs, conductor_result)
+}
+
+// ---------------------------------------------------------------------
+// Coop mechanism: one gang worker thread per gang, cores as coroutines.
+// ---------------------------------------------------------------------
+
+/// Per-core context for the coop mechanism (a coroutine in its gang
+/// worker's arena). `!Send` by construction — confined to the worker.
+#[cfg(mcsim_coop)]
+pub(crate) struct GangCoopCtx {
+    run: *const GangRun,
+    gang: usize,
+    local: usize,
+    /// This gang's context-slot table (`size + 1` entries; last = worker).
+    ctxs: *mut *mut u8,
+    main_slot: usize,
+    /// Set by retire: the slot the entry shim switches to after the body
+    /// returns (mirrors the single-gang coop backend).
+    pub(crate) retire_target: Option<usize>,
+}
+
+#[cfg(mcsim_coop)]
+impl GangCoopCtx {
+    pub(crate) fn run(&self) -> *const GangRun {
+        self.run
+    }
+}
+
+/// One event on the coop mechanism.
+///
+/// # Safety
+/// Must run on the gang worker's thread, inside the coroutine owning the
+/// gang turn.
+#[cfg(mcsim_coop)]
+pub(crate) unsafe fn event_coop(gc: &mut GangCoopCtx, c: CoreId, pending: u64, op: Op) -> Out {
+    let run = &*gc.run;
+    let (out, action) = gang_event_inner(run, gc.gang, gc.local, c, pending, op);
+    match action {
+        Action::Keep => {}
+        Action::Switch(nl) => {
+            crate::coop::switch(gc.ctxs.add(gc.local), *gc.ctxs.add(nl));
+        }
+        Action::Arrive => {
+            crate::coop::switch(gc.ctxs.add(gc.local), *gc.ctxs.add(gc.main_slot));
+        }
+    }
+    // Control may return here epochs later (or during an abort unwind).
+    if run.aborted.load(Ordering::Acquire) {
+        panic!("{ABORT_MSG}");
+    }
+    match out {
+        Some(o) => o,
+        None => (*run.results[c].get())
+            .take()
+            .expect("blocked coroutine resumed without a result"),
+    }
+}
+
+/// Core retirement on the coop mechanism: record the entry shim's final
+/// switch target instead of switching here (the body's closure must be
+/// freed first — same discipline as the single-gang coop backend).
+///
+/// # Safety
+/// Same contract as [`event_coop`].
+#[cfg(mcsim_coop)]
+pub(crate) unsafe fn retire_coop(gc: &mut GangCoopCtx, c: CoreId, pending: u64) {
+    let run = &*gc.run;
+    if run.aborted.load(Ordering::Acquire) {
+        gc.retire_target = Some(gc.main_slot);
+        return;
+    }
+    let target = match finish_gang_retire(run, gc.gang, gc.local, c, pending) {
+        Action::Keep => unreachable!("retire always leaves the active set"),
+        Action::Switch(nl) => nl,
+        Action::Arrive => gc.main_slot,
+    };
+    gc.retire_target = Some(target);
+}
+
+/// One gang's coroutine arena: guard-paged stacks, the context-slot table
+/// (`size + 1`; last = the driving thread's slot), type-erased bodies and
+/// the per-core output slots. Confined to whichever single thread built it
+/// (stacks and contexts are `!Send`); shared by the per-gang-worker and
+/// the sequential drivers.
+#[cfg(mcsim_coop)]
+struct CoopArena<R> {
+    /// Kept alive for the mappings; unused directly after `prepare`.
+    _stacks: Vec<crate::coop::Stack>,
+    ctxs: Vec<*mut u8>,
+    /// Kept alive for the coroutine entry shims. Boxed on purpose: each
+    /// payload's *address* is baked into its coroutine's trampoline frame
+    /// by `coop::prepare`, so every payload must be individually pinned.
+    #[allow(clippy::vec_box)]
+    _payloads: Vec<Box<crate::coop::CoroPayload>>,
+    outs: Vec<Option<std::thread::Result<R>>>,
+    size: usize,
+}
+
+#[cfg(mcsim_coop)]
+impl<R: Send> CoopArena<R> {
+    /// Build the arena for gang `g` on the calling thread.
+    fn new<'env>(run: &GangRun, g: usize, fns: Vec<CoreFn<'env, R>>) -> CoopArena<R>
+    where
+        R: 'env,
+    {
+        use crate::coop;
+        let size = fns.len();
+        let base = run.layout.base(g);
+        let mut stacks: Vec<coop::Stack> =
+            (0..size).map(|_| coop::Stack::new(coop::STACK_SIZE)).collect();
+        let mut ctxs: Vec<*mut u8> = vec![std::ptr::null_mut(); size + 1];
+        let ctxs_ptr = ctxs.as_mut_ptr();
+        let mut outs: Vec<Option<std::thread::Result<R>>> = (0..size).map(|_| None).collect();
+        let run_ptr = run as *const GangRun;
+        let mut payloads: Vec<Box<coop::CoroPayload>> = fns
+            .into_iter()
+            .enumerate()
+            .map(|(l, f)| {
+                let out_slot: *mut Option<std::thread::Result<R>> = &mut outs[l];
+                let body: Box<dyn FnOnce() -> usize + 'env> = Box::new(move || {
+                    let mut ctx = Ctx::from_parts(
+                        base + l,
+                        CtxBackend::GangCoop(GangCoopCtx {
+                            run: run_ptr,
+                            gang: g,
+                            local: l,
+                            ctxs: ctxs_ptr,
+                            main_slot: size,
+                            retire_target: None,
+                        }),
+                    );
+                    let out = catch_unwind(AssertUnwindSafe(|| f(&mut ctx)));
+                    unsafe { *out_slot = Some(out) };
+                    ctx.retire();
+                    ctx.gang_coop_retire_target()
+                });
+                // Erase 'env: every coroutine is fully consumed before the
+                // arena is dropped, so the closure cannot outlive its
+                // borrows.
+                let body: Box<dyn FnOnce() -> usize> = unsafe { std::mem::transmute(body) };
+                Box::new(coop::CoroPayload {
+                    f: Some(body),
+                    ctxs: ctxs_ptr,
+                    own_slot: l,
+                })
+            })
+            .collect();
+        for l in 0..size {
+            ctxs[l] = unsafe { coop::prepare(&mut stacks[l], &mut *payloads[l]) };
+        }
+        CoopArena {
+            _stacks: stacks,
+            ctxs,
+            _payloads: payloads,
+            outs,
+            size,
+        }
+    }
+
+    /// Switch from the driving thread into core `first`; control returns
+    /// when the last runnable core pauses/blocks/retires (Action::Arrive).
+    unsafe fn enter(&mut self, first: usize) {
+        let ctxs_ptr = self.ctxs.as_mut_ptr();
+        crate::coop::switch(ctxs_ptr.add(self.size), self.ctxs[first]);
+    }
+
+    /// Abort path: resume every live coroutine once so it unwinds (its
+    /// next event panics on the abort flag) and frees its closure.
+    unsafe fn unwind_live(&mut self, run: &GangRun, g: usize) {
+        let retired: Vec<bool> = (*run.gangs[g].get()).retired.clone();
+        for (l, &r) in retired.iter().enumerate() {
+            if !r {
+                self.enter(l);
+            }
+        }
+    }
+}
+
+/// One gang worker: owns its cores' coroutine arena and drives the epoch
+/// loop for its gang.
+#[cfg(mcsim_coop)]
+fn gang_worker<'env, R: Send + 'env>(
+    run: &GangRun,
+    g: usize,
+    fns: Vec<CoreFn<'env, R>>,
+    marker: usize,
+) -> Vec<Option<std::thread::Result<R>>> {
+    let _mark = crate::machine::hold_state_marker(marker);
+    let mut arena = CoopArena::new(run, g, fns);
+    let mut seen = 0u64;
+    loop {
+        let (epoch, done) = run.gate.worker_wait(seen);
+        seen = epoch;
+        if done {
+            if run.aborted.load(Ordering::Acquire) {
+                unsafe { arena.unwind_live(run, g) };
+            }
+            break;
+        }
+        if let Some(first) = unsafe { begin_window(run, g) } {
+            unsafe { arena.enter(first) };
+        }
+        // Read our partition *before* arriving — arrival hands exclusive
+        // access to the conductor's merge.
+        let all_retired = unsafe { (*run.gangs[g].get()).retired.iter().all(|&r| r) };
+        run.gate.arrive();
+        if all_retired {
+            // The conductor excludes this gang from the next epoch.
+            break;
+        }
+    }
+    arena.outs
+}
+
+/// Run the whole gang protocol on the calling thread: conductor and every
+/// gang's coroutine arena interleaved, with **zero synchronization** — no
+/// gate, no condvars, no parks. Used when the host has a single CPU, where
+/// spawning one worker per gang buys nothing and costs a condvar round
+/// trip per epoch (measured ~1.7× end-to-end on a 1-vCPU host). Every
+/// scheduling decision goes through the same `gang_event_inner` /
+/// `begin_window` / `merge` as the threaded drivers, so results are
+/// bit-identical to them by construction.
+#[cfg(mcsim_coop)]
+pub(crate) fn run_seq_mech<'env, R: Send + 'env>(
+    run: &GangRun,
+    mut fns: Vec<CoreFn<'env, R>>,
+) -> (Vec<Option<std::thread::Result<R>>>, std::thread::Result<()>) {
+    let layout = run.layout;
+    let mut arenas: Vec<CoopArena<R>> = Vec::with_capacity(layout.gangs);
+    for g in 0..layout.gangs {
+        let rest = fns.split_off(layout.size(g).min(fns.len()));
+        arenas.push(CoopArena::new(run, g, fns));
+        fns = rest;
+    }
+    let mut conductor_result: std::thread::Result<()> = Ok(());
+    loop {
+        let (min, live) = unsafe { plan(run) };
+        if !live.iter().any(|&x| x) {
+            break;
+        }
+        run.ceiling.store(min.saturating_add(run.window), Ordering::Relaxed);
+        for (g, &is_live) in live.iter().enumerate() {
+            if !is_live {
+                continue;
+            }
+            if let Some(first) = unsafe { begin_window(run, g) } {
+                unsafe { arenas[g].enter(first) };
+            }
+        }
+        if let Err(e) = catch_unwind(AssertUnwindSafe(|| unsafe { merge(run) })) {
+            run.aborted.store(true, Ordering::Release);
+            for (g, arena) in arenas.iter_mut().enumerate() {
+                unsafe { arena.unwind_live(run, g) };
+            }
+            conductor_result = Err(e);
+            break;
+        }
+    }
+    let outs = arenas.into_iter().flat_map(|a| a.outs).collect();
+    (outs, conductor_result)
+}
+
+/// Run the gang protocol with one worker thread per gang, cores as
+/// coroutines inside each worker.
+#[cfg(mcsim_coop)]
+pub(crate) fn run_coop_mech<'env, R: Send + 'env>(
+    run: &GangRun,
+    mut fns: Vec<CoreFn<'env, R>>,
+    marker: usize,
+) -> (Vec<Option<std::thread::Result<R>>>, std::thread::Result<()>) {
+    let layout = run.layout;
+    let mut per_gang: Vec<Vec<CoreFn<'env, R>>> = Vec::with_capacity(layout.gangs);
+    for g in 0..layout.gangs {
+        let rest = fns.split_off(layout.size(g).min(fns.len()));
+        per_gang.push(fns);
+        fns = rest;
+    }
+    let mut outs: Vec<Option<std::thread::Result<R>>> = Vec::new();
+    let mut conductor_result: std::thread::Result<()> = Ok(());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = per_gang
+            .into_iter()
+            .enumerate()
+            .map(|(g, gfns)| scope.spawn(move || gang_worker(run, g, gfns, marker)))
+            .collect();
+        conductor_result = unsafe { conduct(run, Mech::Coop, &[]) };
+        outs = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("gang worker must not panic outside coroutines"))
+            .collect();
+    });
+    (outs, conductor_result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Layout;
+
+    #[test]
+    fn layout_partitions_contiguously() {
+        let l = Layout::new(8, 2, 1);
+        assert_eq!((l.block, l.gangs), (4, 2));
+        assert_eq!(l.gang_of(3), 0);
+        assert_eq!(l.gang_of(4), 1);
+        assert_eq!(l.size(0), 4);
+        assert_eq!(l.size(1), 4);
+    }
+
+    #[test]
+    fn layout_respects_smt_alignment() {
+        // 6 threads, 2-way SMT, 4 gangs requested: blocks round up to 2,
+        // so siblings never straddle a boundary.
+        let l = Layout::new(6, 4, 2);
+        assert_eq!(l.block % 2, 0);
+        for c in (0..l.n).step_by(2) {
+            assert_eq!(l.gang_of(c), l.gang_of(c + 1), "siblings split at {c}");
+        }
+    }
+
+    #[test]
+    fn layout_ragged_last_gang() {
+        let l = Layout::new(10, 4, 1);
+        assert_eq!(l.block, 3);
+        assert_eq!(l.gangs, 4);
+        assert_eq!(l.size(3), 1);
+        assert_eq!((0..l.gangs).map(|g| l.size(g)).sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn layout_degenerates_to_one_gang() {
+        assert_eq!(Layout::new(1, 4, 1).gangs, 1);
+        assert_eq!(Layout::new(3, 1, 1).gangs, 1);
+    }
+}

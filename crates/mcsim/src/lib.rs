@@ -55,6 +55,7 @@ pub mod cache;
 pub mod coherence;
 #[cfg(mcsim_coop)]
 pub mod coop;
+pub(crate) mod gang;
 pub mod latency;
 pub mod machine;
 pub mod mem;

@@ -6,7 +6,10 @@
 //! coroutines on the calling thread where supported, or on one OS thread
 //! per core elsewhere (see [`ExecBackend`]); every memory event is
 //! serialized and deterministically ordered by the min-clock scheduler
-//! (see [`crate::sched`]), identically on either backend.
+//! (see [`crate::sched`]), identically on either backend. With
+//! [`MachineConfig::gangs`] > 1 the run instead executes under the gang
+//! protocol (see [`crate::gang`]): per-gang scheduler shards on their own
+//! host threads, cross-gang events merged at deterministic epoch barriers.
 //!
 //! A machine can be `run` multiple times (e.g. a single-core prefill run
 //! followed by [`Machine::reset_timing`] and a measured multi-core run);
@@ -86,15 +89,47 @@ pub enum ExecBackend {
 /// Is the coroutine backend available on this target?
 const COOP_SUPPORTED: bool = cfg!(mcsim_coop);
 
+/// Process-wide gang-driver override (a host-performance knob: every
+/// driver produces bit-identical results). 0 = auto (consult
+/// `MCSIM_GANG_DRIVER`, else pick by host CPU count); tests pin a driver
+/// through this atomic instead of `std::env::set_var`, which would race
+/// with concurrent libc `getenv` calls.
+#[cfg(mcsim_coop)]
+static GANG_DRIVER: AtomicUsize = AtomicUsize::new(GANG_DRIVER_AUTO);
+#[cfg(mcsim_coop)]
+const GANG_DRIVER_AUTO: usize = 0;
+#[cfg(mcsim_coop)]
+const GANG_DRIVER_SEQ: usize = 1;
+#[cfg(mcsim_coop)]
+const GANG_DRIVER_SPAWN: usize = 2;
+
+/// Pin the gang driver (tests/benchmarks; see [`GANG_DRIVER`]).
+#[cfg(all(mcsim_coop, test))]
+fn set_gang_driver(v: usize) {
+    GANG_DRIVER.store(v, Ordering::Relaxed);
+}
+
 impl ExecBackend {
     /// Environment override consulted by [`Self::Auto`] only:
     /// `MCSIM_EXEC=threads|coop` pins the backend the whole process-wide
     /// default resolves to (the CI matrix runs the test suite once per
     /// value). Explicit `Threads`/`Coop` configs are never overridden.
-    /// Cached after the first read.
-    fn env_override() -> Option<ExecBackend> {
-        static OVERRIDE: std::sync::OnceLock<Option<ExecBackend>> = std::sync::OnceLock::new();
-        *OVERRIDE.get_or_init(|| match std::env::var("MCSIM_EXEC").ok()?.as_str() {
+    ///
+    /// Re-read on every resolution (a cold path: once per `Machine::run`).
+    /// An earlier version cached the first read in a `OnceLock`, so a test
+    /// or embedder setting the variable after the first machine ran
+    /// silently kept the stale backend — the regression test below pins
+    /// the re-read behaviour.
+    pub(crate) fn env_override() -> Option<ExecBackend> {
+        Self::parse_override(std::env::var("MCSIM_EXEC").ok()?.as_str())
+    }
+
+    /// The parse half of [`Self::env_override`], split out so the
+    /// regression test can cover every value without calling
+    /// `std::env::set_var` (mutating the environment while other test
+    /// threads read it through libc is a data race).
+    pub(crate) fn parse_override(value: &str) -> Option<ExecBackend> {
+        match value {
             "threads" => Some(ExecBackend::Threads),
             // The env var exists so CI can *guarantee* which backend a run
             // exercised; a silent fallback would let the coop matrix leg go
@@ -108,7 +143,7 @@ impl ExecBackend {
             ),
             "auto" => None,
             other => panic!("MCSIM_EXEC must be threads|coop|auto, got {other:?}"),
-        })
+        }
     }
 }
 
@@ -147,6 +182,23 @@ pub struct MachineConfig {
     /// Host execution backend (a host-performance knob; simulated results
     /// are identical across backends).
     pub exec: ExecBackend,
+    /// Intra-machine gang count (see [`crate::gang`]). `1` (the default)
+    /// runs the classic single-turn scheduler. With `gangs = G > 1`, the
+    /// run's cores are partitioned into G contiguous, SMT-aligned blocks;
+    /// each gang owns a scheduler shard and executes on its own host
+    /// thread, and cross-gang interaction is confined to deterministic
+    /// epoch barriers. Simulated results are a pure function of
+    /// `(program, seeds, quantum, gangs, gang_window)` — `gangs = 1` is
+    /// byte-identical to the pre-gang scheduler, while different gang
+    /// layouts are *different (but each deterministic)* schedules, the same
+    /// trade the paper's banked Graphite simulation makes with lax
+    /// synchronization.
+    pub gangs: usize,
+    /// Epoch window W in cycles for gang runs: within one epoch a core may
+    /// only advance to `global_min_clock + W`, and cross-gang events are
+    /// delivered at the epoch barrier — so W bounds both inter-gang clock
+    /// skew and cross-gang event latency. Ignored when `gangs == 1`.
+    pub gang_window: u64,
 }
 
 impl Default for MachineConfig {
@@ -163,6 +215,8 @@ impl Default for MachineConfig {
             uaf_mode: UafMode::Panic,
             ctx_switch: None,
             exec: ExecBackend::Auto,
+            gangs: 1,
+            gang_window: 4096,
         }
     }
 }
@@ -207,6 +261,8 @@ pub(crate) struct SimState {
     /// OS thread handle per simulated core, registered at the start of each
     /// run; the turn owner unparks the next owner's handle on handoff.
     pub threads: Vec<Option<Thread>>,
+    /// Epoch barriers crossed by gang runs (0 on single-gang machines).
+    pub gang_epochs: u64,
 }
 
 struct Shared {
@@ -237,7 +293,7 @@ std::thread_local! {
     not(mcsim_coop),
     allow(dead_code)
 )]
-struct StateHoldMark {
+pub(crate) struct StateHoldMark {
     prev: *const (),
 }
 
@@ -250,6 +306,16 @@ impl StateHoldMark {
         let prev = HOLDING_STATE.replace(shared as *const Shared as *const ());
         StateHoldMark { prev }
     }
+}
+
+/// Set this host thread's hold marker from a raw machine identity (the
+/// `Shared` address as a `usize`, so it can cross a `spawn` boundary).
+/// Used by the gang drivers: every gang worker / core thread of a gang run
+/// must panic — not deadlock — if a workload closure calls a host-side
+/// `Machine` method while the conductor holds the state lock.
+pub(crate) fn hold_state_marker(marker: usize) -> StateHoldMark {
+    let prev = HOLDING_STATE.replace(marker as *const ());
+    StateHoldMark { prev }
 }
 
 impl Drop for StateHoldMark {
@@ -298,6 +364,7 @@ const _: () = {
 impl Machine {
     /// Build a machine.
     pub fn new(cfg: MachineConfig) -> Self {
+        assert!(cfg.gangs >= 1, "MachineConfig::gangs must be at least 1");
         let hub = CoherenceHub::new(
             cfg.cores,
             cfg.smt,
@@ -318,6 +385,7 @@ impl Machine {
             ctx_switch: cfg.ctx_switch,
             next_preempt: vec![cfg.ctx_switch.map_or(u64::MAX, |(i, _)| i); cfg.cores],
             threads: vec![None; cfg.cores],
+            gang_epochs: 0,
         };
         Self {
             shared: Arc::new(Shared {
@@ -363,11 +431,92 @@ impl Machine {
             ExecBackend::Threads => false,
             ExecBackend::Auto | ExecBackend::Coop => COOP_SUPPORTED,
         };
+        if self.cfg.gangs > 1 {
+            let layout = crate::gang::Layout::new(n, self.cfg.gangs, self.cfg.smt);
+            if layout.gangs > 1 {
+                return self.run_gangs(fns, layout, coop);
+            }
+            // A run too small to split (e.g. the single-core prefill run of
+            // a gangs=4 machine) uses the classic single-turn path, which
+            // the gang protocol degenerates to at G = 1 anyway.
+        }
         if coop {
             #[cfg(mcsim_coop)]
             return self.run_coop(fns);
         }
         self.run_threads(fns)
+    }
+
+    /// Gang-scheduled execution (`gangs > 1`): partition the run's cores
+    /// into gangs, one host thread per gang, with deterministic epoch
+    /// barriers for everything that crosses a gang boundary. See
+    /// [`crate::gang`] for the protocol and its determinism contract.
+    fn run_gangs<'env, R: Send + 'env>(
+        &'env self,
+        fns: Vec<CoreFn<'env, R>>,
+        layout: crate::gang::Layout,
+        coop: bool,
+    ) -> Vec<R> {
+        let mut guard = self.shared.lock();
+        // The conductor (this thread) holds the state lock for the whole
+        // run; host-side calls on this machine — from workload closures on
+        // gang threads or from anything on this thread — must panic loudly
+        // instead of deadlocking. Gang worker threads set the same marker.
+        let _mark = StateHoldMark::set(&self.shared);
+        let marker = &*self.shared as *const Shared as *const () as usize;
+        let root: *mut SimState = &mut *guard;
+        let run = unsafe {
+            crate::gang::GangRun::new(root, layout, self.cfg.quantum, self.cfg.gang_window)
+        };
+        let (outs, conductor_result) = if coop {
+            #[cfg(mcsim_coop)]
+            {
+                // Driver choice is a pure host-performance knob: every
+                // driver routes all decisions through the same gang event
+                // engine, so results are bit-identical. On a single-CPU
+                // host, per-gang worker threads buy nothing and cost a
+                // condvar round trip per epoch — run the whole protocol
+                // on this thread instead. MCSIM_GANG_DRIVER=seq|spawn
+                // pins the choice (CI / debugging).
+                let seq = match GANG_DRIVER.load(Ordering::Relaxed) {
+                    GANG_DRIVER_SEQ => true,
+                    GANG_DRIVER_SPAWN => false,
+                    _ => match std::env::var("MCSIM_GANG_DRIVER").as_deref() {
+                        Ok("seq") => true,
+                        Ok("spawn") => false,
+                        _ => std::thread::available_parallelism().map_or(1, |n| n.get()) == 1,
+                    },
+                };
+                if seq {
+                    crate::gang::run_seq_mech(&run, fns)
+                } else {
+                    crate::gang::run_coop_mech(&run, fns, marker)
+                }
+            }
+            #[cfg(not(mcsim_coop))]
+            {
+                unreachable!("coop resolved on a target without coop support")
+            }
+        } else {
+            crate::gang::run_threads_mech(&run, fns, marker)
+        };
+        // Publish the gang scheduler shards' clocks back into the global
+        // scheduler (stats()/max_clock read them between runs).
+        unsafe { run.writeback(&mut guard) };
+        drop(run);
+        drop(guard);
+        // The conductor's panic (e.g. the UAF detector firing inside a
+        // deferred event at an epoch barrier) outranks the secondary
+        // "gang run aborted" panics it caused in the workers.
+        if let Err(e) = conductor_result {
+            std::panic::resume_unwind(e);
+        }
+        outs.into_iter()
+            .map(|r| match r.expect("gang core finished without a result") {
+                Ok(r) => r,
+                Err(e) => std::panic::resume_unwind(e),
+            })
+            .collect()
     }
 
     /// Coroutine backend: all simulated cores on the calling OS thread,
@@ -418,7 +567,7 @@ impl Machine {
                         CtxBackend::Coop(cb) => {
                             cb.retire_target.expect("coop retire records a target")
                         }
-                        CtxBackend::Threads(_) => unreachable!("coop body on threads ctx"),
+                        _ => unreachable!("coop body on a non-coop ctx"),
                     }
                 });
                 // Erase 'env: every coroutine is fully consumed before this
@@ -538,6 +687,7 @@ impl Machine {
         st.next_sample_at = st.sample_every.unwrap_or(0);
         let interval = st.ctx_switch.map_or(u64::MAX, |(i, _)| i);
         st.next_preempt.fill(interval);
+        st.gang_epochs = 0;
     }
 
     /// Snapshot machine statistics.
@@ -553,6 +703,7 @@ impl Machine {
             peak_allocated: st.alloc.peak,
             total_ops: st.global_ops,
             max_cycles: st.sched.max_clock(),
+            epoch_barriers: st.gang_epochs,
         }
     }
 
@@ -608,14 +759,22 @@ pub struct Ctx<'m> {
     backend: CtxBackend<'m>,
 }
 
-/// Backend-specific part of a [`Ctx`] (see [`ExecBackend`]).
-enum CtxBackend<'m> {
+/// Backend-specific part of a [`Ctx`] (see [`ExecBackend`] and
+/// [`crate::gang`]).
+pub(crate) enum CtxBackend<'m> {
     Threads(ThreadsCtx<'m>),
     #[cfg_attr(not(mcsim_coop), allow(dead_code))]
     Coop(CoopCtx),
+    /// Gang run, threads mechanism: one OS thread per core, per-gang turn
+    /// words.
+    GangThreads(crate::gang::GangThreadsCtx),
+    /// Gang run, coroutine mechanism: this core is a coroutine in its gang
+    /// worker's arena.
+    #[cfg(mcsim_coop)]
+    GangCoop(crate::gang::GangCoopCtx),
 }
 
-struct ThreadsCtx<'m> {
+pub(crate) struct ThreadsCtx<'m> {
     shared: &'m Shared,
     /// The state guard, held across consecutive events while this core
     /// keeps the turn (see the module docs on event batching). `Some` iff
@@ -676,7 +835,7 @@ impl<'m> ThreadsCtx<'m> {
     not(mcsim_coop),
     allow(dead_code)
 )]
-struct CoopCtx {
+pub(crate) struct CoopCtx {
     state: *mut SimState,
     /// Context-slot table (`cores + 1` entries; the last is the main slot).
     ctxs: *mut *mut u8,
@@ -686,28 +845,219 @@ struct CoopCtx {
     retire_target: Option<usize>,
 }
 
-/// Charge pending ticks, execute `f`, charge its cost, apply the
+/// One architectural operation a simulated core can issue — the payload of
+/// every scheduler event. Reifying the operation (instead of passing a
+/// closure) lets the gang runtime ship deferred events to its epoch-barrier
+/// conductor and replay them through the *same* [`exec_op`] the single-gang
+/// path uses, so both paths have one source of semantic truth.
+#[derive(Copy, Clone, Debug)]
+#[allow(clippy::enum_variant_names)] // OpCompleted mirrors Ctx::op_completed
+pub(crate) enum Op {
+    Read(Addr),
+    Write(Addr, u64),
+    Cas(Addr, u64, u64),
+    Fence,
+    Cread(Addr),
+    Cwrite(Addr, u64),
+    UntagOne(Addr),
+    UntagAll,
+    Alloc,
+    Free(Addr),
+    TxBegin,
+    TxRead(Addr),
+    TxWrite(Addr, u64),
+    TxCommit,
+    TxAbort,
+    OpCompleted,
+}
+
+/// Result of an [`Op`]. The unwrappers panic only on a simulator bug (an
+/// op returning the wrong variant).
+#[derive(Copy, Clone, Debug)]
+pub(crate) enum Out {
+    Unit,
+    Val(u64),
+    A(Addr),
+    Opt(Option<u64>),
+    CasR(Result<u64, u64>),
+    Flag(bool),
+}
+
+impl Out {
+    pub(crate) fn val(self) -> u64 {
+        match self {
+            Out::Val(v) => v,
+            other => unreachable!("expected Val, got {other:?}"),
+        }
+    }
+    pub(crate) fn addr(self) -> Addr {
+        match self {
+            Out::A(a) => a,
+            other => unreachable!("expected Addr, got {other:?}"),
+        }
+    }
+    pub(crate) fn opt(self) -> Option<u64> {
+        match self {
+            Out::Opt(v) => v,
+            other => unreachable!("expected Opt, got {other:?}"),
+        }
+    }
+    pub(crate) fn casr(self) -> Result<u64, u64> {
+        match self {
+            Out::CasR(r) => r,
+            other => unreachable!("expected CasR, got {other:?}"),
+        }
+    }
+    pub(crate) fn flag(self) -> bool {
+        match self {
+            Out::Flag(b) => b,
+            other => unreachable!("expected Flag, got {other:?}"),
+        }
+    }
+    pub(crate) fn unit(self) {
+        match self {
+            Out::Unit => (),
+            other => unreachable!("expected Unit, got {other:?}"),
+        }
+    }
+}
+
+/// Execute one operation against the simulator state, returning its output
+/// and cycle cost. This is the single semantic definition of every event:
+/// the batched single-gang pipeline calls it under the turn, and the gang
+/// runtime's conductor calls it at epoch barriers for deferred events.
+pub(crate) fn exec_op(st: &mut SimState, c: CoreId, op: Op) -> (Out, u64) {
+    match op {
+        Op::Read(a) => {
+            st.alloc.check_access(c, a, "read");
+            let (v, cost) = st.hub.read(c, a);
+            (Out::Val(v), cost)
+        }
+        Op::Write(a, v) => {
+            st.alloc.check_access(c, a, "write");
+            (Out::Unit, st.hub.write(c, a, v))
+        }
+        Op::Cas(a, expected, new) => {
+            st.alloc.check_access(c, a, "cas");
+            let (r, cost) = st.hub.cas(c, a, expected, new);
+            (Out::CasR(r), cost)
+        }
+        Op::Fence => (Out::Unit, st.hub.fence(c)),
+        Op::Cread(a) => {
+            let (v, cost) = st.hub.cread(c, a);
+            if v.is_some() {
+                // The load architecturally happened: validate it.
+                st.alloc.check_access(c, a, "cread");
+            }
+            (Out::Opt(v), cost)
+        }
+        Op::Cwrite(a, v) => {
+            // Check whether the store would actually execute before
+            // validating the target (a failed cwrite touches no memory).
+            let (ok, cost) = st.hub.cwrite(c, a, v);
+            if ok {
+                st.alloc.check_access(c, a, "cwrite");
+            }
+            (Out::Flag(ok), cost)
+        }
+        Op::UntagOne(a) => (Out::Unit, st.hub.untag_one(c, a)),
+        Op::UntagAll => (Out::Unit, st.hub.untag_all(c)),
+        Op::Alloc => {
+            let a = st.alloc.alloc(c);
+            (Out::A(a), st.hub.lat.malloc)
+        }
+        Op::Free(a) => {
+            st.alloc.free(c, a);
+            (Out::Unit, st.hub.lat.free)
+        }
+        Op::TxBegin => (Out::Unit, st.hub.tx_begin(c)),
+        Op::TxRead(a) => {
+            let (v, cost) = st.hub.tx_read(c, a);
+            if v.is_some() {
+                st.alloc.check_access(c, a, "tx_read");
+            }
+            (Out::Opt(v), cost)
+        }
+        Op::TxWrite(a, v) => {
+            let (ok, cost) = st.hub.tx_write(c, a, v);
+            (Out::Flag(ok), cost)
+        }
+        Op::TxCommit => {
+            let (writes, abort_cost) = st.hub.tx_commit_begin(c);
+            match writes {
+                None => (Out::Flag(false), abort_cost),
+                Some(w) => {
+                    for &(a, _) in &w {
+                        st.alloc.check_access(c, a, "tx_commit");
+                    }
+                    let cost = st.hub.tx_commit_apply(c, &w);
+                    (Out::Flag(true), cost)
+                }
+            }
+        }
+        Op::TxAbort => (Out::Unit, st.hub.tx_abort(c)),
+        Op::OpCompleted => {
+            st.hub.stats.core(c).ops += 1;
+            st.global_ops += 1;
+            if let Some(every) = st.sample_every {
+                if st.global_ops >= st.next_sample_at {
+                    let live = st.alloc.allocated_not_freed;
+                    let ops = st.global_ops;
+                    st.samples.push((ops, live));
+                    st.next_sample_at += every;
+                }
+            }
+            (Out::Unit, 0)
+        }
+    }
+}
+
+/// The OS-preemption model's deadline step, shared by every event path
+/// (the batched single-gang pipeline, the gang lane, and the gang
+/// conductor's barrier merge): when the core's clock reaches its deadline,
+/// run `preempt` (which sets the ARB and aborts any transaction), charge
+/// the switch cost, and advance the deadline past the new clock.
+/// Deadline-driven, hence deterministic.
+#[inline]
+pub(crate) fn apply_preempt_model(
+    clock: &mut u64,
+    next_preempt: &mut u64,
+    model: Option<(u64, u64)>,
+    preempt: impl FnOnce(),
+) {
+    if let Some((interval, switch_cost)) = model {
+        if *clock >= *next_preempt {
+            preempt();
+            *clock += switch_cost;
+            while *next_preempt <= *clock {
+                *next_preempt += interval;
+            }
+        }
+    }
+}
+
+/// Charge pending ticks, execute `op`, charge its cost, apply the
 /// OS-preemption model, and take the scheduling decision — the
 /// backend-independent core of every event.
 #[inline]
-fn run_event_on<T>(
-    st: &mut SimState,
-    c: CoreId,
-    pending: u64,
-    f: impl FnOnce(&mut SimState, CoreId) -> (T, u64),
-) -> (T, Option<CoreId>) {
+fn run_event_on(st: &mut SimState, c: CoreId, pending: u64, op: Op) -> (Out, Option<CoreId>) {
     st.sched.clocks[c] += pending;
-    let (out, cost) = f(st, c);
+    let (out, cost) = exec_op(st, c, op);
     st.sched.clocks[c] += cost;
-    // OS-preemption model: deadline-driven, hence deterministic.
-    if let Some((interval, switch_cost)) = st.ctx_switch {
-        if st.sched.clocks[c] >= st.next_preempt[c] {
-            st.hub.preempt(c);
-            st.sched.clocks[c] += switch_cost;
-            while st.next_preempt[c] <= st.sched.clocks[c] {
-                st.next_preempt[c] += interval;
-            }
-        }
+    {
+        let SimState {
+            sched,
+            next_preempt,
+            hub,
+            ctx_switch,
+            ..
+        } = st;
+        apply_preempt_model(
+            &mut sched.clocks[c],
+            &mut next_preempt[c],
+            *ctx_switch,
+            || hub.preempt(c),
+        );
     }
     let next = st.sched.after_event(c);
     match next {
@@ -725,10 +1075,31 @@ fn finish_retire(st: &mut SimState, c: CoreId, pending: u64) -> Option<CoreId> {
 }
 
 impl<'m> Ctx<'m> {
+    /// Internal constructor for the gang drivers (`crate::gang`).
+    pub(crate) fn from_parts(core: CoreId, backend: CtxBackend<'m>) -> Self {
+        Ctx {
+            core,
+            pending_ticks: 0,
+            backend,
+        }
+    }
+
     /// This simulated core's id.
     #[inline]
     pub fn core(&self) -> CoreId {
         self.core
+    }
+
+    /// Gang-coop only: the final switch target recorded by `retire` (read
+    /// by the gang worker's coroutine body after the closure returns).
+    #[cfg(mcsim_coop)]
+    pub(crate) fn gang_coop_retire_target(&self) -> usize {
+        match &self.backend {
+            CtxBackend::GangCoop(gc) => gc
+                .retire_target
+                .expect("gang-coop retire records a target"),
+            _ => unreachable!("gang_coop_retire_target on a non-gang-coop ctx"),
+        }
     }
 
     /// Charge `cycles` of local computation (no scheduling point; the cost
@@ -738,14 +1109,16 @@ impl<'m> Ctx<'m> {
         self.pending_ticks += cycles;
     }
 
-    /// Execute one memory event under the turn. `f` returns (output, cost).
-    fn event<T>(&mut self, f: impl FnOnce(&mut SimState, CoreId) -> (T, u64)) -> T {
+    /// Execute one memory event under the turn (single-gang backends) or
+    /// the gang protocol (gang backends: locally when the event resolves
+    /// inside this gang's partition, via the epoch barrier otherwise).
+    fn event(&mut self, op: Op) -> Out {
         let c = self.core;
         let pending = std::mem::take(&mut self.pending_ticks);
         match &mut self.backend {
             CtxBackend::Threads(tb) => {
                 let st = tb.acquire_turn(c);
-                let (out, next) = run_event_on(st, c, pending, f);
+                let (out, next) = run_event_on(st, c, pending, op);
                 if let Some(next) = next {
                     tb.release_turn_to(next);
                 }
@@ -758,7 +1131,7 @@ impl<'m> Ctx<'m> {
                 // access needs no locking at all.
                 let st = unsafe { &mut *cb.state };
                 debug_assert_eq!(st.sched.turn, c, "coop: non-owner coroutine running");
-                let (out, next) = run_event_on(st, c, pending, f);
+                let (out, next) = run_event_on(st, c, pending, op);
                 if let Some(next) = next {
                     // A coop Ctx only exists on targets where the module is
                     // compiled (run_coop constructs it), so the arm is
@@ -772,10 +1145,13 @@ impl<'m> Ctx<'m> {
                 }
                 out
             }
+            CtxBackend::GangThreads(gt) => unsafe { crate::gang::event_threads(gt, c, pending, op) },
+            #[cfg(mcsim_coop)]
+            CtxBackend::GangCoop(gc) => unsafe { crate::gang::event_coop(gc, c, pending, op) },
         }
     }
 
-    fn retire(&mut self) {
+    pub(crate) fn retire(&mut self) {
         let c = self.core;
         let pending = std::mem::take(&mut self.pending_ticks);
         match &mut self.backend {
@@ -793,6 +1169,9 @@ impl<'m> Ctx<'m> {
                 // closure's allocation is freed first.
                 cb.retire_target = Some(next.unwrap_or(cb.main_slot));
             }
+            CtxBackend::GangThreads(gt) => unsafe { crate::gang::retire_threads(gt, c, pending) },
+            #[cfg(mcsim_coop)]
+            CtxBackend::GangCoop(gc) => unsafe { crate::gang::retire_coop(gc, c, pending) },
         }
     }
 
@@ -800,83 +1179,55 @@ impl<'m> Ctx<'m> {
 
     /// Plain 64-bit load.
     pub fn read(&mut self, a: Addr) -> u64 {
-        self.event(|st, c| {
-            st.alloc.check_access(c, a, "read");
-            st.hub.read(c, a)
-        })
+        self.event(Op::Read(a)).val()
     }
 
     /// Plain 64-bit store.
     pub fn write(&mut self, a: Addr, v: u64) {
-        self.event(|st, c| {
-            st.alloc.check_access(c, a, "write");
-            ((), st.hub.write(c, a, v))
-        })
+        self.event(Op::Write(a, v)).unit()
     }
 
     /// Compare-and-swap: `Ok(expected)` on success, `Err(actual)` otherwise.
     pub fn cas(&mut self, a: Addr, expected: u64, new: u64) -> Result<u64, u64> {
-        self.event(|st, c| {
-            st.alloc.check_access(c, a, "cas");
-            st.hub.cas(c, a, expected, new)
-        })
+        self.event(Op::Cas(a, expected, new)).casr()
     }
 
     /// Memory fence.
     pub fn fence(&mut self) {
-        self.event(|st, c| ((), st.hub.fence(c)));
+        self.event(Op::Fence).unit()
     }
 
     /// `cread`: conditional load (None = failed, CAFAIL set). See paper
     /// §II-B and `cacore::isa`.
     pub fn cread(&mut self, a: Addr) -> Option<u64> {
-        self.event(|st, c| {
-            let (v, cost) = st.hub.cread(c, a);
-            if v.is_some() {
-                // The load architecturally happened: validate it.
-                st.alloc.check_access(c, a, "cread");
-            }
-            (v, cost)
-        })
+        self.event(Op::Cread(a)).opt()
     }
 
     /// `cwrite`: conditional store (false = failed, CAFAIL set).
     pub fn cwrite(&mut self, a: Addr, v: u64) -> bool {
-        self.event(|st, c| {
-            // Check whether the store would actually execute before
-            // validating the target (a failed cwrite touches no memory).
-            let (ok, cost) = st.hub.cwrite(c, a, v);
-            if ok {
-                st.alloc.check_access(c, a, "cwrite");
-            }
-            (ok, cost)
-        })
+        self.event(Op::Cwrite(a, v)).flag()
     }
 
     /// `untagOne`.
     pub fn untag_one(&mut self, a: Addr) {
-        self.event(|st, c| ((), st.hub.untag_one(c, a)));
+        self.event(Op::UntagOne(a)).unit()
     }
 
     /// `untagAll` (clears the tag set and the ARB).
     pub fn untag_all(&mut self) {
-        self.event(|st, c| ((), st.hub.untag_all(c)));
+        self.event(Op::UntagAll).unit()
     }
 
     /// Allocate one node (a 64-byte line). Charges the malloc latency.
     pub fn alloc(&mut self) -> Addr {
-        self.event(|st, c| {
-            let a = st.alloc.alloc(c);
-            (a, st.hub.lat.malloc)
-        })
+        self.event(Op::Alloc).addr()
     }
 
-    /// Free one node. Charges the free latency. Traps double frees.
+    /// Free one node. Charges the free latency. Traps double frees (on
+    /// gang runs, a double free by a *deferred* free is trapped at the
+    /// epoch barrier that applies it).
     pub fn free(&mut self, a: Addr) {
-        self.event(|st, c| {
-            st.alloc.free(c, a);
-            ((), st.hub.lat.free)
-        })
+        self.event(Op::Free(a)).unit()
     }
 
     // --- HTM comparator (paper §VI) -------------------------------------
@@ -884,50 +1235,32 @@ impl<'m> Ctx<'m> {
     /// Begin a hardware transaction. Panics on nesting; plain memory
     /// operations are forbidden until `tx_commit`/`tx_abort`.
     pub fn tx_begin(&mut self) {
-        self.event(|st, c| ((), st.hub.tx_begin(c)));
+        self.event(Op::TxBegin).unit()
     }
 
     /// Speculative load inside a transaction. `None` means the transaction
     /// detected a conflict and **has aborted**; restart it.
     pub fn tx_read(&mut self, a: Addr) -> Option<u64> {
-        self.event(|st, c| {
-            let (v, cost) = st.hub.tx_read(c, a);
-            if v.is_some() {
-                st.alloc.check_access(c, a, "tx_read");
-            }
-            (v, cost)
-        })
+        self.event(Op::TxRead(a)).opt()
     }
 
     /// Speculative store inside a transaction (buffered until commit).
     /// `false` means the transaction has aborted.
     pub fn tx_write(&mut self, a: Addr, v: u64) -> bool {
-        self.event(|st, c| st.hub.tx_write(c, a, v))
+        self.event(Op::TxWrite(a, v)).flag()
     }
 
     /// Attempt to commit. On success all buffered writes become visible
     /// atomically (and the use-after-free detector validates each target);
     /// on conflict the transaction is rolled back and `false` is returned.
     pub fn tx_commit(&mut self) -> bool {
-        self.event(|st, c| {
-            let (writes, abort_cost) = st.hub.tx_commit_begin(c);
-            match writes {
-                None => (false, abort_cost),
-                Some(w) => {
-                    for &(a, _) in &w {
-                        st.alloc.check_access(c, a, "tx_commit");
-                    }
-                    let cost = st.hub.tx_commit_apply(c, &w);
-                    (true, cost)
-                }
-            }
-        })
+        self.event(Op::TxCommit).flag()
     }
 
     /// Explicitly abort the in-flight transaction (e.g. a version validation
     /// inside it failed).
     pub fn tx_abort(&mut self) {
-        self.event(|st, c| ((), st.hub.tx_abort(c)));
+        self.event(Op::TxAbort).unit()
     }
 
     /// Is a transaction in flight on this hardware thread? (Introspection;
@@ -940,25 +1273,19 @@ impl<'m> Ctx<'m> {
                 None => tb.shared.lock().hub.tx_active(c),
             },
             CtxBackend::Coop(cb) => unsafe { (&*cb.state).hub.tx_active(c) },
+            // Gang runs: a core's tx state is only ever touched by its own
+            // events (or by the conductor while the core is blocked), so an
+            // unsynchronized read from the core's own context is race-free.
+            CtxBackend::GangThreads(gt) => unsafe { crate::gang::probe_tx_active(gt.run(), c) },
+            #[cfg(mcsim_coop)]
+            CtxBackend::GangCoop(gc) => unsafe { crate::gang::probe_tx_active(gc.run(), c) },
         }
     }
 
     /// Record one completed data-structure operation (throughput numerator,
     /// Figure 3 sampling trigger).
     pub fn op_completed(&mut self) {
-        self.event(|st, c| {
-            st.hub.stats.core(c).ops += 1;
-            st.global_ops += 1;
-            if let Some(every) = st.sample_every {
-                if st.global_ops >= st.next_sample_at {
-                    let live = st.alloc.allocated_not_freed;
-                    let ops = st.global_ops;
-                    st.samples.push((ops, live));
-                    st.next_sample_at += every;
-                }
-            }
-            ((), 0)
-        })
+        self.event(Op::OpCompleted).unit()
     }
 
     /// This core's current simulated clock (cycles).
@@ -971,6 +1298,11 @@ impl<'m> Ctx<'m> {
                 None => tb.shared.lock().sched.clocks[c] + pending,
             },
             CtxBackend::Coop(cb) => unsafe { (&*cb.state).sched.clocks[c] + pending },
+            // Gang runs: only a core's own events advance its clock slot,
+            // so reading it from the core's own context is race-free.
+            CtxBackend::GangThreads(gt) => unsafe { crate::gang::probe_clock(gt.run(), c) + pending },
+            #[cfg(mcsim_coop)]
+            CtxBackend::GangCoop(gc) => unsafe { crate::gang::probe_clock(gc.run(), c) + pending },
         }
     }
 }
@@ -1339,6 +1671,405 @@ mod tests {
             oracle_ref.host_read(key)
         });
         assert_eq!(out, vec![99]);
+    }
+
+    #[test]
+    fn env_override_is_reread_after_changes() {
+        // Regression: the override used to be cached in a OnceLock, so a
+        // test or embedder setting MCSIM_EXEC after the first read silently
+        // kept the stale backend. The cache is gone — env_override is now
+        // `parse_override(env::var(..))` with no static state, so staleness
+        // is structurally impossible; the parse seam is pinned here for
+        // every accepted value. (Deliberately NOT exercised via
+        // std::env::set_var: mutating the environment while concurrent
+        // tests resolve backends through libc getenv is a data race.)
+        assert_eq!(
+            ExecBackend::parse_override("threads"),
+            Some(ExecBackend::Threads)
+        );
+        assert_eq!(ExecBackend::parse_override("auto"), None);
+        if COOP_SUPPORTED {
+            assert_eq!(
+                ExecBackend::parse_override("coop"),
+                Some(ExecBackend::Coop)
+            );
+        }
+        // Two consecutive resolutions agree with the live environment (no
+        // memoization to go stale between them).
+        assert_eq!(ExecBackend::env_override(), ExecBackend::env_override());
+    }
+
+    // --- gang scheduling -------------------------------------------------
+
+    fn gang_machine(cores: usize, gangs: usize, window: u64, exec: ExecBackend) -> Machine {
+        Machine::new(MachineConfig {
+            cores,
+            mem_bytes: 1 << 20,
+            static_lines: 64,
+            quantum: 0,
+            gangs,
+            gang_window: window,
+            exec,
+            ..Default::default()
+        })
+    }
+
+    const GANG_BACKENDS: [ExecBackend; 2] = [ExecBackend::Threads, ExecBackend::Coop];
+
+    #[test]
+    fn gang_counter_is_exact_across_gang_boundaries() {
+        // Cross-gang CAS contention: every path here (S→M upgrades,
+        // invalidations, misses) defers to the epoch barrier, so this
+        // exercises the whole queue/merge protocol.
+        for exec in GANG_BACKENDS {
+            for gangs in [2, 4] {
+                let m = gang_machine(4, gangs, 128, exec);
+                let a = m.alloc_static(1);
+                m.run_on(4, |_, ctx| {
+                    for _ in 0..50 {
+                        loop {
+                            let cur = ctx.read(a);
+                            if ctx.cas(a, cur, cur + 1).is_ok() {
+                                break;
+                            }
+                        }
+                    }
+                });
+                assert_eq!(m.host_read(a), 200, "{exec:?} gangs={gangs}");
+                m.check_invariants();
+                let stats = m.stats();
+                assert!(stats.epoch_barriers > 0, "gang runs must cross barriers");
+                assert!(
+                    stats.sum(|c| c.deferred_events) > 0,
+                    "cross-gang contention must defer events"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gang_runs_are_deterministic_and_backend_identical() {
+        // For a fixed gang layout: repeated runs and both exec mechanisms
+        // must produce bit-identical per-core statistics (the determinism
+        // contract of the gang protocol).
+        let program = |gangs: usize, exec: ExecBackend| {
+            let m = gang_machine(6, gangs, 256, exec);
+            let a = m.alloc_static(1);
+            m.run_on(6, |i, ctx| {
+                for _ in 0..60 {
+                    loop {
+                        let cur = ctx.read(a);
+                        if ctx.cas(a, cur, cur.wrapping_mul(31) + i as u64 + 1).is_ok() {
+                            break;
+                        }
+                    }
+                }
+            });
+            (m.host_read(a), m.stats())
+        };
+        for gangs in [2, 3] {
+            let (v1, s1) = program(gangs, ExecBackend::Threads);
+            let (v2, s2) = program(gangs, ExecBackend::Threads);
+            assert_eq!(v1, v2, "gangs={gangs}: repeated runs diverged");
+            assert_eq!(s1.cores, s2.cores, "gangs={gangs}: per-core stats diverged");
+            assert_eq!(s1.epoch_barriers, s2.epoch_barriers);
+            let (v3, s3) = program(gangs, ExecBackend::Coop);
+            assert_eq!(v1, v3, "gangs={gangs}: coop mechanism diverged from threads");
+            assert_eq!(
+                s1.cores, s3.cores,
+                "gangs={gangs}: coop per-core stats diverged from threads"
+            );
+            assert_eq!(s1.max_cycles, s3.max_cycles);
+        }
+    }
+
+    #[test]
+    fn gang_local_fast_path_executes_in_parallel_phase() {
+        // A read-heavy single-location workload: after the first fill, the
+        // spins are L1 hits and must execute on the gang-local lane, not at
+        // barriers.
+        let m = gang_machine(4, 2, 512, ExecBackend::Threads);
+        let a = m.alloc_static(1);
+        m.run_on(4, |_, ctx| {
+            for _ in 0..200 {
+                let _ = ctx.read(a);
+            }
+        });
+        let stats = m.stats();
+        let local = stats.sum(|c| c.batched_events + c.turn_handoffs) - stats.sum(|c| c.deferred_events);
+        assert!(
+            local > stats.sum(|c| c.deferred_events),
+            "hit-dominated workloads must mostly run on the lane: local {local}, deferred {}",
+            stats.sum(|c| c.deferred_events)
+        );
+        assert_eq!(stats.sum(|c| c.l1_hits), 4 * 200 - 4, "one miss per core, then hits");
+    }
+
+    #[test]
+    fn gang_cread_revocation_crosses_gangs() {
+        // CA semantics across a gang boundary: gang 1's write to a line
+        // tagged by gang 0 must set gang 0's ARB at an epoch barrier, and
+        // the tagger's next cread must fail.
+        for exec in GANG_BACKENDS {
+            let m = gang_machine(2, 2, 64, exec);
+            let a = m.alloc_static(1);
+            let flag = m.alloc_static(1);
+            let outs = m.run_on(2, |i, ctx| {
+                if i == 0 {
+                    let first = ctx.cread(a);
+                    assert_eq!(first, Some(0), "initial cread sees the zeroed line");
+                    ctx.write(flag, 1);
+                    let mut spins = 0u64;
+                    loop {
+                        match ctx.cread(a) {
+                            None => break,
+                            Some(_) => ctx.tick(1),
+                        }
+                        spins += 1;
+                        assert!(spins < 1_000_000, "revocation never arrived");
+                    }
+                    ctx.untag_all();
+                    ctx.read(a)
+                } else {
+                    while ctx.read(flag) == 0 {
+                        ctx.tick(1);
+                    }
+                    ctx.write(a, 7);
+                    7
+                }
+            });
+            assert_eq!(outs, vec![7, 7], "{exec:?}");
+            let stats = m.stats();
+            assert!(stats.cores[0].cread_fail > 0, "{exec:?}: revocation must fail a cread");
+            assert!(stats.cores[0].revoke_remote > 0, "{exec:?}");
+        }
+    }
+
+    #[test]
+    fn gang_uaf_detector_fires_through_the_barrier() {
+        // A use-after-free whose faulting access is a *deferred* event: the
+        // conductor's merge panics, the run aborts cleanly, and the panic
+        // propagates out of run().
+        for exec in GANG_BACKENDS {
+            let m = gang_machine(2, 2, 128, exec);
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                m.run_on(2, |i, ctx| {
+                    if i == 0 {
+                        let a = ctx.alloc();
+                        ctx.write(a, 1);
+                        ctx.free(a);
+                        // Deferred read of a freed line (the free above is
+                        // applied at a barrier before this read executes).
+                        ctx.read(a);
+                    } else {
+                        for _ in 0..20 {
+                            ctx.tick(10);
+                            ctx.fence();
+                        }
+                    }
+                });
+            }));
+            assert!(result.is_err(), "{exec:?}: UAF through the barrier must panic");
+        }
+    }
+
+    #[test]
+    fn gang_panic_in_one_closure_propagates_and_others_finish() {
+        for exec in GANG_BACKENDS {
+            let m = gang_machine(4, 2, 128, exec);
+            let a = m.alloc_static(1);
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                m.run_on(4, |i, ctx| {
+                    for _ in 0..10 {
+                        ctx.read(a);
+                    }
+                    if i == 2 {
+                        panic!("deliberate gang test panic");
+                    }
+                    for _ in 0..10 {
+                        ctx.read(a);
+                    }
+                });
+            }));
+            assert!(result.is_err(), "{exec:?}: closure panic must propagate");
+            // The machine survives: a fresh (gang) run works.
+            let v = m.run_on(4, |_, ctx| ctx.read(a));
+            assert_eq!(v, vec![0, 0, 0, 0], "{exec:?}");
+        }
+    }
+
+    #[test]
+    fn gang_host_calls_inside_a_run_panic_instead_of_deadlocking() {
+        // The conductor holds the state lock for the whole gang run; a
+        // host-side Machine call from a workload closure must trip the
+        // hold marker on the gang thread, not deadlock on the mutex.
+        for exec in GANG_BACKENDS {
+            let m = gang_machine(2, 2, 128, exec);
+            let a = m.alloc_static(1);
+            let m_ref = &m;
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                m_ref.run_on(2, |i, ctx| {
+                    ctx.read(a);
+                    if i == 0 {
+                        let _ = m_ref.stats(); // would deadlock unguarded
+                    }
+                });
+            }));
+            assert!(result.is_err(), "{exec:?}: host call inside a gang run must panic");
+            assert_eq!(m.stats().total_ops, 0, "{exec:?}: machine usable afterwards");
+        }
+    }
+
+    #[test]
+    fn gang_lane_matches_the_hub_counter_for_counter() {
+        // The gang lane hand-mirrors the hub's L1-hit costs and stats; this
+        // pins the mirror. With **disjoint per-core working sets** there is
+        // no cross-core coherence, so every core's event sequence — hence
+        // its clock and every counter except the scheduling artifacts
+        // (batched/handoff/deferred) — must be IDENTICAL between gangs=1
+        // (pure hub path) and gangs=2 (lane fast path + barrier merges).
+        // Any drift between Lane::try_op and the hub's hit arms fails here.
+        let run = |gangs: usize| {
+            let m = Machine::new(MachineConfig {
+                cores: 4,
+                mem_bytes: 1 << 20,
+                static_lines: 256,
+                quantum: 0,
+                gangs,
+                gang_window: 256,
+                ..Default::default()
+            });
+            let bases: Vec<Addr> = (0..4).map(|_| m.alloc_static(8)).collect();
+            let bases = &bases;
+            m.run_on(4, |i, ctx| {
+                let b = bases[i];
+                for r in 0..30u64 {
+                    for l in 0..8u64 {
+                        let a = Addr(b.0 + l * 64);
+                        ctx.write(a, r + l);
+                        let _ = ctx.read(a);
+                        let _ = ctx.cas(a, r + l, r + l + 1);
+                        let _ = ctx.cread(a);
+                        let _ = ctx.cwrite(a, 5);
+                        ctx.untag_one(a);
+                        let _ = ctx.cread(a);
+                        ctx.untag_all();
+                        ctx.fence();
+                        ctx.tick(3);
+                    }
+                    ctx.op_completed();
+                }
+            });
+            m.stats()
+        };
+        let hub = run(1);
+        let lane = run(2);
+        assert_eq!(hub.max_cycles, lane.max_cycles, "per-core clocks must agree");
+        assert_eq!(hub.total_ops, lane.total_ops);
+        for (c, (a, b)) in hub.cores.iter().zip(&lane.cores).enumerate() {
+            let mut a = a.clone();
+            let mut b = b.clone();
+            // Scheduling-artifact counters legitimately differ between a
+            // global turn and per-gang windows; everything else must not.
+            a.batched_events = 0;
+            a.turn_handoffs = 0;
+            a.deferred_events = 0;
+            b.batched_events = 0;
+            b.turn_handoffs = 0;
+            b.deferred_events = 0;
+            assert_eq!(a, b, "core {c}: lane stats diverged from the hub");
+        }
+    }
+
+    #[test]
+    fn gang_seq_and_spawn_drivers_are_identical() {
+        // The sequential (single-CPU) and per-gang-worker drivers share
+        // every decision path; pin them against each other explicitly.
+        // (Safe to toggle concurrently with other gang tests: the driver
+        // never changes simulated results, only host scheduling.)
+        let program = |driver: usize| {
+            set_gang_driver(driver);
+            let m = gang_machine(4, 2, 128, ExecBackend::Coop);
+            let a = m.alloc_static(1);
+            m.run_on(4, |i, ctx| {
+                for _ in 0..40 {
+                    loop {
+                        let cur = ctx.read(a);
+                        if ctx.cas(a, cur, cur.wrapping_mul(31) + i as u64 + 1).is_ok() {
+                            break;
+                        }
+                    }
+                }
+            });
+            set_gang_driver(GANG_DRIVER_AUTO);
+            (m.host_read(a), m.stats())
+        };
+        let (v_seq, s_seq) = program(GANG_DRIVER_SEQ);
+        let (v_spawn, s_spawn) = program(GANG_DRIVER_SPAWN);
+        assert_eq!(v_seq, v_spawn, "drivers diverged on the final value");
+        assert_eq!(s_seq.cores, s_spawn.cores, "drivers diverged on per-core stats");
+        assert_eq!(s_seq.epoch_barriers, s_spawn.epoch_barriers);
+    }
+
+    #[test]
+    fn gang_warm_runs_and_reset_timing() {
+        let m = gang_machine(4, 2, 128, ExecBackend::Threads);
+        let a = m.alloc_static(1);
+        // Prefill on one core (too small to split: classic path), then a
+        // gang-scheduled measured run on warm state.
+        m.run_on(1, |_, ctx| ctx.write(a, 5));
+        m.reset_timing();
+        assert_eq!(m.stats().max_cycles, 0);
+        let v = m.run_on(4, |_, ctx| ctx.read(a));
+        assert_eq!(v, vec![5; 4]);
+        assert!(m.stats().max_cycles > 0, "gang clocks written back");
+        // A second gang run continues from the warm clocks.
+        let v = m.run_on(4, |_, ctx| ctx.read(a));
+        assert_eq!(v, vec![5; 4]);
+    }
+
+    #[test]
+    fn gang_alloc_free_and_sampling_work_through_barriers() {
+        let m = Machine::new(MachineConfig {
+            cores: 4,
+            mem_bytes: 1 << 20,
+            static_lines: 64,
+            quantum: 0,
+            gangs: 2,
+            gang_window: 128,
+            sample_every: Some(10),
+            ..Default::default()
+        });
+        m.run_on(4, |_, ctx| {
+            for _ in 0..25 {
+                let a = ctx.alloc();
+                ctx.write(a, 1);
+                ctx.op_completed();
+            }
+        });
+        assert_eq!(m.stats().total_ops, 100);
+        assert_eq!(m.stats().allocated_not_freed, 100);
+        let samples = m.footprint_samples();
+        assert_eq!(samples.len(), 10, "100 ops / sample_every 10");
+        assert!(samples.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn gang_lifo_reuse_within_a_core() {
+        // free defers its allocator half but stays ordered before the same
+        // core's next alloc in the barrier merge: LIFO reuse must hold.
+        let m = gang_machine(4, 2, 128, ExecBackend::Coop);
+        let addrs = m.run_on(4, |_, ctx| {
+            let a = ctx.alloc();
+            ctx.write(a, 1);
+            ctx.free(a);
+            let b = ctx.alloc();
+            ctx.write(b, 2);
+            (a, b)
+        });
+        for (a, b) in addrs {
+            assert_eq!(a, b, "LIFO reuse across the barrier");
+        }
     }
 
     #[test]

@@ -41,6 +41,18 @@ impl Memory {
         self.words[i]
     }
 
+    /// Raw view of the word array, for the gang runtime's parallel phase.
+    ///
+    /// Safety contract (see `crate::gang`): accesses through the returned
+    /// pointer are serialized by the *simulated* coherence protocol — a
+    /// lane only writes a word through an M/E L1 copy (which excludes every
+    /// other copy, so no concurrent reader exists) and only reads through a
+    /// resident copy (which excludes concurrent writers). Everything else
+    /// happens under the conductor's exclusive barrier phase.
+    pub(crate) fn raw_words(&mut self) -> (*mut u64, usize) {
+        (self.words.as_mut_ptr(), self.words.len())
+    }
+
     /// Write the word at `a`.
     #[inline]
     pub fn write(&mut self, a: Addr, v: u64) {

@@ -135,12 +135,28 @@ impl Sched {
     /// After `me` (the turn owner) finishes an event, decide whether to keep
     /// the turn. Returns the core to wake if the turn moves. The keep-turn
     /// case is O(1).
+    ///
+    /// **Invariant (callers):** `me` must be the current turn owner. The
+    /// keep-turn fast path deliberately carries no release-mode assert — it
+    /// runs once per simulated memory event and mutates nothing but the
+    /// decision — but the turn-move branch below *does* assert, because a
+    /// wrong owner there would rewrite `turn` and rescan from a foreign
+    /// core's clock, silently corrupting the two-min bookkeeping into a
+    /// wrong-but-plausible interleaving.
     pub fn after_event(&mut self, me: CoreId) -> Option<CoreId> {
         debug_assert_eq!(self.turn, me);
         if let Some((next, min)) = self.min_other(me) {
             // Keep running while within the lookahead window; the window is
             // measured from the minimum of the *other* cores.
             if self.clocks[me] > min.saturating_add(self.quantum) {
+                // Cold path (the quantum amortizes it): a real assert here
+                // costs nothing measurable and turns release-mode misuse
+                // into a loud panic instead of schedule corruption.
+                assert_eq!(
+                    self.turn, me,
+                    "after_event by core {me} without the turn (owner: {})",
+                    self.turn
+                );
                 self.turn = next;
                 // `me`'s clock is now final until the turn returns to it:
                 // refresh the two-min keys for the new owner's decisions.
@@ -152,16 +168,54 @@ impl Sched {
     }
 
     /// Retire `me` (must hold the turn). Returns the next turn owner, if any
-    /// core is still active.
+    /// core is still active. Cold path: turn ownership is checked with real
+    /// asserts (a release-mode misuse would deactivate the wrong core and
+    /// corrupt the bookkeeping silently).
+    ///
+    /// Gang scheduling reuses this as the generic *deactivate* step: a core
+    /// pausing at an epoch ceiling or blocking on a cross-gang event leaves
+    /// the active set exactly like a retiring core does, and
+    /// [`Self::activate`] brings it back at the next window.
     pub fn retire(&mut self, me: CoreId) -> Option<CoreId> {
-        debug_assert_eq!(self.turn, me);
-        debug_assert!(self.active[me]);
+        assert_eq!(
+            self.turn, me,
+            "retire by core {me} without the turn (owner: {})",
+            self.turn
+        );
+        assert!(self.active[me], "retire of inactive core {me}");
         self.active[me] = false;
         self.rescan();
         match self.min1 {
             Some((next, _)) => {
                 self.turn = next;
                 Some(next)
+            }
+            None => {
+                self.turn = NO_TURN;
+                None
+            }
+        }
+    }
+
+    /// Re-activate a core deactivated by [`Self::retire`] (gang scheduling:
+    /// epoch-window start re-admits paused and unblocked cores). Cold path;
+    /// real asserts.
+    pub fn activate(&mut self, c: CoreId) {
+        assert!(!self.active[c], "activate of already-active core {c}");
+        self.active[c] = true;
+        self.rescan();
+    }
+
+    /// Start a scheduling window over the currently-active cores: hand the
+    /// turn to the min-clock active core (ties → lowest id) without the
+    /// activation [`Self::start_run`] performs. Returns the owner, or `None`
+    /// when no core is active (the window has no work).
+    pub fn start_window(&mut self) -> Option<CoreId> {
+        self.rescan();
+        match self.min1 {
+            Some((c, _)) => {
+                self.turn = c;
+                Some(c)
             }
             None => {
                 self.turn = NO_TURN;
@@ -273,6 +327,65 @@ mod tests {
         let mut s = Sched::new(2, 0);
         s.start_run(2);
         s.start_run(2);
+    }
+
+    // --- promoted release-mode asserts (turn-ownership misuse) ----------
+
+    #[test]
+    #[should_panic(expected = "without the turn")]
+    fn retire_without_turn_panics() {
+        // Regression: this used to be a debug_assert!, so release builds
+        // silently deactivated the wrong core and produced wrong (but
+        // plausible) interleavings. Now a real assert on the cold path.
+        let mut s = Sched::new(2, 0);
+        s.start_run(2); // turn = 0
+        s.retire(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "retire of inactive core")]
+    fn retire_of_inactive_core_panics() {
+        let mut s = Sched::new(2, 0);
+        s.start_run(1); // only core 0 active, turn = 0
+        s.active[0] = false; // simulate corrupted bookkeeping
+        s.retire(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already-active")]
+    fn double_activate_panics() {
+        let mut s = Sched::new(2, 0);
+        s.start_run(2);
+        s.activate(1);
+    }
+
+    // --- gang-scheduling window primitives ------------------------------
+
+    #[test]
+    fn deactivate_reactivate_window_round_trip() {
+        let mut s = Sched::new(3, 0);
+        s.start_run(3);
+        s.clocks[0] = 10;
+        // Core 0 "pauses" (epoch ceiling): deactivate via retire.
+        assert_eq!(s.retire(0), Some(1));
+        assert_eq!(s.n_active(), 2);
+        // Remaining cores run; then the window ends and core 0 returns.
+        s.retire(1);
+        s.retire(2);
+        assert_eq!(s.turn, NO_TURN);
+        s.activate(0);
+        s.activate(1);
+        assert_eq!(s.start_window(), Some(1), "min-clock core 1 (0 < 10)");
+        assert_eq!(s.turn, 1);
+        s.clocks[1] = 11;
+        assert_eq!(s.after_event(1), Some(0), "two-min keys valid after window start");
+    }
+
+    #[test]
+    fn start_window_with_no_active_cores() {
+        let mut s = Sched::new(2, 0);
+        assert_eq!(s.start_window(), None);
+        assert_eq!(s.turn, NO_TURN);
     }
 
     // --- two-min bookkeeping --------------------------------------------

@@ -94,6 +94,11 @@ pub struct CoreStats {
     /// Events after which the turn moved to another core (lock release +
     /// wake-up — the expensive path the quantum amortizes).
     pub turn_handoffs: u64,
+    /// Gang runs only: events this core had to defer to an epoch barrier
+    /// (the event touched shared L2/directory/allocator state, so it was
+    /// queued and merged in deterministic `(clock, core)` order instead of
+    /// executing on the gang's parallel fast path).
+    pub deferred_events: u64,
     // --- Event-cost micro-profile --------------------------------------
     // Cycle attribution per coherence hot path, alongside the event counts
     // above. A scripted-workload test pins these exactly (see
@@ -149,6 +154,8 @@ pub struct MachineStats {
     pub total_ops: u64,
     /// Max per-core cycle count (the machine's finish time).
     pub max_cycles: u64,
+    /// Gang runs only: epoch barriers crossed (0 on single-gang runs).
+    pub epoch_barriers: u64,
 }
 
 impl MachineStats {

@@ -26,12 +26,12 @@ mod common;
 use std::collections::BTreeMap;
 
 use common::{check_set_accounting, SetAccounting};
-use conditional_access::ds::ca::{CaExtBst, CaLazyList};
+use conditional_access::ds::ca::{CaExtBst, CaLazyList, CaQueue, CaStack};
 use conditional_access::ds::seqcheck::{walk_bst, walk_list};
-use conditional_access::ds::smr::{SmrExtBst, SmrLazyList};
-use conditional_access::ds::SetDs;
+use conditional_access::ds::smr::{SmrExtBst, SmrLazyList, SmrQueue, SmrStack};
+use conditional_access::ds::{QueueDs, SetDs, StackDs};
 use conditional_access::sim::{Machine, MachineConfig, Rng, UafMode};
-use conditional_access::smr::{He, Hp, Ibr, Leaky, Qsbr, Rcu, SchemeKind, SmrConfig};
+use conditional_access::smr::{He, Hp, Ibr, Leaky, Qsbr, Rcu, SchemeKind, Smr, SmrConfig};
 
 /// `(op kind, key, result)`: 0 = insert, 1 = delete, 2 = contains.
 type Op = (u8, u64, bool);
@@ -196,6 +196,222 @@ fn smr_extbst_run<S: conditional_access::smr::Smr>(
     (h, keys)
 }
 
+// ---------------------------------------------------------------------
+// Treiber stack & Michael–Scott queue (ROADMAP open item): same battery.
+// Stacks/queues have no final-contents walker, so the quiesced structure
+// is drained through the structure's own ops at the end of the run; the
+// drained sequence is part of the compared history.
+// ---------------------------------------------------------------------
+
+/// Stack op log entry: (op kind, value) — 0 = push(v), 1 = pop → v+1
+/// (0 = empty), 2 = peek → v+1 (0 = empty).
+type StackOp = (u8, u64);
+
+/// One stack run: randomized push/pop/peek per thread, then a
+/// single-threaded drain. Returns per-thread logs, the drain order, and
+/// recorded faults.
+fn stack_run(
+    scheme: SchemeKind,
+    threads: usize,
+    ops: u64,
+    range: u64,
+    seed: u64,
+    uaf: UafMode,
+) -> (Vec<Vec<StackOp>>, Vec<u64>, usize) {
+    let m = machine(threads, uaf);
+    let (history, drained) = match scheme {
+        SchemeKind::Ca => {
+            let ds = CaStack::new(&m);
+            (drive_stack(&m, &ds, threads, ops, range, seed), drain_stack(&m, &ds))
+        }
+        SchemeKind::None => smr_stack_run(&m, Leaky::new(), threads, ops, range, seed),
+        SchemeKind::Qsbr => {
+            smr_stack_run(&m, Qsbr::new(&m, threads, tight_smr()), threads, ops, range, seed)
+        }
+        SchemeKind::Rcu => {
+            smr_stack_run(&m, Rcu::new(&m, threads, tight_smr()), threads, ops, range, seed)
+        }
+        SchemeKind::Ibr => {
+            smr_stack_run(&m, Ibr::new(&m, threads, tight_smr()), threads, ops, range, seed)
+        }
+        SchemeKind::Hp => {
+            smr_stack_run(&m, Hp::new(&m, threads, tight_smr()), threads, ops, range, seed)
+        }
+        SchemeKind::He => {
+            smr_stack_run(&m, He::new(&m, threads, tight_smr()), threads, ops, range, seed)
+        }
+    };
+    let faults = m.faults().len();
+    (history, drained, faults)
+}
+
+fn smr_stack_run<S: Smr>(
+    m: &Machine,
+    s: S,
+    threads: usize,
+    ops: u64,
+    range: u64,
+    seed: u64,
+) -> (Vec<Vec<StackOp>>, Vec<u64>) {
+    let ds = SmrStack::new(m, s);
+    (drive_stack(m, &ds, threads, ops, range, seed), drain_stack(m, &ds))
+}
+
+fn drive_stack<D: StackDs>(
+    m: &Machine,
+    ds: &D,
+    threads: usize,
+    ops: u64,
+    range: u64,
+    seed: u64,
+) -> Vec<Vec<StackOp>> {
+    m.run_on(threads, |tid, ctx| {
+        let mut tls = ds.register(tid);
+        let mut rng = Rng::new(seed ^ ((tid as u64) << 32));
+        let mut log = Vec::with_capacity(ops as usize);
+        for _ in 0..ops {
+            let entry = match rng.below(3) {
+                0 => {
+                    let v = 1 + rng.below(range);
+                    ds.push(ctx, &mut tls, v);
+                    (0, v)
+                }
+                1 => (1, ds.pop(ctx, &mut tls).map_or(0, |v| v + 1)),
+                _ => (2, ds.peek(ctx, &mut tls).map_or(0, |v| v + 1)),
+            };
+            log.push(entry);
+        }
+        log
+    })
+}
+
+fn drain_stack<D: StackDs>(m: &Machine, ds: &D) -> Vec<u64> {
+    m.run_on(1, |_, ctx| {
+        let mut tls = ds.register(0);
+        let mut out = Vec::new();
+        while let Some(v) = ds.pop(ctx, &mut tls) {
+            out.push(v);
+        }
+        out
+    })
+    .pop()
+    .unwrap()
+}
+
+/// Queue op log entry: (op kind, value) — 0 = enqueue(v), 1 = dequeue →
+/// v+1 (0 = empty).
+type QueueOp = (u8, u64);
+
+fn queue_run(
+    scheme: SchemeKind,
+    threads: usize,
+    ops: u64,
+    range: u64,
+    seed: u64,
+    uaf: UafMode,
+) -> (Vec<Vec<QueueOp>>, Vec<u64>, usize) {
+    let m = machine(threads, uaf);
+    let (history, drained) = match scheme {
+        SchemeKind::Ca => {
+            let ds = CaQueue::new(&m);
+            (drive_queue(&m, &ds, threads, ops, range, seed), drain_queue(&m, &ds))
+        }
+        SchemeKind::None => smr_queue_run(&m, Leaky::new(), threads, ops, range, seed),
+        SchemeKind::Qsbr => {
+            smr_queue_run(&m, Qsbr::new(&m, threads, tight_smr()), threads, ops, range, seed)
+        }
+        SchemeKind::Rcu => {
+            smr_queue_run(&m, Rcu::new(&m, threads, tight_smr()), threads, ops, range, seed)
+        }
+        SchemeKind::Ibr => {
+            smr_queue_run(&m, Ibr::new(&m, threads, tight_smr()), threads, ops, range, seed)
+        }
+        SchemeKind::Hp => {
+            smr_queue_run(&m, Hp::new(&m, threads, tight_smr()), threads, ops, range, seed)
+        }
+        SchemeKind::He => {
+            smr_queue_run(&m, He::new(&m, threads, tight_smr()), threads, ops, range, seed)
+        }
+    };
+    let faults = m.faults().len();
+    (history, drained, faults)
+}
+
+fn smr_queue_run<S: Smr>(
+    m: &Machine,
+    s: S,
+    threads: usize,
+    ops: u64,
+    range: u64,
+    seed: u64,
+) -> (Vec<Vec<QueueOp>>, Vec<u64>) {
+    let ds = SmrQueue::new(m, s);
+    (drive_queue(m, &ds, threads, ops, range, seed), drain_queue(m, &ds))
+}
+
+fn drive_queue<D: QueueDs>(
+    m: &Machine,
+    ds: &D,
+    threads: usize,
+    ops: u64,
+    range: u64,
+    seed: u64,
+) -> Vec<Vec<QueueOp>> {
+    m.run_on(threads, |tid, ctx| {
+        let mut tls = ds.register(tid);
+        let mut rng = Rng::new(seed ^ ((tid as u64) << 32));
+        let mut log = Vec::with_capacity(ops as usize);
+        for _ in 0..ops {
+            let entry = if rng.below(2) == 0 {
+                let v = 1 + rng.below(range);
+                ds.enqueue(ctx, &mut tls, v);
+                (0, v)
+            } else {
+                (1, ds.dequeue(ctx, &mut tls).map_or(0, |v| v + 1))
+            };
+            log.push(entry);
+        }
+        log
+    })
+}
+
+fn drain_queue<D: QueueDs>(m: &Machine, ds: &D) -> Vec<u64> {
+    m.run_on(1, |_, ctx| {
+        let mut tls = ds.register(0);
+        let mut out = Vec::new();
+        while let Some(v) = ds.dequeue(ctx, &mut tls) {
+            out.push(v);
+        }
+        out
+    })
+    .pop()
+    .unwrap()
+}
+
+/// Flow conservation for stacks/queues: every successfully inserted value
+/// is either removed during the run or comes out in the drain — as
+/// multisets (values repeat).
+fn check_flow_accounting(history: &[Vec<(u8, u64)>], drained: &[u64]) {
+    let mut net: BTreeMap<u64, i64> = BTreeMap::new();
+    for log in history {
+        for &(kind, v) in log {
+            match kind {
+                0 => *net.entry(v).or_default() += 1,
+                // Successful pop/dequeue (kind 1, v = value + 1); peeks
+                // (kind 2) and empty results (v == 0) don't move values.
+                1 if v != 0 => *net.entry(v - 1).or_default() -= 1,
+                _ => {}
+            }
+        }
+    }
+    for &v in drained {
+        *net.entry(v).or_default() -= 1;
+    }
+    for (v, n) in net {
+        assert_eq!(n, 0, "value {v}: {n} copies lost or duplicated");
+    }
+}
+
 const SEEDS: [u64; 3] = [0xD1FF, 0x5EED5, 0xFACADE];
 
 #[test]
@@ -238,6 +454,82 @@ fn extbst_histories_match_the_leaky_oracle() {
                 "{scheme} BST final contents diverged (seed {seed:#x})"
             );
             assert_eq!(faults, 0, "{scheme}: UAF oracle violation");
+        }
+    }
+}
+
+#[test]
+fn stack_histories_match_the_leaky_oracle() {
+    // Single-threaded: bit-identical push/pop/peek logs AND an identical
+    // drain order for every scheme, on every seed.
+    for seed in SEEDS {
+        let (oracle_h, oracle_drain, f) =
+            stack_run(SchemeKind::None, 1, 400, 48, seed, UafMode::Panic);
+        assert_eq!(f, 0);
+        for scheme in SchemeKind::ALL.into_iter().filter(|&s| s != SchemeKind::None) {
+            let (h, drain, faults) = stack_run(scheme, 1, 400, 48, seed, UafMode::Panic);
+            assert_eq!(
+                h, oracle_h,
+                "{scheme} stack history diverged from leaky oracle (seed {seed:#x})"
+            );
+            assert_eq!(
+                drain, oracle_drain,
+                "{scheme} stack final contents diverged (seed {seed:#x})"
+            );
+            assert_eq!(faults, 0, "{scheme}: UAF oracle violation");
+        }
+    }
+}
+
+#[test]
+fn queue_histories_match_the_leaky_oracle() {
+    for seed in SEEDS {
+        let (oracle_h, oracle_drain, f) =
+            queue_run(SchemeKind::None, 1, 400, 48, seed, UafMode::Panic);
+        assert_eq!(f, 0);
+        for scheme in SchemeKind::ALL.into_iter().filter(|&s| s != SchemeKind::None) {
+            let (h, drain, faults) = queue_run(scheme, 1, 400, 48, seed, UafMode::Panic);
+            assert_eq!(
+                h, oracle_h,
+                "{scheme} queue history diverged from leaky oracle (seed {seed:#x})"
+            );
+            assert_eq!(
+                drain, oracle_drain,
+                "{scheme} queue final contents diverged (seed {seed:#x})"
+            );
+            assert_eq!(faults, 0, "{scheme}: UAF oracle violation");
+        }
+    }
+}
+
+#[test]
+fn concurrent_stack_runs_have_zero_uaf_violations() {
+    // Multi-threaded histories legitimately differ across schemes; safety
+    // must not: zero oracle violations and exact flow conservation (this
+    // is the structure the paper's §IV-A ABA discussion centres on — the
+    // popped-and-freed node that reappears at the same address).
+    for scheme in SchemeKind::ALL {
+        for seed in SEEDS {
+            let (h, drained, faults) = stack_run(scheme, 4, 250, 48, seed, UafMode::Record);
+            assert_eq!(
+                faults, 0,
+                "{scheme}: stack use-after-reclaim violation(s) on seed {seed:#x}"
+            );
+            check_flow_accounting(&h, &drained);
+        }
+    }
+}
+
+#[test]
+fn concurrent_queue_runs_have_zero_uaf_violations() {
+    for scheme in SchemeKind::ALL {
+        for seed in SEEDS {
+            let (h, drained, faults) = queue_run(scheme, 4, 250, 48, seed, UafMode::Record);
+            assert_eq!(
+                faults, 0,
+                "{scheme}: queue use-after-reclaim violation(s) on seed {seed:#x}"
+            );
+            check_flow_accounting(&h, &drained);
         }
     }
 }
