@@ -10,6 +10,7 @@ fn main() {
     let scale = Scale::from_args();
     caharness::sweep::set_jobs_from_args();
     caharness::config::set_gangs_from_args();
+    caharness::config::set_l2_banks_from_args();
     eprintln!("[ablation_assoc at {scale:?} scale]");
     let (tput, spurious) = ablation_associativity(scale);
     tput.emit("ablation_assoc_throughput.csv");

@@ -10,6 +10,7 @@ fn main() {
     let scale = Scale::from_args();
     caharness::sweep::set_jobs_from_args();
     caharness::config::set_gangs_from_args();
+    caharness::config::set_l2_banks_from_args();
     eprintln!("[ablation_freq at {scale:?} scale]");
     let (tput, peak) = ablation_reclaim_freq(scale);
     tput.emit("ablation_freq_throughput.csv");

@@ -10,6 +10,7 @@ fn main() {
     let scale = Scale::from_args();
     caharness::sweep::set_jobs_from_args();
     caharness::config::set_gangs_from_args();
+    caharness::config::set_l2_banks_from_args();
     eprintln!("[ablation_protocol at {scale:?} scale]");
     let (tput, mesi) = ablation_protocol(scale);
     tput.emit("ablation_protocol_throughput.csv");

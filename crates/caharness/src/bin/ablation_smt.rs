@@ -10,6 +10,7 @@ fn main() {
     let scale = Scale::from_args();
     caharness::sweep::set_jobs_from_args();
     caharness::config::set_gangs_from_args();
+    caharness::config::set_l2_banks_from_args();
     eprintln!("[ablation_smt at {scale:?} scale]");
     let (tput, revokes) = ablation_smt(scale);
     tput.emit("ablation_smt_throughput.csv");

@@ -8,6 +8,7 @@ fn main() {
     let scale = Scale::from_args();
     caharness::sweep::set_jobs_from_args();
     caharness::config::set_gangs_from_args();
+    caharness::config::set_l2_banks_from_args();
     eprintln!("[fig2_hashtable at {scale:?} scale]");
     for (i, table) in fig2_hashtable(scale).into_iter().enumerate() {
         table.emit(&format!("fig2_hashtable_panel{i}.csv"));

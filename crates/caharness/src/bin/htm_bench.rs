@@ -11,6 +11,7 @@ fn main() {
     let scale = Scale::from_args();
     caharness::sweep::set_jobs_from_args();
     caharness::config::set_gangs_from_args();
+    caharness::config::set_l2_banks_from_args();
     eprintln!("[htm_bench at {scale:?} scale]");
     let (read_only, updates, aborts) = htm_bench(scale);
     read_only.emit("htm_bench_readonly.csv");

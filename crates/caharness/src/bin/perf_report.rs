@@ -8,7 +8,8 @@
 //! difference between commits is simulator (host) performance, not workload
 //! noise.
 //!
-//! Usage: `cargo run --release -p caharness --bin perf_report [reps]`
+//! Usage: `cargo run --release -p caharness --bin perf_report [reps]
+//!         [--gangs N] [--l2_banks N]`
 
 use std::time::Instant;
 
@@ -16,6 +17,8 @@ use caharness::{run_set, Mix, RunConfig, SetKind};
 use casmr::SchemeKind;
 
 fn main() {
+    caharness::config::set_gangs_from_args();
+    caharness::config::set_l2_banks_from_args();
     let reps: usize = std::env::args()
         .nth(1)
         .and_then(|a| a.parse().ok())
@@ -66,7 +69,9 @@ fn main() {
                  \"turn_handoffs\": {}, \"batched_events\": {}, \
                  \"l1_hit_cycles\": {}, \"l2_hit_cycles\": {}, \
                  \"mem_fill_cycles\": {}, \"invalidation_cycles\": {}, \
-                 \"untag_alls\": {}, \"untag_ones\": {}}}",
+                 \"untag_alls\": {}, \"untag_ones\": {}, \
+                 \"deferred_events\": {}, \"epoch_barriers\": {}, \
+                 \"banked_merge_events\": {}, \"serial_epilogue_events\": {}}}",
                 warm.cycles,
                 warm.total_ops,
                 events_per_sec,
@@ -77,7 +82,11 @@ fn main() {
                 warm.mem_fill_cycles,
                 warm.invalidation_cycles,
                 warm.untag_alls,
-                warm.untag_ones
+                warm.untag_ones,
+                warm.deferred_events,
+                warm.epoch_barriers,
+                warm.banked_merge_events,
+                warm.serial_epilogue_events
             );
         }
     }

@@ -1,8 +1,8 @@
 //! Host wall-clock instrument for the parallel sweep engine
-//! (`BENCH_pr2.json`) and for intra-machine gang scheduling
-//! (`BENCH_pr3.json`).
+//! (`BENCH_pr2.json`), intra-machine gang scheduling (`BENCH_pr3.json`)
+//! and the banked multi-writer barrier merge (`BENCH_pr4.json`).
 //!
-//! Two instruments, one JSON array on stdout:
+//! Three instruments, one JSON array on stdout:
 //!
 //! 1. **Sweep** (PR 2): one figure-style grid — 7 schemes × 4 thread
 //!    counts = 28 configurations of the Figure-1 lazy list — once with
@@ -13,6 +13,14 @@
 //!    asserting bit-identical repeated runs per gang count. On a 1-vCPU
 //!    host this records the protocol's overhead bound; on multi-core hosts
 //!    (CI) it records the intra-machine speedup.
+//! 3. **Banked merge** (PR 4): the same 16-core machine at `gangs` {1, 2,
+//!    4} × `l2_banks` {1, 8}, asserting per-core results bit-identical
+//!    across bank counts for every fixed gang layout (the banked merge is
+//!    a proof-carrying reordering of the serial barrier replay), and
+//!    recording the barrier-merge counters (`banked_merge_events`,
+//!    `serial_epilogue_events`) plus the gN/g1 wall-clock ratio — the
+//!    classification-overhead bound on a 1-vCPU host, the merge speedup on
+//!    multi-core CI.
 //!
 //! Simulated results are deterministic, so every wall-clock ratio is pure
 //! host-scheduling performance.
@@ -97,6 +105,48 @@ fn time_gangs(gangs: usize, mix: Mix, reps: usize) -> (f64, u64, u64, u64) {
     (best_ms, warm.cycles, warm.deferred_events, warm.epoch_barriers)
 }
 
+/// One deterministic 16-core machine at `(gangs, l2_banks)`, update-heavy
+/// mix. Returns (best wall ms, per-core stats, machine stats) — repeated
+/// runs asserted bit-identical.
+fn time_banked(
+    gangs: usize,
+    l2_banks: usize,
+    reps: usize,
+) -> (f64, caharness::Metrics, mcsim::MachineStats) {
+    let cfg = RunConfig {
+        threads: 16,
+        key_range: 1000,
+        prefill: 500,
+        ops_per_thread: 500,
+        mix: Mix {
+            insert_pct: 50,
+            delete_pct: 50,
+        },
+        gangs,
+        cache: mcsim::CacheConfig {
+            l2_banks,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let (warm, warm_stats) = run_set_with_stats(SetKind::LazyList, SchemeKind::Ca, &cfg);
+    let mut best_ms = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let (m, s) = run_set_with_stats(SetKind::LazyList, SchemeKind::Ca, &cfg);
+        best_ms = best_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(
+            m.cycles, warm.cycles,
+            "gangs={gangs} banks={l2_banks}: repeated runs diverged"
+        );
+        assert_eq!(
+            s.cores, warm_stats.cores,
+            "gangs={gangs} banks={l2_banks}: per-core stats diverged between reps"
+        );
+    }
+    (best_ms, warm, warm_stats)
+}
+
 fn main() {
     let reps: usize = std::env::args()
         .nth(1)
@@ -144,12 +194,50 @@ fn main() {
              \"sim_cycles_g1\": {g1_cycles}, \"sim_cycles_g2\": {g2_cycles}, \
              \"sim_cycles_g4\": {g4_cycles}, \"deferred_g2\": {g2_defer}, \
              \"deferred_g4\": {g4_defer}, \"epochs_g2\": {g2_epochs}, \
-             \"epochs_g4\": {g4_epochs}, \"deterministic\": true}}{}",
+             \"epochs_g4\": {g4_epochs}, \"deterministic\": true}},",
             mix.label(),
             g1_ms / g2_ms,
             g1_ms / g4_ms,
-            if label == "gang_bench" { "," } else { "" }
         );
     }
+    // PR 4: the banked multi-writer barrier merge. For each gang layout,
+    // per-core results must be bit-identical across bank counts (banking
+    // is exactly set-preserving AND the banked merge is a proof-carrying
+    // reordering of the serial replay); the counters record how much of
+    // each barrier the classifier parallelized. The g1-relative wall ratio
+    // bounds the classification overhead on a 1-vCPU host and records the
+    // merge speedup on multi-core CI.
+    eprintln!("[sweep_bench: banked_merge, 16 simulated cores, gangs {{1,2,4}} × banks {{1,8}}]");
+    let mut rows = Vec::new();
+    let mut g1_banked_ms = f64::NAN;
+    for gangs in [1usize, 2, 4] {
+        let (flat_ms, flat_m, flat_s) = time_banked(gangs, 1, reps);
+        let (banked_ms, banked_m, banked_s) = time_banked(gangs, 8, reps);
+        assert_eq!(
+            flat_s.cores, banked_s.cores,
+            "gangs={gangs}: per-core stats differ between 1 and 8 banks"
+        );
+        assert_eq!(flat_m.cycles, banked_m.cycles, "gangs={gangs}");
+        if gangs == 1 {
+            g1_banked_ms = banked_ms;
+        }
+        rows.push(format!(
+            "  {{\"bench\": \"banked_merge\", \"threads\": 16, \"gangs\": {gangs}, \
+             \"mix\": \"50i-50d\", \"reps\": {reps}, \
+             \"wall_ms_banks1\": {flat_ms:.1}, \"wall_ms_banks8\": {banked_ms:.1}, \
+             \"overhead_vs_banks1\": {:.3}, \"wall_vs_g1\": {:.3}, \"sim_cycles\": {}, \
+             \"deferred_events\": {}, \"banked_merge_events\": {}, \
+             \"serial_epilogue_events\": {}, \"epoch_barriers\": {}, \
+             \"identical_across_banks\": true}}",
+            banked_ms / flat_ms,
+            banked_ms / g1_banked_ms,
+            banked_m.cycles,
+            banked_m.deferred_events,
+            banked_m.banked_merge_events,
+            banked_m.serial_epilogue_events,
+            banked_m.epoch_barriers,
+        ));
+    }
+    println!("{}", rows.join(",\n"));
     println!("]");
 }

@@ -96,7 +96,13 @@ impl Default for RunConfig {
             seed: 0xC0FFEE,
             smr: SmrConfig::default(),
             quantum: 64,
-            cache: CacheConfig::default(),
+            cache: {
+                let mut cache = CacheConfig::default();
+                if default_l2_banks() > 0 {
+                    cache.l2_banks = default_l2_banks();
+                }
+                cache
+            },
             latency: LatencyModel::default(),
             sample_every: None,
             buckets: 128,
@@ -123,29 +129,44 @@ pub fn default_gangs() -> usize {
     DEFAULT_GANGS.load(std::sync::atomic::Ordering::Relaxed).max(1)
 }
 
+/// Scan argv for a `<flag> N` / `<flag>=N` pair, returning the raw value.
+/// Shared by every numeric CLI flag below so the parsing (and its
+/// edge-case handling) lives in exactly one place.
+fn flag_value_from_args(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    let eq = format!("{flag}=");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == flag {
+            let v = it
+                .next()
+                .unwrap_or_else(|| panic!("{flag} requires a value"));
+            return Some(v.clone());
+        } else if let Some(v) = a.strip_prefix(&eq) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
+/// [`flag_value_from_args`] + integer parse with a uniform error message.
+fn usize_flag_from_args(flag: &str, default: usize) -> usize {
+    match flag_value_from_args(flag) {
+        None => default,
+        Some(v) => v
+            .parse()
+            .unwrap_or_else(|_| panic!("{flag} requires a non-negative integer, got {v:?}")),
+    }
+}
+
 /// Parse the `--gangs N` / `--gangs=N` flag (default 1). Unlike `--jobs`
 /// this changes the *simulated* schedule (deterministically per value); the
 /// figure bins thread it through [`set_default_gangs`] so every cell of a
 /// sweep runs its machine gang-scheduled.
 pub fn gangs_from_args() -> usize {
-    let parse = |v: &str| -> usize {
-        let n: usize = v
-            .parse()
-            .unwrap_or_else(|_| panic!("--gangs requires a positive integer, got {v:?}"));
-        assert!(n >= 1, "--gangs requires a positive integer, got 0");
-        n
-    };
-    let args: Vec<String> = std::env::args().collect();
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        if a == "--gangs" {
-            let v = it.next().expect("--gangs requires a value");
-            return parse(v);
-        } else if let Some(v) = a.strip_prefix("--gangs=") {
-            return parse(v);
-        }
-    }
-    1
+    let n = usize_flag_from_args("--gangs", 1);
+    assert!(n >= 1, "--gangs requires a positive integer, got 0");
+    n
 }
 
 /// Parse `--gangs` from the CLI and install it as the process default —
@@ -153,6 +174,37 @@ pub fn gangs_from_args() -> usize {
 /// [`crate::sweep::set_jobs_from_args`].
 pub fn set_gangs_from_args() {
     set_default_gangs(gangs_from_args());
+}
+
+/// Process-wide default for the L2/directory bank count
+/// (`CacheConfig::l2_banks`), installed by the bins' `--l2_banks N` flag.
+/// 0 = keep `CacheConfig`'s own default (8). Banking is exactly
+/// set-preserving, so simulated results are bit-identical for every value;
+/// the knob exists so figure regeneration exercises the banked gang merge
+/// at several widths (and `--l2_banks 1` pins the flat directory).
+static DEFAULT_L2_BANKS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// Set the default L2 bank count newly-built [`RunConfig`]s start with
+/// (0 = `CacheConfig` default).
+pub fn set_default_l2_banks(n: usize) {
+    DEFAULT_L2_BANKS.store(n, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// The current default L2 bank count (0 = `CacheConfig` default).
+pub fn default_l2_banks() -> usize {
+    DEFAULT_L2_BANKS.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Parse the `--l2_banks N` / `--l2_banks=N` flag (0 or absent = the
+/// `CacheConfig` default of 8).
+pub fn l2_banks_from_args() -> usize {
+    usize_flag_from_args("--l2_banks", 0)
+}
+
+/// Parse `--l2_banks` from the CLI and install it as the process default —
+/// called by every harness bin next to [`set_gangs_from_args`].
+pub fn set_l2_banks_from_args() {
+    set_default_l2_banks(l2_banks_from_args());
 }
 
 /// Parse the `--jobs N` / `--jobs=N` / `-jN` sweep-parallelism flag from
@@ -165,13 +217,18 @@ pub fn jobs_from_args() -> usize {
         v.parse()
             .unwrap_or_else(|_| panic!("--jobs requires a non-negative integer, got {v:?}"))
     };
+    if let Some(v) = flag_value_from_args("--jobs") {
+        return parse(&v);
+    }
+    // Short forms `-j N` / `-jN`, kept out of the shared helper (no other
+    // flag has them).
     let args: Vec<String> = std::env::args().collect();
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        if a == "--jobs" || a == "-j" {
+        if a == "-j" {
             let v = it.next().expect("--jobs requires a value (0 = auto)");
             return parse(v);
-        } else if let Some(v) = a.strip_prefix("--jobs=").or_else(|| a.strip_prefix("-j")) {
+        } else if let Some(v) = a.strip_prefix("-j") {
             return parse(v);
         }
     }

@@ -66,14 +66,32 @@ impl Histogram {
         octave as usize * SUB_COUNT + sub
     }
 
-    /// Lower edge of bucket `b` (the smallest value mapping into it).
+    /// Lower edge of bucket `b` (the smallest value mapping into it) —
+    /// except for the final bucket, which reports `u64::MAX`.
+    ///
+    /// The final bucket is special: since `bucket_of` saturates, it holds
+    /// both the top in-range sliver *and* every out-of-range value up to
+    /// `u64::MAX`. Reconstructing it as its in-range lower edge (~2^45)
+    /// made any quantile that landed there under-report by orders of
+    /// magnitude — `quantile` clamps the edge into `[min, max]`, so a
+    /// histogram of huge values answered every quantile with its *minimum*.
+    /// Saturating the reconstruction to `u64::MAX` turns that into the
+    /// clamped *maximum*: a conservative upper bound instead of a
+    /// nonsensical lower one. (The shift is also `checked` so a future
+    /// `OCTAVES` covering the full 64-bit range cannot overflow into
+    /// garbage edges.)
     fn bucket_low(b: usize) -> u64 {
+        if b >= SUB_COUNT * (OCTAVES + 1) - 1 {
+            return u64::MAX;
+        }
         let octave = (b / SUB_COUNT) as u32;
         let sub = (b % SUB_COUNT) as u64;
         if octave == 0 {
             sub
         } else {
-            (SUB_COUNT as u64 + sub) << (octave - 1)
+            (SUB_COUNT as u64 + sub)
+                .checked_shl(octave - 1)
+                .unwrap_or(u64::MAX)
         }
     }
 
@@ -255,28 +273,64 @@ mod tests {
     fn quantiles_with_huge_values_do_not_under_report() {
         // 100, 2^50, 2^51: the 2nd-smallest (q≈0.67) is 2^50. The broken
         // bucketing reported 2^45 (clamped to min only when min was larger).
+        // The saturated bucket covers everything from the top in-range
+        // sliver to u64::MAX, so the estimate must never fall below that
+        // sliver's edge.
         let mut h = Histogram::new();
         h.record(100);
         h.record(1 << 50);
         h.record(1 << 51);
         let est = h.quantile(0.67);
-        let floor = Histogram::bucket_low(SUB_COUNT * (OCTAVES + 1) - 1);
+        let in_range_edge = (1u64 << (OCTAVES as u32 + SUB_BITS)) - (1 << (OCTAVES as u32 - 1));
         assert!(
-            est >= floor,
+            est >= in_range_edge,
             "q0.67 of [100, 2^50, 2^51] reported {est}, below the final \
-             bucket's edge {floor} — huge values aliased into a wrong bucket"
+             bucket's in-range edge {in_range_edge} — huge values aliased \
+             into a wrong bucket"
         );
         assert_eq!(h.quantile(1.0), 1 << 51, "p100 stays exact");
         // Several distinct huge values all share the saturated bucket: the
-        // estimate is floor-bounded, ordered, and never tiny.
+        // estimate is bounded below by the observed minimum, and p100 is
+        // exact.
         let mut h2 = Histogram::new();
         for v in [1u64 << 47, 1 << 52, 1 << 57, 1 << 62] {
             h2.record(v);
         }
         for q in [0.25, 0.5, 0.75] {
-            assert!(h2.quantile(q) >= floor.min(h2.min()), "q{q}");
+            assert!(h2.quantile(q) >= h2.min(), "q{q}");
         }
         assert_eq!(h2.quantile(1.0), 1 << 62);
+    }
+
+    #[test]
+    fn saturated_bucket_quantiles_report_the_observed_max_not_the_min() {
+        // Regression for the `bucket_low` half of the saturation story:
+        // PR 3's saturating `bucket_of` made the final bucket *reachable*,
+        // but `bucket_low` still reconstructed it as its tiny in-range
+        // edge (~2^45). `quantile` clamps that edge into `[min, max]`, so
+        // for a histogram of values all above 2^46 every quantile
+        // collapsed to the MINIMUM — under-reporting by orders of
+        // magnitude (here 65536×). The fixed reconstruction saturates to
+        // u64::MAX, which the clamp turns into the observed maximum — a
+        // conservative upper bound.
+        let mut h = Histogram::new();
+        h.record(1 << 47);
+        for _ in 0..99 {
+            h.record(1 << 63);
+        }
+        // Exact p50 is 2^63 (99 of 100 values). The old code returned 2^47.
+        assert_eq!(
+            h.quantile(0.5),
+            1 << 63,
+            "median of 99×2^63 + 1×2^47 must not collapse to the minimum"
+        );
+        assert_eq!(h.quantile(1.0), 1 << 63, "p100 stays exact");
+        assert_eq!(h.min(), 1 << 47, "the exact min is still tracked");
+        // And the final bucket's reconstruction itself is saturated.
+        assert_eq!(
+            Histogram::bucket_low(SUB_COUNT * (OCTAVES + 1) - 1),
+            u64::MAX
+        );
     }
 
     #[test]

@@ -51,6 +51,11 @@ pub struct Metrics {
     pub deferred_events: u64,
     /// Gang runs: epoch barriers crossed (0 at gangs=1).
     pub epoch_barriers: u64,
+    /// Gang runs: deferred events the barrier classifier proved bank-local
+    /// (executable concurrently, one lane per L2-bank component).
+    pub banked_merge_events: u64,
+    /// Gang runs: barrier items replayed in the serial merge epilogue.
+    pub serial_epilogue_events: u64,
     // --- event-cost micro-profile (see mcsim::stats::CoreStats) --------
     /// Cycles charged on L1-hit fast paths.
     pub l1_hit_cycles: u64,
@@ -99,6 +104,8 @@ impl Metrics {
             turn_handoffs: stats.sum(|c| c.turn_handoffs),
             deferred_events: stats.sum(|c| c.deferred_events),
             epoch_barriers: stats.epoch_barriers,
+            banked_merge_events: stats.banked_merge_events,
+            serial_epilogue_events: stats.serial_epilogue_events,
             l1_hit_cycles: stats.sum(|c| c.l1_hit_cycles),
             l2_hit_cycles: stats.sum(|c| c.l2_hit_cycles),
             mem_fill_cycles: stats.sum(|c| c.mem_fill_cycles),
@@ -129,6 +136,7 @@ mod tests {
             total_ops: 50,
             max_cycles: 1_000_000,
             epoch_barriers: 0,
+            ..Default::default()
         };
         let m = Metrics::from_stats("ca", 1, &stats, vec![]);
         assert!((m.throughput - 50.0).abs() < 1e-9);

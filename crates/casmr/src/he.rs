@@ -234,6 +234,70 @@ mod tests {
     }
 
     #[test]
+    fn scan_interval_boundaries_are_inclusive() {
+        // PR-4 audit pin: a published era exactly equal to a node's birth
+        // or retire era must block the free — `birth <= e && e <= r.retire`
+        // with both comparisons inclusive. A node born at era e was alive
+        // at e; a node retired at era e may still be held by a thread that
+        // protected e.
+        let m = machine(1);
+        let cfg = SmrConfig {
+            reclaim_freq: 1,
+            epoch_freq: 1,
+            ..Default::default()
+        };
+        let s = He::new(&m, 2, cfg);
+        let mailbox = m.alloc_static(1);
+        let live = m.run_on(1, |_, ctx| {
+            let mut writer = s.register(0);
+            let mut reader = s.register(1);
+            let a = ctx.alloc();
+            s.on_alloc(ctx, &mut writer, a); // birth = current era
+            ctx.write(mailbox, a.0);
+            // Reader protects at the CURRENT era: e == birth(A) exactly
+            // (no allocation between stamp and publish).
+            let _ = s.read_ptr(ctx, &mut reader, 0, mailbox);
+            // Retire immediately: retire == published e as well.
+            s.retire(ctx, &mut writer, a); // freq 1 → scan now
+            ctx.read(a) // must still be valid memory
+        });
+        assert_eq!(live, vec![0], "A readable (its payload word is 0)");
+        assert!(
+            m.stats().allocated_not_freed >= 1,
+            "published era == birth == retire must block the free"
+        );
+        m.check_invariants();
+    }
+
+    #[test]
+    fn scan_revisits_the_swapped_in_element() {
+        // PR-4 audit pin (same shape as ibr's): one scan over two
+        // freeable retired nodes must free both — `swap_remove(i)` swaps
+        // the last element into slot i, which the loop must re-examine.
+        let m = machine(1);
+        let cfg = SmrConfig {
+            reclaim_freq: 2,
+            epoch_freq: 1,
+            ..Default::default()
+        };
+        let s = He::new(&m, 1, cfg);
+        m.run_on(1, |_, ctx| {
+            let mut tls = s.register(0);
+            let a = ctx.alloc();
+            s.on_alloc(ctx, &mut tls, a);
+            let b = ctx.alloc();
+            s.on_alloc(ctx, &mut tls, b);
+            s.retire(ctx, &mut tls, a);
+            s.retire(ctx, &mut tls, b); // second retire → one scan
+        });
+        assert_eq!(
+            m.stats().allocated_not_freed,
+            0,
+            "one scan over [A, B] must free both (swap_remove revisit)"
+        );
+    }
+
+    #[test]
     fn stable_era_skips_fences() {
         // With a huge epoch_freq the era never moves: after the first
         // publish, further protected reads cost no store and no fence.

@@ -233,6 +233,65 @@ mod tests {
     }
 
     #[test]
+    fn scan_revisits_the_swapped_in_element() {
+        // PR-4 audit pin (same shape as ibr/he's): one scan over two
+        // unprotected retired nodes must free both — the classic
+        // `i += 1`-after-`swap_remove` off-by-one would skip the element
+        // swapped into slot i and leak one node per scan.
+        let m = machine(1);
+        let cfg = SmrConfig {
+            reclaim_freq: 2,
+            ..Default::default()
+        };
+        let s = Hp::new(&m, 1, cfg);
+        m.run_on(1, |_, ctx| {
+            let mut tls = s.register(0);
+            let a = ctx.alloc();
+            let b = ctx.alloc();
+            s.retire(ctx, &mut tls, a);
+            s.retire(ctx, &mut tls, b); // second retire → one scan
+        });
+        assert_eq!(
+            m.stats().allocated_not_freed,
+            0,
+            "one scan over [A, B] must free both (swap_remove revisit)"
+        );
+    }
+
+    #[test]
+    fn hazard_matches_exact_addresses_only() {
+        // PR-4 audit pin: hazards are exact 64-bit addresses (the cads
+        // structures keep mark bits in a separate word, never in the
+        // pointer), so a hazard on node A must not protect its neighbour
+        // line, and the protected node itself must survive the scan.
+        let m = machine(1);
+        let cfg = SmrConfig {
+            reclaim_freq: 2,
+            ..Default::default()
+        };
+        let s = Hp::new(&m, 2, cfg);
+        let mailbox = m.alloc_static(1);
+        m.run_on(1, |_, ctx| {
+            let mut writer = s.register(0);
+            let mut reader = s.register(1);
+            let a = ctx.alloc();
+            let b = ctx.alloc();
+            ctx.write(mailbox, a.0);
+            let got = s.read_ptr(ctx, &mut reader, 0, mailbox);
+            assert_eq!(got, a.0);
+            s.retire(ctx, &mut writer, a);
+            s.retire(ctx, &mut writer, b); // scan: A protected, B not
+            let v = ctx.read(Addr(got)); // A stays valid under the hazard
+            assert_eq!(v, 0);
+        });
+        assert_eq!(
+            m.stats().allocated_not_freed,
+            1,
+            "exactly the hazard-protected node survives"
+        );
+    }
+
+    #[test]
     fn protect_republish_loop_validates_source() {
         // If the field changes between publish and re-read, read_ptr must
         // loop and return the *new* value with protection.

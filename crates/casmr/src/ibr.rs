@@ -284,6 +284,75 @@ mod tests {
     }
 
     #[test]
+    fn scan_boundary_eras_are_inclusive() {
+        // PR-4 audit pin: the free rule is "inactive ∨ retire < lo ∨
+        // birth > hi" — both comparisons are strict, so a node whose
+        // retire era EQUALS the reservation's lo (or whose birth EQUALS
+        // hi) must be kept. An off-by-one (`>` for `>=`) here frees a node
+        // the reserving thread may be holding.
+        let m = machine(1);
+        let cfg = SmrConfig {
+            reclaim_freq: 1,
+            epoch_freq: 1, // every alloc bumps the era: tight intervals
+            ..Default::default()
+        };
+        let s = Ibr::new(&m, 2, cfg);
+        let live = m.run_on(1, |_, ctx| {
+            let mut writer = s.register(0);
+            let mut reader = s.register(1);
+            // Node A born now.
+            let a = ctx.alloc();
+            s.on_alloc(ctx, &mut writer, a);
+            // Reader opens [e, e] at the current era.
+            s.begin_op(ctx, &mut reader);
+            // Retire A immediately: retire == reader's lo exactly (the
+            // era has not moved since begin_op).
+            s.begin_op(ctx, &mut writer);
+            s.retire(ctx, &mut writer, a); // triggers a scan (freq 1)
+            s.end_op(ctx, &mut writer);
+            ctx.read(a) // A must still be valid memory
+        });
+        let _ = live;
+        assert!(
+            m.stats().allocated_not_freed >= 1,
+            "node retired at retire == lo must survive the scan"
+        );
+        m.check_invariants();
+    }
+
+    #[test]
+    fn scan_revisits_the_swapped_in_element() {
+        // PR-4 audit pin for the swap_remove index discipline: freeing
+        // retired[i] swaps the LAST element into slot i, which must be
+        // re-examined before advancing. The classic off-by-one (`i += 1`
+        // after the removal) leaks exactly one freeable node per scan;
+        // with two freeable nodes and one scan, that bug leaves a node
+        // behind.
+        let m = machine(1);
+        let cfg = SmrConfig {
+            reclaim_freq: 2, // exactly one scan, with retired = [A, B]
+            epoch_freq: 1,
+            ..Default::default()
+        };
+        let s = Ibr::new(&m, 1, cfg);
+        m.run_on(1, |_, ctx| {
+            let mut tls = s.register(0);
+            let a = ctx.alloc();
+            s.on_alloc(ctx, &mut tls, a);
+            let b = ctx.alloc();
+            s.on_alloc(ctx, &mut tls, b);
+            // No reservation is open: both are freeable at the scan.
+            s.retire(ctx, &mut tls, a);
+            s.retire(ctx, &mut tls, b); // second retire → scan
+        });
+        assert_eq!(
+            m.stats().allocated_not_freed,
+            0,
+            "one scan over [A, B] must free both (swap_remove revisit)"
+        );
+    }
+
+    #[test]
     fn birth_era_stamped_into_node() {
         let m = machine(1);
         let s = Ibr::new(&m, 1, SmrConfig::default());

@@ -145,8 +145,7 @@ impl BankedL2 {
         }
     }
 
-    /// Number of banks (introspection; used by tests).
-    #[cfg(test)]
+    /// Number of banks.
     pub fn bank_count(&self) -> usize {
         self.banks.len()
     }
@@ -155,6 +154,18 @@ impl BankedL2 {
     #[inline]
     pub fn bank_of(&self, line: Line) -> usize {
         (line.0 & self.bank_mask) as usize
+    }
+
+    /// Union of the holder masks of every directory entry in the L2 set
+    /// `line` maps to — the complete set of physical cores whose L1s a fill
+    /// of `line` could touch (sharers/owner of the line itself, plus the
+    /// holders of any entry its insertion could evict and back-invalidate).
+    /// Used by the gang runtime's banked-merge classifier.
+    #[inline]
+    pub(crate) fn set_holders(&self, line: Line) -> u64 {
+        self.banks[self.bank_of(line)]
+            .set_entries(line)
+            .fold(0u64, |m, e| m | e.payload.holders())
     }
 
     #[inline]
@@ -257,6 +268,11 @@ impl CoherenceHub {
     /// Hardware threads per physical core.
     pub fn smt(&self) -> usize {
         self.smt
+    }
+
+    /// Number of L2/directory banks.
+    pub fn l2_bank_count(&self) -> usize {
+        self.l2.bank_count()
     }
 
     /// Physical core of hardware thread `t`.

@@ -17,9 +17,51 @@
 //! cores whose clocks are at or below the ceiling. Within the epoch, a core
 //! executes **gang-local events** directly and in parallel with other
 //! gangs; any event that touches shared state is **deferred**: queued with
-//! its issue key and applied by the conductor at the barrier in
-//! `(clock, core id, seq)` order against the full machine state, using the
-//! *same* `exec_op` the single-gang pipeline uses.
+//! its issue key and applied at the barrier in `(clock, core id, seq)`
+//! order against the full machine state, using the *same* `exec_op` the
+//! single-gang pipeline uses.
+//!
+//! ## The banked multi-writer merge
+//!
+//! The barrier replay itself need not be serial: the hub's directory is
+//! banked ([`crate::coherence::CacheConfig::l2_banks`], selected by the low
+//! line bits, exactly set-preserving), and most deferred events are misses
+//! whose replay footprint is confined to **one bank plus a known set of
+//! physical cores**. The conductor classifies the sorted items
+//! ([`ClassifyState::verdict`]):
+//!
+//! * A blocking `Read`/`Write`/`Cas`/`Cread`/`Cwrite` of line L is
+//!   *bank-local*: it touches bank(L)'s directory sets and per-bank LRU
+//!   stamp, L's memory word, the issuing physical core's L1/ARB/tx/stats/
+//!   clock, and the L1s+stats of cores holding lines of L's L2 set
+//!   (invalidation, downgrade, back-invalidation targets). Two structural
+//!   facts bound the footprint: an L2 victim is same-set, hence same-bank;
+//!   and with `banks ≤ l1_sets` an L1 set is wholly contained in one bank,
+//!   so an L1 victim's writeback also stays in bank(L).
+//! * Each such event unions `{bank(L)} ∪ {issuing pcore} ∪ {set-holder
+//!   pcores}` in a union-find; every component becomes a **merge lane**,
+//!   replayed in serial order by one of the (already parked) gang worker
+//!   threads. Lanes share no state — cores filled during the phase were
+//!   claimed by the event that filled them, and lanes only insert their own
+//!   banks' lines — so any lane interleaving equals the serial order
+//!   byte-for-byte.
+//! * Everything else replays in a **serial epilogue** behind the lanes:
+//!   allocator ops, any later event on a line freed this barrier (the UAF
+//!   verdict must observe the free), `OpDone` behind an allocator op when
+//!   Fig-3 sampling is live, and — cutting the rest of the barrier —
+//!   transactional ops. `OpDone` items ahead of any allocator op commute
+//!   with every lane and are applied inline by the conductor.
+//!
+//! The classification is a *proof*, not a schedule: the sequential driver
+//! and the threads mechanism run a counters-only pass and replay serially
+//! (same bytes by construction), while the spawn-coop driver dispatches the
+//! lanes to its gang workers through the gate's merge phase. The
+//! `banked_merge_events`/`serial_epilogue_events`/`bank_occupancy` counters
+//! are therefore identical across drivers, backends and `--jobs` for a
+//! fixed `(program, seeds, quantum, gangs, gang_window, l2_banks)`. On an
+//! aborting run (a lane panic, e.g. the UAF detector firing) sibling lanes
+//! may already have applied later events; aborting runs make no
+//! byte-identity claim.
 //!
 //! ## What is gang-local (and why it is race-free)
 //!
@@ -67,6 +109,20 @@
 //! `Gate::open_epoch`) the conductor has exclusive access to everything.
 //! Gang actors re-create their slice references transiently per event and
 //! never hold them across a barrier.
+//!
+//! The banked **merge phase** adds a third mode: the conductor ends its
+//! `&mut SimState` borrow before opening the phase, and each merge worker
+//! transiently materializes `&mut SimState` per lane event to call the
+//! shared `exec_op`. Concurrent workers' references cover pairwise
+//! disjoint footprints (per-bank directory state, per-core L1s/stats/
+//! slots, per-line memory words — guaranteed by the classifier), and the
+//! per-core gang bookkeeping goes through stable raw element pointers
+//! (`clock_ptrs`/`blocked_ptrs`/`results`), never through `&mut
+//! GangState`. This leans on footprint disjointness rather than
+//! field-level reference splitting; projecting `SimState` into per-bank
+//! raw parts (as `LaneParts` does for gang partitions) would discharge
+//! the remaining formal aliasing obligation and is noted as follow-up in
+//! the ROADMAP.
 
 use std::cell::UnsafeCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -147,6 +203,59 @@ struct Queued {
     item: Deferred,
 }
 
+impl Queued {
+    /// Target line of a bank-classifiable blocking op (lane events only).
+    fn line(&self) -> Line {
+        match self.item {
+            Deferred::Blocking(
+                Op::Read(a) | Op::Write(a, _) | Op::Cas(a, _, _) | Op::Cread(a) | Op::Cwrite(a, _),
+            ) => a.line(),
+            _ => unreachable!("line() on a non-bank-classifiable item"),
+        }
+    }
+}
+
+/// The classified barrier plan (see [`classify`] and the module docs on the
+/// banked merge). Indices point into the sorted item list.
+struct MergePlan {
+    /// One lane per union-find component over `{banks} ∪ {pcores}`: the
+    /// component's bank-local events, in serial `(clock, core, seq)` order.
+    lanes: Vec<Vec<usize>>,
+    /// `OpDone` items safe to apply before the lanes run (their only shared
+    /// effect — the global op counter and, without interleaving allocator
+    /// ops, the Fig-3 sample — commutes with every lane event).
+    inline_opdone: Vec<usize>,
+    /// Items replayed serially after the lanes, in serial order.
+    suffix: Vec<usize>,
+    /// Total lane events (= `lanes` element count).
+    lane_events: usize,
+}
+
+/// Shared state of one parallel merge phase: the sorted items plus the
+/// per-lane panic slots. Written by the conductor before the merge epoch
+/// opens; lanes are executed by the gang workers (worker `w` takes lanes
+/// `w, w + G, ...`) through a shared reference — the only mutation, the
+/// panic capture, goes through each slot's `UnsafeCell` (disjoint slots
+/// per worker); the conductor takes everything back after all arrive.
+struct MergeShared {
+    items: Vec<Queued>,
+    lanes: Vec<MergeLaneSlot>,
+}
+
+struct MergeLaneSlot {
+    events: Vec<usize>,
+    /// Panic payload captured by the executing worker, if the lane's replay
+    /// panicked (e.g. the UAF detector firing inside a deferred event).
+    /// `UnsafeCell` so the worker can write it through the shared
+    /// `&MergeShared` (exclusivity per slot: lane `i` belongs to exactly
+    /// worker `i % G`).
+    panic: UnsafeCell<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+/// Don't bother waking workers for a merge this small: the condvar round
+/// trip costs more than the serial replay.
+const MIN_PARALLEL_MERGE_EVENTS: usize = 8;
+
 /// Per-gang run state. Touched by the gang's current actor during the
 /// parallel phase (exclusivity via the gang turn) and by the conductor
 /// during the serial phase.
@@ -193,6 +302,9 @@ struct GateSt {
     arrived: usize,
     expected: usize,
     done: bool,
+    /// This epoch is a *merge* phase: workers execute their assigned merge
+    /// lanes instead of opening a scheduling window.
+    merging: bool,
 }
 
 impl Gate {
@@ -203,6 +315,7 @@ impl Gate {
                 arrived: 0,
                 expected: 0,
                 done: false,
+                merging: false,
             }),
             workers: Condvar::new(),
             conductor: Condvar::new(),
@@ -228,21 +341,32 @@ impl Gate {
 
     /// Conductor: start the next epoch (or signal completion).
     fn open_epoch(&self, expected: usize, pre_arrived: usize, done: bool) {
+        self.open_phase(expected, pre_arrived, done, false)
+    }
+
+    /// Conductor: start a parallel *merge* phase (coop workers drain their
+    /// assigned merge lanes instead of opening a window).
+    fn open_merge(&self, expected: usize) {
+        self.open_phase(expected, 0, false, true)
+    }
+
+    fn open_phase(&self, expected: usize, pre_arrived: usize, done: bool, merging: bool) {
         let mut s = self.st.lock().unwrap();
         s.epoch += 1;
         s.arrived = pre_arrived;
         s.expected = expected;
         s.done = done;
+        s.merging = merging;
         self.workers.notify_all();
     }
 
     /// Coop gang worker: wait for the epoch after `last_seen`.
-    fn worker_wait(&self, last_seen: u64) -> (u64, bool) {
+    fn worker_wait(&self, last_seen: u64) -> (u64, bool, bool) {
         let mut s = self.st.lock().unwrap();
         while s.epoch == last_seen {
             s = self.workers.wait(s).unwrap();
         }
-        (s.epoch, s.done)
+        (s.epoch, s.done, s.merging)
     }
 }
 
@@ -263,11 +387,29 @@ pub(crate) struct GangRun {
     /// Stable per-gang pointers to the shards' clock arrays (for the
     /// race-free `Ctx::now` probe).
     clock_ptrs: Vec<*mut u64>,
+    /// Stable per-gang pointers to the shards' blocked flags (merge lanes
+    /// clear individual cores' flags without forming `&mut GangState`).
+    blocked_ptrs: Vec<*mut bool>,
     /// Per-core result slots for blocking deferred events.
     results: Vec<UnsafeCell<Option<Out>>>,
     /// Threads mechanism: per-gang turn word (local core id or NO_TURN).
     turn_words: Vec<AtomicUsize>,
     gate: Gate,
+    /// L2/directory bank count (the hub's `BankedL2` owns the selection
+    /// rule; the classifier routes through `BankedL2::bank_of`).
+    n_banks: usize,
+    /// Banked-merge classification enabled: more than one bank, every L1
+    /// set contained in one bank (`banks <= l1_sets`, see the module docs),
+    /// and the UAF detector in `Panic` mode (Record mode interleaves fault
+    /// pushes with deferred events, so the whole merge stays serial).
+    classify: bool,
+    /// Parallel lane execution available: set by the spawn-coop driver
+    /// (its gang workers double as merge workers); the sequential driver
+    /// and the threads mechanism replay serially.
+    par_merge: AtomicBool,
+    /// The in-flight merge phase (conductor writes before `open_merge`,
+    /// workers read during it, conductor takes it back after all arrive).
+    merge_shared: UnsafeCell<Option<MergeShared>>,
 }
 
 // Safety: the raw pointers are only dereferenced under the phase/turn
@@ -341,6 +483,16 @@ impl GangRun {
             .iter()
             .map(|g| (*g.get()).sched.clocks.as_mut_ptr())
             .collect();
+        let blocked_ptrs = gangs
+            .iter()
+            .map(|g| (*g.get()).blocked.as_mut_ptr())
+            .collect();
+        let n_banks = st.hub.l2_bank_count();
+        let l1_sets = st.hub.l1s[0].array.sets();
+        // The banked merge relies on every L1 set being wholly contained in
+        // one bank (set index = low line bits ⊇ bank bits), so an L1 fill's
+        // victim writeback can never cross into another bank's lane.
+        let classify = n_banks > 1 && n_banks <= l1_sets && uaf == UafMode::Panic;
         GangRun {
             layout,
             window,
@@ -354,9 +506,14 @@ impl GangRun {
             gangs,
             lanes,
             clock_ptrs,
+            blocked_ptrs,
             results: (0..layout.n).map(|_| UnsafeCell::new(None)).collect(),
             turn_words: (0..layout.gangs).map(|_| AtomicUsize::new(NO_TURN)).collect(),
             gate: Gate::new(),
+            n_banks,
+            classify,
+            par_merge: AtomicBool::new(false),
+            merge_shared: UnsafeCell::new(None),
         }
     }
 
@@ -957,52 +1114,395 @@ unsafe fn plan(run: &GangRun) -> (u64, Vec<bool>) {
     (min, live)
 }
 
-/// Apply every queued cross-gang item in `(clock, core, seq)` order against
-/// the full machine state, then advance the epoch counter.
-unsafe fn merge(run: &GangRun) {
+/// Minimal union-find (path halving, no ranks: node count is
+/// `banks + pcores`, both ≤ a few thousand).
+struct Uf {
+    p: Vec<u32>,
+}
+
+impl Uf {
+    fn new(n: usize) -> Uf {
+        Uf {
+            p: (0..n as u32).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.p[x] as usize != x {
+            let gp = self.p[self.p[x] as usize];
+            self.p[x] = gp;
+            x = gp as usize;
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        self.p[ra] = rb as u32;
+    }
+}
+
+/// Apply one non-blocking item (conductor only).
+unsafe fn apply_light(run: &GangRun, st: &mut SimState, q: &Queued) {
+    match &q.item {
+        Deferred::OpDone => {
+            st.global_ops += 1;
+            if let Some(every) = st.sample_every {
+                if st.global_ops >= st.next_sample_at {
+                    let live = st.alloc.allocated_not_freed;
+                    let ops = st.global_ops;
+                    st.samples.push((ops, live));
+                    st.next_sample_at += every;
+                }
+            }
+        }
+        Deferred::Fault(f) => st.alloc.faults.push(f.clone()),
+        Deferred::Blocking(op) => apply_blocking(run, st, q, *op),
+    }
+}
+
+/// Apply one blocking item: replay through `exec_op`, credit the core's
+/// clock, run the preemption model, unblock the core and deliver the
+/// result. Shared by the serial replay, the epilogue and the merge lanes —
+/// one semantic definition of a deferred event's barrier-side half.
+unsafe fn apply_blocking(run: &GangRun, st: &mut SimState, q: &Queued, op: Op) {
+    let g = run.layout.gang_of(q.core);
+    let l = q.core - run.layout.base(g);
+    // Per-core slots accessed through the stable raw pointers so merge
+    // lanes touching *different* cores of the same gang never materialize
+    // aliasing `&mut GangState` (see the aliasing discipline in the module
+    // docs). The conductor's serial replay goes through the same accessors.
+    let clock = run.clock_ptrs[g].add(l);
+    *clock += q.pending;
+    let (out, cost) = exec_op(st, q.core, op);
+    *clock += cost;
+    let SimState {
+        next_preempt,
+        hub,
+        ctx_switch,
+        ..
+    } = &mut *st;
+    crate::machine::apply_preempt_model(
+        &mut *clock,
+        &mut next_preempt[q.core],
+        *ctx_switch,
+        || hub.preempt(q.core),
+    );
+    *run.blocked_ptrs[g].add(l) = false;
+    *run.results[q.core].get() = Some(out);
+}
+
+/// Per-item classification verdict (see [`classify`]).
+enum Verdict {
+    /// `OpDone` safe to apply before the lanes (commutes with them).
+    Inline,
+    /// Bank-local blocking event: lane of bank `b`.
+    Lane(usize),
+    /// Replay in the serial epilogue, behind the lanes.
+    Suffix,
+}
+
+/// Streaming classifier state shared by the counters-only pass and the
+/// full plan builder, so the two can never disagree on a verdict.
+struct ClassifyState {
+    cut: bool,
+    alloc_seen: bool,
+    /// An `Op::Alloc` occurred earlier this barrier: it may have
+    /// re-allocated *any* currently-free line, so later lane candidates
+    /// whose line is not live right now must wait for the epilogue (their
+    /// serial UAF verdict depends on the alloc having been applied).
+    alloc_in_barrier: bool,
+    freed: Vec<u64>,
+    sampling: bool,
+}
+
+impl ClassifyState {
+    fn new(sampling: bool) -> Self {
+        ClassifyState {
+            cut: false,
+            alloc_seen: false,
+            alloc_in_barrier: false,
+            freed: Vec::new(),
+            sampling,
+        }
+    }
+
+    /// Classify one item (in serial order — the state is order-sensitive).
+    ///
+    /// A blocking `Read`/`Write`/`Cas`/`Cread`/`Cwrite` is **bank-local**:
+    /// its entire replay footprint is the issuing physical core's
+    /// partition, the directory bank of its line (fills, upgrades, L2
+    /// evictions — set-preserving banking keeps every same-set line in one
+    /// bank, and `banks ≤ l1_sets` keeps every L1 victim in the filled
+    /// line's bank), the line's memory word, and the L1s/stats of the
+    /// cores currently holding any line of its L2 set (invalidations,
+    /// downgrades, back-invalidations).
+    ///
+    /// Everything else is serialized: allocator ops (`Alloc`/`Free`) and
+    /// any later event on a line freed this barrier (the UAF verdict must
+    /// see the free), `OpDone` after an allocator op when Fig-3 sampling
+    /// is on (the sample reads the live count), and — cutting the rest of
+    /// the barrier entirely — transactional ops and ops issued inside a
+    /// transaction (their commit footprint spans arbitrary banks).
+    fn verdict(&mut self, st: &SimState, q: &Queued) -> Verdict {
+        if self.cut {
+            return Verdict::Suffix;
+        }
+        match &q.item {
+            Deferred::OpDone => {
+                if self.sampling && self.alloc_seen {
+                    Verdict::Suffix
+                } else {
+                    Verdict::Inline
+                }
+            }
+            // Fault items only exist in Record mode, where classification
+            // is disabled; keep the defensive arm serial.
+            Deferred::Fault(_) => {
+                self.cut = true;
+                Verdict::Suffix
+            }
+            Deferred::Blocking(op) => {
+                if st.hub.tx[q.core].active {
+                    // Plain ops inside a transaction raise the hub's
+                    // canonical panic; tx commit footprints span banks.
+                    self.cut = true;
+                    return Verdict::Suffix;
+                }
+                match *op {
+                    Op::Read(a) | Op::Write(a, _) | Op::Cas(a, _, _) | Op::Cread(a)
+                    | Op::Cwrite(a, _) => {
+                        let line = a.line();
+                        if self.freed.contains(&line.0) {
+                            // A free earlier this barrier changed the
+                            // line's liveness; the serial epilogue keeps
+                            // the UAF verdict exact.
+                            Verdict::Suffix
+                        } else if self.alloc_in_barrier
+                            && st.alloc.access_fault(q.core, a, "classify").is_some()
+                        {
+                            // The line is not live *right now*, but an
+                            // alloc earlier this barrier may re-allocate
+                            // exactly it (LIFO reuse): replaying the
+                            // access in a lane — before the suffix alloc —
+                            // would raise a spurious UAF fault the serial
+                            // order does not. The epilogue replays it
+                            // behind the alloc, preserving the exact
+                            // serial verdict.
+                            Verdict::Suffix
+                        } else {
+                            // One source of truth for the shard boundary:
+                            // the hub's own bank selection.
+                            Verdict::Lane(st.hub.l2.bank_of(line))
+                        }
+                    }
+                    Op::Free(a) => {
+                        self.alloc_seen = true;
+                        self.freed.push(a.line().0);
+                        Verdict::Suffix
+                    }
+                    Op::Alloc => {
+                        self.alloc_seen = true;
+                        self.alloc_in_barrier = true;
+                        Verdict::Suffix
+                    }
+                    // Fence/UntagOne/UntagAll only defer inside a
+                    // transaction (covered above); Tx* always serialize.
+                    _ => {
+                        self.cut = true;
+                        Verdict::Suffix
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Counters-only classification: one cheap pass updating the barrier-merge
+/// counters, with no union-find, no holder scans and no plan allocation.
+/// Used whenever the merge will execute serially anyway — the counters
+/// stay byte-identical to the full pass (same [`ClassifyState::verdict`]
+/// per item) without its cost on 1-CPU hosts.
+unsafe fn count_classify(st: &mut SimState, items: &[Queued]) {
+    let mut cs = ClassifyState::new(st.sample_every.is_some());
+    let mut banked = 0u64;
+    let mut suffix = 0u64;
+    for q in items {
+        match cs.verdict(&*st, q) {
+            Verdict::Inline => {}
+            Verdict::Lane(b) => {
+                st.bank_occupancy[b] += 1;
+                banked += 1;
+            }
+            Verdict::Suffix => suffix += 1,
+        }
+    }
+    st.banked_merge_events += banked;
+    st.serial_epilogue_events += suffix;
+}
+
+/// Full classification for the parallel banked merge: the per-event
+/// verdicts of [`ClassifyState::verdict`], plus the union-find over
+/// `{banks} ∪ {pcores}` (each lane-bound event unions its bank with its
+/// issuing pcore and the holder pcores of its L2 set) that turns the
+/// bank-local events into disjoint merge lanes. Two lanes share no state,
+/// so per-lane ordered replay commutes with the full serial order —
+/// byte-identical final state by construction.
+unsafe fn classify(run: &GangRun, st: &mut SimState, items: &[Queued]) -> MergePlan {
+    let nb = run.n_banks;
+    let np = st.hub.l1s.len();
+    let mut uf = Uf::new(nb + np);
+    let mut cand: Vec<(usize, usize)> = Vec::new(); // (bank, item index)
+    let mut inline_opdone = Vec::new();
+    let mut suffix = Vec::new();
+    let mut cs = ClassifyState::new(st.sample_every.is_some());
+    for (ix, q) in items.iter().enumerate() {
+        match cs.verdict(&*st, q) {
+            Verdict::Inline => inline_opdone.push(ix),
+            Verdict::Suffix => suffix.push(ix),
+            Verdict::Lane(b) => {
+                uf.union(b, nb + st.hub.pc(q.core));
+                let mut holders = st.hub.l2.set_holders(q.line());
+                while holders != 0 {
+                    let h = holders.trailing_zeros() as usize;
+                    holders &= holders - 1;
+                    uf.union(b, nb + h);
+                }
+                st.bank_occupancy[b] += 1;
+                cand.push((b, ix));
+            }
+        }
+    }
+    // Group the candidates by component, first-encounter order (the
+    // grouping is cosmetic: lanes are disjoint, so any assignment of lanes
+    // to workers produces the same bytes).
+    let mut root_lane: Vec<Option<usize>> = vec![None; nb + np];
+    let mut lanes: Vec<Vec<usize>> = Vec::new();
+    for &(b, ix) in &cand {
+        let r = uf.find(b);
+        let li = match root_lane[r] {
+            Some(l) => l,
+            None => {
+                lanes.push(Vec::new());
+                root_lane[r] = Some(lanes.len() - 1);
+                lanes.len() - 1
+            }
+        };
+        lanes[li].push(ix);
+    }
+    st.banked_merge_events += cand.len() as u64;
+    st.serial_epilogue_events += suffix.len() as u64;
+    MergePlan {
+        lanes,
+        inline_opdone,
+        suffix,
+        lane_events: cand.len(),
+    }
+}
+
+/// Execute one merge lane's events in order (worker side).
+///
+/// # Safety
+/// Must only run during a merge phase (between `open_merge` and the
+/// worker's `arrive`), on lanes assigned to this worker. Disjointness of
+/// concurrent lanes is guaranteed by [`classify`].
+unsafe fn exec_merge_lane(run: &GangRun, items: &[Queued], lane: &[usize]) {
+    let st_ptr = run.root;
+    for &ix in lane {
+        let q = &items[ix];
+        let Deferred::Blocking(op) = q.item else {
+            unreachable!("merge lanes hold blocking events only");
+        };
+        apply_blocking(run, &mut *st_ptr, q, op);
+    }
+}
+
+/// Apply every queued cross-gang item against the full machine state in
+/// `(clock, core, seq)` order — concurrently across L2-bank lanes when the
+/// classifier and the driver allow it, serially otherwise — then advance
+/// the epoch counter. `parallel` is set only by the spawn-coop conductor,
+/// whose parked gang workers double as merge workers.
+unsafe fn merge(run: &GangRun, parallel: bool) {
     let st = &mut *run.root;
     let mut items: Vec<Queued> = Vec::new();
     for slot in &run.gangs {
         items.append(&mut (*slot.get()).queue);
     }
     items.sort_by_key(|q| (q.clock, q.core, q.seq));
-    for q in items {
-        let g = run.layout.gang_of(q.core);
-        let l = q.core - run.layout.base(g);
-        match q.item {
-            Deferred::Blocking(op) => {
-                let gs = &mut *run.gangs[g].get();
-                gs.sched.clocks[l] += q.pending;
-                let (out, cost) = exec_op(st, q.core, op);
-                gs.sched.clocks[l] += cost;
-                let SimState {
-                    next_preempt,
-                    hub,
-                    ctx_switch,
-                    ..
-                } = &mut *st;
-                crate::machine::apply_preempt_model(
-                    &mut gs.sched.clocks[l],
-                    &mut next_preempt[q.core],
-                    *ctx_switch,
-                    || hub.preempt(q.core),
-                );
-                gs.blocked[l] = false;
-                *run.results[q.core].get() = Some(out);
-            }
-            Deferred::OpDone => {
-                st.global_ops += 1;
-                if let Some(every) = st.sample_every {
-                    if st.global_ops >= st.next_sample_at {
-                        let live = st.alloc.allocated_not_freed;
-                        let ops = st.global_ops;
-                        st.samples.push((ops, live));
-                        st.next_sample_at += every;
-                    }
-                }
-            }
-            Deferred::Fault(f) => st.alloc.faults.push(f),
+    if !run.classify {
+        // No banked classification for this configuration: pure serial
+        // replay (single bank, Record-mode fault ordering, or banks wider
+        // than the L1 sets).
+        st.serial_epilogue_events += items.len() as u64;
+        for q in &items {
+            apply_light(run, st, q);
         }
+        st.gang_epochs += 1;
+        return;
+    }
+    if !parallel {
+        // No merge workers (sequential driver / threads mechanism): the
+        // replay is serial regardless, so only the cheap counters-only
+        // classification runs — byte-identical counters, none of the
+        // union-find or holder-scan cost.
+        count_classify(st, &items);
+        for q in &items {
+            apply_light(run, st, q);
+        }
+        st.gang_epochs += 1;
+        return;
+    }
+    let plan = classify(run, st, &items);
+    let worthwhile = plan.lanes.len() >= 2 && plan.lane_events >= MIN_PARALLEL_MERGE_EVENTS;
+    if !worthwhile {
+        // Same bytes as the banked execution (the classification is a
+        // proof, not a schedule): replay everything in serial order.
+        for q in &items {
+            apply_light(run, st, q);
+        }
+        st.gang_epochs += 1;
+        return;
+    }
+    // Inline OpDone items commute with every lane event (argued in
+    // `classify`); apply them in their serial relative order first.
+    for &ix in &plan.inline_opdone {
+        apply_light(run, st, &items[ix]);
+    }
+    // Parallel phase: hand the lanes to the parked gang workers. The
+    // conductor's `&mut SimState` must not be live while the lanes run —
+    // each worker transiently materializes its own exclusive reference to
+    // its disjoint footprint (see the module docs) — so end the borrow
+    // here and re-derive it for the epilogue.
+    let _ = st;
+    *run.merge_shared.get() = Some(MergeShared {
+        items,
+        lanes: plan
+            .lanes
+            .into_iter()
+            .map(|events| MergeLaneSlot {
+                events,
+                panic: UnsafeCell::new(None),
+            })
+            .collect(),
+    });
+    run.gate.open_merge(run.layout.gangs);
+    run.gate.wait_all_arrived();
+    let shared = (*run.merge_shared.get())
+        .take()
+        .expect("merge phase must leave the shared state in place");
+    for lane in shared.lanes {
+        if let Some(p) = lane.panic.into_inner() {
+            // Deterministic-enough abort: the first lane (in lane order)
+            // that panicked wins. Sibling lanes may already have applied
+            // later events — an aborting run makes no byte-identity claim.
+            std::panic::resume_unwind(p);
+        }
+    }
+    // Serial epilogue, in serial order (exclusive access again: every
+    // worker has arrived and parked).
+    let st = &mut *run.root;
+    for &ix in &plan.suffix {
+        apply_light(run, st, &shared.items[ix]);
     }
     st.gang_epochs += 1;
 }
@@ -1024,6 +1524,14 @@ unsafe fn conduct(
     mech: Mech,
     peers: &[Vec<Option<Thread>>],
 ) -> std::thread::Result<()> {
+    // Parallel banked merges need merge workers: only the spawn-coop
+    // driver has them (its gang workers stay parked at the gate between
+    // epochs and double as merge lanes' executors).
+    let par = match mech {
+        Mech::Threads => false,
+        #[cfg(mcsim_coop)]
+        Mech::Coop => run.par_merge.load(Ordering::Relaxed),
+    };
     loop {
         let (min, live) = plan(run);
         let live_count = live.iter().filter(|&&x| x).count();
@@ -1033,7 +1541,15 @@ unsafe fn conduct(
         }
         run.ceiling.store(min.saturating_add(run.window), Ordering::Release);
         let mut pre_arrived = 0;
+        let mut expected = live_count;
         let mut firsts: Vec<(usize, usize)> = Vec::new();
+        #[cfg(mcsim_coop)]
+        if let Mech::Coop = mech {
+            // Every coop gang worker — including those whose gang fully
+            // retired — stays parked at the gate until the run ends (they
+            // double as merge workers) and arrives once per epoch.
+            expected = run.layout.gangs;
+        }
         if let Mech::Threads = mech {
             // The threads mechanism has no per-gang worker: the conductor
             // opens each gang's window and wakes its first turn owner.
@@ -1057,7 +1573,7 @@ unsafe fn conduct(
                 }
             }
         }
-        run.gate.open_epoch(live_count, pre_arrived, false);
+        run.gate.open_epoch(expected, pre_arrived, false);
         for (g, first) in firsts {
             run.turn_words[g].store(first, Ordering::Release);
             if let Some(t) = peers[g].get(first).and_then(Option::as_ref) {
@@ -1065,7 +1581,7 @@ unsafe fn conduct(
             }
         }
         run.gate.wait_all_arrived();
-        if let Err(e) = catch_unwind(AssertUnwindSafe(|| merge(run))) {
+        if let Err(e) = catch_unwind(AssertUnwindSafe(|| merge(run, par))) {
             run.aborted.store(true, Ordering::Release);
             // Release everyone so parked cores / waiting workers unwind.
             run.gate.open_epoch(0, 0, true);
@@ -1435,7 +1951,7 @@ fn gang_worker<'env, R: Send + 'env>(
     let mut arena = CoopArena::new(run, g, fns);
     let mut seen = 0u64;
     loop {
-        let (epoch, done) = run.gate.worker_wait(seen);
+        let (epoch, done, merging) = run.gate.worker_wait(seen);
         seen = epoch;
         if done {
             if run.aborted.load(Ordering::Acquire) {
@@ -1443,17 +1959,35 @@ fn gang_worker<'env, R: Send + 'env>(
             }
             break;
         }
+        if merging {
+            // Banked merge phase: drain this worker's share of the lanes
+            // (lane `i` belongs to worker `i % gangs`; lanes are pairwise
+            // disjoint, so the round-robin split is only load balancing).
+            // Everything is read through the shared reference; the only
+            // write — the panic capture — goes through the slot's
+            // UnsafeCell, which only this worker touches.
+            unsafe {
+                if let Some(sh) = (*run.merge_shared.get()).as_ref() {
+                    for i in (g..sh.lanes.len()).step_by(run.layout.gangs) {
+                        let lane = &sh.lanes[i];
+                        if let Err(p) = catch_unwind(AssertUnwindSafe(|| {
+                            exec_merge_lane(run, &sh.items, &lane.events)
+                        })) {
+                            *lane.panic.get() = Some(p);
+                        }
+                    }
+                }
+            }
+            run.gate.arrive();
+            continue;
+        }
+        // A fully retired gang contributes no window (begin_window finds no
+        // active core) but its worker stays parked here until the run ends:
+        // it still serves merge phases.
         if let Some(first) = unsafe { begin_window(run, g) } {
             unsafe { arena.enter(first) };
         }
-        // Read our partition *before* arriving — arrival hands exclusive
-        // access to the conductor's merge.
-        let all_retired = unsafe { (*run.gangs[g].get()).retired.iter().all(|&r| r) };
         run.gate.arrive();
-        if all_retired {
-            // The conductor excludes this gang from the next epoch.
-            break;
-        }
     }
     arena.outs
 }
@@ -1493,7 +2027,7 @@ pub(crate) fn run_seq_mech<'env, R: Send + 'env>(
                 unsafe { arenas[g].enter(first) };
             }
         }
-        if let Err(e) = catch_unwind(AssertUnwindSafe(|| unsafe { merge(run) })) {
+        if let Err(e) = catch_unwind(AssertUnwindSafe(|| unsafe { merge(run, false) })) {
             run.aborted.store(true, Ordering::Release);
             for (g, arena) in arenas.iter_mut().enumerate() {
                 unsafe { arena.unwind_live(run, g) };
@@ -1514,6 +2048,9 @@ pub(crate) fn run_coop_mech<'env, R: Send + 'env>(
     mut fns: Vec<CoreFn<'env, R>>,
     marker: usize,
 ) -> (Vec<Option<std::thread::Result<R>>>, std::thread::Result<()>) {
+    // This driver's gang workers stay parked at the gate between epochs:
+    // the conductor may hand them banked merge lanes.
+    run.par_merge.store(true, Ordering::Relaxed);
     let layout = run.layout;
     let mut per_gang: Vec<Vec<CoreFn<'env, R>>> = Vec::with_capacity(layout.gangs);
     for g in 0..layout.gangs {

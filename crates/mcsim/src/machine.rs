@@ -263,6 +263,13 @@ pub(crate) struct SimState {
     pub threads: Vec<Option<Thread>>,
     /// Epoch barriers crossed by gang runs (0 on single-gang machines).
     pub gang_epochs: u64,
+    /// Gang runs: deferred events the barrier-merge classifier proved
+    /// bank-local (see `crate::gang`'s banked merge).
+    pub banked_merge_events: u64,
+    /// Gang runs: barrier items replayed in the serial merge epilogue.
+    pub serial_epilogue_events: u64,
+    /// Gang runs: bank-classified deferred events per L2 bank.
+    pub bank_occupancy: Vec<u64>,
 }
 
 struct Shared {
@@ -374,6 +381,7 @@ impl Machine {
         );
         let mut alloc = Allocator::new(cfg.cores, cfg.mem_bytes, cfg.static_lines);
         alloc.uaf_mode = cfg.uaf_mode;
+        let n_banks = hub.l2_bank_count();
         let state = SimState {
             hub,
             alloc,
@@ -386,6 +394,9 @@ impl Machine {
             next_preempt: vec![cfg.ctx_switch.map_or(u64::MAX, |(i, _)| i); cfg.cores],
             threads: vec![None; cfg.cores],
             gang_epochs: 0,
+            banked_merge_events: 0,
+            serial_epilogue_events: 0,
+            bank_occupancy: vec![0; n_banks],
         };
         Self {
             shared: Arc::new(Shared {
@@ -688,6 +699,9 @@ impl Machine {
         let interval = st.ctx_switch.map_or(u64::MAX, |(i, _)| i);
         st.next_preempt.fill(interval);
         st.gang_epochs = 0;
+        st.banked_merge_events = 0;
+        st.serial_epilogue_events = 0;
+        st.bank_occupancy.fill(0);
     }
 
     /// Snapshot machine statistics.
@@ -704,6 +718,9 @@ impl Machine {
             total_ops: st.global_ops,
             max_cycles: st.sched.max_clock(),
             epoch_barriers: st.gang_epochs,
+            banked_merge_events: st.banked_merge_events,
+            serial_epilogue_events: st.serial_epilogue_events,
+            bank_occupancy: st.bank_occupancy.clone(),
         }
     }
 
@@ -2009,6 +2026,230 @@ mod tests {
         assert_eq!(v_seq, v_spawn, "drivers diverged on the final value");
         assert_eq!(s_seq.cores, s_spawn.cores, "drivers diverged on per-core stats");
         assert_eq!(s_seq.epoch_barriers, s_spawn.epoch_barriers);
+    }
+
+    #[test]
+    fn banked_merge_lanes_match_serial_replay_and_counters_are_driver_invariant() {
+        // 16 cores × 4 gangs, disjoint per-core working sets: every epoch
+        // each core defers one cold miss, so barriers carry enough
+        // bank-local events for the spawn driver to dispatch parallel
+        // lanes. The sequential driver replays the same barriers serially;
+        // the threads backend has no merge workers at all. All three must
+        // produce byte-identical per-core stats, final memory, AND the same
+        // banked-merge counters (classification is a pure function of the
+        // deterministic event stream, never of the execution strategy).
+        let program = |driver: Option<usize>, exec: ExecBackend| {
+            if let Some(d) = driver {
+                set_gang_driver(d);
+            }
+            let m = Machine::new(MachineConfig {
+                cores: 16,
+                mem_bytes: 1 << 20,
+                static_lines: 1024,
+                quantum: 0,
+                gangs: 4,
+                gang_window: 256,
+                exec,
+                ..Default::default()
+            });
+            let bases: Vec<Addr> = (0..16).map(|_| m.alloc_static(32)).collect();
+            let bases = &bases;
+            m.run_on(16, |i, ctx| {
+                let b = bases[i];
+                let mut acc = 0u64;
+                for l in 0..32u64 {
+                    let a = Addr(b.0 + l * 64);
+                    ctx.write(a, i as u64 + l);
+                    acc = acc.wrapping_add(ctx.read(a));
+                }
+                acc
+            });
+            set_gang_driver(GANG_DRIVER_AUTO);
+            m.stats()
+        };
+        let seq = program(Some(GANG_DRIVER_SEQ), ExecBackend::Coop);
+        let spawn = program(Some(GANG_DRIVER_SPAWN), ExecBackend::Coop);
+        let threads = program(None, ExecBackend::Threads);
+        assert!(
+            seq.banked_merge_events > 0,
+            "disjoint cold misses must classify as bank-local"
+        );
+        assert_eq!(
+            seq.bank_occupancy.iter().sum::<u64>(),
+            seq.banked_merge_events,
+            "occupancy must partition the banked events"
+        );
+        for (label, other) in [("spawn", &spawn), ("threads", &threads)] {
+            assert_eq!(seq.cores, other.cores, "{label}: per-core stats diverged");
+            assert_eq!(seq.max_cycles, other.max_cycles, "{label}");
+            assert_eq!(seq.epoch_barriers, other.epoch_barriers, "{label}");
+            assert_eq!(
+                seq.banked_merge_events, other.banked_merge_events,
+                "{label}: banked counter diverged"
+            );
+            assert_eq!(
+                seq.serial_epilogue_events, other.serial_epilogue_events,
+                "{label}: epilogue counter diverged"
+            );
+            assert_eq!(seq.bank_occupancy, other.bank_occupancy, "{label}");
+        }
+    }
+
+    #[test]
+    fn banked_merge_keeps_freed_line_reads_behind_the_free() {
+        // Within ONE barrier, a read of a line freed earlier (by simulated
+        // clock) in the same window must still trip the UAF detector: the
+        // classifier routes reads of barrier-freed lines to the serial
+        // epilogue, behind the free. The control run (read issued *before*
+        // the free) must complete — the lane replay of the read commutes
+        // with the later free. Pinned on the spawn driver with enough
+        // sibling traffic to trigger real parallel lane dispatch.
+        let run = |read_tick: u64, free_tick: u64| -> std::thread::Result<()> {
+            set_gang_driver(GANG_DRIVER_SPAWN);
+            let m = Machine::new(MachineConfig {
+                cores: 16,
+                mem_bytes: 1 << 20,
+                static_lines: 2048,
+                quantum: 0,
+                gangs: 4,
+                gang_window: 1 << 40, // one epoch: every core runs to its block
+                exec: ExecBackend::Coop,
+                ..Default::default()
+            });
+            // Run 1: core 0 allocates the victim line; the host learns its
+            // address (state persists across runs).
+            let victim = m.run_on(1, |_, ctx| ctx.alloc())[0];
+            m.reset_timing();
+            let bases: Vec<Addr> = (0..16).map(|_| m.alloc_static(4)).collect();
+            let bases = &bases;
+            let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                m.run_on(16, move |i, ctx| match i {
+                    0 => {
+                        ctx.tick(free_tick);
+                        ctx.free(victim);
+                    }
+                    1 => {
+                        ctx.tick(read_tick);
+                        let _ = ctx.read(victim);
+                    }
+                    _ => {
+                        // Sibling lane traffic: one cold miss each, so the
+                        // barrier clears MIN_PARALLEL_MERGE_EVENTS.
+                        let _ = ctx.read(bases[i]);
+                    }
+                })
+            }));
+            set_gang_driver(GANG_DRIVER_AUTO);
+            out.map(|_| ())
+        };
+        assert!(
+            run(10_000, 10).is_err(),
+            "read after the free (same barrier) must trip the UAF detector"
+        );
+        assert!(
+            run(10, 10_000).is_ok(),
+            "read before the free (same barrier) must complete"
+        );
+    }
+
+    #[test]
+    fn banked_merge_defers_accesses_racing_a_same_barrier_alloc() {
+        // Within ONE barrier, a stale read of a freed line that a
+        // same-barrier Alloc re-allocates (LIFO reuse) must replay AFTER
+        // the alloc, exactly as the serial order does: the read is then a
+        // legal access to a live line. Replaying it on a lane — before the
+        // suffix alloc — would see the line still freed and raise a
+        // spurious UAF panic the serial schedule never raises. Pinned on
+        // the spawn driver with enough sibling traffic for real lane
+        // dispatch; this run must COMPLETE.
+        set_gang_driver(GANG_DRIVER_SPAWN);
+        let m = Machine::new(MachineConfig {
+            cores: 16,
+            mem_bytes: 1 << 20,
+            static_lines: 2048,
+            quantum: 0,
+            gangs: 4,
+            gang_window: 1 << 40, // one epoch: every core runs to its block
+            exec: ExecBackend::Coop,
+            ..Default::default()
+        });
+        // Run 1: core 0 allocates and frees the victim line, leaving it on
+        // core 0's LIFO free list; the host learns its address.
+        let victim = m.run_on(1, |_, ctx| {
+            let a = ctx.alloc();
+            ctx.free(a);
+            a
+        })[0];
+        m.reset_timing();
+        let bases: Vec<Addr> = (0..16).map(|_| m.alloc_static(4)).collect();
+        let bases = &bases;
+        let realloc = m.run_on(16, move |i, ctx| match i {
+            0 => {
+                // Re-allocates the victim (clock 10, before the read).
+                ctx.tick(10);
+                ctx.alloc()
+            }
+            1 => {
+                // Stale pointer dereference at clock 10_000, same barrier.
+                ctx.tick(10_000);
+                let _ = ctx.read(victim);
+                victim
+            }
+            _ => {
+                let _ = ctx.read(bases[i]);
+                Addr(0)
+            }
+        });
+        set_gang_driver(GANG_DRIVER_AUTO);
+        assert_eq!(realloc[0], victim, "LIFO reuse must hand back the victim");
+        m.check_invariants();
+    }
+
+    #[test]
+    fn banked_merge_is_identical_across_bank_counts() {
+        // The banking is exactly set-preserving and the banked merge is a
+        // proof-carrying reordering of the serial replay: for a fixed gang
+        // layout, per-core results must be bit-identical for every bank
+        // count (only the merge counters — which describe the banking
+        // itself — may differ).
+        let program = |l2_banks: usize| {
+            let m = Machine::new(MachineConfig {
+                cores: 8,
+                mem_bytes: 1 << 20,
+                static_lines: 64,
+                quantum: 0,
+                gangs: 2,
+                gang_window: 256,
+                cache: crate::CacheConfig {
+                    l2_banks,
+                    ..Default::default()
+                },
+                ..Default::default()
+            });
+            let a = m.alloc_static(1);
+            m.run_on(8, |i, ctx| {
+                for _ in 0..40 {
+                    loop {
+                        let cur = ctx.read(a);
+                        if ctx.cas(a, cur, cur.wrapping_mul(31) + i as u64 + 1).is_ok() {
+                            break;
+                        }
+                    }
+                }
+            });
+            (m.host_read(a), m.stats())
+        };
+        let (v1, s1) = program(1);
+        for banks in [4usize, 8] {
+            let (v, s) = program(banks);
+            assert_eq!(v1, v, "banks={banks}: final value diverged");
+            assert_eq!(s1.cores, s.cores, "banks={banks}: per-core stats diverged");
+            assert_eq!(s1.max_cycles, s.max_cycles, "banks={banks}");
+            assert_eq!(s1.epoch_barriers, s.epoch_barriers, "banks={banks}");
+        }
+        // banks=1 has no banked classification at all.
+        assert_eq!(s1.banked_merge_events, 0);
+        assert!(s1.serial_epilogue_events > 0);
     }
 
     #[test]

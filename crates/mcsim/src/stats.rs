@@ -156,6 +156,21 @@ pub struct MachineStats {
     pub max_cycles: u64,
     /// Gang runs only: epoch barriers crossed (0 on single-gang runs).
     pub epoch_barriers: u64,
+    /// Gang runs only: deferred events the barrier-merge classifier proved
+    /// bank-local (executable concurrently, one lane per L2-bank component).
+    /// A pure function of `(program, seeds, quantum, gangs, gang_window,
+    /// l2_banks)` — identical across exec backends, gang drivers and
+    /// `--jobs`, but *not* across different bank or gang counts.
+    pub banked_merge_events: u64,
+    /// Gang runs only: barrier items replayed in the serial epilogue
+    /// (allocator ops, tx ops, fault recording, freed-line conflicts, and
+    /// everything behind them in merge order). Same determinism contract as
+    /// [`Self::banked_merge_events`].
+    pub serial_epilogue_events: u64,
+    /// Gang runs only: bank-classified deferred events per L2 bank
+    /// (`len == l2_banks`). Same determinism contract as
+    /// [`Self::banked_merge_events`].
+    pub bank_occupancy: Vec<u64>,
 }
 
 impl MachineStats {

@@ -149,6 +149,65 @@ fn gang_tables_are_byte_identical_across_host_worker_counts() {
 }
 
 #[test]
+fn banked_merge_grid_is_byte_identical_across_banks_and_backends() {
+    // The PR-4 contract: for every fixed gang layout, results are
+    // bit-identical across `l2_banks` {1, 4, 8} (banking is exactly
+    // set-preserving, and the banked multi-writer merge is a
+    // proof-carrying reordering of the serial barrier replay) and across
+    // both exec backends (only the threads backend replays serially; the
+    // classification is a pure function of the deterministic event
+    // stream). Merge counters are config metadata — deterministic per
+    // (banks, gangs) but naturally different across bank counts — so the
+    // grid compares them only across backends.
+    let cell = |gangs: usize, l2_banks: usize, exec: ExecBackend| {
+        let mut c = cfg(64, gangs, 13, exec);
+        c.cache.l2_banks = l2_banks;
+        run_set_with_stats(SetKind::LazyList, SchemeKind::Ca, &c)
+    };
+    for gangs in [1usize, 2, 4] {
+        let (m_ref, s_ref) = cell(gangs, 8, ExecBackend::Coop);
+        for l2_banks in [1usize, 4, 8] {
+            let (m_coop, s_coop) = cell(gangs, l2_banks, ExecBackend::Coop);
+            let (m_thr, s_thr) = cell(gangs, l2_banks, ExecBackend::Threads);
+            for (exec, m, s) in [("Coop", &m_coop, &s_coop), ("Threads", &m_thr, &s_thr)] {
+                assert_eq!(
+                    s_ref.cores, s.cores,
+                    "gangs={gangs} banks={l2_banks} {exec}: per-core stats diverged"
+                );
+                assert_eq!(s_ref.max_cycles, s.max_cycles, "gangs={gangs} banks={l2_banks}");
+                assert_eq!(m_ref.cycles, m.cycles);
+                assert_eq!(m_ref.total_ops, m.total_ops);
+                assert_eq!(
+                    s_ref.epoch_barriers, s.epoch_barriers,
+                    "gangs={gangs} banks={l2_banks} {exec}"
+                );
+            }
+            // Merge counters: identical across backends at fixed banks.
+            assert_eq!(
+                s_coop.banked_merge_events, s_thr.banked_merge_events,
+                "gangs={gangs} banks={l2_banks}: banked counter backend-dependent"
+            );
+            assert_eq!(
+                s_coop.serial_epilogue_events, s_thr.serial_epilogue_events,
+                "gangs={gangs} banks={l2_banks}: epilogue counter backend-dependent"
+            );
+            assert_eq!(s_coop.bank_occupancy, s_thr.bank_occupancy);
+            if gangs > 1 && l2_banks == 8 {
+                assert!(
+                    s_coop.banked_merge_events + s_coop.serial_epilogue_events > 0,
+                    "gangs={gangs}: barriers must carry events"
+                );
+                assert_eq!(
+                    s_coop.bank_occupancy.iter().sum::<u64>(),
+                    s_coop.banked_merge_events,
+                    "gangs={gangs}: occupancy must partition the banked events"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn different_gang_layouts_are_different_but_valid_schedules() {
     // Sanity: gangs=2 is not required (or expected) to reproduce gangs=1
     // timing — it is a bounded-skew relaxation — but both must agree on
