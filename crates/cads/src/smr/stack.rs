@@ -193,10 +193,10 @@ mod tests {
         let m = machine(1);
         let st = SmrStack::new(&m, Leaky::new());
         m.run_on(1, |_, ctx| {
-            st.register(0);
+            let mut t = st.register(0);
             for v in 0..50 {
-                st.push(ctx, &mut (), v);
-                st.pop(ctx, &mut ());
+                st.push(ctx, &mut t, v);
+                st.pop(ctx, &mut t);
             }
         });
         assert_eq!(m.stats().allocated_not_freed, 50);

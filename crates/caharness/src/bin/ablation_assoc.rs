@@ -8,11 +8,10 @@ use caharness::experiments::{ablation_associativity, Scale};
 
 fn main() {
     let scale = Scale::from_args();
-    caharness::sweep::set_jobs_from_args();
-    caharness::config::set_gangs_from_args();
-    caharness::config::set_l2_banks_from_args();
+    caharness::init_from_args();
     eprintln!("[ablation_assoc at {scale:?} scale]");
     let (tput, spurious) = ablation_associativity(scale);
     tput.emit("ablation_assoc_throughput.csv");
     spurious.emit("ablation_assoc_spurious.csv");
+    caharness::finish();
 }

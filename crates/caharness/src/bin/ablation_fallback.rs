@@ -8,11 +8,10 @@ use caharness::experiments::{ablation_fallback, Scale};
 
 fn main() {
     let scale = Scale::from_args();
-    caharness::sweep::set_jobs_from_args();
-    caharness::config::set_gangs_from_args();
-    caharness::config::set_l2_banks_from_args();
+    caharness::init_from_args();
     eprintln!("[ablation_fallback at {scale:?} scale]");
     let (overhead, hostile) = ablation_fallback(scale);
     overhead.emit("ablation_fallback_overhead.csv");
     hostile.emit("ablation_fallback_hostile.csv");
+    caharness::finish();
 }

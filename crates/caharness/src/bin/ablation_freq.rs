@@ -8,11 +8,10 @@ use caharness::experiments::{ablation_reclaim_freq, Scale};
 
 fn main() {
     let scale = Scale::from_args();
-    caharness::sweep::set_jobs_from_args();
-    caharness::config::set_gangs_from_args();
-    caharness::config::set_l2_banks_from_args();
+    caharness::init_from_args();
     eprintln!("[ablation_freq at {scale:?} scale]");
     let (tput, peak) = ablation_reclaim_freq(scale);
     tput.emit("ablation_freq_throughput.csv");
     peak.emit("ablation_freq_peak.csv");
+    caharness::finish();
 }

@@ -9,9 +9,8 @@ use caharness::experiments::{ablation_latency, Scale};
 
 fn main() {
     let scale = Scale::from_args();
-    caharness::sweep::set_jobs_from_args();
-    caharness::config::set_gangs_from_args();
-    caharness::config::set_l2_banks_from_args();
+    caharness::init_from_args();
     eprintln!("[ablation_latency at {scale:?} scale]");
     ablation_latency(scale).emit("ablation_latency.csv");
+    caharness::finish();
 }

@@ -8,11 +8,10 @@ use caharness::experiments::{ablation_protocol, Scale};
 
 fn main() {
     let scale = Scale::from_args();
-    caharness::sweep::set_jobs_from_args();
-    caharness::config::set_gangs_from_args();
-    caharness::config::set_l2_banks_from_args();
+    caharness::init_from_args();
     eprintln!("[ablation_protocol at {scale:?} scale]");
     let (tput, mesi) = ablation_protocol(scale);
     tput.emit("ablation_protocol_throughput.csv");
     mesi.emit("ablation_protocol_mesi_events.csv");
+    caharness::finish();
 }

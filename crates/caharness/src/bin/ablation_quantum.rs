@@ -7,9 +7,8 @@ use caharness::experiments::{ablation_quantum, Scale};
 
 fn main() {
     let scale = Scale::from_args();
-    caharness::sweep::set_jobs_from_args();
-    caharness::config::set_gangs_from_args();
-    caharness::config::set_l2_banks_from_args();
+    caharness::init_from_args();
     eprintln!("[ablation_quantum at {scale:?} scale]");
     ablation_quantum(scale).emit("ablation_quantum.csv");
+    caharness::finish();
 }

@@ -8,11 +8,10 @@ use caharness::experiments::{ablation_smt, Scale};
 
 fn main() {
     let scale = Scale::from_args();
-    caharness::sweep::set_jobs_from_args();
-    caharness::config::set_gangs_from_args();
-    caharness::config::set_l2_banks_from_args();
+    caharness::init_from_args();
     eprintln!("[ablation_smt at {scale:?} scale]");
     let (tput, revokes) = ablation_smt(scale);
     tput.emit("ablation_smt_throughput.csv");
     revokes.emit("ablation_smt_revokes.csv");
+    caharness::finish();
 }

@@ -7,9 +7,7 @@ use caharness::experiments::*;
 
 fn main() {
     let scale = Scale::from_args();
-    caharness::sweep::set_jobs_from_args();
-    caharness::config::set_gangs_from_args();
-    caharness::config::set_l2_banks_from_args();
+    caharness::init_from_args();
     eprintln!("[all_figures at {scale:?} scale]");
     for (i, t) in fig1_lazylist(scale).into_iter().enumerate() {
         t.emit(&format!("fig1_lazylist_panel{i}.csv"));
@@ -49,4 +47,9 @@ fn main() {
     t1.emit("htm_bench_readonly.csv");
     t2.emit("htm_bench_updates.csv");
     t3.emit("htm_bench_aborts.csv");
+    let names = ["robustness_tput.csv", "robustness_footprint.csv", "robustness_garbage.csv"];
+    for (t, name) in fig_robustness(scale).into_iter().zip(names) {
+        t.emit(name);
+    }
+    caharness::finish();
 }

@@ -7,11 +7,10 @@ use caharness::experiments::{fig2_stack, Scale};
 
 fn main() {
     let scale = Scale::from_args();
-    caharness::sweep::set_jobs_from_args();
-    caharness::config::set_gangs_from_args();
-    caharness::config::set_l2_banks_from_args();
+    caharness::init_from_args();
     eprintln!("[fig2_stack at {scale:?} scale]");
     for (i, table) in fig2_stack(scale).into_iter().enumerate() {
         table.emit(&format!("fig2_stack_panel{i}.csv"));
     }
+    caharness::finish();
 }

@@ -8,9 +8,8 @@ use caharness::experiments::{fig3_memory, Scale};
 
 fn main() {
     let scale = Scale::from_args();
-    caharness::sweep::set_jobs_from_args();
-    caharness::config::set_gangs_from_args();
-    caharness::config::set_l2_banks_from_args();
+    caharness::init_from_args();
     eprintln!("[fig3_memory at {scale:?} scale]");
     fig3_memory(scale).emit("fig3_memory.csv");
+    caharness::finish();
 }

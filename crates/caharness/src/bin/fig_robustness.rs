@@ -1,0 +1,23 @@
+//! Robustness extension (not in the paper): every scheme plus CA on the
+//! lock-free MS queue while 0, 1, or 2 of the simulated cores fail-stop
+//! mid-operation at fixed clocks. Three tables: throughput, peak
+//! allocated-not-freed footprint, and peak retired-but-unfreed bytes held
+//! by the reclamation scheme. The third shows the separation the fault
+//! model exists to measure: qsbr/rcu garbage grows without bound behind a
+//! dead reader while hp/he/ibr stay bounded and CA holds none at all.
+//!
+//! Usage: `cargo run -p caharness --release --bin fig_robustness \
+//!     [--quick|--paper] [--jobs N] [--max_cycles N] [--fail-fast]`
+
+use caharness::experiments::{fig_robustness, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    caharness::init_from_args();
+    eprintln!("[fig_robustness at {scale:?} scale]");
+    let names = ["robustness_tput.csv", "robustness_footprint.csv", "robustness_garbage.csv"];
+    for (table, name) in fig_robustness(scale).into_iter().zip(names) {
+        table.emit(name);
+    }
+    caharness::finish();
+}

@@ -8,9 +8,8 @@ use caharness::experiments::{harris_bench, Scale};
 
 fn main() {
     let scale = Scale::from_args();
-    caharness::sweep::set_jobs_from_args();
-    caharness::config::set_gangs_from_args();
-    caharness::config::set_l2_banks_from_args();
+    caharness::init_from_args();
     eprintln!("[harris_bench at {scale:?} scale]");
     harris_bench(scale).emit("harris_bench.csv");
+    caharness::finish();
 }

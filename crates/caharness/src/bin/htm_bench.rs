@@ -9,12 +9,11 @@ use caharness::experiments::{htm_bench, Scale};
 
 fn main() {
     let scale = Scale::from_args();
-    caharness::sweep::set_jobs_from_args();
-    caharness::config::set_gangs_from_args();
-    caharness::config::set_l2_banks_from_args();
+    caharness::init_from_args();
     eprintln!("[htm_bench at {scale:?} scale]");
     let (read_only, updates, aborts) = htm_bench(scale);
     read_only.emit("htm_bench_readonly.csv");
     updates.emit("htm_bench_updates.csv");
     aborts.emit("htm_bench_aborts.csv");
+    caharness::finish();
 }

@@ -8,9 +8,8 @@ use caharness::experiments::{lfbst_bench, Scale};
 
 fn main() {
     let scale = Scale::from_args();
-    caharness::sweep::set_jobs_from_args();
-    caharness::config::set_gangs_from_args();
-    caharness::config::set_l2_banks_from_args();
+    caharness::init_from_args();
     eprintln!("[lfbst_bench at {scale:?} scale]");
     lfbst_bench(scale).emit("lfbst_bench.csv");
+    caharness::finish();
 }

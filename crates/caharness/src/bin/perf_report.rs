@@ -17,8 +17,7 @@ use caharness::{run_set, Mix, RunConfig, SetKind};
 use casmr::SchemeKind;
 
 fn main() {
-    caharness::config::set_gangs_from_args();
-    caharness::config::set_l2_banks_from_args();
+    caharness::init_from_args();
     let reps: usize = std::env::args()
         .nth(1)
         .and_then(|a| a.parse().ok())
@@ -91,4 +90,5 @@ fn main() {
         }
     }
     println!("\n]");
+    caharness::finish();
 }

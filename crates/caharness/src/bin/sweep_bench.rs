@@ -1,8 +1,9 @@
 //! Host wall-clock instrument for the parallel sweep engine
-//! (`BENCH_pr2.json`), intra-machine gang scheduling (`BENCH_pr3.json`)
-//! and the banked multi-writer barrier merge (`BENCH_pr4.json`).
+//! (`BENCH_pr2.json`), intra-machine gang scheduling (`BENCH_pr3.json`),
+//! the banked multi-writer barrier merge (`BENCH_pr4.json`) and the
+//! fault-injection subsystem (`BENCH_pr6.json`).
 //!
-//! Three instruments, one JSON array on stdout:
+//! Four instruments, one JSON array on stdout:
 //!
 //! 1. **Sweep** (PR 2): one figure-style grid — 7 schemes × 4 thread
 //!    counts = 28 configurations of the Figure-1 lazy list — once with
@@ -21,6 +22,12 @@
 //!    `serial_epilogue_events`) plus the gN/g1 wall-clock ratio — the
 //!    classification-overhead bound on a 1-vCPU host, the merge speedup on
 //!    multi-core CI.
+//! 4. **Robust** (PR 6): a fault-injected 16-core MS-queue run (two cores
+//!    fail-stop mid-operation at fixed simulated clocks) per scheme,
+//!    repeated with bit-identical results asserted per layout and across
+//!    L2-bank counts, recording the survivors' wall clock and the
+//!    per-scheme pinned-garbage peak — the qsbr-vs-hp gap is the
+//!    bounded-garbage separation `fig_robustness` plots.
 //!
 //! Simulated results are deterministic, so every wall-clock ratio is pure
 //! host-scheduling performance.
@@ -31,8 +38,9 @@
 use std::time::Instant;
 
 use caharness::config::jobs_from_args;
-use caharness::{run_set_with_stats, sweep, Mix, RunConfig, SeriesTable, SetKind};
-use casmr::SchemeKind;
+use caharness::{run_queue_robust, run_set_with_stats, sweep, Mix, RunConfig, SeriesTable, SetKind};
+use casmr::{SchemeKind, SmrConfig};
+use mcsim::FaultPlan;
 
 fn grid() -> SeriesTable {
     let threads = [1usize, 2, 4, 8];
@@ -147,6 +155,67 @@ fn time_banked(
     (best_ms, warm, warm_stats)
 }
 
+/// One fault-injected 16-core MS-queue run at `(gangs, l2_banks)`: cores
+/// 15 and 14 fail-stop mid-operation at fixed simulated clocks. Returns
+/// (best wall ms over `reps`, metrics) — repeated runs asserted
+/// bit-identical in every simulated result (cycles, ops, crashed cores,
+/// garbage bytes), so the fault machinery itself is covered by the same
+/// determinism contract as the fault-free instruments.
+fn time_robust(
+    scheme: SchemeKind,
+    gangs: usize,
+    l2_banks: usize,
+    reps: usize,
+) -> (f64, caharness::Metrics) {
+    let cfg = RunConfig {
+        threads: 16,
+        key_range: 1000,
+        prefill: 64,
+        ops_per_thread: 500,
+        mix: Mix {
+            insert_pct: 50,
+            delete_pct: 50,
+        },
+        gangs,
+        cache: mcsim::CacheConfig {
+            l2_banks,
+            ..Default::default()
+        },
+        // Aggressive reclamation cadence so the surviving threads actually
+        // try to free — making the pinned backlog attributable to the
+        // crash, not to lazy batching.
+        smr: SmrConfig {
+            reclaim_freq: 4,
+            epoch_freq: 8,
+            ..Default::default()
+        },
+        fault_plan: FaultPlan::none().crash(15, 4_000).crash(14, 7_000),
+        max_cycles: Some(2_000_000_000),
+        ..Default::default()
+    };
+    let warm = run_queue_robust(scheme, &cfg);
+    assert_eq!(warm.crashed_cores, 2, "{}: both crashes must land", scheme.name());
+    let mut best_ms = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let m = run_queue_robust(scheme, &cfg);
+        best_ms = best_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(
+            (m.cycles, m.total_ops, m.crashed_cores, m.peak_garbage_bytes, m.final_garbage_bytes),
+            (
+                warm.cycles,
+                warm.total_ops,
+                warm.crashed_cores,
+                warm.peak_garbage_bytes,
+                warm.final_garbage_bytes
+            ),
+            "{}: gangs={gangs} banks={l2_banks}: fault run diverged between reps",
+            scheme.name()
+        );
+    }
+    (best_ms, warm)
+}
+
 fn main() {
     let reps: usize = std::env::args()
         .nth(1)
@@ -238,6 +307,51 @@ fn main() {
             banked_m.epoch_barriers,
         ));
     }
+    // PR 6: the fault-injection subsystem. Per scheme, one 16-core MS-queue
+    // run with two cores fail-stopped mid-operation, at gangs {1, 2} and —
+    // for the gang layout — L2 banks {1, 8}, asserted bit-identical across
+    // bank counts (faults must not perturb the banked-merge proof). The
+    // recorded garbage peaks are the figure's headline: qsbr's dead-reader
+    // backlog vs hp's O(1) bound vs CA's zero-by-construction.
+    eprintln!("[sweep_bench: robust_bench, 16 simulated cores, 2 fail-stopped, gangs {{1,2}} × banks {{1,8}}]");
+    let mut qsbr_peak = 0u64;
+    let mut hp_peak = u64::MAX;
+    for scheme in [SchemeKind::Qsbr, SchemeKind::Hp, SchemeKind::Ca] {
+        let (g1_ms, g1) = time_robust(scheme, 1, 1, reps);
+        let (g2_ms, g2) = time_robust(scheme, 2, 1, reps);
+        let (g2b_ms, g2b) = time_robust(scheme, 2, 8, reps);
+        assert_eq!(
+            (g2.cycles, g2.total_ops, g2.peak_garbage_bytes, g2.final_garbage_bytes),
+            (g2b.cycles, g2b.total_ops, g2b.peak_garbage_bytes, g2b.final_garbage_bytes),
+            "{}: fault run differs between 1 and 8 L2 banks at gangs=2",
+            scheme.name()
+        );
+        match scheme {
+            SchemeKind::Qsbr => qsbr_peak = g1.peak_garbage_bytes,
+            SchemeKind::Hp => hp_peak = g1.peak_garbage_bytes,
+            _ => {}
+        }
+        rows.push(format!(
+            "  {{\"bench\": \"robust_bench\", \"threads\": 16, \"scheme\": \"{}\", \
+             \"crashes\": 2, \"reps\": {reps}, \"wall_ms_g1\": {g1_ms:.1}, \
+             \"wall_ms_g2\": {g2_ms:.1}, \"wall_ms_g2_banks8\": {g2b_ms:.1}, \
+             \"sim_cycles_g1\": {}, \"sim_cycles_g2\": {}, \"total_ops_g1\": {}, \
+             \"crashed_cores\": {}, \"peak_garbage_bytes_g1\": {}, \
+             \"final_garbage_bytes_g1\": {}, \"identical_across_banks\": true, \
+             \"deterministic\": true}}",
+            scheme.name(),
+            g1.cycles,
+            g2.cycles,
+            g1.total_ops,
+            g1.crashed_cores,
+            g1.peak_garbage_bytes,
+            g1.final_garbage_bytes,
+        ));
+    }
+    assert!(
+        qsbr_peak > hp_peak,
+        "bounded-garbage separation lost: qsbr peak {qsbr_peak} <= hp peak {hp_peak}"
+    );
     println!("{}", rows.join(",\n"));
     println!("]");
 }

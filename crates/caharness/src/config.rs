@@ -1,7 +1,7 @@
 //! Experiment configuration.
 
 use casmr::SmrConfig;
-use mcsim::{CacheConfig, ExecBackend, LatencyModel, MachineConfig, UafMode};
+use mcsim::{CacheConfig, ExecBackend, FaultPlan, LatencyModel, MachineConfig, UafMode};
 
 /// Operation mix, in percent. The paper's three workloads are
 /// `0i-0d` (read-only), `5i-5d` (10% updates) and `50i-50d` (100% updates);
@@ -79,6 +79,13 @@ pub struct RunConfig {
     /// Gang epoch window W in cycles (bounds inter-gang skew and
     /// cross-gang event latency; see `mcsim`). Ignored at `gangs == 1`.
     pub gang_window: u64,
+    /// Injected faults for robustness experiments (see `mcsim::fault`);
+    /// empty for every ordinary figure. The robustness runner disarms the
+    /// plan during prefill so faults fire at measured-phase clocks only.
+    pub fault_plan: FaultPlan,
+    /// Wedge watchdog: panic if any simulated core's clock passes this
+    /// bound (`--max_cycles`). `None` = no bound (the default).
+    pub max_cycles: Option<u64>,
 }
 
 impl Default for RunConfig {
@@ -110,6 +117,8 @@ impl Default for RunConfig {
             exec: ExecBackend::Auto,
             gangs: default_gangs(),
             gang_window: 4096,
+            fault_plan: FaultPlan::none(),
+            max_cycles: default_max_cycles(),
         }
     }
 }
@@ -207,6 +216,43 @@ pub fn set_l2_banks_from_args() {
     set_default_l2_banks(l2_banks_from_args());
 }
 
+/// Process-wide default for [`RunConfig::max_cycles`] (the wedge
+/// watchdog), installed by the bins' `--max_cycles N` flag. 0 = no bound.
+static DEFAULT_MAX_CYCLES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Set the default watchdog bound newly-built [`RunConfig`]s start with
+/// (0 = unbounded).
+pub fn set_default_max_cycles(n: u64) {
+    DEFAULT_MAX_CYCLES.store(n, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// The current default watchdog bound (`None` = unbounded).
+pub fn default_max_cycles() -> Option<u64> {
+    match DEFAULT_MAX_CYCLES.load(std::sync::atomic::Ordering::Relaxed) {
+        0 => None,
+        n => Some(n),
+    }
+}
+
+/// Parse the `--max_cycles N` / `--max_cycles=N` flag (0 or absent = no
+/// watchdog). With the default collecting sweeps, a configuration that
+/// wedges (livelocks, or stalls forever under an injected fault) becomes
+/// one attributable `ERR` cell instead of a hung process.
+pub fn max_cycles_from_args() -> u64 {
+    match flag_value_from_args("--max_cycles") {
+        None => 0,
+        Some(v) => v
+            .parse()
+            .unwrap_or_else(|_| panic!("--max_cycles requires a non-negative integer, got {v:?}")),
+    }
+}
+
+/// Parse `--max_cycles` from the CLI and install it as the process default
+/// — called by every harness bin next to [`set_gangs_from_args`].
+pub fn set_max_cycles_from_args() {
+    set_default_max_cycles(max_cycles_from_args());
+}
+
 /// Parse the `--jobs N` / `--jobs=N` / `-jN` sweep-parallelism flag from
 /// the CLI (0 = auto: one host worker per CPU). Every harness bin threads
 /// this into [`crate::sweep::set_jobs`]; it is a host-performance knob only
@@ -256,6 +302,8 @@ impl RunConfig {
             exec: self.exec,
             gangs: self.gangs,
             gang_window: self.gang_window,
+            fault_plan: self.fault_plan.clone(),
+            max_cycles: self.max_cycles,
         }
     }
 

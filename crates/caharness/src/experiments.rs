@@ -13,13 +13,13 @@
 
 use casmr::{SchemeKind, SmrConfig};
 use mcsim::coherence::Protocol;
-use mcsim::CacheConfig;
+use mcsim::{CacheConfig, FaultPlan};
 
 use crate::config::{Mix, RunConfig};
 use crate::metrics::Metrics;
 use crate::runner::{
-    run_fallback_list, run_harris, run_htm_list, run_lf_bst, run_queue, run_set, run_set_latency,
-    run_stack, SetKind,
+    run_fallback_list, run_harris, run_htm_list, run_lf_bst, run_queue, run_queue_robust, run_set,
+    run_set_latency, run_stack, SetKind,
 };
 use crate::sweep;
 use crate::table::SeriesTable;
@@ -96,7 +96,7 @@ pub fn throughput_panel(
         kind.map_or("stack", SetKind::name),
         mix.label()
     );
-    let rows = sweep::grid(&label, &SchemeKind::ALL, &threads, |&scheme, &t| {
+    let rows = sweep::grid_cells(&label, &SchemeKind::ALL, &threads, |&scheme, &t| {
         let cfg = RunConfig {
             threads: t,
             key_range,
@@ -339,7 +339,7 @@ pub fn ablation_quantum(scale: Scale) -> SeriesTable {
         "scheme\\quantum",
         quanta.iter().map(|q| q.to_string()).collect(),
     );
-    let cells = sweep::grid("ablation_quantum", &schemes, &quanta, |&scheme, &q| {
+    let cells = sweep::grid_cells("ablation_quantum", &schemes, &quanta, |&scheme, &q| {
         let cfg = RunConfig {
             threads,
             key_range: 1000,
@@ -521,7 +521,7 @@ pub fn queue_bench(scale: Scale) -> SeriesTable {
         "scheme\\threads",
         threads.iter().map(|t| t.to_string()).collect(),
     );
-    let rows = sweep::grid("queue_bench", &SchemeKind::ALL, &threads, |&scheme, &t| {
+    let rows = sweep::grid_cells("queue_bench", &SchemeKind::ALL, &threads, |&scheme, &t| {
         let cfg = RunConfig {
             threads: t,
             key_range: 1000,
@@ -538,6 +538,115 @@ pub fn queue_bench(scale: Scale) -> SeriesTable {
         table.push_series(scheme.name(), row);
     }
     table
+}
+
+/// The robustness figure (PR 6): every scheme on the **lock-free** MS
+/// queue with 0, 1 or 2 cores fail-stopped early in the measured phase (a
+/// fail-stopped core is indistinguishable from one stalled forever — see
+/// `mcsim::fault`). Three tables:
+///
+/// 1. throughput (ops/Mcycle) — survivors of the per-op epoch schemes keep
+///    *running* at full speed even though they can no longer reclaim;
+/// 2. peak allocated-not-freed nodes — where that unreclaimed backlog
+///    shows: qsbr/rcu/none grow with the survivors' work, hp/he/ibr stay
+///    near their no-fault footprint, and CA stays at the live set;
+/// 3. peak retired-but-unfreed bytes held *inside* each scheme
+///    ([`casmr::GarbageStats`]; CA has no such backlog by construction and
+///    is omitted).
+///
+/// The queue (not the lazy list) because crash-robustness is only a
+/// meaningful measurement for nonblocking structures: a lock holder that
+/// fail-stops wedges lock-based survivors — which the `max_cycles`
+/// watchdog would report as an `ERR` cell, not a data point.
+pub fn fig_robustness(scale: Scale) -> Vec<SeriesTable> {
+    let threads = match scale {
+        Scale::Quick => 4,
+        _ => 8,
+    };
+    let stalled = [0usize, 1, 2];
+    let labels: Vec<String> = stalled.iter().map(|s| s.to_string()).collect();
+    let cfg_for = |s: usize| {
+        let mut plan = FaultPlan::none();
+        for i in 0..s {
+            // Victims are the highest-numbered cores, staggered so the
+            // two-victim column exercises two distinct trigger clocks.
+            plan = plan.crash(threads - 1 - i, 4_000 + 3_000 * i as u64);
+        }
+        RunConfig {
+            threads,
+            key_range: 1000,
+            // Small prefill and early crashes: a frozen he/ibr reservation
+            // pins every node born before the fail-stop (for a FIFO queue
+            // that includes the whole prefill as it drains), so the
+            // pre-crash population IS those schemes' garbage bound — keep
+            // it small relative to the survivors' post-crash work, which is
+            // what the unbounded schemes' backlog grows with.
+            prefill: 64,
+            mix: Mix {
+                insert_pct: 50,
+                delete_pct: 50,
+            },
+            fault_plan: plan,
+            // Aggressive reclamation cadence: with the lazy paper defaults
+            // a short healthy run barely reclaims at all, which would mask
+            // the fault-pinned backlog this figure exists to show. Scanning
+            // every 4 retires makes the no-fault column's garbage small, so
+            // any growth under fail-stopped cores is attributable to the
+            // fault, not the batch size.
+            smr: SmrConfig {
+                reclaim_freq: 4,
+                epoch_freq: 8,
+                ..Default::default()
+            },
+            // Backstop: if fault handling ever wedged a run, the watchdog
+            // turns it into an attributable ERR cell instead of a hang.
+            max_cycles: crate::config::default_max_cycles().or(Some(2_000_000_000)),
+            ..base_config(scale)
+        }
+    };
+    let cfg_for = &cfg_for;
+    let tasks: Vec<sweep::Task<Metrics>> = SchemeKind::ALL
+        .iter()
+        .flat_map(|&scheme| {
+            stalled.iter().map(move |&s| {
+                Box::new(move || run_queue_robust(scheme, &cfg_for(s))) as sweep::Task<Metrics>
+            })
+        })
+        .collect();
+    let flat = sweep::run_results("fig_robustness", tasks);
+
+    let mut tput = SeriesTable::new(
+        format!(
+            "Robustness — MS queue 50enq-50deq, {threads} threads, N cores \
+             fail-stopped (ops/Mcycle)"
+        ),
+        "scheme\\stalled",
+        labels.clone(),
+    );
+    let mut footprint = SeriesTable::new(
+        "Robustness — peak allocated-not-freed nodes under fail-stopped cores",
+        "scheme\\stalled",
+        labels.clone(),
+    );
+    let mut garbage = SeriesTable::new(
+        "Robustness — peak retired-but-unfreed bytes held by the scheme \
+         (CA holds none by construction)",
+        "scheme\\stalled",
+        labels,
+    );
+    for (scheme, row) in SchemeKind::ALL.iter().zip(flat.chunks(stalled.len())) {
+        let pick = |f: &dyn Fn(&Metrics) -> f64| -> Vec<f64> {
+            row.iter()
+                .map(|r| r.as_ref().map_or(sweep::ERR_CELL, f))
+                .collect()
+        };
+        tput.push_series(scheme.name(), pick(&|m| m.throughput));
+        footprint.push_series(scheme.name(), pick(&|m| m.peak_allocated as f64));
+        if *scheme != SchemeKind::Ca {
+            garbage.push_series(scheme.name(), pick(&|m| m.peak_garbage_bytes as f64));
+        }
+    }
+    vec![tput, footprint, garbage]
 }
 
 /// §I claim: batch reclamation causes "long program interruptions and
@@ -898,7 +1007,7 @@ pub fn htm_bench(scale: Scale) -> (SeriesTable, SeriesTable, SeriesTable) {
         (updates, "HTM comparator — lazy list, 50i-50d"),
     ] {
         let mut table = SeriesTable::new(title, "variant\\threads", labels.clone());
-        let srows = sweep::grid("htm_baselines", &schemes, &threads, |&scheme, &t| {
+        let srows = sweep::grid_cells("htm_baselines", &schemes, &threads, |&scheme, &t| {
             run_set(SetKind::LazyList, scheme, &cfg_for(t, mix)).throughput
         });
         for (scheme, row) in schemes.iter().zip(srows) {
@@ -951,6 +1060,54 @@ mod tests {
     fn quick_scale_shapes() {
         assert_eq!(Scale::Quick.threads(), vec![1, 2, 4]);
         assert_eq!(Scale::Paper.ops(), 3000);
+    }
+
+    #[test]
+    fn fig_robustness_quick_separates_schemes() {
+        // The PR-6 acceptance claim: with one fail-stopped thread, the
+        // per-op epoch schemes' retired-but-unfreed backlog grows with the
+        // survivors' work, while the per-read schemes stay near their
+        // no-fault footprint and CA stays at the live set.
+        let tables = fig_robustness(Scale::Quick);
+        let [tput, footprint, garbage] = &tables[..] else {
+            panic!("three robustness tables");
+        };
+        let row = |t: &SeriesTable, name: &str| -> Vec<f64> {
+            t.series.iter().find(|(n, _)| n == name).unwrap().1.clone()
+        };
+        for (name, vals) in &tput.series {
+            assert!(
+                vals.iter().all(|&v| v > 0.0 && !v.is_nan()),
+                "{name}: survivors must keep completing ops: {vals:?}"
+            );
+        }
+        let qsbr = row(garbage, "qsbr");
+        let rcu = row(garbage, "rcu");
+        for (name, g) in [("qsbr", &qsbr), ("rcu", &rcu)] {
+            assert!(
+                g[1] > 3.0 * g[0].max(64.0),
+                "{name}: one fail-stopped thread must blow up the pinned \
+                 backlog ({} -> {})",
+                g[0],
+                g[1]
+            );
+        }
+        for name in ["hp", "he", "ibr"] {
+            let g = row(garbage, name);
+            assert!(
+                g[1] <= 2.0 * g[0] + 64.0 * 64.0,
+                "{name}: per-read protection must keep garbage bounded \
+                 ({} -> {})",
+                g[0],
+                g[1]
+            );
+        }
+        let ca = row(footprint, "ca");
+        assert!(
+            ca.iter().all(|&v| v < 400.0),
+            "ca: immediate reclamation keeps the footprint at the live set \
+             even with fail-stopped threads: {ca:?}"
+        );
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! | `harris_bench` | extension: lock-free CA Harris list (paper future work) |
 //! | `lfbst_bench` | extension: lock-free CA external BST (paper future work) |
 //! | `htm_bench` | §VI comparator: hand-over-hand transactions (Zhou et al.) |
+//! | `fig_robustness` | extension: throughput + garbage bounds under fail-stopped cores |
 //! | `all_figures` | everything above, sequentially |
 //!
 //! Every binary accepts `--jobs N`: experiment configurations are
@@ -37,6 +38,13 @@
 //! part of the simulated configuration — `gangs=1` is byte-identical to
 //! the classic scheduler, every fixed `G` is bit-deterministic, and
 //! different `G` are different (bounded-skew) schedules.
+//!
+//! Robustness flags (PR 6): `--max_cycles N` arms the per-core wedge
+//! watchdog (a run that passes `N` simulated cycles panics instead of
+//! spinning forever — turns a CI hang into a red test), and `--fail-fast`
+//! restores the old sweep behavior of aborting the whole binary on the
+//! first failed task. Without it, failed tasks render as `ERR` cells and
+//! the binary exits nonzero after completing everything else.
 
 pub mod config;
 pub mod experiments;
@@ -50,5 +58,28 @@ pub use config::{Mix, RunConfig};
 pub use experiments::Scale;
 pub use hist::Histogram;
 pub use metrics::Metrics;
-pub use runner::{run_queue, run_set, run_set_latency, run_set_with_stats, run_stack, SetKind};
+pub use runner::{
+    run_queue, run_queue_robust, run_set, run_set_latency, run_set_robust, run_set_with_stats,
+    run_stack, SetKind,
+};
 pub use table::SeriesTable;
+
+/// Parse the shared harness CLI flags (`--jobs`, `--gangs`, `--l2_banks`,
+/// `--max_cycles`, `--fail-fast`) and install them as process defaults.
+/// Every figure binary calls this first.
+pub fn init_from_args() {
+    sweep::set_jobs_from_args();
+    sweep::set_fail_fast_from_args();
+    config::set_gangs_from_args();
+    config::set_l2_banks_from_args();
+    config::set_max_cycles_from_args();
+}
+
+/// Report sweep tasks that failed (collecting mode) and exit nonzero if
+/// there were any. Every figure binary calls this last; with `--fail-fast`
+/// the process never gets here on failure (the panic aborts it instead).
+pub fn finish() {
+    if sweep::report_failures() != 0 {
+        std::process::exit(1);
+    }
+}

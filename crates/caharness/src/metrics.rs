@@ -69,6 +69,20 @@ pub struct Metrics {
     pub untag_alls: u64,
     /// `untagOne` instructions executed.
     pub untag_ones: u64,
+    // --- robustness (fault-injection runs; zeros elsewhere) ------------
+    /// Simulated cores that fail-stopped under an injected crash.
+    pub crashed_cores: usize,
+    /// Injected stall/burst-deschedule windows that fired.
+    pub fault_stalls: u64,
+    /// Allocations that failed recoverably under injected heap pressure.
+    pub alloc_failures: u64,
+    /// Scheme-level peak of retired-but-unfreed bytes (sum of per-thread
+    /// peaks — an upper bound; see `casmr::GarbageStats::merge`). 0 when
+    /// the runner has no scheme-level meter (e.g. `ca`, which never holds
+    /// garbage).
+    pub peak_garbage_bytes: u64,
+    /// Retired-but-unfreed bytes still held at the end of the run.
+    pub final_garbage_bytes: u64,
 }
 
 impl Metrics {
@@ -112,7 +126,20 @@ impl Metrics {
             invalidation_cycles: stats.sum(|c| c.invalidation_cycles),
             untag_alls: stats.sum(|c| c.untag_alls),
             untag_ones: stats.sum(|c| c.untag_ones),
+            crashed_cores: stats.crashed.iter().filter(|&&c| c).count(),
+            fault_stalls: stats.sum(|c| c.fault_stalls),
+            alloc_failures: stats.sum(|c| c.alloc_failures),
+            peak_garbage_bytes: 0,
+            final_garbage_bytes: 0,
         }
+    }
+
+    /// Attach scheme-level garbage accounting (the robustness runner calls
+    /// this with the merged per-thread [`casmr::GarbageStats`]).
+    pub fn with_garbage(mut self, g: &casmr::GarbageStats) -> Self {
+        self.peak_garbage_bytes = g.peak_bytes();
+        self.final_garbage_bytes = g.live_bytes();
+        self
     }
 }
 

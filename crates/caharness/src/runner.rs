@@ -5,8 +5,8 @@ use cads::ca::{CaExtBst, CaHarrisList, CaLazyList, CaLfExtBst, CaQueue, CaStack,
 use cads::htm::HtmLazyList;
 use cads::smr::{SmrExtBst, SmrLazyList, SmrQueue, SmrStack};
 use cads::{HashTable, QueueDs, SetDs, StackDs};
-use casmr::{He, Hp, Ibr, Leaky, Qsbr, Rcu, SchemeKind};
-use mcsim::{Machine, Rng};
+use casmr::{GarbageStats, He, Hp, Ibr, Leaky, Qsbr, Rcu, SchemeKind, Smr};
+use mcsim::{CoreOutcome, Machine, Rng};
 
 use crate::config::RunConfig;
 use crate::hist::Histogram;
@@ -146,6 +146,76 @@ pub fn run_fallback_list(cfg: &RunConfig, max_attempts: u64) -> (Metrics, u64) {
     (metrics, fallbacks)
 }
 
+/// The robustness-figure runner: [`run_set`] under an injected
+/// [`RunConfig::fault_plan`]. Faults are disarmed for the prefill (so
+/// trigger clocks always mean measured-phase clocks) and re-armed after
+/// `reset_timing`; the measured phase tolerates injected crashes — a
+/// crashed core simply stops contributing operations, exactly like a
+/// thread that stalled forever (the two are indistinguishable to the
+/// survivors). Returns the usual metrics plus the merged
+/// retired-but-unfreed garbage accounting of the *surviving* threads —
+/// which is where a pinned backlog accumulates, since it is the survivors
+/// who retire nodes they can no longer free.
+pub fn run_set_robust(kind: SetKind, scheme: SchemeKind, cfg: &RunConfig) -> Metrics {
+    let m = Machine::new(cfg.machine_config());
+    match (kind, scheme) {
+        (SetKind::LazyList, SchemeKind::Ca) => {
+            let ds = CaLazyList::new(&m);
+            drive_set_robust(&m, &ds, scheme, cfg, |_| GarbageStats::default())
+        }
+        (SetKind::LazyList, s) => with_scheme!(&m, cfg, s, |sch| {
+            let ds = SmrLazyList::new(&m, &sch);
+            drive_set_robust(&m, &ds, s, cfg, |tls| sch.garbage(tls))
+        }),
+        (SetKind::ExtBst, SchemeKind::Ca) => {
+            let ds = CaExtBst::new(&m);
+            drive_set_robust(&m, &ds, scheme, cfg, |_| GarbageStats::default())
+        }
+        (SetKind::ExtBst, s) => with_scheme!(&m, cfg, s, |sch| {
+            let ds = SmrExtBst::new(&m, &sch);
+            drive_set_robust(&m, &ds, s, cfg, |tls| sch.garbage(tls))
+        }),
+        (SetKind::HashTable, SchemeKind::Ca) => {
+            let ds = HashTable::new(&m, cfg.buckets, CaLazyList::new);
+            drive_set_robust(&m, &ds, scheme, cfg, |_| GarbageStats::default())
+        }
+        (SetKind::HashTable, s) => with_scheme!(&m, cfg, s, |sch| {
+            let ds = HashTable::new(&m, cfg.buckets, |mm| SmrLazyList::new(mm, &sch));
+            drive_set_robust(&m, &ds, s, cfg, |tls| sch.garbage(tls))
+        }),
+    }
+}
+
+/// [`run_queue`] under an injected fault plan — the robustness figure's
+/// main instrument. The MS queue is **lock-free**, so it (like every
+/// nonblocking structure) stays live when a core fail-stops mid-operation;
+/// the lock-based sets do not — a victim crashed while holding a node lock
+/// wedges the survivors, which the [`RunConfig::max_cycles`] watchdog turns
+/// into an attributable panic (one `ERR` cell under collecting sweeps).
+/// That asymmetry is the reason this figure runs on the queue: a crashed
+/// thread only makes sense as a *measurement* condition where the survivors
+/// are guaranteed to keep completing operations. Crash plans on
+/// [`run_set_robust`] are still meaningful for *finite* stalls (the victim
+/// resumes and releases its locks).
+pub fn run_queue_robust(scheme: SchemeKind, cfg: &RunConfig) -> Metrics {
+    assert_eq!(
+        cfg.mix.updates(),
+        100,
+        "queues have no read operation: use an enqueue/dequeue-only mix"
+    );
+    let m = Machine::new(cfg.machine_config());
+    match scheme {
+        SchemeKind::Ca => {
+            let ds = CaQueue::new(&m);
+            drive_queue_robust(&m, &ds, scheme, cfg, |_| GarbageStats::default())
+        }
+        s => with_scheme!(&m, cfg, s, |sch| {
+            let ds = SmrQueue::new(&m, &sch);
+            drive_queue_robust(&m, &ds, s, cfg, |tls| sch.garbage(tls))
+        }),
+    }
+}
+
 /// Like [`run_set`] but additionally records **per-operation latency** (in
 /// simulated cycles) into a merged histogram — the §I tail-latency claim's
 /// instrument.
@@ -260,6 +330,61 @@ fn drive_set<D: SetDs>(
     (metrics, stats)
 }
 
+/// `drive_set` under an armed fault plan (see [`run_set_robust`]).
+fn drive_set_robust<D: SetDs, G>(
+    m: &Machine,
+    ds: &D,
+    scheme: SchemeKind,
+    cfg: &RunConfig,
+    garbage: G,
+) -> Metrics
+where
+    G: Fn(&D::Tls) -> GarbageStats + Sync,
+{
+    // Prefill with faults disarmed: a `crash at clock C` in the plan always
+    // means "C cycles into the measured phase", never somewhere random
+    // inside the (much longer, single-threaded) prefill.
+    m.set_faults_armed(false);
+    let prefill_seed = cfg.thread_seed(usize::MAX);
+    m.run_on(1, |_, ctx| {
+        let mut tls = ds.register(0);
+        let mut rng = Rng::new(prefill_seed);
+        let mut live = 0;
+        while live < cfg.prefill {
+            if ds.insert(ctx, &mut tls, 1 + rng.below(cfg.key_range)) {
+                live += 1;
+            }
+        }
+    });
+    m.reset_timing();
+    m.set_faults_armed(true);
+    let outs = m.run_outcomes_on(cfg.threads, |tid, ctx| {
+        let mut tls = ds.register(tid);
+        let mut rng = Rng::new(cfg.thread_seed(tid));
+        for _ in 0..cfg.ops_per_thread {
+            let key = 1 + rng.below(cfg.key_range);
+            let roll = rng.below(100);
+            if roll < cfg.mix.insert_pct {
+                ds.insert(ctx, &mut tls, key);
+            } else if roll < cfg.mix.updates() {
+                ds.delete(ctx, &mut tls, key);
+            } else {
+                ds.contains(ctx, &mut tls, key);
+            }
+            ctx.op_completed();
+        }
+        garbage(&tls)
+    });
+    let mut merged = GarbageStats::default();
+    for o in outs {
+        if let CoreOutcome::Done(g) = o {
+            merged.merge(&g);
+        }
+    }
+    Metrics::from_stats(scheme.name(), cfg.threads, &m.stats(), m.footprint_samples())
+        .with_garbage(&merged)
+}
+
 /// `drive_set` with per-operation latency capture. The `ctx.now()` probes
 /// are host-side (no simulated cycles), so throughput is unaffected.
 fn drive_set_latency<D: SetDs>(
@@ -333,6 +458,52 @@ fn drive_stack<D: StackDs>(m: &Machine, ds: &D, scheme: SchemeKind, cfg: &RunCon
         }
     });
     Metrics::from_stats(scheme.name(), cfg.threads, &m.stats(), m.footprint_samples())
+}
+
+/// `drive_queue` under an armed fault plan (see [`run_queue_robust`];
+/// prefill/arming discipline as in [`drive_set_robust`]).
+fn drive_queue_robust<D: QueueDs, G>(
+    m: &Machine,
+    ds: &D,
+    scheme: SchemeKind,
+    cfg: &RunConfig,
+    garbage: G,
+) -> Metrics
+where
+    G: Fn(&D::Tls) -> GarbageStats + Sync,
+{
+    m.set_faults_armed(false);
+    m.run_on(1, |_, ctx| {
+        let mut tls = ds.register(0);
+        let mut rng = Rng::new(cfg.thread_seed(usize::MAX));
+        for _ in 0..cfg.prefill {
+            ds.enqueue(ctx, &mut tls, 1 + rng.below(cfg.key_range));
+        }
+    });
+    m.reset_timing();
+    m.set_faults_armed(true);
+    let outs = m.run_outcomes_on(cfg.threads, |tid, ctx| {
+        let mut tls = ds.register(tid);
+        let mut rng = Rng::new(cfg.thread_seed(tid));
+        for _ in 0..cfg.ops_per_thread {
+            let roll = rng.below(100);
+            if roll < cfg.mix.insert_pct {
+                ds.enqueue(ctx, &mut tls, 1 + rng.below(cfg.key_range));
+            } else {
+                ds.dequeue(ctx, &mut tls);
+            }
+            ctx.op_completed();
+        }
+        garbage(&tls)
+    });
+    let mut merged = GarbageStats::default();
+    for o in outs {
+        if let CoreOutcome::Done(g) = o {
+            merged.merge(&g);
+        }
+    }
+    Metrics::from_stats(scheme.name(), cfg.threads, &m.stats(), m.footprint_samples())
+        .with_garbage(&merged)
 }
 
 fn drive_queue<D: QueueDs>(m: &Machine, ds: &D, scheme: SchemeKind, cfg: &RunConfig) -> Metrics {
@@ -497,6 +668,57 @@ mod tests {
         let m = run_lf_bst(&cfg);
         assert_eq!(m.total_ops, 300);
         assert!(m.throughput > 0.0);
+    }
+
+    #[test]
+    fn robust_runner_without_faults_matches_plain_runner() {
+        // An empty fault plan must leave the robust runner's simulated
+        // results identical to the plain one (the garbage probe and crash
+        // tolerance are host-side only).
+        let cfg = tiny(2, Mix { insert_pct: 50, delete_pct: 50 });
+        let plain = run_set(SetKind::LazyList, SchemeKind::Qsbr, &cfg);
+        let robust = run_set_robust(SetKind::LazyList, SchemeKind::Qsbr, &cfg);
+        assert_eq!(plain.cycles, robust.cycles);
+        assert_eq!(plain.total_ops, robust.total_ops);
+        assert_eq!(robust.crashed_cores, 0);
+        assert!(robust.peak_garbage_bytes > 0, "qsbr holds a retire backlog");
+    }
+
+    #[test]
+    fn robust_queue_runner_tolerates_an_injected_crash() {
+        // The MS queue is lock-free, so a core fail-stopping mid-operation
+        // cannot wedge the survivors (unlike the lock-based sets, where the
+        // watchdog would fire instead — see run_queue_robust's docs).
+        let cfg = RunConfig {
+            fault_plan: mcsim::FaultPlan::none().crash(1, 5_000),
+            max_cycles: Some(100_000_000),
+            ..tiny(2, Mix { insert_pct: 50, delete_pct: 50 })
+        };
+        let m = run_queue_robust(SchemeKind::Qsbr, &cfg);
+        assert_eq!(m.crashed_cores, 1);
+        assert!(
+            m.total_ops < 300,
+            "the crashed core must lose some of its ops, got {}",
+            m.total_ops
+        );
+        assert!(m.throughput > 0.0, "the survivor keeps running");
+    }
+
+    #[test]
+    fn robust_set_runner_rides_out_a_finite_stall() {
+        // On the lock-based sets, crashes can wedge survivors, but a
+        // *finite* stall always resolves: the victim resumes, releases its
+        // locks, and the run completes with every op accounted for.
+        let cfg = RunConfig {
+            fault_plan: mcsim::FaultPlan::none().stall(1, 2_000, 50_000),
+            max_cycles: Some(100_000_000),
+            ..tiny(2, Mix { insert_pct: 50, delete_pct: 50 })
+        };
+        let m = run_set_robust(SetKind::LazyList, SchemeKind::Qsbr, &cfg);
+        assert_eq!(m.crashed_cores, 0);
+        assert_eq!(m.total_ops, 300, "a finite stall loses no operations");
+        assert_eq!(m.fault_stalls, 1);
+        assert!(m.cycles >= 50_000, "the stall window is on the clock");
     }
 
     #[test]

@@ -40,7 +40,7 @@
 
 use std::collections::VecDeque;
 use std::io::{IsTerminal, Write as _};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -52,6 +52,103 @@ type WorkQueue<'env, T> = Mutex<VecDeque<(usize, Task<'env, T>)>>;
 
 /// Global worker-count knob. 0 = auto (one worker per host CPU).
 static JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Fail-fast knob: `true` restores the pre-PR6 behaviour where the first
+/// panicking task aborts the whole sweep. Default `false`: failures are
+/// collected per cell (see [`run_results`]) so one wedged or faulted
+/// configuration costs one `ERR` cell, not the entire figure run.
+static FAIL_FAST: AtomicBool = AtomicBool::new(false);
+
+/// Process-wide registry of collected task failures (see
+/// [`report_failures`]). A `Mutex<Vec>` rather than a counter so the final
+/// report can say *which* cells died and why.
+static FAILURES: Mutex<Vec<TaskFailure>> = Mutex::new(Vec::new());
+
+/// One collected task failure.
+#[derive(Clone, Debug)]
+pub struct TaskFailure {
+    /// The sweep's label (e.g. `lazylist 50i-50d`).
+    pub label: String,
+    /// Task submission index within that sweep.
+    pub index: usize,
+    /// The panic message (or a placeholder for non-string payloads).
+    pub message: String,
+}
+
+/// Turn sweep-level failure collection off/on (see [`FAIL_FAST`]).
+pub fn set_fail_fast(on: bool) {
+    FAIL_FAST.store(on, Ordering::Relaxed);
+}
+
+/// Whether a panicking task aborts the sweep immediately.
+pub fn fail_fast() -> bool {
+    FAIL_FAST.load(Ordering::Relaxed)
+}
+
+/// Parse `--fail-fast` from the CLI and install it — called by every
+/// harness bin next to [`set_jobs_from_args`].
+pub fn set_fail_fast_from_args() {
+    set_fail_fast(std::env::args().any(|a| a == "--fail-fast"));
+}
+
+/// Number of task failures collected so far in this process.
+pub fn failure_count() -> usize {
+    FAILURES.lock().unwrap_or_else(std::sync::PoisonError::into_inner).len()
+}
+
+/// Drain the collected failures (tests; [`report_failures`] uses it too).
+pub fn take_failures() -> Vec<TaskFailure> {
+    std::mem::take(&mut *FAILURES.lock().unwrap_or_else(std::sync::PoisonError::into_inner))
+}
+
+/// Print every collected failure to stderr and return the process exit
+/// code (1 if anything failed, else 0). Harness bins end `main` with
+/// `std::process::exit(sweep::report_failures())` so a sweep that degraded
+/// — rendered `ERR` cells instead of results — still fails CI.
+pub fn report_failures() -> i32 {
+    let failures = take_failures();
+    if failures.is_empty() {
+        return 0;
+    }
+    let mut err = std::io::stderr().lock();
+    let _ = writeln!(err, "[sweep] {} task(s) FAILED:", failures.len());
+    for f in &failures {
+        let _ = writeln!(err, "  [{} #{}] {}", f.label, f.index, f.message);
+    }
+    1
+}
+
+/// The `f64` value an `ERR` table cell carries: a NaN with a recognizable
+/// payload, so error cells survive every `f64` pipeline (NaN propagates)
+/// yet stay distinguishable from legitimate not-applicable NaNs (which
+/// some figures use for skipped cells, e.g. `ablation_smt`).
+pub const ERR_CELL: f64 = f64::from_bits(0x7ff8_0000_dead_ce11);
+
+/// Whether `v` is the [`ERR_CELL`] marker (bit-exact; ordinary NaNs and
+/// finite values are not).
+pub fn is_err_cell(v: f64) -> bool {
+    v.to_bits() == ERR_CELL.to_bits()
+}
+
+fn panic_message(e: &(dyn std::any::Any + Send)) -> String {
+    e.downcast_ref::<String>()
+        .cloned()
+        .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
+fn record_failure(label: &str, index: usize, message: String) -> TaskFailure {
+    let f = TaskFailure {
+        label: label.to_string(),
+        index,
+        message,
+    };
+    FAILURES
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .push(f.clone());
+    f
+}
 
 /// Set the number of host worker threads for subsequent sweeps
 /// (0 = auto: one per host CPU). Bins thread `--jobs N` through here; the
@@ -135,26 +232,42 @@ impl Progress {
     }
 }
 
-/// Run every task and return their results **in submission order**,
+/// Run every task and return per-task results **in submission order**,
 /// executing up to [`jobs`] tasks concurrently on host threads.
 ///
-/// A panicking task (e.g. a livelock ceiling firing inside one
-/// configuration) aborts the sweep promptly: workers finish their
-/// in-flight tasks, abandon the queues, and the panic then propagates to
-/// the caller.
-pub fn run<'env, T: Send + 'env>(label: &str, tasks: Vec<Task<'env, T>>) -> Vec<T> {
+/// A panicking task (e.g. a livelock ceiling or wedge watchdog firing
+/// inside one configuration) becomes an `Err(TaskFailure)` for that slot —
+/// the sweep keeps going, the failure is also pushed into the process-wide
+/// registry ([`report_failures`]), and every other cell still produces its
+/// result. Under [`set_fail_fast`]`(true)` the first panic instead aborts
+/// the sweep promptly: workers finish their in-flight tasks, abandon the
+/// queues, and the panic propagates to the caller.
+pub fn run_results<'env, T: Send + 'env>(
+    label: &str,
+    tasks: Vec<Task<'env, T>>,
+) -> Vec<Result<T, TaskFailure>> {
     let total = tasks.len();
     let workers = jobs().clamp(1, total.max(1));
     let progress = Progress::new(label, total, workers);
+    let fail_fast = fail_fast();
+    let execute = |i: usize, task: Task<'env, T>| -> Result<Result<T, TaskFailure>, Box<dyn std::any::Any + Send>> {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(task)) {
+            Ok(r) => Ok(Ok(r)),
+            Err(e) if fail_fast => Err(e),
+            Err(e) => Ok(Err(record_failure(label, i, panic_message(&*e)))),
+        }
+    };
     if workers <= 1 {
-        let out: Vec<T> = tasks
-            .into_iter()
-            .map(|t| {
-                let r = t();
-                progress.bump();
-                r
-            })
-            .collect();
+        let mut out = Vec::with_capacity(total);
+        for (i, t) in tasks.into_iter().enumerate() {
+            match execute(i, t) {
+                Ok(r) => {
+                    out.push(r);
+                    progress.bump();
+                }
+                Err(e) => std::panic::resume_unwind(e),
+            }
+        }
         progress.finish();
         return out;
     }
@@ -167,10 +280,11 @@ pub fn run<'env, T: Send + 'env>(label: &str, tasks: Vec<Task<'env, T>>) -> Vec<
     }
     // Index-ordered result slots: completion order cannot perturb output
     // order (the determinism contract above).
-    let slots: Vec<Mutex<Option<T>>> = (0..total).map(|_| Mutex::new(None)).collect();
-    // Raised by a panicking worker so its peers stop pulling queued work
-    // instead of draining a doomed sweep; `thread::scope` re-raises the
-    // panic once every worker has returned.
+    let slots: Vec<Mutex<Option<Result<T, TaskFailure>>>> =
+        (0..total).map(|_| Mutex::new(None)).collect();
+    // Raised by a panicking worker (fail-fast mode only) so its peers stop
+    // pulling queued work instead of draining a doomed sweep;
+    // `thread::scope` re-raises the panic once every worker has returned.
     let aborted = AtomicUsize::new(0);
 
     std::thread::scope(|scope| {
@@ -179,6 +293,7 @@ pub fn run<'env, T: Send + 'env>(label: &str, tasks: Vec<Task<'env, T>>) -> Vec<
             let slots = &slots;
             let progress = &progress;
             let aborted = &aborted;
+            let execute = &execute;
             scope.spawn(move || loop {
                 if aborted.load(Ordering::Relaxed) != 0 {
                     break;
@@ -191,18 +306,16 @@ pub fn run<'env, T: Send + 'env>(label: &str, tasks: Vec<Task<'env, T>>) -> Vec<
                         .find_map(|v| queues[v].lock().unwrap().pop_back())
                 });
                 match next {
-                    Some((i, task)) => {
-                        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(task)) {
-                            Ok(r) => {
-                                *slots[i].lock().unwrap() = Some(r);
-                                progress.bump();
-                            }
-                            Err(e) => {
-                                aborted.store(1, Ordering::Relaxed);
-                                std::panic::resume_unwind(e);
-                            }
+                    Some((i, task)) => match execute(i, task) {
+                        Ok(r) => {
+                            *slots[i].lock().unwrap() = Some(r);
+                            progress.bump();
                         }
-                    }
+                        Err(e) => {
+                            aborted.store(1, Ordering::Relaxed);
+                            std::panic::resume_unwind(e);
+                        }
+                    },
                     // All deques empty and no task spawns tasks: done.
                     None => break,
                 }
@@ -216,9 +329,32 @@ pub fn run<'env, T: Send + 'env>(label: &str, tasks: Vec<Task<'env, T>>) -> Vec<
         .collect()
 }
 
+/// Run every task and return their results **in submission order** — the
+/// all-or-nothing form of [`run_results`] for callers whose result type has
+/// no natural `ERR` value (e.g. [`crate::Metrics`] tables).
+///
+/// Any task failure still panics out of this call, but in the default
+/// collecting mode the panic fires only *after* every task has run (so a
+/// multi-figure bin loses one figure, not the whole batch, when it catches
+/// the unwind or runs figures in separate sweeps — and the failure is in
+/// the registry either way). Under fail-fast the first panic propagates
+/// immediately, mid-sweep.
+pub fn run<'env, T: Send + 'env>(label: &str, tasks: Vec<Task<'env, T>>) -> Vec<T> {
+    let results = run_results(label, tasks);
+    results
+        .into_iter()
+        .map(|r| match r {
+            Ok(t) => t,
+            Err(f) => panic!("[sweep {} #{}] task failed: {}", f.label, f.index, f.message),
+        })
+        .collect()
+}
+
 /// Sweep a rows × cols cross-product: one task per cell, results returned
 /// as one `Vec` per row (row-major, same order as the inputs). The shape
-/// every figure panel uses (schemes × thread counts).
+/// every figure panel uses (schemes × thread counts). Shares [`run`]'s
+/// all-or-nothing failure behaviour; figures with `f64` cells should use
+/// [`grid_cells`], which degrades per cell instead.
 pub fn grid<T, R, C, F>(label: &str, rows: &[R], cols: &[C], cell: F) -> Vec<Vec<T>>
 where
     T: Send,
@@ -226,15 +362,56 @@ where
     C: Sync,
     F: Fn(&R, &C) -> T + Sync,
 {
-    let cell = &cell;
-    let tasks: Vec<Task<'_, T>> = rows
+    let flat = grid_tasks(label, rows, cols, &cell)
+        .into_iter()
+        .map(|r| match r {
+            Ok(t) => t,
+            Err(f) => panic!("[sweep {} #{}] task failed: {}", f.label, f.index, f.message),
+        });
+    reshape(rows, cols, flat)
+}
+
+/// [`grid`] for `f64`-valued figures, degrading gracefully: a cell whose
+/// task panicked comes back as [`ERR_CELL`] (rendered `ERR` by
+/// [`crate::SeriesTable`], written as `ERR` in the CSV) while every other
+/// cell keeps its value. The failures land in the process registry, so the
+/// bin still exits nonzero via [`report_failures`].
+pub fn grid_cells<R, C, F>(label: &str, rows: &[R], cols: &[C], cell: F) -> Vec<Vec<f64>>
+where
+    R: Sync,
+    C: Sync,
+    F: Fn(&R, &C) -> f64 + Sync,
+{
+    let flat = grid_tasks(label, rows, cols, &cell)
+        .into_iter()
+        .map(|r| r.unwrap_or(ERR_CELL));
+    reshape(rows, cols, flat)
+}
+
+/// Shared cross-product driver for [`grid`] / [`grid_cells`].
+fn grid_tasks<'env, T, R, C, F>(
+    label: &str,
+    rows: &'env [R],
+    cols: &'env [C],
+    cell: &'env F,
+) -> Vec<Result<T, TaskFailure>>
+where
+    T: Send + 'env,
+    R: Sync,
+    C: Sync,
+    F: Fn(&R, &C) -> T + Sync,
+{
+    let tasks: Vec<Task<'env, T>> = rows
         .iter()
         .flat_map(|r| {
             cols.iter()
-                .map(move |c| Box::new(move || cell(r, c)) as Task<'_, T>)
+                .map(move |c| Box::new(move || cell(r, c)) as Task<'env, T>)
         })
         .collect();
-    let mut flat = run(label, tasks).into_iter();
+    run_results(label, tasks)
+}
+
+fn reshape<T, R, C>(rows: &[R], cols: &[C], mut flat: impl Iterator<Item = T>) -> Vec<Vec<T>> {
     rows.iter()
         .map(|_| cols.iter().map(|_| flat.next().expect("grid shape")).collect())
         .collect()
@@ -325,22 +502,83 @@ mod tests {
         assert_eq!(out, vec![7]);
     }
 
-    #[test]
-    fn task_panic_propagates() {
-        let _jobs = JobsLock::take();
-        set_jobs(2);
-        let tasks: Vec<Task<u32>> = (0..4u32)
+    fn panicky_tasks(bad: u32) -> Vec<Task<'static, u32>> {
+        (0..4u32)
             .map(|i| {
                 Box::new(move || {
-                    if i == 2 {
+                    if i == bad {
                         panic!("deliberate sweep panic");
                     }
                     i
-                }) as Task<u32>
+                }) as Task<'static, u32>
             })
-            .collect();
-        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run("test", tasks)));
-        assert!(r.is_err(), "a task panic must propagate out of the sweep");
+            .collect()
+    }
+
+    #[test]
+    fn task_panic_propagates() {
+        // `run` is all-or-nothing in BOTH modes: a failed task panics out
+        // of the call (immediately under --fail-fast, after the sweep
+        // drains in the default collecting mode).
+        let _jobs = JobsLock::take();
+        set_jobs(2);
+        for ff in [false, true] {
+            set_fail_fast(ff);
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run("test-propagate", panicky_tasks(2))
+            }));
+            assert!(r.is_err(), "a task panic must propagate out of run (fail_fast={ff})");
+        }
+        set_fail_fast(false);
+        // Collected-mode failures also landed in the registry; drop them so
+        // other tests (and the harness process) aren't polluted.
+        take_failures();
+    }
+
+    #[test]
+    fn collecting_mode_degrades_per_cell() {
+        let _jobs = JobsLock::take();
+        set_jobs(2);
+        set_fail_fast(false);
+        take_failures();
+        let out = run_results("test-collect", panicky_tasks(2));
+        assert_eq!(out.len(), 4);
+        assert_eq!(*out[0].as_ref().unwrap(), 0);
+        assert_eq!(*out[1].as_ref().unwrap(), 1);
+        let f = out[2].as_ref().unwrap_err();
+        assert_eq!((f.label.as_str(), f.index), ("test-collect", 2));
+        assert!(f.message.contains("deliberate sweep panic"), "{}", f.message);
+        assert_eq!(*out[3].as_ref().unwrap(), 3, "later tasks still run");
+        let collected = take_failures();
+        assert_eq!(
+            collected.iter().filter(|f| f.label == "test-collect").count(),
+            1,
+            "the failure must land in the process registry"
+        );
+    }
+
+    #[test]
+    fn grid_cells_renders_failures_as_err_cells() {
+        let _jobs = JobsLock::take();
+        set_jobs(4);
+        set_fail_fast(false);
+        take_failures();
+        let rows = [1.0f64, 2.0];
+        let cols = [10.0f64, 20.0];
+        let g = grid_cells("test-cells", &rows, &cols, |r, c| {
+            if *r == 2.0 && *c == 10.0 {
+                panic!("cell blew up");
+            }
+            r * c
+        });
+        assert_eq!(g[0], vec![10.0, 20.0]);
+        assert!(is_err_cell(g[1][0]), "failed cell must carry ERR_CELL");
+        assert_eq!(g[1][1], 40.0);
+        // ERR_CELL is a specific NaN: ordinary NaN is NOT an error cell
+        // (figures use plain NaN for legitimately-skipped cells).
+        assert!(!is_err_cell(f64::NAN));
+        assert!(!is_err_cell(0.0));
+        take_failures();
     }
 
     #[test]

@@ -64,8 +64,15 @@ impl SeriesTable {
         let _ = writeln!(out);
         for (name, vals) in &self.series {
             let _ = write!(out, "{name:<name_w$}");
-            for v in vals {
-                let _ = write!(out, " {v:>col_w$.2}");
+            for &v in vals {
+                if crate::sweep::is_err_cell(v) {
+                    // This cell's sweep task failed (see sweep::grid_cells);
+                    // plain NaN still renders as NaN — it means "not
+                    // applicable", not "crashed".
+                    let _ = write!(out, " {:>col_w$}", "ERR");
+                } else {
+                    let _ = write!(out, " {v:>col_w$.2}");
+                }
             }
             let _ = writeln!(out);
         }
@@ -82,8 +89,12 @@ impl SeriesTable {
         let _ = writeln!(out);
         for (name, vals) in &self.series {
             let _ = write!(out, "{name}");
-            for v in vals {
-                let _ = write!(out, ",{v}");
+            for &v in vals {
+                if crate::sweep::is_err_cell(v) {
+                    let _ = write!(out, ",ERR");
+                } else {
+                    let _ = write!(out, ",{v}");
+                }
             }
             let _ = writeln!(out);
         }
@@ -130,6 +141,16 @@ mod tests {
         let mut t = SeriesTable::new("T", "x", vec!["1".into(), "2".into()]);
         t.push_series("s", vec![0.5, 1.5]);
         assert_eq!(t.to_csv(), "series,1,2\ns,0.5,1.5\n");
+    }
+
+    #[test]
+    fn err_cells_render_as_err() {
+        let mut t = SeriesTable::new("T", "x", vec!["1".into(), "2".into(), "4".into()]);
+        t.push_series("s", vec![0.5, crate::sweep::ERR_CELL, f64::NAN]);
+        let r = t.render();
+        assert!(r.contains("ERR"), "{r}");
+        assert!(r.contains("NaN"), "plain NaN must stay NaN: {r}");
+        assert_eq!(t.to_csv(), "series,1,2,4\ns,0.5,ERR,NaN\n");
     }
 
     #[test]

@@ -49,6 +49,103 @@ impl Default for SmrConfig {
     }
 }
 
+/// Aggregate retired-but-unfreed ("garbage") accounting for one thread —
+/// or, after [`GarbageStats::merge`], for a whole run.
+///
+/// All counts are in nodes; every node in this repository is one cache
+/// line, so bytes are `nodes × LINE_BYTES` ([`GarbageStats::peak_bytes`]).
+/// The robustness experiments key off `peak`: a scheme is *bounded* when
+/// its peak garbage stays within a constant of `reclaim_freq × threads`
+/// even with a stalled/crashed thread, and *unbounded* when the peak
+/// tracks the total retire count instead (qsbr/rcu under a silent thread).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GarbageStats {
+    /// Nodes handed to [`Smr::retire`].
+    pub retired: u64,
+    /// Nodes actually freed by the scheme's scans.
+    pub freed: u64,
+    /// Nodes currently retired-but-unfreed.
+    pub live: u64,
+    /// High-water mark of `live`. After a merge: the *sum* of the threads'
+    /// peaks — an upper bound on the true instantaneous peak, and the
+    /// bound that matters (per-thread retire lists are what grow).
+    pub peak: u64,
+}
+
+impl GarbageStats {
+    /// Peak garbage in bytes (nodes are one line each).
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak * mcsim::LINE_BYTES
+    }
+
+    /// Live garbage in bytes.
+    pub fn live_bytes(&self) -> u64 {
+        self.live * mcsim::LINE_BYTES
+    }
+
+    /// Fold another thread's stats into this one.
+    pub fn merge(&mut self, other: &GarbageStats) {
+        self.retired += other.retired;
+        self.freed += other.freed;
+        self.live += other.live;
+        self.peak += other.peak;
+    }
+}
+
+/// Host-side garbage meter embedded in each scheme's per-thread state.
+///
+/// Purely host-side bookkeeping — it issues **no simulated operations**
+/// and charges no simulated cycles, so arming it cannot perturb the
+/// simulated schedule (the determinism goldens and the latency-runner
+/// equivalence tests stay byte-identical). The time-*series* view of
+/// garbage rides on the Figure-3 machinery instead
+/// (`MachineConfig::sample_every` + `Machine::footprint_samples`, which
+/// sample `allocated_not_freed` in simulated time); the meter contributes
+/// the per-scheme peak/live split that `allocated_not_freed` (live data +
+/// garbage) cannot give by itself.
+#[derive(Clone, Debug, Default)]
+pub struct GarbageMeter {
+    retired: u64,
+    freed: u64,
+    peak: u64,
+}
+
+impl GarbageMeter {
+    /// Fresh meter (all zeros).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count one node handed to `retire`.
+    #[inline]
+    pub fn on_retire(&mut self) {
+        self.retired += 1;
+        self.peak = self.peak.max(self.retired - self.freed);
+    }
+
+    /// Count one node freed by a scan.
+    #[inline]
+    pub fn on_free(&mut self) {
+        self.freed += 1;
+    }
+
+    /// Nodes currently retired-but-unfreed.
+    #[inline]
+    pub fn live(&self) -> u64 {
+        self.retired - self.freed
+    }
+
+    /// Snapshot the counters.
+    pub fn stats(&self) -> GarbageStats {
+        GarbageStats {
+            retired: self.retired,
+            freed: self.freed,
+            live: self.live(),
+            peak: self.peak,
+        }
+    }
+}
+
 /// A retired-but-not-yet-freed node, stamped with its lifetime interval.
 #[derive(Copy, Clone, Debug)]
 pub struct Retired {
@@ -105,6 +202,12 @@ pub trait Smr: Sync {
         false
     }
 
+    /// This thread's retired-but-unfreed accounting (see [`GarbageStats`]).
+    /// Host-side only; schemes that never retire report zeros.
+    fn garbage(&self, _tls: &Self::Tls) -> GarbageStats {
+        GarbageStats::default()
+    }
+
     /// Scheme name as used in the paper's figures.
     fn name(&self) -> &'static str;
 }
@@ -138,6 +241,9 @@ impl<S: Smr> Smr for &S {
     }
     fn needs_validation(&self) -> bool {
         (**self).needs_validation()
+    }
+    fn garbage(&self, tls: &Self::Tls) -> GarbageStats {
+        (**self).garbage(tls)
     }
     fn name(&self) -> &'static str {
         (**self).name()

@@ -19,7 +19,7 @@
 use mcsim::machine::Ctx;
 use mcsim::{Addr, Machine};
 
-use crate::api::{per_thread_lines, EraClock, Retired, Smr, SmrConfig, NODE_BIRTH_WORD};
+use crate::api::{GarbageMeter, GarbageStats, per_thread_lines, EraClock, Retired, Smr, SmrConfig, NODE_BIRTH_WORD};
 
 /// Hazard-eras scheme state.
 pub struct He {
@@ -39,6 +39,7 @@ pub struct HeTls {
     published: Vec<u64>,
     retired: Vec<Retired>,
     retires_since_scan: u64,
+    garbage: GarbageMeter,
 }
 
 impl He {
@@ -78,6 +79,7 @@ impl He {
             } else {
                 tls.retired.swap_remove(i);
                 ctx.free(r.addr);
+                tls.garbage.on_free();
             }
         }
     }
@@ -93,6 +95,7 @@ impl Smr for He {
             published: vec![0; self.cfg.slots_per_thread],
             retired: Vec::new(),
             retires_since_scan: 0,
+            garbage: GarbageMeter::new(),
         }
     }
 
@@ -150,6 +153,7 @@ impl Smr for He {
             birth,
             retire: stamp,
         });
+        tls.garbage.on_retire();
         tls.retires_since_scan += 1;
         if tls.retires_since_scan >= self.cfg.reclaim_freq {
             tls.retires_since_scan = 0;
@@ -159,6 +163,10 @@ impl Smr for He {
 
     fn needs_validation(&self) -> bool {
         true
+    }
+
+    fn garbage(&self, tls: &Self::Tls) -> GarbageStats {
+        tls.garbage.stats()
     }
 
     fn name(&self) -> &'static str {

@@ -20,7 +20,7 @@ use std::collections::HashSet;
 use mcsim::machine::Ctx;
 use mcsim::{Addr, Machine};
 
-use crate::api::{per_thread_lines, Retired, Smr, SmrConfig};
+use crate::api::{GarbageMeter, GarbageStats, per_thread_lines, Retired, Smr, SmrConfig};
 
 /// Hazard-pointer scheme state.
 pub struct Hp {
@@ -40,6 +40,7 @@ pub struct HpTls {
     retires_since_scan: u64,
     /// Workhorse set reused by scans.
     hazard_set: HashSet<u64>,
+    garbage: GarbageMeter,
 }
 
 impl Hp {
@@ -82,6 +83,7 @@ impl Hp {
             } else {
                 let r = tls.retired.swap_remove(i);
                 ctx.free(r.addr);
+                tls.garbage.on_free();
             }
         }
     }
@@ -96,6 +98,7 @@ impl Smr for Hp {
             published: vec![0; self.cfg.slots_per_thread],
             retired: Vec::new(),
             retires_since_scan: 0,
+            garbage: GarbageMeter::new(),
             hazard_set: HashSet::new(),
         }
     }
@@ -149,6 +152,7 @@ impl Smr for Hp {
             birth: 0,
             retire: 0,
         });
+        tls.garbage.on_retire();
         tls.retires_since_scan += 1;
         if tls.retires_since_scan >= self.cfg.reclaim_freq {
             tls.retires_since_scan = 0;
@@ -158,6 +162,10 @@ impl Smr for Hp {
 
     fn needs_validation(&self) -> bool {
         true
+    }
+
+    fn garbage(&self, tls: &Self::Tls) -> GarbageStats {
+        tls.garbage.stats()
     }
 
     fn name(&self) -> &'static str {

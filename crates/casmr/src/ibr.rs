@@ -21,7 +21,7 @@
 use mcsim::machine::Ctx;
 use mcsim::{Addr, Machine};
 
-use crate::api::{per_thread_lines, EraClock, Retired, Smr, SmrConfig, INACTIVE, NODE_BIRTH_WORD};
+use crate::api::{GarbageMeter, GarbageStats, per_thread_lines, EraClock, Retired, Smr, SmrConfig, INACTIVE, NODE_BIRTH_WORD};
 
 /// 2GE-IBR scheme state.
 pub struct Ibr {
@@ -40,6 +40,7 @@ pub struct IbrTls {
     hi: u64,
     retired: Vec<Retired>,
     retires_since_scan: u64,
+    garbage: GarbageMeter,
 }
 
 impl Ibr {
@@ -74,6 +75,7 @@ impl Ibr {
             }
             tls.retired.swap_remove(i);
             ctx.free(r.addr);
+                tls.garbage.on_free();
         }
     }
 }
@@ -88,6 +90,7 @@ impl Smr for Ibr {
             hi: 0,
             retired: Vec::new(),
             retires_since_scan: 0,
+            garbage: GarbageMeter::new(),
         }
     }
 
@@ -138,11 +141,16 @@ impl Smr for Ibr {
             birth,
             retire: stamp,
         });
+        tls.garbage.on_retire();
         tls.retires_since_scan += 1;
         if tls.retires_since_scan >= self.cfg.reclaim_freq {
             tls.retires_since_scan = 0;
             self.scan(ctx, tls);
         }
+    }
+
+    fn garbage(&self, tls: &Self::Tls) -> GarbageStats {
+        tls.garbage.stats()
     }
 
     fn name(&self) -> &'static str {

@@ -8,7 +8,7 @@
 use mcsim::machine::Ctx;
 use mcsim::Addr;
 
-use crate::api::Smr;
+use crate::api::{GarbageMeter, GarbageStats, Smr};
 
 /// The leaking non-scheme.
 pub struct Leaky;
@@ -27,9 +27,14 @@ impl Default for Leaky {
 }
 
 impl Smr for Leaky {
-    type Tls = ();
+    /// Just the garbage meter: `none` has no real per-thread state, but it
+    /// is the canonical *unbounded* scheme, so its leak must be measurable
+    /// on the same axis as everyone else's backlog.
+    type Tls = GarbageMeter;
 
-    fn register(&self, _tid: usize) -> Self::Tls {}
+    fn register(&self, _tid: usize) -> Self::Tls {
+        GarbageMeter::new()
+    }
 
     #[inline]
     fn begin_op(&self, _ctx: &mut Ctx, _tls: &mut Self::Tls) {}
@@ -46,9 +51,14 @@ impl Smr for Leaky {
     fn on_alloc(&self, _ctx: &mut Ctx, _tls: &mut Self::Tls, _node: Addr) {}
 
     #[inline]
-    fn retire(&self, _ctx: &mut Ctx, _tls: &mut Self::Tls, _node: Addr) {
+    fn retire(&self, _ctx: &mut Ctx, tls: &mut Self::Tls, _node: Addr) {
         // Leak: never freed. The footprint counter keeps growing, which is
         // exactly what Figure 3 shows for `none`.
+        tls.on_retire();
+    }
+
+    fn garbage(&self, tls: &Self::Tls) -> GarbageStats {
+        tls.stats()
     }
 
     fn name(&self) -> &'static str {
@@ -70,17 +80,21 @@ mod tests {
             ..Default::default()
         });
         let s = Leaky::new();
-        m.run_on(1, |_, ctx| {
-            s.register(0);
+        let garbage = m.run_on(1, |_, ctx| {
+            let mut tls = s.register(0);
             for _ in 0..10 {
-                s.begin_op(ctx, &mut ());
+                s.begin_op(ctx, &mut tls);
                 let n = ctx.alloc();
-                s.on_alloc(ctx, &mut (), n);
+                s.on_alloc(ctx, &mut tls, n);
                 ctx.write(n, 1);
-                s.retire(ctx, &mut (), n);
-                s.end_op(ctx, &mut ());
+                s.retire(ctx, &mut tls, n);
+                s.end_op(ctx, &mut tls);
             }
+            s.garbage(&tls)
         });
         assert_eq!(m.stats().allocated_not_freed, 10, "nothing is ever freed");
+        assert_eq!(garbage[0].retired, 10);
+        assert_eq!(garbage[0].freed, 0);
+        assert_eq!(garbage[0].peak, 10, "every retire is garbage forever");
     }
 }

@@ -28,7 +28,7 @@ pub mod leaky;
 pub mod qsbr;
 pub mod rcu;
 
-pub use api::{Retired, Smr, SmrConfig, INACTIVE, NODE_BIRTH_WORD};
+pub use api::{GarbageMeter, GarbageStats, Retired, Smr, SmrConfig, INACTIVE, NODE_BIRTH_WORD};
 pub use he::He;
 pub use hp::Hp;
 pub use ibr::Ibr;

@@ -17,7 +17,7 @@
 use mcsim::machine::Ctx;
 use mcsim::{Addr, Machine};
 
-use crate::api::{per_thread_lines, EraClock, Retired, Smr, SmrConfig};
+use crate::api::{GarbageMeter, GarbageStats, per_thread_lines, EraClock, Retired, Smr, SmrConfig};
 
 /// QSBR scheme state (shared across threads).
 pub struct Qsbr {
@@ -34,6 +34,7 @@ pub struct QsbrTls {
     alloc_count: u64,
     retired: Vec<Retired>,
     retires_since_scan: u64,
+    garbage: GarbageMeter,
 }
 
 impl Qsbr {
@@ -61,6 +62,7 @@ impl Qsbr {
             if tls.retired[i].retire < min_announce {
                 let r = tls.retired.swap_remove(i);
                 ctx.free(r.addr);
+                tls.garbage.on_free();
             } else {
                 i += 1;
             }
@@ -77,6 +79,7 @@ impl Smr for Qsbr {
             alloc_count: 0,
             retired: Vec::new(),
             retires_since_scan: 0,
+            garbage: GarbageMeter::new(),
         }
     }
 
@@ -109,11 +112,16 @@ impl Smr for Qsbr {
             birth: 0,
             retire: stamp,
         });
+        tls.garbage.on_retire();
         tls.retires_since_scan += 1;
         if tls.retires_since_scan >= self.cfg.reclaim_freq {
             tls.retires_since_scan = 0;
             self.scan(ctx, tls);
         }
+    }
+
+    fn garbage(&self, tls: &Self::Tls) -> GarbageStats {
+        tls.garbage.stats()
     }
 
     fn name(&self) -> &'static str {

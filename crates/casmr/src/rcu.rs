@@ -14,7 +14,7 @@
 use mcsim::machine::Ctx;
 use mcsim::{Addr, Machine};
 
-use crate::api::{per_thread_lines, EraClock, Retired, Smr, SmrConfig, INACTIVE};
+use crate::api::{GarbageMeter, GarbageStats, per_thread_lines, EraClock, Retired, Smr, SmrConfig, INACTIVE};
 
 /// RCU/EBR scheme state.
 pub struct Rcu {
@@ -31,6 +31,7 @@ pub struct RcuTls {
     alloc_count: u64,
     retired: Vec<Retired>,
     retires_since_scan: u64,
+    garbage: GarbageMeter,
 }
 
 impl Rcu {
@@ -61,6 +62,7 @@ impl Rcu {
             if min_pinned == u64::MAX || tls.retired[i].retire < min_pinned {
                 let r = tls.retired.swap_remove(i);
                 ctx.free(r.addr);
+                tls.garbage.on_free();
             } else {
                 i += 1;
             }
@@ -77,6 +79,7 @@ impl Smr for Rcu {
             alloc_count: 0,
             retired: Vec::new(),
             retires_since_scan: 0,
+            garbage: GarbageMeter::new(),
         }
     }
 
@@ -113,11 +116,16 @@ impl Smr for Rcu {
             birth: 0,
             retire: stamp,
         });
+        tls.garbage.on_retire();
         tls.retires_since_scan += 1;
         if tls.retires_since_scan >= self.cfg.reclaim_freq {
             tls.retires_since_scan = 0;
             self.scan(ctx, tls);
         }
+    }
+
+    fn garbage(&self, tls: &Self::Tls) -> GarbageStats {
+        tls.garbage.stats()
     }
 
     fn name(&self) -> &'static str {

@@ -1,0 +1,367 @@
+//! Deterministic fault injection.
+//!
+//! The paper's robustness story (§V, echoing the IBR/VBR robustness
+//! experiments) needs an *adversarial* fault model on top of the benign
+//! OS-preemption model (`MachineConfig::ctx_switch`): a thread that is
+//! descheduled for a long burst, stalls forever, or crashes mid-operation
+//! pins every epoch-based scheme's garbage, while hazard/interval schemes
+//! and Conditional Access stay bounded. This module provides that model as
+//! a **pure function of each core's local clock**, so faults fire at
+//! identical simulated cycles on every execution backend, every gang
+//! driver, and every `gangs × l2_banks` layout — the same determinism
+//! contract the rest of the simulator keeps.
+//!
+//! Three fault kinds (see [`FaultPlan`]):
+//!
+//! * **Stall** ([`StallFault`]): at the first event issued at
+//!   `clock >= at`, the core is descheduled for `dur` cycles. The
+//!   deschedule has the §III OS-preemption side effects (ARB set,
+//!   transaction aborted, context-switch accounting) plus a
+//!   `fault_stalls` counter tick, then the core resumes. A large `dur`
+//!   models the "burst deschedule" far beyond the uniform `ctx_switch`
+//!   model.
+//! * **Crash** ([`CrashFault`]): the first event issued at `clock >= at`
+//!   never executes — the core's workload closure unwinds (with a quiet,
+//!   typed payload) and the core retires. Everything the core published
+//!   in *simulated* memory stays exactly as it was, which is what makes a
+//!   crashed core pin qsbr/rcu reclamation forever: an **indefinite
+//!   stall** and a crash are indistinguishable to the surviving cores, so
+//!   this is also the "stalled forever" fault. Use
+//!   [`crate::machine::Machine::run_outcomes`] to observe crashes as
+//!   values ([`CoreOutcome::Crashed`]) instead of panics.
+//! * **Allocation pressure**: [`FaultPlan::heap_limit_lines`] shrinks the
+//!   heap and [`FaultPlan::oom_recoverable`] turns heap exhaustion into a
+//!   recoverable per-op verdict (`Ctx::try_alloc` returns `None`, the
+//!   `alloc_failures` counter ticks) instead of the default panic.
+//!
+//! Triggers are checked at **event boundaries** (every simulated memory
+//! access, fence, allocator call, or op-completion is an event), so a
+//! fault lands mid-operation — inside a traversal, between a `begin_op`
+//! and its `end_op` — whenever the trigger clock falls inside one, which
+//! is what the robustness experiment needs.
+//!
+//! Faults can be disarmed wholesale
+//! ([`crate::machine::Machine::set_faults_armed`]) so a prefill run does
+//! not consume trigger clocks meant for the measured run;
+//! `Machine::reset_timing` rewinds the plan's cursors along with the
+//! clocks.
+
+use crate::addr::CoreId;
+
+/// A timed deschedule of one core (see the module docs).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct StallFault {
+    /// Core to stall.
+    pub core: CoreId,
+    /// Trigger: the stall fires after the first event issued at a local
+    /// clock `>= at`.
+    pub at: u64,
+    /// Cycles the core is descheduled for.
+    pub dur: u64,
+}
+
+/// A fail-stop crash of one core (see the module docs). Also the model of
+/// an *indefinite* stall: surviving cores cannot tell the difference.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct CrashFault {
+    /// Core to crash.
+    pub core: CoreId,
+    /// Trigger: the first event issued at a local clock `>= at` does not
+    /// execute; the core unwinds and retires.
+    pub at: u64,
+}
+
+/// A deterministic, seeded fault-injection plan
+/// (`MachineConfig::fault_plan`). Empty by default: a machine without a
+/// plan behaves byte-identically to one built before this module existed.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Timed deschedules.
+    pub stalls: Vec<StallFault>,
+    /// Fail-stop crashes (at most one per core takes effect).
+    pub crashes: Vec<CrashFault>,
+    /// Shrink the simulated heap to this many lines (allocation
+    /// pressure). `None` keeps the heap `MachineConfig::mem_bytes` gives.
+    pub heap_limit_lines: Option<u64>,
+    /// Make heap exhaustion a recoverable per-op verdict (`Ctx::try_alloc`
+    /// returns `None`, `alloc_failures` ticks) instead of a panic.
+    pub oom_recoverable: bool,
+}
+
+impl FaultPlan {
+    /// A plan with no faults (the `Default`).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Builder: stall `core` for `dur` cycles at clock `at`.
+    pub fn stall(mut self, core: CoreId, at: u64, dur: u64) -> Self {
+        self.stalls.push(StallFault { core, at, dur });
+        self
+    }
+
+    /// Builder: crash `core` at clock `at` (an indefinite stall).
+    pub fn crash(mut self, core: CoreId, at: u64) -> Self {
+        self.crashes.push(CrashFault { core, at });
+        self
+    }
+
+    /// Builder: cap the heap at `lines` lines and make exhaustion
+    /// recoverable.
+    pub fn alloc_pressure(mut self, lines: u64) -> Self {
+        self.heap_limit_lines = Some(lines);
+        self.oom_recoverable = true;
+        self
+    }
+
+    /// Does the plan inject anything at all?
+    pub fn is_empty(&self) -> bool {
+        self.stalls.is_empty()
+            && self.crashes.is_empty()
+            && self.heap_limit_lines.is_none()
+            && !self.oom_recoverable
+    }
+}
+
+/// The unwind payload of a [`CrashFault`] firing. Thrown with
+/// `resume_unwind` (no panic-hook noise); `Machine::run_outcomes` catches
+/// it and reports [`CoreOutcome::Crashed`], while plain `Machine::run`
+/// re-raises it.
+#[derive(Copy, Clone, Debug)]
+pub struct FaultStop {
+    /// The crashed core.
+    pub core: CoreId,
+    /// Its local clock at the crash.
+    pub clock: u64,
+}
+
+/// Per-core outcome of [`crate::machine::Machine::run_outcomes`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoreOutcome<R> {
+    /// The workload closure ran to completion.
+    Done(R),
+    /// A [`CrashFault`] stopped the core at `clock`.
+    Crashed {
+        /// The crashed core.
+        core: CoreId,
+        /// Its local clock at the crash.
+        clock: u64,
+    },
+}
+
+impl<R> CoreOutcome<R> {
+    /// The completed result, if the core did not crash.
+    pub fn done(self) -> Option<R> {
+        match self {
+            CoreOutcome::Done(r) => Some(r),
+            CoreOutcome::Crashed { .. } => None,
+        }
+    }
+
+    /// Did this core crash?
+    pub fn crashed(&self) -> bool {
+        matches!(self, CoreOutcome::Crashed { .. })
+    }
+}
+
+/// Compiled per-core fault state, owned by `SimState`. Trigger checks are
+/// a pure function of the core's local clock, so they commute with every
+/// execution strategy that preserves per-core event order and clocks —
+/// which all backends and gang layouts do by construction.
+#[derive(Debug)]
+pub(crate) struct FaultState {
+    /// Per-core stall windows, sorted by trigger clock.
+    pub stalls: Vec<Vec<(u64, u64)>>,
+    /// Next un-fired stall index per core.
+    pub cursor: Vec<usize>,
+    /// Per-core crash trigger (`u64::MAX` = none).
+    pub crash_at: Vec<u64>,
+    /// Set once a core's crash fired (it fires at most once).
+    pub crashed: Vec<bool>,
+    /// Wedge-watchdog ceiling (`u64::MAX` = none): a core whose clock
+    /// passes this panics with a diagnostic instead of spinning forever.
+    pub max_cycles: u64,
+    /// Master switch ([`crate::machine::Machine::set_faults_armed`]):
+    /// disarmed plans fire nothing (the watchdog included), so prefill
+    /// runs don't consume measured-run triggers.
+    pub armed: bool,
+    /// `FaultPlan::oom_recoverable`, hoisted next to the hot fields. Not
+    /// gated by `armed` — it is a property of the allocator's contract
+    /// (the workload must be written against `Ctx::try_alloc`), not a
+    /// trigger to be consumed.
+    pub oom_recoverable: bool,
+    /// Cached [`Self::active`] so the per-event check is one load
+    /// (recomputed by [`Self::set_armed`]).
+    pub hot: bool,
+}
+
+impl FaultState {
+    pub fn new(plan: &FaultPlan, cores: usize, max_cycles: Option<u64>) -> Self {
+        let mut stalls: Vec<Vec<(u64, u64)>> = vec![Vec::new(); cores];
+        for s in &plan.stalls {
+            assert!(s.core < cores, "FaultPlan stall on core {} of {cores}", s.core);
+            stalls[s.core].push((s.at, s.dur));
+        }
+        for l in &mut stalls {
+            l.sort_unstable();
+        }
+        let mut crash_at = vec![u64::MAX; cores];
+        for c in &plan.crashes {
+            assert!(c.core < cores, "FaultPlan crash on core {} of {cores}", c.core);
+            crash_at[c.core] = crash_at[c.core].min(c.at);
+        }
+        let mut s = Self {
+            stalls,
+            cursor: vec![0; cores],
+            crash_at,
+            crashed: vec![false; cores],
+            max_cycles: max_cycles.unwrap_or(u64::MAX),
+            armed: true,
+            oom_recoverable: plan.oom_recoverable,
+            hot: false,
+        };
+        s.hot = s.active();
+        s
+    }
+
+    /// Arm or disarm the triggers, keeping the hot-path cache coherent.
+    pub fn set_armed(&mut self, armed: bool) {
+        self.armed = armed;
+        self.hot = self.active();
+    }
+
+    /// Anything to check on the hot path? (False for the default empty
+    /// plan: one cold branch per event is the whole overhead.)
+    #[inline]
+    pub fn active(&self) -> bool {
+        self.armed
+            && (self.max_cycles != u64::MAX
+                || self.crash_at.iter().any(|&a| a != u64::MAX)
+                || self.stalls.iter().any(|s| !s.is_empty()))
+    }
+
+    /// Rewind trigger cursors (with `Machine::reset_timing`: the measured
+    /// run's clocks start at zero, so its triggers start over too).
+    pub fn reset(&mut self) {
+        self.cursor.fill(0);
+        self.crashed.fill(false);
+    }
+
+    /// Should core `c`'s next event crash instead of executing?
+    #[inline]
+    pub fn crash_due(&self, c: CoreId, clock: u64) -> bool {
+        clock >= self.crash_at[c] && !self.crashed[c]
+    }
+}
+
+/// Fire every due stall for one core and check the wedge watchdog —
+/// the single trigger engine shared by the batched single-gang pipeline,
+/// the gang lane and the gang conductor's barrier replay (mirroring
+/// `apply_preempt_model`). `deschedule` is called once per fired stall
+/// with the §III preemption side effects (ARB, tx abort, accounting);
+/// returns how many stalls fired so the caller can tick `fault_stalls`.
+#[inline]
+pub(crate) fn apply_stalls_and_watchdog(
+    clock: &mut u64,
+    stalls: &[(u64, u64)],
+    cursor: &mut usize,
+    max_cycles: u64,
+    core: CoreId,
+    mut deschedule: impl FnMut(),
+) -> u64 {
+    let mut fired = 0;
+    while *cursor < stalls.len() && *clock >= stalls[*cursor].0 {
+        deschedule();
+        *clock += stalls[*cursor].1;
+        *cursor += 1;
+        fired += 1;
+    }
+    if *clock > max_cycles {
+        panic!(
+            "wedge watchdog: core {core} passed max_cycles = {max_cycles} \
+             (clock {clock}); the run is livelocked or fault-wedged"
+        );
+    }
+    fired
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_builders_compose() {
+        let p = FaultPlan::none()
+            .stall(1, 100, 5_000)
+            .stall(1, 50, 10)
+            .crash(2, 200)
+            .alloc_pressure(64);
+        assert_eq!(p.stalls.len(), 2);
+        assert_eq!(p.crashes, vec![CrashFault { core: 2, at: 200 }]);
+        assert_eq!(p.heap_limit_lines, Some(64));
+        assert!(p.oom_recoverable);
+        assert!(!p.is_empty());
+        assert!(FaultPlan::default().is_empty());
+    }
+
+    #[test]
+    fn state_sorts_stalls_and_keeps_earliest_crash() {
+        let p = FaultPlan::none()
+            .stall(0, 300, 1)
+            .stall(0, 100, 2)
+            .crash(1, 900)
+            .crash(1, 400);
+        let st = FaultState::new(&p, 2, None);
+        assert_eq!(st.stalls[0], vec![(100, 2), (300, 1)]);
+        assert_eq!(st.crash_at[1], 400);
+        assert_eq!(st.crash_at[0], u64::MAX);
+        assert!(st.active());
+    }
+
+    #[test]
+    fn empty_plan_is_inactive_even_armed() {
+        let st = FaultState::new(&FaultPlan::default(), 4, None);
+        assert!(!st.active());
+        let st = FaultState::new(&FaultPlan::default(), 4, Some(1_000));
+        assert!(st.active(), "a watchdog alone activates the hot-path check");
+    }
+
+    #[test]
+    fn stall_engine_fires_in_order_and_charges() {
+        let stalls = vec![(100u64, 50u64), (120, 30)];
+        let mut cursor = 0;
+        let mut clock = 99;
+        let mut count = 0;
+        let fired = apply_stalls_and_watchdog(
+            &mut clock, &stalls, &mut cursor, u64::MAX, 0, || count += 1,
+        );
+        assert_eq!((fired, clock, cursor, count), (0, 99, 0, 0));
+        clock = 105;
+        // First stall fires and pushes the clock past the second trigger,
+        // which then fires in the same sweep.
+        let fired = apply_stalls_and_watchdog(
+            &mut clock, &stalls, &mut cursor, u64::MAX, 0, || count += 1,
+        );
+        assert_eq!((fired, clock, cursor, count), (2, 185, 2, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "wedge watchdog")]
+    fn watchdog_trips() {
+        let mut clock = 1_001;
+        let mut cursor = 0;
+        apply_stalls_and_watchdog(&mut clock, &[], &mut cursor, 1_000, 3, || {});
+    }
+
+    #[test]
+    fn crash_due_fires_once() {
+        let p = FaultPlan::none().crash(0, 500);
+        let mut st = FaultState::new(&p, 1, None);
+        assert!(!st.crash_due(0, 499));
+        assert!(st.crash_due(0, 500));
+        st.crashed[0] = true;
+        assert!(!st.crash_due(0, 10_000));
+        st.reset();
+        assert!(st.crash_due(0, 500), "reset rewinds the trigger");
+    }
+}

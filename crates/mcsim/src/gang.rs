@@ -134,6 +134,7 @@ use crate::addr::{Addr, CoreId, Line};
 use crate::alloc::{panic_access, Allocator, Fault, UafMode};
 use crate::cache::{MsiState, L1};
 use crate::coherence::TxState;
+use crate::fault::FaultStop;
 use crate::latency::LatencyModel;
 use crate::machine::{exec_op, CoreFn, CtxBackend, Ctx, Op, Out, SimState};
 use crate::sched::{Sched, NO_TURN};
@@ -410,6 +411,28 @@ pub(crate) struct GangRun {
     /// The in-flight merge phase (conductor writes before `open_merge`,
     /// workers read during it, conductor takes it back after all arrive).
     merge_shared: UnsafeCell<Option<MergeShared>>,
+    // --- fault injection (crate::fault) --------------------------------
+    // Raw views of the machine's `FaultState`, global-core-indexed. The
+    // plan halves (`stalls`/`crash_at`) are read-only for the whole run;
+    // the cursor halves (`stall_cursor`/`crashed`) are per-core elements
+    // written only by the core's own actor under its gang turn, or by the
+    // conductor in the serial phase — the same element-pointer discipline
+    // as `clock_ptrs`/`blocked_ptrs`, so no `&mut FaultState` ever aliases
+    // across gangs. Triggers are pure functions of per-core local clocks,
+    // which is what keeps fault runs byte-identical across drivers.
+    /// Snapshot of `FaultState::hot` (armedness cannot change mid-run: the
+    /// conductor holds the machine lock).
+    fault_hot: bool,
+    /// Wedge-watchdog ceiling (`u64::MAX` = none).
+    fault_max_cycles: u64,
+    /// Base of the per-core sorted stall windows (read-only).
+    fault_stalls: *const Vec<(u64, u64)>,
+    /// Base of the per-core crash triggers (read-only).
+    fault_crash_at: *const u64,
+    /// Base of the per-core next-stall cursors.
+    fault_cursor: *mut usize,
+    /// Base of the per-core crashed flags.
+    fault_crashed: *mut bool,
 }
 
 // Safety: the raw pointers are only dereferenced under the phase/turn
@@ -514,6 +537,12 @@ impl GangRun {
             classify,
             par_merge: AtomicBool::new(false),
             merge_shared: UnsafeCell::new(None),
+            fault_hot: st.fault.hot,
+            fault_max_cycles: st.fault.max_cycles,
+            fault_stalls: st.fault.stalls.as_ptr(),
+            fault_crash_at: st.fault.crash_at.as_ptr(),
+            fault_cursor: st.fault.cursor.as_mut_ptr(),
+            fault_crashed: st.fault.crashed.as_mut_ptr(),
         }
     }
 
@@ -1003,10 +1032,39 @@ unsafe fn gang_event_inner(
     }
     let gs = &mut *run.gangs[g].get();
     let issue_clock = gs.sched.clocks[l] + pending;
+    if run.fault_hot
+        && issue_clock >= *run.fault_crash_at.add(c)
+        && !*run.fault_crashed.add(c)
+    {
+        // Injected fail-stop: the op never executes. Commit the pending
+        // ticks (the crash clock is the issue clock, as on the single-gang
+        // path), flag the core, and unwind; the workload-closure boundary
+        // catches this and retires the core, so the gang keeps scheduling.
+        gs.sched.clocks[l] = issue_clock;
+        *run.fault_crashed.add(c) = true;
+        std::panic::resume_unwind(Box::new(FaultStop {
+            core: c,
+            clock: issue_clock,
+        }));
+    }
     let mut lane = Lane::new(&run.lanes[g], run);
     match lane.try_op(c, op, issue_clock, &mut gs.queue, &mut gs.seq) {
         TryOp::Local(out, cost) => {
             gs.sched.clocks[l] += pending + cost;
+            if run.fault_hot {
+                // Injected burst deschedules + wedge watchdog, at the same
+                // point in the event as the single-gang pipeline: after the
+                // op's cost, before the periodic preemption model.
+                let fired = crate::fault::apply_stalls_and_watchdog(
+                    &mut gs.sched.clocks[l],
+                    &*run.fault_stalls.add(c),
+                    &mut *run.fault_cursor.add(c),
+                    run.fault_max_cycles,
+                    c,
+                    || lane.preempt(c),
+                );
+                lane.stats_mut(c).fault_stalls += fired;
+            }
             // OS-preemption model: gang-local (own ARB/tx/stats). The
             // deadline reference comes straight from the raw parts so the
             // closure may borrow `lane`; `Lane::preempt` never touches
@@ -1176,6 +1234,23 @@ unsafe fn apply_blocking(run: &GangRun, st: &mut SimState, q: &Queued, op: Op) {
     *clock += q.pending;
     let (out, cost) = exec_op(st, q.core, op);
     *clock += cost;
+    if st.fault.hot {
+        // Injected burst deschedules + wedge watchdog for blocking events,
+        // applied under the machine lock (the conductor or a merge lane owns
+        // `st` here), mirroring the Local arm of `gang_event_inner`. Crashes
+        // never reach this path: they fire at issue time, before the op is
+        // ever queued.
+        let SimState { fault, hub, .. } = &mut *st;
+        let fired = crate::fault::apply_stalls_and_watchdog(
+            &mut *clock,
+            &fault.stalls[q.core],
+            &mut fault.cursor[q.core],
+            fault.max_cycles,
+            q.core,
+            || hub.preempt(q.core),
+        );
+        hub.stats.core(q.core).fault_stalls += fired;
+    }
     let SimState {
         next_preempt,
         hub,

@@ -30,6 +30,12 @@
 //!   immediate LIFO address reuse (needed for the paper's ABA discussion)
 //!   and a use-after-free detector that machine-checks the paper's safety
 //!   theorems across the test suite.
+//! * **Deterministic fault injection** ([`fault`]): seeded plans that
+//!   stall, burst-deschedule or crash chosen cores mid-operation and
+//!   inject allocation pressure, firing at identical simulated clocks on
+//!   every backend, driver and gang layout — the substrate of the
+//!   robustness experiments (one stalled thread pins epoch-based
+//!   reclamation; CA stays bounded).
 //!
 //! ## Quick start
 //!
@@ -55,6 +61,7 @@ pub mod cache;
 pub mod coherence;
 #[cfg(mcsim_coop)]
 pub mod coop;
+pub mod fault;
 pub(crate) mod gang;
 pub mod latency;
 pub mod machine;
@@ -67,6 +74,7 @@ pub use addr::{Addr, CoreId, Line, LINE_BYTES, WORDS_PER_LINE};
 pub use alloc::{Fault, LineStatus, UafMode};
 pub use cache::MsiState;
 pub use coherence::CacheConfig;
+pub use fault::{CoreOutcome, CrashFault, FaultPlan, StallFault};
 pub use latency::LatencyModel;
 pub use machine::{Ctx, ExecBackend, FootprintSample, Machine, MachineConfig};
 pub use rng::{Rng, SplitMix64};

@@ -61,6 +61,7 @@ use std::thread::Thread;
 use crate::addr::{Addr, CoreId};
 use crate::alloc::{Allocator, Fault, UafMode};
 use crate::coherence::{CacheConfig, CoherenceHub};
+use crate::fault::{CoreOutcome, FaultPlan, FaultState, FaultStop};
 use crate::latency::LatencyModel;
 use crate::sched::{Sched, NO_TURN};
 use crate::stats::MachineStats;
@@ -199,6 +200,16 @@ pub struct MachineConfig {
     /// delivered at the epoch barrier — so W bounds both inter-gang clock
     /// skew and cross-gang event latency. Ignored when `gangs == 1`.
     pub gang_window: u64,
+    /// Deterministic fault-injection plan (see [`crate::fault`]): stalls,
+    /// burst deschedules, crashes and allocation pressure, all triggered by
+    /// per-core local clocks so they fire identically on every backend,
+    /// gang driver and `gangs × l2_banks` layout. Empty by default.
+    pub fault_plan: FaultPlan,
+    /// Wedge watchdog: panic with a diagnostic if any core's local clock
+    /// exceeds this many cycles in one run — so a livelocked or
+    /// fault-wedged configuration terminates instead of hanging a sweep
+    /// worker forever. `None` (the default) disables the ceiling.
+    pub max_cycles: Option<u64>,
 }
 
 impl Default for MachineConfig {
@@ -217,6 +228,8 @@ impl Default for MachineConfig {
             exec: ExecBackend::Auto,
             gangs: 1,
             gang_window: 4096,
+            fault_plan: FaultPlan::default(),
+            max_cycles: None,
         }
     }
 }
@@ -270,6 +283,8 @@ pub(crate) struct SimState {
     pub serial_epilogue_events: u64,
     /// Gang runs: bank-classified deferred events per L2 bank.
     pub bank_occupancy: Vec<u64>,
+    /// Compiled fault-injection state (see [`crate::fault`]).
+    pub fault: FaultState,
 }
 
 struct Shared {
@@ -381,6 +396,9 @@ impl Machine {
         );
         let mut alloc = Allocator::new(cfg.cores, cfg.mem_bytes, cfg.static_lines);
         alloc.uaf_mode = cfg.uaf_mode;
+        if let Some(lines) = cfg.fault_plan.heap_limit_lines {
+            alloc.limit_heap_lines(lines);
+        }
         let n_banks = hub.l2_bank_count();
         let state = SimState {
             hub,
@@ -397,6 +415,7 @@ impl Machine {
             banked_merge_events: 0,
             serial_epilogue_events: 0,
             bank_occupancy: vec![0; n_banks],
+            fault: FaultState::new(&cfg.fault_plan, cfg.cores, cfg.max_cycles),
         };
         Self {
             shared: Arc::new(Shared {
@@ -423,11 +442,70 @@ impl Machine {
     ///
     /// If a closure panics (including the use-after-free detector firing),
     /// its core is retired first — so the other simulated threads keep being
-    /// scheduled — and the panic then propagates out of `run`.
+    /// scheduled — and the panic then propagates out of `run`. This includes
+    /// injected [`crate::fault::CrashFault`]s; use [`Self::run_outcomes`] to
+    /// observe those as values instead.
     pub fn run<'env, R: Send + 'env>(
         &'env self,
         fns: Vec<CoreFn<'env, R>>,
     ) -> Vec<R> {
+        self.run_results(fns)
+            .into_iter()
+            .map(|r| match r {
+                Ok(r) => r,
+                Err(e) => std::panic::resume_unwind(e),
+            })
+            .collect()
+    }
+
+    /// [`Self::run`], with injected crashes reported as
+    /// [`CoreOutcome::Crashed`] values instead of panics. Panics that are
+    /// *not* a fired [`crate::fault::CrashFault`] (a workload bug, the
+    /// use-after-free detector, the wedge watchdog) still propagate.
+    pub fn run_outcomes<'env, R: Send + 'env>(
+        &'env self,
+        fns: Vec<CoreFn<'env, R>>,
+    ) -> Vec<CoreOutcome<R>> {
+        self.run_results(fns)
+            .into_iter()
+            .map(|r| match r {
+                Ok(r) => CoreOutcome::Done(r),
+                Err(e) => match e.downcast::<FaultStop>() {
+                    Ok(fs) => CoreOutcome::Crashed {
+                        core: fs.core,
+                        clock: fs.clock,
+                    },
+                    Err(e) => std::panic::resume_unwind(e),
+                },
+            })
+            .collect()
+    }
+
+    /// Convenience: [`Self::run_outcomes`] over the same closure on `n`
+    /// cores (the fault-tolerant sibling of [`Self::run_on`]).
+    pub fn run_outcomes_on<R: Send>(
+        &self,
+        n: usize,
+        f: impl Fn(usize, &mut Ctx) -> R + Sync,
+    ) -> Vec<CoreOutcome<R>> {
+        let f = &f;
+        self.run_outcomes(
+            (0..n)
+                .map(|i| {
+                    Box::new(move |ctx: &mut Ctx| f(i, ctx))
+                        as Box<dyn FnOnce(&mut Ctx) -> R + Send + '_>
+                })
+                .collect(),
+        )
+    }
+
+    /// Backend dispatch: run the closures and collect each core's result
+    /// *or* caught panic, in core order. Panics that escaped a workload
+    /// closure's own frame (driver/conductor failures) still propagate.
+    fn run_results<'env, R: Send + 'env>(
+        &'env self,
+        fns: Vec<CoreFn<'env, R>>,
+    ) -> Vec<std::thread::Result<R>> {
         let n = fns.len();
         assert!(
             n >= 1 && n <= self.cfg.cores,
@@ -467,7 +545,7 @@ impl Machine {
         fns: Vec<CoreFn<'env, R>>,
         layout: crate::gang::Layout,
         coop: bool,
-    ) -> Vec<R> {
+    ) -> Vec<std::thread::Result<R>> {
         let mut guard = self.shared.lock();
         // The conductor (this thread) holds the state lock for the whole
         // run; host-side calls on this machine — from workload closures on
@@ -523,10 +601,7 @@ impl Machine {
             std::panic::resume_unwind(e);
         }
         outs.into_iter()
-            .map(|r| match r.expect("gang core finished without a result") {
-                Ok(r) => r,
-                Err(e) => std::panic::resume_unwind(e),
-            })
+            .map(|r| r.expect("gang core finished without a result"))
             .collect()
     }
 
@@ -534,7 +609,10 @@ impl Machine {
     /// with the state lock held once for the whole run. Turn handoffs are
     /// user-space stack switches (see [`crate::coop`]).
     #[cfg(mcsim_coop)]
-    fn run_coop<'env, R: Send + 'env>(&'env self, fns: Vec<CoreFn<'env, R>>) -> Vec<R> {
+    fn run_coop<'env, R: Send + 'env>(
+        &'env self,
+        fns: Vec<CoreFn<'env, R>>,
+    ) -> Vec<std::thread::Result<R>> {
         use crate::coop;
         let n = fns.len();
         let mut guard = self.shared.lock();
@@ -602,17 +680,17 @@ impl Machine {
         debug_assert_eq!(guard.sched.turn, NO_TURN, "run ended with live cores");
         drop(guard);
         outs.into_iter()
-            .map(|r| match r.expect("coroutine finished without a result") {
-                Ok(r) => r,
-                Err(e) => std::panic::resume_unwind(e),
-            })
+            .map(|r| r.expect("coroutine finished without a result"))
             .collect()
     }
 
     /// OS-thread backend: one thread per simulated core, park/unpark
     /// handoffs. The portable fallback, and the only option when workload
     /// closures are not safe to multiplex on one stack.
-    fn run_threads<'env, R: Send + 'env>(&'env self, fns: Vec<CoreFn<'env, R>>) -> Vec<R> {
+    fn run_threads<'env, R: Send + 'env>(
+        &'env self,
+        fns: Vec<CoreFn<'env, R>>,
+    ) -> Vec<std::thread::Result<R>> {
         let n = fns.len();
         let shared = &self.shared;
         // Every worker registers its OS thread handle (the unpark target)
@@ -646,10 +724,7 @@ impl Machine {
                         // Retire even on panic, so the other simulated
                         // threads are not left waiting for a dead core.
                         ctx.retire();
-                        match out {
-                            Ok(r) => r,
-                            Err(e) => std::panic::resume_unwind(e),
-                        }
+                        out
                     })
                 })
                 .collect();
@@ -667,6 +742,9 @@ impl Machine {
                 .into_iter()
                 .map(|h| match h.join() {
                     Ok(r) => r,
+                    // A panic that escaped the worker's catch_unwind (i.e.
+                    // from retire itself) is an infrastructure failure, not
+                    // a workload result.
                     Err(e) => std::panic::resume_unwind(e),
                 })
                 .collect()
@@ -702,6 +780,18 @@ impl Machine {
         st.banked_merge_events = 0;
         st.serial_epilogue_events = 0;
         st.bank_occupancy.fill(0);
+        // Clocks restart at zero, so the fault plan's triggers restart too.
+        st.fault.reset();
+    }
+
+    /// Arm or disarm the fault plan's triggers (stalls, crashes, the wedge
+    /// watchdog). Machines are built armed; a harness disarms around its
+    /// prefill run so trigger clocks are only consumed — and the watchdog
+    /// only enforced — during the measured run. Allocation pressure
+    /// (`FaultPlan::oom_recoverable` + `heap_limit_lines`) is a standing
+    /// property of the machine, not a trigger, and stays in effect.
+    pub fn set_faults_armed(&self, armed: bool) {
+        self.shared.lock().fault.set_armed(armed);
     }
 
     /// Snapshot machine statistics.
@@ -721,6 +811,7 @@ impl Machine {
             banked_merge_events: st.banked_merge_events,
             serial_epilogue_events: st.serial_epilogue_events,
             bank_occupancy: st.bank_occupancy.clone(),
+            crashed: st.fault.crashed.clone(),
         }
     }
 
@@ -980,7 +1071,18 @@ pub(crate) fn exec_op(st: &mut SimState, c: CoreId, op: Op) -> (Out, u64) {
         Op::UntagOne(a) => (Out::Unit, st.hub.untag_one(c, a)),
         Op::UntagAll => (Out::Unit, st.hub.untag_all(c)),
         Op::Alloc => {
-            let a = st.alloc.alloc(c);
+            // Under oom_recoverable, exhaustion is a verdict: the malloc
+            // latency is still charged (the simulated allocator did the
+            // work of discovering there was nothing to hand out) and the
+            // null address flows back to `Ctx::try_alloc` as `None`.
+            let a = if st.fault.oom_recoverable {
+                st.alloc.try_alloc(c).unwrap_or_else(|| {
+                    st.hub.stats.core(c).alloc_failures += 1;
+                    Addr::NULL
+                })
+            } else {
+                st.alloc.alloc(c)
+            };
             (Out::A(a), st.hub.lat.malloc)
         }
         Op::Free(a) => {
@@ -1059,6 +1161,14 @@ pub(crate) fn apply_preempt_model(
 #[inline]
 fn run_event_on(st: &mut SimState, c: CoreId, pending: u64, op: Op) -> (Out, Option<CoreId>) {
     st.sched.clocks[c] += pending;
+    if st.fault.hot && st.fault.crash_due(c, st.sched.clocks[c]) {
+        // The op never executes: the core fail-stops here, mid-operation.
+        // The unwind is caught at the workload-closure boundary, where the
+        // backend retires the core so the survivors keep being scheduled.
+        st.fault.crashed[c] = true;
+        let clock = st.sched.clocks[c];
+        std::panic::resume_unwind(Box::new(FaultStop { core: c, clock }));
+    }
     let (out, cost) = exec_op(st, c, op);
     st.sched.clocks[c] += cost;
     {
@@ -1067,8 +1177,23 @@ fn run_event_on(st: &mut SimState, c: CoreId, pending: u64, op: Op) -> (Out, Opt
             next_preempt,
             hub,
             ctx_switch,
+            fault,
             ..
         } = st;
+        if fault.hot {
+            // Injected burst deschedules (and the wedge watchdog) land
+            // before the periodic model, at the same point in the event:
+            // after the op's cost, before the scheduling decision.
+            let fired = crate::fault::apply_stalls_and_watchdog(
+                &mut sched.clocks[c],
+                &fault.stalls[c],
+                &mut fault.cursor[c],
+                fault.max_cycles,
+                c,
+                || hub.preempt(c),
+            );
+            hub.stats.core(c).fault_stalls += fired;
+        }
         apply_preempt_model(
             &mut sched.clocks[c],
             &mut next_preempt[c],
@@ -1236,8 +1361,33 @@ impl<'m> Ctx<'m> {
     }
 
     /// Allocate one node (a 64-byte line). Charges the malloc latency.
+    /// On heap exhaustion the default configuration panics inside the
+    /// event; an allocation-pressure run (`FaultPlan::oom_recoverable`)
+    /// must use [`Self::try_alloc`] instead — calling `alloc` there turns
+    /// the verdict back into a panic.
     pub fn alloc(&mut self) -> Addr {
-        self.event(Op::Alloc).addr()
+        let a = self.event(Op::Alloc).addr();
+        assert!(
+            a != Addr::NULL,
+            "allocation failed on core {} (oom_recoverable run): \
+             handle exhaustion via Ctx::try_alloc",
+            self.core
+        );
+        a
+    }
+
+    /// [`Self::alloc`] with heap exhaustion as a verdict: `None` when the
+    /// heap has no line to hand out (only possible under
+    /// `FaultPlan::oom_recoverable`; the default configuration panics
+    /// inside the event instead). The malloc latency is charged either way,
+    /// and each `None` ticks the core's `alloc_failures` counter.
+    pub fn try_alloc(&mut self) -> Option<Addr> {
+        let a = self.event(Op::Alloc).addr();
+        if a == Addr::NULL {
+            None
+        } else {
+            Some(a)
+        }
     }
 
     /// Free one node. Charges the free latency. Traps double frees (on
@@ -2324,5 +2474,266 @@ mod tests {
             (v, ok, ctx.read(a))
         });
         assert_eq!(outs, vec![(Some(0), true, 9)]);
+    }
+
+    // --- fault injection (crate::fault) ---------------------------------
+
+    fn fault_machine(plan: FaultPlan) -> Machine {
+        Machine::new(MachineConfig {
+            cores: 4,
+            mem_bytes: 1 << 20,
+            static_lines: 64,
+            quantum: 0,
+            fault_plan: plan,
+            ..Default::default()
+        })
+    }
+
+    /// A shared-counter workload long enough for mid-run triggers.
+    fn cas_work(m: &Machine, n: usize, iters: usize) -> Vec<CoreOutcome<u64>> {
+        let a = m.alloc_static(1);
+        m.run_outcomes_on(n, move |_, ctx| {
+            for _ in 0..iters {
+                loop {
+                    let cur = ctx.read(a);
+                    if ctx.cas(a, cur, cur + 1).is_ok() {
+                        break;
+                    }
+                }
+            }
+            ctx.now()
+        })
+    }
+
+    #[test]
+    fn stall_fault_fires_once_and_charges_cycles() {
+        let stalled = {
+            let m = fault_machine(FaultPlan::none().stall(1, 100, 50_000));
+            cas_work(&m, 2, 50);
+            m.stats()
+        };
+        let clean = {
+            let m = fault_machine(FaultPlan::none());
+            cas_work(&m, 2, 50);
+            m.stats()
+        };
+        assert_eq!(stalled.cores[1].fault_stalls, 1);
+        assert_eq!(stalled.cores[0].fault_stalls, 0);
+        // The burst is charged to the stalled core's clock. (No exact
+        // clean-run delta: removing core 1 from contention for 50k cycles
+        // changes what the rest of its run costs.)
+        assert!(stalled.cores[1].cycles >= 50_000);
+        assert!(stalled.cores[1].cycles > clean.cores[1].cycles);
+        assert!(stalled.crashed.iter().all(|&c| !c));
+        // The burst deschedule has context-switch side effects.
+        assert!(stalled.cores[1].ctx_switches >= 1);
+        assert!(stalled.cores[1].revoke_ctx_switch >= 1);
+    }
+
+    #[test]
+    fn crash_fault_reported_as_outcome() {
+        let m = fault_machine(FaultPlan::none().crash(1, 200));
+        let outs = cas_work(&m, 3, 200);
+        assert!(outs[1].crashed());
+        assert!(!outs[0].crashed() && !outs[2].crashed());
+        let stats = m.stats();
+        assert_eq!(stats.crashed, vec![false, true, false, false]);
+        // The survivors were not wedged by the dead core.
+        assert!(stats.cores[0].cycles > stats.cores[1].cycles);
+        match outs[1] {
+            CoreOutcome::Crashed { core, clock } => {
+                assert_eq!(core, 1);
+                assert!(clock >= 200, "crash trigger is a clock lower bound");
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn crash_fault_panics_through_plain_run() {
+        let m = fault_machine(FaultPlan::none().crash(0, 0));
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            m.run_on(1, |_, ctx| ctx.fence());
+        }));
+        let payload = caught.expect_err("crash must propagate out of run()");
+        assert!(payload.downcast_ref::<FaultStop>().is_some());
+    }
+
+    #[test]
+    fn faults_disarm_and_reset_with_timing() {
+        let m = fault_machine(FaultPlan::none().crash(1, 0));
+        m.set_faults_armed(false);
+        let outs = cas_work(&m, 2, 20);
+        assert!(outs.iter().all(|o| !o.crashed()), "disarmed plans fire nothing");
+        m.set_faults_armed(true);
+        let outs = cas_work(&m, 2, 20);
+        assert!(outs[1].crashed());
+        // reset_timing rewinds the trigger: it fires again next run.
+        m.reset_timing();
+        assert_eq!(m.stats().crashed, vec![false; 4]);
+        let outs = cas_work(&m, 2, 20);
+        assert!(outs[1].crashed());
+    }
+
+    #[test]
+    #[should_panic(expected = "wedge watchdog")]
+    fn watchdog_ceiling_trips() {
+        let m = Machine::new(MachineConfig {
+            cores: 2,
+            mem_bytes: 1 << 20,
+            static_lines: 64,
+            quantum: 0,
+            max_cycles: Some(1_000),
+            ..Default::default()
+        });
+        let a = m.alloc_static(1);
+        m.run_on(2, |_, ctx| {
+            // A deliberate livelock stand-in: spin well past the ceiling.
+            for _ in 0..100_000 {
+                ctx.read(a);
+            }
+        });
+    }
+
+    #[test]
+    fn alloc_pressure_reports_oom_recoverably() {
+        let m = fault_machine(FaultPlan::none().alloc_pressure(8));
+        let outs = m.run_on(2, |_, ctx| {
+            let mut got = 0u64;
+            let mut last = None;
+            for _ in 0..10 {
+                if let Some(a) = ctx.try_alloc() {
+                    got += 1;
+                    last = Some(a);
+                }
+            }
+            // Recover: free one line and allocate it again.
+            if let Some(a) = last {
+                ctx.free(a);
+                assert!(ctx.try_alloc().is_some());
+            }
+            got
+        });
+        assert_eq!(outs.iter().sum::<u64>(), 8, "8-line heap hands out 8 lines");
+        let stats = m.stats();
+        assert_eq!(stats.sum(|c| c.alloc_failures), 12);
+        assert_eq!(stats.allocated_not_freed, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "handle exhaustion via Ctx::try_alloc")]
+    fn plain_alloc_rejects_oom_verdict() {
+        let m = fault_machine(FaultPlan::none().alloc_pressure(2));
+        m.run_on(1, |_, ctx| {
+            for _ in 0..3 {
+                ctx.alloc();
+            }
+        });
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic_across_backends() {
+        if !COOP_SUPPORTED {
+            return;
+        }
+        let run = |exec: ExecBackend| {
+            let m = Machine::new(MachineConfig {
+                cores: 4,
+                mem_bytes: 1 << 20,
+                static_lines: 64,
+                quantum: 0,
+                exec,
+                fault_plan: FaultPlan::none()
+                    .stall(2, 500, 10_000)
+                    .crash(3, 1_500),
+                ..Default::default()
+            });
+            let outs = cas_work(&m, 4, 100);
+            let st = m.stats();
+            (
+                outs.iter().map(|o| o.crashed()).collect::<Vec<_>>(),
+                st.crashed.clone(),
+                st.max_cycles,
+                st.sum(|c| c.fault_stalls),
+                st.cores.iter().map(|c| c.cycles).collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(run(ExecBackend::Threads), run(ExecBackend::Coop));
+    }
+
+    fn gang_fault_machine(gangs: usize, exec: ExecBackend, plan: FaultPlan) -> Machine {
+        Machine::new(MachineConfig {
+            cores: 4,
+            mem_bytes: 1 << 20,
+            static_lines: 64,
+            quantum: 0,
+            gangs,
+            gang_window: 128,
+            exec,
+            fault_plan: plan,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn gang_fault_crash_and_stall_fire_on_every_layout() {
+        // Faults must fire inside the gang pipeline too — both in the
+        // gang-local fast path and (via cross-gang contention) through the
+        // deferred/merge path — on every backend and gang count.
+        for exec in GANG_BACKENDS {
+            for gangs in [2, 4] {
+                let plan = FaultPlan::none().stall(1, 500, 20_000).crash(3, 1_500);
+                let m = gang_fault_machine(gangs, exec, plan);
+                let outs = cas_work(&m, 4, 60);
+                let st = m.stats();
+                let label = format!("{exec:?} gangs={gangs}");
+                assert!(outs[3].crashed(), "{label}: core 3 must crash");
+                for (c, o) in outs.iter().enumerate().take(3) {
+                    assert!(!o.crashed(), "{label}: core {c} must survive");
+                }
+                assert_eq!(st.crashed, vec![false, false, false, true], "{label}");
+                assert_eq!(st.cores[1].fault_stalls, 1, "{label}");
+                assert!(st.cores[1].cycles >= 20_000, "{label}: burst not charged");
+                m.check_invariants();
+            }
+        }
+    }
+
+    #[test]
+    fn gang_fault_runs_are_driver_and_backend_invariant() {
+        // Same contract as `gang_seq_and_spawn_drivers_are_identical`, under
+        // an active fault plan: triggers are pure functions of per-core
+        // simulated clocks, so the merge driver and the exec backend must
+        // not shift where they fire by a single cycle.
+        if !COOP_SUPPORTED {
+            return;
+        }
+        let program = |driver: Option<usize>, exec: ExecBackend| {
+            if let Some(d) = driver {
+                set_gang_driver(d);
+            }
+            let plan = FaultPlan::none()
+                .stall(0, 2_000, 5_000)
+                .stall(2, 500, 15_000)
+                .crash(3, 1_200);
+            let m = gang_fault_machine(2, exec, plan);
+            let outs = cas_work(&m, 4, 80);
+            set_gang_driver(GANG_DRIVER_AUTO);
+            let st = m.stats();
+            (
+                outs.iter().map(|o| o.crashed()).collect::<Vec<_>>(),
+                st.crashed.clone(),
+                st.max_cycles,
+                st.cores
+                    .iter()
+                    .map(|c| (c.cycles, c.fault_stalls, c.accesses))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        let seq = program(Some(GANG_DRIVER_SEQ), ExecBackend::Coop);
+        let spawn = program(Some(GANG_DRIVER_SPAWN), ExecBackend::Coop);
+        let threads = program(None, ExecBackend::Threads);
+        assert_eq!(seq, spawn, "merge drivers diverged under faults");
+        assert_eq!(seq, threads, "exec backends diverged under faults");
     }
 }

@@ -120,6 +120,14 @@ pub struct CoreStats {
     pub untag_alls: u64,
     /// `untagOne` instructions executed (each costs 1 cycle).
     pub untag_ones: u64,
+    /// Injected stall faults fired on this core (`mcsim::fault`). Each is
+    /// a burst deschedule with the usual context-switch side effects; the
+    /// burst is *additionally* counted in `ctx_switches`.
+    pub fault_stalls: u64,
+    /// Recoverable heap-exhaustion verdicts returned to this core
+    /// (`FaultPlan::oom_recoverable` allocation-pressure runs only; the
+    /// default configuration panics instead and never ticks this).
+    pub alloc_failures: u64,
 }
 
 impl CoreStats {
@@ -171,6 +179,9 @@ pub struct MachineStats {
     /// (`len == l2_banks`). Same determinism contract as
     /// [`Self::banked_merge_events`].
     pub bank_occupancy: Vec<u64>,
+    /// Per-core crash flags (`mcsim::fault`): true where an injected
+    /// `CrashFault` fired during the run. Empty-plan runs are all-false.
+    pub crashed: Vec<bool>,
 }
 
 impl MachineStats {
