@@ -1,4 +1,6 @@
-//! Runs the complete evaluation: every figure and ablation, sequentially.
+//! Runs the complete evaluation: every figure and ablation. The four
+//! throughput figures (12 panels) run as one flattened cross-panel sweep;
+//! each remaining figure is already a single flat sweep internally.
 //! Tables go to stdout, CSVs under `results/`.
 //!
 //! Usage: `cargo run -p caharness --release --bin all_figures [--quick|--paper] [--jobs N]`
@@ -9,17 +11,11 @@ fn main() {
     let scale = Scale::from_args();
     caharness::init_from_args();
     eprintln!("[all_figures at {scale:?} scale]");
-    for (i, t) in fig1_lazylist(scale).into_iter().enumerate() {
-        t.emit(&format!("fig1_lazylist_panel{i}.csv"));
-    }
-    for (i, t) in fig1_extbst(scale).into_iter().enumerate() {
-        t.emit(&format!("fig1_extbst_panel{i}.csv"));
-    }
-    for (i, t) in fig2_hashtable(scale).into_iter().enumerate() {
-        t.emit(&format!("fig2_hashtable_panel{i}.csv"));
-    }
-    for (i, t) in fig2_stack(scale).into_iter().enumerate() {
-        t.emit(&format!("fig2_stack_panel{i}.csv"));
+    // All 12 throughput panels (Fig 1 top/bottom, Fig 2 top/bottom) run as
+    // ONE flat sweep so the --jobs pool stays saturated across panel
+    // boundaries instead of draining to a straggler 12 times.
+    for (name, t) in throughput_figures(scale) {
+        t.emit(&name);
     }
     fig3_memory(scale).emit("fig3_memory.csv");
     let (t1, t2) = ablation_associativity(scale);

@@ -1,9 +1,10 @@
 //! Host wall-clock instrument for the parallel sweep engine
 //! (`BENCH_pr2.json`), intra-machine gang scheduling (`BENCH_pr3.json`),
-//! the banked multi-writer barrier merge (`BENCH_pr4.json`) and the
-//! fault-injection subsystem (`BENCH_pr6.json`).
+//! the banked multi-writer barrier merge (`BENCH_pr4.json`), the
+//! fault-injection subsystem (`BENCH_pr6.json`) and the threads
+//! mechanism's lane-parallel merge (`BENCH_pr7.json`).
 //!
-//! Four instruments, one JSON array on stdout:
+//! Five instruments, one JSON array on stdout:
 //!
 //! 1. **Sweep** (PR 2): one figure-style grid — 7 schemes × 4 thread
 //!    counts = 28 configurations of the Figure-1 lazy list — once with
@@ -28,6 +29,14 @@
 //!    L2-bank counts, recording the survivors' wall clock and the
 //!    per-scheme pinned-garbage peak — the qsbr-vs-hp gap is the
 //!    bounded-garbage separation `fig_robustness` plots.
+//! 5. **Threads merge** (PR 7): the 16-core machine pinned to the
+//!    *threads* execution backend at `gangs` {2, 4}. At 1 bank every
+//!    deferred event replays in the serial epilogue; at 8 banks the
+//!    classifier's lanes run on the mechanism's dedicated merge workers
+//!    through `BankParts` projections. Per-core results are bit-identical
+//!    across the two (asserted), so the wall ratio is pure host merge
+//!    scheduling — the lane-dispatch overhead bound on a 1-vCPU host, the
+//!    lane-parallel speedup on multi-core CI.
 //!
 //! Simulated results are deterministic, so every wall-clock ratio is pure
 //! host-scheduling performance.
@@ -113,12 +122,13 @@ fn time_gangs(gangs: usize, mix: Mix, reps: usize) -> (f64, u64, u64, u64) {
     (best_ms, warm.cycles, warm.deferred_events, warm.epoch_barriers)
 }
 
-/// One deterministic 16-core machine at `(gangs, l2_banks)`, update-heavy
-/// mix. Returns (best wall ms, per-core stats, machine stats) — repeated
-/// runs asserted bit-identical.
+/// One deterministic 16-core machine at `(gangs, l2_banks)` on the given
+/// execution backend, update-heavy mix. Returns (best wall ms, per-core
+/// stats, machine stats) — repeated runs asserted bit-identical.
 fn time_banked(
     gangs: usize,
     l2_banks: usize,
+    exec: mcsim::ExecBackend,
     reps: usize,
 ) -> (f64, caharness::Metrics, mcsim::MachineStats) {
     let cfg = RunConfig {
@@ -131,6 +141,7 @@ fn time_banked(
             delete_pct: 50,
         },
         gangs,
+        exec,
         cache: mcsim::CacheConfig {
             l2_banks,
             ..Default::default()
@@ -280,8 +291,8 @@ fn main() {
     let mut rows = Vec::new();
     let mut g1_banked_ms = f64::NAN;
     for gangs in [1usize, 2, 4] {
-        let (flat_ms, flat_m, flat_s) = time_banked(gangs, 1, reps);
-        let (banked_ms, banked_m, banked_s) = time_banked(gangs, 8, reps);
+        let (flat_ms, flat_m, flat_s) = time_banked(gangs, 1, mcsim::ExecBackend::Auto, reps);
+        let (banked_ms, banked_m, banked_s) = time_banked(gangs, 8, mcsim::ExecBackend::Auto, reps);
         assert_eq!(
             flat_s.cores, banked_s.cores,
             "gangs={gangs}: per-core stats differ between 1 and 8 banks"
@@ -305,6 +316,41 @@ fn main() {
             banked_m.banked_merge_events,
             banked_m.serial_epilogue_events,
             banked_m.epoch_barriers,
+        ));
+    }
+    // PR 7: lane-parallel merge on the *threads* mechanism. At 1 bank the
+    // classifier never runs and every deferred event replays in the serial
+    // epilogue; at 8 banks the mechanism's dedicated merge workers execute
+    // the classified lanes concurrently through `BankParts` projections.
+    // Per-core results must be bit-identical across the two (the banked
+    // merge is a proof-carrying reordering), so the wall ratio is pure host
+    // merge scheduling: a lane-dispatch overhead bound on a 1-vCPU host,
+    // the lane-parallel merge speedup on multi-core CI.
+    eprintln!(
+        "[sweep_bench: threads_merge, 16 simulated cores, exec=threads, gangs {{2,4}} × banks {{1,8}}]"
+    );
+    for gangs in [2usize, 4] {
+        let exec = mcsim::ExecBackend::Threads;
+        let (serial_ms, serial_m, serial_s) = time_banked(gangs, 1, exec, reps);
+        let (lanes_ms, lanes_m, lanes_s) = time_banked(gangs, 8, exec, reps);
+        assert_eq!(
+            serial_s.cores, lanes_s.cores,
+            "threads_merge gangs={gangs}: per-core stats differ between serial \
+             epilogue and lane-parallel merge"
+        );
+        assert_eq!(serial_m.cycles, lanes_m.cycles, "threads_merge gangs={gangs}");
+        rows.push(format!(
+            "  {{\"bench\": \"threads_merge\", \"threads\": 16, \"gangs\": {gangs}, \
+             \"exec\": \"threads\", \"mix\": \"50i-50d\", \"reps\": {reps}, \
+             \"wall_ms_serial\": {serial_ms:.1}, \"wall_ms_lanes\": {lanes_ms:.1}, \
+             \"lanes_vs_serial\": {:.3}, \"sim_cycles\": {}, \
+             \"banked_merge_events\": {}, \"serial_epilogue_events\": {}, \
+             \"epoch_barriers\": {}, \"identical_across_banks\": true}}",
+            lanes_ms / serial_ms,
+            lanes_m.cycles,
+            lanes_m.banked_merge_events,
+            lanes_m.serial_epilogue_events,
+            lanes_m.epoch_barriers,
         ));
     }
     // PR 6: the fault-injection subsystem. Per scheme, one 16-core MS-queue

@@ -75,9 +75,73 @@ fn base_config(scale: Scale) -> RunConfig {
     }
 }
 
-/// Throughput sweep (one figure panel): threads on the x axis, one series
-/// per scheme, cells in ops/Mcycle. All `schemes × threads` cells run
-/// concurrently on the sweep pool.
+/// One throughput panel of a multi-panel figure: the structure, workload
+/// mix, key range and caption. Panels are just data so any number of them
+/// can be flattened into a single sweep (see [`throughput_panels`]).
+#[derive(Copy, Clone)]
+pub struct PanelSpec<'a> {
+    /// Structure under test; `None` = Treiber stack.
+    pub kind: Option<SetKind>,
+    /// Workload mix.
+    pub mix: Mix,
+    /// Key range (prefill is half of it).
+    pub key_range: u64,
+    /// Figure caption prefix (the workload label is appended).
+    pub title: &'a str,
+}
+
+/// Throughput sweep over any number of figure panels: threads on the x
+/// axis, one series per scheme, cells in ops/Mcycle. Every
+/// `panel × scheme × threads` cell goes into **one** flat task list, so the
+/// `--jobs` pool stays saturated across panel boundaries — the tail of one
+/// panel overlaps the head of the next instead of draining to a straggler
+/// per panel. A panicked cell degrades to an `ERR` cell (the failure still
+/// lands in the sweep registry), matching [`sweep::grid_cells`].
+pub fn throughput_panels(sweep_label: &str, specs: &[PanelSpec], scale: Scale) -> Vec<SeriesTable> {
+    let threads = scale.threads();
+    let mut tasks: Vec<sweep::Task<f64>> = Vec::new();
+    for spec in specs {
+        let kind = spec.kind;
+        for &scheme in SchemeKind::ALL.iter() {
+            for &t in &threads {
+                let cfg = RunConfig {
+                    threads: t,
+                    key_range: spec.key_range,
+                    prefill: spec.key_range / 2,
+                    mix: spec.mix,
+                    ..base_config(scale)
+                };
+                tasks.push(Box::new(move || {
+                    let m = match kind {
+                        Some(k) => run_set(k, scheme, &cfg),
+                        None => run_stack(scheme, &cfg),
+                    };
+                    m.throughput
+                }));
+            }
+        }
+    }
+    let mut flat = sweep::run_results(sweep_label, tasks)
+        .into_iter()
+        .map(|r| r.unwrap_or(sweep::ERR_CELL));
+    specs
+        .iter()
+        .map(|spec| {
+            let mut table = SeriesTable::new(
+                format!("{} — workload {}", spec.title, spec.mix.label()),
+                "scheme\\threads",
+                threads.iter().map(|t| t.to_string()).collect(),
+            );
+            for scheme in SchemeKind::ALL {
+                let row: Vec<f64> = threads.iter().map(|_| flat.next().expect("cell")).collect();
+                table.push_series(scheme.name(), row);
+            }
+            table
+        })
+        .collect()
+}
+
+/// Single-panel convenience form of [`throughput_panels`].
 pub fn throughput_panel(
     kind: Option<SetKind>, // None = stack
     mix: Mix,
@@ -85,90 +149,105 @@ pub fn throughput_panel(
     key_range: u64,
     title: &str,
 ) -> SeriesTable {
-    let threads = scale.threads();
-    let mut table = SeriesTable::new(
-        format!("{title} — workload {}", mix.label()),
-        "scheme\\threads",
-        threads.iter().map(|t| t.to_string()).collect(),
-    );
-    let label = format!(
-        "{} {}",
-        kind.map_or("stack", SetKind::name),
-        mix.label()
-    );
-    let rows = sweep::grid_cells(&label, &SchemeKind::ALL, &threads, |&scheme, &t| {
-        let cfg = RunConfig {
-            threads: t,
-            key_range,
-            prefill: key_range / 2,
+    let label = format!("{} {}", kind.map_or("stack", SetKind::name), mix.label());
+    let spec = PanelSpec {
+        kind,
+        mix,
+        key_range,
+        title,
+    };
+    throughput_panels(&label, &[spec], scale)
+        .pop()
+        .expect("one panel in, one table out")
+}
+
+/// One throughput figure row: its CSV/bin name plus the panel parameters
+/// shared by its three workload panels ([`Mix::PAPER`]).
+struct FigSpec {
+    name: &'static str,
+    kind: Option<SetKind>,
+    key_range: u64,
+    title: &'static str,
+}
+
+/// The four throughput figure rows, in emission order.
+const THROUGHPUT_FIGS: [FigSpec; 4] = [
+    FigSpec {
+        name: "fig1_lazylist",
+        kind: Some(SetKind::LazyList),
+        key_range: 1000,
+        title: "Fig 1 (top) lazy list, size ~500",
+    },
+    FigSpec {
+        name: "fig1_extbst",
+        kind: Some(SetKind::ExtBst),
+        key_range: 10_000,
+        title: "Fig 1 (bottom) external BST, size ~5K",
+    },
+    FigSpec {
+        name: "fig2_hashtable",
+        kind: Some(SetKind::HashTable),
+        key_range: 1000,
+        title: "Fig 2 (top) hash table, 128 buckets",
+    },
+    FigSpec {
+        name: "fig2_stack",
+        kind: None,
+        key_range: 1000,
+        title: "Fig 2 (bottom) stack",
+    },
+];
+
+/// The three workload panels of one figure row.
+fn fig_panels(fig: &FigSpec) -> Vec<PanelSpec<'static>> {
+    Mix::PAPER
+        .iter()
+        .map(|&mix| PanelSpec {
+            kind: fig.kind,
             mix,
-            ..base_config(scale)
-        };
-        let m = match kind {
-            Some(k) => run_set(k, scheme, &cfg),
-            None => run_stack(scheme, &cfg),
-        };
-        m.throughput
-    });
-    for (scheme, row) in SchemeKind::ALL.iter().zip(rows) {
-        table.push_series(scheme.name(), row);
-    }
-    table
+            key_range: fig.key_range,
+            title: fig.title,
+        })
+        .collect()
+}
+
+fn one_fig(fig: &FigSpec, scale: Scale) -> Vec<SeriesTable> {
+    throughput_panels(fig.name, &fig_panels(fig), scale)
 }
 
 /// Figure 1 (top row): lazy list, keys 0..1K, three workload panels.
 pub fn fig1_lazylist(scale: Scale) -> Vec<SeriesTable> {
-    Mix::PAPER
-        .iter()
-        .map(|&mix| {
-            throughput_panel(
-                Some(SetKind::LazyList),
-                mix,
-                scale,
-                1000,
-                "Fig 1 (top) lazy list, size ~500",
-            )
-        })
-        .collect()
+    one_fig(&THROUGHPUT_FIGS[0], scale)
 }
 
 /// Figure 1 (bottom row): external BST, keys 0..10K.
 pub fn fig1_extbst(scale: Scale) -> Vec<SeriesTable> {
-    Mix::PAPER
-        .iter()
-        .map(|&mix| {
-            throughput_panel(
-                Some(SetKind::ExtBst),
-                mix,
-                scale,
-                10_000,
-                "Fig 1 (bottom) external BST, size ~5K",
-            )
-        })
-        .collect()
+    one_fig(&THROUGHPUT_FIGS[1], scale)
 }
 
 /// Figure 2 (top row): 128-bucket chaining hash table, keys 0..1K.
 pub fn fig2_hashtable(scale: Scale) -> Vec<SeriesTable> {
-    Mix::PAPER
-        .iter()
-        .map(|&mix| {
-            throughput_panel(
-                Some(SetKind::HashTable),
-                mix,
-                scale,
-                1000,
-                "Fig 2 (top) hash table, 128 buckets",
-            )
-        })
-        .collect()
+    one_fig(&THROUGHPUT_FIGS[2], scale)
 }
 
 /// Figure 2 (bottom row): Treiber stack (reads are peeks).
 pub fn fig2_stack(scale: Scale) -> Vec<SeriesTable> {
-    Mix::PAPER
-        .iter()
-        .map(|&mix| throughput_panel(None, mix, scale, 1000, "Fig 2 (bottom) stack"))
+    one_fig(&THROUGHPUT_FIGS[3], scale)
+}
+
+/// All four throughput figures (Fig 1 top/bottom, Fig 2 top/bottom) as one
+/// flat cross-panel sweep — 12 panels, `4 × 3 × schemes × threads` cells in
+/// a single task list. `all_figures` uses this instead of running the
+/// figure functions back to back, which would drain the `--jobs` pool to a
+/// straggler at each of the 12 panel boundaries. Returns `(csv name,
+/// table)` pairs in the order the per-figure bins emit them.
+pub fn throughput_figures(scale: Scale) -> Vec<(String, SeriesTable)> {
+    let specs: Vec<PanelSpec> = THROUGHPUT_FIGS.iter().flat_map(fig_panels).collect();
+    let names = THROUGHPUT_FIGS.iter().flat_map(|fig| {
+        (0..Mix::PAPER.len()).map(|i| format!("{}_panel{i}.csv", fig.name))
+    });
+    names
+        .zip(throughput_panels("throughput_figures", &specs, scale))
         .collect()
 }
 
@@ -1055,6 +1134,42 @@ pub fn htm_bench(scale: Scale) -> (SeriesTable, SeriesTable, SeriesTable) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cross_panel_flattening_is_a_pure_reordering() {
+        // The flattened multi-panel sweep must produce tables byte-identical
+        // to running each panel as its own sweep: flattening only changes
+        // host scheduling (task-list shape), never cell values or table
+        // assembly order.
+        let a = PanelSpec {
+            kind: Some(SetKind::LazyList),
+            mix: Mix {
+                insert_pct: 50,
+                delete_pct: 50,
+            },
+            key_range: 64,
+            title: "flatten A",
+        };
+        let b = PanelSpec {
+            kind: None,
+            mix: Mix {
+                insert_pct: 30,
+                delete_pct: 30,
+            },
+            key_range: 64,
+            title: "flatten B",
+        };
+        let flat = throughput_panels("flatten", &[a, b], Scale::Quick);
+        assert_eq!(flat.len(), 2);
+        let solo = [
+            throughput_panel(a.kind, a.mix, Scale::Quick, a.key_range, a.title),
+            throughput_panel(b.kind, b.mix, Scale::Quick, b.key_range, b.title),
+        ];
+        for (f, s) in flat.iter().zip(&solo) {
+            assert_eq!(f.render(), s.render());
+            assert_eq!(f.to_csv(), s.to_csv());
+        }
+    }
 
     #[test]
     fn quick_scale_shapes() {

@@ -173,28 +173,18 @@ impl BankedL2 {
         self.banks[self.bank_of(line)].lookup(line)
     }
 
-    #[inline]
-    pub fn lookup_mut(&mut self, line: Line) -> Option<&mut crate::cache::Entry<DirMeta>> {
-        let b = self.bank_of(line);
-        self.banks[b].lookup_mut(line)
-    }
-
-    #[inline]
-    pub fn lookup_touch(&mut self, line: Line) -> Option<&mut crate::cache::Entry<DirMeta>> {
-        let b = self.bank_of(line);
-        self.banks[b].lookup_touch(line)
-    }
-
-    #[inline]
-    pub fn insert(&mut self, line: Line, payload: DirMeta) -> Option<crate::cache::Entry<DirMeta>> {
-        let b = self.bank_of(line);
-        self.banks[b].insert(line, payload)
-    }
-
     /// Iterate over all resident entries, bank by bank (order differs from
     /// the flat array; all consumers are order-insensitive).
     pub fn iter(&self) -> impl Iterator<Item = &crate::cache::Entry<DirMeta>> {
         self.banks.iter().flat_map(|b| b.iter())
+    }
+
+    /// Raw view of the bank array for the [`BankParts`] projection: base
+    /// pointer, bank count and the line→bank selection mask. Each element is
+    /// one whole `SetAssoc` bank (sets and per-bank LRU stamps included), so
+    /// disjoint bank indices give disjoint `&mut` access.
+    pub(crate) fn raw_parts(&mut self) -> (*mut SetAssoc<DirMeta>, usize, u64) {
+        (self.banks.as_mut_ptr(), self.banks.len(), self.bank_mask)
     }
 }
 
@@ -287,271 +277,34 @@ impl CoherenceHub {
         t % self.smt
     }
 
-    #[inline]
-    fn set_arb(&mut self, t: CoreId, cause: RevokeCause) {
-        if !self.arb[t] {
-            self.arb[t] = true;
-            self.stats.core(t).record_revoke(cause);
+    /// Project the hub into raw per-part pointers ([`BankParts`]).
+    ///
+    /// The projection is how *every* mutable coherence transition executes:
+    /// the hub's own `read`/`write`/… methods materialize a transient
+    /// projection under `&mut self` (trivially exclusive), and the gang
+    /// runtime's merge lanes hold a long-lived one whose exclusivity over a
+    /// *subset* of parts is established by the barrier-merge classifier
+    /// (see `crate::gang`). Either way the op bodies are the same code.
+    pub(crate) fn parts(&mut self) -> BankParts {
+        let (banks, n_banks, bank_mask) = self.l2.raw_parts();
+        let (mem, mem_words) = self.mem.raw_words();
+        BankParts {
+            l1s: self.l1s.as_mut_ptr(),
+            n_pcores: self.l1s.len(),
+            banks,
+            n_banks,
+            bank_mask,
+            mem,
+            mem_words,
+            arb: self.arb.as_mut_ptr(),
+            tx: self.tx.as_mut_ptr(),
+            stats: self.stats.cores.as_mut_ptr(),
+            n_threads: self.arb.len(),
+            smt: self.smt,
+            protocol: self.protocol,
+            lat: &self.lat,
+            scope: std::ptr::null(),
         }
-    }
-
-    /// Set the ARB of every hardware thread named in `mask` (tag bits of a
-    /// line on physical core `pcore`).
-    #[inline]
-    fn revoke_mask(&mut self, pcore: usize, mask: u8, cause: RevokeCause) {
-        let mut m = mask;
-        while m != 0 {
-            let h = m.trailing_zeros() as usize;
-            m &= m - 1;
-            self.set_arb(pcore * self.smt + h, cause);
-        }
-    }
-
-    /// Kill `holder`'s L1 copy of `line` (directory-initiated). Sets the
-    /// ARB of every hyperthread that tagged the copy. Returns the removed
-    /// entry's state, if the copy was actually present (stale sharer bits
-    /// make no-op invalidations legal).
-    fn invalidate_l1_copy(
-        &mut self,
-        holder: usize,
-        line: Line,
-        cause: RevokeCause,
-    ) -> Option<MsiState> {
-        let entry = self.l1s[holder].array.remove(line)?;
-        // Structural L1 events are attributed to the core's primary thread.
-        self.stats.core(holder * self.smt).invalidations_received += 1;
-        self.revoke_mask(holder, entry.payload.tags, cause);
-        Some(entry.payload.state)
-    }
-
-    /// Insert `line` into thread `t`'s physical core's L1, handling the
-    /// victim: a Modified victim writes back to the L2 (directory drops
-    /// ownership); an Exclusive victim notifies the directory (clean drop);
-    /// a tagged victim sets its taggers' ARBs (associativity-conflict
-    /// spurious revoke, paper §III).
-    fn l1_insert(&mut self, t: CoreId, line: Line, state: MsiState) {
-        let pcore = self.pc(t);
-        let victim = self.l1s[pcore].array.insert(line, L1Meta::clean(state));
-        if let Some(v) = victim {
-            self.revoke_mask(pcore, v.payload.tags, RevokeCause::L1Eviction);
-            match v.payload.state {
-                MsiState::Modified => {
-                    let d = self
-                        .l2
-                        .lookup_mut(v.line)
-                        .expect("inclusion: L1 victim must be resident in L2");
-                    debug_assert_eq!(d.payload.owner, Some(pcore), "M victim must be owned");
-                    d.payload.owner = None;
-                    d.payload.dirty = true;
-                }
-                MsiState::Exclusive => {
-                    // Clean drop, but the directory must forget the owner so
-                    // the invariant "owner holds the line" is preserved.
-                    let d = self
-                        .l2
-                        .lookup_mut(v.line)
-                        .expect("inclusion: L1 victim must be resident in L2");
-                    debug_assert_eq!(d.payload.owner, Some(pcore), "E victim must be owned");
-                    d.payload.owner = None;
-                }
-                MsiState::Shared => {
-                    // Silent drop: the directory keeps a (now stale) sharer
-                    // bit; later invalidations to it are harmless no-ops.
-                }
-            }
-        }
-    }
-
-    /// Ensure `line` is resident in the L2, evicting (and back-invalidating)
-    /// an L2 victim if necessary. Returns the cycle cost.
-    fn l2_get_or_fill(&mut self, t: CoreId, line: Line) -> u64 {
-        if self.l2.lookup_touch(line).is_some() {
-            let c = self.lat.l2_hit;
-            let s = self.stats.core(t);
-            s.l2_hits += 1;
-            s.l2_hit_cycles += c;
-            return c;
-        }
-        let fill = self.lat.l2_hit + self.lat.mem;
-        let s = self.stats.core(t);
-        s.mem_accesses += 1;
-        s.mem_fill_cycles += fill;
-        let mut cost = fill;
-        // Fill; the inclusive L2 back-invalidates every L1 copy of its victim.
-        if let Some(v) = self.l2.insert(line, DirMeta::default()) {
-            for h in bits(v.payload.holders()) {
-                if let Some(state) =
-                    self.invalidate_l1_copy(h, v.line, RevokeCause::L2BackInvalidation)
-                {
-                    if state == MsiState::Modified {
-                        // Writeback forwarded to memory along with the victim.
-                        cost += self.lat.dirty_supply;
-                    }
-                }
-            }
-        }
-        cost
-    }
-
-    /// Obtain `line` with read permission in `t`'s L1 (Shared, or Exclusive
-    /// when MESI finds no other holder). Returns cost.
-    fn acquire_shared(&mut self, t: CoreId, line: Line) -> u64 {
-        let pcore = self.pc(t);
-        if self.l1s[pcore].array.lookup_touch(line).is_some() {
-            let c = self.lat.l1_hit;
-            let s = self.stats.core(t);
-            s.l1_hits += 1;
-            s.l1_hit_cycles += c;
-            return c;
-        }
-        let mut cost = self.l2_get_or_fill(t, line);
-        // One directory probe: edit the entry in place (the L1s are a
-        // disjoint field, so the owner downgrade can happen while it is
-        // borrowed), and finish every directory edit before `l1_insert`,
-        // whose victim writeback may probe the L2 itself.
-        let d = &mut self.l2.lookup_mut(line).expect("just filled").payload;
-        if let Some(o) = d.owner {
-            debug_assert_ne!(o, pcore, "owner with an L1 miss is impossible");
-            // Downgrade the owner to S: its copy stays valid, tags unaffected.
-            let e = self.l1s[o]
-                .array
-                .lookup_mut(line)
-                .expect("directory owner must hold the line");
-            let was_modified = e.payload.state == MsiState::Modified;
-            debug_assert!(e.payload.state != MsiState::Shared, "owner cannot be S");
-            e.payload.state = MsiState::Shared;
-            d.owner = None;
-            d.add_sharer(o);
-            if was_modified {
-                // Dirty cache-to-cache supply plus writeback.
-                d.dirty = true;
-                cost += self.lat.dirty_supply;
-            }
-        }
-        if self.protocol == Protocol::Mesi && d.holders() == 0 {
-            // MESI: sole reader is granted Exclusive.
-            d.owner = Some(pcore);
-            self.stats.core(t).e_grants += 1;
-            self.l1_insert(t, line, MsiState::Exclusive);
-        } else {
-            d.add_sharer(pcore);
-            self.l1_insert(t, line, MsiState::Shared);
-        }
-        cost
-    }
-
-    /// Obtain `line` in Modified state in `t`'s L1, invalidating every other
-    /// copy (setting tagged holders' ARBs). Returns cost.
-    fn acquire_exclusive(&mut self, t: CoreId, line: Line) -> u64 {
-        let pcore = self.pc(t);
-        let state = self.l1s[pcore]
-            .array
-            .lookup_touch(line)
-            .map(|e| e.payload.state);
-        match state {
-            Some(MsiState::Modified) => {
-                let c = self.lat.l1_hit;
-                let s = self.stats.core(t);
-                s.l1_hits += 1;
-                s.l1_hit_cycles += c;
-                c
-            }
-            Some(MsiState::Exclusive) => {
-                // MESI silent promotion: no directory traffic at all.
-                let c = self.lat.l1_hit;
-                let s = self.stats.core(t);
-                s.l1_hits += 1;
-                s.l1_hit_cycles += c;
-                s.silent_upgrades += 1;
-                self.l1s[pcore]
-                    .array
-                    .lookup_mut(line)
-                    .expect("still resident")
-                    .payload
-                    .state = MsiState::Modified;
-                self.lat.l1_hit
-            }
-            Some(MsiState::Shared) => {
-                // Upgrade: directory invalidates the other sharers. One
-                // directory probe: claim ownership in place, then deliver
-                // the invalidations (which only touch L1s and stats).
-                let mut cost = self.lat.upgrade;
-                let d = &mut self
-                    .l2
-                    .lookup_mut(line)
-                    .expect("inclusion: S line resident in L2")
-                    .payload;
-                debug_assert!(d.owner.is_none(), "S copy cannot coexist with an owner");
-                let others = d.sharers & !(1u64 << pcore);
-                d.sharers = 0;
-                d.owner = Some(pcore);
-                if others != 0 {
-                    cost += self.lat.invalidation;
-                    let s = self.stats.core(t);
-                    s.invalidations_sent += 1;
-                    s.invalidation_cycles += self.lat.invalidation;
-                    for h in bits(others) {
-                        self.invalidate_l1_copy(h, line, RevokeCause::RemoteInvalidation);
-                    }
-                }
-                self.l1s[pcore]
-                    .array
-                    .lookup_mut(line)
-                    .expect("still resident")
-                    .payload
-                    .state = MsiState::Modified;
-                cost
-            }
-            None => {
-                let mut cost = self.l2_get_or_fill(t, line);
-                // Claim the line in one directory probe; the previous
-                // holders were snapshot before the edit, and only a dirty
-                // writeback needs a second probe.
-                let d = &mut self.l2.lookup_mut(line).expect("resident").payload;
-                let owner = d.owner;
-                let others = d.sharers & !(1u64 << pcore);
-                d.sharers = 0;
-                d.owner = Some(pcore);
-                let mut sent = false;
-                if let Some(o) = owner {
-                    debug_assert_ne!(o, pcore);
-                    let removed =
-                        self.invalidate_l1_copy(o, line, RevokeCause::RemoteInvalidation);
-                    if removed == Some(MsiState::Modified) {
-                        self.l2.lookup_mut(line).expect("resident").payload.dirty = true;
-                        cost += self.lat.dirty_supply;
-                    }
-                    sent = true;
-                }
-                if others != 0 {
-                    cost += self.lat.invalidation;
-                    self.stats.core(t).invalidation_cycles += self.lat.invalidation;
-                    sent = true;
-                    for h in bits(others) {
-                        self.invalidate_l1_copy(h, line, RevokeCause::RemoteInvalidation);
-                    }
-                }
-                if sent {
-                    self.stats.core(t).invalidations_sent += 1;
-                }
-                self.l1_insert(t, line, MsiState::Modified);
-                cost
-            }
-        }
-    }
-
-    /// Apply the paper's SMT rule (§III): after thread `t` stores to `line`,
-    /// every *sibling* hyperthread whose tag bit is set on that line has its
-    /// ARB set. No coherence traffic is involved — the modification is
-    /// visible inside the shared L1.
-    #[inline]
-    fn revoke_siblings_on_store(&mut self, t: CoreId, line: Line) {
-        if self.smt == 1 {
-            return;
-        }
-        let pcore = self.pc(t);
-        let mask = self.l1s[pcore].tag_mask(line) & !(1u8 << self.ht(t));
-        self.revoke_mask(pcore, mask, RevokeCause::SiblingWrite);
     }
 
     #[inline]
@@ -566,24 +319,22 @@ impl CoherenceHub {
     // ------------------------------------------------------------------
     // Architectural operations (called via the machine, which performs the
     // allocator validity checks before letting data reach the program).
+    // The bodies of every op that can reach a merge lane — and of every
+    // helper transition they share — live on [`BankParts`]; the hub methods
+    // are delegates whose `&mut self` receiver makes the projection
+    // trivially exclusive.
     // ------------------------------------------------------------------
 
     /// Plain load.
     pub fn read(&mut self, t: CoreId, a: Addr) -> (u64, u64) {
-        self.assert_outside_tx(t, "read");
-        self.stats.core(t).accesses += 1;
-        let cost = self.acquire_shared(t, a.line());
-        (self.mem.read(a), cost)
+        // Safety: `&mut self` is exclusive over every projected part.
+        unsafe { self.parts().read(t, a) }
     }
 
     /// Plain store.
     pub fn write(&mut self, t: CoreId, a: Addr, v: u64) -> u64 {
-        self.assert_outside_tx(t, "write");
-        self.stats.core(t).accesses += 1;
-        let cost = self.acquire_exclusive(t, a.line());
-        self.revoke_siblings_on_store(t, a.line());
-        self.mem.write(a, v);
-        cost
+        // Safety: `&mut self` is exclusive over every projected part.
+        unsafe { self.parts().write(t, a, v) }
     }
 
     /// Compare-and-swap. Returns `Ok(expected)` on success or `Err(actual)`
@@ -591,19 +342,8 @@ impl CoherenceHub {
     /// (as real CAS instructions do); sibling tags are only revoked when the
     /// value is actually modified.
     pub fn cas(&mut self, t: CoreId, a: Addr, expected: u64, new: u64) -> (Result<u64, u64>, u64) {
-        self.assert_outside_tx(t, "cas");
-        self.stats.core(t).accesses += 1;
-        self.stats.core(t).cas_ops += 1;
-        let cost = self.acquire_exclusive(t, a.line()) + self.lat.cas_extra;
-        let cur = self.mem.read(a);
-        if cur == expected {
-            self.revoke_siblings_on_store(t, a.line());
-            self.mem.write(a, new);
-            (Ok(expected), cost)
-        } else {
-            self.stats.core(t).cas_failures += 1;
-            (Err(cur), cost)
-        }
+        // Safety: `&mut self` is exclusive over every projected part.
+        unsafe { self.parts().cas(t, a, expected, new) }
     }
 
     /// Memory fence (latency only; the simulator is sequentially consistent).
@@ -619,23 +359,8 @@ impl CoherenceHub {
     /// this cread too (honours Claim 4: success implies no tagged line was
     /// invalidated since it was tagged).
     pub fn cread(&mut self, t: CoreId, a: Addr) -> (Option<u64>, u64) {
-        self.assert_outside_tx(t, "cread");
-        self.stats.core(t).accesses += 1;
-        if self.arb[t] {
-            self.stats.core(t).cread_fail += 1;
-            return (None, self.lat.ca_fail);
-        }
-        let cost = self.acquire_shared(t, a.line());
-        let ht = self.ht(t);
-        let pcore = self.pc(t);
-        let tagged = self.l1s[pcore].set_tag(a.line(), ht);
-        debug_assert!(tagged, "line must be resident right after the fill");
-        if self.arb[t] {
-            self.stats.core(t).cread_fail += 1;
-            return (None, cost + self.lat.ca_fail);
-        }
-        self.stats.core(t).cread_ok += 1;
-        (Some(self.mem.read(a)), cost + self.lat.ca_check)
+        // Safety: `&mut self` is exclusive over every projected part.
+        unsafe { self.parts().cread(t, a) }
     }
 
     /// `cwrite` (paper §II-B): fails if the ARB is set **or the target line
@@ -644,22 +369,8 @@ impl CoherenceHub {
     /// through the normal exclusive path, invalidating remote copies (and
     /// revoking their tags) and revoking sibling hyperthreads' tags.
     pub fn cwrite(&mut self, t: CoreId, a: Addr, v: u64) -> (bool, u64) {
-        self.assert_outside_tx(t, "cwrite");
-        self.stats.core(t).accesses += 1;
-        let pcore = self.pc(t);
-        if self.arb[t] || !self.l1s[pcore].is_tagged(a.line(), self.ht(t)) {
-            self.stats.core(t).cwrite_fail += 1;
-            return (false, self.lat.ca_fail);
-        }
-        let cost = self.acquire_exclusive(t, a.line());
-        debug_assert!(
-            !self.arb[t],
-            "upgrading a resident line cannot revoke the writer's own tags"
-        );
-        self.revoke_siblings_on_store(t, a.line());
-        self.mem.write(a, v);
-        self.stats.core(t).cwrite_ok += 1;
-        (true, cost + self.lat.ca_check)
+        // Safety: `&mut self` is exclusive over every projected part.
+        unsafe { self.parts().cwrite(t, a, v) }
     }
 
     /// `untagOne`: drop one line from the calling hardware thread's tag set.
@@ -696,11 +407,8 @@ impl CoherenceHub {
     /// fails and its operation restarts. An in-flight hardware transaction
     /// is aborted, as on every commercial HTM.
     pub fn preempt(&mut self, t: CoreId) {
-        self.stats.core(t).ctx_switches += 1;
-        if self.tx[t].active {
-            self.tx_rollback(t);
-        }
-        self.set_arb(t, RevokeCause::ContextSwitch);
+        // Safety: `&mut self` is exclusive over every projected part.
+        unsafe { self.parts().preempt(t) }
     }
 
     // ------------------------------------------------------------------
@@ -732,13 +440,8 @@ impl CoherenceHub {
 
     /// Discard all speculative state of `t` (abort path).
     fn tx_rollback(&mut self, t: CoreId) {
-        let ht = self.ht(t);
-        let pcore = self.pc(t);
-        self.l1s[pcore].clear_all_tags(ht);
-        self.arb[t] = false;
-        self.tx[t].writes.clear();
-        self.tx[t].active = false;
-        self.stats.core(t).tx_aborts += 1;
+        // Safety: `&mut self` is exclusive over every projected part.
+        unsafe { self.parts().tx_rollback(t) }
     }
 
     /// Speculative load: joins the read set (tags the line). Returns `None`
@@ -751,7 +454,8 @@ impl CoherenceHub {
             self.tx_rollback(t);
             return (None, self.lat.tx_abort);
         }
-        let cost = self.acquire_shared(t, a.line());
+        // Safety: `&mut self` is exclusive over every projected part.
+        let cost = unsafe { self.parts().acquire_shared(t, a.line()) };
         let ht = self.ht(t);
         let pcore = self.pc(t);
         let tagged = self.l1s[pcore].set_tag(a.line(), ht);
@@ -781,7 +485,8 @@ impl CoherenceHub {
             self.tx_rollback(t);
             return (false, self.lat.tx_abort);
         }
-        let cost = self.acquire_shared(t, a.line());
+        // Safety: `&mut self` is exclusive over every projected part.
+        let cost = unsafe { self.parts().acquire_shared(t, a.line()) };
         let ht = self.ht(t);
         let pcore = self.pc(t);
         self.l1s[pcore].set_tag(a.line(), ht);
@@ -813,8 +518,12 @@ impl CoherenceHub {
     pub fn tx_commit_apply(&mut self, t: CoreId, writes: &[(Addr, u64)]) -> u64 {
         let mut cost = self.lat.tx_commit;
         for &(a, v) in writes {
-            cost += self.acquire_exclusive(t, a.line());
-            self.revoke_siblings_on_store(t, a.line());
+            // Safety: `&mut self` is exclusive over every projected part.
+            unsafe {
+                let mut p = self.parts();
+                cost += p.acquire_exclusive(t, a.line());
+                p.revoke_siblings_on_store(t, a.line());
+            }
             self.mem.write(a, v);
         }
         let ht = self.ht(t);
@@ -900,6 +609,681 @@ impl CoherenceHub {
                 );
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// BankParts: the raw per-part projection of the hub.
+// ---------------------------------------------------------------------------
+
+/// The parts of the hub a merge lane is entitled to touch, per the banked
+/// barrier-merge classifier (`crate::gang`): the lane's banks and the
+/// physical cores of its union-find component. `debug_assertions` builds
+/// check every access against it — a runtime race detector for the
+/// classification proof. A null scope (the hub's own transient projections,
+/// and release builds) checks nothing.
+pub(crate) struct LaneScope {
+    /// `banks[b]` — directory bank `b` (and the memory words of its lines)
+    /// belongs to this lane.
+    pub(crate) banks: Box<[bool]>,
+    /// `pcores[p]` — physical core `p`'s L1, and its hardware threads'
+    /// ARBs/tx/stats, belong to this lane.
+    pub(crate) pcores: Box<[bool]>,
+}
+
+impl LaneScope {
+    pub(crate) fn new(n_banks: usize, n_pcores: usize) -> Self {
+        Self {
+            banks: vec![false; n_banks].into_boxed_slice(),
+            pcores: vec![false; n_pcores].into_boxed_slice(),
+        }
+    }
+}
+
+/// Raw-pointer projection of [`CoherenceHub`] into independently writable
+/// parts: per-pcore L1s, per-bank directory shards (sets **and** per-bank
+/// LRU stamps — each `SetAssoc` bank is one element), the memory words, and
+/// the per-hardware-thread ARB/tx/stats arrays. Every mutable coherence
+/// transition's body lives here; the hub's safe methods delegate through a
+/// transient projection, and merge lanes hold one for the whole merge phase.
+///
+/// # Safety contract
+///
+/// A projection is a claim of exclusivity over the parts it *touches*, not
+/// over the hub: concurrent projections are sound iff their footprints are
+/// disjoint. The two users are
+///
+/// * the hub's own delegates — `&mut self` makes the whole footprint
+///   trivially exclusive, and the projection dies inside the call; and
+/// * the gang merge lanes — the classifier routes an event to a lane only
+///   when the banks and pcores it can touch are owned by that lane's
+///   union-find component (see the "Aliasing discipline" notes in
+///   `crate::gang`); `scope` carries the classifier's verdict so debug
+///   builds can assert the footprint claim access by access.
+///
+/// All pointers are derived from one `&mut CoherenceHub` and are stable for
+/// the projection's lifetime (no container on the projected path grows or
+/// shrinks: cache geometry is fixed at construction).
+#[derive(Clone, Copy)]
+pub(crate) struct BankParts {
+    l1s: *mut L1,
+    n_pcores: usize,
+    banks: *mut SetAssoc<DirMeta>,
+    n_banks: usize,
+    bank_mask: u64,
+    mem: *mut u64,
+    mem_words: usize,
+    arb: *mut bool,
+    tx: *mut TxState,
+    stats: *mut crate::stats::CoreStats,
+    n_threads: usize,
+    smt: usize,
+    protocol: Protocol,
+    lat: *const LatencyModel,
+    /// Footprint the holder is entitled to (null = unchecked).
+    scope: *const LaneScope,
+}
+
+// Safety: a raw projection; the exclusivity contract above is what makes a
+// cross-thread handoff (conductor → merge lane) sound.
+unsafe impl Send for BankParts {}
+
+impl BankParts {
+    /// Install the classifier's footprint verdict: every subsequent access
+    /// through this projection must stay inside `scope` (debug builds).
+    pub(crate) fn set_scope(&mut self, scope: *const LaneScope) {
+        self.scope = scope;
+    }
+
+    #[inline]
+    fn pcore(&self, t: CoreId) -> usize {
+        t / self.smt
+    }
+
+    #[inline]
+    fn ht_of(&self, t: CoreId) -> usize {
+        t % self.smt
+    }
+
+    #[inline]
+    fn bank_of(&self, line: Line) -> usize {
+        (line.0 & self.bank_mask) as usize
+    }
+
+    #[inline]
+    fn lat(&self) -> &LatencyModel {
+        // Safety: derived from the hub's `lat` field; never mutated while
+        // any projection is live.
+        unsafe { &*self.lat }
+    }
+
+    /// Footprint check: physical core `p` must be in scope.
+    #[inline]
+    fn check_pcore(&self, p: usize) {
+        debug_assert!(p < self.n_pcores, "pcore {p} out of bounds");
+        if cfg!(debug_assertions) && !self.scope.is_null() {
+            // Safety: scopes outlive the projection they are installed on
+            // (they live in `MergeShared`, which outlives the lanes).
+            let s = unsafe { &*self.scope };
+            assert!(
+                s.pcores[p],
+                "merge-lane footprint violation: pcore {p} is outside the \
+                 classified component (misclassified event)"
+            );
+        }
+    }
+
+    /// Footprint check: directory bank `b` (and its lines' memory words)
+    /// must be in scope.
+    #[inline]
+    fn check_bank(&self, b: usize) {
+        debug_assert!(b < self.n_banks, "bank {b} out of bounds");
+        if cfg!(debug_assertions) && !self.scope.is_null() {
+            // Safety: see `check_pcore`.
+            let s = unsafe { &*self.scope };
+            assert!(
+                s.banks[b],
+                "merge-lane footprint violation: bank {b} is outside the \
+                 classified component (misclassified event)"
+            );
+        }
+    }
+
+    #[inline]
+    fn l1(&mut self, p: usize) -> &mut L1 {
+        self.check_pcore(p);
+        // Safety: in bounds (checked above); exclusivity per the contract.
+        unsafe { &mut *self.l1s.add(p) }
+    }
+
+    /// Raw pointer to the directory bank holding `line`, for the probes
+    /// whose entry edit must span L1 edits (the same L1/L2 field split the
+    /// hub's former safe code exploited, spelled with raw derivation). The
+    /// derived `&mut` must die before the bank is probed again.
+    #[inline]
+    fn bank_ptr(&mut self, line: Line) -> *mut SetAssoc<DirMeta> {
+        let b = self.bank_of(line);
+        self.check_bank(b);
+        // Safety: in bounds (checked above).
+        unsafe { self.banks.add(b) }
+    }
+
+    #[inline]
+    fn dir_mut(&mut self, line: Line) -> Option<&mut crate::cache::Entry<DirMeta>> {
+        let b = self.bank_of(line);
+        self.check_bank(b);
+        // Safety: in bounds; exclusivity per the contract.
+        unsafe { (*self.banks.add(b)).lookup_mut(line) }
+    }
+
+    #[inline]
+    fn arb_at(&self, t: CoreId) -> bool {
+        debug_assert!(t < self.n_threads);
+        self.check_pcore(t / self.smt);
+        // Safety: in bounds; exclusivity per the contract.
+        unsafe { *self.arb.add(t) }
+    }
+
+    #[inline]
+    fn arb_write(&mut self, t: CoreId, v: bool) {
+        debug_assert!(t < self.n_threads);
+        self.check_pcore(t / self.smt);
+        // Safety: in bounds; exclusivity per the contract.
+        unsafe { *self.arb.add(t) = v }
+    }
+
+    #[inline]
+    fn tx_at(&mut self, t: CoreId) -> &mut TxState {
+        debug_assert!(t < self.n_threads);
+        self.check_pcore(t / self.smt);
+        // Safety: in bounds; exclusivity per the contract.
+        unsafe { &mut *self.tx.add(t) }
+    }
+
+    #[inline]
+    fn tx_active_at(&self, t: CoreId) -> bool {
+        debug_assert!(t < self.n_threads);
+        self.check_pcore(t / self.smt);
+        // Safety: in bounds; exclusivity per the contract.
+        unsafe { (*self.tx.add(t)).active }
+    }
+
+    /// Mutable per-thread stats (also used by the gang runtime to attribute
+    /// injected fault stalls executed inside a lane).
+    #[inline]
+    pub(crate) fn core_stats(&mut self, t: CoreId) -> &mut crate::stats::CoreStats {
+        debug_assert!(t < self.n_threads);
+        self.check_pcore(t / self.smt);
+        // Safety: in bounds; exclusivity per the contract.
+        unsafe { &mut *self.stats.add(t) }
+    }
+
+    #[inline]
+    fn mem_read(&self, a: Addr) -> u64 {
+        let i = a.word_index();
+        assert!(i < self.mem_words, "simulated read out of bounds: {a:?}");
+        self.check_bank(self.bank_of(a.line()));
+        // Safety: in bounds; a resident copy excludes any concurrent M
+        // writer (simulated-coherence serialization, see `Memory::raw_words`).
+        unsafe { self.mem.add(i).read() }
+    }
+
+    #[inline]
+    fn mem_write(&mut self, a: Addr, v: u64) {
+        let i = a.word_index();
+        assert!(i < self.mem_words, "simulated write out of bounds: {a:?}");
+        self.check_bank(self.bank_of(a.line()));
+        // Safety: in bounds; writes go only through an M/E copy, which
+        // excludes every other copy.
+        unsafe { self.mem.add(i).write(v) }
+    }
+
+    #[inline]
+    fn assert_outside_tx(&self, t: CoreId, what: &str) {
+        assert!(
+            !self.tx_active_at(t),
+            "{what} issued inside a hardware transaction on thread {t}: \
+             only tx_read/tx_write are transactional"
+        );
+    }
+
+    // --- shared transitions (bodies moved verbatim from the hub) ----------
+
+    #[inline]
+    fn set_arb(&mut self, t: CoreId, cause: RevokeCause) {
+        if !self.arb_at(t) {
+            self.arb_write(t, true);
+            self.core_stats(t).record_revoke(cause);
+        }
+    }
+
+    /// Set the ARB of every hardware thread named in `mask` (tag bits of a
+    /// line on physical core `pcore`).
+    #[inline]
+    fn revoke_mask(&mut self, pcore: usize, mask: u8, cause: RevokeCause) {
+        let mut m = mask;
+        while m != 0 {
+            let h = m.trailing_zeros() as usize;
+            m &= m - 1;
+            self.set_arb(pcore * self.smt + h, cause);
+        }
+    }
+
+    /// Kill `holder`'s L1 copy of `line` (directory-initiated). Sets the
+    /// ARB of every hyperthread that tagged the copy. Returns the removed
+    /// entry's state, if the copy was actually present (stale sharer bits
+    /// make no-op invalidations legal).
+    fn invalidate_l1_copy(
+        &mut self,
+        holder: usize,
+        line: Line,
+        cause: RevokeCause,
+    ) -> Option<MsiState> {
+        let entry = self.l1(holder).array.remove(line)?;
+        // Structural L1 events are attributed to the core's primary thread.
+        self.core_stats(holder * self.smt).invalidations_received += 1;
+        self.revoke_mask(holder, entry.payload.tags, cause);
+        Some(entry.payload.state)
+    }
+
+    /// Insert `line` into thread `t`'s physical core's L1, handling the
+    /// victim: a Modified victim writes back to the L2 (directory drops
+    /// ownership); an Exclusive victim notifies the directory (clean drop);
+    /// a tagged victim sets its taggers' ARBs (associativity-conflict
+    /// spurious revoke, paper §III). The victim shares the L1 set of `line`,
+    /// and with `banks <= l1_sets` (the classifier's gate) therefore also
+    /// its directory bank — the footprint checker asserts exactly that.
+    fn l1_insert(&mut self, t: CoreId, line: Line, state: MsiState) {
+        let pcore = self.pcore(t);
+        let victim = self.l1(pcore).array.insert(line, L1Meta::clean(state));
+        if let Some(v) = victim {
+            self.revoke_mask(pcore, v.payload.tags, RevokeCause::L1Eviction);
+            match v.payload.state {
+                MsiState::Modified => {
+                    let d = self
+                        .dir_mut(v.line)
+                        .expect("inclusion: L1 victim must be resident in L2");
+                    debug_assert_eq!(d.payload.owner, Some(pcore), "M victim must be owned");
+                    d.payload.owner = None;
+                    d.payload.dirty = true;
+                }
+                MsiState::Exclusive => {
+                    // Clean drop, but the directory must forget the owner so
+                    // the invariant "owner holds the line" is preserved.
+                    let d = self
+                        .dir_mut(v.line)
+                        .expect("inclusion: L1 victim must be resident in L2");
+                    debug_assert_eq!(d.payload.owner, Some(pcore), "E victim must be owned");
+                    d.payload.owner = None;
+                }
+                MsiState::Shared => {
+                    // Silent drop: the directory keeps a (now stale) sharer
+                    // bit; later invalidations to it are harmless no-ops.
+                }
+            }
+        }
+    }
+
+    /// Ensure `line` is resident in the L2, evicting (and back-invalidating)
+    /// an L2 victim if necessary. Returns the cycle cost. The victim shares
+    /// the set (hence the bank) of `line`, and its holders are in the
+    /// classifier's set-holder union — both asserted by the scope checks.
+    fn l2_get_or_fill(&mut self, t: CoreId, line: Line) -> u64 {
+        let b = self.bank_of(line);
+        if self.bank_lookup_touch(b, line) {
+            let c = self.lat().l2_hit;
+            let s = self.core_stats(t);
+            s.l2_hits += 1;
+            s.l2_hit_cycles += c;
+            return c;
+        }
+        let fill = self.lat().l2_hit + self.lat().mem;
+        let s = self.core_stats(t);
+        s.mem_accesses += 1;
+        s.mem_fill_cycles += fill;
+        let mut cost = fill;
+        // Fill; the inclusive L2 back-invalidates every L1 copy of its victim.
+        if let Some(v) = self.bank_insert(b, line) {
+            for h in bits(v.payload.holders()) {
+                if let Some(state) =
+                    self.invalidate_l1_copy(h, v.line, RevokeCause::L2BackInvalidation)
+                {
+                    if state == MsiState::Modified {
+                        // Writeback forwarded to memory along with the victim.
+                        cost += self.lat().dirty_supply;
+                    }
+                }
+            }
+        }
+        cost
+    }
+
+    #[inline]
+    fn bank_lookup_touch(&mut self, b: usize, line: Line) -> bool {
+        self.check_bank(b);
+        // Safety: in bounds; exclusivity per the contract.
+        unsafe { (*self.banks.add(b)).lookup_touch(line).is_some() }
+    }
+
+    #[inline]
+    fn bank_insert(&mut self, b: usize, line: Line) -> Option<crate::cache::Entry<DirMeta>> {
+        self.check_bank(b);
+        // Safety: in bounds; exclusivity per the contract.
+        unsafe { (*self.banks.add(b)).insert(line, DirMeta::default()) }
+    }
+
+    /// Obtain `line` with read permission in `t`'s L1 (Shared, or Exclusive
+    /// when MESI finds no other holder). Returns cost.
+    ///
+    /// # Safety
+    /// The projection's footprint-exclusivity contract (see the type docs)
+    /// must hold for `line`'s bank and every pcore in its set-holder union.
+    pub(crate) unsafe fn acquire_shared(&mut self, t: CoreId, line: Line) -> u64 {
+        let pcore = self.pcore(t);
+        if self.l1(pcore).array.lookup_touch(line).is_some() {
+            let c = self.lat().l1_hit;
+            let s = self.core_stats(t);
+            s.l1_hits += 1;
+            s.l1_hit_cycles += c;
+            return c;
+        }
+        let mut cost = self.l2_get_or_fill(t, line);
+        // One directory probe: edit the entry in place (the L1s are a
+        // disjoint allocation, so the owner downgrade can happen while it is
+        // borrowed — derived raw to let the borrow span the accessor calls),
+        // and finish every directory edit before `l1_insert`, whose victim
+        // writeback re-probes the bank (invalidating `d`).
+        let d = unsafe {
+            &mut (*self.bank_ptr(line))
+                .lookup_mut(line)
+                .expect("just filled")
+                .payload
+        };
+        if let Some(o) = d.owner {
+            debug_assert_ne!(o, pcore, "owner with an L1 miss is impossible");
+            // Downgrade the owner to S: its copy stays valid, tags unaffected.
+            let e = self
+                .l1(o)
+                .array
+                .lookup_mut(line)
+                .expect("directory owner must hold the line");
+            let was_modified = e.payload.state == MsiState::Modified;
+            debug_assert!(e.payload.state != MsiState::Shared, "owner cannot be S");
+            e.payload.state = MsiState::Shared;
+            d.owner = None;
+            d.add_sharer(o);
+            if was_modified {
+                // Dirty cache-to-cache supply plus writeback.
+                d.dirty = true;
+                cost += self.lat().dirty_supply;
+            }
+        }
+        if self.protocol == Protocol::Mesi && d.holders() == 0 {
+            // MESI: sole reader is granted Exclusive.
+            d.owner = Some(pcore);
+            self.core_stats(t).e_grants += 1;
+            self.l1_insert(t, line, MsiState::Exclusive);
+        } else {
+            d.add_sharer(pcore);
+            self.l1_insert(t, line, MsiState::Shared);
+        }
+        cost
+    }
+
+    /// Obtain `line` in Modified state in `t`'s L1, invalidating every other
+    /// copy (setting tagged holders' ARBs). Returns cost.
+    ///
+    /// # Safety
+    /// As for [`Self::acquire_shared`].
+    pub(crate) unsafe fn acquire_exclusive(&mut self, t: CoreId, line: Line) -> u64 {
+        let pcore = self.pcore(t);
+        let state = self
+            .l1(pcore)
+            .array
+            .lookup_touch(line)
+            .map(|e| e.payload.state);
+        match state {
+            Some(MsiState::Modified) => {
+                let c = self.lat().l1_hit;
+                let s = self.core_stats(t);
+                s.l1_hits += 1;
+                s.l1_hit_cycles += c;
+                c
+            }
+            Some(MsiState::Exclusive) => {
+                // MESI silent promotion: no directory traffic at all.
+                let c = self.lat().l1_hit;
+                let s = self.core_stats(t);
+                s.l1_hits += 1;
+                s.l1_hit_cycles += c;
+                s.silent_upgrades += 1;
+                self.l1(pcore)
+                    .array
+                    .lookup_mut(line)
+                    .expect("still resident")
+                    .payload
+                    .state = MsiState::Modified;
+                self.lat().l1_hit
+            }
+            Some(MsiState::Shared) => {
+                // Upgrade: directory invalidates the other sharers. One
+                // directory probe: claim ownership in place, then deliver
+                // the invalidations (which only touch L1s and stats).
+                let mut cost = self.lat().upgrade;
+                let inv = self.lat().invalidation;
+                let d = unsafe {
+                    &mut (*self.bank_ptr(line))
+                        .lookup_mut(line)
+                        .expect("inclusion: S line resident in L2")
+                        .payload
+                };
+                debug_assert!(d.owner.is_none(), "S copy cannot coexist with an owner");
+                let others = d.sharers & !(1u64 << pcore);
+                d.sharers = 0;
+                d.owner = Some(pcore);
+                if others != 0 {
+                    cost += inv;
+                    let s = self.core_stats(t);
+                    s.invalidations_sent += 1;
+                    s.invalidation_cycles += inv;
+                    for h in bits(others) {
+                        self.invalidate_l1_copy(h, line, RevokeCause::RemoteInvalidation);
+                    }
+                }
+                self.l1(pcore)
+                    .array
+                    .lookup_mut(line)
+                    .expect("still resident")
+                    .payload
+                    .state = MsiState::Modified;
+                cost
+            }
+            None => {
+                let mut cost = self.l2_get_or_fill(t, line);
+                // Claim the line in one directory probe; the previous
+                // holders were snapshot before the edit, and only a dirty
+                // writeback needs a second probe (re-derived: `d` is dead).
+                let d = unsafe {
+                    &mut (*self.bank_ptr(line))
+                        .lookup_mut(line)
+                        .expect("resident")
+                        .payload
+                };
+                let owner = d.owner;
+                let others = d.sharers & !(1u64 << pcore);
+                d.sharers = 0;
+                d.owner = Some(pcore);
+                let mut sent = false;
+                if let Some(o) = owner {
+                    debug_assert_ne!(o, pcore);
+                    let removed =
+                        self.invalidate_l1_copy(o, line, RevokeCause::RemoteInvalidation);
+                    if removed == Some(MsiState::Modified) {
+                        self.dir_mut(line).expect("resident").payload.dirty = true;
+                        cost += self.lat().dirty_supply;
+                    }
+                    sent = true;
+                }
+                if others != 0 {
+                    cost += self.lat().invalidation;
+                    self.core_stats(t).invalidation_cycles += self.lat().invalidation;
+                    sent = true;
+                    for h in bits(others) {
+                        self.invalidate_l1_copy(h, line, RevokeCause::RemoteInvalidation);
+                    }
+                }
+                if sent {
+                    self.core_stats(t).invalidations_sent += 1;
+                }
+                self.l1_insert(t, line, MsiState::Modified);
+                cost
+            }
+        }
+    }
+
+    /// Apply the paper's SMT rule (§III): after thread `t` stores to `line`,
+    /// every *sibling* hyperthread whose tag bit is set on that line has its
+    /// ARB set. No coherence traffic is involved — the modification is
+    /// visible inside the shared L1.
+    ///
+    /// # Safety
+    /// Footprint exclusivity over `t`'s pcore.
+    #[inline]
+    pub(crate) unsafe fn revoke_siblings_on_store(&mut self, t: CoreId, line: Line) {
+        if self.smt == 1 {
+            return;
+        }
+        let pcore = self.pcore(t);
+        let ht = self.ht_of(t);
+        let mask = self.l1(pcore).tag_mask(line) & !(1u8 << ht);
+        self.revoke_mask(pcore, mask, RevokeCause::SiblingWrite);
+    }
+
+    /// Discard all speculative state of `t` (HTM abort path).
+    ///
+    /// # Safety
+    /// Footprint exclusivity over `t`'s pcore.
+    pub(crate) unsafe fn tx_rollback(&mut self, t: CoreId) {
+        let ht = self.ht_of(t);
+        let pcore = self.pcore(t);
+        self.l1(pcore).clear_all_tags(ht);
+        self.arb_write(t, false);
+        let tx = self.tx_at(t);
+        tx.writes.clear();
+        tx.active = false;
+        self.core_stats(t).tx_aborts += 1;
+    }
+
+    // --- architectural operations (single-sourced op bodies) --------------
+
+    /// Plain load. See [`CoherenceHub::read`].
+    ///
+    /// # Safety
+    /// Footprint exclusivity over `a`'s bank and its set-holder pcores.
+    pub(crate) unsafe fn read(&mut self, t: CoreId, a: Addr) -> (u64, u64) {
+        self.assert_outside_tx(t, "read");
+        self.core_stats(t).accesses += 1;
+        let cost = unsafe { self.acquire_shared(t, a.line()) };
+        (self.mem_read(a), cost)
+    }
+
+    /// Plain store. See [`CoherenceHub::write`].
+    ///
+    /// # Safety
+    /// As for [`Self::read`].
+    pub(crate) unsafe fn write(&mut self, t: CoreId, a: Addr, v: u64) -> u64 {
+        self.assert_outside_tx(t, "write");
+        self.core_stats(t).accesses += 1;
+        let cost = unsafe { self.acquire_exclusive(t, a.line()) };
+        unsafe { self.revoke_siblings_on_store(t, a.line()) };
+        self.mem_write(a, v);
+        cost
+    }
+
+    /// Compare-and-swap. See [`CoherenceHub::cas`].
+    ///
+    /// # Safety
+    /// As for [`Self::read`].
+    pub(crate) unsafe fn cas(
+        &mut self,
+        t: CoreId,
+        a: Addr,
+        expected: u64,
+        new: u64,
+    ) -> (Result<u64, u64>, u64) {
+        self.assert_outside_tx(t, "cas");
+        self.core_stats(t).accesses += 1;
+        self.core_stats(t).cas_ops += 1;
+        let cost = unsafe { self.acquire_exclusive(t, a.line()) } + self.lat().cas_extra;
+        let cur = self.mem_read(a);
+        if cur == expected {
+            unsafe { self.revoke_siblings_on_store(t, a.line()) };
+            self.mem_write(a, new);
+            (Ok(expected), cost)
+        } else {
+            self.core_stats(t).cas_failures += 1;
+            (Err(cur), cost)
+        }
+    }
+
+    /// `cread`. See [`CoherenceHub::cread`].
+    ///
+    /// # Safety
+    /// As for [`Self::read`].
+    pub(crate) unsafe fn cread(&mut self, t: CoreId, a: Addr) -> (Option<u64>, u64) {
+        self.assert_outside_tx(t, "cread");
+        self.core_stats(t).accesses += 1;
+        if self.arb_at(t) {
+            self.core_stats(t).cread_fail += 1;
+            return (None, self.lat().ca_fail);
+        }
+        let cost = unsafe { self.acquire_shared(t, a.line()) };
+        let ht = self.ht_of(t);
+        let pcore = self.pcore(t);
+        let tagged = self.l1(pcore).set_tag(a.line(), ht);
+        debug_assert!(tagged, "line must be resident right after the fill");
+        if self.arb_at(t) {
+            self.core_stats(t).cread_fail += 1;
+            return (None, cost + self.lat().ca_fail);
+        }
+        self.core_stats(t).cread_ok += 1;
+        (Some(self.mem_read(a)), cost + self.lat().ca_check)
+    }
+
+    /// `cwrite`. See [`CoherenceHub::cwrite`].
+    ///
+    /// # Safety
+    /// As for [`Self::read`].
+    pub(crate) unsafe fn cwrite(&mut self, t: CoreId, a: Addr, v: u64) -> (bool, u64) {
+        self.assert_outside_tx(t, "cwrite");
+        self.core_stats(t).accesses += 1;
+        let pcore = self.pcore(t);
+        let ht = self.ht_of(t);
+        if self.arb_at(t) || !self.l1(pcore).is_tagged(a.line(), ht) {
+            self.core_stats(t).cwrite_fail += 1;
+            return (false, self.lat().ca_fail);
+        }
+        let cost = unsafe { self.acquire_exclusive(t, a.line()) };
+        debug_assert!(
+            !self.arb_at(t),
+            "upgrading a resident line cannot revoke the writer's own tags"
+        );
+        unsafe { self.revoke_siblings_on_store(t, a.line()) };
+        self.mem_write(a, v);
+        self.core_stats(t).cwrite_ok += 1;
+        (true, cost + self.lat().ca_check)
+    }
+
+    /// Model an OS context switch. See [`CoherenceHub::preempt`].
+    ///
+    /// # Safety
+    /// Footprint exclusivity over `t`'s pcore.
+    pub(crate) unsafe fn preempt(&mut self, t: CoreId) {
+        self.core_stats(t).ctx_switches += 1;
+        if self.tx_active_at(t) {
+            unsafe { self.tx_rollback(t) };
+        }
+        self.set_arb(t, RevokeCause::ContextSwitch);
     }
 }
 
@@ -1345,6 +1729,46 @@ mod tests {
         // Power-of-two rounding.
         let h = CoherenceHub::new(1, 1, &CacheConfig { l2_banks: 3, ..CacheConfig::default() }, LatencyModel::default(), 1 << 20);
         assert_eq!(h.l2.bank_count(), 4);
+    }
+
+    // --- BankParts footprint checker -------------------------------------
+
+    #[test]
+    fn footprint_checker_rejects_misclassified_events() {
+        // Self-test of the merge-lane footprint checker: a projection whose
+        // scope grants no banks and no pcores must abort on its first access
+        // in debug builds — this is exactly what a misclassified merge event
+        // (routed to a lane that does not own its footprint) looks like.
+        if !cfg!(debug_assertions) {
+            return; // the checker compiles out of release builds
+        }
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let mut h = hub(2);
+        h.write(0, A, 7); // warm state: the access would otherwise succeed
+        let n_banks = h.l2.bank_count();
+        let empty = LaneScope::new(n_banks, 2);
+        let mut parts = h.parts();
+        parts.set_scope(&empty);
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            // Safety: `h` is exclusively held across the whole call.
+            unsafe { parts.read(0, A) }
+        }))
+        .expect_err("an access outside the classified footprint must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(
+            msg.contains("footprint violation"),
+            "unexpected panic message: {msg}"
+        );
+
+        // The same access through a scope that owns the footprint succeeds.
+        let mut full = LaneScope::new(n_banks, 2);
+        full.banks.iter_mut().for_each(|b| *b = true);
+        full.pcores.iter_mut().for_each(|p| *p = true);
+        let mut parts = h.parts();
+        parts.set_scope(&full);
+        // Safety: as above.
+        assert_eq!(unsafe { parts.read(0, A) }.0, 7);
+        h.check_invariants();
     }
 
     // --- MESI -----------------------------------------------------------

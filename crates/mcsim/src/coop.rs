@@ -315,4 +315,58 @@ mod tests {
             assert_eq!(COUNT.load(Ordering::Relaxed), 3);
         }
     }
+
+    #[test]
+    fn closure_drops_before_final_switch_and_resaved_contexts_round_trip() {
+        // Unsafe-sweep audit pin for two module-doc claims:
+        // (1) the entry shim consumes and frees the coroutine's closure
+        //     Box *before* the final switch away — a closure that switched
+        //     away itself would leak its captures on every run. Observed
+        //     via an Arc refcount: 2 while the body is suspended mid-run,
+        //     back to 1 the moment control returns from the final switch.
+        // (2) a *re-saved* context (not the fresh trampoline frame that
+        //     `coroutine_round_trip` exercises on first entry) restores
+        //     its callee-saved state exactly: the loop counter lives in
+        //     the coroutine's frame across three suspend/resume cycles,
+        //     so any switch-frame corruption derails `progress`.
+        use std::sync::Arc;
+        // Slot 0 = coroutine, slot 1 = main. Locals are fine: raw pointers
+        // carry no lifetime, and everything outlives the final switch.
+        let mut ctxs: [*mut u8; 2] = [ptr::null_mut(); 2];
+        let ctxs_ptr = ctxs.as_mut_ptr();
+        let token = Arc::new(());
+        let witness = Arc::clone(&token);
+        let mut progress = 0u64;
+        let progress_ptr: *mut u64 = &mut progress;
+        let body: Box<dyn FnOnce() -> usize> = Box::new(move || unsafe {
+            let _held = witness; // freed only when the closure is dropped
+            for i in 1..=3u64 {
+                *progress_ptr = i;
+                switch(ctxs_ptr, *ctxs_ptr.add(1));
+            }
+            1 // final target: main — performed by the entry shim
+        });
+        let mut stack = Stack::new(64 * 1024);
+        let mut payload = CoroPayload {
+            f: Some(body),
+            ctxs: ctxs_ptr,
+            own_slot: 0,
+        };
+        unsafe {
+            *ctxs_ptr = prepare(&mut stack, &mut payload);
+            for expect in 1..=3u64 {
+                // Read slot 0 through the table: after the first resume it
+                // holds a re-saved context, not the prepare() frame.
+                switch(ctxs_ptr.add(1), *ctxs_ptr);
+                assert_eq!(std::ptr::read(progress_ptr), expect);
+                assert_eq!(Arc::strong_count(&token), 2, "closure must be live mid-run");
+            }
+            switch(ctxs_ptr.add(1), *ctxs_ptr); // body returns; shim frees it
+            assert_eq!(
+                Arc::strong_count(&token),
+                1,
+                "closure must be freed before the final switch"
+            );
+        }
+    }
 }

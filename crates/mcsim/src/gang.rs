@@ -53,9 +53,10 @@
 //!   with every lane and are applied inline by the conductor.
 //!
 //! The classification is a *proof*, not a schedule: the sequential driver
-//! and the threads mechanism run a counters-only pass and replay serially
-//! (same bytes by construction), while the spawn-coop driver dispatches the
-//! lanes to its gang workers through the gate's merge phase. The
+//! runs a counters-only pass and replays serially (same bytes by
+//! construction), while the spawn-coop driver dispatches the lanes to its
+//! parked gang workers and the threads mechanism to its dedicated merge
+//! workers, both through the gate's merge phase. The
 //! `banked_merge_events`/`serial_epilogue_events`/`bank_occupancy` counters
 //! are therefore identical across drivers, backends and `--jobs` for a
 //! fixed `(program, seeds, quantum, gangs, gang_window, l2_banks)`. On an
@@ -112,17 +113,27 @@
 //!
 //! The banked **merge phase** adds a third mode: the conductor ends its
 //! `&mut SimState` borrow before opening the phase, and each merge worker
-//! transiently materializes `&mut SimState` per lane event to call the
-//! shared `exec_op`. Concurrent workers' references cover pairwise
-//! disjoint footprints (per-bank directory state, per-core L1s/stats/
-//! slots, per-line memory words — guaranteed by the classifier), and the
-//! per-core gang bookkeeping goes through stable raw element pointers
-//! (`clock_ptrs`/`blocked_ptrs`/`results`), never through `&mut
-//! GangState`. This leans on footprint disjointness rather than
-//! field-level reference splitting; projecting `SimState` into per-bank
-//! raw parts (as `LaneParts` does for gang partitions) would discharge
-//! the remaining formal aliasing obligation and is noted as follow-up in
-//! the ROADMAP.
+//! runs its lanes entirely through a [`BankParts`] projection — the
+//! per-bank analogue of `LaneParts` — so **no `&mut SimState` is ever
+//! materialized concurrently**. `BankParts` (see `coherence.rs`) carries
+//! raw bases for the directory banks, per-core L1s/ARBs/tx/stats and the
+//! memory words; every access goes through an element-granular accessor,
+//! so two workers hold `&mut` only to pairwise disjoint elements (per-bank
+//! directory sets, per-core L1s/stats/slots, per-line memory words —
+//! disjointness guaranteed by the classifier). The per-core gang
+//! bookkeeping goes through stable raw element pointers
+//! (`clock_ptrs`/`blocked_ptrs`/`results`/`LaneParts::next_preempt`),
+//! never through `&mut GangState`. The op semantics stay single-sourced:
+//! the serial replay and the epilogue reach the same
+//! `machine::exec_bank_op` through `exec_op` (whose hub methods are thin
+//! delegates onto the very same `BankParts` accessors).
+//!
+//! In debug builds the classifier additionally emits a per-lane
+//! [`LaneScope`] (the union-find component's bank/pcore membership) and
+//! each worker installs it on its `BankParts` copy: every accessor then
+//! *asserts* that the touched bank/pcore lies inside the classified
+//! component — a runtime race detector for the classification proof
+//! (`coherence.rs` has the self-test that a misclassified event trips it).
 
 use std::cell::UnsafeCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -133,10 +144,10 @@ use std::thread::Thread;
 use crate::addr::{Addr, CoreId, Line};
 use crate::alloc::{panic_access, Allocator, Fault, UafMode};
 use crate::cache::{MsiState, L1};
-use crate::coherence::TxState;
+use crate::coherence::{BankParts, LaneScope, TxState};
 use crate::fault::FaultStop;
 use crate::latency::LatencyModel;
-use crate::machine::{exec_op, CoreFn, CtxBackend, Ctx, Op, Out, SimState};
+use crate::machine::{exec_bank_op, exec_op, CoreFn, CtxBackend, Ctx, Op, Out, SimState};
 use crate::sched::{Sched, NO_TURN};
 use crate::stats::{CoreStats, RevokeCause};
 
@@ -230,16 +241,31 @@ struct MergePlan {
     suffix: Vec<usize>,
     /// Total lane events (= `lanes` element count).
     lane_events: usize,
+    /// Debug builds only (empty otherwise): each lane's classified
+    /// bank/pcore membership, installed on the executing worker's
+    /// [`BankParts`] so every accessor asserts the footprint claim.
+    scopes: Vec<LaneScope>,
 }
 
-/// Shared state of one parallel merge phase: the sorted items plus the
-/// per-lane panic slots. Written by the conductor before the merge epoch
-/// opens; lanes are executed by the gang workers (worker `w` takes lanes
-/// `w, w + G, ...`) through a shared reference — the only mutation, the
-/// panic capture, goes through each slot's `UnsafeCell` (disjoint slots
-/// per worker); the conductor takes everything back after all arrive.
+/// Shared state of one parallel merge phase: the sorted items, the
+/// [`BankParts`] projection template and the per-lane panic slots. Written
+/// by the conductor before the merge epoch opens; lanes are executed by
+/// the merge workers (worker `w` takes lanes `w, w + G, ...`) through a
+/// shared reference — each worker copies `parts` (raw bases + scalars,
+/// `Copy`) and installs its lane's scope, and the only in-place mutation,
+/// the panic capture, goes through each slot's `UnsafeCell` (disjoint
+/// slots per worker); the conductor takes everything back after all
+/// arrive.
 struct MergeShared {
     items: Vec<Queued>,
+    /// Projection of the run's `SimState` (scope unset): the template each
+    /// worker copies. Taken by the conductor *after* it ends its own
+    /// `&mut SimState` borrow, so the raw bases are unaliased for the
+    /// whole phase.
+    parts: BankParts,
+    /// Per-lane footprint scopes from [`classify`] (debug builds; empty in
+    /// release, where the checker compiles out).
+    scopes: Vec<LaneScope>,
     lanes: Vec<MergeLaneSlot>,
 }
 
@@ -405,8 +431,9 @@ pub(crate) struct GangRun {
     /// pushes with deferred events, so the whole merge stays serial).
     classify: bool,
     /// Parallel lane execution available: set by the spawn-coop driver
-    /// (its gang workers double as merge workers); the sequential driver
-    /// and the threads mechanism replay serially.
+    /// (its gang workers double as merge workers) and by the threads
+    /// mechanism (dedicated merge workers); the sequential driver replays
+    /// serially.
     par_merge: AtomicBool,
     /// The in-flight merge phase (conductor writes before `open_merge`,
     /// workers read during it, conductor takes it back after all arrive).
@@ -1467,36 +1494,119 @@ unsafe fn classify(run: &GangRun, st: &mut SimState, items: &[Queued]) -> MergeP
     }
     st.banked_merge_events += cand.len() as u64;
     st.serial_epilogue_events += suffix.len() as u64;
+    // Debug builds: materialize each lane's component membership so the
+    // executing worker's `BankParts` can assert the footprint claim at
+    // every access (the runtime race detector for this proof).
+    let mut scopes: Vec<LaneScope> = Vec::new();
+    if cfg!(debug_assertions) && !lanes.is_empty() {
+        scopes = (0..lanes.len()).map(|_| LaneScope::new(nb, np)).collect();
+        for node in 0..nb + np {
+            if let Some(l) = root_lane[uf.find(node)] {
+                if node < nb {
+                    scopes[l].banks[node] = true;
+                } else {
+                    scopes[l].pcores[node - nb] = true;
+                }
+            }
+        }
+    }
     MergePlan {
         lanes,
         inline_opdone,
         suffix,
         lane_events: cand.len(),
+        scopes,
     }
 }
 
-/// Execute one merge lane's events in order (worker side).
+/// Lane-side twin of [`apply_blocking`]: the same barrier-side half of a
+/// blocking event, executed through a [`BankParts`] projection instead of
+/// `&mut SimState`. Step for step it mirrors `apply_blocking` — both reach
+/// the op through [`exec_bank_op`], so the semantics stay single-sourced —
+/// but every hub access goes through the projection's element-granular
+/// accessors (scope-asserted in debug builds) and the gang bookkeeping
+/// through the run's stable element pointers.
+///
+/// # Safety
+/// Merge-phase protocol: the conductor's `&mut SimState` borrow has ended,
+/// this worker owns the lane, and the lane's classified footprint covers
+/// every touched bank/pcore (guaranteed by [`classify`]).
+unsafe fn apply_lane_blocking(run: &GangRun, parts: &mut BankParts, q: &Queued, op: Op) {
+    let g = run.layout.gang_of(q.core);
+    let l = q.core - run.layout.base(g);
+    let lane = &run.lanes[g];
+    let clock = run.clock_ptrs[g].add(l);
+    *clock += q.pending;
+    // The classifier only builds lanes under `UafMode::Panic`, so the
+    // check reads the frozen allocator (lanes never mutate it — allocator
+    // ops are epilogue-only) and panics on a fault, exactly like the
+    // serial path's `check_access` would in Panic mode.
+    let alloc = lane.alloc;
+    let (out, cost) = exec_bank_op(
+        parts,
+        &mut |c, a, kind| {
+            if let Some(f) = (*alloc).access_fault(c, a, kind) {
+                panic_access(&f);
+            }
+        },
+        q.core,
+        op,
+    );
+    *clock += cost;
+    if run.fault_hot {
+        // Mirrors `apply_blocking`'s fault block through the run's raw
+        // per-core plan/cursor views (read-only plan halves, this core's
+        // own cursor element).
+        let mut pp = *parts;
+        let fired = crate::fault::apply_stalls_and_watchdog(
+            &mut *clock,
+            &*run.fault_stalls.add(q.core),
+            &mut *run.fault_cursor.add(q.core),
+            run.fault_max_cycles,
+            q.core,
+            || pp.preempt(q.core),
+        );
+        parts.core_stats(q.core).fault_stalls += fired;
+    }
+    let mut pp = *parts;
+    crate::machine::apply_preempt_model(
+        &mut *clock,
+        &mut *lane.next_preempt.add(q.core - lane.thread_base),
+        run.ctx_switch,
+        || pp.preempt(q.core),
+    );
+    *run.blocked_ptrs[g].add(l) = false;
+    *run.results[q.core].get() = Some(out);
+}
+
+/// Execute one merge lane's events in order (worker side), entirely
+/// through a [`BankParts`] copy — no `&mut SimState` exists on this path.
 ///
 /// # Safety
 /// Must only run during a merge phase (between `open_merge` and the
 /// worker's `arrive`), on lanes assigned to this worker. Disjointness of
-/// concurrent lanes is guaranteed by [`classify`].
-unsafe fn exec_merge_lane(run: &GangRun, items: &[Queued], lane: &[usize]) {
-    let st_ptr = run.root;
-    for &ix in lane {
-        let q = &items[ix];
+/// concurrent lanes is guaranteed by [`classify`] (and asserted per access
+/// in debug builds via the installed scope).
+unsafe fn exec_merge_lane(run: &GangRun, sh: &MergeShared, lane_ix: usize) {
+    let mut parts = sh.parts;
+    if let Some(scope) = sh.scopes.get(lane_ix) {
+        parts.set_scope(scope);
+    }
+    for &ix in &sh.lanes[lane_ix].events {
+        let q = &sh.items[ix];
         let Deferred::Blocking(op) = q.item else {
             unreachable!("merge lanes hold blocking events only");
         };
-        apply_blocking(run, &mut *st_ptr, q, op);
+        apply_lane_blocking(run, &mut parts, q, op);
     }
 }
 
 /// Apply every queued cross-gang item against the full machine state in
 /// `(clock, core, seq)` order — concurrently across L2-bank lanes when the
 /// classifier and the driver allow it, serially otherwise — then advance
-/// the epoch counter. `parallel` is set only by the spawn-coop conductor,
-/// whose parked gang workers double as merge workers.
+/// the epoch counter. `parallel` is set when the driver has merge workers:
+/// spawn-coop (parked gang workers double as merge workers) and the
+/// threads mechanism (dedicated merge workers).
 unsafe fn merge(run: &GangRun, parallel: bool) {
     let st = &mut *run.root;
     let mut items: Vec<Queued> = Vec::new();
@@ -1516,10 +1626,10 @@ unsafe fn merge(run: &GangRun, parallel: bool) {
         return;
     }
     if !parallel {
-        // No merge workers (sequential driver / threads mechanism): the
-        // replay is serial regardless, so only the cheap counters-only
-        // classification runs — byte-identical counters, none of the
-        // union-find or holder-scan cost.
+        // No merge workers (sequential driver): the replay is serial
+        // regardless, so only the cheap counters-only classification runs
+        // — byte-identical counters, none of the union-find or holder-scan
+        // cost.
         count_classify(st, &items);
         for q in &items {
             apply_light(run, st, q);
@@ -1543,14 +1653,18 @@ unsafe fn merge(run: &GangRun, parallel: bool) {
     for &ix in &plan.inline_opdone {
         apply_light(run, st, &items[ix]);
     }
-    // Parallel phase: hand the lanes to the parked gang workers. The
-    // conductor's `&mut SimState` must not be live while the lanes run —
-    // each worker transiently materializes its own exclusive reference to
-    // its disjoint footprint (see the module docs) — so end the borrow
-    // here and re-derive it for the epilogue.
+    // Parallel phase: hand the lanes to the merge workers. The conductor's
+    // `&mut SimState` must not be live while the lanes run — each worker
+    // copies the `BankParts` template below and holds `&mut` only to
+    // elements inside its classified footprint (see the module docs) — so
+    // project the state, end the borrow here and re-derive it for the
+    // epilogue.
+    let parts = st.hub.parts();
     let _ = st;
     *run.merge_shared.get() = Some(MergeShared {
         items,
+        parts,
+        scopes: plan.scopes,
         lanes: plan
             .lanes
             .into_iter()
@@ -1599,14 +1713,12 @@ unsafe fn conduct(
     mech: Mech,
     peers: &[Vec<Option<Thread>>],
 ) -> std::thread::Result<()> {
-    // Parallel banked merges need merge workers: only the spawn-coop
-    // driver has them (its gang workers stay parked at the gate between
-    // epochs and double as merge lanes' executors).
-    let par = match mech {
-        Mech::Threads => false,
-        #[cfg(mcsim_coop)]
-        Mech::Coop => run.par_merge.load(Ordering::Relaxed),
-    };
+    // Parallel banked merges need merge workers: the spawn-coop driver's
+    // gang workers stay parked at the gate between epochs and double as
+    // merge lanes' executors, and the threads mechanism spawns dedicated
+    // merge workers (`run_threads_mech`). Either driver advertises them
+    // through `par_merge` before conducting.
+    let par = run.par_merge.load(Ordering::Relaxed);
     loop {
         let (min, live) = plan(run);
         let live_count = live.iter().filter(|&&x| x).count();
@@ -1768,6 +1880,49 @@ pub(crate) unsafe fn retire_threads(gt: &mut GangThreadsCtx, c: CoreId, pending:
     }
 }
 
+/// Dedicated merge worker for the threads mechanism. Core threads park in
+/// `ensure_turn` mid-workload, so — unlike the coop driver's gang workers —
+/// they cannot double as merge executors; one worker per gang keeps the
+/// round-robin lane split (`lane i → worker i mod G`) identical across
+/// drivers. The worker idles at the gate: a normal epoch's `notify_all`
+/// wakes it and it goes straight back to waiting *without arriving*
+/// (normal epochs count only live gangs' core-thread arrivals), a merge
+/// epoch (`expected = G` merge workers) hands it its lane share, and the
+/// done epoch — emitted by both normal completion and the abort path —
+/// releases it. The conductor blocks in `wait_all_arrived` for all `G`
+/// workers before opening the next phase, so no merge phase can be missed
+/// or double-served.
+fn merge_worker(run: &GangRun, g: usize, marker: usize) {
+    let _mark = crate::machine::hold_state_marker(marker);
+    let mut seen = 0u64;
+    loop {
+        let (epoch, done, merging) = run.gate.worker_wait(seen);
+        seen = epoch;
+        if done {
+            return;
+        }
+        if !merging {
+            continue;
+        }
+        // Safety: merge-phase protocol — the conductor published
+        // `merge_shared` (and ended its `&mut SimState` borrow) before
+        // `open_merge`; this worker's lanes are disjoint from every
+        // sibling's; the panic slot belongs to the executing worker.
+        unsafe {
+            if let Some(sh) = (*run.merge_shared.get()).as_ref() {
+                for i in (g..sh.lanes.len()).step_by(run.layout.gangs) {
+                    if let Err(p) =
+                        catch_unwind(AssertUnwindSafe(|| exec_merge_lane(run, sh, i)))
+                    {
+                        *sh.lanes[i].panic.get() = Some(p);
+                    }
+                }
+            }
+        }
+        run.gate.arrive();
+    }
+}
+
 /// Run the gang protocol with per-core OS threads. Returns per-core results
 /// (global core order) plus the conductor's outcome.
 pub(crate) fn run_threads_mech<'env, R: Send + 'env>(
@@ -1781,7 +1936,15 @@ pub(crate) fn run_threads_mech<'env, R: Send + 'env>(
     let registry: Mutex<Vec<Option<Thread>>> = Mutex::new(vec![None; n]);
     let mut outs: Vec<Option<std::thread::Result<R>>> = Vec::new();
     let mut conductor_result: std::thread::Result<()> = Ok(());
+    // Merge workers are only reachable when banked classification is on
+    // (`merge` never opens a merge phase otherwise); skip the spawns — and
+    // the per-epoch spurious wakeups — when it is off.
+    let merge_gangs = if run.classify { layout.gangs } else { 0 };
+    run.par_merge.store(merge_gangs > 0, Ordering::Relaxed);
     std::thread::scope(|scope| {
+        let merge_handles: Vec<_> = (0..merge_gangs)
+            .map(|g| scope.spawn(move || merge_worker(run, g, marker)))
+            .collect();
         let handles: Vec<_> = fns
             .into_iter()
             .enumerate()
@@ -1833,6 +1996,9 @@ pub(crate) fn run_threads_mech<'env, R: Send + 'env>(
                 Err(e) => Some(Err(e)),
             })
             .collect();
+        for h in merge_handles {
+            h.join().expect("merge worker must not panic (lane panics are captured)");
+        }
     });
     (outs, conductor_result)
 }
@@ -2044,11 +2210,10 @@ fn gang_worker<'env, R: Send + 'env>(
             unsafe {
                 if let Some(sh) = (*run.merge_shared.get()).as_ref() {
                     for i in (g..sh.lanes.len()).step_by(run.layout.gangs) {
-                        let lane = &sh.lanes[i];
-                        if let Err(p) = catch_unwind(AssertUnwindSafe(|| {
-                            exec_merge_lane(run, &sh.items, &lane.events)
-                        })) {
-                            *lane.panic.get() = Some(p);
+                        if let Err(p) =
+                            catch_unwind(AssertUnwindSafe(|| exec_merge_lane(run, sh, i)))
+                        {
+                            *sh.lanes[i].panic.get() = Some(p);
                         }
                     }
                 }

@@ -77,5 +77,7 @@ pub use coherence::CacheConfig;
 pub use fault::{CoreOutcome, CrashFault, FaultPlan, StallFault};
 pub use latency::LatencyModel;
 pub use machine::{Ctx, ExecBackend, FootprintSample, Machine, MachineConfig};
+#[doc(hidden)]
+pub use machine::{set_gang_driver, GangDriver};
 pub use rng::{Rng, SplitMix64};
 pub use stats::{CoreStats, MachineStats, RevokeCause};

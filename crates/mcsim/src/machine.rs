@@ -60,7 +60,7 @@ use std::thread::Thread;
 
 use crate::addr::{Addr, CoreId};
 use crate::alloc::{Allocator, Fault, UafMode};
-use crate::coherence::{CacheConfig, CoherenceHub};
+use crate::coherence::{BankParts, CacheConfig, CoherenceHub};
 use crate::fault::{CoreOutcome, FaultPlan, FaultState, FaultStop};
 use crate::latency::LatencyModel;
 use crate::sched::{Sched, NO_TURN};
@@ -104,10 +104,36 @@ const GANG_DRIVER_SEQ: usize = 1;
 #[cfg(mcsim_coop)]
 const GANG_DRIVER_SPAWN: usize = 2;
 
-/// Pin the gang driver (tests/benchmarks; see [`GANG_DRIVER`]).
-#[cfg(all(mcsim_coop, test))]
-fn set_gang_driver(v: usize) {
-    GANG_DRIVER.store(v, Ordering::Relaxed);
+/// Which host mechanism drives gang epochs — a host-performance knob:
+/// every driver produces bit-identical simulated results, which the
+/// determinism suites assert by pinning each one in turn. `#[doc(hidden)]`
+/// because it is test/benchmark plumbing, not simulator API.
+#[doc(hidden)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum GangDriver {
+    /// Consult `MCSIM_GANG_DRIVER`, else pick by host CPU count.
+    Auto,
+    /// Single-threaded sequential epochs (serial merge).
+    Seq,
+    /// Scoped worker threads running the coop mechanism (parallel merge).
+    Spawn,
+}
+
+/// Pin the gang driver process-wide (see [`GANG_DRIVER`]). A no-op on
+/// targets without the coop backend, where only the auto driver exists.
+#[doc(hidden)]
+pub fn set_gang_driver(d: GangDriver) {
+    #[cfg(mcsim_coop)]
+    GANG_DRIVER.store(
+        match d {
+            GangDriver::Auto => GANG_DRIVER_AUTO,
+            GangDriver::Seq => GANG_DRIVER_SEQ,
+            GangDriver::Spawn => GANG_DRIVER_SPAWN,
+        },
+        Ordering::Relaxed,
+    );
+    #[cfg(not(mcsim_coop))]
+    let _ = d;
 }
 
 impl ExecBackend {
@@ -1036,38 +1062,26 @@ impl Out {
 /// runtime's conductor calls it at epoch barriers for deferred events.
 pub(crate) fn exec_op(st: &mut SimState, c: CoreId, op: Op) -> (Out, u64) {
     match op {
-        Op::Read(a) => {
-            st.alloc.check_access(c, a, "read");
-            let (v, cost) = st.hub.read(c, a);
-            (Out::Val(v), cost)
-        }
-        Op::Write(a, v) => {
-            st.alloc.check_access(c, a, "write");
-            (Out::Unit, st.hub.write(c, a, v))
-        }
-        Op::Cas(a, expected, new) => {
-            st.alloc.check_access(c, a, "cas");
-            let (r, cost) = st.hub.cas(c, a, expected, new);
-            (Out::CasR(r), cost)
+        Op::Read(..) | Op::Write(..) | Op::Cas(..) | Op::Cread(..) | Op::Cwrite(..) => {
+            // The bank-classifiable ops run through the same `BankParts`
+            // body the gang merge lanes use, so the serial replay, the
+            // barrier epilogue and the lanes cannot drift apart.
+            let SimState { hub, alloc, .. } = st;
+            let mut parts = hub.parts();
+            // Safety: `st` is exclusively borrowed, so the transient
+            // projection owns every part for the duration of the call.
+            unsafe {
+                exec_bank_op(
+                    &mut parts,
+                    &mut |c, a, kind| {
+                        alloc.check_access(c, a, kind);
+                    },
+                    c,
+                    op,
+                )
+            }
         }
         Op::Fence => (Out::Unit, st.hub.fence(c)),
-        Op::Cread(a) => {
-            let (v, cost) = st.hub.cread(c, a);
-            if v.is_some() {
-                // The load architecturally happened: validate it.
-                st.alloc.check_access(c, a, "cread");
-            }
-            (Out::Opt(v), cost)
-        }
-        Op::Cwrite(a, v) => {
-            // Check whether the store would actually execute before
-            // validating the target (a failed cwrite touches no memory).
-            let (ok, cost) = st.hub.cwrite(c, a, v);
-            if ok {
-                st.alloc.check_access(c, a, "cwrite");
-            }
-            (Out::Flag(ok), cost)
-        }
         Op::UntagOne(a) => (Out::Unit, st.hub.untag_one(c, a)),
         Op::UntagAll => (Out::Unit, st.hub.untag_all(c)),
         Op::Alloc => {
@@ -1128,6 +1142,62 @@ pub(crate) fn exec_op(st: &mut SimState, c: CoreId, op: Op) -> (Out, u64) {
             }
             (Out::Unit, 0)
         }
+    }
+}
+
+/// Execute one *bank-classifiable* operation (`Read`/`Write`/`Cas`/`Cread`/
+/// `Cwrite` — exactly the set the gang classifier may route to a merge
+/// lane) through a [`BankParts`] projection. `check` is the allocator
+/// validity check, abstracted because the serial path mutates the allocator
+/// (Record mode pushes faults) while a merge lane reads a frozen allocator
+/// and panics on a fault (the classifier only builds lanes under
+/// `UafMode::Panic`). The check interleaving is part of the semantics:
+/// plain accesses validate *before* touching the hub; conditional accesses
+/// validate only *after* the hardware reports success (a failed
+/// cread/cwrite touches no memory).
+///
+/// # Safety
+/// `parts` must satisfy the [`BankParts`] footprint-exclusivity contract
+/// for the op's line and its set-holder pcores.
+pub(crate) unsafe fn exec_bank_op(
+    parts: &mut BankParts,
+    check: &mut impl FnMut(CoreId, Addr, &'static str),
+    c: CoreId,
+    op: Op,
+) -> (Out, u64) {
+    match op {
+        Op::Read(a) => {
+            check(c, a, "read");
+            let (v, cost) = unsafe { parts.read(c, a) };
+            (Out::Val(v), cost)
+        }
+        Op::Write(a, v) => {
+            check(c, a, "write");
+            (Out::Unit, unsafe { parts.write(c, a, v) })
+        }
+        Op::Cas(a, expected, new) => {
+            check(c, a, "cas");
+            let (r, cost) = unsafe { parts.cas(c, a, expected, new) };
+            (Out::CasR(r), cost)
+        }
+        Op::Cread(a) => {
+            let (v, cost) = unsafe { parts.cread(c, a) };
+            if v.is_some() {
+                // The load architecturally happened: validate it.
+                check(c, a, "cread");
+            }
+            (Out::Opt(v), cost)
+        }
+        Op::Cwrite(a, v) => {
+            // Check whether the store would actually execute before
+            // validating the target (a failed cwrite touches no memory).
+            let (ok, cost) = unsafe { parts.cwrite(c, a, v) };
+            if ok {
+                check(c, a, "cwrite");
+            }
+            (Out::Flag(ok), cost)
+        }
+        _ => unreachable!("exec_bank_op called with a non-bank-classifiable op"),
     }
 }
 
@@ -2154,7 +2224,7 @@ mod tests {
         // every decision path; pin them against each other explicitly.
         // (Safe to toggle concurrently with other gang tests: the driver
         // never changes simulated results, only host scheduling.)
-        let program = |driver: usize| {
+        let program = |driver: GangDriver| {
             set_gang_driver(driver);
             let m = gang_machine(4, 2, 128, ExecBackend::Coop);
             let a = m.alloc_static(1);
@@ -2168,11 +2238,11 @@ mod tests {
                     }
                 }
             });
-            set_gang_driver(GANG_DRIVER_AUTO);
+            set_gang_driver(GangDriver::Auto);
             (m.host_read(a), m.stats())
         };
-        let (v_seq, s_seq) = program(GANG_DRIVER_SEQ);
-        let (v_spawn, s_spawn) = program(GANG_DRIVER_SPAWN);
+        let (v_seq, s_seq) = program(GangDriver::Seq);
+        let (v_spawn, s_spawn) = program(GangDriver::Spawn);
         assert_eq!(v_seq, v_spawn, "drivers diverged on the final value");
         assert_eq!(s_seq.cores, s_spawn.cores, "drivers diverged on per-core stats");
         assert_eq!(s_seq.epoch_barriers, s_spawn.epoch_barriers);
@@ -2182,13 +2252,13 @@ mod tests {
     fn banked_merge_lanes_match_serial_replay_and_counters_are_driver_invariant() {
         // 16 cores × 4 gangs, disjoint per-core working sets: every epoch
         // each core defers one cold miss, so barriers carry enough
-        // bank-local events for the spawn driver to dispatch parallel
-        // lanes. The sequential driver replays the same barriers serially;
-        // the threads backend has no merge workers at all. All three must
-        // produce byte-identical per-core stats, final memory, AND the same
-        // banked-merge counters (classification is a pure function of the
-        // deterministic event stream, never of the execution strategy).
-        let program = |driver: Option<usize>, exec: ExecBackend| {
+        // bank-local events for the spawn driver and the threads backend's
+        // dedicated merge workers to dispatch parallel lanes. The
+        // sequential driver replays the same barriers serially. All three
+        // must produce byte-identical per-core stats, final memory, AND the
+        // same banked-merge counters (classification is a pure function of
+        // the deterministic event stream, never of the execution strategy).
+        let program = |driver: Option<GangDriver>, exec: ExecBackend| {
             if let Some(d) = driver {
                 set_gang_driver(d);
             }
@@ -2214,11 +2284,11 @@ mod tests {
                 }
                 acc
             });
-            set_gang_driver(GANG_DRIVER_AUTO);
+            set_gang_driver(GangDriver::Auto);
             m.stats()
         };
-        let seq = program(Some(GANG_DRIVER_SEQ), ExecBackend::Coop);
-        let spawn = program(Some(GANG_DRIVER_SPAWN), ExecBackend::Coop);
+        let seq = program(Some(GangDriver::Seq), ExecBackend::Coop);
+        let spawn = program(Some(GangDriver::Spawn), ExecBackend::Coop);
         let threads = program(None, ExecBackend::Threads);
         assert!(
             seq.banked_merge_events > 0,
@@ -2255,7 +2325,7 @@ mod tests {
         // with the later free. Pinned on the spawn driver with enough
         // sibling traffic to trigger real parallel lane dispatch.
         let run = |read_tick: u64, free_tick: u64| -> std::thread::Result<()> {
-            set_gang_driver(GANG_DRIVER_SPAWN);
+            set_gang_driver(GangDriver::Spawn);
             let m = Machine::new(MachineConfig {
                 cores: 16,
                 mem_bytes: 1 << 20,
@@ -2289,7 +2359,7 @@ mod tests {
                     }
                 })
             }));
-            set_gang_driver(GANG_DRIVER_AUTO);
+            set_gang_driver(GangDriver::Auto);
             out.map(|_| ())
         };
         assert!(
@@ -2312,7 +2382,7 @@ mod tests {
         // spurious UAF panic the serial schedule never raises. Pinned on
         // the spawn driver with enough sibling traffic for real lane
         // dispatch; this run must COMPLETE.
-        set_gang_driver(GANG_DRIVER_SPAWN);
+        set_gang_driver(GangDriver::Spawn);
         let m = Machine::new(MachineConfig {
             cores: 16,
             mem_bytes: 1 << 20,
@@ -2350,8 +2420,71 @@ mod tests {
                 Addr(0)
             }
         });
-        set_gang_driver(GANG_DRIVER_AUTO);
+        set_gang_driver(GangDriver::Auto);
         assert_eq!(realloc[0], victim, "LIFO reuse must hand back the victim");
+        m.check_invariants();
+    }
+
+    #[test]
+    fn threads_merge_lane_uaf_panic_aborts_deterministically_and_cleans_up() {
+        // A UAF verdict firing *inside a threads-mechanism merge lane* (the
+        // victim was freed in an earlier run, so the classifier sees a
+        // plain bank-local read and routes it to a lane, where the
+        // frozen-allocator check panics mid-merge) must: (1) surface the
+        // allocator's canonical diagnostic — not the abort shim's, not a
+        // poisoned-mutex error; (2) do so identically on a repeated run
+        // (first-lane-wins capture + deterministic classification); and
+        // (3) tear the gate down cleanly — `run_on` returning at all
+        // proves the scoped core threads AND the dedicated merge workers
+        // joined (a wedged parked worker would deadlock the scope), and
+        // the follow-up clean run on the same machine proves no poisoned
+        // or half-open protocol state survives the abort.
+        let m = Machine::new(MachineConfig {
+            cores: 16,
+            mem_bytes: 1 << 20,
+            static_lines: 2048,
+            quantum: 0,
+            gangs: 4,
+            gang_window: 1 << 40, // one epoch: every core runs to its block
+            exec: ExecBackend::Threads,
+            ..Default::default()
+        });
+        let victim = m.run_on(1, |_, ctx| {
+            let a = ctx.alloc();
+            ctx.free(a);
+            a
+        })[0];
+        let bases: Vec<Addr> = (0..16).map(|_| m.alloc_static(4)).collect();
+        let bases = &bases;
+        let msg_of = |e: Box<dyn std::any::Any + Send>| {
+            e.downcast_ref::<String>()
+                .cloned()
+                .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_default()
+        };
+        let attempt = || {
+            m.reset_timing();
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                m.run_on(16, move |i, ctx| {
+                    // One cold miss per core: the barrier clears
+                    // MIN_PARALLEL_MERGE_EVENTS with several disjoint
+                    // lanes, and core 1's miss targets the freed victim.
+                    let a = if i == 1 { victim } else { bases[i] };
+                    let _ = ctx.read(a);
+                })
+            }))
+        };
+        let e1 = msg_of(attempt().expect_err("freed-line read must abort the merge"));
+        assert!(
+            e1.contains("MEMORY SAFETY VIOLATION"),
+            "lane panic must surface the detector's diagnostic, got {e1:?}"
+        );
+        let e2 = msg_of(attempt().expect_err("second run must abort identically"));
+        assert_eq!(e1, e2, "lane abort must be deterministic across runs");
+        // The machine is still fully operational after two aborted runs.
+        m.reset_timing();
+        let sums = m.run_on(16, |i, ctx| ctx.read(bases[i]));
+        assert_eq!(sums.len(), 16);
         m.check_invariants();
     }
 
@@ -2708,7 +2841,7 @@ mod tests {
         if !COOP_SUPPORTED {
             return;
         }
-        let program = |driver: Option<usize>, exec: ExecBackend| {
+        let program = |driver: Option<GangDriver>, exec: ExecBackend| {
             if let Some(d) = driver {
                 set_gang_driver(d);
             }
@@ -2718,7 +2851,7 @@ mod tests {
                 .crash(3, 1_200);
             let m = gang_fault_machine(2, exec, plan);
             let outs = cas_work(&m, 4, 80);
-            set_gang_driver(GANG_DRIVER_AUTO);
+            set_gang_driver(GangDriver::Auto);
             let st = m.stats();
             (
                 outs.iter().map(|o| o.crashed()).collect::<Vec<_>>(),
@@ -2730,8 +2863,8 @@ mod tests {
                     .collect::<Vec<_>>(),
             )
         };
-        let seq = program(Some(GANG_DRIVER_SEQ), ExecBackend::Coop);
-        let spawn = program(Some(GANG_DRIVER_SPAWN), ExecBackend::Coop);
+        let seq = program(Some(GangDriver::Seq), ExecBackend::Coop);
+        let spawn = program(Some(GangDriver::Spawn), ExecBackend::Coop);
         let threads = program(None, ExecBackend::Threads);
         assert_eq!(seq, spawn, "merge drivers diverged under faults");
         assert_eq!(seq, threads, "exec backends diverged under faults");

@@ -3,17 +3,23 @@
 //! watchdog ceiling — must fire at *identical simulated clocks* on
 //!
 //! * both host execution backends (threads, coop),
+//! * all three gang drivers (sequential, spawn-coop, and the threads
+//!   mechanism's dedicated parallel merge workers),
 //! * every gang count in {1, 2, 4} (compared *within* a gang count: like
 //!   the quantum, the gang layout is part of the schedule's identity), and
 //! * every L2 bank count in {1, 8} (banking is set-preserving and the
 //!   banked merge is a proof-carrying reordering, so bank count must never
-//!   shift a trigger by a single cycle).
+//!   shift a trigger by a single cycle — even when the stall/watchdog
+//!   bookkeeping of a deferred event replays inside a parallel merge
+//!   lane).
 //!
 //! The signature compared is deliberately fat — per-core clocks, stall and
 //! alloc-failure counters, crash verdicts, final shared state — so a
 //! trigger drifting by one event anywhere in the grid fails loudly.
 
-use mcsim::{Addr, CoreOutcome, ExecBackend, FaultPlan, Machine, MachineConfig};
+use mcsim::{
+    set_gang_driver, Addr, CoreOutcome, ExecBackend, FaultPlan, GangDriver, Machine, MachineConfig,
+};
 
 const CORES: usize = 8;
 
@@ -33,7 +39,15 @@ struct Signature {
 /// CAS contention (so stalls and the crash land inside read/CAS retry
 /// loops) plus alloc/free churn against a shrunken heap (so allocation
 /// pressure produces recoverable verdicts on some cores).
-fn run_cell(exec: ExecBackend, gangs: usize, l2_banks: usize) -> Signature {
+fn run_cell(
+    exec: ExecBackend,
+    driver: Option<GangDriver>,
+    gangs: usize,
+    l2_banks: usize,
+) -> Signature {
+    if let Some(d) = driver {
+        set_gang_driver(d);
+    }
     let m = Machine::new(MachineConfig {
         cores: CORES,
         mem_bytes: 1 << 20,
@@ -83,6 +97,7 @@ fn run_cell(exec: ExecBackend, gangs: usize, l2_banks: usize) -> Signature {
         }
         got
     });
+    set_gang_driver(GangDriver::Auto);
     let st = m.stats();
     m.check_invariants();
     Signature {
@@ -108,7 +123,7 @@ fn run_cell(exec: ExecBackend, gangs: usize, l2_banks: usize) -> Signature {
 #[test]
 fn fault_plan_fires_identically_across_backends_and_layouts() {
     for gangs in [1usize, 2, 4] {
-        let reference = run_cell(ExecBackend::Threads, gangs, 1);
+        let reference = run_cell(ExecBackend::Threads, None, gangs, 1);
 
         // The plan actually bit: the crash landed, at least one stall
         // fired, and the pressured heap produced recoverable verdicts.
@@ -130,17 +145,26 @@ fn fault_plan_fires_identically_across_backends_and_layouts() {
             "gangs={gangs}: allocation pressure must produce recoverable failures"
         );
 
-        // Byte-identity across every backend × bank layout, and across
-        // repeats, within this gang count. (On targets without the
+        // Byte-identity across every backend × gang driver × bank layout,
+        // and across repeats, within this gang count. The threads leg
+        // exercises the dedicated parallel merge workers at 8 banks (fault
+        // stall/watchdog bookkeeping replays inside `BankParts` lanes);
+        // the pinned seq/spawn legs cover the coop drivers explicitly
+        // (AUTO resolves to seq on 1-CPU hosts). (On targets without the
         // coroutine backend, an explicit `Coop` config documents its
         // portable fallback to threads — the comparison is then trivially
         // green there and meaningful on x86-64 Linux.)
-        for exec in [ExecBackend::Threads, ExecBackend::Coop] {
+        let legs = [
+            (ExecBackend::Threads, None, "threads"),
+            (ExecBackend::Coop, Some(GangDriver::Seq), "coop/seq"),
+            (ExecBackend::Coop, Some(GangDriver::Spawn), "coop/spawn"),
+        ];
+        for (exec, driver, label) in legs {
             for l2_banks in [1usize, 8] {
-                let got = run_cell(exec, gangs, l2_banks);
+                let got = run_cell(exec, driver, gangs, l2_banks);
                 assert_eq!(
                     got, reference,
-                    "fault schedule diverged: exec={exec:?} gangs={gangs} l2_banks={l2_banks}"
+                    "fault schedule diverged: {label} gangs={gangs} l2_banks={l2_banks}"
                 );
             }
         }

@@ -208,6 +208,60 @@ fn banked_merge_grid_is_byte_identical_across_banks_and_backends() {
 }
 
 #[test]
+fn banked_merge_grid_is_byte_identical_across_gang_drivers() {
+    // The PR-7 contract: all three gang drivers — sequential (counters-only
+    // classification, serial replay), spawn-coop (parked gang workers
+    // double as merge-lane executors) and the threads mechanism (dedicated
+    // merge workers) — produce byte-identical per-core stats and identical
+    // merge counters on the full banks × gangs grid. In debug builds the
+    // footprint checker additionally asserts every lane access against the
+    // classifier's verdict throughout this grid. (Toggling the driver is
+    // benign under test parallelism: drivers never change simulated
+    // results, only host scheduling.)
+    use mcsim::{set_gang_driver, GangDriver};
+    let cell = |gangs: usize, l2_banks: usize, exec: ExecBackend, driver: Option<GangDriver>| {
+        if let Some(d) = driver {
+            set_gang_driver(d);
+        }
+        let mut c = cfg(64, gangs, 17, exec);
+        c.cache.l2_banks = l2_banks;
+        let r = run_set_with_stats(SetKind::LazyList, SchemeKind::Ca, &c);
+        set_gang_driver(GangDriver::Auto);
+        r
+    };
+    for gangs in [1usize, 2, 4] {
+        for l2_banks in [1usize, 4, 8] {
+            let (m_ref, s_ref) = cell(gangs, l2_banks, ExecBackend::Threads, None);
+            for (label, exec, driver) in [
+                ("coop/seq", ExecBackend::Coop, Some(GangDriver::Seq)),
+                ("coop/spawn", ExecBackend::Coop, Some(GangDriver::Spawn)),
+            ] {
+                let (m, s) = cell(gangs, l2_banks, exec, driver);
+                assert_eq!(
+                    s_ref.cores, s.cores,
+                    "gangs={gangs} banks={l2_banks} {label}: per-core stats diverged"
+                );
+                assert_eq!(s_ref.max_cycles, s.max_cycles, "gangs={gangs} banks={l2_banks} {label}");
+                assert_eq!(m_ref.cycles, m.cycles, "gangs={gangs} banks={l2_banks} {label}");
+                assert_eq!(m_ref.total_ops, m.total_ops, "gangs={gangs} banks={l2_banks} {label}");
+                assert_eq!(
+                    s_ref.banked_merge_events, s.banked_merge_events,
+                    "gangs={gangs} banks={l2_banks} {label}: banked counter driver-dependent"
+                );
+                assert_eq!(
+                    s_ref.serial_epilogue_events, s.serial_epilogue_events,
+                    "gangs={gangs} banks={l2_banks} {label}: epilogue counter driver-dependent"
+                );
+                assert_eq!(
+                    s_ref.bank_occupancy, s.bank_occupancy,
+                    "gangs={gangs} banks={l2_banks} {label}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn different_gang_layouts_are_different_but_valid_schedules() {
     // Sanity: gangs=2 is not required (or expected) to reproduce gangs=1
     // timing — it is a bounded-skew relaxation — but both must agree on
