@@ -24,7 +24,7 @@ use mcsim::machine::Ctx;
 use mcsim::{Addr, Machine};
 
 use crate::layout::{KEY_INF1, KEY_INF2, MAX_REAL_KEY, TICK_PER_HOP, TICK_PER_OP, W_BST_LOCK, W_BST_MARK, W_KEY, W_LEFT, W_RIGHT};
-use crate::traits::SetDs;
+use crate::traits::{DsShared, SetDs};
 
 /// The Conditional-Access external BST.
 pub struct CaExtBst {
@@ -203,20 +203,23 @@ impl CaExtBst {
     }
 }
 
-impl SetDs for CaExtBst {
+impl DsShared for CaExtBst {
     type Tls = ();
 
     fn register(&self, _tid: usize) -> Self::Tls {}
+}
 
-    fn contains(&self, ctx: &mut Ctx, _tls: &mut Self::Tls, key: u64) -> bool {
+/// Sim-only: the CA primitive exists only in the simulator.
+impl<'m> SetDs<Ctx<'m>> for CaExtBst {
+    fn contains(&self, ctx: &mut Ctx<'m>, _tls: &mut Self::Tls, key: u64) -> bool {
         ca_loop(ctx, |ctx| self.contains_attempt(ctx, key))
     }
 
-    fn insert(&self, ctx: &mut Ctx, _tls: &mut Self::Tls, key: u64) -> bool {
+    fn insert(&self, ctx: &mut Ctx<'m>, _tls: &mut Self::Tls, key: u64) -> bool {
         ca_loop(ctx, |ctx| self.insert_attempt(ctx, key))
     }
 
-    fn delete(&self, ctx: &mut Ctx, _tls: &mut Self::Tls, key: u64) -> bool {
+    fn delete(&self, ctx: &mut Ctx<'m>, _tls: &mut Self::Tls, key: u64) -> bool {
         let victims = ca_loop(ctx, |ctx| self.delete_attempt(ctx, key));
         match victims {
             Some((p, leaf)) => {

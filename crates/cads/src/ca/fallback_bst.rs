@@ -17,7 +17,7 @@ use crate::layout::{
     KEY_INF2, MAX_REAL_KEY, TICK_PER_HOP, TICK_PER_OP, W_BST_LOCK, W_BST_MARK, W_KEY, W_LEFT,
     W_RIGHT,
 };
-use crate::traits::SetDs;
+use crate::traits::{DsShared, SetDs};
 
 /// Default consecutive-failure threshold before an operation falls back.
 pub const DEFAULT_MAX_ATTEMPTS: u64 = 32;
@@ -95,12 +95,15 @@ fn seq_search(ctx: &mut Ctx, root: Addr, key: u64) -> (Addr, u64, Addr, u64, Add
     }
 }
 
-impl SetDs for FbCaExtBst {
+impl DsShared for FbCaExtBst {
     type Tls = ();
 
     fn register(&self, _tid: usize) -> Self::Tls {}
+}
 
-    fn contains(&self, ctx: &mut Ctx, _tls: &mut Self::Tls, key: u64) -> bool {
+/// Sim-only: the CA primitive exists only in the simulator.
+impl<'m> SetDs<Ctx<'m>> for FbCaExtBst {
+    fn contains(&self, ctx: &mut Ctx<'m>, _tls: &mut Self::Tls, key: u64) -> bool {
         self.fb.execute(
             ctx,
             |ctx| self.bst.contains_attempt(ctx, key),
@@ -108,7 +111,7 @@ impl SetDs for FbCaExtBst {
         )
     }
 
-    fn insert(&self, ctx: &mut Ctx, _tls: &mut Self::Tls, key: u64) -> bool {
+    fn insert(&self, ctx: &mut Ctx<'m>, _tls: &mut Self::Tls, key: u64) -> bool {
         self.fb.execute(
             ctx,
             |ctx| self.bst.insert_attempt(ctx, key),
@@ -143,7 +146,7 @@ impl SetDs for FbCaExtBst {
         )
     }
 
-    fn delete(&self, ctx: &mut Ctx, _tls: &mut Self::Tls, key: u64) -> bool {
+    fn delete(&self, ctx: &mut Ctx<'m>, _tls: &mut Self::Tls, key: u64) -> bool {
         let victims = self.fb.execute(
             ctx,
             |ctx| self.bst.delete_attempt(ctx, key),

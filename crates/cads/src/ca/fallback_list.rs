@@ -17,7 +17,7 @@ use mcsim::{Addr, Machine};
 
 use crate::ca::lazylist::CaLazyList;
 use crate::layout::{KEY_TAIL, TICK_PER_HOP, TICK_PER_OP, W_KEY, W_LOCK, W_MARK, W_NEXT};
-use crate::traits::SetDs;
+use crate::traits::{DsShared, SetDs};
 
 /// Default consecutive-failure threshold before an operation falls back.
 pub const DEFAULT_MAX_ATTEMPTS: u64 = 32;
@@ -71,12 +71,15 @@ fn seq_locate(ctx: &mut Ctx, head: Addr, key: u64) -> (Addr, Addr, u64) {
     (pred, curr, currkey)
 }
 
-impl SetDs for FbCaLazyList {
+impl DsShared for FbCaLazyList {
     type Tls = ();
 
     fn register(&self, _tid: usize) -> Self::Tls {}
+}
 
-    fn contains(&self, ctx: &mut Ctx, _tls: &mut Self::Tls, key: u64) -> bool {
+/// Sim-only: the CA primitive exists only in the simulator.
+impl<'m> SetDs<Ctx<'m>> for FbCaLazyList {
+    fn contains(&self, ctx: &mut Ctx<'m>, _tls: &mut Self::Tls, key: u64) -> bool {
         self.fb.execute(
             ctx,
             |ctx| self.list.contains_attempt(ctx, key),
@@ -84,7 +87,7 @@ impl SetDs for FbCaLazyList {
         )
     }
 
-    fn insert(&self, ctx: &mut Ctx, _tls: &mut Self::Tls, key: u64) -> bool {
+    fn insert(&self, ctx: &mut Ctx<'m>, _tls: &mut Self::Tls, key: u64) -> bool {
         self.fb.execute(
             ctx,
             |ctx| self.list.insert_attempt(ctx, key),
@@ -107,7 +110,7 @@ impl SetDs for FbCaLazyList {
         )
     }
 
-    fn delete(&self, ctx: &mut Ctx, _tls: &mut Self::Tls, key: u64) -> bool {
+    fn delete(&self, ctx: &mut Ctx<'m>, _tls: &mut Self::Tls, key: u64) -> bool {
         // Both paths unlink and hand the victim out; the free happens after
         // the operation ends (the node is unreachable either way, and on
         // the optimistic path the mark-write already revoked every reader).

@@ -32,7 +32,7 @@ use mcsim::machine::Ctx;
 use mcsim::{Addr, Machine};
 
 use crate::layout::{KEY_TAIL, TICK_PER_HOP, TICK_PER_OP, W_KEY, W_MARK, W_NEXT};
-use crate::traits::SetDs;
+use crate::traits::{DsShared, SetDs};
 
 /// The lock-free Conditional-Access sorted list.
 pub struct CaHarrisList {
@@ -109,19 +109,22 @@ impl CaHarrisList {
     }
 }
 
-impl SetDs for CaHarrisList {
+impl DsShared for CaHarrisList {
     type Tls = ();
 
     fn register(&self, _tid: usize) -> Self::Tls {}
+}
 
-    fn contains(&self, ctx: &mut Ctx, _tls: &mut Self::Tls, key: u64) -> bool {
+/// Sim-only: the CA primitive exists only in the simulator.
+impl<'m> SetDs<Ctx<'m>> for CaHarrisList {
+    fn contains(&self, ctx: &mut Ctx<'m>, _tls: &mut Self::Tls, key: u64) -> bool {
         ca_loop(ctx, |ctx| match self.locate(ctx, key) {
             CaStep::Done(loc) => CaStep::Done(loc.currkey == key),
             CaStep::Retry => CaStep::Retry,
         })
     }
 
-    fn insert(&self, ctx: &mut Ctx, _tls: &mut Self::Tls, key: u64) -> bool {
+    fn insert(&self, ctx: &mut Ctx<'m>, _tls: &mut Self::Tls, key: u64) -> bool {
         ca_loop(ctx, |ctx| {
             let loc = match self.locate(ctx, key) {
                 CaStep::Done(l) => l,
@@ -145,7 +148,7 @@ impl SetDs for CaHarrisList {
         })
     }
 
-    fn delete(&self, ctx: &mut Ctx, _tls: &mut Self::Tls, key: u64) -> bool {
+    fn delete(&self, ctx: &mut Ctx<'m>, _tls: &mut Self::Tls, key: u64) -> bool {
         ca_loop(ctx, |ctx| {
             let loc = match self.locate(ctx, key) {
                 CaStep::Done(l) => l,

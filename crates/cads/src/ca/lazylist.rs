@@ -24,7 +24,7 @@ use mcsim::machine::Ctx;
 use mcsim::{Addr, Machine};
 
 use crate::layout::{KEY_TAIL, TICK_PER_HOP, TICK_PER_OP, W_KEY, W_LOCK, W_MARK, W_NEXT};
-use crate::traits::SetDs;
+use crate::traits::{DsShared, SetDs};
 
 /// The Conditional-Access lazy list.
 pub struct CaLazyList {
@@ -169,23 +169,28 @@ impl CaLazyList {
     }
 }
 
-impl SetDs for CaLazyList {
+impl DsShared for CaLazyList {
     type Tls = ();
 
     fn register(&self, _tid: usize) -> Self::Tls {}
+}
 
+/// Sim-only: Conditional Access needs the simulator's hardware primitive
+/// (`cread`/`cwrite`/tag monitoring), so CA structures implement the set
+/// trait for `Ctx` alone, never for the native environment.
+impl<'m> SetDs<Ctx<'m>> for CaLazyList {
     /// Algorithm 3 `contain`: linearizes at the cread of `curr.key`.
-    fn contains(&self, ctx: &mut Ctx, _tls: &mut Self::Tls, key: u64) -> bool {
+    fn contains(&self, ctx: &mut Ctx<'m>, _tls: &mut Self::Tls, key: u64) -> bool {
         ca_loop(ctx, |ctx| self.contains_attempt(ctx, key))
     }
 
     /// Algorithm 3 `insert`.
-    fn insert(&self, ctx: &mut Ctx, _tls: &mut Self::Tls, key: u64) -> bool {
+    fn insert(&self, ctx: &mut Ctx<'m>, _tls: &mut Self::Tls, key: u64) -> bool {
         ca_loop(ctx, |ctx| self.insert_attempt(ctx, key))
     }
 
     /// Algorithm 3 `delete` — frees the victim immediately after untagAll.
-    fn delete(&self, ctx: &mut Ctx, _tls: &mut Self::Tls, key: u64) -> bool {
+    fn delete(&self, ctx: &mut Ctx<'m>, _tls: &mut Self::Tls, key: u64) -> bool {
         let victim = ca_loop(ctx, |ctx| self.delete_attempt(ctx, key));
         match victim {
             Some(node) => {

@@ -42,7 +42,7 @@ use crate::layout::{
     KEY_INF1, KEY_INF2, MAX_REAL_KEY, TICK_PER_HOP, TICK_PER_OP, W_BST_MARK, W_KEY, W_LEFT,
     W_RIGHT,
 };
-use crate::traits::SetDs;
+use crate::traits::{DsShared, SetDs};
 
 /// The lock-free Conditional-Access external BST.
 pub struct CaLfExtBst {
@@ -172,13 +172,16 @@ impl CaLfExtBst {
     }
 }
 
-impl SetDs for CaLfExtBst {
+impl DsShared for CaLfExtBst {
     type Tls = ();
 
     fn register(&self, _tid: usize) -> Self::Tls {}
+}
 
+/// Sim-only: the CA primitive exists only in the simulator.
+impl<'m> SetDs<Ctx<'m>> for CaLfExtBst {
     /// LP: the cread of the leaf key inside `search`.
-    fn contains(&self, ctx: &mut Ctx, _tls: &mut Self::Tls, key: u64) -> bool {
+    fn contains(&self, ctx: &mut Ctx<'m>, _tls: &mut Self::Tls, key: u64) -> bool {
         ca_loop(ctx, |ctx| {
             let f = match self.search(ctx, key) {
                 CaStep::Done(f) => f,
@@ -189,7 +192,7 @@ impl SetDs for CaLfExtBst {
     }
 
     /// Lock-free insert: one conditional write splices the new subtree.
-    fn insert(&self, ctx: &mut Ctx, _tls: &mut Self::Tls, key: u64) -> bool {
+    fn insert(&self, ctx: &mut Ctx<'m>, _tls: &mut Self::Tls, key: u64) -> bool {
         // Nodes allocated once per operation; released if the key turns out
         // to be present.
         let mut prepared: Option<(Addr, Addr)> = None;
@@ -233,7 +236,7 @@ impl SetDs for CaLfExtBst {
 
     /// Lock-free delete: commit with one conditional write to the parent's
     /// mark, then unlink eagerly (or leave the swing to helpers).
-    fn delete(&self, ctx: &mut Ctx, _tls: &mut Self::Tls, key: u64) -> bool {
+    fn delete(&self, ctx: &mut Ctx<'m>, _tls: &mut Self::Tls, key: u64) -> bool {
         ca_loop(ctx, |ctx| {
             let f = match self.search(ctx, key) {
                 CaStep::Done(f) => f,

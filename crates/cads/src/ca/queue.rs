@@ -12,7 +12,7 @@ use mcsim::machine::Ctx;
 use mcsim::{Addr, Machine};
 
 use crate::layout::{TICK_PER_OP, W_KEY, W_NEXT};
-use crate::traits::QueueDs;
+use crate::traits::{DsShared, QueueDs};
 
 /// The Conditional-Access MS queue.
 pub struct CaQueue {
@@ -40,12 +40,15 @@ impl CaQueue {
     }
 }
 
-impl QueueDs for CaQueue {
+impl DsShared for CaQueue {
     type Tls = ();
 
     fn register(&self, _tid: usize) -> Self::Tls {}
+}
 
-    fn enqueue(&self, ctx: &mut Ctx, _tls: &mut Self::Tls, value: u64) {
+/// Sim-only: the CA primitive exists only in the simulator.
+impl<'m> QueueDs<Ctx<'m>> for CaQueue {
+    fn enqueue(&self, ctx: &mut Ctx<'m>, _tls: &mut Self::Tls, value: u64) {
         let n = ctx.alloc();
         ctx.write(n.word(W_KEY), value);
         ctx.write(n.word(W_NEXT), 0);
@@ -68,7 +71,7 @@ impl QueueDs for CaQueue {
         })
     }
 
-    fn dequeue(&self, ctx: &mut Ctx, _tls: &mut Self::Tls) -> Option<u64> {
+    fn dequeue(&self, ctx: &mut Ctx<'m>, _tls: &mut Self::Tls) -> Option<u64> {
         let (dummy, value) = ca_loop(ctx, |ctx| {
             ctx.tick(TICK_PER_OP);
             let h = ca_try!(ctx.cread(self.head));

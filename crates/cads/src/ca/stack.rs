@@ -17,7 +17,7 @@ use mcsim::machine::Ctx;
 use mcsim::{Addr, Machine};
 
 use crate::layout::{TICK_PER_OP, W_KEY, W_NEXT};
-use crate::traits::StackDs;
+use crate::traits::{DsShared, StackDs};
 
 /// The Conditional-Access stack.
 pub struct CaStack {
@@ -39,13 +39,16 @@ impl CaStack {
     }
 }
 
-impl StackDs for CaStack {
+impl DsShared for CaStack {
     type Tls = ();
 
     fn register(&self, _tid: usize) -> Self::Tls {}
+}
 
+/// Sim-only: the CA primitive exists only in the simulator.
+impl<'m> StackDs<Ctx<'m>> for CaStack {
     /// Algorithm 1, `push`.
-    fn push(&self, ctx: &mut Ctx, _tls: &mut Self::Tls, value: u64) {
+    fn push(&self, ctx: &mut Ctx<'m>, _tls: &mut Self::Tls, value: u64) {
         let n = ctx.alloc();
         ctx.write(n.word(W_KEY), value);
         ca_loop(ctx, |ctx| {
@@ -59,7 +62,7 @@ impl StackDs for CaStack {
     }
 
     /// Algorithm 1, `pop` — frees the node before returning.
-    fn pop(&self, ctx: &mut Ctx, _tls: &mut Self::Tls) -> Option<u64> {
+    fn pop(&self, ctx: &mut Ctx<'m>, _tls: &mut Self::Tls) -> Option<u64> {
         let popped = ca_loop(ctx, |ctx| {
             ctx.tick(TICK_PER_OP);
             let t = ca_try!(ctx.cread(self.top));
@@ -80,7 +83,7 @@ impl StackDs for CaStack {
     }
 
     /// Read the top value (tags top + node; any concurrent pop fails us).
-    fn peek(&self, ctx: &mut Ctx, _tls: &mut Self::Tls) -> Option<u64> {
+    fn peek(&self, ctx: &mut Ctx<'m>, _tls: &mut Self::Tls) -> Option<u64> {
         ca_loop(ctx, |ctx| {
             ctx.tick(TICK_PER_OP);
             let t = ca_try!(ctx.cread(self.top));

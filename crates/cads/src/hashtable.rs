@@ -3,24 +3,28 @@
 //!
 //! Generic over the bucket type, so the same code serves the
 //! Conditional-Access table (`HashTable<CaLazyList>`) and every SMR variant
-//! (`HashTable<SmrLazyList<&Scheme>>`, all buckets sharing one scheme).
+//! (`HashTable<SmrLazyList<&Scheme>>`, all buckets sharing one scheme) — in
+//! either execution environment the bucket supports.
 
-use mcsim::machine::Ctx;
-use mcsim::Machine;
+use casmr::{Env, EnvHost};
 
-use crate::traits::SetDs;
+use crate::traits::{DsShared, SetDs};
 
 /// The chaining hash table.
-pub struct HashTable<B: SetDs> {
+pub struct HashTable<B> {
     buckets: Vec<B>,
 }
 
-impl<B: SetDs> HashTable<B> {
+impl<B> HashTable<B> {
     /// Build a table of `buckets` buckets, each produced by `make_bucket`.
-    pub fn new(machine: &Machine, buckets: usize, make_bucket: impl Fn(&Machine) -> B) -> Self {
+    pub fn new<H: EnvHost + ?Sized>(
+        host: &H,
+        buckets: usize,
+        make_bucket: impl Fn(&H) -> B,
+    ) -> Self {
         assert!(buckets >= 1);
         Self {
-            buckets: (0..buckets).map(|_| make_bucket(machine)).collect(),
+            buckets: (0..buckets).map(|_| make_bucket(host)).collect(),
         }
     }
 
@@ -37,7 +41,7 @@ impl<B: SetDs> HashTable<B> {
     }
 }
 
-impl<B: SetDs> SetDs for HashTable<B> {
+impl<B: DsShared> DsShared for HashTable<B> {
     type Tls = B::Tls;
 
     /// Per-thread state is per *scheme*, which the buckets share, so any
@@ -45,16 +49,18 @@ impl<B: SetDs> SetDs for HashTable<B> {
     fn register(&self, tid: usize) -> Self::Tls {
         self.buckets[0].register(tid)
     }
+}
 
-    fn insert(&self, ctx: &mut Ctx, tls: &mut Self::Tls, key: u64) -> bool {
+impl<E: Env + ?Sized, B: SetDs<E>> SetDs<E> for HashTable<B> {
+    fn insert(&self, ctx: &mut E, tls: &mut Self::Tls, key: u64) -> bool {
         self.bucket(key).insert(ctx, tls, key)
     }
 
-    fn delete(&self, ctx: &mut Ctx, tls: &mut Self::Tls, key: u64) -> bool {
+    fn delete(&self, ctx: &mut E, tls: &mut Self::Tls, key: u64) -> bool {
         self.bucket(key).delete(ctx, tls, key)
     }
 
-    fn contains(&self, ctx: &mut Ctx, tls: &mut Self::Tls, key: u64) -> bool {
+    fn contains(&self, ctx: &mut E, tls: &mut Self::Tls, key: u64) -> bool {
         self.bucket(key).contains(ctx, tls, key)
     }
 }
@@ -64,7 +70,7 @@ mod tests {
     use super::*;
     use crate::ca::lazylist::CaLazyList;
     use crate::seqcheck::walk_list;
-    use mcsim::MachineConfig;
+    use mcsim::{Machine, MachineConfig};
 
     fn machine(cores: usize) -> Machine {
         Machine::new(MachineConfig {
@@ -120,5 +126,27 @@ mod tests {
         assert_eq!(total, 4 * 50);
         assert_eq!(m.stats().allocated_not_freed, 200);
         m.check_invariants();
+    }
+
+    #[test]
+    fn native_table_of_smr_lists() {
+        // The generic-bucket path on host threads: 4 buckets of hp lists
+        // sharing one scheme instance through the &S blanket.
+        use crate::smr::SmrLazyList;
+        use casmr::{Hp, SmrConfig};
+        let m = casmr::NativeMachine::new(1 << 14);
+        let s = Hp::new(&m, 1, SmrConfig::default());
+        let h = HashTable::new(&m, 4, |host| SmrLazyList::new(host, &s));
+        m.run_on(1, |_, env| {
+            let mut t = h.register(0);
+            for k in 1..=32 {
+                assert!(h.insert(env, &mut t, k));
+            }
+            for k in 1..=32 {
+                assert!(h.contains(env, &mut t, k));
+            }
+            assert!(h.delete(env, &mut t, 7));
+            assert!(!h.contains(env, &mut t, 7));
+        });
     }
 }

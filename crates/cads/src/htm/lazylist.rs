@@ -38,7 +38,7 @@ use mcsim::machine::Ctx;
 use mcsim::{Addr, Machine};
 
 use crate::layout::{KEY_TAIL, TICK_PER_HOP, TICK_PER_OP, W_KEY, W_MARK, W_NEXT};
-use crate::traits::SetDs;
+use crate::traits::{DsShared, SetDs};
 
 /// Default number of metadata slots (one version counter per slot, each on
 /// its own cache line). Zhou et al. size this as a table; smaller tables
@@ -190,13 +190,16 @@ impl HtmLazyList {
     }
 }
 
-impl SetDs for HtmLazyList {
+impl DsShared for HtmLazyList {
     type Tls = ();
 
     fn register(&self, _tid: usize) -> Self::Tls {}
+}
 
+/// Sim-only: hardware transactions exist only in the simulator.
+impl<'m> SetDs<Ctx<'m>> for HtmLazyList {
     /// Membership test: linearizes at the final hop transaction's commit.
-    fn contains(&self, ctx: &mut Ctx, _tls: &mut Self::Tls, key: u64) -> bool {
+    fn contains(&self, ctx: &mut Ctx<'m>, _tls: &mut Self::Tls, key: u64) -> bool {
         tx_loop(ctx, |ctx| {
             let loc = match self.search(ctx, key) {
                 TxStep::Done(l) => l,
@@ -206,7 +209,7 @@ impl SetDs for HtmLazyList {
         })
     }
 
-    fn insert(&self, ctx: &mut Ctx, _tls: &mut Self::Tls, key: u64) -> bool {
+    fn insert(&self, ctx: &mut Ctx<'m>, _tls: &mut Self::Tls, key: u64) -> bool {
         // The new node is private until the linking transaction commits, so
         // plain writes initialize it. Allocated once per *operation*, not
         // per attempt, and released on the not-inserted path.
@@ -243,7 +246,7 @@ impl SetDs for HtmLazyList {
     /// Delete: marks, unlinks and version-bumps in one transaction, then
     /// frees **immediately** — the "precise memory reclamation" half of the
     /// design.
-    fn delete(&self, ctx: &mut Ctx, _tls: &mut Self::Tls, key: u64) -> bool {
+    fn delete(&self, ctx: &mut Ctx<'m>, _tls: &mut Self::Tls, key: u64) -> bool {
         let victim = tx_loop(ctx, |ctx| {
             let loc = match self.search(ctx, key) {
                 TxStep::Done(l) => l,

@@ -1,21 +1,25 @@
 //! Final-state checkers used by tests: walk a quiesced structure through
 //! host-side (zero-cost, non-coherent) reads and verify its invariants.
+//!
+//! Generic over [`EnvHost`], so the same walkers audit simulator machines
+//! and the native host-thread pool.
 
-use mcsim::{Addr, Machine};
+use casmr::EnvHost;
+use mcsim::Addr;
 
 use crate::layout::{KEY_TAIL, W_KEY, W_LEFT, W_MARK, W_NEXT, W_RIGHT};
 
 /// Walk a (CA or SMR) lazy list from its head sentinel and return the real
 /// keys in order. Panics if the list is unsorted, contains duplicates, or
 /// contains a marked node — those are structural corruption.
-pub fn walk_list(machine: &Machine, head: Addr) -> Vec<u64> {
+pub fn walk_list<H: EnvHost + ?Sized>(host: &H, head: Addr) -> Vec<u64> {
     let mut keys = Vec::new();
-    let mut node = Addr(machine.host_read(head.word(W_NEXT)));
+    let mut node = Addr(host.host_read(head.word(W_NEXT)));
     let mut prev_key = 0u64;
     let mut hops = 0u64;
     loop {
         assert!(!node.is_null(), "list truncated: next == null before tail");
-        let key = machine.host_read(node.word(W_KEY));
+        let key = host.host_read(node.word(W_KEY));
         if key == KEY_TAIL {
             break;
         }
@@ -24,13 +28,13 @@ pub fn walk_list(machine: &Machine, head: Addr) -> Vec<u64> {
             "list unsorted or duplicate: {prev_key} then {key}"
         );
         assert_eq!(
-            machine.host_read(node.word(W_MARK)),
+            host.host_read(node.word(W_MARK)),
             0,
             "marked node {node:?} (key {key}) still reachable in quiesced list"
         );
         keys.push(key);
         prev_key = key;
-        node = Addr(machine.host_read(node.word(W_NEXT)));
+        node = Addr(host.host_read(node.word(W_NEXT)));
         hops += 1;
         assert!(hops < 10_000_000, "list cycle suspected");
     }
@@ -40,9 +44,9 @@ pub fn walk_list(machine: &Machine, head: Addr) -> Vec<u64> {
 /// Walk an external BST from its root and return the real leaf keys in
 /// order. Verifies the search-tree property, leaf/internal shape, and that
 /// no reachable node is marked.
-pub fn walk_bst(machine: &Machine, root: Addr) -> Vec<u64> {
+pub fn walk_bst<H: EnvHost + ?Sized>(host: &H, root: Addr) -> Vec<u64> {
     let mut keys = Vec::new();
-    walk_bst_rec(machine, root, 0, u64::MAX, &mut keys, 0);
+    walk_bst_rec(host, root, 0, u64::MAX, &mut keys, 0);
     // Drop sentinels (inner/outer infinities are above MAX_REAL_KEY).
     keys.retain(|&k| k <= crate::layout::MAX_REAL_KEY);
     for w in keys.windows(2) {
@@ -51,8 +55,8 @@ pub fn walk_bst(machine: &Machine, root: Addr) -> Vec<u64> {
     keys
 }
 
-fn walk_bst_rec(
-    machine: &Machine,
+fn walk_bst_rec<H: EnvHost + ?Sized>(
+    host: &H,
     node: Addr,
     lo: u64,
     hi: u64,
@@ -61,18 +65,18 @@ fn walk_bst_rec(
 ) {
     assert!(depth < 200, "BST depth explosion — cycle or corruption");
     assert!(!node.is_null(), "null child in reachable BST position");
-    let key = machine.host_read(node.word(W_KEY));
+    let key = host.host_read(node.word(W_KEY));
     assert!(
         lo <= key && key <= hi,
         "BST order violated: key {key} outside [{lo}, {hi}]"
     );
     assert_eq!(
-        machine.host_read(node.word(crate::layout::W_BST_MARK)),
+        host.host_read(node.word(crate::layout::W_BST_MARK)),
         0,
         "marked node {node:?} reachable in quiesced BST"
     );
-    let left = machine.host_read(node.word(W_LEFT));
-    let right = machine.host_read(node.word(W_RIGHT));
+    let left = host.host_read(node.word(W_LEFT));
+    let right = host.host_read(node.word(W_RIGHT));
     if left == 0 {
         assert_eq!(right, 0, "half-leaf node {node:?}: external BSTs have none");
         keys.push(key);
@@ -80,14 +84,14 @@ fn walk_bst_rec(
     }
     assert_ne!(right, 0, "internal node {node:?} missing right child");
     // Leaf-oriented convention: keys < node.key go left, ≥ go right.
-    walk_bst_rec(machine, Addr(left), lo, key.saturating_sub(1), keys, depth + 1);
-    walk_bst_rec(machine, Addr(right), key, hi, keys, depth + 1);
+    walk_bst_rec(host, Addr(left), lo, key.saturating_sub(1), keys, depth + 1);
+    walk_bst_rec(host, Addr(right), key, hi, keys, depth + 1);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mcsim::MachineConfig;
+    use mcsim::{Machine, MachineConfig};
 
     #[test]
     fn walk_empty_list() {

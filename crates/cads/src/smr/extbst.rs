@@ -8,21 +8,20 @@
 //! from the root on failure; updates use blocking TTAS node locks plus the
 //! canonical post-lock validation; removed nodes are retired, not freed.
 
-use casmr::Smr;
-use mcsim::machine::Ctx;
-use mcsim::{Addr, Machine};
+use casmr::{Env, EnvHost, Smr, SmrBase};
+use mcsim::Addr;
 
 use crate::layout::{
     KEY_INF1, KEY_INF2, MAX_REAL_KEY, TICK_PER_HOP, TICK_PER_OP, W_BST_LOCK, W_BST_MARK, W_KEY,
     W_LEFT, W_RIGHT,
 };
-use crate::traits::SetDs;
+use crate::traits::{DsShared, SetDs};
 
 /// Rotating protection slots (gp, p, node, incoming).
 const SLOTS: usize = 4;
 
 /// The SMR-parameterized external BST.
-pub struct SmrExtBst<S: Smr> {
+pub struct SmrExtBst<S> {
     root: Addr,
     smr: S,
 }
@@ -45,17 +44,17 @@ fn child_word(parent_key: u64, key: u64) -> u64 {
     }
 }
 
-impl<S: Smr> SmrExtBst<S> {
+impl<S> SmrExtBst<S> {
     /// Build an empty tree (static root and sentinel leaves).
-    pub fn new(machine: &Machine, smr: S) -> Self {
-        let root = machine.alloc_static(1);
-        let leaf1 = machine.alloc_static(1);
-        let leaf2 = machine.alloc_static(1);
-        machine.host_write(root.word(W_KEY), KEY_INF2);
-        machine.host_write(leaf1.word(W_KEY), KEY_INF1);
-        machine.host_write(leaf2.word(W_KEY), KEY_INF2);
-        machine.host_write(root.word(W_LEFT), leaf1.0);
-        machine.host_write(root.word(W_RIGHT), leaf2.0);
+    pub fn new<H: EnvHost + ?Sized>(host: &H, smr: S) -> Self {
+        let root = host.alloc_static(1);
+        let leaf1 = host.alloc_static(1);
+        let leaf2 = host.alloc_static(1);
+        host.host_write(root.word(W_KEY), KEY_INF2);
+        host.host_write(leaf1.word(W_KEY), KEY_INF1);
+        host.host_write(leaf2.word(W_KEY), KEY_INF2);
+        host.host_write(root.word(W_LEFT), leaf1.0);
+        host.host_write(root.word(W_RIGHT), leaf2.0);
         Self { root, smr }
     }
 
@@ -68,10 +67,16 @@ impl<S: Smr> SmrExtBst<S> {
     pub fn root_node(&self) -> Addr {
         self.root
     }
+}
 
+impl<S: SmrBase> SmrExtBst<S> {
     /// Protected search. Restarts from the root when hazard validation
     /// fails (a source node was marked after its child was protected).
-    fn search(&self, ctx: &mut Ctx, tls: &mut S::Tls, key: u64) -> Found {
+    fn search<E>(&self, ctx: &mut E, tls: &mut S::Tls, key: u64) -> Found
+    where
+        E: Env + ?Sized,
+        S: Smr<E>,
+    {
         debug_assert!((1..=MAX_REAL_KEY).contains(&key));
         let validate = self.smr.needs_validation();
         'restart: loop {
@@ -123,7 +128,7 @@ impl<S: Smr> SmrExtBst<S> {
         }
     }
 
-    fn lock_node(&self, ctx: &mut Ctx, node: Addr) {
+    fn lock_node<E: Env + ?Sized>(&self, ctx: &mut E, node: Addr) {
         let lock = node.word(W_BST_LOCK);
         loop {
             if ctx.read(lock) == 0 && ctx.cas(lock, 0, 1).is_ok() {
@@ -133,19 +138,21 @@ impl<S: Smr> SmrExtBst<S> {
         }
     }
 
-    fn unlock_node(&self, ctx: &mut Ctx, node: Addr) {
+    fn unlock_node<E: Env + ?Sized>(&self, ctx: &mut E, node: Addr) {
         ctx.write(node.word(W_BST_LOCK), 0);
     }
 }
 
-impl<S: Smr> SetDs for SmrExtBst<S> {
+impl<S: SmrBase> DsShared for SmrExtBst<S> {
     type Tls = S::Tls;
 
     fn register(&self, tid: usize) -> Self::Tls {
         self.smr.register(tid)
     }
+}
 
-    fn contains(&self, ctx: &mut Ctx, tls: &mut Self::Tls, key: u64) -> bool {
+impl<E: Env + ?Sized, S: Smr<E>> SetDs<E> for SmrExtBst<S> {
+    fn contains(&self, ctx: &mut E, tls: &mut Self::Tls, key: u64) -> bool {
         self.smr.begin_op(ctx, tls);
         let f = self.search(ctx, tls, key);
         let found = f.leaf_key == key && ctx.read(f.leaf.word(W_BST_MARK)) == 0;
@@ -153,7 +160,7 @@ impl<S: Smr> SetDs for SmrExtBst<S> {
         found
     }
 
-    fn insert(&self, ctx: &mut Ctx, tls: &mut Self::Tls, key: u64) -> bool {
+    fn insert(&self, ctx: &mut E, tls: &mut Self::Tls, key: u64) -> bool {
         self.smr.begin_op(ctx, tls);
         let result = loop {
             let f = self.search(ctx, tls, key);
@@ -196,7 +203,7 @@ impl<S: Smr> SetDs for SmrExtBst<S> {
         result
     }
 
-    fn delete(&self, ctx: &mut Ctx, tls: &mut Self::Tls, key: u64) -> bool {
+    fn delete(&self, ctx: &mut E, tls: &mut Self::Tls, key: u64) -> bool {
         self.smr.begin_op(ctx, tls);
         let result = loop {
             let f = self.search(ctx, tls, key);
@@ -237,7 +244,7 @@ mod tests {
     use super::*;
     use crate::seqcheck::walk_bst;
     use casmr::{He, Hp, Ibr, Leaky, Qsbr, Rcu, SmrConfig};
-    use mcsim::MachineConfig;
+    use mcsim::{Machine, MachineConfig};
 
     fn machine(cores: usize) -> Machine {
         Machine::new(MachineConfig {
@@ -249,7 +256,7 @@ mod tests {
         })
     }
 
-    fn smoke<S: Smr>(m: &Machine, b: &SmrExtBst<S>) {
+    fn smoke<S: for<'m> Smr<mcsim::machine::Ctx<'m>>>(m: &Machine, b: &SmrExtBst<S>) {
         m.run_on(1, |_, ctx| {
             let mut t = b.register(0);
             assert!(b.insert(ctx, &mut t, 50));
@@ -366,5 +373,22 @@ mod tests {
         });
         let size = walk_bst(&m, b.root_node()).len() as i64;
         assert_eq!(size, nets.iter().sum::<i64>());
+    }
+
+    #[test]
+    fn native_bst_smoke() {
+        let m = casmr::NativeMachine::new(1 << 14);
+        let s = He::new(&m, 1, SmrConfig::default());
+        let b = SmrExtBst::new(&m, s);
+        m.run_on(1, |_, env| {
+            let mut t = b.register(0);
+            assert!(b.insert(env, &mut t, 50));
+            assert!(b.insert(env, &mut t, 25));
+            assert!(!b.insert(env, &mut t, 50));
+            assert!(b.contains(env, &mut t, 25));
+            assert!(b.delete(env, &mut t, 25));
+            assert!(!b.contains(env, &mut t, 25));
+        });
+        assert_eq!(walk_bst(&m, b.root_node()), vec![50]);
     }
 }

@@ -16,18 +16,17 @@
 //! * `delete` marks, unlinks, unlocks and **retires** (never frees) the
 //!   victim.
 
-use casmr::Smr;
-use mcsim::machine::Ctx;
-use mcsim::{Addr, Machine};
+use casmr::{Env, EnvHost, Smr, SmrBase};
+use mcsim::Addr;
 
 use crate::layout::{KEY_TAIL, TICK_PER_HOP, TICK_PER_OP, W_KEY, W_LOCK, W_MARK, W_NEXT};
-use crate::traits::SetDs;
+use crate::traits::{DsShared, SetDs};
 
 /// Rotating protection slots used by the traversal (pred, curr, incoming).
 const SLOTS: usize = 3;
 
 /// The SMR-parameterized lazy list.
-pub struct SmrLazyList<S: Smr> {
+pub struct SmrLazyList<S> {
     head: Addr,
     tail: Addr,
     smr: S,
@@ -39,13 +38,13 @@ struct Located {
     currkey: u64,
 }
 
-impl<S: Smr> SmrLazyList<S> {
+impl<S> SmrLazyList<S> {
     /// Build an empty list with static sentinels over scheme `smr`.
-    pub fn new(machine: &Machine, smr: S) -> Self {
-        let head = machine.alloc_static(1);
-        let tail = machine.alloc_static(1);
-        machine.host_write(tail.word(W_KEY), KEY_TAIL);
-        machine.host_write(head.word(W_NEXT), tail.0);
+    pub fn new<H: EnvHost + ?Sized>(host: &H, smr: S) -> Self {
+        let head = host.alloc_static(1);
+        let tail = host.alloc_static(1);
+        host.host_write(tail.word(W_KEY), KEY_TAIL);
+        host.host_write(head.word(W_NEXT), tail.0);
         Self { head, tail, smr }
     }
 
@@ -63,10 +62,16 @@ impl<S: Smr> SmrLazyList<S> {
     pub fn tail_node(&self) -> Addr {
         self.tail
     }
+}
 
+impl<S: SmrBase> SmrLazyList<S> {
     /// Protected search: returns `pred.key < key ≤ curr.key` with both nodes
     /// protected. Restarts from the head when hazard validation fails.
-    fn search(&self, ctx: &mut Ctx, tls: &mut S::Tls, key: u64) -> Located {
+    fn search<E>(&self, ctx: &mut E, tls: &mut S::Tls, key: u64) -> Located
+    where
+        E: Env + ?Sized,
+        S: Smr<E>,
+    {
         debug_assert!(key > 0 && key < KEY_TAIL);
         let validate = self.smr.needs_validation();
         'restart: loop {
@@ -104,7 +109,7 @@ impl<S: Smr> SmrLazyList<S> {
     /// Blocking TTAS acquire of a node lock. The node must be protected (or
     /// static): it cannot be freed under us, and the holder always makes
     /// progress, so the spin terminates.
-    fn lock_node(&self, ctx: &mut Ctx, node: Addr) {
+    fn lock_node<E: Env + ?Sized>(&self, ctx: &mut E, node: Addr) {
         let lock = node.word(W_LOCK);
         loop {
             if ctx.read(lock) == 0 && ctx.cas(lock, 0, 1).is_ok() {
@@ -114,26 +119,28 @@ impl<S: Smr> SmrLazyList<S> {
         }
     }
 
-    fn unlock_node(&self, ctx: &mut Ctx, node: Addr) {
+    fn unlock_node<E: Env + ?Sized>(&self, ctx: &mut E, node: Addr) {
         ctx.write(node.word(W_LOCK), 0);
     }
 
     /// The canonical lazy-list validation, under both locks.
-    fn validate(&self, ctx: &mut Ctx, pred: Addr, curr: Addr) -> bool {
+    fn validate<E: Env + ?Sized>(&self, ctx: &mut E, pred: Addr, curr: Addr) -> bool {
         ctx.read(pred.word(W_MARK)) == 0
             && ctx.read(curr.word(W_MARK)) == 0
             && ctx.read(pred.word(W_NEXT)) == curr.0
     }
 }
 
-impl<S: Smr> SetDs for SmrLazyList<S> {
+impl<S: SmrBase> DsShared for SmrLazyList<S> {
     type Tls = S::Tls;
 
     fn register(&self, tid: usize) -> Self::Tls {
         self.smr.register(tid)
     }
+}
 
-    fn contains(&self, ctx: &mut Ctx, tls: &mut Self::Tls, key: u64) -> bool {
+impl<E: Env + ?Sized, S: Smr<E>> SetDs<E> for SmrLazyList<S> {
+    fn contains(&self, ctx: &mut E, tls: &mut Self::Tls, key: u64) -> bool {
         self.smr.begin_op(ctx, tls);
         let loc = self.search(ctx, tls, key);
         let found = loc.currkey == key && ctx.read(loc.curr.word(W_MARK)) == 0;
@@ -141,7 +148,7 @@ impl<S: Smr> SetDs for SmrLazyList<S> {
         found
     }
 
-    fn insert(&self, ctx: &mut Ctx, tls: &mut Self::Tls, key: u64) -> bool {
+    fn insert(&self, ctx: &mut E, tls: &mut Self::Tls, key: u64) -> bool {
         self.smr.begin_op(ctx, tls);
         let result = loop {
             let loc = self.search(ctx, tls, key);
@@ -172,7 +179,7 @@ impl<S: Smr> SetDs for SmrLazyList<S> {
         result
     }
 
-    fn delete(&self, ctx: &mut Ctx, tls: &mut Self::Tls, key: u64) -> bool {
+    fn delete(&self, ctx: &mut E, tls: &mut Self::Tls, key: u64) -> bool {
         self.smr.begin_op(ctx, tls);
         let result = loop {
             let loc = self.search(ctx, tls, key);
@@ -204,7 +211,7 @@ mod tests {
     use super::*;
     use crate::seqcheck::walk_list;
     use casmr::{Hp, Ibr, Leaky, Qsbr, Rcu, SmrConfig};
-    use mcsim::MachineConfig;
+    use mcsim::{Machine, MachineConfig};
 
     fn machine(cores: usize) -> Machine {
         Machine::new(MachineConfig {
@@ -216,7 +223,7 @@ mod tests {
         })
     }
 
-    fn exercise_basic<S: Smr>(m: &Machine, l: &SmrLazyList<S>) {
+    fn exercise_basic<S: for<'m> Smr<mcsim::machine::Ctx<'m>>>(m: &Machine, l: &SmrLazyList<S>) {
         m.run_on(1, |_, ctx| {
             let mut t = l.register(0);
             assert!(!l.contains(ctx, &mut t, 5));
@@ -273,7 +280,7 @@ mod tests {
 
     #[test]
     fn leaky_never_frees_qsbr_eventually_does() {
-        fn churn<S: Smr>(m: &Machine, l: &SmrLazyList<S>) {
+        fn churn<S: for<'m> Smr<mcsim::machine::Ctx<'m>>>(m: &Machine, l: &SmrLazyList<S>) {
             m.run_on(1, |_, ctx| {
                 let mut t = l.register(0);
                 for round in 0..40u64 {
@@ -384,5 +391,32 @@ mod tests {
             assert!(l1.delete(ctx, &mut t, 1));
             assert!(l2.contains(ctx, &mut t, 1));
         });
+    }
+
+    #[test]
+    fn native_list_all_schemes_single_thread() {
+        // The identical structure code on real host atomics: every
+        // reclaiming scheme keeps the same set semantics.
+        fn exercise<S: for<'p> Smr<casmr::NativeEnv<'p>>>(
+            m: &casmr::NativeMachine,
+            l: &SmrLazyList<S>,
+        ) {
+            m.run_on(1, |_, env| {
+                let mut t = l.register(0);
+                assert!(l.insert(env, &mut t, 5));
+                assert!(l.insert(env, &mut t, 3));
+                assert!(!l.insert(env, &mut t, 5));
+                assert!(l.contains(env, &mut t, 3));
+                assert!(l.delete(env, &mut t, 5));
+                assert!(!l.contains(env, &mut t, 5));
+            });
+        }
+        let m = casmr::NativeMachine::new(1 << 14);
+        let s = Hp::new(&m, 1, SmrConfig::default());
+        let l = SmrLazyList::new(&m, s);
+        exercise(&m, &l);
+        let s = Ibr::new(&m, 1, SmrConfig::default());
+        let l = SmrLazyList::new(&m, s);
+        exercise(&m, &l);
     }
 }

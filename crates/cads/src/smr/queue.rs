@@ -14,31 +14,30 @@
 //! so the node `tail` names is never retired — the enqueue-side CAS on
 //! `tail` is ABA-safe once its target is protected.
 
-use casmr::Smr;
-use mcsim::machine::Ctx;
-use mcsim::{Addr, Machine};
+use casmr::{Env, EnvHost, Smr, SmrBase};
+use mcsim::Addr;
 
 use crate::layout::{TICK_PER_OP, W_KEY, W_NEXT};
-use crate::traits::QueueDs;
+use crate::traits::{DsShared, QueueDs};
 
 /// The SMR-parameterized MS queue.
-pub struct SmrQueue<S: Smr> {
+pub struct SmrQueue<S> {
     head: Addr,
     tail: Addr,
     smr: S,
 }
 
-impl<S: Smr> SmrQueue<S> {
+impl<S> SmrQueue<S> {
     /// Build an empty queue (heap-allocated initial dummy).
-    pub fn new(machine: &Machine, smr: S) -> Self {
-        let head = machine.alloc_static(1);
-        let tail = machine.alloc_static(1);
+    pub fn new<H: EnvHost + ?Sized>(host: &H, smr: S) -> Self {
+        let head = host.alloc_static(1);
+        let tail = host.alloc_static(1);
         let q = Self { head, tail, smr };
-        machine.run_on(1, |_, ctx| {
-            let dummy = ctx.alloc();
-            ctx.write(dummy.word(W_NEXT), 0);
-            ctx.write(head, dummy.0);
-            ctx.write(tail, dummy.0);
+        host.run_init(|env| {
+            let dummy = env.alloc();
+            env.write(dummy.word(W_NEXT), 0);
+            env.write(head, dummy.0);
+            env.write(tail, dummy.0);
         });
         q
     }
@@ -49,14 +48,16 @@ impl<S: Smr> SmrQueue<S> {
     }
 }
 
-impl<S: Smr> QueueDs for SmrQueue<S> {
+impl<S: SmrBase> DsShared for SmrQueue<S> {
     type Tls = S::Tls;
 
     fn register(&self, tid: usize) -> Self::Tls {
         self.smr.register(tid)
     }
+}
 
-    fn enqueue(&self, ctx: &mut Ctx, tls: &mut Self::Tls, value: u64) {
+impl<E: Env + ?Sized, S: Smr<E>> QueueDs<E> for SmrQueue<S> {
+    fn enqueue(&self, ctx: &mut E, tls: &mut Self::Tls, value: u64) {
         let n = ctx.alloc();
         self.smr.on_alloc(ctx, tls, n);
         ctx.write(n.word(W_KEY), value);
@@ -81,7 +82,7 @@ impl<S: Smr> QueueDs for SmrQueue<S> {
         self.smr.end_op(ctx, tls);
     }
 
-    fn dequeue(&self, ctx: &mut Ctx, tls: &mut Self::Tls) -> Option<u64> {
+    fn dequeue(&self, ctx: &mut E, tls: &mut Self::Tls) -> Option<u64> {
         self.smr.begin_op(ctx, tls);
         let result = loop {
             ctx.tick(TICK_PER_OP);
@@ -129,7 +130,7 @@ impl<S: Smr> QueueDs for SmrQueue<S> {
 mod tests {
     use super::*;
     use casmr::{He, Hp, Ibr, Leaky, Qsbr, Rcu, SmrConfig};
-    use mcsim::{MachineConfig, Rng};
+    use mcsim::{Machine, MachineConfig, Rng};
 
     fn machine(cores: usize) -> Machine {
         Machine::new(MachineConfig {
@@ -141,7 +142,7 @@ mod tests {
         })
     }
 
-    fn fifo_smoke<S: Smr>(m: &Machine, q: &SmrQueue<S>) {
+    fn fifo_smoke<S: for<'m> Smr<mcsim::machine::Ctx<'m>>>(m: &Machine, q: &SmrQueue<S>) {
         m.run_on(1, |_, ctx| {
             let mut t = q.register(0);
             assert_eq!(q.dequeue(ctx, &mut t), None);
@@ -307,5 +308,34 @@ mod tests {
         })[0];
         assert_eq!(enq, deq + drained, "values lost or duplicated");
         m.check_invariants();
+    }
+
+    #[test]
+    fn native_queue_fifo_and_handoff() {
+        // Two real host threads: producer enqueues 1..=50, consumer drains
+        // until it has seen all 50. FIFO per producer is preserved.
+        let m = casmr::NativeMachine::new(1 << 14);
+        let s = Qsbr::new(&m, 2, SmrConfig::default());
+        let q = SmrQueue::new(&m, s);
+        let outs = m.run_on(2, |tid, env| {
+            let mut t = q.register(tid);
+            if tid == 0 {
+                for v in 1..=50u64 {
+                    q.enqueue(env, &mut t, v);
+                }
+                Vec::new()
+            } else {
+                let mut got = Vec::new();
+                while got.len() < 50 {
+                    if let Some(v) = q.dequeue(env, &mut t) {
+                        got.push(v);
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+                got
+            }
+        });
+        assert_eq!(outs[1], (1..=50).collect::<Vec<u64>>());
     }
 }

@@ -9,24 +9,23 @@
 //! `examples/aba_demo.rs`); Conditional Access is how the paper makes
 //! immediate freeing safe.
 
-use casmr::Smr;
-use mcsim::machine::Ctx;
-use mcsim::{Addr, Machine};
+use casmr::{Env, EnvHost, Smr, SmrBase};
+use mcsim::Addr;
 
 use crate::layout::{TICK_PER_OP, W_KEY, W_NEXT};
-use crate::traits::StackDs;
+use crate::traits::{DsShared, StackDs};
 
 /// The SMR-parameterized Treiber stack.
-pub struct SmrStack<S: Smr> {
+pub struct SmrStack<S> {
     top: Addr,
     smr: S,
 }
 
-impl<S: Smr> SmrStack<S> {
+impl<S> SmrStack<S> {
     /// Build an empty stack over scheme `smr`.
-    pub fn new(machine: &Machine, smr: S) -> Self {
+    pub fn new<H: EnvHost + ?Sized>(host: &H, smr: S) -> Self {
         Self {
-            top: machine.alloc_static(1),
+            top: host.alloc_static(1),
             smr,
         }
     }
@@ -37,14 +36,16 @@ impl<S: Smr> SmrStack<S> {
     }
 }
 
-impl<S: Smr> StackDs for SmrStack<S> {
+impl<S: SmrBase> DsShared for SmrStack<S> {
     type Tls = S::Tls;
 
     fn register(&self, tid: usize) -> Self::Tls {
         self.smr.register(tid)
     }
+}
 
-    fn push(&self, ctx: &mut Ctx, tls: &mut Self::Tls, value: u64) {
+impl<E: Env + ?Sized, S: Smr<E>> StackDs<E> for SmrStack<S> {
+    fn push(&self, ctx: &mut E, tls: &mut Self::Tls, value: u64) {
         let n = ctx.alloc();
         self.smr.on_alloc(ctx, tls, n);
         ctx.write(n.word(W_KEY), value);
@@ -60,7 +61,7 @@ impl<S: Smr> StackDs for SmrStack<S> {
         self.smr.end_op(ctx, tls);
     }
 
-    fn pop(&self, ctx: &mut Ctx, tls: &mut Self::Tls) -> Option<u64> {
+    fn pop(&self, ctx: &mut E, tls: &mut Self::Tls) -> Option<u64> {
         self.smr.begin_op(ctx, tls);
         let result = loop {
             ctx.tick(TICK_PER_OP);
@@ -81,7 +82,7 @@ impl<S: Smr> StackDs for SmrStack<S> {
         result
     }
 
-    fn peek(&self, ctx: &mut Ctx, tls: &mut Self::Tls) -> Option<u64> {
+    fn peek(&self, ctx: &mut E, tls: &mut Self::Tls) -> Option<u64> {
         self.smr.begin_op(ctx, tls);
         ctx.tick(TICK_PER_OP);
         let t = self.smr.read_ptr(ctx, tls, 0, self.top);
@@ -99,7 +100,7 @@ impl<S: Smr> StackDs for SmrStack<S> {
 mod tests {
     use super::*;
     use casmr::{Hp, Leaky, Qsbr, SmrConfig};
-    use mcsim::MachineConfig;
+    use mcsim::{Machine, MachineConfig};
 
     fn machine(cores: usize) -> Machine {
         Machine::new(MachineConfig {
@@ -200,5 +201,25 @@ mod tests {
             }
         });
         assert_eq!(m.stats().allocated_not_freed, 50);
+    }
+
+    #[test]
+    fn native_stack_lifo_semantics() {
+        // Same structure, real host threads: the whole point of the Env
+        // split. Single-threaded here; the cross-scheme native battery
+        // lives in the workspace-level native differential test.
+        let m = casmr::NativeMachine::new(4096);
+        let s = Hp::new(&m, 1, SmrConfig::default());
+        let st = SmrStack::new(&m, s);
+        m.run_on(1, |_, env| {
+            let mut t = st.register(0);
+            assert_eq!(st.pop(env, &mut t), None);
+            st.push(env, &mut t, 7);
+            st.push(env, &mut t, 9);
+            assert_eq!(st.peek(env, &mut t), Some(9));
+            assert_eq!(st.pop(env, &mut t), Some(9));
+            assert_eq!(st.pop(env, &mut t), Some(7));
+            assert_eq!(st.pop(env, &mut t), None);
+        });
     }
 }

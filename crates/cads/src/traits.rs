@@ -5,56 +5,55 @@
 //! (retire lists, hazard mirrors); CA structures have none (`Tls = ()`),
 //! which is itself one of the paper's points: CA needs no per-thread
 //! bookkeeping at all.
+//!
+//! Since PR 8 the operation traits are generic over the execution
+//! environment `E: `[`Env`]: SMR structures implement them for *every*
+//! environment (simulated and native host threads), while CA structures
+//! implement them only for `mcsim::machine::Ctx` — Conditional Access needs
+//! the paper's hardware primitive, which only the simulator provides.
+//! [`DsShared`] carries the environment-independent surface (per-thread
+//! state) so `Tls` stays nameable without picking an environment.
 
-use mcsim::machine::Ctx;
+use casmr::Env;
 
-/// A set of `u64` keys (lazy list, external BST, hash table).
-pub trait SetDs: Sync {
+/// Environment-independent surface of a benchmarked structure.
+pub trait DsShared: Sync {
     /// Per-thread state.
     type Tls: Send;
 
-    /// Create thread `tid`'s state. Call once per simulated thread.
+    /// Create thread `tid`'s state. Call once per worker thread.
     fn register(&self, tid: usize) -> Self::Tls;
+}
 
+/// A set of `u64` keys (lazy list, external BST, hash table).
+pub trait SetDs<E: Env + ?Sized>: DsShared {
     /// Insert `key`; false if already present.
-    fn insert(&self, ctx: &mut Ctx, tls: &mut Self::Tls, key: u64) -> bool;
+    fn insert(&self, env: &mut E, tls: &mut Self::Tls, key: u64) -> bool;
 
     /// Delete `key`; false if absent.
-    fn delete(&self, ctx: &mut Ctx, tls: &mut Self::Tls, key: u64) -> bool;
+    fn delete(&self, env: &mut E, tls: &mut Self::Tls, key: u64) -> bool;
 
     /// Membership test.
-    fn contains(&self, ctx: &mut Ctx, tls: &mut Self::Tls, key: u64) -> bool;
+    fn contains(&self, env: &mut E, tls: &mut Self::Tls, key: u64) -> bool;
 }
 
 /// A LIFO stack of `u64` values (Treiber).
-pub trait StackDs: Sync {
-    /// Per-thread state.
-    type Tls: Send;
-
-    /// Create thread `tid`'s state.
-    fn register(&self, tid: usize) -> Self::Tls;
-
+pub trait StackDs<E: Env + ?Sized>: DsShared {
     /// Push a value.
-    fn push(&self, ctx: &mut Ctx, tls: &mut Self::Tls, value: u64);
+    fn push(&self, env: &mut E, tls: &mut Self::Tls, value: u64);
 
     /// Pop the top value, if any.
-    fn pop(&self, ctx: &mut Ctx, tls: &mut Self::Tls) -> Option<u64>;
+    fn pop(&self, env: &mut E, tls: &mut Self::Tls) -> Option<u64>;
 
     /// Read the top value without removing it (the figures' "read" op).
-    fn peek(&self, ctx: &mut Ctx, tls: &mut Self::Tls) -> Option<u64>;
+    fn peek(&self, env: &mut E, tls: &mut Self::Tls) -> Option<u64>;
 }
 
 /// A FIFO queue of `u64` values (Michael–Scott).
-pub trait QueueDs: Sync {
-    /// Per-thread state.
-    type Tls: Send;
-
-    /// Create thread `tid`'s state.
-    fn register(&self, tid: usize) -> Self::Tls;
-
+pub trait QueueDs<E: Env + ?Sized>: DsShared {
     /// Enqueue a value at the tail.
-    fn enqueue(&self, ctx: &mut Ctx, tls: &mut Self::Tls, value: u64);
+    fn enqueue(&self, env: &mut E, tls: &mut Self::Tls, value: u64);
 
     /// Dequeue the head value, if any.
-    fn dequeue(&self, ctx: &mut Ctx, tls: &mut Self::Tls) -> Option<u64>;
+    fn dequeue(&self, env: &mut E, tls: &mut Self::Tls) -> Option<u64>;
 }

@@ -13,7 +13,8 @@
 
 use casmr::{GarbageStats, He, Hp, Ibr, Leaky, Qsbr, Rcu, Smr, SmrConfig};
 use cads::ca::stack::CaStack;
-use cads::traits::StackDs;
+use cads::traits::{DsShared, StackDs};
+use mcsim::machine::Ctx;
 use mcsim::{Addr, FaultPlan, Machine, MachineConfig};
 
 const THREADS: usize = 3;
@@ -47,7 +48,7 @@ fn cfg() -> SmrConfig {
 /// mailbox and retire the previous one, `iters` times. The victim opens an
 /// operation, protects thread 0's mailbox node, and then reads it forever
 /// — it is mid-operation when the injected crash fires.
-fn run_scheme<S: Smr>(m: &Machine, s: &S, iters: u64) -> GarbageStats {
+fn run_scheme<S: for<'m> Smr<Ctx<'m>>>(m: &Machine, s: &S, iters: u64) -> GarbageStats {
     let mailboxes = [m.alloc_static(1), m.alloc_static(1)];
     let outs = m.run_outcomes_on(THREADS, |tid, ctx| {
         let mut tls = s.register(tid);
@@ -181,9 +182,9 @@ trait ProbeScheme {
     fn run(&self, m: &Machine, iters: u64) -> GarbageStats;
 }
 
-struct Probe<S: Smr>(S);
+struct Probe<S: for<'m> Smr<Ctx<'m>>>(S);
 
-impl<S: Smr> ProbeScheme for Probe<S> {
+impl<S: for<'m> Smr<Ctx<'m>>> ProbeScheme for Probe<S> {
     fn run(&self, m: &Machine, iters: u64) -> GarbageStats {
         run_scheme(m, &self.0, iters)
     }

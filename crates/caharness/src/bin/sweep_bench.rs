@@ -1,10 +1,11 @@
 //! Host wall-clock instrument for the parallel sweep engine
 //! (`BENCH_pr2.json`), intra-machine gang scheduling (`BENCH_pr3.json`),
 //! the banked multi-writer barrier merge (`BENCH_pr4.json`), the
-//! fault-injection subsystem (`BENCH_pr6.json`) and the threads
-//! mechanism's lane-parallel merge (`BENCH_pr7.json`).
+//! fault-injection subsystem (`BENCH_pr6.json`), the threads mechanism's
+//! lane-parallel merge (`BENCH_pr7.json`) and the native host-thread
+//! backend (`BENCH_pr8.json`).
 //!
-//! Five instruments, one JSON array on stdout:
+//! Six instruments, one JSON array on stdout:
 //!
 //! 1. **Sweep** (PR 2): one figure-style grid — 7 schemes × 4 thread
 //!    counts = 28 configurations of the Figure-1 lazy list — once with
@@ -37,6 +38,15 @@
 //!    across the two (asserted), so the wall ratio is pure host merge
 //!    scheduling — the lane-dispatch overhead bound on a 1-vCPU host, the
 //!    lane-parallel speedup on multi-core CI.
+//! 6. **Native vs sim** (PR 8): the Figure-1 lazy list per software scheme
+//!    on both backends — the cycle-level simulator and real host threads
+//!    (`casmr::NativeMachine`) — recording wall clock and throughput for
+//!    each leg. The ratio is the simulation tax: how much host time the
+//!    cycle model costs per completed data-structure operation relative to
+//!    running the same structure natively. `total_ops` is asserted
+//!    identical across reps on both legs (the workload is a fixed op
+//!    count), but native wall clock is real concurrency — only the sim leg
+//!    is bit-deterministic.
 //!
 //! Simulated results are deterministic, so every wall-clock ratio is pure
 //! host-scheduling performance.
@@ -227,6 +237,42 @@ fn time_robust(
     (best_ms, warm)
 }
 
+/// One lazy-list 50i-50d run on one backend. Returns (best wall ms over
+/// `reps`, metrics of the warmup run). `total_ops` is asserted stable
+/// across reps on both backends; simulated cycles only on the sim leg
+/// (native wall clock is real concurrency, not a simulated result).
+fn time_backend(scheme: SchemeKind, threads: usize, native: bool, reps: usize) -> (f64, caharness::Metrics) {
+    let cfg = RunConfig {
+        threads,
+        key_range: 1000,
+        prefill: 500,
+        ops_per_thread: 500,
+        mix: Mix {
+            insert_pct: 50,
+            delete_pct: 50,
+        },
+        native,
+        ..Default::default()
+    };
+    let warm = caharness::run_set(SetKind::LazyList, scheme, &cfg);
+    let mut best_ms = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let m = caharness::run_set(SetKind::LazyList, scheme, &cfg);
+        best_ms = best_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(
+            m.total_ops,
+            warm.total_ops,
+            "{} native={native}: op count diverged between reps",
+            scheme.name()
+        );
+        if !native {
+            assert_eq!(m.cycles, warm.cycles, "{}: sim run diverged", scheme.name());
+        }
+    }
+    (best_ms, warm)
+}
+
 fn main() {
     let reps: usize = std::env::args()
         .nth(1)
@@ -398,6 +444,35 @@ fn main() {
         qsbr_peak > hp_peak,
         "bounded-garbage separation lost: qsbr peak {qsbr_peak} <= hp peak {hp_peak}"
     );
+    // PR 8: the simulation tax. Same structure, same scheme, same workload
+    // generator on the cycle-level simulator vs real host threads; the wall
+    // ratio per completed op is what one pays for cycle-accurate metrics.
+    eprintln!("[sweep_bench: native_vs_sim, lazy list 50i-50d, 4 threads, sim vs host threads]");
+    for scheme in [SchemeKind::Qsbr, SchemeKind::Hp, SchemeKind::None] {
+        let threads = 4;
+        let (sim_ms, sim) = time_backend(scheme, threads, false, reps);
+        let (nat_ms, nat) = time_backend(scheme, threads, true, reps);
+        assert_eq!(
+            sim.total_ops,
+            nat.total_ops,
+            "{}: sim and native legs must complete the same op count",
+            scheme.name()
+        );
+        rows.push(format!(
+            "  {{\"bench\": \"native_vs_sim\", \"threads\": {threads}, \"scheme\": \"{}\", \
+             \"mix\": \"50i-50d\", \"reps\": {reps}, \"total_ops\": {}, \
+             \"wall_ms_sim\": {sim_ms:.1}, \"wall_ms_native\": {nat_ms:.1}, \
+             \"sim_tax\": {:.1}, \"sim_ops_per_mcycle\": {:.1}, \
+             \"native_ops_per_us\": {:.2}, \"sim_cycles\": {}, \"native_wall_ns\": {}}}",
+            scheme.name(),
+            sim.total_ops,
+            sim_ms / nat_ms.max(1e-9),
+            sim.throughput,
+            nat.throughput,
+            sim.cycles,
+            nat.cycles,
+        ));
+    }
     println!("{}", rows.join(",\n"));
     println!("]");
 }

@@ -86,6 +86,13 @@ pub struct RunConfig {
     /// Wedge watchdog: panic if any simulated core's clock passes this
     /// bound (`--max_cycles`). `None` = no bound (the default).
     pub max_cycles: Option<u64>,
+    /// Execute on real host threads over a [`casmr::NativeMachine`] instead
+    /// of the simulator (`--native`). Same workloads and seeds; cycles
+    /// become wall-clock nanoseconds and throughput ops/µs. Conditional
+    /// Access cannot run natively (the primitive exists only in the
+    /// simulator) — CA cells panic, degrading to `ERR` in collecting
+    /// sweeps. See the `validate` bin for the sim↔native comparison.
+    pub native: bool,
 }
 
 impl Default for RunConfig {
@@ -119,8 +126,29 @@ impl Default for RunConfig {
             gang_window: 4096,
             fault_plan: FaultPlan::none(),
             max_cycles: default_max_cycles(),
+            native: default_native(),
         }
     }
+}
+
+/// Process-wide default for [`RunConfig::native`], installed by the bins'
+/// `--native` flag.
+static DEFAULT_NATIVE: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Set whether newly-built [`RunConfig`]s default to native execution.
+pub fn set_default_native(on: bool) {
+    DEFAULT_NATIVE.store(on, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// The current native-execution default.
+pub fn default_native() -> bool {
+    DEFAULT_NATIVE.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Parse the `--native` presence flag and install it as the process
+/// default — called by every harness bin via [`crate::init_from_args`].
+pub fn set_native_from_args() {
+    set_default_native(std::env::args().any(|a| a == "--native"));
 }
 
 /// Process-wide default for [`RunConfig::gangs`], installed by the bins'
@@ -305,6 +333,14 @@ impl RunConfig {
             fault_plan: self.fault_plan.clone(),
             max_cycles: self.max_cycles,
         }
+    }
+
+    /// Line-pool capacity for a native run of this config: the same leaky
+    /// worst case [`Self::machine_config`] sizes the simulated heap for,
+    /// plus the static-allocation budget and the reserved NULL line.
+    pub fn native_pool_lines(&self) -> usize {
+        let worst_nodes = 2 * self.prefill + 2 * self.ops_per_thread * self.threads as u64 + 4096;
+        (worst_nodes + 4096 + 1) as usize
     }
 
     /// Per-thread workload seed.

@@ -45,6 +45,13 @@
 //! restores the old sweep behavior of aborting the whole binary on the
 //! first failed task. Without it, failed tasks render as `ERR` cells and
 //! the binary exits nonzero after completing everything else.
+//!
+//! Native mode (PR 8): `--native` reruns the throughput figures on **real
+//! host threads** (`casmr::NativeMachine`) instead of the simulator —
+//! same structures, same schemes, same workload generator, wall-clock
+//! metrics. Conditional Access needs the simulated hardware and renders
+//! as `ERR` cells there. The `validate` binary runs both backends and
+//! scores how well the simulator's scheme ordering matches the host's.
 
 pub mod config;
 pub mod experiments;
@@ -59,20 +66,21 @@ pub use experiments::Scale;
 pub use hist::Histogram;
 pub use metrics::Metrics;
 pub use runner::{
-    run_queue, run_queue_robust, run_set, run_set_latency, run_set_robust, run_set_with_stats,
-    run_stack, SetKind,
+    run_queue, run_queue_native, run_queue_robust, run_set, run_set_latency, run_set_native,
+    run_set_robust, run_set_with_stats, run_stack, run_stack_native, SetKind,
 };
 pub use table::SeriesTable;
 
 /// Parse the shared harness CLI flags (`--jobs`, `--gangs`, `--l2_banks`,
-/// `--max_cycles`, `--fail-fast`) and install them as process defaults.
-/// Every figure binary calls this first.
+/// `--max_cycles`, `--fail-fast`, `--native`) and install them as process
+/// defaults. Every figure binary calls this first.
 pub fn init_from_args() {
     sweep::set_jobs_from_args();
     sweep::set_fail_fast_from_args();
     config::set_gangs_from_args();
     config::set_l2_banks_from_args();
     config::set_max_cycles_from_args();
+    config::set_native_from_args();
 }
 
 /// Report sweep tasks that failed (collecting mode) and exit nonzero if

@@ -134,6 +134,53 @@ impl Metrics {
         }
     }
 
+    /// Extract metrics from a **native** run's counters. The simulated
+    /// fields change meaning where the native environment has no
+    /// equivalent: `cycles` holds wall-clock **nanoseconds** and
+    /// `throughput` ops/µs — dimensionally the same Mops/s the simulated
+    /// ops/Mcycle figure means at a 1 GHz clock, so sim and native columns
+    /// share axes. Every simulator-internal counter (cache, coherence,
+    /// CA/HTM, fault) is zero.
+    pub fn from_native(scheme: &'static str, threads: usize, stats: &casmr::NativeStats) -> Self {
+        Self {
+            scheme,
+            threads,
+            total_ops: stats.total_ops,
+            cycles: stats.wall_ns,
+            throughput: stats.total_ops as f64 / (stats.wall_ns.max(1) as f64 / 1000.0),
+            final_allocated: stats.allocated_not_freed,
+            peak_allocated: stats.peak_allocated,
+            footprint: Vec::new(),
+            cread_fail: 0,
+            cwrite_fail: 0,
+            spurious_revokes: 0,
+            fences: 0,
+            l1_miss_ratio: 0.0,
+            sibling_revokes: 0,
+            e_grants: 0,
+            silent_upgrades: 0,
+            tx_begins: 0,
+            tx_aborts: 0,
+            batched_events: 0,
+            turn_handoffs: 0,
+            deferred_events: 0,
+            epoch_barriers: 0,
+            banked_merge_events: 0,
+            serial_epilogue_events: 0,
+            l1_hit_cycles: 0,
+            l2_hit_cycles: 0,
+            mem_fill_cycles: 0,
+            invalidation_cycles: 0,
+            untag_alls: 0,
+            untag_ones: 0,
+            crashed_cores: 0,
+            fault_stalls: 0,
+            alloc_failures: 0,
+            peak_garbage_bytes: 0,
+            final_garbage_bytes: 0,
+        }
+    }
+
     /// Attach scheme-level garbage accounting (the robustness runner calls
     /// this with the merged per-thread [`casmr::GarbageStats`]).
     pub fn with_garbage(mut self, g: &casmr::GarbageStats) -> Self {

@@ -1,11 +1,22 @@
 //! Experiment runner: builds a machine + structure for a (kind, scheme)
 //! pair, prefills to 50%, runs the measured phase, and collects metrics.
+//!
+//! Every runner honours [`RunConfig::native`]: with it set, the experiment
+//! executes on real host threads over a [`casmr::NativeMachine`] instead of
+//! the simulator, through the same [`Metrics`] pipeline (cycles become
+//! wall-clock nanoseconds, throughput ops/µs — see
+//! [`Metrics::from_native`]). Conditional Access needs the simulator's
+//! hardware primitive and panics under `native` (one `ERR` cell in a
+//! collecting sweep).
 
 use cads::ca::{CaExtBst, CaHarrisList, CaLazyList, CaLfExtBst, CaQueue, CaStack, FbCaLazyList};
 use cads::htm::HtmLazyList;
 use cads::smr::{SmrExtBst, SmrLazyList, SmrQueue, SmrStack};
 use cads::{HashTable, QueueDs, SetDs, StackDs};
-use casmr::{GarbageStats, He, Hp, Ibr, Leaky, Qsbr, Rcu, SchemeKind, Smr};
+use casmr::{
+    GarbageStats, He, Hp, Ibr, Leaky, NativeEnv, NativeMachine, Qsbr, Rcu, SchemeKind, SmrBase,
+};
+use mcsim::machine::Ctx;
 use mcsim::{CoreOutcome, Machine, Rng};
 
 use crate::config::RunConfig;
@@ -68,8 +79,23 @@ macro_rules! with_scheme {
     };
 }
 
-/// Run one set-structure experiment.
+/// Panic (→ one `ERR` cell in a collecting sweep) when a sim-only runner
+/// is asked to execute natively.
+fn reject_native(cfg: &RunConfig, what: &str) {
+    assert!(
+        !cfg.native,
+        "{what} is simulator-only and cannot run with RunConfig::native \
+         (Conditional Access and the instrumented runners need the \
+         simulated machine)"
+    );
+}
+
+/// Run one set-structure experiment. With [`RunConfig::native`] set, the
+/// run executes on real host threads ([`run_set_native`]); CA panics there.
 pub fn run_set(kind: SetKind, scheme: SchemeKind, cfg: &RunConfig) -> Metrics {
+    if cfg.native {
+        return run_set_native(kind, scheme, cfg);
+    }
     run_set_with_stats(kind, scheme, cfg).0
 }
 
@@ -82,6 +108,7 @@ pub fn run_set_with_stats(
     scheme: SchemeKind,
     cfg: &RunConfig,
 ) -> (Metrics, mcsim::MachineStats) {
+    reject_native(cfg, "run_set_with_stats");
     let m = Machine::new(cfg.machine_config());
     match (kind, scheme) {
         (SetKind::LazyList, SchemeKind::Ca) => {
@@ -114,6 +141,7 @@ pub fn run_set_with_stats(
 /// Run the lock-free Conditional-Access Harris list (extension beyond the
 /// paper; only the `ca` scheme applies — the structure embodies it).
 pub fn run_harris(cfg: &RunConfig) -> Metrics {
+    reject_native(cfg, "run_harris");
     let m = Machine::new(cfg.machine_config());
     let ds = CaHarrisList::new(&m);
     drive_set(&m, &ds, SchemeKind::Ca, cfg).0
@@ -122,6 +150,7 @@ pub fn run_harris(cfg: &RunConfig) -> Metrics {
 /// Run the **lock-free** Conditional-Access external BST (extension beyond
 /// the paper, mirroring [`run_harris`] for trees).
 pub fn run_lf_bst(cfg: &RunConfig) -> Metrics {
+    reject_native(cfg, "run_lf_bst");
     let m = Machine::new(cfg.machine_config());
     let ds = CaLfExtBst::new(&m);
     drive_set(&m, &ds, SchemeKind::Ca, cfg).0
@@ -131,6 +160,7 @@ pub fn run_lf_bst(cfg: &RunConfig) -> Metrics {
 /// comparator of §VI) with a `slots`-entry metadata version table. Like CA
 /// it reclaims immediately and needs no SMR scheme.
 pub fn run_htm_list(cfg: &RunConfig, slots: usize) -> Metrics {
+    reject_native(cfg, "run_htm_list");
     let m = Machine::new(cfg.machine_config());
     let ds = HtmLazyList::with_slots(&m, slots);
     drive_set(&m, &ds, SchemeKind::Ca, cfg).0
@@ -139,6 +169,7 @@ pub fn run_htm_list(cfg: &RunConfig, slots: usize) -> Metrics {
 /// Run the CA lazy list wrapped in the §IV fallback path. Returns the usual
 /// metrics plus how many operations completed on the sequential path.
 pub fn run_fallback_list(cfg: &RunConfig, max_attempts: u64) -> (Metrics, u64) {
+    reject_native(cfg, "run_fallback_list");
     let m = Machine::new(cfg.machine_config());
     let ds = FbCaLazyList::with_max_attempts(&m, cfg.threads, max_attempts);
     let metrics = drive_set(&m, &ds, SchemeKind::Ca, cfg).0;
@@ -157,6 +188,7 @@ pub fn run_fallback_list(cfg: &RunConfig, max_attempts: u64) -> (Metrics, u64) {
 /// which is where a pinned backlog accumulates, since it is the survivors
 /// who retire nodes they can no longer free.
 pub fn run_set_robust(kind: SetKind, scheme: SchemeKind, cfg: &RunConfig) -> Metrics {
+    reject_native(cfg, "run_set_robust");
     let m = Machine::new(cfg.machine_config());
     match (kind, scheme) {
         (SetKind::LazyList, SchemeKind::Ca) => {
@@ -203,6 +235,7 @@ pub fn run_queue_robust(scheme: SchemeKind, cfg: &RunConfig) -> Metrics {
         100,
         "queues have no read operation: use an enqueue/dequeue-only mix"
     );
+    reject_native(cfg, "run_queue_robust");
     let m = Machine::new(cfg.machine_config());
     match scheme {
         SchemeKind::Ca => {
@@ -220,6 +253,7 @@ pub fn run_queue_robust(scheme: SchemeKind, cfg: &RunConfig) -> Metrics {
 /// simulated cycles) into a merged histogram — the §I tail-latency claim's
 /// instrument.
 pub fn run_set_latency(kind: SetKind, scheme: SchemeKind, cfg: &RunConfig) -> (Metrics, Histogram) {
+    reject_native(cfg, "run_set_latency");
     let m = Machine::new(cfg.machine_config());
     match (kind, scheme) {
         (SetKind::LazyList, SchemeKind::Ca) => {
@@ -251,6 +285,9 @@ pub fn run_set_latency(kind: SetKind, scheme: SchemeKind, cfg: &RunConfig) -> (M
 
 /// Run one stack experiment (Figure 2 bottom). Reads are `peek`.
 pub fn run_stack(scheme: SchemeKind, cfg: &RunConfig) -> Metrics {
+    if cfg.native {
+        return run_stack_native(scheme, cfg);
+    }
     let m = Machine::new(cfg.machine_config());
     match scheme {
         SchemeKind::Ca => {
@@ -271,6 +308,9 @@ pub fn run_queue(scheme: SchemeKind, cfg: &RunConfig) -> Metrics {
         100,
         "queues have no read operation: use an enqueue/dequeue-only mix"
     );
+    if cfg.native {
+        return run_queue_native(scheme, cfg);
+    }
     let m = Machine::new(cfg.machine_config());
     match scheme {
         SchemeKind::Ca => {
@@ -284,7 +324,187 @@ pub fn run_queue(scheme: SchemeKind, cfg: &RunConfig) -> Metrics {
     }
 }
 
-fn drive_set<D: SetDs>(
+/// Run one set-structure experiment on **real host threads** (the
+/// [`casmr::NativeMachine`] environment). Workload generation, seeds and
+/// prefill discipline are identical to the simulated [`run_set`]; only the
+/// memory environment differs — so sim-vs-native disagreement is
+/// attributable to the cost model, not the workload (the premise of the
+/// `validate` bin). CA panics here: the paper's primitive exists only in
+/// the simulator.
+pub fn run_set_native(kind: SetKind, scheme: SchemeKind, cfg: &RunConfig) -> Metrics {
+    assert!(
+        scheme != SchemeKind::Ca,
+        "Conditional Access needs the simulator's hardware primitive and \
+         cannot run on the native environment"
+    );
+    let mut m = NativeMachine::new(cfg.native_pool_lines());
+    match kind {
+        SetKind::LazyList => with_scheme!(&m, cfg, scheme, |sch| {
+            let ds = SmrLazyList::new(&m, sch);
+            drive_set_native(&mut m, &ds, scheme, cfg)
+        }),
+        SetKind::ExtBst => with_scheme!(&m, cfg, scheme, |sch| {
+            let ds = SmrExtBst::new(&m, sch);
+            drive_set_native(&mut m, &ds, scheme, cfg)
+        }),
+        SetKind::HashTable => with_scheme!(&m, cfg, scheme, |sch| {
+            let ds = HashTable::new(&m, cfg.buckets, |mm| SmrLazyList::new(mm, &sch));
+            drive_set_native(&mut m, &ds, scheme, cfg)
+        }),
+    }
+}
+
+/// Native counterpart of [`run_stack`] (reads are `peek`).
+pub fn run_stack_native(scheme: SchemeKind, cfg: &RunConfig) -> Metrics {
+    assert!(
+        scheme != SchemeKind::Ca,
+        "Conditional Access needs the simulator's hardware primitive and \
+         cannot run on the native environment"
+    );
+    let mut m = NativeMachine::new(cfg.native_pool_lines());
+    with_scheme!(&m, cfg, scheme, |sch| {
+        let ds = SmrStack::new(&m, sch);
+        drive_stack_native(&mut m, &ds, scheme, cfg)
+    })
+}
+
+/// Native counterpart of [`run_queue`]. Requires a 100%-update mix.
+pub fn run_queue_native(scheme: SchemeKind, cfg: &RunConfig) -> Metrics {
+    assert_eq!(
+        cfg.mix.updates(),
+        100,
+        "queues have no read operation: use an enqueue/dequeue-only mix"
+    );
+    assert!(
+        scheme != SchemeKind::Ca,
+        "Conditional Access needs the simulator's hardware primitive and \
+         cannot run on the native environment"
+    );
+    let mut m = NativeMachine::new(cfg.native_pool_lines());
+    with_scheme!(&m, cfg, scheme, |sch| {
+        let ds = SmrQueue::new(&m, sch);
+        drive_queue_native(&mut m, &ds, scheme, cfg)
+    })
+}
+
+fn drive_set_native<D>(
+    m: &mut NativeMachine,
+    ds: &D,
+    scheme: SchemeKind,
+    cfg: &RunConfig,
+) -> Metrics
+where
+    D: for<'p> SetDs<NativeEnv<'p>>,
+{
+    use casmr::Env as _;
+    assert!(
+        cfg.prefill <= cfg.key_range,
+        "cannot prefill {} distinct keys from a range of {}",
+        cfg.prefill,
+        cfg.key_range
+    );
+    let prefill_seed = cfg.thread_seed(usize::MAX);
+    m.run_on(1, |_, env| {
+        let mut tls = ds.register(0);
+        let mut rng = Rng::new(prefill_seed);
+        let mut live = 0;
+        while live < cfg.prefill {
+            if ds.insert(env, &mut tls, 1 + rng.below(cfg.key_range)) {
+                live += 1;
+            }
+        }
+    });
+    m.reset_timing();
+    m.run_on(cfg.threads, |tid, env| {
+        let mut tls = ds.register(tid);
+        let mut rng = Rng::new(cfg.thread_seed(tid));
+        for _ in 0..cfg.ops_per_thread {
+            let key = 1 + rng.below(cfg.key_range);
+            let roll = rng.below(100);
+            if roll < cfg.mix.insert_pct {
+                ds.insert(env, &mut tls, key);
+            } else if roll < cfg.mix.updates() {
+                ds.delete(env, &mut tls, key);
+            } else {
+                ds.contains(env, &mut tls, key);
+            }
+            env.op_completed();
+        }
+    });
+    Metrics::from_native(scheme.name(), cfg.threads, &m.stats())
+}
+
+fn drive_stack_native<D>(
+    m: &mut NativeMachine,
+    ds: &D,
+    scheme: SchemeKind,
+    cfg: &RunConfig,
+) -> Metrics
+where
+    D: for<'p> StackDs<NativeEnv<'p>>,
+{
+    use casmr::Env as _;
+    m.run_on(1, |_, env| {
+        let mut tls = ds.register(0);
+        let mut rng = Rng::new(cfg.thread_seed(usize::MAX));
+        for _ in 0..cfg.prefill {
+            ds.push(env, &mut tls, 1 + rng.below(cfg.key_range));
+        }
+    });
+    m.reset_timing();
+    m.run_on(cfg.threads, |tid, env| {
+        let mut tls = ds.register(tid);
+        let mut rng = Rng::new(cfg.thread_seed(tid));
+        for _ in 0..cfg.ops_per_thread {
+            let roll = rng.below(100);
+            if roll < cfg.mix.insert_pct {
+                ds.push(env, &mut tls, 1 + rng.below(cfg.key_range));
+            } else if roll < cfg.mix.updates() {
+                ds.pop(env, &mut tls);
+            } else {
+                ds.peek(env, &mut tls);
+            }
+            env.op_completed();
+        }
+    });
+    Metrics::from_native(scheme.name(), cfg.threads, &m.stats())
+}
+
+fn drive_queue_native<D>(
+    m: &mut NativeMachine,
+    ds: &D,
+    scheme: SchemeKind,
+    cfg: &RunConfig,
+) -> Metrics
+where
+    D: for<'p> QueueDs<NativeEnv<'p>>,
+{
+    use casmr::Env as _;
+    m.run_on(1, |_, env| {
+        let mut tls = ds.register(0);
+        let mut rng = Rng::new(cfg.thread_seed(usize::MAX));
+        for _ in 0..cfg.prefill {
+            ds.enqueue(env, &mut tls, 1 + rng.below(cfg.key_range));
+        }
+    });
+    m.reset_timing();
+    m.run_on(cfg.threads, |tid, env| {
+        let mut tls = ds.register(tid);
+        let mut rng = Rng::new(cfg.thread_seed(tid));
+        for _ in 0..cfg.ops_per_thread {
+            let roll = rng.below(100);
+            if roll < cfg.mix.insert_pct {
+                ds.enqueue(env, &mut tls, 1 + rng.below(cfg.key_range));
+            } else {
+                ds.dequeue(env, &mut tls);
+            }
+            env.op_completed();
+        }
+    });
+    Metrics::from_native(scheme.name(), cfg.threads, &m.stats())
+}
+
+fn drive_set<D: for<'m> SetDs<Ctx<'m>>>(
     m: &Machine,
     ds: &D,
     scheme: SchemeKind,
@@ -331,7 +551,7 @@ fn drive_set<D: SetDs>(
 }
 
 /// `drive_set` under an armed fault plan (see [`run_set_robust`]).
-fn drive_set_robust<D: SetDs, G>(
+fn drive_set_robust<D: for<'m> SetDs<Ctx<'m>>, G>(
     m: &Machine,
     ds: &D,
     scheme: SchemeKind,
@@ -387,7 +607,7 @@ where
 
 /// `drive_set` with per-operation latency capture. The `ctx.now()` probes
 /// are host-side (no simulated cycles), so throughput is unaffected.
-fn drive_set_latency<D: SetDs>(
+fn drive_set_latency<D: for<'m> SetDs<Ctx<'m>>>(
     m: &Machine,
     ds: &D,
     scheme: SchemeKind,
@@ -433,7 +653,12 @@ fn drive_set_latency<D: SetDs>(
     (metrics, merged)
 }
 
-fn drive_stack<D: StackDs>(m: &Machine, ds: &D, scheme: SchemeKind, cfg: &RunConfig) -> Metrics {
+fn drive_stack<D: for<'m> StackDs<Ctx<'m>>>(
+    m: &Machine,
+    ds: &D,
+    scheme: SchemeKind,
+    cfg: &RunConfig,
+) -> Metrics {
     m.run_on(1, |_, ctx| {
         let mut tls = ds.register(0);
         let mut rng = Rng::new(cfg.thread_seed(usize::MAX));
@@ -462,7 +687,7 @@ fn drive_stack<D: StackDs>(m: &Machine, ds: &D, scheme: SchemeKind, cfg: &RunCon
 
 /// `drive_queue` under an armed fault plan (see [`run_queue_robust`];
 /// prefill/arming discipline as in [`drive_set_robust`]).
-fn drive_queue_robust<D: QueueDs, G>(
+fn drive_queue_robust<D: for<'m> QueueDs<Ctx<'m>>, G>(
     m: &Machine,
     ds: &D,
     scheme: SchemeKind,
@@ -506,7 +731,12 @@ where
         .with_garbage(&merged)
 }
 
-fn drive_queue<D: QueueDs>(m: &Machine, ds: &D, scheme: SchemeKind, cfg: &RunConfig) -> Metrics {
+fn drive_queue<D: for<'m> QueueDs<Ctx<'m>>>(
+    m: &Machine,
+    ds: &D,
+    scheme: SchemeKind,
+    cfg: &RunConfig,
+) -> Metrics {
     m.run_on(1, |_, ctx| {
         let mut tls = ds.register(0);
         let mut rng = Rng::new(cfg.thread_seed(usize::MAX));

@@ -47,8 +47,8 @@ use std::time::Instant;
 /// One unit of sweep work (an experiment configuration to run).
 pub type Task<'env, T> = Box<dyn FnOnce() -> T + Send + 'env>;
 
-/// A worker's deque of (submission index, task) pairs.
-type WorkQueue<'env, T> = Mutex<VecDeque<(usize, Task<'env, T>)>>;
+/// A worker's deque of (submission index, occupancy weight, task) triples.
+type WorkQueue<'env, T> = Mutex<VecDeque<(usize, usize, Task<'env, T>)>>;
 
 /// Global worker-count knob. 0 = auto (one worker per host CPU).
 static JOBS: AtomicUsize = AtomicUsize::new(0);
@@ -232,6 +232,48 @@ impl Progress {
     }
 }
 
+/// Host-occupancy gate for [`run_results_weighted`]: a counting budget of
+/// `capacity` units that workers acquire before executing a task and
+/// release after. A weight-1 (simulated) task occupies its own worker
+/// thread and nothing else; a native task that spawns `t` host threads of
+/// its own declares weight `t`, which additionally idles `t - 1` peer
+/// workers — so a sweep never oversubscribes the host even when tasks are
+/// themselves multi-threaded.
+struct Occupancy {
+    capacity: usize,
+    in_use: Mutex<usize>,
+    freed: std::sync::Condvar,
+}
+
+impl Occupancy {
+    fn new(capacity: usize) -> Self {
+        Occupancy {
+            capacity,
+            in_use: Mutex::new(0),
+            freed: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Block until `w` units are available (or the sweep aborted; returns
+    /// `false` then). `w` must already be clamped to `1..=capacity`.
+    fn acquire(&self, w: usize, aborted: &AtomicUsize) -> bool {
+        let mut used = self.in_use.lock().unwrap();
+        while *used + w > self.capacity {
+            if aborted.load(Ordering::Relaxed) != 0 {
+                return false;
+            }
+            used = self.freed.wait(used).unwrap();
+        }
+        *used += w;
+        true
+    }
+
+    fn release(&self, w: usize) {
+        *self.in_use.lock().unwrap() -= w;
+        self.freed.notify_all();
+    }
+}
+
 /// Run every task and return per-task results **in submission order**,
 /// executing up to [`jobs`] tasks concurrently on host threads.
 ///
@@ -246,6 +288,23 @@ pub fn run_results<'env, T: Send + 'env>(
     label: &str,
     tasks: Vec<Task<'env, T>>,
 ) -> Vec<Result<T, TaskFailure>> {
+    run_results_weighted(label, tasks.into_iter().map(|t| (1, t)).collect())
+}
+
+/// [`run_results`] for tasks that are themselves multi-threaded on the
+/// host: each task declares an **occupancy weight** — the number of host
+/// threads it runs (1 for a simulated cell; the workload thread count for a
+/// native cell, which spawns that many real threads). The pool admits tasks
+/// through a budget of [`jobs`] units (weights clamp into `1..=jobs`), so
+/// `--jobs N` bounds *host threads*, not merely concurrent tasks, and a
+/// native 8-thread cell is not time-sliced against 7 simulated cells.
+///
+/// Weights change host scheduling only; the determinism contract (results
+/// in submission order, values independent of worker count) is unchanged.
+pub fn run_results_weighted<'env, T: Send + 'env>(
+    label: &str,
+    tasks: Vec<(usize, Task<'env, T>)>,
+) -> Vec<Result<T, TaskFailure>> {
     let total = tasks.len();
     let workers = jobs().clamp(1, total.max(1));
     let progress = Progress::new(label, total, workers);
@@ -259,7 +318,7 @@ pub fn run_results<'env, T: Send + 'env>(
     };
     if workers <= 1 {
         let mut out = Vec::with_capacity(total);
-        for (i, t) in tasks.into_iter().enumerate() {
+        for (i, (_, t)) in tasks.into_iter().enumerate() {
             match execute(i, t) {
                 Ok(r) => {
                     out.push(r);
@@ -275,8 +334,8 @@ pub fn run_results<'env, T: Send + 'env>(
     // Deal round-robin; worker w owns deque w.
     let queues: Vec<WorkQueue<'env, T>> =
         (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
-    for (i, t) in tasks.into_iter().enumerate() {
-        queues[i % workers].lock().unwrap().push_back((i, t));
+    for (i, (weight, t)) in tasks.into_iter().enumerate() {
+        queues[i % workers].lock().unwrap().push_back((i, weight, t));
     }
     // Index-ordered result slots: completion order cannot perturb output
     // order (the determinism contract above).
@@ -286,6 +345,7 @@ pub fn run_results<'env, T: Send + 'env>(
     // pulling queued work instead of draining a doomed sweep;
     // `thread::scope` re-raises the panic once every worker has returned.
     let aborted = AtomicUsize::new(0);
+    let occupancy = Occupancy::new(workers);
 
     std::thread::scope(|scope| {
         for w in 0..workers {
@@ -294,6 +354,7 @@ pub fn run_results<'env, T: Send + 'env>(
             let progress = &progress;
             let aborted = &aborted;
             let execute = &execute;
+            let occupancy = &occupancy;
             scope.spawn(move || loop {
                 if aborted.load(Ordering::Relaxed) != 0 {
                     break;
@@ -306,16 +367,30 @@ pub fn run_results<'env, T: Send + 'env>(
                         .find_map(|v| queues[v].lock().unwrap().pop_back())
                 });
                 match next {
-                    Some((i, task)) => match execute(i, task) {
-                        Ok(r) => {
-                            *slots[i].lock().unwrap() = Some(r);
-                            progress.bump();
+                    Some((i, weight, task)) => {
+                        // This worker thread is itself one unit of the
+                        // budget, so every task acquires at least 1.
+                        let units = weight.clamp(1, workers);
+                        if !occupancy.acquire(units, aborted) {
+                            break; // sweep aborted while waiting
                         }
-                        Err(e) => {
-                            aborted.store(1, Ordering::Relaxed);
-                            std::panic::resume_unwind(e);
+                        let r = execute(i, task);
+                        occupancy.release(units);
+                        match r {
+                            Ok(r) => {
+                                *slots[i].lock().unwrap() = Some(r);
+                                progress.bump();
+                            }
+                            Err(e) => {
+                                aborted.store(1, Ordering::Relaxed);
+                                // Wake any peer blocked in acquire so it can
+                                // observe the abort instead of waiting out a
+                                // budget that will never free.
+                                occupancy.freed.notify_all();
+                                std::panic::resume_unwind(e);
+                            }
                         }
-                    },
+                    }
                     // All deques empty and no task spawns tasks: done.
                     None => break,
                 }

@@ -11,10 +11,41 @@
 //!
 //! Per-thread bookkeeping that a real implementation would keep in
 //! thread-local *private* memory (the retire list itself, cached era values,
-//! counters) is host-side, charged with [`mcsim::machine::Ctx::tick`].
+//! counters) is host-side, charged with [`Env::tick`].
+//!
+//! # The environment abstraction
+//!
+//! Since PR 8 the schemes are written against [`crate::env::Env`], not the
+//! simulator directly: every shared-memory access above goes through an
+//! `E: Env` type parameter. Two environments exist:
+//!
+//! * **Simulated** ([`mcsim::machine::Ctx`]): deterministic, cost-modeled.
+//!   `Env` methods forward 1:1 to the inherent `Ctx` methods, so generic
+//!   code issues the exact operation sequence the pre-Env code did —
+//!   simulated results are byte-identical (pinned by `tests/env_pin.rs`).
+//! * **Native** ([`crate::native::NativeEnv`]): real host threads, real
+//!   atomics over a line pool. Costs are *measured*, not modeled: `tick`
+//!   is a no-op, fences are real `SeqCst` fences, and contention is
+//!   whatever the host's coherence protocol delivers.
+//!
+//! Cost-model caveats when comparing the two: the simulator charges every
+//! scheme the paper's §V abstract costs (fence latency, coherence misses,
+//! scan ticks) on an idealized machine, while native runs inherit the host's
+//! cache hierarchy, store-buffer forwarding, and scheduler noise — so the
+//! comparison contract is **scheme orderings and scaling shapes**, never
+//! absolute numbers (see the `validate` bin). Conditional Access has no
+//! native implementation at all: it requires the paper's proposed hardware
+//! primitive (tagged `cread`/`cwrite` with cross-core revocation), which no
+//! shipping CPU provides, so CA runs remain simulator-only predictions.
+//!
+//! The scheme interface splits across two traits: [`SmrBase`] carries the
+//! environment-independent surface (per-thread state, names, accounting),
+//! [`Smr`]`<E>` the operations that touch shared memory. Schemes implement
+//! `Smr<E>` for **every** `E: Env`; harness code picks the environment by
+//! instantiation (`for<'m> Smr<SimEnv<'m>>` vs `for<'p> Smr<NativeEnv<'p>>`).
 
-use mcsim::machine::Ctx;
-use mcsim::{Addr, Machine};
+use crate::env::{Env, EnvHost};
+use mcsim::Addr;
 
 /// Sentinel published by inactive threads (no reservation/announcement).
 pub const INACTIVE: u64 = u64::MAX;
@@ -75,12 +106,12 @@ pub struct GarbageStats {
 impl GarbageStats {
     /// Peak garbage in bytes (nodes are one line each).
     pub fn peak_bytes(&self) -> u64 {
-        self.peak * mcsim::LINE_BYTES
+        self.peak * crate::env::LINE_BYTES
     }
 
     /// Live garbage in bytes.
     pub fn live_bytes(&self) -> u64 {
-        self.live * mcsim::LINE_BYTES
+        self.live * crate::env::LINE_BYTES
     }
 
     /// Fold another thread's stats into this one.
@@ -157,42 +188,15 @@ pub struct Retired {
     pub retire: u64,
 }
 
-/// A safe-memory-reclamation scheme.
-///
-/// Data structures call [`Smr::read_ptr`] to traverse pointer fields into
-/// nodes that may be concurrently retired, bracketed by
-/// [`Smr::begin_op`]/[`Smr::end_op`]; unlinked nodes go to [`Smr::retire`]
-/// instead of being freed.
-pub trait Smr: Sync {
+/// The environment-independent half of a reclamation scheme: per-thread
+/// state management, capability flags, accounting, and naming. See [`Smr`]
+/// for the shared-memory operations.
+pub trait SmrBase: Sync {
     /// Host-side per-thread state.
     type Tls: Send;
 
-    /// Create thread `tid`'s state (call once per simulated thread).
+    /// Create thread `tid`'s state (call once per worker thread).
     fn register(&self, tid: usize) -> Self::Tls;
-
-    /// Operation prologue (rcu: pin; ibr: open reservation; others: no-op).
-    fn begin_op(&self, ctx: &mut Ctx, tls: &mut Self::Tls);
-
-    /// Operation epilogue (qsbr: quiescent announcement; rcu: unpin;
-    /// ibr: close reservation; hp/he: clear slots).
-    fn end_op(&self, ctx: &mut Ctx, tls: &mut Self::Tls);
-
-    /// Protected read of the pointer-sized word at `field`, whose value
-    /// names a node. On return the named node is protected (per the
-    /// scheme's rules) under `slot` until the slot is reused, cleared, or
-    /// the operation ends. Null results need no protection.
-    fn read_ptr(&self, ctx: &mut Ctx, tls: &mut Self::Tls, slot: usize, field: Addr) -> u64;
-
-    /// Release one protection slot early (hp/he; no-op elsewhere).
-    fn clear_slot(&self, _ctx: &mut Ctx, _tls: &mut Self::Tls, _slot: usize) {}
-
-    /// Hook invoked right after a node is allocated (ibr/he stamp the birth
-    /// era into [`NODE_BIRTH_WORD`]; also drives era advancement).
-    fn on_alloc(&self, ctx: &mut Ctx, tls: &mut Self::Tls, node: Addr);
-
-    /// Hand an unlinked node to the scheme. The scheme frees it once no
-    /// thread can hold a protected reference (leaky: never).
-    fn retire(&self, ctx: &mut Ctx, tls: &mut Self::Tls, node: Addr);
 
     /// Whether traversals must re-validate reachability (mark checks +
     /// restart) after protecting a node. True for hazard-based schemes
@@ -212,32 +216,48 @@ pub trait Smr: Sync {
     fn name(&self) -> &'static str;
 }
 
+/// A safe-memory-reclamation scheme's shared-memory operations, generic
+/// over the execution environment `E` (simulated [`crate::env::SimEnv`] or
+/// real-hardware [`crate::native::NativeEnv`]).
+///
+/// Data structures call [`Smr::read_ptr`] to traverse pointer fields into
+/// nodes that may be concurrently retired, bracketed by
+/// [`Smr::begin_op`]/[`Smr::end_op`]; unlinked nodes go to [`Smr::retire`]
+/// instead of being freed.
+pub trait Smr<E: Env + ?Sized>: SmrBase {
+    /// Operation prologue (rcu: pin; ibr: open reservation; others: no-op).
+    fn begin_op(&self, env: &mut E, tls: &mut Self::Tls);
+
+    /// Operation epilogue (qsbr: quiescent announcement; rcu: unpin;
+    /// ibr: close reservation; hp/he: clear slots).
+    fn end_op(&self, env: &mut E, tls: &mut Self::Tls);
+
+    /// Protected read of the pointer-sized word at `field`, whose value
+    /// names a node. On return the named node is protected (per the
+    /// scheme's rules) under `slot` until the slot is reused, cleared, or
+    /// the operation ends. Null results need no protection.
+    fn read_ptr(&self, env: &mut E, tls: &mut Self::Tls, slot: usize, field: Addr) -> u64;
+
+    /// Release one protection slot early (hp/he; no-op elsewhere).
+    fn clear_slot(&self, _env: &mut E, _tls: &mut Self::Tls, _slot: usize) {}
+
+    /// Hook invoked right after a node is allocated (ibr/he stamp the birth
+    /// era into [`NODE_BIRTH_WORD`]; also drives era advancement).
+    fn on_alloc(&self, env: &mut E, tls: &mut Self::Tls, node: Addr);
+
+    /// Hand an unlinked node to the scheme. The scheme frees it once no
+    /// thread can hold a protected reference (leaky: never).
+    fn retire(&self, env: &mut E, tls: &mut Self::Tls, node: Addr);
+}
+
 /// A shared reference to a scheme is a scheme: lets many data-structure
 /// instances (e.g. the 128 buckets of the paper's hash table) share one
 /// scheme's metadata and per-thread state.
-impl<S: Smr> Smr for &S {
+impl<S: SmrBase> SmrBase for &S {
     type Tls = S::Tls;
 
     fn register(&self, tid: usize) -> Self::Tls {
         (**self).register(tid)
-    }
-    fn begin_op(&self, ctx: &mut Ctx, tls: &mut Self::Tls) {
-        (**self).begin_op(ctx, tls)
-    }
-    fn end_op(&self, ctx: &mut Ctx, tls: &mut Self::Tls) {
-        (**self).end_op(ctx, tls)
-    }
-    fn read_ptr(&self, ctx: &mut Ctx, tls: &mut Self::Tls, slot: usize, field: Addr) -> u64 {
-        (**self).read_ptr(ctx, tls, slot, field)
-    }
-    fn clear_slot(&self, ctx: &mut Ctx, tls: &mut Self::Tls, slot: usize) {
-        (**self).clear_slot(ctx, tls, slot)
-    }
-    fn on_alloc(&self, ctx: &mut Ctx, tls: &mut Self::Tls, node: Addr) {
-        (**self).on_alloc(ctx, tls, node)
-    }
-    fn retire(&self, ctx: &mut Ctx, tls: &mut Self::Tls, node: Addr) {
-        (**self).retire(ctx, tls, node)
     }
     fn needs_validation(&self) -> bool {
         (**self).needs_validation()
@@ -250,6 +270,27 @@ impl<S: Smr> Smr for &S {
     }
 }
 
+impl<E: Env + ?Sized, S: Smr<E>> Smr<E> for &S {
+    fn begin_op(&self, env: &mut E, tls: &mut Self::Tls) {
+        (**self).begin_op(env, tls)
+    }
+    fn end_op(&self, env: &mut E, tls: &mut Self::Tls) {
+        (**self).end_op(env, tls)
+    }
+    fn read_ptr(&self, env: &mut E, tls: &mut Self::Tls, slot: usize, field: Addr) -> u64 {
+        (**self).read_ptr(env, tls, slot, field)
+    }
+    fn clear_slot(&self, env: &mut E, tls: &mut Self::Tls, slot: usize) {
+        (**self).clear_slot(env, tls, slot)
+    }
+    fn on_alloc(&self, env: &mut E, tls: &mut Self::Tls, node: Addr) {
+        (**self).on_alloc(env, tls, node)
+    }
+    fn retire(&self, env: &mut E, tls: &mut Self::Tls, node: Addr) {
+        (**self).retire(env, tls, node)
+    }
+}
+
 /// Global-era helpers shared by the epoch/era-based schemes.
 pub(crate) struct EraClock {
     pub era: Addr,
@@ -258,26 +299,26 @@ pub(crate) struct EraClock {
 impl EraClock {
     /// Allocate the era line and initialize the clock to 1 (0 is reserved so
     /// that "birth 0" can mean "no birth metadata").
-    pub fn new(machine: &Machine) -> Self {
-        let era = machine.alloc_static(1);
-        machine.host_write(era, 1);
+    pub fn new<H: EnvHost + ?Sized>(host: &H) -> Self {
+        let era = host.alloc_static(1);
+        host.host_write(era, 1);
         Self { era }
     }
 
-    /// Read the current era (simulated load; usually an S-state hit, a miss
+    /// Read the current era (shared load; usually an S-state hit, a miss
     /// right after someone bumps it — that cost is the point).
     #[inline]
-    pub fn read(&self, ctx: &mut Ctx) -> u64 {
-        ctx.read(self.era)
+    pub fn read<E: Env + ?Sized>(&self, env: &mut E) -> u64 {
+        env.read(self.era)
     }
 
     /// Count an allocation; every `epoch_freq`-th allocation bumps the era.
     /// A lost CAS race means someone else bumped it, which is just as good.
-    pub fn on_alloc(&self, ctx: &mut Ctx, alloc_count: &mut u64, epoch_freq: u64) {
+    pub fn on_alloc<E: Env + ?Sized>(&self, env: &mut E, alloc_count: &mut u64, epoch_freq: u64) {
         *alloc_count += 1;
         if (*alloc_count).is_multiple_of(epoch_freq) {
-            let e = ctx.read(self.era);
-            let _ = ctx.cas(self.era, e, e + 1);
+            let e = env.read(self.era);
+            let _ = env.cas(self.era, e, e + 1);
         }
     }
 }
@@ -286,12 +327,16 @@ impl EraClock {
 /// One line each avoids false sharing between threads' metadata — standard
 /// practice in real SMR implementations, and necessary here so one thread's
 /// publishes don't invalidate another's cached metadata.
-pub(crate) fn per_thread_lines(machine: &Machine, threads: usize, init: u64) -> Vec<Addr> {
+pub(crate) fn per_thread_lines<H: EnvHost + ?Sized>(
+    host: &H,
+    threads: usize,
+    init: u64,
+) -> Vec<Addr> {
     (0..threads)
         .map(|_| {
-            let a = machine.alloc_static(1);
-            for w in 0..mcsim::WORDS_PER_LINE {
-                machine.host_write(a.word(w), init);
+            let a = host.alloc_static(1);
+            for w in 0..crate::env::WORDS_PER_LINE {
+                host.host_write(a.word(w), init);
             }
             a
         })
@@ -301,7 +346,7 @@ pub(crate) fn per_thread_lines(machine: &Machine, threads: usize, init: u64) -> 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mcsim::MachineConfig;
+    use mcsim::{Machine, MachineConfig};
 
     #[test]
     fn defaults_match_paper() {

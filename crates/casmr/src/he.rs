@@ -14,12 +14,15 @@
 //! era line for every reader plus a republish fence.
 //!
 //! Like hp, hazard-era protection is not retroactive, so traversals must
-//! validate reachability after protecting ([`Smr::needs_validation`]).
+//! validate reachability after protecting ([`SmrBase::needs_validation`]).
 
-use mcsim::machine::Ctx;
-use mcsim::{Addr, Machine};
+use mcsim::Addr;
 
-use crate::api::{GarbageMeter, GarbageStats, per_thread_lines, EraClock, Retired, Smr, SmrConfig, NODE_BIRTH_WORD};
+use crate::api::{
+    per_thread_lines, EraClock, GarbageMeter, GarbageStats, Retired, Smr, SmrBase, SmrConfig,
+    NODE_BIRTH_WORD,
+};
+use crate::env::{Env, EnvHost};
 
 /// Hazard-eras scheme state.
 pub struct He {
@@ -44,11 +47,11 @@ pub struct HeTls {
 
 impl He {
     /// Build the scheme, allocating metadata.
-    pub fn new(machine: &Machine, threads: usize, cfg: SmrConfig) -> Self {
-        assert!(cfg.slots_per_thread <= mcsim::WORDS_PER_LINE as usize);
+    pub fn new<H: EnvHost + ?Sized>(host: &H, threads: usize, cfg: SmrConfig) -> Self {
+        assert!(cfg.slots_per_thread <= crate::env::WORDS_PER_LINE as usize);
         Self {
-            clock: EraClock::new(machine),
-            slots: per_thread_lines(machine, threads, 0),
+            clock: EraClock::new(host),
+            slots: per_thread_lines(host, threads, 0),
             cfg,
             threads,
         }
@@ -59,7 +62,7 @@ impl He {
         self.slots[tid].word(slot as u64)
     }
 
-    fn scan(&self, ctx: &mut Ctx, tls: &mut HeTls) {
+    fn scan<E: Env + ?Sized>(&self, ctx: &mut E, tls: &mut HeTls) {
         // Snapshot every published era.
         let mut eras: Vec<u64> = Vec::with_capacity(self.threads * self.cfg.slots_per_thread);
         for t in 0..self.threads {
@@ -85,7 +88,7 @@ impl He {
     }
 }
 
-impl Smr for He {
+impl SmrBase for He {
     type Tls = HeTls;
 
     fn register(&self, tid: usize) -> HeTls {
@@ -96,68 +99,6 @@ impl Smr for He {
             retired: Vec::new(),
             retires_since_scan: 0,
             garbage: GarbageMeter::new(),
-        }
-    }
-
-    #[inline]
-    fn begin_op(&self, _ctx: &mut Ctx, _tls: &mut Self::Tls) {}
-
-    fn end_op(&self, ctx: &mut Ctx, tls: &mut Self::Tls) {
-        for s in 0..self.cfg.slots_per_thread {
-            if tls.published[s] != 0 {
-                ctx.write(self.slot_addr(tls.tid, s), 0);
-                tls.published[s] = 0;
-            }
-        }
-    }
-
-    /// The hazard-era protect loop: publish the era (if the slot doesn't
-    /// already hold it), fence, read the pointer, confirm era stability.
-    fn read_ptr(&self, ctx: &mut Ctx, tls: &mut Self::Tls, slot: usize, field: Addr) -> u64 {
-        let mut e = self.clock.read(ctx);
-        loop {
-            if tls.published[slot] != e {
-                ctx.write(self.slot_addr(tls.tid, slot), e);
-                ctx.fence();
-                tls.published[slot] = e;
-            }
-            let v = ctx.read(field);
-            let e2 = self.clock.read(ctx);
-            if e2 == e {
-                return v;
-            }
-            e = e2;
-        }
-    }
-
-    fn clear_slot(&self, ctx: &mut Ctx, tls: &mut Self::Tls, slot: usize) {
-        if tls.published[slot] != 0 {
-            ctx.write(self.slot_addr(tls.tid, slot), 0);
-            tls.published[slot] = 0;
-        }
-    }
-
-    /// Stamp birth era and drive the era clock.
-    fn on_alloc(&self, ctx: &mut Ctx, tls: &mut Self::Tls, node: Addr) {
-        self.clock
-            .on_alloc(ctx, &mut tls.alloc_count, self.cfg.epoch_freq);
-        let e = self.clock.read(ctx);
-        ctx.write(node.word(NODE_BIRTH_WORD), e);
-    }
-
-    fn retire(&self, ctx: &mut Ctx, tls: &mut Self::Tls, node: Addr) {
-        let birth = ctx.read(node.word(NODE_BIRTH_WORD));
-        let stamp = self.clock.read(ctx);
-        tls.retired.push(Retired {
-            addr: node,
-            birth,
-            retire: stamp,
-        });
-        tls.garbage.on_retire();
-        tls.retires_since_scan += 1;
-        if tls.retires_since_scan >= self.cfg.reclaim_freq {
-            tls.retires_since_scan = 0;
-            self.scan(ctx, tls);
         }
     }
 
@@ -174,10 +115,74 @@ impl Smr for He {
     }
 }
 
+impl<E: Env + ?Sized> Smr<E> for He {
+    #[inline]
+    fn begin_op(&self, _ctx: &mut E, _tls: &mut Self::Tls) {}
+
+    fn end_op(&self, ctx: &mut E, tls: &mut Self::Tls) {
+        for s in 0..self.cfg.slots_per_thread {
+            if tls.published[s] != 0 {
+                ctx.write(self.slot_addr(tls.tid, s), 0);
+                tls.published[s] = 0;
+            }
+        }
+    }
+
+    /// The hazard-era protect loop: publish the era (if the slot doesn't
+    /// already hold it), fence, read the pointer, confirm era stability.
+    fn read_ptr(&self, ctx: &mut E, tls: &mut Self::Tls, slot: usize, field: Addr) -> u64 {
+        let mut e = self.clock.read(ctx);
+        loop {
+            if tls.published[slot] != e {
+                ctx.write(self.slot_addr(tls.tid, slot), e);
+                ctx.fence();
+                tls.published[slot] = e;
+            }
+            let v = ctx.read(field);
+            let e2 = self.clock.read(ctx);
+            if e2 == e {
+                return v;
+            }
+            e = e2;
+        }
+    }
+
+    fn clear_slot(&self, ctx: &mut E, tls: &mut Self::Tls, slot: usize) {
+        if tls.published[slot] != 0 {
+            ctx.write(self.slot_addr(tls.tid, slot), 0);
+            tls.published[slot] = 0;
+        }
+    }
+
+    /// Stamp birth era and drive the era clock.
+    fn on_alloc(&self, ctx: &mut E, tls: &mut Self::Tls, node: Addr) {
+        self.clock
+            .on_alloc(ctx, &mut tls.alloc_count, self.cfg.epoch_freq);
+        let e = self.clock.read(ctx);
+        ctx.write(node.word(NODE_BIRTH_WORD), e);
+    }
+
+    fn retire(&self, ctx: &mut E, tls: &mut Self::Tls, node: Addr) {
+        let birth = ctx.read(node.word(NODE_BIRTH_WORD));
+        let stamp = self.clock.read(ctx);
+        tls.retired.push(Retired {
+            addr: node,
+            birth,
+            retire: stamp,
+        });
+        tls.garbage.on_retire();
+        tls.retires_since_scan += 1;
+        if tls.retires_since_scan >= self.cfg.reclaim_freq {
+            tls.retires_since_scan = 0;
+            self.scan(ctx, tls);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mcsim::MachineConfig;
+    use mcsim::{Machine, MachineConfig};
 
     fn machine(cores: usize) -> Machine {
         Machine::new(MachineConfig {

@@ -10,17 +10,17 @@
 //! which is why it sits at the bottom of every throughput figure.
 //!
 //! hp (like he) also requires traversals to validate reachability after
-//! protecting ([`Smr::needs_validation`] = true): a hazard does not protect
-//! a node that was already retired before the hazard became visible, so the
-//! data structure must confirm the node was still reachable afterwards
-//! (in the lazy list: source node unmarked) and restart otherwise.
+//! protecting ([`SmrBase::needs_validation`] = true): a hazard does not
+//! protect a node that was already retired before the hazard became visible,
+//! so the data structure must confirm the node was still reachable
+//! afterwards (in the lazy list: source node unmarked) and restart otherwise.
 
 use std::collections::HashSet;
 
-use mcsim::machine::Ctx;
-use mcsim::{Addr, Machine};
+use mcsim::Addr;
 
-use crate::api::{GarbageMeter, GarbageStats, per_thread_lines, Retired, Smr, SmrConfig};
+use crate::api::{GarbageMeter, GarbageStats, per_thread_lines, Retired, Smr, SmrBase, SmrConfig};
+use crate::env::{Env, EnvHost};
 
 /// Hazard-pointer scheme state.
 pub struct Hp {
@@ -45,13 +45,13 @@ pub struct HpTls {
 
 impl Hp {
     /// Build the scheme, allocating one hazard line per thread.
-    pub fn new(machine: &Machine, threads: usize, cfg: SmrConfig) -> Self {
+    pub fn new<H: EnvHost + ?Sized>(host: &H, threads: usize, cfg: SmrConfig) -> Self {
         assert!(
-            cfg.slots_per_thread <= mcsim::WORDS_PER_LINE as usize,
+            cfg.slots_per_thread <= crate::env::WORDS_PER_LINE as usize,
             "hazard slots must fit the thread's line"
         );
         Self {
-            slots: per_thread_lines(machine, threads, 0),
+            slots: per_thread_lines(host, threads, 0),
             cfg,
             threads,
         }
@@ -62,7 +62,7 @@ impl Hp {
         self.slots[tid].word(slot as u64)
     }
 
-    fn scan(&self, ctx: &mut Ctx, tls: &mut HpTls) {
+    fn scan<E: Env + ?Sized>(&self, ctx: &mut E, tls: &mut HpTls) {
         // Collect every published hazard (simulated loads of all threads'
         // hazard lines — N*K shared reads, the scan cost the paper charges
         // hp with).
@@ -89,7 +89,7 @@ impl Hp {
     }
 }
 
-impl Smr for Hp {
+impl SmrBase for Hp {
     type Tls = HpTls;
 
     fn register(&self, tid: usize) -> HpTls {
@@ -103,11 +103,25 @@ impl Smr for Hp {
         }
     }
 
+    fn needs_validation(&self) -> bool {
+        true
+    }
+
+    fn garbage(&self, tls: &Self::Tls) -> GarbageStats {
+        tls.garbage.stats()
+    }
+
+    fn name(&self) -> &'static str {
+        "hp"
+    }
+}
+
+impl<E: Env + ?Sized> Smr<E> for Hp {
     #[inline]
-    fn begin_op(&self, _ctx: &mut Ctx, _tls: &mut Self::Tls) {}
+    fn begin_op(&self, _ctx: &mut E, _tls: &mut Self::Tls) {}
 
     /// Clear the slots that were used this operation.
-    fn end_op(&self, ctx: &mut Ctx, tls: &mut Self::Tls) {
+    fn end_op(&self, ctx: &mut E, tls: &mut Self::Tls) {
         for s in 0..self.cfg.slots_per_thread {
             if tls.published[s] != 0 {
                 ctx.write(self.slot_addr(tls.tid, s), 0);
@@ -118,7 +132,7 @@ impl Smr for Hp {
 
     /// Michael's protect loop: publish, fence, re-read the source field;
     /// retry until the field still names the protected node.
-    fn read_ptr(&self, ctx: &mut Ctx, tls: &mut Self::Tls, slot: usize, field: Addr) -> u64 {
+    fn read_ptr(&self, ctx: &mut E, tls: &mut Self::Tls, slot: usize, field: Addr) -> u64 {
         loop {
             let v = ctx.read(field);
             if v == 0 {
@@ -136,7 +150,7 @@ impl Smr for Hp {
         }
     }
 
-    fn clear_slot(&self, ctx: &mut Ctx, tls: &mut Self::Tls, slot: usize) {
+    fn clear_slot(&self, ctx: &mut E, tls: &mut Self::Tls, slot: usize) {
         if tls.published[slot] != 0 {
             ctx.write(self.slot_addr(tls.tid, slot), 0);
             tls.published[slot] = 0;
@@ -144,9 +158,9 @@ impl Smr for Hp {
     }
 
     #[inline]
-    fn on_alloc(&self, _ctx: &mut Ctx, _tls: &mut Self::Tls, _node: Addr) {}
+    fn on_alloc(&self, _ctx: &mut E, _tls: &mut Self::Tls, _node: Addr) {}
 
-    fn retire(&self, ctx: &mut Ctx, tls: &mut Self::Tls, node: Addr) {
+    fn retire(&self, ctx: &mut E, tls: &mut Self::Tls, node: Addr) {
         tls.retired.push(Retired {
             addr: node,
             birth: 0,
@@ -159,24 +173,12 @@ impl Smr for Hp {
             self.scan(ctx, tls);
         }
     }
-
-    fn needs_validation(&self) -> bool {
-        true
-    }
-
-    fn garbage(&self, tls: &Self::Tls) -> GarbageStats {
-        tls.garbage.stats()
-    }
-
-    fn name(&self) -> &'static str {
-        "hp"
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mcsim::MachineConfig;
+    use mcsim::{Machine, MachineConfig};
 
     fn machine(cores: usize) -> Machine {
         Machine::new(MachineConfig {

@@ -18,10 +18,13 @@
 //! mid-operation, two stores + fence per operation (open/close), and the
 //! scan. This is the "per-read overhead" family of the paper's §V.
 
-use mcsim::machine::Ctx;
-use mcsim::{Addr, Machine};
+use mcsim::Addr;
 
-use crate::api::{GarbageMeter, GarbageStats, per_thread_lines, EraClock, Retired, Smr, SmrConfig, INACTIVE, NODE_BIRTH_WORD};
+use crate::api::{
+    per_thread_lines, EraClock, GarbageMeter, GarbageStats, Retired, Smr, SmrBase, SmrConfig,
+    INACTIVE, NODE_BIRTH_WORD,
+};
+use crate::env::{Env, EnvHost};
 
 /// 2GE-IBR scheme state.
 pub struct Ibr {
@@ -44,17 +47,17 @@ pub struct IbrTls {
 }
 
 impl Ibr {
-    /// Build the scheme, allocating simulated metadata.
-    pub fn new(machine: &Machine, threads: usize, cfg: SmrConfig) -> Self {
+    /// Build the scheme, allocating its shared metadata.
+    pub fn new<H: EnvHost + ?Sized>(host: &H, threads: usize, cfg: SmrConfig) -> Self {
         Self {
-            clock: EraClock::new(machine),
-            res: per_thread_lines(machine, threads, INACTIVE),
+            clock: EraClock::new(host),
+            res: per_thread_lines(host, threads, INACTIVE),
             cfg,
             threads,
         }
     }
 
-    fn scan(&self, ctx: &mut Ctx, tls: &mut IbrTls) {
+    fn scan<E: Env + ?Sized>(&self, ctx: &mut E, tls: &mut IbrTls) {
         // Snapshot all reservations.
         let mut lo = vec![0u64; self.threads];
         let mut hi = vec![0u64; self.threads];
@@ -80,7 +83,7 @@ impl Ibr {
     }
 }
 
-impl Smr for Ibr {
+impl SmrBase for Ibr {
     type Tls = IbrTls;
 
     fn register(&self, tid: usize) -> IbrTls {
@@ -94,8 +97,18 @@ impl Smr for Ibr {
         }
     }
 
+    fn garbage(&self, tls: &Self::Tls) -> GarbageStats {
+        tls.garbage.stats()
+    }
+
+    fn name(&self) -> &'static str {
+        "ibr"
+    }
+}
+
+impl<E: Env + ?Sized> Smr<E> for Ibr {
     /// Open the reservation `[e, e]` at the current era.
-    fn begin_op(&self, ctx: &mut Ctx, tls: &mut Self::Tls) {
+    fn begin_op(&self, ctx: &mut E, tls: &mut Self::Tls) {
         let e = self.clock.read(ctx);
         let line = self.res[tls.tid];
         ctx.write(line, e);
@@ -105,14 +118,14 @@ impl Smr for Ibr {
     }
 
     /// Close the reservation.
-    fn end_op(&self, ctx: &mut Ctx, tls: &mut Self::Tls) {
+    fn end_op(&self, ctx: &mut E, tls: &mut Self::Tls) {
         ctx.write(self.res[tls.tid], INACTIVE);
     }
 
     /// The 2GE protected read: read the pointer, confirm the era did not
     /// move past the published `hi`; if it did, extend the reservation and
     /// retry, so the returned node's lifetime overlaps `[lo, hi]`.
-    fn read_ptr(&self, ctx: &mut Ctx, tls: &mut Self::Tls, _slot: usize, field: Addr) -> u64 {
+    fn read_ptr(&self, ctx: &mut E, tls: &mut Self::Tls, _slot: usize, field: Addr) -> u64 {
         loop {
             let v = ctx.read(field);
             let e = self.clock.read(ctx);
@@ -126,14 +139,14 @@ impl Smr for Ibr {
     }
 
     /// Stamp the birth era into the node and drive the era clock.
-    fn on_alloc(&self, ctx: &mut Ctx, tls: &mut Self::Tls, node: Addr) {
+    fn on_alloc(&self, ctx: &mut E, tls: &mut Self::Tls, node: Addr) {
         self.clock
             .on_alloc(ctx, &mut tls.alloc_count, self.cfg.epoch_freq);
         let e = self.clock.read(ctx);
         ctx.write(node.word(NODE_BIRTH_WORD), e);
     }
 
-    fn retire(&self, ctx: &mut Ctx, tls: &mut Self::Tls, node: Addr) {
+    fn retire(&self, ctx: &mut E, tls: &mut Self::Tls, node: Addr) {
         let birth = ctx.read(node.word(NODE_BIRTH_WORD));
         let stamp = self.clock.read(ctx);
         tls.retired.push(Retired {
@@ -148,20 +161,12 @@ impl Smr for Ibr {
             self.scan(ctx, tls);
         }
     }
-
-    fn garbage(&self, tls: &Self::Tls) -> GarbageStats {
-        tls.garbage.stats()
-    }
-
-    fn name(&self) -> &'static str {
-        "ibr"
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mcsim::MachineConfig;
+    use mcsim::{Machine, MachineConfig};
 
     fn machine(cores: usize) -> Machine {
         Machine::new(MachineConfig {

@@ -5,10 +5,10 @@
 //! reclamation work) — and the memory-footprint *floor* of usefulness: in
 //! Figure 3 its allocated-not-freed count grows without bound.
 
-use mcsim::machine::Ctx;
 use mcsim::Addr;
 
-use crate::api::{GarbageMeter, GarbageStats, Smr};
+use crate::api::{GarbageMeter, GarbageStats, Smr, SmrBase};
+use crate::env::Env;
 
 /// The leaking non-scheme.
 pub struct Leaky;
@@ -26,7 +26,7 @@ impl Default for Leaky {
     }
 }
 
-impl Smr for Leaky {
+impl SmrBase for Leaky {
     /// Just the garbage meter: `none` has no real per-thread state, but it
     /// is the canonical *unbounded* scheme, so its leak must be measurable
     /// on the same axis as everyone else's backlog.
@@ -36,33 +36,35 @@ impl Smr for Leaky {
         GarbageMeter::new()
     }
 
-    #[inline]
-    fn begin_op(&self, _ctx: &mut Ctx, _tls: &mut Self::Tls) {}
-
-    #[inline]
-    fn end_op(&self, _ctx: &mut Ctx, _tls: &mut Self::Tls) {}
-
-    #[inline]
-    fn read_ptr(&self, ctx: &mut Ctx, _tls: &mut Self::Tls, _slot: usize, field: Addr) -> u64 {
-        ctx.read(field)
-    }
-
-    #[inline]
-    fn on_alloc(&self, _ctx: &mut Ctx, _tls: &mut Self::Tls, _node: Addr) {}
-
-    #[inline]
-    fn retire(&self, _ctx: &mut Ctx, tls: &mut Self::Tls, _node: Addr) {
-        // Leak: never freed. The footprint counter keeps growing, which is
-        // exactly what Figure 3 shows for `none`.
-        tls.on_retire();
-    }
-
     fn garbage(&self, tls: &Self::Tls) -> GarbageStats {
         tls.stats()
     }
 
     fn name(&self) -> &'static str {
         "none"
+    }
+}
+
+impl<E: Env + ?Sized> Smr<E> for Leaky {
+    #[inline]
+    fn begin_op(&self, _ctx: &mut E, _tls: &mut Self::Tls) {}
+
+    #[inline]
+    fn end_op(&self, _ctx: &mut E, _tls: &mut Self::Tls) {}
+
+    #[inline]
+    fn read_ptr(&self, ctx: &mut E, _tls: &mut Self::Tls, _slot: usize, field: Addr) -> u64 {
+        ctx.read(field)
+    }
+
+    #[inline]
+    fn on_alloc(&self, _ctx: &mut E, _tls: &mut Self::Tls, _node: Addr) {}
+
+    #[inline]
+    fn retire(&self, _ctx: &mut E, tls: &mut Self::Tls, _node: Addr) {
+        // Leak: never freed. The footprint counter keeps growing, which is
+        // exactly what Figure 3 shows for `none`.
+        tls.on_retire();
     }
 }
 

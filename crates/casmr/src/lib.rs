@@ -21,14 +21,20 @@
 //! configurations for the experiment harness.
 
 pub mod api;
+pub mod env;
 pub mod he;
 pub mod hp;
 pub mod ibr;
 pub mod leaky;
+pub mod native;
 pub mod qsbr;
 pub mod rcu;
 
-pub use api::{GarbageMeter, GarbageStats, Retired, Smr, SmrConfig, INACTIVE, NODE_BIRTH_WORD};
+pub use api::{
+    GarbageMeter, GarbageStats, Retired, Smr, SmrBase, SmrConfig, INACTIVE, NODE_BIRTH_WORD,
+};
+pub use env::{Env, EnvHost, SimEnv, LINE_BYTES, WORDS_PER_LINE};
+pub use native::{NativeEnv, NativeMachine, NativeStats};
 pub use he::He;
 pub use hp::Hp;
 pub use ibr::Ibr;

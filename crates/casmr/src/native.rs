@@ -1,0 +1,434 @@
+//! Real-hardware execution environment: host threads over a pool of
+//! cache-line-aligned atomic words.
+//!
+//! [`NativeMachine`] owns a fixed-capacity pool of 64-byte lines (one
+//! [`AtomicU64`] per word, `#[repr(align(64))]` so simulated false-sharing
+//! structure carries over to real cache lines). [`NativeEnv`] is one host
+//! thread's handle: [`crate::env::Env`] reads/writes/CAS map to real atomic
+//! operations (Acquire / Release / AcqRel), `fence` to a real `SeqCst`
+//! fence, and `alloc`/`free` to a thread-cached free-list allocator over
+//! the pool.
+//!
+//! What the native environment does **not** do:
+//!
+//! * model cost — `tick` is a no-op and `now` returns wall-clock
+//!   nanoseconds. Throughput falls out of real elapsed time.
+//! * detect use-after-free — a freed line may be recycled while a stale
+//!   reader still holds its address. The memory stays valid (the pool never
+//!   unmaps), so such a read observes garbage *values*, never invalid
+//!   memory; the SMR schemes under test exist to make those reads
+//!   impossible, and the native differential test checks they do.
+//! * support Conditional Access — CA needs the paper's hardware primitive
+//!   (`cread`/`cwrite` with line-tag revocation), which no shipping CPU
+//!   has. CA structures stay pinned to the simulator.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use mcsim::Addr;
+
+use crate::env::{Env, EnvHost, LINE_BYTES, WORDS_PER_LINE};
+
+/// Lines handed from the global free list to a thread cache per refill, and
+/// returned per flush. Batching keeps the global mutex off the fast path.
+const CACHE_BATCH: usize = 32;
+
+/// Threshold at which a thread cache flushes a batch back to the global
+/// free list (so one thread's frees can feed another thread's allocs).
+const CACHE_MAX: usize = 2 * CACHE_BATCH;
+
+/// One 64-byte allocation line of real memory.
+#[repr(align(64))]
+struct Line([AtomicU64; WORDS_PER_LINE as usize]);
+
+impl Line {
+    fn new() -> Self {
+        Line(std::array::from_fn(|_| AtomicU64::new(0)))
+    }
+}
+
+/// A pool of real cache lines plus run-wide counters: the native
+/// counterpart of `mcsim::Machine`.
+pub struct NativeMachine {
+    lines: Box<[Line]>,
+    /// Bump allocator over never-yet-used lines. Line 0 is reserved so that
+    /// `Addr(0)` stays NULL, exactly as in the simulator.
+    next: AtomicU64,
+    /// Recycled lines, fed by thread-cache flushes.
+    free_list: Mutex<Vec<u64>>,
+    /// Total lines ever allocated (static + dynamic).
+    allocated: AtomicU64,
+    /// Total lines freed.
+    freed: AtomicU64,
+    /// High-water mark of `allocated - freed`.
+    peak_live: AtomicU64,
+    /// Completed high-level operations across all threads.
+    ops: AtomicU64,
+    start: Instant,
+}
+
+/// Counters snapshot for a native run (the analog of `MachineStats`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NativeStats {
+    /// Lines ever allocated.
+    pub allocated: u64,
+    /// Lines freed.
+    pub freed: u64,
+    /// Lines currently live (`allocated - freed`).
+    pub allocated_not_freed: u64,
+    /// High-water mark of live lines.
+    pub peak_allocated: u64,
+    /// Completed operations ([`Env::op_completed`]).
+    pub total_ops: u64,
+    /// Wall-clock nanoseconds since the machine was built (or last
+    /// [`NativeMachine::reset_timing`]).
+    pub wall_ns: u64,
+}
+
+impl NativeMachine {
+    /// Build a machine whose pool holds `lines` allocation lines (line 0 is
+    /// reserved for NULL, so the usable capacity is `lines - 1`).
+    pub fn new(lines: usize) -> Self {
+        assert!(lines >= 2, "pool needs at least one usable line");
+        NativeMachine {
+            lines: (0..lines).map(|_| Line::new()).collect(),
+            next: AtomicU64::new(1),
+            free_list: Mutex::new(Vec::new()),
+            allocated: AtomicU64::new(0),
+            freed: AtomicU64::new(0),
+            peak_live: AtomicU64::new(0),
+            ops: AtomicU64::new(0),
+            start: Instant::now(),
+        }
+    }
+
+    /// Pool capacity in lines (including the reserved NULL line).
+    pub fn capacity_lines(&self) -> usize {
+        self.lines.len()
+    }
+
+    #[inline]
+    fn word(&self, a: Addr) -> &AtomicU64 {
+        let line = (a.0 / LINE_BYTES) as usize;
+        let word = ((a.0 % LINE_BYTES) / 8) as usize;
+        debug_assert!(line != 0, "word access through NULL line: {a:?}");
+        &self.lines[line].0[word]
+    }
+
+    fn take_lines(&self, out: &mut Vec<u64>, want: usize) {
+        {
+            let mut fl = self.free_list.lock().unwrap();
+            while out.len() < want {
+                match fl.pop() {
+                    Some(l) => out.push(l),
+                    None => break,
+                }
+            }
+        }
+        // Recycled lines batch; never-used lines come off the bump pointer
+        // one at a time (a fetch_add is already cheap, and grabbing a whole
+        // batch would strand capacity other threads need).
+        if out.is_empty() {
+            let l = self.next.fetch_add(1, Ordering::Relaxed);
+            assert!(
+                (l as usize) < self.lines.len(),
+                "native line pool exhausted ({} lines) — size the pool for \
+                 the leaky worst case",
+                self.lines.len()
+            );
+            out.push(l);
+        }
+    }
+
+    fn count_alloc(&self) {
+        let live = self.allocated.fetch_add(1, Ordering::Relaxed) + 1
+            - self.freed.load(Ordering::Relaxed);
+        self.peak_live.fetch_max(live, Ordering::Relaxed);
+    }
+
+    /// Restart the wall clock and the operation counter (call between the
+    /// prefill and the timed section, like `Machine::reset_timing`).
+    pub fn reset_timing(&mut self) {
+        self.start = Instant::now();
+        self.ops.store(0, Ordering::Relaxed);
+    }
+
+    /// Counters snapshot.
+    pub fn stats(&self) -> NativeStats {
+        let allocated = self.allocated.load(Ordering::Relaxed);
+        let freed = self.freed.load(Ordering::Relaxed);
+        NativeStats {
+            allocated,
+            freed,
+            allocated_not_freed: allocated - freed,
+            peak_allocated: self.peak_live.load(Ordering::Relaxed),
+            total_ops: self.ops.load(Ordering::Relaxed),
+            wall_ns: self.start.elapsed().as_nanos() as u64,
+        }
+    }
+
+    /// Run `f` on `n` real host threads, returning the per-thread results
+    /// in thread-id order. The native analog of `Machine::run_on`.
+    pub fn run_on<R: Send>(
+        &self,
+        n: usize,
+        f: impl Fn(usize, &mut NativeEnv<'_>) -> R + Sync,
+    ) -> Vec<R> {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n)
+                .map(|tid| {
+                    let f = &f;
+                    s.spawn(move || {
+                        let mut env = NativeEnv::new(self, tid, n);
+                        f(tid, &mut env)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("native worker panicked"))
+                .collect()
+        })
+    }
+}
+
+impl EnvHost for NativeMachine {
+    fn alloc_static(&self, lines: u64) -> Addr {
+        // Static allocations are contiguous and never freed: straight off
+        // the bump pointer (recycled lines are not necessarily contiguous).
+        let first = self.next.fetch_add(lines, Ordering::Relaxed);
+        assert!(
+            (first + lines) as usize <= self.lines.len(),
+            "native line pool exhausted by static allocation"
+        );
+        for _ in 0..lines {
+            self.count_alloc();
+        }
+        Addr(first * LINE_BYTES)
+    }
+
+    #[inline]
+    fn host_read(&self, a: Addr) -> u64 {
+        self.word(a).load(Ordering::Acquire)
+    }
+
+    #[inline]
+    fn host_write(&self, a: Addr, v: u64) {
+        self.word(a).store(v, Ordering::Release)
+    }
+
+    fn run_init<R: Send>(&self, f: impl FnOnce(&mut dyn Env) -> R + Send) -> R {
+        let mut env = NativeEnv::new(self, 0, 1);
+        f(&mut env)
+    }
+}
+
+/// One host thread's handle onto a [`NativeMachine`].
+pub struct NativeEnv<'p> {
+    mach: &'p NativeMachine,
+    tid: usize,
+    threads: usize,
+    /// Thread-local cache of free lines.
+    cache: Vec<u64>,
+    /// Locally-counted completed operations, flushed on drop.
+    ops: u64,
+}
+
+impl<'p> NativeEnv<'p> {
+    fn new(mach: &'p NativeMachine, tid: usize, threads: usize) -> Self {
+        NativeEnv {
+            mach,
+            tid,
+            threads,
+            cache: Vec::with_capacity(CACHE_MAX + 1),
+            ops: 0,
+        }
+    }
+}
+
+impl Drop for NativeEnv<'_> {
+    fn drop(&mut self) {
+        self.mach.ops.fetch_add(self.ops, Ordering::Relaxed);
+        if !self.cache.is_empty() {
+            let mut fl = self.mach.free_list.lock().unwrap();
+            fl.append(&mut self.cache);
+        }
+    }
+}
+
+impl Env for NativeEnv<'_> {
+    #[inline]
+    fn tid(&self) -> usize {
+        self.tid
+    }
+
+    #[inline]
+    fn threads(&self) -> usize {
+        self.threads
+    }
+
+    #[inline]
+    fn read(&mut self, a: Addr) -> u64 {
+        self.mach.word(a).load(Ordering::Acquire)
+    }
+
+    #[inline]
+    fn write(&mut self, a: Addr, v: u64) {
+        self.mach.word(a).store(v, Ordering::Release)
+    }
+
+    #[inline]
+    fn cas(&mut self, a: Addr, expected: u64, new: u64) -> Result<u64, u64> {
+        self.mach
+            .word(a)
+            .compare_exchange(expected, new, Ordering::AcqRel, Ordering::Acquire)
+    }
+
+    #[inline]
+    fn fence(&mut self) {
+        std::sync::atomic::fence(Ordering::SeqCst);
+    }
+
+    #[inline]
+    fn tick(&mut self, _n: u64) {
+        // Real time; the host CPU already charged us.
+    }
+
+    fn alloc(&mut self) -> Addr {
+        if self.cache.is_empty() {
+            self.mach.take_lines(&mut self.cache, CACHE_BATCH);
+        }
+        let l = self.cache.pop().expect("take_lines fills or panics");
+        let a = Addr(l * LINE_BYTES);
+        // Zero the line. Relaxed suffices: the line is published to other
+        // threads only by a later Release store/CAS of its address.
+        for w in 0..WORDS_PER_LINE {
+            self.mach.word(a.word(w)).store(0, Ordering::Relaxed);
+        }
+        self.mach.count_alloc();
+        a
+    }
+
+    fn free(&mut self, a: Addr) {
+        debug_assert!(a.0.is_multiple_of(LINE_BYTES), "free of a non-line address");
+        self.cache.push(a.0 / LINE_BYTES);
+        self.mach.freed.fetch_add(1, Ordering::Relaxed);
+        if self.cache.len() >= CACHE_MAX {
+            let spill = self.cache.split_off(self.cache.len() - CACHE_BATCH);
+            let mut fl = self.mach.free_list.lock().unwrap();
+            fl.extend(spill);
+        }
+    }
+
+    #[inline]
+    fn op_completed(&mut self) {
+        self.ops += 1;
+    }
+
+    #[inline]
+    fn now(&mut self) -> u64 {
+        self.mach.start.elapsed().as_nanos() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_recycles_within_pool() {
+        let m = NativeMachine::new(64);
+        m.run_on(1, |_, env| {
+            // Churn far more allocations than the pool holds: frees must
+            // recycle.
+            for i in 0..10_000u64 {
+                let a = env.alloc();
+                env.write(a, i);
+                assert_eq!(env.read(a), i);
+                env.free(a);
+            }
+        });
+        let st = m.stats();
+        assert_eq!(st.allocated, 10_000);
+        assert_eq!(st.freed, 10_000);
+        assert_eq!(st.allocated_not_freed, 0);
+        assert!(st.peak_allocated <= 64);
+    }
+
+    #[test]
+    fn pool_exhaustion_panics() {
+        let m = NativeMachine::new(4);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            m.run_on(1, |_, env| {
+                for _ in 0..10 {
+                    let _ = env.alloc(); // never freed
+                }
+            });
+        }));
+        assert!(r.is_err(), "exhausting the pool must panic, not wrap");
+    }
+
+    #[test]
+    fn alloc_returns_zeroed_lines() {
+        let m = NativeMachine::new(16);
+        m.run_on(1, |_, env| {
+            let a = env.alloc();
+            for w in 0..WORDS_PER_LINE {
+                env.write(a.word(w), u64::MAX);
+            }
+            env.free(a);
+            let b = env.alloc(); // likely recycles `a`
+            for w in 0..WORDS_PER_LINE {
+                assert_eq!(env.read(b.word(w)), 0, "recycled line must be zeroed");
+            }
+        });
+    }
+
+    #[test]
+    fn cross_thread_handoff_is_visible() {
+        let m = NativeMachine::new(1024);
+        let mailbox = m.alloc_static(1);
+        let results = m.run_on(2, |tid, env| {
+            if tid == 0 {
+                let n = env.alloc();
+                env.write(n, 4242);
+                env.write(mailbox, n.0);
+                0
+            } else {
+                let mut p = env.read(mailbox);
+                while p == 0 {
+                    std::hint::spin_loop();
+                    p = env.read(mailbox);
+                }
+                env.read(Addr(p))
+            }
+        });
+        assert_eq!(results[1], 4242, "Release publish / Acquire consume");
+    }
+
+    #[test]
+    fn static_allocations_are_contiguous_and_distinct() {
+        let m = NativeMachine::new(64);
+        let a = m.alloc_static(2);
+        let b = m.alloc_static(1);
+        assert_eq!(b.0 - a.0, 2 * LINE_BYTES);
+        m.host_write(a, 1);
+        m.host_write(b, 2);
+        assert_eq!(m.host_read(a), 1);
+        assert_eq!(m.host_read(b), 2);
+    }
+
+    #[test]
+    fn ops_and_threads_are_counted() {
+        let m = NativeMachine::new(16);
+        m.run_on(4, |tid, env| {
+            assert_eq!(env.tid(), tid);
+            assert_eq!(env.threads(), 4);
+            for _ in 0..10 {
+                env.op_completed();
+            }
+        });
+        assert_eq!(m.stats().total_ops, 40);
+    }
+}

@@ -14,10 +14,12 @@
 //! stops the epoch ratchet for everyone and the retired backlog grows
 //! without bound.
 
-use mcsim::machine::Ctx;
-use mcsim::{Addr, Machine};
+use mcsim::Addr;
 
-use crate::api::{GarbageMeter, GarbageStats, per_thread_lines, EraClock, Retired, Smr, SmrConfig};
+use crate::api::{
+    per_thread_lines, EraClock, GarbageMeter, GarbageStats, Retired, Smr, SmrBase, SmrConfig,
+};
+use crate::env::{Env, EnvHost};
 
 /// QSBR scheme state (shared across threads).
 pub struct Qsbr {
@@ -38,18 +40,18 @@ pub struct QsbrTls {
 }
 
 impl Qsbr {
-    /// Build the scheme for `threads` threads, allocating its simulated
+    /// Build the scheme for `threads` threads, allocating its shared
     /// metadata (one epoch line + one announcement line per thread).
-    pub fn new(machine: &Machine, threads: usize, cfg: SmrConfig) -> Self {
+    pub fn new<H: EnvHost + ?Sized>(host: &H, threads: usize, cfg: SmrConfig) -> Self {
         Self {
-            clock: EraClock::new(machine),
-            announce: per_thread_lines(machine, threads, 0),
+            clock: EraClock::new(host),
+            announce: per_thread_lines(host, threads, 0),
             cfg,
             threads,
         }
     }
 
-    fn scan(&self, ctx: &mut Ctx, tls: &mut QsbrTls) {
+    fn scan<E: Env + ?Sized>(&self, ctx: &mut E, tls: &mut QsbrTls) {
         // Snapshot every thread's announcement (simulated loads: these lines
         // are write-mostly by their owners, so these are usually misses).
         let mut min_announce = u64::MAX;
@@ -70,7 +72,7 @@ impl Qsbr {
     }
 }
 
-impl Smr for Qsbr {
+impl SmrBase for Qsbr {
     type Tls = QsbrTls;
 
     fn register(&self, tid: usize) -> QsbrTls {
@@ -83,29 +85,39 @@ impl Smr for Qsbr {
         }
     }
 
+    fn garbage(&self, tls: &Self::Tls) -> GarbageStats {
+        tls.garbage.stats()
+    }
+
+    fn name(&self) -> &'static str {
+        "qsbr"
+    }
+}
+
+impl<E: Env + ?Sized> Smr<E> for Qsbr {
     #[inline]
-    fn begin_op(&self, _ctx: &mut Ctx, _tls: &mut Self::Tls) {}
+    fn begin_op(&self, _ctx: &mut E, _tls: &mut Self::Tls) {}
 
     /// Quiescent-state announcement: observe the epoch, publish it. Plain
     /// store, no fence.
     #[inline]
-    fn end_op(&self, ctx: &mut Ctx, tls: &mut Self::Tls) {
+    fn end_op(&self, ctx: &mut E, tls: &mut Self::Tls) {
         let e = self.clock.read(ctx);
         ctx.write(self.announce[tls.tid], e);
     }
 
     #[inline]
-    fn read_ptr(&self, ctx: &mut Ctx, _tls: &mut Self::Tls, _slot: usize, field: Addr) -> u64 {
+    fn read_ptr(&self, ctx: &mut E, _tls: &mut Self::Tls, _slot: usize, field: Addr) -> u64 {
         ctx.read(field)
     }
 
     #[inline]
-    fn on_alloc(&self, ctx: &mut Ctx, tls: &mut Self::Tls, _node: Addr) {
+    fn on_alloc(&self, ctx: &mut E, tls: &mut Self::Tls, _node: Addr) {
         self.clock
             .on_alloc(ctx, &mut tls.alloc_count, self.cfg.epoch_freq);
     }
 
-    fn retire(&self, ctx: &mut Ctx, tls: &mut Self::Tls, node: Addr) {
+    fn retire(&self, ctx: &mut E, tls: &mut Self::Tls, node: Addr) {
         let stamp = self.clock.read(ctx);
         tls.retired.push(Retired {
             addr: node,
@@ -119,20 +131,12 @@ impl Smr for Qsbr {
             self.scan(ctx, tls);
         }
     }
-
-    fn garbage(&self, tls: &Self::Tls) -> GarbageStats {
-        tls.garbage.stats()
-    }
-
-    fn name(&self) -> &'static str {
-        "qsbr"
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mcsim::MachineConfig;
+    use mcsim::{Machine, MachineConfig};
 
     fn machine(cores: usize) -> Machine {
         Machine::new(MachineConfig {

@@ -11,10 +11,13 @@
 //! either unpinned or pinned at an epoch `≥ E + 1` (its critical section
 //! started after the node was unlinked, so it cannot reach it).
 
-use mcsim::machine::Ctx;
-use mcsim::{Addr, Machine};
+use mcsim::Addr;
 
-use crate::api::{GarbageMeter, GarbageStats, per_thread_lines, EraClock, Retired, Smr, SmrConfig, INACTIVE};
+use crate::api::{
+    per_thread_lines, EraClock, GarbageMeter, GarbageStats, Retired, Smr, SmrBase, SmrConfig,
+    INACTIVE,
+};
+use crate::env::{Env, EnvHost};
 
 /// RCU/EBR scheme state.
 pub struct Rcu {
@@ -35,17 +38,17 @@ pub struct RcuTls {
 }
 
 impl Rcu {
-    /// Build the scheme, allocating simulated metadata.
-    pub fn new(machine: &Machine, threads: usize, cfg: SmrConfig) -> Self {
+    /// Build the scheme, allocating its shared metadata.
+    pub fn new<H: EnvHost + ?Sized>(host: &H, threads: usize, cfg: SmrConfig) -> Self {
         Self {
-            clock: EraClock::new(machine),
-            pins: per_thread_lines(machine, threads, INACTIVE),
+            clock: EraClock::new(host),
+            pins: per_thread_lines(host, threads, INACTIVE),
             cfg,
             threads,
         }
     }
 
-    fn scan(&self, ctx: &mut Ctx, tls: &mut RcuTls) {
+    fn scan<E: Env + ?Sized>(&self, ctx: &mut E, tls: &mut RcuTls) {
         // Snapshot all pins; compute the oldest epoch any thread could be
         // reading in. INACTIVE threads don't constrain reclamation.
         let mut min_pinned = u64::MAX;
@@ -70,7 +73,7 @@ impl Rcu {
     }
 }
 
-impl Smr for Rcu {
+impl SmrBase for Rcu {
     type Tls = RcuTls;
 
     fn register(&self, tid: usize) -> RcuTls {
@@ -83,10 +86,20 @@ impl Smr for Rcu {
         }
     }
 
+    fn garbage(&self, tls: &Self::Tls) -> GarbageStats {
+        tls.garbage.stats()
+    }
+
+    fn name(&self) -> &'static str {
+        "rcu"
+    }
+}
+
+impl<E: Env + ?Sized> Smr<E> for Rcu {
     /// Pin: publish the observed epoch, fence so subsequent reads cannot be
     /// reordered before the publication.
     #[inline]
-    fn begin_op(&self, ctx: &mut Ctx, tls: &mut Self::Tls) {
+    fn begin_op(&self, ctx: &mut E, tls: &mut Self::Tls) {
         let e = self.clock.read(ctx);
         ctx.write(self.pins[tls.tid], e);
         ctx.fence();
@@ -94,22 +107,22 @@ impl Smr for Rcu {
 
     /// Unpin (plain store; release ordering suffices in a real machine).
     #[inline]
-    fn end_op(&self, ctx: &mut Ctx, tls: &mut Self::Tls) {
+    fn end_op(&self, ctx: &mut E, tls: &mut Self::Tls) {
         ctx.write(self.pins[tls.tid], INACTIVE);
     }
 
     #[inline]
-    fn read_ptr(&self, ctx: &mut Ctx, _tls: &mut Self::Tls, _slot: usize, field: Addr) -> u64 {
+    fn read_ptr(&self, ctx: &mut E, _tls: &mut Self::Tls, _slot: usize, field: Addr) -> u64 {
         ctx.read(field)
     }
 
     #[inline]
-    fn on_alloc(&self, ctx: &mut Ctx, tls: &mut Self::Tls, _node: Addr) {
+    fn on_alloc(&self, ctx: &mut E, tls: &mut Self::Tls, _node: Addr) {
         self.clock
             .on_alloc(ctx, &mut tls.alloc_count, self.cfg.epoch_freq);
     }
 
-    fn retire(&self, ctx: &mut Ctx, tls: &mut Self::Tls, node: Addr) {
+    fn retire(&self, ctx: &mut E, tls: &mut Self::Tls, node: Addr) {
         let stamp = self.clock.read(ctx);
         tls.retired.push(Retired {
             addr: node,
@@ -123,20 +136,12 @@ impl Smr for Rcu {
             self.scan(ctx, tls);
         }
     }
-
-    fn garbage(&self, tls: &Self::Tls) -> GarbageStats {
-        tls.garbage.stats()
-    }
-
-    fn name(&self) -> &'static str {
-        "rcu"
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mcsim::MachineConfig;
+    use mcsim::{Machine, MachineConfig};
 
     fn machine(cores: usize) -> Machine {
         Machine::new(MachineConfig {

@@ -1966,6 +1966,7 @@ pub(crate) fn run_threads_mech<'env, R: Send + 'env>(
                     };
                     let mut ctx = Ctx::from_parts(
                         c,
+                        n,
                         CtxBackend::GangThreads(GangThreadsCtx {
                             run: run as *const GangRun,
                             gang: g,
@@ -2108,6 +2109,7 @@ impl<R: Send> CoopArena<R> {
     {
         use crate::coop;
         let size = fns.len();
+        let total = run.layout.n;
         let base = run.layout.base(g);
         let mut stacks: Vec<coop::Stack> =
             (0..size).map(|_| coop::Stack::new(coop::STACK_SIZE)).collect();
@@ -2123,6 +2125,7 @@ impl<R: Send> CoopArena<R> {
                 let body: Box<dyn FnOnce() -> usize + 'env> = Box::new(move || {
                     let mut ctx = Ctx::from_parts(
                         base + l,
+                        total,
                         CtxBackend::GangCoop(GangCoopCtx {
                             run: run_ptr,
                             gang: g,

@@ -661,6 +661,7 @@ impl Machine {
                 let body: Box<dyn FnOnce() -> usize + 'env> = Box::new(move || {
                     let mut ctx = Ctx {
                         core,
+                        threads: n,
                         pending_ticks: 0,
                         backend: CtxBackend::Coop(CoopCtx {
                             state: state_ptr,
@@ -737,6 +738,7 @@ impl Machine {
                         let peers = shared.lock().threads.clone();
                         let mut ctx = Ctx {
                             core,
+                            threads: n,
                             pending_ticks: 0,
                             backend: CtxBackend::Threads(ThreadsCtx {
                                 shared,
@@ -889,6 +891,8 @@ impl Machine {
 /// data-structure code.
 pub struct Ctx<'m> {
     core: CoreId,
+    /// Number of simulated cores participating in this `run_on` call.
+    threads: usize,
     pending_ticks: u64,
     backend: CtxBackend<'m>,
 }
@@ -1288,9 +1292,10 @@ fn finish_retire(st: &mut SimState, c: CoreId, pending: u64) -> Option<CoreId> {
 
 impl<'m> Ctx<'m> {
     /// Internal constructor for the gang drivers (`crate::gang`).
-    pub(crate) fn from_parts(core: CoreId, backend: CtxBackend<'m>) -> Self {
+    pub(crate) fn from_parts(core: CoreId, threads: usize, backend: CtxBackend<'m>) -> Self {
         Ctx {
             core,
+            threads,
             pending_ticks: 0,
             backend,
         }
@@ -1300,6 +1305,13 @@ impl<'m> Ctx<'m> {
     #[inline]
     pub fn core(&self) -> CoreId {
         self.core
+    }
+
+    /// Number of simulated cores participating in the current `run_on`
+    /// call (the workload's thread count, not the machine's core count).
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Gang-coop only: the final switch target recorded by `retire` (read

@@ -12,6 +12,7 @@
 //! transaction begin/commit pair, and the metadata version table causes
 //! false conflicts between unrelated keys.
 
+use conditional_access::sim::machine::Ctx;
 use conditional_access::ds::ca::CaLazyList;
 use conditional_access::ds::htm::HtmLazyList;
 use conditional_access::ds::SetDs;
@@ -21,7 +22,7 @@ const THREADS: usize = 4;
 const RANGE: u64 = 256;
 const OPS: u64 = 500;
 
-fn drive<D: SetDs>(machine: &Machine, ds: &D) -> f64 {
+fn drive<D: for<'m> SetDs<Ctx<'m>>>(machine: &Machine, ds: &D) -> f64 {
     // Prefill to half the key range, then run a 90% read mix.
     machine.run_on(1, |_, ctx| {
         let mut tls = ds.register(0);

@@ -13,6 +13,7 @@
 //! is exactly the memory-overcommitment cost the paper's introduction
 //! argues against.
 
+use conditional_access::sim::machine::Ctx;
 use conditional_access::ds::ca::CaLazyList;
 use conditional_access::ds::smr::SmrLazyList;
 use conditional_access::ds::SetDs;
@@ -31,7 +32,7 @@ fn machine() -> Machine {
     })
 }
 
-fn drive<D: SetDs>(m: &Machine, ds: &D) -> Vec<(u64, u64)> {
+fn drive<D: for<'m> SetDs<Ctx<'m>>>(m: &Machine, ds: &D) -> Vec<(u64, u64)> {
     // Prefill to ~500 live keys.
     m.run_on(1, |_, ctx| {
         let mut tls = ds.register(0);

@@ -26,7 +26,7 @@ pub struct SetAccounting {
 /// Run `threads × ops` random insert/delete/contains ops and return the
 /// per-key accounting. With the UAF detector armed (default), any
 /// reclamation bug panics the test.
-pub fn run_mixed_set<D: SetDs>(
+pub fn run_mixed_set<D: for<'m> SetDs<Ctx<'m>>>(
     m: &Machine,
     ds: &D,
     threads: usize,

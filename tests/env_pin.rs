@@ -1,0 +1,388 @@
+//! Byte-identity regression pin for the Env refactor.
+//!
+//! The memory-environment abstraction (`casmr::env::Env`) must be
+//! *invisible* to the simulator path: routing every shared-memory access of
+//! the SMR schemes and structures through the trait may not change a single
+//! simulated event. This test pins that contract against goldens captured
+//! **before** the refactor: it runs the differential SMR battery shapes
+//! (single-threaded histories, concurrent UAF-recorded runs) and a
+//! figure-style throughput panel, hashes every simulated result (op logs,
+//! final contents, fault counts, `f64` throughput bit patterns, cycle
+//! counts), and compares the digests against `tests/goldens/env_pin.txt`.
+//!
+//! Simulated results are bit-identical across host execution backends
+//! (`tests/quantum_sweep.rs` asserts it), so one golden file serves both
+//! `MCSIM_EXEC` legs.
+//!
+//! Regenerate (only when an *intentional* simulated-behaviour change lands):
+//! `MCSIM_WRITE_GOLDENS=1 cargo test --test env_pin`
+
+use conditional_access::sim::machine::Ctx;
+use conditional_access::ds::ca::{CaExtBst, CaLazyList, CaQueue, CaStack};
+use conditional_access::ds::seqcheck::{walk_bst, walk_list};
+use conditional_access::ds::smr::{SmrExtBst, SmrLazyList, SmrQueue, SmrStack};
+use conditional_access::ds::{QueueDs, SetDs, StackDs};
+use conditional_access::harness::{run_set, Mix, RunConfig, SetKind};
+use conditional_access::sim::{Machine, MachineConfig, Rng, UafMode};
+use conditional_access::smr::{He, Hp, Ibr, Leaky, Qsbr, Rcu, SchemeKind, SmrConfig};
+
+/// FNV-1a, the simplest stable hash that fits in a golden line.
+struct Digest(u64);
+
+impl Digest {
+    fn new() -> Self {
+        Digest(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn slice(&mut self, vs: &[u64]) {
+        self.u64(vs.len() as u64);
+        for &v in vs {
+            self.u64(v);
+        }
+    }
+}
+
+fn machine(cores: usize, uaf: UafMode) -> Machine {
+    Machine::new(MachineConfig {
+        cores,
+        mem_bytes: 32 << 20,
+        static_lines: 2048,
+        uaf_mode: uaf,
+        ..Default::default()
+    })
+}
+
+fn tight_smr() -> SmrConfig {
+    SmrConfig {
+        reclaim_freq: 4,
+        epoch_freq: 6,
+        ..Default::default()
+    }
+}
+
+// --- battery drivers (same workload shapes as tests/smr_differential.rs) --
+
+fn drive_set_ops<D: for<'m> SetDs<Ctx<'m>>>(
+    m: &Machine,
+    ds: &D,
+    threads: usize,
+    ops: u64,
+    range: u64,
+    seed: u64,
+    d: &mut Digest,
+) {
+    let logs = m.run_on(threads, |tid, ctx| {
+        let mut tls = ds.register(tid);
+        let mut rng = Rng::new(seed ^ ((tid as u64) << 32));
+        let mut log = Vec::with_capacity(ops as usize);
+        for _ in 0..ops {
+            let key = 1 + rng.below(range);
+            let entry = match rng.below(3) {
+                0 => (0u64, key, ds.insert(ctx, &mut tls, key)),
+                1 => (1, key, ds.delete(ctx, &mut tls, key)),
+                _ => (2, key, ds.contains(ctx, &mut tls, key)),
+            };
+            log.push(entry);
+        }
+        log
+    });
+    for log in logs {
+        for (kind, key, ok) in log {
+            d.u64(kind);
+            d.u64(key);
+            d.u64(ok as u64);
+        }
+    }
+}
+
+fn drive_stack_ops<D: for<'m> StackDs<Ctx<'m>>>(
+    m: &Machine,
+    ds: &D,
+    threads: usize,
+    ops: u64,
+    range: u64,
+    seed: u64,
+    d: &mut Digest,
+) {
+    let logs = m.run_on(threads, |tid, ctx| {
+        let mut tls = ds.register(tid);
+        let mut rng = Rng::new(seed ^ ((tid as u64) << 32));
+        let mut log = Vec::with_capacity(ops as usize);
+        for _ in 0..ops {
+            let entry = match rng.below(3) {
+                0 => {
+                    let v = 1 + rng.below(range);
+                    ds.push(ctx, &mut tls, v);
+                    (0u64, v)
+                }
+                1 => (1, ds.pop(ctx, &mut tls).map_or(0, |v| v + 1)),
+                _ => (2, ds.peek(ctx, &mut tls).map_or(0, |v| v + 1)),
+            };
+            log.push(entry);
+        }
+        log
+    });
+    for log in logs {
+        for (kind, v) in log {
+            d.u64(kind);
+            d.u64(v);
+        }
+    }
+    let drained = m.run_on(1, |_, ctx| {
+        let mut tls = ds.register(0);
+        let mut out = Vec::new();
+        while let Some(v) = ds.pop(ctx, &mut tls) {
+            out.push(v);
+        }
+        out
+    });
+    d.slice(&drained[0]);
+}
+
+fn drive_queue_ops<D: for<'m> QueueDs<Ctx<'m>>>(
+    m: &Machine,
+    ds: &D,
+    threads: usize,
+    ops: u64,
+    range: u64,
+    seed: u64,
+    d: &mut Digest,
+) {
+    let logs = m.run_on(threads, |tid, ctx| {
+        let mut tls = ds.register(tid);
+        let mut rng = Rng::new(seed ^ ((tid as u64) << 32));
+        let mut log = Vec::with_capacity(ops as usize);
+        for _ in 0..ops {
+            let entry = if rng.below(2) == 0 {
+                let v = 1 + rng.below(range);
+                ds.enqueue(ctx, &mut tls, v);
+                (0u64, v)
+            } else {
+                (1, ds.dequeue(ctx, &mut tls).map_or(0, |v| v + 1))
+            };
+            log.push(entry);
+        }
+        log
+    });
+    for log in logs {
+        for (kind, v) in log {
+            d.u64(kind);
+            d.u64(v);
+        }
+    }
+    let drained = m.run_on(1, |_, ctx| {
+        let mut tls = ds.register(0);
+        let mut out = Vec::new();
+        while let Some(v) = ds.dequeue(ctx, &mut tls) {
+            out.push(v);
+        }
+        out
+    });
+    d.slice(&drained[0]);
+}
+
+/// One battery cell: `(structure, scheme, threads, seed, uaf)` → digest of
+/// every simulated result the differential battery would compare.
+fn battery_digest(
+    structure: &str,
+    scheme: SchemeKind,
+    threads: usize,
+    ops: u64,
+    range: u64,
+    seed: u64,
+    uaf: UafMode,
+) -> u64 {
+    let m = machine(threads, uaf);
+    let mut d = Digest::new();
+    macro_rules! with_smr {
+        (|$s:ident| $body:expr) => {
+            match scheme {
+                SchemeKind::Ca => unreachable!("CA handled per structure"),
+                SchemeKind::None => {
+                    let $s = Leaky::new();
+                    $body
+                }
+                SchemeKind::Qsbr => {
+                    let $s = Qsbr::new(&m, threads, tight_smr());
+                    $body
+                }
+                SchemeKind::Rcu => {
+                    let $s = Rcu::new(&m, threads, tight_smr());
+                    $body
+                }
+                SchemeKind::Ibr => {
+                    let $s = Ibr::new(&m, threads, tight_smr());
+                    $body
+                }
+                SchemeKind::Hp => {
+                    let $s = Hp::new(&m, threads, tight_smr());
+                    $body
+                }
+                SchemeKind::He => {
+                    let $s = He::new(&m, threads, tight_smr());
+                    $body
+                }
+            }
+        };
+    }
+    match (structure, scheme) {
+        ("lazylist", SchemeKind::Ca) => {
+            let ds = CaLazyList::new(&m);
+            drive_set_ops(&m, &ds, threads, ops, range, seed, &mut d);
+            d.slice(&walk_list(&m, ds.head_node()));
+        }
+        ("lazylist", _) => with_smr!(|s| {
+            let ds = SmrLazyList::new(&m, s);
+            drive_set_ops(&m, &ds, threads, ops, range, seed, &mut d);
+            d.slice(&walk_list(&m, ds.head_node()));
+        }),
+        ("extbst", SchemeKind::Ca) => {
+            let ds = CaExtBst::new(&m);
+            drive_set_ops(&m, &ds, threads, ops, range, seed, &mut d);
+            d.slice(&walk_bst(&m, ds.root_node()));
+        }
+        ("extbst", _) => with_smr!(|s| {
+            let ds = SmrExtBst::new(&m, s);
+            drive_set_ops(&m, &ds, threads, ops, range, seed, &mut d);
+            d.slice(&walk_bst(&m, ds.root_node()));
+        }),
+        ("stack", SchemeKind::Ca) => {
+            let ds = CaStack::new(&m);
+            drive_stack_ops(&m, &ds, threads, ops, range, seed, &mut d);
+        }
+        ("stack", _) => with_smr!(|s| {
+            let ds = SmrStack::new(&m, s);
+            drive_stack_ops(&m, &ds, threads, ops, range, seed, &mut d);
+        }),
+        ("queue", SchemeKind::Ca) => {
+            let ds = CaQueue::new(&m);
+            drive_queue_ops(&m, &ds, threads, ops, range, seed, &mut d);
+        }
+        ("queue", _) => with_smr!(|s| {
+            let ds = SmrQueue::new(&m, s);
+            drive_queue_ops(&m, &ds, threads, ops, range, seed, &mut d);
+        }),
+        _ => unreachable!("unknown structure {structure}"),
+    }
+    d.u64(m.faults().len() as u64);
+    let stats = m.stats();
+    d.u64(stats.allocated_not_freed);
+    d.u64(stats.peak_allocated);
+    d.u64(stats.max_cycles);
+    d.0
+}
+
+/// One figure-panel cell through the public harness runner: every simulated
+/// metric that feeds the figures, bit-exact (`f64::to_bits`).
+fn panel_digest(kind: SetKind, scheme: SchemeKind, threads: usize) -> u64 {
+    let cfg = RunConfig {
+        threads,
+        key_range: 128,
+        prefill: 64,
+        ops_per_thread: 300,
+        mix: Mix {
+            insert_pct: 50,
+            delete_pct: 50,
+        },
+        ..Default::default()
+    };
+    let m = run_set(kind, scheme, &cfg);
+    let mut d = Digest::new();
+    d.u64(m.total_ops);
+    d.u64(m.cycles);
+    d.u64(m.throughput.to_bits());
+    d.u64(m.final_allocated);
+    d.u64(m.peak_allocated);
+    d.u64(m.cread_fail);
+    d.u64(m.fences);
+    d.0
+}
+
+const SEEDS: [u64; 3] = [0xD1FF, 0x5EED5, 0xFACADE];
+const STRUCTURES: [&str; 4] = ["lazylist", "extbst", "stack", "queue"];
+
+/// Compute every pinned digest, as `(label, hash)` lines.
+fn all_digests() -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    // Single-threaded history legs (the battery's oracle-equality shape).
+    for structure in STRUCTURES {
+        for scheme in SchemeKind::ALL {
+            for seed in SEEDS {
+                let h = battery_digest(structure, scheme, 1, 400, 48, seed, UafMode::Panic);
+                out.push((format!("battery1 {structure} {scheme} {seed:#x}"), h));
+            }
+        }
+    }
+    // Concurrent UAF-recorded legs (one seed per cell: runtime-bounded).
+    for structure in STRUCTURES {
+        for scheme in SchemeKind::ALL {
+            let h = battery_digest(structure, scheme, 4, 250, 48, SEEDS[0], UafMode::Record);
+            out.push((format!("battery4 {structure} {scheme} {:#x}", SEEDS[0]), h));
+        }
+    }
+    // Figure panel: lazy list 50i-50d, all schemes × {1, 2, 4} threads.
+    for scheme in SchemeKind::ALL {
+        for threads in [1usize, 2, 4] {
+            let h = panel_digest(SetKind::LazyList, scheme, threads);
+            out.push((format!("panel lazylist {scheme} t{threads}"), h));
+        }
+    }
+    out
+}
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("goldens")
+        .join("env_pin.txt")
+}
+
+fn render(digests: &[(String, u64)]) -> String {
+    let mut s = String::new();
+    for (label, h) in digests {
+        s.push_str(&format!("{label} = {h:#018x}\n"));
+    }
+    s
+}
+
+#[test]
+fn simulated_results_match_pre_refactor_goldens() {
+    let digests = all_digests();
+    let rendered = render(&digests);
+    let path = golden_path();
+    if std::env::var_os("MCSIM_WRITE_GOLDENS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &rendered).unwrap();
+        eprintln!("[env_pin] wrote {} digests to {}", digests.len(), path.display());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); generate with MCSIM_WRITE_GOLDENS=1",
+            path.display()
+        )
+    });
+    if rendered != golden {
+        let mismatches: Vec<&str> = rendered
+            .lines()
+            .zip(golden.lines())
+            .filter(|(a, b)| a != b)
+            .map(|(a, _)| a)
+            .collect();
+        panic!(
+            "simulated results diverged from the pre-refactor goldens \
+             ({} of {} lines differ; the Env layer must be invisible to the \
+             simulator path):\n{}",
+            mismatches.len(),
+            digests.len(),
+            mismatches.join("\n")
+        );
+    }
+}

@@ -10,7 +10,7 @@ use conditional_access::ds::ca::{CaLazyList, CaStack, FbCaLazyList};
 use conditional_access::ds::htm::HtmLazyList;
 use conditional_access::ds::seqcheck::walk_list;
 use conditional_access::ds::smr::SmrLazyList;
-use conditional_access::ds::StackDs;
+use conditional_access::ds::{DsShared, StackDs};
 use conditional_access::sim::coherence::{CacheConfig, Protocol};
 use conditional_access::smr::{Qsbr, SmrConfig};
 use conditional_access::sim::{Machine, MachineConfig};

@@ -12,6 +12,7 @@ mod common;
 use std::collections::BTreeSet;
 
 use common::{check_set_accounting, machine, run_mixed_set};
+use conditional_access::sim::machine::Ctx;
 use conditional_access::ds::ca::{CaExtBst, CaHarrisList, CaLazyList, CaLfExtBst, FbCaLazyList};
 use conditional_access::ds::htm::HtmLazyList;
 use conditional_access::ds::seqcheck::{walk_bst, walk_list};
@@ -37,7 +38,7 @@ fn op_strategy(range: u64) -> impl Strategy<Value = Op> {
 }
 
 /// Single-threaded script, checked op-by-op against BTreeSet.
-fn check_sequential<D: SetDs>(mk: impl FnOnce(&conditional_access::sim::Machine) -> D, ops: &[Op]) {
+fn check_sequential<D: for<'m> SetDs<Ctx<'m>>>(mk: impl FnOnce(&conditional_access::sim::Machine) -> D, ops: &[Op]) {
     let m = machine(1, 0);
     let ds = mk(&m);
     let ops_vec = ops.to_vec();

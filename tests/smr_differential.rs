@@ -26,6 +26,7 @@ mod common;
 use std::collections::BTreeMap;
 
 use common::{check_set_accounting, SetAccounting};
+use conditional_access::sim::machine::Ctx;
 use conditional_access::ds::ca::{CaExtBst, CaLazyList, CaQueue, CaStack};
 use conditional_access::ds::seqcheck::{walk_bst, walk_list};
 use conditional_access::ds::smr::{SmrExtBst, SmrLazyList, SmrQueue, SmrStack};
@@ -64,7 +65,7 @@ fn tight_smr() -> SmrConfig {
 
 /// Run the shared randomized workload and return one op log per thread.
 /// The op stream is a pure function of (seed, tid), never of the scheme.
-fn drive<D: SetDs>(m: &Machine, ds: &D, threads: usize, ops: u64, range: u64, seed: u64) -> Vec<Vec<Op>> {
+fn drive<D: for<'m> SetDs<Ctx<'m>>>(m: &Machine, ds: &D, threads: usize, ops: u64, range: u64, seed: u64) -> Vec<Vec<Op>> {
     m.run_on(threads, |tid, ctx| {
         let mut tls = ds.register(tid);
         let mut rng = Rng::new(seed ^ ((tid as u64) << 32));
@@ -148,7 +149,7 @@ fn lazylist_run_g(
     (history, keys, faults)
 }
 
-fn smr_lazylist_run<S: conditional_access::smr::Smr>(
+fn smr_lazylist_run<S: for<'m> conditional_access::smr::Smr<Ctx<'m>>>(
     m: &Machine,
     s: S,
     threads: usize,
@@ -212,7 +213,7 @@ fn extbst_run_g(
     (history, keys, faults)
 }
 
-fn smr_extbst_run<S: conditional_access::smr::Smr>(
+fn smr_extbst_run<S: for<'m> conditional_access::smr::Smr<Ctx<'m>>>(
     m: &Machine,
     s: S,
     threads: usize,
@@ -287,7 +288,7 @@ fn stack_run_g(
     (history, drained, faults)
 }
 
-fn smr_stack_run<S: Smr>(
+fn smr_stack_run<S: for<'m> Smr<Ctx<'m>>>(
     m: &Machine,
     s: S,
     threads: usize,
@@ -299,7 +300,7 @@ fn smr_stack_run<S: Smr>(
     (drive_stack(m, &ds, threads, ops, range, seed), drain_stack(m, &ds))
 }
 
-fn drive_stack<D: StackDs>(
+fn drive_stack<D: for<'m> StackDs<Ctx<'m>>>(
     m: &Machine,
     ds: &D,
     threads: usize,
@@ -327,7 +328,7 @@ fn drive_stack<D: StackDs>(
     })
 }
 
-fn drain_stack<D: StackDs>(m: &Machine, ds: &D) -> Vec<u64> {
+fn drain_stack<D: for<'m> StackDs<Ctx<'m>>>(m: &Machine, ds: &D) -> Vec<u64> {
     m.run_on(1, |_, ctx| {
         let mut tls = ds.register(0);
         let mut out = Vec::new();
@@ -391,7 +392,7 @@ fn queue_run_g(
     (history, drained, faults)
 }
 
-fn smr_queue_run<S: Smr>(
+fn smr_queue_run<S: for<'m> Smr<Ctx<'m>>>(
     m: &Machine,
     s: S,
     threads: usize,
@@ -403,7 +404,7 @@ fn smr_queue_run<S: Smr>(
     (drive_queue(m, &ds, threads, ops, range, seed), drain_queue(m, &ds))
 }
 
-fn drive_queue<D: QueueDs>(
+fn drive_queue<D: for<'m> QueueDs<Ctx<'m>>>(
     m: &Machine,
     ds: &D,
     threads: usize,
@@ -429,7 +430,7 @@ fn drive_queue<D: QueueDs>(
     })
 }
 
-fn drain_queue<D: QueueDs>(m: &Machine, ds: &D) -> Vec<u64> {
+fn drain_queue<D: for<'m> QueueDs<Ctx<'m>>>(m: &Machine, ds: &D) -> Vec<u64> {
     m.run_on(1, |_, ctx| {
         let mut tls = ds.register(0);
         let mut out = Vec::new();

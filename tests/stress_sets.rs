@@ -9,6 +9,7 @@
 mod common;
 
 use common::{check_set_accounting, machine, run_mixed_set};
+use conditional_access::sim::machine::Ctx;
 use conditional_access::ds::ca::{CaExtBst, CaLazyList};
 use conditional_access::ds::seqcheck::{walk_bst, walk_list};
 use conditional_access::ds::smr::{SmrExtBst, SmrLazyList};
@@ -68,7 +69,7 @@ fn ca_hashtable_stress() {
     check_set_accounting(&acct, &keys);
 }
 
-fn lazylist_with<S: Smr>(scheme_of: impl Fn(&conditional_access::sim::Machine) -> S, seed: u64) {
+fn lazylist_with<S: for<'m> Smr<Ctx<'m>>>(scheme_of: impl Fn(&conditional_access::sim::Machine) -> S, seed: u64) {
     let m = machine(THREADS, 0);
     let s = scheme_of(&m);
     let ds = SmrLazyList::new(&m, s);
@@ -107,7 +108,7 @@ fn smr_lazylist_stress_he() {
     lazylist_with(|m| He::new(m, THREADS, tight_smr()), 6);
 }
 
-fn extbst_with<S: Smr>(scheme_of: impl Fn(&conditional_access::sim::Machine) -> S, seed: u64) {
+fn extbst_with<S: for<'m> Smr<Ctx<'m>>>(scheme_of: impl Fn(&conditional_access::sim::Machine) -> S, seed: u64) {
     let m = machine(THREADS, 0);
     let s = scheme_of(&m);
     let ds = SmrExtBst::new(&m, s);

@@ -9,6 +9,7 @@
 mod common;
 
 use common::machine;
+use conditional_access::sim::machine::Ctx;
 use conditional_access::ds::ca::{CaQueue, CaStack};
 use conditional_access::ds::smr::{SmrQueue, SmrStack};
 use conditional_access::ds::{QueueDs, StackDs};
@@ -26,7 +27,7 @@ fn tight_smr() -> SmrConfig {
     }
 }
 
-fn conserve_stack<D: StackDs>(m: &Machine, ds: &D, seed: u64) {
+fn conserve_stack<D: for<'m> StackDs<Ctx<'m>>>(m: &Machine, ds: &D, seed: u64) {
     let outs = m.run_on(THREADS, |tid, ctx| {
         let mut tls = ds.register(tid);
         let mut rng = Rng::new(seed + tid as u64);
@@ -69,7 +70,7 @@ fn conserve_stack<D: StackDs>(m: &Machine, ds: &D, seed: u64) {
     m.check_invariants();
 }
 
-fn conserve_queue<D: QueueDs>(m: &Machine, ds: &D, seed: u64) {
+fn conserve_queue<D: for<'m> QueueDs<Ctx<'m>>>(m: &Machine, ds: &D, seed: u64) {
     let outs = m.run_on(THREADS, |tid, ctx| {
         let mut tls = ds.register(tid);
         let mut rng = Rng::new(seed + tid as u64);
@@ -123,14 +124,14 @@ fn ca_queue_conserves() {
     assert_eq!(m.stats().allocated_not_freed, 1, "only the dummy remains");
 }
 
-fn stack_with<S: Smr>(scheme_of: impl Fn(&Machine) -> S, seed: u64) {
+fn stack_with<S: for<'m> Smr<Ctx<'m>>>(scheme_of: impl Fn(&Machine) -> S, seed: u64) {
     let m = machine(THREADS, 0);
     let s = scheme_of(&m);
     let ds = SmrStack::new(&m, s);
     conserve_stack(&m, &ds, seed);
 }
 
-fn queue_with<S: Smr>(scheme_of: impl Fn(&Machine) -> S, seed: u64) {
+fn queue_with<S: for<'m> Smr<Ctx<'m>>>(scheme_of: impl Fn(&Machine) -> S, seed: u64) {
     let m = machine(THREADS, 0);
     let s = scheme_of(&m);
     let ds = SmrQueue::new(&m, s);
