@@ -130,11 +130,17 @@ impl<S: SmrBase> SmrExtBst<S> {
 
     fn lock_node<E: Env + ?Sized>(&self, ctx: &mut E, node: Addr) {
         let lock = node.word(W_BST_LOCK);
+        let mut iter = 0u64;
         loop {
             if ctx.read(lock) == 0 && ctx.cas(lock, 0, 1).is_ok() {
                 return;
             }
             ctx.tick(1);
+            // See SmrLazyList::lock_node: yield to the OS scheduler on an
+            // oversubscribed host instead of spinning against a preempted
+            // holder (no-op in the simulator).
+            ctx.spin_hint(iter);
+            iter += 1;
         }
     }
 

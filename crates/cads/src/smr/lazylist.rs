@@ -111,11 +111,17 @@ impl<S: SmrBase> SmrLazyList<S> {
     /// progress, so the spin terminates.
     fn lock_node<E: Env + ?Sized>(&self, ctx: &mut E, node: Addr) {
         let lock = node.word(W_LOCK);
+        let mut iter = 0u64;
         loop {
             if ctx.read(lock) == 0 && ctx.cas(lock, 0, 1).is_ok() {
                 return;
             }
             ctx.tick(1);
+            // On an oversubscribed host the holder may be preempted; back
+            // off to the OS scheduler rather than spinning a full quantum
+            // (no-op in the simulator).
+            ctx.spin_hint(iter);
+            iter += 1;
         }
     }
 

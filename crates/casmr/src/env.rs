@@ -85,6 +85,41 @@ pub trait Env {
     fn op_completed(&mut self);
     /// Current time in environment-native units (cycles / nanoseconds).
     fn now(&mut self) -> u64;
+
+    /// Full fence required by the SMR protocols on weakly-ordered hardware
+    /// but **uncharged** (a no-op) in the simulator.
+    ///
+    /// The schemes' reclaim side must order an earlier unlink store before
+    /// the loads that stamp the retire era and snapshot peer hazard /
+    /// reservation lines (the store-buffer litmus: without it, a scan can
+    /// miss a just-published hazard whose owner still observed the node
+    /// linked, and an era stamp can be read before the unlink is globally
+    /// visible, making a retired node look older — and freeable — while a
+    /// reader still holds it). QSBR additionally needs it on the reader
+    /// side, between the quiescent-state announcement and the next
+    /// operation's reads (liburcu issues the same barrier).
+    ///
+    /// The asymmetry is deliberate: the simulator is sequentially
+    /// consistent, so these fences have no semantic effect there, and the
+    /// paper's pinned cost model (the byte-identity golden in
+    /// `tests/env_pin.rs`) predates them — `Ctx` keeps the uncosted no-op
+    /// default, [`crate::native::NativeEnv`] overrides with a real `SeqCst`
+    /// fence. Fences the cost model *does* charge (hp's per-protect fence,
+    /// rcu's pin) go through [`Env::fence`] instead.
+    #[inline]
+    fn smr_fence(&mut self) {}
+
+    /// Busy-wait hint for blocking spin loops; `iter` is the caller's
+    /// iteration count within the current acquisition attempt.
+    ///
+    /// A no-op in the simulator (spinning is already costed via
+    /// [`Env::tick`], and simulated threads cannot be preempted mid-quantum
+    /// by the host scheduler). The native backend spins the core politely
+    /// for short waits and yields the OS thread for long ones, so an
+    /// oversubscribed host cannot burn a full scheduler quantum against a
+    /// preempted lock holder.
+    #[inline]
+    fn spin_hint(&mut self, _iter: u64) {}
 }
 
 /// The simulator is an environment: each method forwards to the inherent

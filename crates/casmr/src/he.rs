@@ -163,6 +163,13 @@ impl<E: Env + ?Sized> Smr<E> for He {
     }
 
     fn retire(&self, ctx: &mut E, tls: &mut Self::Tls, node: Addr) {
+        // The retire era must be read after the caller's unlink store is
+        // globally visible; a stamp read while the unlink sits in the store
+        // buffer can be too old, making the node look dead across an era a
+        // reader protected while it could still reach it. The fence also
+        // orders the unlink before the era snapshot in `scan` (po-after
+        // this call). No-op in the simulator — see `Env::smr_fence`.
+        ctx.smr_fence();
         let birth = ctx.read(node.word(NODE_BIRTH_WORD));
         let stamp = self.clock.read(ctx);
         tls.retired.push(Retired {

@@ -63,6 +63,12 @@ impl Hp {
     }
 
     fn scan<E: Env + ?Sized>(&self, ctx: &mut E, tls: &mut HpTls) {
+        // Order every retired node's unlink store before the hazard loads
+        // below: without this a weakly-ordered host can satisfy the loads
+        // while the unlink still sits in the store buffer, missing a hazard
+        // whose owner still observed the node linked (no-op in the
+        // sequentially consistent simulator — see `Env::smr_fence`).
+        ctx.smr_fence();
         // Collect every published hazard (simulated loads of all threads'
         // hazard lines — N*K shared reads, the scan cost the paper charges
         // hp with).

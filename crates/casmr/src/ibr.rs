@@ -78,7 +78,7 @@ impl Ibr {
             }
             tls.retired.swap_remove(i);
             ctx.free(r.addr);
-                tls.garbage.on_free();
+            tls.garbage.on_free();
         }
     }
 }
@@ -147,6 +147,13 @@ impl<E: Env + ?Sized> Smr<E> for Ibr {
     }
 
     fn retire(&self, ctx: &mut E, tls: &mut Self::Tls, node: Addr) {
+        // Order the caller's unlink store before the retire-era read and
+        // the reservation snapshot in `scan` (po-after this call): a stamp
+        // read while the unlink is still store-buffered can be too old,
+        // shrinking the node's [birth, retire] interval past a reservation
+        // that still reaches it. No-op in the simulator — see
+        // `Env::smr_fence`.
+        ctx.smr_fence();
         let birth = ctx.read(node.word(NODE_BIRTH_WORD));
         let stamp = self.clock.read(ctx);
         tls.retired.push(Retired {

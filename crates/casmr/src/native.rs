@@ -38,6 +38,11 @@ const CACHE_BATCH: usize = 32;
 /// free list (so one thread's frees can feed another thread's allocs).
 const CACHE_MAX: usize = 2 * CACHE_BATCH;
 
+/// Spin iterations before [`Env::spin_hint`] starts yielding the OS thread
+/// instead of spinning the core (the lock holder may be preempted on an
+/// oversubscribed host).
+const SPIN_YIELD_AFTER: u64 = 64;
+
 /// One 64-byte allocation line of real memory.
 #[repr(align(64))]
 struct Line([AtomicU64; WORDS_PER_LINE as usize]);
@@ -61,7 +66,11 @@ pub struct NativeMachine {
     allocated: AtomicU64,
     /// Total lines freed.
     freed: AtomicU64,
-    /// High-water mark of `allocated - freed`.
+    /// Lines currently live. Kept as its own counter (alloc increments,
+    /// free decrements) so the peak below never sees a torn
+    /// `allocated - freed` snapshot, which could wrap under concurrency.
+    live: AtomicU64,
+    /// High-water mark of `live`.
     peak_live: AtomicU64,
     /// Completed high-level operations across all threads.
     ops: AtomicU64,
@@ -97,6 +106,7 @@ impl NativeMachine {
             free_list: Mutex::new(Vec::new()),
             allocated: AtomicU64::new(0),
             freed: AtomicU64::new(0),
+            live: AtomicU64::new(0),
             peak_live: AtomicU64::new(0),
             ops: AtomicU64::new(0),
             start: Instant::now(),
@@ -142,9 +152,14 @@ impl NativeMachine {
     }
 
     fn count_alloc(&self) {
-        let live = self.allocated.fetch_add(1, Ordering::Relaxed) + 1
-            - self.freed.load(Ordering::Relaxed);
+        self.allocated.fetch_add(1, Ordering::Relaxed);
+        let live = self.live.fetch_add(1, Ordering::Relaxed) + 1;
         self.peak_live.fetch_max(live, Ordering::Relaxed);
+    }
+
+    fn count_free(&self) {
+        self.freed.fetch_add(1, Ordering::Relaxed);
+        self.live.fetch_sub(1, Ordering::Relaxed);
     }
 
     /// Restart the wall clock and the operation counter (call between the
@@ -161,7 +176,7 @@ impl NativeMachine {
         NativeStats {
             allocated,
             freed,
-            allocated_not_freed: allocated - freed,
+            allocated_not_freed: self.live.load(Ordering::Relaxed),
             peak_allocated: self.peak_live.load(Ordering::Relaxed),
             total_ops: self.ops.load(Ordering::Relaxed),
             wall_ns: self.start.elapsed().as_nanos() as u64,
@@ -313,7 +328,7 @@ impl Env for NativeEnv<'_> {
     fn free(&mut self, a: Addr) {
         debug_assert!(a.0.is_multiple_of(LINE_BYTES), "free of a non-line address");
         self.cache.push(a.0 / LINE_BYTES);
-        self.mach.freed.fetch_add(1, Ordering::Relaxed);
+        self.mach.count_free();
         if self.cache.len() >= CACHE_MAX {
             let spill = self.cache.split_off(self.cache.len() - CACHE_BATCH);
             let mut fl = self.mach.free_list.lock().unwrap();
@@ -329,6 +344,23 @@ impl Env for NativeEnv<'_> {
     #[inline]
     fn now(&mut self) -> u64 {
         self.mach.start.elapsed().as_nanos() as u64
+    }
+
+    /// Real full fence: the simulator is sequentially consistent and leaves
+    /// this a no-op, but on weakly-ordered hosts the SMR reclaim side needs
+    /// it (see the trait doc for the litmus).
+    #[inline]
+    fn smr_fence(&mut self) {
+        std::sync::atomic::fence(Ordering::SeqCst);
+    }
+
+    #[inline]
+    fn spin_hint(&mut self, iter: u64) {
+        if iter < SPIN_YIELD_AFTER {
+            std::hint::spin_loop();
+        } else {
+            std::thread::yield_now();
+        }
     }
 }
 
@@ -417,6 +449,30 @@ mod tests {
         m.host_write(b, 2);
         assert_eq!(m.host_read(a), 1);
         assert_eq!(m.host_read(b), 2);
+    }
+
+    #[test]
+    fn peak_live_never_wraps_under_concurrent_churn() {
+        // Regression: the peak was computed from two separate counters
+        // (`allocated.fetch_add` then a stale `freed.load`), so concurrent
+        // alloc+free could make `freed` exceed the snapshot and wrap the
+        // subtraction to ~u64::MAX, poisoning memory-footprint figures.
+        let m = NativeMachine::new(4096);
+        m.run_on(4, |_, env| {
+            for _ in 0..20_000u64 {
+                let a = env.alloc();
+                env.free(a);
+            }
+        });
+        let st = m.stats();
+        assert_eq!(st.allocated, 80_000);
+        assert_eq!(st.freed, 80_000);
+        assert_eq!(st.allocated_not_freed, 0);
+        assert!(
+            (1..=4096).contains(&st.peak_allocated),
+            "peak must stay within pool bounds, got {}",
+            st.peak_allocated
+        );
     }
 
     #[test]

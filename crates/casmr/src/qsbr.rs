@@ -9,8 +9,10 @@
 //! the unlink, after which the node is unreachable.
 //!
 //! Costs: one plain load + one plain store per *operation* (the
-//! announcement — no fence: QSBR's claim to fame), plus the periodic scan
-//! of all threads' announcements. Weakness (paper §V): one stalled thread
+//! announcement — no *charged* fence: QSBR's claim to fame; the native
+//! backend still issues an uncosted ordering barrier, see
+//! [`crate::env::Env::smr_fence`]), plus the periodic scan of all threads'
+//! announcements. Weakness (paper §V): one stalled thread
 //! stops the epoch ratchet for everyone and the retired backlog grows
 //! without bound.
 
@@ -98,12 +100,19 @@ impl<E: Env + ?Sized> Smr<E> for Qsbr {
     #[inline]
     fn begin_op(&self, _ctx: &mut E, _tls: &mut Self::Tls) {}
 
-    /// Quiescent-state announcement: observe the epoch, publish it. Plain
-    /// store, no fence.
+    /// Quiescent-state announcement: observe the epoch, publish it. No
+    /// fence is *charged* (QSBR's zero-per-read claim in the figures), but
+    /// on real hardware the announcement must be ordered before the next
+    /// operation's reads — announcing epoch `e` asserts "I hold nothing
+    /// from before `e`", which is false if a later read executes early and
+    /// catches a node whose unlink is still store-buffered elsewhere.
+    /// liburcu's QSBR issues the same barrier in `rcu_quiescent_state()`;
+    /// the simulator leaves it a no-op (see `Env::smr_fence`).
     #[inline]
     fn end_op(&self, ctx: &mut E, tls: &mut Self::Tls) {
         let e = self.clock.read(ctx);
         ctx.write(self.announce[tls.tid], e);
+        ctx.smr_fence();
     }
 
     #[inline]
@@ -118,6 +127,12 @@ impl<E: Env + ?Sized> Smr<E> for Qsbr {
     }
 
     fn retire(&self, ctx: &mut E, tls: &mut Self::Tls, node: Addr) {
+        // Order the caller's unlink store before the retire-epoch read and
+        // the announcement snapshot in `scan` (po-after this call); a
+        // store-buffered unlink would otherwise yield a too-old stamp that
+        // the free rule clears while a reader can still reach the node.
+        // No-op in the simulator — see `Env::smr_fence`.
+        ctx.smr_fence();
         let stamp = self.clock.read(ctx);
         tls.retired.push(Retired {
             addr: node,

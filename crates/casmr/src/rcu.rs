@@ -123,6 +123,12 @@ impl<E: Env + ?Sized> Smr<E> for Rcu {
     }
 
     fn retire(&self, ctx: &mut E, tls: &mut Self::Tls, node: Addr) {
+        // Order the caller's unlink store before the retire-epoch read and
+        // the pin snapshot in `scan` (po-after this call): a stamp read
+        // while the unlink is still store-buffered can be too old, letting
+        // the free rule clear a node a pinned reader can still reach.
+        // No-op in the simulator — see `Env::smr_fence`.
+        ctx.smr_fence();
         let stamp = self.clock.read(ctx);
         tls.retired.push(Retired {
             addr: node,
