@@ -22,6 +22,7 @@
 //! conditional access the program must `untagAll` before the tag set is
 //! consulted again (directive DI).
 
+// castatic: allow(nondet) — the per-core tag sets are membership-only
 use std::collections::HashSet;
 
 use mcsim::{Addr, CoreId};

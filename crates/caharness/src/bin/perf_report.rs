@@ -9,11 +9,15 @@
 //! noise.
 //!
 //! Usage: `cargo run --release -p caharness --bin perf_report [reps]
-//!         [--gangs N] [--l2_banks N]`
+//!         [--gangs N] [--l2_banks N] [--race_check]`
+//!
+//! With `--race_check`, each configuration additionally runs once with the
+//! happens-before analyzer armed and reports the finding count and
+//! signatures (see `race_audit` for the whitelist-gated full grid).
 
 use std::time::Instant;
 
-use caharness::{run_set, Mix, RunConfig, SetKind};
+use caharness::{race_report_set, run_set, Mix, RunConfig, SetKind};
 use casmr::SchemeKind;
 
 fn main() {
@@ -54,6 +58,26 @@ fn main() {
                 assert_eq!(m.cycles, warm.cycles, "deterministic runs diverged");
             }
             let events_per_sec = warm.total_ops as f64 / (best_ms / 1e3);
+            // Optional race-analyzer surfacing: one armed run per config,
+            // reporting the aggregated finding signatures. Timing fields
+            // above stay from the unarmed runs (the analyzer's trace is
+            // not free).
+            let race = if caharness::config::default_race_check() {
+                let (_, report) = race_report_set(kind, SchemeKind::Ca, &cfg);
+                let sigs: Vec<String> = report
+                    .findings
+                    .iter()
+                    .map(|f| format!("\"{}:{}->{}\"", f.region, f.prior, f.later))
+                    .collect();
+                format!(
+                    ", \"race_events\": {}, \"race_findings\": {}, \"race_signatures\": [{}]",
+                    report.events,
+                    report.findings.len(),
+                    sigs.join(", ")
+                )
+            } else {
+                String::new()
+            };
             if !first {
                 println!(",");
             }
@@ -70,7 +94,7 @@ fn main() {
                  \"mem_fill_cycles\": {}, \"invalidation_cycles\": {}, \
                  \"untag_alls\": {}, \"untag_ones\": {}, \
                  \"deferred_events\": {}, \"epoch_barriers\": {}, \
-                 \"banked_merge_events\": {}, \"serial_epilogue_events\": {}}}",
+                 \"banked_merge_events\": {}, \"serial_epilogue_events\": {}{race}}}",
                 warm.cycles,
                 warm.total_ops,
                 events_per_sec,

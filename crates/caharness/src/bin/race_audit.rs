@@ -1,0 +1,149 @@
+//! Happens-before race audit over the full scheme × structure grid.
+//!
+//! Runs every SMR scheme against every benchmark structure with the
+//! deterministic race analyzer armed (`MachineConfig::race_check`) and
+//! diffs each cell's finding signatures against the checked-in whitelist
+//! (`crates/caharness/src/race_whitelist.txt`). A signature is
+//! `(region, prior-kind, later-kind)`; whitelisted signatures are benign
+//! by construction (each line in the whitelist carries a one-line
+//! justification). Any signature *not* in the whitelist is printed as
+//! `UNEXPLAINED` and the process exits nonzero — the CI gate for newly
+//! introduced ordering holes.
+//!
+//! The workload is deliberately small (the analyzer is O(events) per run
+//! and the grid has 35 cells) and pinned to quantum 0, where the gang
+//! linearization `(clock, core, seq)` is exact, so the report is
+//! byte-identical across gang counts, bank counts, and backends.
+//!
+//! Usage: `cargo run --release -p caharness --bin race_audit [--quick]`
+//!
+//! `--quick` runs a 6-cell subset as a CI smoke (one list, one tree, the
+//! stack and the queue, covering the CAS-heavy and fence-heavy schemes).
+
+use caharness::{race_report_queue, race_report_set, race_report_stack, Mix, RunConfig, SetKind};
+use casmr::SchemeKind;
+use mcsim::RaceReport;
+
+/// Whitelisted benign signatures, one `region prior later # why` per line.
+const WHITELIST: &str = include_str!("../race_whitelist.txt");
+
+fn whitelist() -> Vec<(String, String, String)> {
+    WHITELIST
+        .lines()
+        .map(|l| l.split('#').next().unwrap_or("").trim())
+        .filter(|l| !l.is_empty())
+        .map(|l| {
+            let mut it = l.split_whitespace();
+            let (Some(region), Some(prior), Some(later)) = (it.next(), it.next(), it.next())
+            else {
+                panic!("malformed whitelist line: {l:?} (want `region prior later # why`)");
+            };
+            (region.to_string(), prior.to_string(), later.to_string())
+        })
+        .collect()
+}
+
+fn audit_cfg(updates_only: bool) -> RunConfig {
+    RunConfig {
+        threads: 4,
+        key_range: 64,
+        prefill: 32,
+        ops_per_thread: 400,
+        mix: if updates_only {
+            Mix {
+                insert_pct: 50,
+                delete_pct: 50,
+            }
+        } else {
+            Mix {
+                insert_pct: 25,
+                delete_pct: 25,
+            }
+        },
+        // Quantum 0 keeps the gang linearization exact, which makes the
+        // report byte-identical across gangs / banks / backends.
+        quantum: 0,
+        ..Default::default()
+    }
+}
+
+fn main() {
+    caharness::init_from_args();
+    let quick = std::env::args().any(|a| a == "--quick");
+    let allow = whitelist();
+
+    // (structure label, scheme) grid. Structures beyond the three sets:
+    // the Treiber stack and the MS queue.
+    let structures = ["lazylist", "extbst", "hashtable", "stack", "queue"];
+    let schemes = SchemeKind::ALL;
+
+    let mut unexplained = 0u64;
+    let mut cells = 0u64;
+    println!("race_audit quantum=0 threads=4 quick={quick}");
+    for structure in structures {
+        for scheme in schemes {
+            if quick {
+                // Smoke subset: every structure shape once, on the two
+                // extreme schemes (fence-heavy Hp, primitive-level Ca),
+                // plus the queue's qsbr cell for an epoch scheme.
+                let keep = matches!(
+                    (structure, scheme),
+                    ("lazylist", SchemeKind::Hp)
+                        | ("lazylist", SchemeKind::Ca)
+                        | ("extbst", SchemeKind::Hp)
+                        | ("hashtable", SchemeKind::Ca)
+                        | ("stack", SchemeKind::Hp)
+                        | ("queue", SchemeKind::Qsbr)
+                );
+                if !keep {
+                    continue;
+                }
+            }
+            let report: RaceReport = match structure {
+                "lazylist" => race_report_set(SetKind::LazyList, scheme, &audit_cfg(false)).1,
+                "extbst" => race_report_set(SetKind::ExtBst, scheme, &audit_cfg(false)).1,
+                "hashtable" => race_report_set(SetKind::HashTable, scheme, &audit_cfg(false)).1,
+                "stack" => race_report_stack(scheme, &audit_cfg(false)).1,
+                "queue" => race_report_queue(scheme, &audit_cfg(true)).1,
+                _ => unreachable!(),
+            };
+            cells += 1;
+            println!(
+                "cell structure={structure} scheme={} events={} findings={}",
+                scheme.name(),
+                report.events,
+                report.findings.len()
+            );
+            for f in &report.findings {
+                let sig = (f.region.clone(), f.prior.to_string(), f.later.to_string());
+                let verdict = if allow.contains(&sig) {
+                    "whitelisted"
+                } else {
+                    unexplained += 1;
+                    "UNEXPLAINED"
+                };
+                println!(
+                    "  {verdict} region={} pair={}->{} count={} first_word={:#x} \
+                     first={}@{}->{}@{}",
+                    f.region,
+                    f.prior,
+                    f.later,
+                    f.count,
+                    f.word,
+                    f.prior_core,
+                    f.prior_clock,
+                    f.later_core,
+                    f.later_clock
+                );
+            }
+        }
+    }
+    println!("race_audit cells={cells} unexplained={unexplained}");
+    if unexplained > 0 {
+        eprintln!(
+            "race_audit: {unexplained} unexplained signature(s); fix the ordering hole or \
+             whitelist it with a justification in crates/caharness/src/race_whitelist.txt"
+        );
+        std::process::exit(1);
+    }
+}

@@ -93,6 +93,13 @@ pub struct RunConfig {
     /// simulator) — CA cells panic, degrading to `ERR` in collecting
     /// sweeps. See the `validate` bin for the sim↔native comparison.
     pub native: bool,
+    /// Arm the simulator's happens-before race analyzer
+    /// (`--race_check` / [`mcsim::MachineConfig::race_check`]): trace every
+    /// memory event and let [`crate::runner`]'s `race_report_*` helpers and
+    /// the `race_audit` bin report unsynchronized conflicting accesses. Off
+    /// by default (zero cost, byte-identical schedules). Ignored by native
+    /// runs (the analyzer is a simulator instrument).
+    pub race_check: bool,
 }
 
 impl Default for RunConfig {
@@ -127,6 +134,7 @@ impl Default for RunConfig {
             fault_plan: FaultPlan::none(),
             max_cycles: default_max_cycles(),
             native: default_native(),
+            race_check: default_race_check(),
         }
     }
 }
@@ -149,6 +157,27 @@ pub fn default_native() -> bool {
 /// default — called by every harness bin via [`crate::init_from_args`].
 pub fn set_native_from_args() {
     set_default_native(std::env::args().any(|a| a == "--native"));
+}
+
+/// Process-wide default for [`RunConfig::race_check`], installed by the
+/// bins' `--race_check` flag.
+static DEFAULT_RACE_CHECK: std::sync::atomic::AtomicBool =
+    std::sync::atomic::AtomicBool::new(false);
+
+/// Set whether newly-built [`RunConfig`]s arm the race analyzer.
+pub fn set_default_race_check(on: bool) {
+    DEFAULT_RACE_CHECK.store(on, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// The current race-analyzer default.
+pub fn default_race_check() -> bool {
+    DEFAULT_RACE_CHECK.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Parse the `--race_check` presence flag and install it as the process
+/// default — called by every harness bin via [`crate::init_from_args`].
+pub fn set_race_check_from_args() {
+    set_default_race_check(std::env::args().any(|a| a == "--race_check"));
 }
 
 /// Process-wide default for [`RunConfig::gangs`], installed by the bins'
@@ -332,6 +361,7 @@ impl RunConfig {
             gang_window: self.gang_window,
             fault_plan: self.fault_plan.clone(),
             max_cycles: self.max_cycles,
+            race_check: self.race_check,
         }
     }
 

@@ -66,14 +66,15 @@ pub use experiments::Scale;
 pub use hist::Histogram;
 pub use metrics::Metrics;
 pub use runner::{
-    run_queue, run_queue_native, run_queue_robust, run_set, run_set_latency, run_set_native,
-    run_set_robust, run_set_with_stats, run_stack, run_stack_native, SetKind,
+    race_report_queue, race_report_set, race_report_stack, run_queue, run_queue_native,
+    run_queue_robust, run_set, run_set_latency, run_set_native, run_set_robust,
+    run_set_with_stats, run_stack, run_stack_native, SetKind,
 };
 pub use table::SeriesTable;
 
 /// Parse the shared harness CLI flags (`--jobs`, `--gangs`, `--l2_banks`,
-/// `--max_cycles`, `--fail-fast`, `--native`) and install them as process
-/// defaults. Every figure binary calls this first.
+/// `--max_cycles`, `--fail-fast`, `--native`, `--race_check`) and install
+/// them as process defaults. Every figure binary calls this first.
 pub fn init_from_args() {
     sweep::set_jobs_from_args();
     sweep::set_fail_fast_from_args();
@@ -81,6 +82,7 @@ pub fn init_from_args() {
     config::set_l2_banks_from_args();
     config::set_max_cycles_from_args();
     config::set_native_from_args();
+    config::set_race_check_from_args();
 }
 
 /// Report sweep tasks that failed (collecting mode) and exit nonzero if

@@ -138,6 +138,97 @@ pub fn run_set_with_stats(
     }
 }
 
+/// Like [`run_set`], but with the happens-before race analyzer armed
+/// ([`mcsim::machine::MachineConfig::race_check`]) regardless of what
+/// `cfg.race_check` says, returning the analysis report alongside the
+/// metrics. Simulator-only: the analyzer lives in the coherence hub.
+pub fn race_report_set(
+    kind: SetKind,
+    scheme: SchemeKind,
+    cfg: &RunConfig,
+) -> (Metrics, mcsim::RaceReport) {
+    reject_native(cfg, "race_report_set");
+    let mut cfg = cfg.clone();
+    cfg.race_check = true;
+    let cfg = &cfg;
+    let m = Machine::new(cfg.machine_config());
+    let metrics = match (kind, scheme) {
+        (SetKind::LazyList, SchemeKind::Ca) => {
+            let ds = CaLazyList::new(&m);
+            drive_set(&m, &ds, scheme, cfg).0
+        }
+        (SetKind::LazyList, s) => with_scheme!(&m, cfg, s, |sch| {
+            let ds = SmrLazyList::new(&m, sch);
+            drive_set(&m, &ds, s, cfg).0
+        }),
+        (SetKind::ExtBst, SchemeKind::Ca) => {
+            let ds = CaExtBst::new(&m);
+            drive_set(&m, &ds, scheme, cfg).0
+        }
+        (SetKind::ExtBst, s) => with_scheme!(&m, cfg, s, |sch| {
+            let ds = SmrExtBst::new(&m, sch);
+            drive_set(&m, &ds, s, cfg).0
+        }),
+        (SetKind::HashTable, SchemeKind::Ca) => {
+            let ds = HashTable::new(&m, cfg.buckets, CaLazyList::new);
+            drive_set(&m, &ds, scheme, cfg).0
+        }
+        (SetKind::HashTable, s) => with_scheme!(&m, cfg, s, |sch| {
+            let ds = HashTable::new(&m, cfg.buckets, |mm| SmrLazyList::new(mm, &sch));
+            drive_set(&m, &ds, s, cfg).0
+        }),
+    };
+    let report = m.race_report();
+    (metrics, report)
+}
+
+/// [`race_report_set`] for the Treiber stack.
+pub fn race_report_stack(scheme: SchemeKind, cfg: &RunConfig) -> (Metrics, mcsim::RaceReport) {
+    reject_native(cfg, "race_report_stack");
+    let mut cfg = cfg.clone();
+    cfg.race_check = true;
+    let cfg = &cfg;
+    let m = Machine::new(cfg.machine_config());
+    let metrics = match scheme {
+        SchemeKind::Ca => {
+            let ds = CaStack::new(&m);
+            drive_stack(&m, &ds, scheme, cfg)
+        }
+        s => with_scheme!(&m, cfg, s, |sch| {
+            let ds = SmrStack::new(&m, sch);
+            drive_stack(&m, &ds, s, cfg)
+        }),
+    };
+    let report = m.race_report();
+    (metrics, report)
+}
+
+/// [`race_report_set`] for the MS queue. Requires a 100%-update mix.
+pub fn race_report_queue(scheme: SchemeKind, cfg: &RunConfig) -> (Metrics, mcsim::RaceReport) {
+    assert_eq!(
+        cfg.mix.updates(),
+        100,
+        "queues have no read operation: use an enqueue/dequeue-only mix"
+    );
+    reject_native(cfg, "race_report_queue");
+    let mut cfg = cfg.clone();
+    cfg.race_check = true;
+    let cfg = &cfg;
+    let m = Machine::new(cfg.machine_config());
+    let metrics = match scheme {
+        SchemeKind::Ca => {
+            let ds = CaQueue::new(&m);
+            drive_queue(&m, &ds, scheme, cfg)
+        }
+        s => with_scheme!(&m, cfg, s, |sch| {
+            let ds = SmrQueue::new(&m, sch);
+            drive_queue(&m, &ds, s, cfg)
+        }),
+    };
+    let report = m.race_report();
+    (metrics, report)
+}
+
 /// Run the lock-free Conditional-Access Harris list (extension beyond the
 /// paper; only the `ca` scheme applies — the structure embodies it).
 pub fn run_harris(cfg: &RunConfig) -> Metrics {

@@ -189,6 +189,7 @@ impl Progress {
             total,
             workers,
             done: AtomicUsize::new(0),
+            // castatic: allow(nondet) — progress-bar ETA only, never in results
             start: Instant::now(),
             live: std::io::stderr().is_terminal() && total > 1,
         }

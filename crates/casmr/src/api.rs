@@ -302,6 +302,7 @@ impl EraClock {
     pub fn new<H: EnvHost + ?Sized>(host: &H) -> Self {
         let era = host.alloc_static(1);
         host.host_write(era, 1);
+        host.label_static(era, 1, "era");
         Self { era }
     }
 
@@ -326,11 +327,13 @@ impl EraClock {
 /// Allocate one static line per thread, returning their base addresses.
 /// One line each avoids false sharing between threads' metadata — standard
 /// practice in real SMR implementations, and necessary here so one thread's
-/// publishes don't invalidate another's cached metadata.
+/// publishes don't invalidate another's cached metadata. `name` labels the
+/// lines in race-analyzer reports (e.g. `hp.hazards`).
 pub(crate) fn per_thread_lines<H: EnvHost + ?Sized>(
     host: &H,
     threads: usize,
     init: u64,
+    name: &'static str,
 ) -> Vec<Addr> {
     (0..threads)
         .map(|_| {
@@ -338,6 +341,7 @@ pub(crate) fn per_thread_lines<H: EnvHost + ?Sized>(
             for w in 0..crate::env::WORDS_PER_LINE {
                 host.host_write(a.word(w), init);
             }
+            host.label_static(a, 1, name);
             a
         })
         .collect()
@@ -390,7 +394,7 @@ mod tests {
             static_lines: 64,
             ..Default::default()
         });
-        let lines = per_thread_lines(&m, 3, INACTIVE);
+        let lines = per_thread_lines(&m, 3, INACTIVE, "test.lines");
         assert_eq!(lines.len(), 3);
         for (i, a) in lines.iter().enumerate() {
             for (j, b) in lines.iter().enumerate() {

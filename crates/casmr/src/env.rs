@@ -102,10 +102,12 @@ pub trait Env {
     /// The asymmetry is deliberate: the simulator is sequentially
     /// consistent, so these fences have no semantic effect there, and the
     /// paper's pinned cost model (the byte-identity golden in
-    /// `tests/env_pin.rs`) predates them — `Ctx` keeps the uncosted no-op
-    /// default, [`crate::native::NativeEnv`] overrides with a real `SeqCst`
-    /// fence. Fences the cost model *does* charge (hp's per-protect fence,
-    /// rcu's pin) go through [`Env::fence`] instead.
+    /// `tests/env_pin.rs`) predates them — `Ctx` keeps an uncosted no-op
+    /// (except under `MachineConfig::race_check`, where it issues a
+    /// zero-cost trace event so the `mcsim::hb` analyzer sees the edge),
+    /// [`crate::native::NativeEnv`] overrides with a real `SeqCst` fence.
+    /// Fences the cost model *does* charge (hp's per-protect fence, rcu's
+    /// pin) go through [`Env::fence`] instead.
     #[inline]
     fn smr_fence(&mut self) {}
 
@@ -170,6 +172,10 @@ impl<'m> Env for Ctx<'m> {
     fn now(&mut self) -> u64 {
         Ctx::now(self)
     }
+    #[inline]
+    fn smr_fence(&mut self) {
+        Ctx::smr_fence(self)
+    }
 }
 
 /// The simulator-backed environment (alias kept for symmetry with
@@ -193,6 +199,15 @@ pub trait EnvHost: Sync {
     /// skeleton (sentinel nodes etc.) through the same allocator the timed
     /// run will use.
     fn run_init<R: Send>(&self, f: impl FnOnce(&mut dyn Env) -> R + Send) -> R;
+
+    /// Name `lines` static lines starting at `a` for diagnostics — the
+    /// simulator's race-analyzer reports ([`mcsim::Machine::label_lines`])
+    /// show e.g. `hp.hazards` instead of `static`. Default no-op: the
+    /// native backend has no analyzer.
+    #[inline]
+    fn label_static(&self, a: Addr, lines: u64, name: &'static str) {
+        let _ = (a, lines, name);
+    }
 }
 
 impl EnvHost for Machine {
@@ -207,6 +222,10 @@ impl EnvHost for Machine {
     #[inline]
     fn host_write(&self, a: Addr, v: u64) {
         Machine::host_write(self, a, v)
+    }
+    #[inline]
+    fn label_static(&self, a: Addr, lines: u64, name: &'static str) {
+        Machine::label_lines(self, a, lines, name)
     }
     fn run_init<R: Send>(&self, f: impl FnOnce(&mut dyn Env) -> R + Send) -> R {
         // `run_on` wants `Fn + Sync`; the one-shot body is threaded through

@@ -51,7 +51,7 @@ impl He {
         assert!(cfg.slots_per_thread <= crate::env::WORDS_PER_LINE as usize);
         Self {
             clock: EraClock::new(host),
-            slots: per_thread_lines(host, threads, 0),
+            slots: per_thread_lines(host, threads, 0, "he.eras"),
             cfg,
             threads,
         }

@@ -15,6 +15,7 @@
 //! so the data structure must confirm the node was still reachable
 //! afterwards (in the lazy list: source node unmarked) and restart otherwise.
 
+// castatic: allow(nondet) — the scan-time hazard set is membership-only
 use std::collections::HashSet;
 
 use mcsim::Addr;
@@ -29,6 +30,10 @@ pub struct Hp {
     slots: Vec<Addr>,
     cfg: SmrConfig,
     threads: usize,
+    /// Test-only fault: skip the scan's `smr_fence` (the exact PR-8 fence
+    /// hole), so the race-analyzer self-test can assert the analyzer
+    /// reports precisely that missing edge. Never set outside tests.
+    skip_scan_fence: bool,
 }
 
 /// Per-thread hazard-pointer state.
@@ -51,10 +56,17 @@ impl Hp {
             "hazard slots must fit the thread's line"
         );
         Self {
-            slots: per_thread_lines(host, threads, 0),
+            slots: per_thread_lines(host, threads, 0, "hp.hazards"),
             cfg,
             threads,
+            skip_scan_fence: false,
         }
+    }
+
+    /// Reintroduce the PR-8 scan-fence hole (see `skip_scan_fence`).
+    #[doc(hidden)]
+    pub fn test_skip_scan_fence(&mut self) {
+        self.skip_scan_fence = true;
     }
 
     fn slot_addr(&self, tid: usize, slot: usize) -> Addr {
@@ -68,7 +80,9 @@ impl Hp {
         // while the unlink still sits in the store buffer, missing a hazard
         // whose owner still observed the node linked (no-op in the
         // sequentially consistent simulator — see `Env::smr_fence`).
-        ctx.smr_fence();
+        if !self.skip_scan_fence {
+            ctx.smr_fence();
+        }
         // Collect every published hazard (simulated loads of all threads'
         // hazard lines — N*K shared reads, the scan cost the paper charges
         // hp with).
@@ -348,5 +362,66 @@ mod tests {
     fn needs_validation_flag() {
         let m = machine(1);
         assert!(Hp::new(&m, 1, SmrConfig::default()).needs_validation());
+    }
+
+    /// The race-analyzer regression pin for the PR-8 fence hole: with the
+    /// scan fence in place the hazard publish → scan read pair is ordered
+    /// (publisher's protect fence + scanner's smr_fence); strip the scan
+    /// fence and the analyzer must report exactly that pair on the
+    /// `hp.hazards` region.
+    #[test]
+    fn race_analyzer_catches_missing_scan_fence() {
+        let run = |skip_fence: bool| {
+            let m = Machine::new(MachineConfig {
+                cores: 2,
+                mem_bytes: 1 << 20,
+                static_lines: 128,
+                quantum: 0,
+                race_check: true,
+                ..Default::default()
+            });
+            let mut s = Hp::new(&m, 2, SmrConfig {
+                reclaim_freq: 1,
+                ..Default::default()
+            });
+            if skip_fence {
+                s.test_skip_scan_fence();
+            }
+            let mailbox = m.alloc_static(1);
+            m.run_on(2, |tid, ctx| {
+                let mut tls = s.register(tid);
+                if tid == 0 {
+                    // Publish a hazard: write slot + protect fence.
+                    let n = ctx.alloc();
+                    ctx.write(mailbox, n.0);
+                    let _ = s.read_ptr(ctx, &mut tls, 0, mailbox);
+                } else {
+                    // Scan well after the publish (quantum 0 linearizes by
+                    // local clocks): reads every thread's hazard slots.
+                    ctx.tick(10_000);
+                    let n = ctx.alloc();
+                    s.retire(ctx, &mut tls, n); // reclaim_freq 1 → scan
+                }
+            });
+            m.race_report()
+        };
+        let clean = run(false);
+        assert!(
+            !clean.findings.iter().any(|f| f.region == "hp.hazards"),
+            "fenced scan must be ordered with the publish:\n{}",
+            clean.render()
+        );
+        let broken = run(true);
+        let f = broken
+            .findings
+            .iter()
+            .find(|f| f.region == "hp.hazards")
+            .unwrap_or_else(|| {
+                panic!(
+                    "missing scan fence must be reported:\n{}",
+                    broken.render()
+                )
+            });
+        assert_eq!((f.prior, f.later), ("write", "read"));
     }
 }

@@ -51,7 +51,7 @@ impl Ibr {
     pub fn new<H: EnvHost + ?Sized>(host: &H, threads: usize, cfg: SmrConfig) -> Self {
         Self {
             clock: EraClock::new(host),
-            res: per_thread_lines(host, threads, INACTIVE),
+            res: per_thread_lines(host, threads, INACTIVE, "ibr.res"),
             cfg,
             threads,
         }

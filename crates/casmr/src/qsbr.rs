@@ -47,7 +47,7 @@ impl Qsbr {
     pub fn new<H: EnvHost + ?Sized>(host: &H, threads: usize, cfg: SmrConfig) -> Self {
         Self {
             clock: EraClock::new(host),
-            announce: per_thread_lines(host, threads, 0),
+            announce: per_thread_lines(host, threads, 0, "qsbr.announce"),
             cfg,
             threads,
         }

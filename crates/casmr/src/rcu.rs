@@ -42,7 +42,7 @@ impl Rcu {
     pub fn new<H: EnvHost + ?Sized>(host: &H, threads: usize, cfg: SmrConfig) -> Self {
         Self {
             clock: EraClock::new(host),
-            pins: per_thread_lines(host, threads, INACTIVE),
+            pins: per_thread_lines(host, threads, INACTIVE, "rcu.pins"),
             cfg,
             threads,
         }

@@ -214,6 +214,9 @@ pub struct CoherenceHub {
     /// Per-hardware-thread HTM state.
     pub(crate) tx: Vec<TxState>,
     pub(crate) stats: StatsBank,
+    /// The race analyzer's event trace (`MachineConfig::race_check`); one
+    /// `Vec` per hardware thread, disabled (and empty) by default.
+    pub(crate) trace: crate::hb::TraceBank,
 }
 
 impl CoherenceHub {
@@ -247,6 +250,7 @@ impl CoherenceHub {
             arb: vec![false; threads],
             tx: (0..threads).map(|_| TxState::default()).collect(),
             stats: StatsBank::new(threads),
+            trace: crate::hb::TraceBank::new(threads),
         }
     }
 
@@ -299,6 +303,11 @@ impl CoherenceHub {
             arb: self.arb.as_mut_ptr(),
             tx: self.tx.as_mut_ptr(),
             stats: self.stats.cores.as_mut_ptr(),
+            trace: if self.trace.enabled {
+                self.trace.cores.as_mut_ptr()
+            } else {
+                std::ptr::null_mut()
+            },
             n_threads: self.arb.len(),
             smt: self.smt,
             protocol: self.protocol,
@@ -676,6 +685,10 @@ pub(crate) struct BankParts {
     arb: *mut bool,
     tx: *mut TxState,
     stats: *mut crate::stats::CoreStats,
+    /// Race-analyzer trace Vecs, one per hardware thread (null when the
+    /// analyzer is off). Appended to only for the issuing thread, which the
+    /// exclusivity contract already covers.
+    trace: *mut Vec<crate::hb::TraceEv>,
     n_threads: usize,
     smt: usize,
     protocol: Protocol,
@@ -816,6 +829,29 @@ impl BankParts {
         self.check_pcore(t / self.smt);
         // Safety: in bounds; exclusivity per the contract.
         unsafe { &mut *self.stats.add(t) }
+    }
+
+    /// Record a race-analyzer trace event for thread `t` (no-op when the
+    /// analyzer is off). Used by the gang merge lanes, which execute
+    /// deferred events through this projection without hub access.
+    #[inline]
+    pub(crate) fn record_trace(
+        &mut self,
+        t: CoreId,
+        clock: u64,
+        op: crate::machine::Op,
+        out: &crate::machine::Out,
+    ) {
+        if self.trace.is_null() {
+            return;
+        }
+        debug_assert!(t < self.n_threads);
+        self.check_pcore(t / self.smt);
+        // Safety: in bounds; only `t`'s own Vec is touched, and the lane
+        // classifier guarantees thread `t`'s events run on one lane —
+        // exclusivity per the contract, same as `core_stats`.
+        let v = unsafe { &mut *self.trace.add(t) };
+        crate::hb::record_into(v, clock, op, out);
     }
 
     #[inline]
@@ -988,11 +1024,11 @@ impl BankParts {
             return c;
         }
         let mut cost = self.l2_get_or_fill(t, line);
-        // One directory probe: edit the entry in place (the L1s are a
-        // disjoint allocation, so the owner downgrade can happen while it is
-        // borrowed — derived raw to let the borrow span the accessor calls),
-        // and finish every directory edit before `l1_insert`, whose victim
-        // writeback re-probes the bank (invalidating `d`).
+        // SAFETY: one directory probe — edit the entry in place (the L1s are
+        // a disjoint allocation, so the owner downgrade can happen while it
+        // is borrowed — derived raw to let the borrow span the accessor
+        // calls), and finish every directory edit before `l1_insert`, whose
+        // victim writeback re-probes the bank (invalidating `d`).
         let d = unsafe {
             &mut (*self.bank_ptr(line))
                 .lookup_mut(line)
@@ -1066,9 +1102,10 @@ impl BankParts {
                 self.lat().l1_hit
             }
             Some(MsiState::Shared) => {
-                // Upgrade: directory invalidates the other sharers. One
-                // directory probe: claim ownership in place, then deliver
-                // the invalidations (which only touch L1s and stats).
+                // Upgrade: directory invalidates the other sharers.
+                // SAFETY: one directory probe — claim ownership in place,
+                // then deliver the invalidations (which only touch the L1s
+                // and stats, disjoint from the borrowed bank entry).
                 let mut cost = self.lat().upgrade;
                 let inv = self.lat().invalidation;
                 let d = unsafe {
@@ -1100,9 +1137,10 @@ impl BankParts {
             }
             None => {
                 let mut cost = self.l2_get_or_fill(t, line);
-                // Claim the line in one directory probe; the previous
-                // holders were snapshot before the edit, and only a dirty
-                // writeback needs a second probe (re-derived: `d` is dead).
+                // SAFETY: claim the line in one directory probe; the
+                // previous holders were snapshot before the edit, and only a
+                // dirty writeback needs a second probe (re-derived after the
+                // borrow of `d` is dead).
                 let d = unsafe {
                     &mut (*self.bank_ptr(line))
                         .lookup_mut(line)
@@ -1214,6 +1252,8 @@ impl BankParts {
         self.assert_outside_tx(t, "cas");
         self.core_stats(t).accesses += 1;
         self.core_stats(t).cas_ops += 1;
+        // SAFETY: the caller's footprint exclusivity over `t`'s pcore (this
+        // fn's contract) is exactly what both probes below require.
         let cost = unsafe { self.acquire_exclusive(t, a.line()) } + self.lat().cas_extra;
         let cur = self.mem_read(a);
         if cur == expected {
@@ -1263,6 +1303,8 @@ impl BankParts {
             self.core_stats(t).cwrite_fail += 1;
             return (false, self.lat().ca_fail);
         }
+        // SAFETY: the caller's footprint exclusivity over `t`'s pcore (this
+        // fn's contract) is exactly what both probes below require.
         let cost = unsafe { self.acquire_exclusive(t, a.line()) };
         debug_assert!(
             !self.arb_at(t),

@@ -108,6 +108,8 @@ mcsim_coop_trampoline:
 "#
 );
 
+// SAFETY: both symbols are defined in the global_asm! block above with
+// exactly these signatures and the sysv64 callee-saved contract.
 unsafe extern "C" {
     fn mcsim_coop_switch(save: *mut *mut u8, to: *mut u8);
     fn mcsim_coop_trampoline();
@@ -130,13 +132,15 @@ pub(crate) struct CoroPayload {
 
 #[no_mangle]
 extern "C" fn mcsim_coop_entry(payload: *mut CoroPayload) {
-    // The payload box is owned (and later freed) by the run loop; only the
-    // closure is taken out of it here. Calling the FnOnce box by value
+    // SAFETY: the payload box is owned (and later freed) by the run loop —
+    // the `prepare` contract keeps it alive until this first entry; only
+    // the closure is taken out of it here. Calling the FnOnce box by value
     // frees the closure's own allocation when it returns.
     let f = unsafe { (*payload).f.take() }.expect("coroutine entered twice");
     let target = f();
-    // The core has retired; leave this stack forever. Only Copy data lives
-    // in this frame, so abandoning it leaks nothing.
+    // SAFETY: the core has retired; leave this stack forever. Only Copy
+    // data lives in this frame, so abandoning it leaks nothing, and the
+    // target context in the shared table is live by the switch contract.
     unsafe {
         let ctxs = (*payload).ctxs;
         let own = (*payload).own_slot;
@@ -166,10 +170,13 @@ pub(crate) const STACK_SIZE: usize = 1 << 20;
 const PAGE: usize = 4096;
 
 // Raw x86-64 Linux syscalls (the workspace is offline: no libc crate).
+// SAFETY (both wrappers): callers pass argument values valid for the
+// specific syscall; the asm clobbers only rcx/r11 per the kernel ABI.
 unsafe fn sys3(nr: usize, a: usize, b: usize, c: usize) -> isize {
     sys6(nr, a, b, c, 0, 0, 0)
 }
 
+// SAFETY: as for `sys3` above.
 #[allow(clippy::too_many_arguments)]
 unsafe fn sys6(nr: usize, a: usize, b: usize, c: usize, d: usize, e: usize, f: usize) -> isize {
     let ret: isize;
@@ -197,6 +204,8 @@ impl Stack {
         const PROT_NONE: usize = 0x0;
         const MAP_PRIVATE_ANON: usize = 0x22;
         let len = size.next_multiple_of(PAGE) + PAGE;
+        // SAFETY: a fresh anonymous private mapping aliases nothing; the
+        // error branches abort before the pointer is ever used.
         unsafe {
             let base = sys6(
                 SYS_MMAP,
@@ -223,6 +232,8 @@ impl Stack {
 
     /// Highest usable address (exclusive).
     fn top(&self) -> *mut u8 {
+        // SAFETY: one-past-the-end of the owned mapping, never dereferenced
+        // directly (the seeded frame starts below it).
         unsafe { self.base.add(self.len) }
     }
 }
@@ -230,6 +241,8 @@ impl Stack {
 impl Drop for Stack {
     fn drop(&mut self) {
         const SYS_MUNMAP: usize = 11;
+        // SAFETY: unmapping the exact mapping created in `new`; Drop runs
+        // only after every coroutine on this stack has retired.
         unsafe {
             sys3(SYS_MUNMAP, self.base as usize, self.len, 0);
         }
@@ -293,6 +306,9 @@ mod tests {
 
         let mut stack = Stack::new(64 * 1024);
         let ctxs = &raw mut CTXS as *mut *mut u8;
+        // SAFETY (closure + block below): the context table and stack are
+        // static/local state that outlives every switch; slot 1 is saved
+        // by the switch that resumes slot 0, so targets are always live.
         let body: Box<dyn FnOnce() -> usize> = Box::new(move || unsafe {
             for _ in 0..3 {
                 COUNT.fetch_add(1, Ordering::Relaxed);
@@ -305,6 +321,8 @@ mod tests {
             ctxs,
             own_slot: 0,
         };
+        // SAFETY: payload and stack outlive the coroutine (it retires
+        // inside this block); every switch target was just saved/prepared.
         unsafe {
             CTXS[0] = prepare(&mut stack, &mut payload);
             for expect in 1..=3u32 {
@@ -338,6 +356,9 @@ mod tests {
         let witness = Arc::clone(&token);
         let mut progress = 0u64;
         let progress_ptr: *mut u64 = &mut progress;
+        // SAFETY (closure + block below): ctxs/progress are locals of the
+        // enclosing test frame, which is suspended (hence live) whenever
+        // the coroutine runs; slot reads always follow the matching save.
         let body: Box<dyn FnOnce() -> usize> = Box::new(move || unsafe {
             let _held = witness; // freed only when the closure is dropped
             for i in 1..=3u64 {
@@ -352,6 +373,8 @@ mod tests {
             ctxs: ctxs_ptr,
             own_slot: 0,
         };
+        // SAFETY: payload and stack outlive the coroutine (it retires
+        // inside this block); every switch target was just saved/prepared.
         unsafe {
             *ctxs_ptr = prepare(&mut stack, &mut payload);
             for expect in 1..=3u64 {

@@ -460,6 +460,11 @@ pub(crate) struct GangRun {
     fault_cursor: *mut usize,
     /// Base of the per-core crashed flags.
     fault_crashed: *mut bool,
+    /// Race-analyzer trace Vecs, global-core-indexed (null when the
+    /// analyzer is off). Each core's Vec is appended to only under that
+    /// core's gang turn or by the conductor in the serial phase — the same
+    /// element discipline as `clock_ptrs`.
+    trace: *mut Vec<crate::hb::TraceEv>,
 }
 
 // Safety: the raw pointers are only dereferenced under the phase/turn
@@ -570,7 +575,27 @@ impl GangRun {
             fault_crash_at: st.fault.crash_at.as_ptr(),
             fault_cursor: st.fault.cursor.as_mut_ptr(),
             fault_crashed: st.fault.crashed.as_mut_ptr(),
+            trace: if st.hub.trace.enabled {
+                st.hub.trace.cores.as_mut_ptr()
+            } else {
+                std::ptr::null_mut()
+            },
         }
+    }
+
+    /// Record a race-analyzer trace event for global core `c` (no-op when
+    /// the analyzer is off).
+    ///
+    /// # Safety
+    /// The caller must hold `c`'s gang turn, or be the conductor in the
+    /// serial phase (the per-core-Vec exclusivity discipline above).
+    #[inline]
+    unsafe fn record_trace(&self, c: usize, clock: u64, op: Op, out: &Out) {
+        if self.trace.is_null() {
+            return;
+        }
+        let v = &mut *self.trace.add(c);
+        crate::hb::record_into(v, clock, op, out);
     }
 
     /// Publish the shards' clocks back into the global scheduler after the
@@ -676,30 +701,35 @@ impl<'a> Lane<'a> {
     #[inline]
     fn arb(&self, lt: usize) -> bool {
         debug_assert!(lt < self.parts.n_threads);
+        // SAFETY: in-partition index; exclusivity via the gang turn.
         unsafe { *self.parts.arb.add(lt) }
     }
 
     #[inline]
     fn arb_set(&mut self, lt: usize, v: bool) {
         debug_assert!(lt < self.parts.n_threads);
+        // SAFETY: in-partition index; exclusivity via the gang turn.
         unsafe { *self.parts.arb.add(lt) = v }
     }
 
     #[inline]
     fn tx_state(&mut self, lt: usize) -> &mut TxState {
         debug_assert!(lt < self.parts.n_threads);
+        // SAFETY: in-partition index; exclusivity via the gang turn.
         unsafe { &mut *self.parts.tx.add(lt) }
     }
 
     #[inline]
     fn tx_active(&self, lt: usize) -> bool {
         debug_assert!(lt < self.parts.n_threads);
+        // SAFETY: in-partition index; exclusivity via the gang turn.
         unsafe { (*self.parts.tx.add(lt)).active }
     }
 
     #[inline]
     fn stats_at(&mut self, lt: usize) -> &mut CoreStats {
         debug_assert!(lt < self.parts.n_threads);
+        // SAFETY: in-partition index; exclusivity via the gang turn.
         unsafe { &mut *self.parts.stats.add(lt) }
     }
 
@@ -711,6 +741,8 @@ impl<'a> Lane<'a> {
 
     #[inline]
     fn allocator(&self) -> &Allocator {
+        // SAFETY: the allocator is shared read-only during lane execution
+        // (mutations happen only in the serial epilogue).
         unsafe { &*self.parts.alloc }
     }
 
@@ -914,6 +946,13 @@ impl<'a> Lane<'a> {
                 self.stats_mut(c).fences += 1;
                 TryOp::Local(Out::Unit, self.lat.fence)
             }
+            Op::SmrFence => {
+                if in_tx {
+                    return TryOp::Defer;
+                }
+                // Trace-only, zero cycles, no stats (see `Op::SmrFence`).
+                TryOp::Local(Out::Unit, 0)
+            }
             Op::Cread(a) => {
                 if in_tx {
                     return TryOp::Defer;
@@ -1077,6 +1116,9 @@ unsafe fn gang_event_inner(
     let mut lane = Lane::new(&run.lanes[g], run);
     match lane.try_op(c, op, issue_clock, &mut gs.queue, &mut gs.seq) {
         TryOp::Local(out, cost) => {
+            // Safety: this core holds its gang turn (per-core-Vec record
+            // discipline).
+            run.record_trace(c, issue_clock, op, &out);
             gs.sched.clocks[l] += pending + cost;
             if run.fault_hot {
                 // Injected burst deschedules + wedge watchdog, at the same
@@ -1151,6 +1193,9 @@ unsafe fn gang_event_inner(
 /// clock is within the new ceiling, and pick the min-clock turn owner.
 /// Called by the gang worker (coop) or the conductor (threads) — both with
 /// exclusive access to the gang state.
+///
+/// # Safety
+/// Caller holds gang `g`'s turn (no other reference to its state exists).
 unsafe fn begin_window(run: &GangRun, g: usize) -> Option<usize> {
     let gs = &mut *run.gangs[g].get();
     let ceiling = run.ceiling.load(Ordering::Acquire);
@@ -1167,6 +1212,9 @@ unsafe fn begin_window(run: &GangRun, g: usize) -> Option<usize> {
 }
 
 /// Retirement bookkeeping shared by both mechanisms (caller owns the turn).
+///
+/// # Safety
+/// Caller holds gang `g`'s turn (no other reference to its state exists).
 unsafe fn finish_gang_retire(run: &GangRun, g: usize, l: usize, c: CoreId, pending: u64) -> Action {
     let gs = &mut *run.gangs[g].get();
     gs.sched.clocks[l] += pending;
@@ -1184,6 +1232,10 @@ unsafe fn finish_gang_retire(run: &GangRun, g: usize, l: usize, c: CoreId, pendi
 // ---------------------------------------------------------------------
 
 /// Per-epoch plan: minimum clock over non-retired cores and gang liveness.
+///
+/// # Safety
+/// Conductor only, at the barrier: every gang worker is parked, so the
+/// shared-slot reads cannot race a worker's writes.
 unsafe fn plan(run: &GangRun) -> (u64, Vec<bool>) {
     let mut min = u64::MAX;
     let mut live = vec![false; run.layout.gangs];
@@ -1228,6 +1280,9 @@ impl Uf {
 }
 
 /// Apply one non-blocking item (conductor only).
+///
+/// # Safety
+/// Conductor only, at the barrier (exclusive access to `SimState`).
 unsafe fn apply_light(run: &GangRun, st: &mut SimState, q: &Queued) {
     match &q.item {
         Deferred::OpDone => {
@@ -1250,6 +1305,10 @@ unsafe fn apply_light(run: &GangRun, st: &mut SimState, q: &Queued) {
 /// clock, run the preemption model, unblock the core and deliver the
 /// result. Shared by the serial replay, the epilogue and the merge lanes —
 /// one semantic definition of a deferred event's barrier-side half.
+///
+/// # Safety
+/// Caller is the conductor or a merge lane whose lane partition owns
+/// `q.core` (the per-core slots below are then exclusively reachable).
 unsafe fn apply_blocking(run: &GangRun, st: &mut SimState, q: &Queued, op: Op) {
     let g = run.layout.gang_of(q.core);
     let l = q.core - run.layout.base(g);
@@ -1260,6 +1319,11 @@ unsafe fn apply_blocking(run: &GangRun, st: &mut SimState, q: &Queued, op: Op) {
     let clock = run.clock_ptrs[g].add(l);
     *clock += q.pending;
     let (out, cost) = exec_op(st, q.core, op);
+    if st.hub.trace.enabled {
+        // `q.clock` is the issue clock: the blocked core could not advance
+        // between queueing and this apply (same key the merge sorted by).
+        st.hub.trace.record(q.core, q.clock, op, &out);
+    }
     *clock += cost;
     if st.fault.hot {
         // Injected burst deschedules + wedge watchdog for blocking events,
@@ -1425,6 +1489,9 @@ impl ClassifyState {
 /// Used whenever the merge will execute serially anyway — the counters
 /// stay byte-identical to the full pass (same [`ClassifyState::verdict`]
 /// per item) without its cost on 1-CPU hosts.
+///
+/// # Safety
+/// Conductor only, at the barrier (exclusive access to `SimState`).
 unsafe fn count_classify(st: &mut SimState, items: &[Queued]) {
     let mut cs = ClassifyState::new(st.sample_every.is_some());
     let mut banked = 0u64;
@@ -1450,6 +1517,9 @@ unsafe fn count_classify(st: &mut SimState, items: &[Queued]) {
 /// bank-local events into disjoint merge lanes. Two lanes share no state,
 /// so per-lane ordered replay commutes with the full serial order —
 /// byte-identical final state by construction.
+///
+/// # Safety
+/// Conductor only, at the barrier (exclusive access to `SimState`).
 unsafe fn classify(run: &GangRun, st: &mut SimState, items: &[Queued]) -> MergePlan {
     let nb = run.n_banks;
     let np = st.hub.l1s.len();
@@ -1552,6 +1622,9 @@ unsafe fn apply_lane_blocking(run: &GangRun, parts: &mut BankParts, q: &Queued, 
         q.core,
         op,
     );
+    // `q.clock` is the issue clock (see `apply_blocking`); recording goes
+    // through the projection, whose classified footprint covers this core.
+    parts.record_trace(q.core, q.clock, op, &out);
     *clock += cost;
     if run.fault_hot {
         // Mirrors `apply_blocking`'s fault block through the run's raw
@@ -1607,6 +1680,10 @@ unsafe fn exec_merge_lane(run: &GangRun, sh: &MergeShared, lane_ix: usize) {
 /// the epoch counter. `parallel` is set when the driver has merge workers:
 /// spawn-coop (parked gang workers double as merge workers) and the
 /// threads mechanism (dedicated merge workers).
+///
+/// # Safety
+/// Conductor only, at the barrier: all gang workers are parked, so the
+/// root state and every gang queue are exclusively reachable.
 unsafe fn merge(run: &GangRun, parallel: bool) {
     let st = &mut *run.root;
     let mut items: Vec<Queued> = Vec::new();
@@ -1708,6 +1785,10 @@ pub(crate) enum Mech {
 /// Returns `Err` with the panic payload if a deferred event panicked at a
 /// barrier (e.g. the UAF detector firing); the run is aborted and every
 /// gang thread is released so it can unwind.
+///
+/// # Safety
+/// One conductor per run, with the `GangRun` and root state outliving it;
+/// the gate protocol keeps state access mutually exclusive with workers.
 unsafe fn conduct(
     run: &GangRun,
     mech: Mech,
@@ -1967,6 +2048,7 @@ pub(crate) fn run_threads_mech<'env, R: Send + 'env>(
                     let mut ctx = Ctx::from_parts(
                         c,
                         n,
+                        !run.trace.is_null(),
                         CtxBackend::GangThreads(GangThreadsCtx {
                             run: run as *const GangRun,
                             gang: g,
@@ -1989,6 +2071,7 @@ pub(crate) fn run_threads_mech<'env, R: Send + 'env>(
                 .map(|g| r[layout.base(g)..layout.base(g) + layout.size(g)].to_vec())
                 .collect()
         };
+        // SAFETY: single conductor; `run` and the root state outlive it.
         conductor_result = unsafe { conduct(run, Mech::Threads, &peers) };
         outs = handles
             .into_iter()
@@ -2117,6 +2200,7 @@ impl<R: Send> CoopArena<R> {
         let ctxs_ptr = ctxs.as_mut_ptr();
         let mut outs: Vec<Option<std::thread::Result<R>>> = (0..size).map(|_| None).collect();
         let run_ptr = run as *const GangRun;
+        let race_check = !run.trace.is_null();
         let mut payloads: Vec<Box<coop::CoroPayload>> = fns
             .into_iter()
             .enumerate()
@@ -2126,6 +2210,7 @@ impl<R: Send> CoopArena<R> {
                     let mut ctx = Ctx::from_parts(
                         base + l,
                         total,
+                        race_check,
                         CtxBackend::GangCoop(GangCoopCtx {
                             run: run_ptr,
                             gang: g,
@@ -2136,13 +2221,15 @@ impl<R: Send> CoopArena<R> {
                         }),
                     );
                     let out = catch_unwind(AssertUnwindSafe(|| f(&mut ctx)));
+                    // SAFETY: `outs[l]` is written only by core `l`'s own
+                    // coroutine, and the arena outlives every coroutine.
                     unsafe { *out_slot = Some(out) };
                     ctx.retire();
                     ctx.gang_coop_retire_target()
                 });
-                // Erase 'env: every coroutine is fully consumed before the
-                // arena is dropped, so the closure cannot outlive its
-                // borrows.
+                // SAFETY: erase 'env — every coroutine is fully consumed
+                // before the arena is dropped, so the closure cannot outlive
+                // its borrows (same layout: only the lifetime is erased).
                 let body: Box<dyn FnOnce() -> usize> = unsafe { std::mem::transmute(body) };
                 Box::new(coop::CoroPayload {
                     f: Some(body),
@@ -2152,6 +2239,8 @@ impl<R: Send> CoopArena<R> {
             })
             .collect();
         for l in 0..size {
+            // SAFETY: payloads are boxed (stable addresses) and both they and
+            // the stacks live in the arena, outliving every switch.
             ctxs[l] = unsafe { coop::prepare(&mut stacks[l], &mut *payloads[l]) };
         }
         CoopArena {
@@ -2165,6 +2254,10 @@ impl<R: Send> CoopArena<R> {
 
     /// Switch from the driving thread into core `first`; control returns
     /// when the last runnable core pauses/blocks/retires (Action::Arrive).
+    ///
+    /// # Safety
+    /// `first` is a live (not retired) core of this arena, and the caller
+    /// is the arena's driving thread (slot `size` is its save slot).
     unsafe fn enter(&mut self, first: usize) {
         let ctxs_ptr = self.ctxs.as_mut_ptr();
         crate::coop::switch(ctxs_ptr.add(self.size), self.ctxs[first]);
@@ -2172,6 +2265,10 @@ impl<R: Send> CoopArena<R> {
 
     /// Abort path: resume every live coroutine once so it unwinds (its
     /// next event panics on the abort flag) and frees its closure.
+    ///
+    /// # Safety
+    /// As for [`Self::enter`]; the abort flag must already be set so each
+    /// resumed coroutine unwinds instead of re-entering the epoch loop.
     unsafe fn unwind_live(&mut self, run: &GangRun, g: usize) {
         let retired: Vec<bool> = (*run.gangs[g].get()).retired.clone();
         for (l, &r) in retired.iter().enumerate() {
@@ -2199,6 +2296,7 @@ fn gang_worker<'env, R: Send + 'env>(
         seen = epoch;
         if done {
             if run.aborted.load(Ordering::Acquire) {
+                // SAFETY: abort flag is set; this worker owns the arena.
                 unsafe { arena.unwind_live(run, g) };
             }
             break;
@@ -2207,8 +2305,8 @@ fn gang_worker<'env, R: Send + 'env>(
             // Banked merge phase: drain this worker's share of the lanes
             // (lane `i` belongs to worker `i % gangs`; lanes are pairwise
             // disjoint, so the round-robin split is only load balancing).
-            // Everything is read through the shared reference; the only
-            // write — the panic capture — goes through the slot's
+            // SAFETY: everything is read through the shared reference; the
+            // only write — the panic capture — goes through the slot's
             // UnsafeCell, which only this worker touches.
             unsafe {
                 if let Some(sh) = (*run.merge_shared.get()).as_ref() {
@@ -2227,6 +2325,8 @@ fn gang_worker<'env, R: Send + 'env>(
         // A fully retired gang contributes no window (begin_window finds no
         // active core) but its worker stays parked here until the run ends:
         // it still serves merge phases.
+        // SAFETY: between gate epochs this worker exclusively owns its
+        // gang's state and arena; `first` comes from the window scan.
         if let Some(first) = unsafe { begin_window(run, g) } {
             unsafe { arena.enter(first) };
         }
@@ -2256,6 +2356,9 @@ pub(crate) fn run_seq_mech<'env, R: Send + 'env>(
         fns = rest;
     }
     let mut conductor_result: std::thread::Result<()> = Ok(());
+    // SAFETY (whole loop): this sequential driver is the only thread, so
+    // it is conductor and every gang's worker at once — plan/window/merge
+    // exclusivity holds trivially, and coroutines only run inside enter().
     loop {
         let (min, live) = unsafe { plan(run) };
         if !live.iter().any(|&x| x) {
@@ -2266,10 +2369,13 @@ pub(crate) fn run_seq_mech<'env, R: Send + 'env>(
             if !is_live {
                 continue;
             }
+            // SAFETY: only thread (see the loop-head safety note above).
             if let Some(first) = unsafe { begin_window(run, g) } {
                 unsafe { arenas[g].enter(first) };
             }
         }
+        // SAFETY: still the only thread; on abort the flag is set before
+        // any coroutine is resumed to unwind.
         if let Err(e) = catch_unwind(AssertUnwindSafe(|| unsafe { merge(run, false) })) {
             run.aborted.store(true, Ordering::Release);
             for (g, arena) in arenas.iter_mut().enumerate() {
@@ -2309,6 +2415,7 @@ pub(crate) fn run_coop_mech<'env, R: Send + 'env>(
             .enumerate()
             .map(|(g, gfns)| scope.spawn(move || gang_worker(run, g, gfns, marker)))
             .collect();
+        // SAFETY: single conductor; `run` and the root state outlive it.
         conductor_result = unsafe { conduct(run, Mech::Coop, &[]) };
         outs = handles
             .into_iter()

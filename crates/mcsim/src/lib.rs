@@ -63,6 +63,7 @@ pub mod coherence;
 pub mod coop;
 pub mod fault;
 pub(crate) mod gang;
+pub mod hb;
 pub mod latency;
 pub mod machine;
 pub mod mem;
@@ -75,6 +76,7 @@ pub use alloc::{Fault, LineStatus, UafMode};
 pub use cache::MsiState;
 pub use coherence::CacheConfig;
 pub use fault::{CoreOutcome, CrashFault, FaultPlan, StallFault};
+pub use hb::{Finding, RaceReport};
 pub use latency::LatencyModel;
 pub use machine::{Ctx, ExecBackend, FootprintSample, Machine, MachineConfig};
 #[doc(hidden)]

@@ -148,6 +148,7 @@ impl ExecBackend {
     /// silently kept the stale backend — the regression test below pins
     /// the re-read behaviour.
     pub(crate) fn env_override() -> Option<ExecBackend> {
+        // castatic: allow(nondet) — MCSIM_EXEC is the documented backend override knob
         Self::parse_override(std::env::var("MCSIM_EXEC").ok()?.as_str())
     }
 
@@ -236,6 +237,13 @@ pub struct MachineConfig {
     /// fault-wedged configuration terminates instead of hanging a sweep
     /// worker forever. `None` (the default) disables the ceiling.
     pub max_cycles: Option<u64>,
+    /// Arm the happens-before race analyzer (see [`crate::hb`]): record
+    /// every executed memory event and make [`crate::machine::Ctx::smr_fence`]
+    /// an observable (zero-cost) event, so [`Machine::race_report`] can
+    /// replay the run under a weak memory model and report unsynchronized
+    /// conflicting access pairs. Off by default; when off, nothing records
+    /// and runs are byte-identical to a build without the analyzer.
+    pub race_check: bool,
 }
 
 impl Default for MachineConfig {
@@ -256,6 +264,7 @@ impl Default for MachineConfig {
             gang_window: 4096,
             fault_plan: FaultPlan::default(),
             max_cycles: None,
+            race_check: false,
         }
     }
 }
@@ -413,13 +422,14 @@ impl Machine {
     /// Build a machine.
     pub fn new(cfg: MachineConfig) -> Self {
         assert!(cfg.gangs >= 1, "MachineConfig::gangs must be at least 1");
-        let hub = CoherenceHub::new(
+        let mut hub = CoherenceHub::new(
             cfg.cores,
             cfg.smt,
             &cfg.cache,
             cfg.latency.clone(),
             cfg.mem_bytes,
         );
+        hub.trace.enabled = cfg.race_check;
         let mut alloc = Allocator::new(cfg.cores, cfg.mem_bytes, cfg.static_lines);
         alloc.uaf_mode = cfg.uaf_mode;
         if let Some(lines) = cfg.fault_plan.heap_limit_lines {
@@ -532,6 +542,21 @@ impl Machine {
         &'env self,
         fns: Vec<CoreFn<'env, R>>,
     ) -> Vec<std::thread::Result<R>> {
+        let results = self.run_results_inner(fns);
+        if self.cfg.race_check {
+            // Close the trace segment: the host observes every core's
+            // result here, so consecutive runs (prefill, measured) are
+            // ordered and the analyzer must not pair accesses across the
+            // boundary (see `hb::TraceBank::mark_run`).
+            self.shared.lock().hub.trace.mark_run();
+        }
+        results
+    }
+
+    fn run_results_inner<'env, R: Send + 'env>(
+        &'env self,
+        fns: Vec<CoreFn<'env, R>>,
+    ) -> Vec<std::thread::Result<R>> {
         let n = fns.len();
         assert!(
             n >= 1 && n <= self.cfg.cores,
@@ -580,6 +605,8 @@ impl Machine {
         let _mark = StateHoldMark::set(&self.shared);
         let marker = &*self.shared as *const Shared as *const () as usize;
         let root: *mut SimState = &mut *guard;
+        // SAFETY: `guard` (and thus `root`) is held for the whole gang run;
+        // the run's raw projections are dropped before the guard below.
         let run = unsafe {
             crate::gang::GangRun::new(root, layout, self.cfg.quantum, self.cfg.gang_window)
         };
@@ -596,6 +623,7 @@ impl Machine {
                 let seq = match GANG_DRIVER.load(Ordering::Relaxed) {
                     GANG_DRIVER_SEQ => true,
                     GANG_DRIVER_SPAWN => false,
+                    // castatic: allow(nondet) — MCSIM_GANG_DRIVER is the documented driver knob
                     _ => match std::env::var("MCSIM_GANG_DRIVER").as_deref() {
                         Ok("seq") => true,
                         Ok("spawn") => false,
@@ -617,6 +645,7 @@ impl Machine {
         };
         // Publish the gang scheduler shards' clocks back into the global
         // scheduler (stats()/max_clock read them between runs).
+        // SAFETY: all workers joined; this thread again has sole access.
         unsafe { run.writeback(&mut guard) };
         drop(run);
         drop(guard);
@@ -653,6 +682,7 @@ impl Machine {
         let mut ctxs: Vec<*mut u8> = vec![std::ptr::null_mut(); n + 1];
         let ctxs_ptr = ctxs.as_mut_ptr();
         let mut outs: Vec<Option<std::thread::Result<R>>> = (0..n).map(|_| None).collect();
+        let race_check = self.cfg.race_check;
         let mut payloads: Vec<Box<coop::CoroPayload>> = fns
             .into_iter()
             .enumerate()
@@ -663,6 +693,7 @@ impl Machine {
                         core,
                         threads: n,
                         pending_ticks: 0,
+                        race_check,
                         backend: CtxBackend::Coop(CoopCtx {
                             state: state_ptr,
                             ctxs: ctxs_ptr,
@@ -673,6 +704,8 @@ impl Machine {
                     let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
                         || f(&mut ctx),
                     ));
+                    // SAFETY: `outs[core]` is written only by core `core`'s
+                    // own coroutine; `outs` outlives every coroutine.
                     unsafe { *out_slot = Some(out) };
                     // Retire records where to go; returning lets the entry
                     // shim free this closure *before* the final switch (a
@@ -686,9 +719,9 @@ impl Machine {
                         _ => unreachable!("coop body on a non-coop ctx"),
                     }
                 });
-                // Erase 'env: every coroutine is fully consumed before this
-                // function returns, so the closure cannot outlive its
-                // borrows.
+                // SAFETY: erase 'env — every coroutine is fully consumed
+                // before this function returns, so the closure cannot
+                // outlive its borrows (only the lifetime is erased).
                 let body: Box<dyn FnOnce() -> usize> = unsafe { std::mem::transmute(body) };
                 Box::new(coop::CoroPayload {
                     f: Some(body),
@@ -698,11 +731,14 @@ impl Machine {
             })
             .collect();
         for core in 0..n {
+            // SAFETY: payloads are boxed (stable addresses) and, like the
+            // stacks, live in this frame past the final switch back.
             ctxs[core] = unsafe { coop::prepare(&mut stacks[core], &mut *payloads[core]) };
         }
         let first = guard.sched.start_run(n);
-        // Enter the coroutine world; control returns here when the last
-        // core retires and switches back to the main slot.
+        // SAFETY: enter the coroutine world — slot `n` is this thread's
+        // save slot and `first` was just prepared; control returns here
+        // when the last core retires and switches back to the main slot.
         unsafe { coop::switch(ctxs_ptr.add(n), ctxs[first]) };
         debug_assert_eq!(guard.sched.turn, NO_TURN, "run ended with live cores");
         drop(guard);
@@ -740,6 +776,7 @@ impl Machine {
                             core,
                             threads: n,
                             pending_ticks: 0,
+                            race_check: self.cfg.race_check,
                             backend: CtxBackend::Threads(ThreadsCtx {
                                 shared,
                                 turn_guard: None,
@@ -869,6 +906,22 @@ impl Machine {
         self.shared.lock().hub.check_invariants();
     }
 
+    /// Run the happens-before race analyzer over everything traced so far
+    /// and return its deterministic report (see [`crate::hb`]). Empty
+    /// unless the machine was built with [`MachineConfig::race_check`].
+    /// Call between runs, not during one.
+    pub fn race_report(&self) -> crate::hb::RaceReport {
+        let st = self.shared.lock();
+        crate::hb::analyze(&st.hub.trace, self.cfg.static_lines)
+    }
+
+    /// Name `lines` lines starting at `a`'s line in race-analyzer reports
+    /// (e.g. `hp.hazards`). Cheap and unconditional, so callers need not
+    /// gate on [`MachineConfig::race_check`]. Call between runs.
+    pub fn label_lines(&self, a: Addr, lines: u64, name: &'static str) {
+        self.shared.lock().hub.trace.label(a, lines, name);
+    }
+
     /// Introspect a core's ARB (tests only; programs must use cread/cwrite
     /// failure results instead).
     pub fn probe_arb(&self, c: CoreId) -> bool {
@@ -894,6 +947,9 @@ pub struct Ctx<'m> {
     /// Number of simulated cores participating in this `run_on` call.
     threads: usize,
     pending_ticks: u64,
+    /// Mirror of [`MachineConfig::race_check`]: gates whether
+    /// [`Ctx::smr_fence`] issues its trace-only event.
+    race_check: bool,
     backend: CtxBackend<'m>,
 }
 
@@ -995,6 +1051,12 @@ pub(crate) enum Op {
     Write(Addr, u64),
     Cas(Addr, u64, u64),
     Fence,
+    /// The SMR protocols' uncosted ordering fence, issued **only** when
+    /// [`MachineConfig::race_check`] is armed (it exists purely so the
+    /// analyzer sees the edge; zero cycles, no stats — a run with the
+    /// analyzer off never creates one, keeping the schedule and the stats
+    /// byte-identical to pre-analyzer goldens).
+    SmrFence,
     Cread(Addr),
     Cwrite(Addr, u64),
     UntagOne(Addr),
@@ -1086,6 +1148,7 @@ pub(crate) fn exec_op(st: &mut SimState, c: CoreId, op: Op) -> (Out, u64) {
             }
         }
         Op::Fence => (Out::Unit, st.hub.fence(c)),
+        Op::SmrFence => (Out::Unit, 0),
         Op::UntagOne(a) => (Out::Unit, st.hub.untag_one(c, a)),
         Op::UntagAll => (Out::Unit, st.hub.untag_all(c)),
         Op::Alloc => {
@@ -1169,6 +1232,8 @@ pub(crate) unsafe fn exec_bank_op(
     c: CoreId,
     op: Op,
 ) -> (Out, u64) {
+    // SAFETY (each arm): forwards this fn's own footprint-exclusivity
+    // contract on `parts` to the per-op hub primitive.
     match op {
         Op::Read(a) => {
             check(c, a, "read");
@@ -1181,9 +1246,12 @@ pub(crate) unsafe fn exec_bank_op(
         }
         Op::Cas(a, expected, new) => {
             check(c, a, "cas");
+            // SAFETY: same `parts` footprint forwarding as above.
             let (r, cost) = unsafe { parts.cas(c, a, expected, new) };
             (Out::CasR(r), cost)
         }
+        // SAFETY (conditional arms): same forwarding of the `parts`
+        // footprint contract as the plain arms above.
         Op::Cread(a) => {
             let (v, cost) = unsafe { parts.cread(c, a) };
             if v.is_some() {
@@ -1195,6 +1263,7 @@ pub(crate) unsafe fn exec_bank_op(
         Op::Cwrite(a, v) => {
             // Check whether the store would actually execute before
             // validating the target (a failed cwrite touches no memory).
+            // SAFETY: same `parts` footprint forwarding as above.
             let (ok, cost) = unsafe { parts.cwrite(c, a, v) };
             if ok {
                 check(c, a, "cwrite");
@@ -1243,7 +1312,11 @@ fn run_event_on(st: &mut SimState, c: CoreId, pending: u64, op: Op) -> (Out, Opt
         let clock = st.sched.clocks[c];
         std::panic::resume_unwind(Box::new(FaultStop { core: c, clock }));
     }
+    let issue_clock = st.sched.clocks[c];
     let (out, cost) = exec_op(st, c, op);
+    if st.hub.trace.enabled {
+        st.hub.trace.record(c, issue_clock, op, &out);
+    }
     st.sched.clocks[c] += cost;
     {
         let SimState {
@@ -1292,11 +1365,17 @@ fn finish_retire(st: &mut SimState, c: CoreId, pending: u64) -> Option<CoreId> {
 
 impl<'m> Ctx<'m> {
     /// Internal constructor for the gang drivers (`crate::gang`).
-    pub(crate) fn from_parts(core: CoreId, threads: usize, backend: CtxBackend<'m>) -> Self {
+    pub(crate) fn from_parts(
+        core: CoreId,
+        threads: usize,
+        race_check: bool,
+        backend: CtxBackend<'m>,
+    ) -> Self {
         Ctx {
             core,
             threads,
             pending_ticks: 0,
+            race_check,
             backend,
         }
     }
@@ -1351,15 +1430,16 @@ impl<'m> Ctx<'m> {
                 out
             }
             CtxBackend::Coop(cb) => {
-                // A coroutine only runs while it owns the turn, so state
-                // access needs no locking at all.
+                // SAFETY: a coroutine only runs while it owns the turn, so
+                // state access needs no locking at all.
                 let st = unsafe { &mut *cb.state };
                 debug_assert_eq!(st.sched.turn, c, "coop: non-owner coroutine running");
                 let (out, next) = run_event_on(st, c, pending, op);
                 if let Some(next) = next {
                     // A coop Ctx only exists on targets where the module is
                     // compiled (run_coop constructs it), so the arm is
-                    // unreachable elsewhere.
+                    // unreachable elsewhere. SAFETY: `next` came from the
+                    // scheduler, so its context is live and suspended.
                     #[cfg(mcsim_coop)]
                     unsafe {
                         crate::coop::switch(cb.ctxs.add(c), *cb.ctxs.add(next))
@@ -1369,6 +1449,8 @@ impl<'m> Ctx<'m> {
                 }
                 out
             }
+            // SAFETY (gang arms): the ctx was built by the gang driver, so
+            // the embedded run pointer outlives the core's execution.
             CtxBackend::GangThreads(gt) => unsafe { crate::gang::event_threads(gt, c, pending, op) },
             #[cfg(mcsim_coop)]
             CtxBackend::GangCoop(gc) => unsafe { crate::gang::event_coop(gc, c, pending, op) },
@@ -1385,6 +1467,7 @@ impl<'m> Ctx<'m> {
                 tb.release_turn_to(next.unwrap_or(NO_TURN));
             }
             CtxBackend::Coop(cb) => {
+                // SAFETY: retiring coroutine still owns the turn.
                 let st = unsafe { &mut *cb.state };
                 let next = finish_retire(st, c, pending);
                 // Record the final switch target (next owner, or the main
@@ -1393,6 +1476,7 @@ impl<'m> Ctx<'m> {
                 // closure's allocation is freed first.
                 cb.retire_target = Some(next.unwrap_or(cb.main_slot));
             }
+            // SAFETY (gang arms): as for the gang arms of `event` above.
             CtxBackend::GangThreads(gt) => unsafe { crate::gang::retire_threads(gt, c, pending) },
             #[cfg(mcsim_coop)]
             CtxBackend::GangCoop(gc) => unsafe { crate::gang::retire_coop(gc, c, pending) },
@@ -1419,6 +1503,20 @@ impl<'m> Ctx<'m> {
     /// Memory fence.
     pub fn fence(&mut self) {
         self.event(Op::Fence).unit()
+    }
+
+    /// The SMR protocols' uncosted ordering fence (`casmr`'s
+    /// `Env::smr_fence` forwards here). Semantically a no-op in the
+    /// sequentially consistent simulator and absent from the pinned cost
+    /// model, so by default it issues nothing at all; with
+    /// [`MachineConfig::race_check`] armed it issues a zero-cost
+    /// [`Op::SmrFence`] event so the happens-before analyzer
+    /// ([`crate::hb`]) sees the ordering edge the native backend's real
+    /// fence provides.
+    pub fn smr_fence(&mut self) {
+        if self.race_check {
+            self.event(Op::SmrFence).unit()
+        }
     }
 
     /// `cread`: conditional load (None = failed, CAFAIL set). See paper
@@ -1521,10 +1619,12 @@ impl<'m> Ctx<'m> {
                 Some(st) => st.hub.tx_active(c),
                 None => tb.shared.lock().hub.tx_active(c),
             },
+            // SAFETY: a running coroutine owns the turn (state is idle).
             CtxBackend::Coop(cb) => unsafe { (&*cb.state).hub.tx_active(c) },
-            // Gang runs: a core's tx state is only ever touched by its own
-            // events (or by the conductor while the core is blocked), so an
-            // unsynchronized read from the core's own context is race-free.
+            // SAFETY (gang arms): a core's tx state is only ever touched by
+            // its own events (or by the conductor while the core is
+            // blocked), so an unsynchronized read from the core's own
+            // context is race-free.
             CtxBackend::GangThreads(gt) => unsafe { crate::gang::probe_tx_active(gt.run(), c) },
             #[cfg(mcsim_coop)]
             CtxBackend::GangCoop(gc) => unsafe { crate::gang::probe_tx_active(gc.run(), c) },
@@ -1546,9 +1646,11 @@ impl<'m> Ctx<'m> {
                 Some(st) => st.sched.clocks[c] + pending,
                 None => tb.shared.lock().sched.clocks[c] + pending,
             },
+            // SAFETY: a running coroutine owns the turn (state is idle).
             CtxBackend::Coop(cb) => unsafe { (&*cb.state).sched.clocks[c] + pending },
-            // Gang runs: only a core's own events advance its clock slot,
-            // so reading it from the core's own context is race-free.
+            // SAFETY (gang arms): only a core's own events advance its
+            // clock slot, so reading it from the core's own context is
+            // race-free.
             CtxBackend::GangThreads(gt) => unsafe { crate::gang::probe_clock(gt.run(), c) + pending },
             #[cfg(mcsim_coop)]
             CtxBackend::GangCoop(gc) => unsafe { crate::gang::probe_clock(gc.run(), c) + pending },

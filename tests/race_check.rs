@@ -1,0 +1,144 @@
+//! Determinism pins for the happens-before race analyzer.
+//!
+//! The analyzer's report is part of the simulated result surface, so it
+//! inherits the machine's determinism contract (`tests/gang_determinism.rs`):
+//! simulated results are a pure function of `(program, seeds, quantum,
+//! gangs, gang_window)`. Gang count is therefore a *parameter* of the
+//! history being analyzed — but everything else about the host must be
+//! invisible: for a fixed gang count the rendered report is
+//! **byte-identical** across bank counts, repeated runs, and host
+//! execution backends. And the analyzer must be free when disabled (the
+//! `race_check = false` identity is pinned by `tests/env_pin.rs`, whose
+//! goldens predate the analyzer and still pass unmodified).
+//!
+//! Cross-backend identity is pinned by the golden digest file
+//! (`tests/goldens/race_report.txt`): CI runs this test on both
+//! `MCSIM_EXEC` legs against the same goldens. Regenerate (only when the
+//! analyzer's edges or report format intentionally change):
+//! `MCSIM_WRITE_GOLDENS=1 cargo test --test race_check`
+
+use conditional_access::harness::{
+    race_report_queue, race_report_set, run_set, Mix, RunConfig, SetKind,
+};
+use conditional_access::smr::SchemeKind;
+
+/// FNV-1a over the rendered report (same digest as `tests/env_pin.rs`).
+fn fnv(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn cfg(gangs: usize, l2_banks: usize) -> RunConfig {
+    let mut c = RunConfig {
+        threads: 4,
+        key_range: 64,
+        prefill: 32,
+        ops_per_thread: 200,
+        mix: Mix {
+            insert_pct: 30,
+            delete_pct: 30,
+        },
+        quantum: 0,
+        gangs,
+        ..Default::default()
+    };
+    c.cache.l2_banks = l2_banks;
+    c
+}
+
+#[test]
+fn report_is_byte_identical_across_banks_and_reruns_per_gang_count() {
+    // The trace is recorded per core and linearized by issue clock, so the
+    // merge's bank partitioning and run-to-run scheduling must be
+    // invisible: for each gang count, every (l2_banks, rerun) cell renders
+    // the same bytes. (Gang count itself parameterizes the simulated
+    // history — see the module doc — so each gangs value pins its own
+    // reference; the analyzer faithfully reports the history it was given.)
+    for (kind, scheme) in [
+        (SetKind::LazyList, SchemeKind::Hp),
+        (SetKind::LazyList, SchemeKind::Ca),
+    ] {
+        for gangs in [1usize, 2, 4] {
+            let reference = race_report_set(kind, scheme, &cfg(gangs, 1)).1.render();
+            for l2_banks in [1usize, 8] {
+                let r = race_report_set(kind, scheme, &cfg(gangs, l2_banks)).1.render();
+                assert_eq!(
+                    reference, r,
+                    "{kind:?}/{scheme:?} gangs={gangs} banks={l2_banks}: report diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn race_check_does_not_perturb_simulated_time() {
+    // SmrFence events cost zero cycles and the trace is recorded off the
+    // critical path, so arming the analyzer may not move a single clock.
+    for scheme in [SchemeKind::Hp, SchemeKind::Qsbr, SchemeKind::Ca] {
+        let c = cfg(1, 1);
+        let plain = run_set(SetKind::LazyList, scheme, &c);
+        let (armed, _) = race_report_set(SetKind::LazyList, scheme, &c);
+        assert_eq!(
+            plain.cycles, armed.cycles,
+            "{scheme:?}: race_check changed simulated cycles"
+        );
+        assert_eq!(plain.total_ops, armed.total_ops);
+    }
+}
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("goldens")
+        .join("race_report.txt")
+}
+
+#[test]
+fn reports_match_goldens_across_backends() {
+    // One golden file for both MCSIM_EXEC legs: the report is simulated
+    // output, so the host backend may not leak into it.
+    let mut lines = String::new();
+    for (label, report) in [
+        (
+            "lazylist/hp",
+            race_report_set(SetKind::LazyList, SchemeKind::Hp, &cfg(2, 8)).1,
+        ),
+        (
+            "lazylist/ca",
+            race_report_set(SetKind::LazyList, SchemeKind::Ca, &cfg(2, 8)).1,
+        ),
+        ("queue/qsbr", {
+            let mut c = cfg(2, 8);
+            c.mix = Mix {
+                insert_pct: 50,
+                delete_pct: 50,
+            };
+            race_report_queue(SchemeKind::Qsbr, &c).1
+        }),
+    ] {
+        lines.push_str(&format!("{label} = {:#018x}\n", fnv(&report.render())));
+    }
+    let path = golden_path();
+    if std::env::var_os("MCSIM_WRITE_GOLDENS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &lines).unwrap();
+        eprintln!("[race_check] wrote goldens to {}", path.display());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); generate with MCSIM_WRITE_GOLDENS=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        lines, golden,
+        "race reports diverged from goldens (analyzer edges or report \
+         format changed; regenerate only if intentional)"
+    );
+}
