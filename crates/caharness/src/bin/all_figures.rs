@@ -47,5 +47,8 @@ fn main() {
     for (t, name) in fig_robustness(scale).into_iter().zip(names) {
         t.emit(name);
     }
+    let (trace, summary) = fig_recovery(scale, true);
+    trace.emit("recovery_trace_adopt.csv");
+    summary.emit("recovery_summary_adopt.csv");
     caharness::finish();
 }

@@ -6,17 +6,24 @@
 //! model exists to measure: qsbr/rcu garbage grows without bound behind a
 //! dead reader while hp/he/ibr stay bounded and CA holds none at all.
 //!
+//! With `--recover` (PR 10), each crashed column is re-run under a
+//! restart-bearing plan as a `N+adopt` column: the victims come back,
+//! certify their own fail-stop (`casmr::CrashToken`), adopt their orphans
+//! and finish their quota — the garbage table then shows the pinned
+//! backlog *and* its repair side by side.
+//!
 //! Usage: `cargo run -p caharness --release --bin fig_robustness \
-//!     [--quick|--paper] [--jobs N] [--max_cycles N] [--fail-fast]`
+//!     [--quick|--paper] [--recover] [--jobs N] [--max_cycles N] [--fail-fast]`
 
-use caharness::experiments::{fig_robustness, Scale};
+use caharness::experiments::{fig_robustness_with, Scale};
 
 fn main() {
     let scale = Scale::from_args();
+    let recover = std::env::args().any(|a| a == "--recover");
     caharness::init_from_args();
-    eprintln!("[fig_robustness at {scale:?} scale]");
+    eprintln!("[fig_robustness at {scale:?} scale, recover={recover}]");
     let names = ["robustness_tput.csv", "robustness_footprint.csv", "robustness_garbage.csv"];
-    for (table, name) in fig_robustness(scale).into_iter().zip(names) {
+    for (table, name) in fig_robustness_with(scale, recover).into_iter().zip(names) {
         table.emit(name);
     }
     caharness::finish();

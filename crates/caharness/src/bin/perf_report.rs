@@ -17,8 +17,9 @@
 
 use std::time::Instant;
 
-use caharness::{race_report_set, run_set, Mix, RunConfig, SetKind};
+use caharness::{race_report_set, run_queue_recover, run_set, Mix, RunConfig, SetKind};
 use casmr::SchemeKind;
+use mcsim::FaultPlan;
 
 fn main() {
     caharness::init_from_args();
@@ -113,6 +114,49 @@ fn main() {
             );
         }
     }
+    // Crash-recovery record (PR 10): one qsbr MS-queue run through the
+    // restart-bearing recovery runner — crash at 6k cycles, restart+adopt
+    // at 60k — so the recovery counters (and the host cost of the vault /
+    // adoption path) show up in per-commit artifacts alongside the steady
+    // state.
+    let cfg = RunConfig {
+        threads: 8,
+        key_range: 1000,
+        prefill: 64,
+        ops_per_thread: 2000,
+        mix: Mix {
+            insert_pct: 50,
+            delete_pct: 50,
+        },
+        fault_plan: FaultPlan::none().crash(7, 6_000).restart(7, 60_000),
+        max_cycles: Some(2_000_000_000),
+        ..Default::default()
+    };
+    let warm = run_queue_recover(SchemeKind::Qsbr, &cfg);
+    let mut best_ms = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let m = run_queue_recover(SchemeKind::Qsbr, &cfg);
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        best_ms = best_ms.min(ms);
+        assert_eq!(m.cycles, warm.cycles, "deterministic runs diverged");
+    }
+    println!(",");
+    print!(
+        "  {{\"bench\": \"recovery_msqueue\", \"threads\": 8, \"quantum\": 0, \
+         \"scheme\": \"qsbr\", \"wall_ms\": {best_ms:.1}, \
+         \"sim_cycles\": {}, \"total_ops\": {}, \"ops_per_host_sec\": {:.0}, \
+         \"orphans_detected\": {}, \"adoptions\": {}, \"adopted_bytes\": {}, \
+         \"recovery_cycles\": {}, \"final_garbage_bytes\": {}}}",
+        warm.cycles,
+        warm.total_ops,
+        warm.total_ops as f64 / (best_ms / 1e3),
+        warm.orphans_detected,
+        warm.adoptions,
+        warm.adopted_bytes,
+        warm.recovery_cycles,
+        warm.final_garbage_bytes
+    );
     println!("\n]");
     caharness::finish();
 }

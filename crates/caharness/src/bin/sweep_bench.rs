@@ -5,7 +5,7 @@
 //! lane-parallel merge (`BENCH_pr7.json`) and the native host-thread
 //! backend (`BENCH_pr8.json`).
 //!
-//! Six instruments, one JSON array on stdout:
+//! Seven instruments, one JSON array on stdout:
 //!
 //! 1. **Sweep** (PR 2): one figure-style grid — 7 schemes × 4 thread
 //!    counts = 28 configurations of the Figure-1 lazy list — once with
@@ -47,6 +47,14 @@
 //!    identical across reps on both legs (the workload is a fixed op
 //!    count), but native wall clock is real concurrency — only the sim leg
 //!    is bit-deterministic.
+//! 7. **Recovery** (PR 10, `BENCH_pr10.json`): the fault-injected 16-core
+//!    MS-queue run again, but with a *restart* leg on the victim — crash
+//!    at a fixed clock, come back 50k cycles later, certify the fail-stop
+//!    (`casmr::CrashToken`), adopt the orphaned per-thread state and
+//!    finish the quota. Per scheme: bit-identical repeated runs asserted
+//!    (recovery is part of the simulated program), wall clock, and the
+//!    recovery counters — orphans detected, adoptions, adopted backlog
+//!    bytes, crash→adoption-complete latency in simulated cycles.
 //!
 //! Simulated results are deterministic, so every wall-clock ratio is pure
 //! host-scheduling performance.
@@ -57,7 +65,10 @@
 use std::time::Instant;
 
 use caharness::config::jobs_from_args;
-use caharness::{run_queue_robust, run_set_with_stats, sweep, Mix, RunConfig, SeriesTable, SetKind};
+use caharness::{
+    run_queue_recover, run_queue_robust, run_set_with_stats, sweep, Mix, RunConfig, SeriesTable,
+    SetKind,
+};
 use casmr::{SchemeKind, SmrConfig};
 use mcsim::FaultPlan;
 
@@ -231,6 +242,47 @@ fn time_robust(
                 warm.final_garbage_bytes
             ),
             "{}: gangs={gangs} banks={l2_banks}: fault run diverged between reps",
+            scheme.name()
+        );
+    }
+    (best_ms, warm)
+}
+
+/// One restart-bearing recovery run: same 16-core MS-queue workload as
+/// `time_robust`, but the core-15 victim comes back 50k cycles after its
+/// crash, adopts its orphan and finishes the quota. Returns (best wall ms
+/// over `reps`, metrics of the warmup run); the recovery counters and
+/// clocks are asserted bit-identical across reps.
+fn time_recover(scheme: SchemeKind, reps: usize) -> (f64, caharness::Metrics) {
+    let cfg = RunConfig {
+        threads: 16,
+        key_range: 1000,
+        prefill: 64,
+        ops_per_thread: 500,
+        mix: Mix {
+            insert_pct: 50,
+            delete_pct: 50,
+        },
+        smr: SmrConfig {
+            reclaim_freq: 4,
+            epoch_freq: 8,
+            ..Default::default()
+        },
+        fault_plan: FaultPlan::none().crash(15, 4_000).restart(15, 54_000),
+        max_cycles: Some(2_000_000_000),
+        ..Default::default()
+    };
+    let warm = run_queue_recover(scheme, &cfg);
+    assert_eq!(warm.total_ops, 16 * 500, "{}: restart must finish the quota", scheme.name());
+    let mut best_ms = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let m = run_queue_recover(scheme, &cfg);
+        best_ms = best_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(
+            (m.cycles, m.total_ops, m.adoptions, m.adopted_bytes, m.recovery_cycles),
+            (warm.cycles, warm.total_ops, warm.adoptions, warm.adopted_bytes, warm.recovery_cycles),
+            "{}: recovery run diverged between reps",
             scheme.name()
         );
     }
@@ -444,6 +496,30 @@ fn main() {
         qsbr_peak > hp_peak,
         "bounded-garbage separation lost: qsbr peak {qsbr_peak} <= hp peak {hp_peak}"
     );
+    // PR 10: crash recovery. The robust_bench workload with a restart leg:
+    // the victim certifies its own fail-stop, adopts the orphaned TLS (and
+    // its pinned backlog) and finishes the quota. The headline next to
+    // robust_bench's peaks: final garbage back at the tail bound for every
+    // scheme, with the adoption latency on the simulated clock.
+    eprintln!("[sweep_bench: recovery_bench, 16 simulated cores, crash at 4k + restart at 54k]");
+    for scheme in [SchemeKind::Qsbr, SchemeKind::Hp, SchemeKind::Ca] {
+        let (ms, m) = time_recover(scheme, reps);
+        rows.push(format!(
+            "  {{\"bench\": \"recovery_bench\", \"threads\": 16, \"scheme\": \"{}\", \
+             \"crashes\": 1, \"restarts\": 1, \"reps\": {reps}, \"wall_ms\": {ms:.1}, \
+             \"sim_cycles\": {}, \"total_ops\": {}, \"orphans_detected\": {}, \
+             \"adoptions\": {}, \"adopted_bytes\": {}, \"recovery_cycles\": {}, \
+             \"final_garbage_bytes\": {}, \"deterministic\": true}}",
+            scheme.name(),
+            m.cycles,
+            m.total_ops,
+            m.orphans_detected,
+            m.adoptions,
+            m.adopted_bytes,
+            m.recovery_cycles,
+            m.final_garbage_bytes,
+        ));
+    }
     // PR 8: the simulation tax. Same structure, same scheme, same workload
     // generator on the cycle-level simulator vs real host threads; the wall
     // ratio per completed op is what one pays for cycle-accurate metrics.

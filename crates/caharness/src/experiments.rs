@@ -18,8 +18,8 @@ use mcsim::{CacheConfig, FaultPlan};
 use crate::config::{Mix, RunConfig};
 use crate::metrics::Metrics;
 use crate::runner::{
-    run_fallback_list, run_harris, run_htm_list, run_lf_bst, run_queue, run_queue_robust, run_set,
-    run_set_latency, run_stack, SetKind,
+    run_fallback_list, run_harris, run_htm_list, run_lf_bst, run_queue, run_queue_recover,
+    run_queue_robust, run_set, run_set_latency, run_stack, SetKind,
 };
 use crate::sweep;
 use crate::table::SeriesTable;
@@ -638,18 +638,43 @@ pub fn queue_bench(scale: Scale) -> SeriesTable {
 /// fail-stops wedges lock-based survivors — which the `max_cycles`
 /// watchdog would report as an `ERR` cell, not a data point.
 pub fn fig_robustness(scale: Scale) -> Vec<SeriesTable> {
+    fig_robustness_with(scale, false)
+}
+
+/// [`fig_robustness`] with optional `+adopt` columns (the bin's
+/// `--recover` flag): each crashed column re-runs under a
+/// **restart-bearing** plan through [`run_queue_recover`] — the victims
+/// come back, certify their own fail-stop, adopt their orphans (forcible
+/// retraction + merge + scan) and finish their quota — so the three tables
+/// show the pinned-backlog blowup and its repair side by side.
+pub fn fig_robustness_with(scale: Scale, recover: bool) -> Vec<SeriesTable> {
     let threads = match scale {
         Scale::Quick => 4,
         _ => 8,
     };
-    let stalled = [0usize, 1, 2];
-    let labels: Vec<String> = stalled.iter().map(|s| s.to_string()).collect();
-    let cfg_for = |s: usize| {
+    // Columns: (label, crashed cores, restart-bearing?).
+    let mut cols: Vec<(String, usize, bool)> = [0usize, 1, 2]
+        .iter()
+        .map(|&s| (s.to_string(), s, false))
+        .collect();
+    if recover {
+        for s in [1usize, 2] {
+            cols.push((format!("{s}+adopt"), s, true));
+        }
+    }
+    let labels: Vec<String> = cols.iter().map(|(l, _, _)| l.clone()).collect();
+    let cfg_for = |s: usize, restart: bool| {
         let mut plan = FaultPlan::none();
         for i in 0..s {
             // Victims are the highest-numbered cores, staggered so the
             // two-victim column exercises two distinct trigger clocks.
-            plan = plan.crash(threads - 1 - i, 4_000 + 3_000 * i as u64);
+            let (core, at) = (threads - 1 - i, 4_000 + 3_000 * i as u64);
+            plan = plan.crash(core, at);
+            if restart {
+                // Long enough past the crash that the survivors pile up a
+                // visible pinned backlog before the adoption repairs it.
+                plan = plan.restart(core, at + 30_000);
+            }
         }
         RunConfig {
             threads,
@@ -684,11 +709,18 @@ pub fn fig_robustness(scale: Scale) -> Vec<SeriesTable> {
         }
     };
     let cfg_for = &cfg_for;
+    let cols = &cols;
     let tasks: Vec<sweep::Task<Metrics>> = SchemeKind::ALL
         .iter()
         .flat_map(|&scheme| {
-            stalled.iter().map(move |&s| {
-                Box::new(move || run_queue_robust(scheme, &cfg_for(s))) as sweep::Task<Metrics>
+            cols.iter().map(move |&(_, s, restart)| {
+                Box::new(move || {
+                    if restart {
+                        run_queue_recover(scheme, &cfg_for(s, true))
+                    } else {
+                        run_queue_robust(scheme, &cfg_for(s, false))
+                    }
+                }) as sweep::Task<Metrics>
             })
         })
         .collect();
@@ -713,7 +745,7 @@ pub fn fig_robustness(scale: Scale) -> Vec<SeriesTable> {
         "scheme\\stalled",
         labels,
     );
-    for (scheme, row) in SchemeKind::ALL.iter().zip(flat.chunks(stalled.len())) {
+    for (scheme, row) in SchemeKind::ALL.iter().zip(flat.chunks(cols.len())) {
         let pick = |f: &dyn Fn(&Metrics) -> f64| -> Vec<f64> {
             row.iter()
                 .map(|r| r.as_ref().map_or(sweep::ERR_CELL, f))
@@ -722,10 +754,145 @@ pub fn fig_robustness(scale: Scale) -> Vec<SeriesTable> {
         tput.push_series(scheme.name(), pick(&|m| m.throughput));
         footprint.push_series(scheme.name(), pick(&|m| m.peak_allocated as f64));
         if *scheme != SchemeKind::Ca {
-            garbage.push_series(scheme.name(), pick(&|m| m.peak_garbage_bytes as f64));
+            // The `+adopt` columns report the *final* backlog: the peak
+            // still shows the pre-adoption pileup, the final shows the
+            // repair (near zero for every scheme once the orphan's
+            // publications are retracted).
+            garbage.push_series(
+                scheme.name(),
+                row.iter()
+                    .zip(cols)
+                    .map(|(r, &(_, _, restart))| {
+                        r.as_ref().map_or(sweep::ERR_CELL, |m| {
+                            if restart {
+                                m.final_garbage_bytes as f64
+                            } else {
+                                m.peak_garbage_bytes as f64
+                            }
+                        })
+                    })
+                    .collect(),
+            );
         }
     }
     vec![tput, footprint, garbage]
+}
+
+/// The crash-recovery figure (PR 10, extension): every scheme on the MS
+/// queue with one core fail-stopped early in the measured phase. Two
+/// tables:
+///
+/// 1. **garbage over time** — allocated-but-unfreed lines sampled every N
+///    global ops, tracing crash → detection → adoption → reclaim. With
+///    `recover` the victim restarts, certifies its own fail-stop
+///    ([`casmr::CrashToken::from_restart`]), adopts its orphan and the
+///    trace returns under the pre-crash bound; without it the qsbr/rcu
+///    backlog grows with the survivors' work, unbounded.
+/// 2. **recovery summary** — per scheme: orphans detected, adoptions,
+///    adopted backlog bytes, and the crash→adoption-complete latency in
+///    simulated cycles.
+pub fn fig_recovery(scale: Scale, recover: bool) -> (SeriesTable, SeriesTable) {
+    let threads = match scale {
+        Scale::Quick => 4,
+        _ => 8,
+    };
+    let ops = match scale {
+        Scale::Quick => 800,
+        Scale::Standard => 2000,
+        Scale::Paper => 5000,
+    };
+    let total_ops = threads as u64 * ops;
+    let sample_every = (total_ops / 24).max(1);
+    let n_samples = (total_ops / sample_every) as usize;
+    let victim = threads - 1;
+    let mut plan = FaultPlan::none().crash(victim, 6_000);
+    if recover {
+        plan = plan.restart(victim, 60_000);
+    }
+    let cfg = RunConfig {
+        threads,
+        key_range: 1000,
+        // Small prefill + early crash, as in fig_robustness: the bounded
+        // schemes' pinned set is the pre-crash population, so keep it
+        // small relative to the survivors' post-crash churn.
+        prefill: 64,
+        ops_per_thread: ops,
+        mix: Mix {
+            insert_pct: 50,
+            delete_pct: 50,
+        },
+        fault_plan: plan,
+        smr: SmrConfig {
+            reclaim_freq: 4,
+            epoch_freq: 8,
+            ..Default::default()
+        },
+        sample_every: Some(sample_every),
+        max_cycles: crate::config::default_max_cycles().or(Some(2_000_000_000)),
+        ..base_config(scale)
+    };
+    let cfg = &cfg;
+    let tasks: Vec<sweep::Task<Metrics>> = SchemeKind::ALL
+        .iter()
+        .map(|&scheme| Box::new(move || run_queue_recover(scheme, cfg)) as sweep::Task<Metrics>)
+        .collect();
+    let results = sweep::run_results("fig_recovery", tasks);
+
+    let mode = if recover {
+        "crash at 6k cycles, restart+adopt at 60k"
+    } else {
+        "crash at 6k cycles, no recovery"
+    };
+    let mut trace = SeriesTable::new(
+        format!(
+            "Recovery — allocated-not-freed lines over time (MS queue \
+             50enq-50deq, {threads} threads, {mode})"
+        ),
+        "scheme\\ops",
+        (1..=n_samples)
+            .map(|i| (i as u64 * sample_every).to_string())
+            .collect(),
+    );
+    let mut summary = SeriesTable::new(
+        format!(
+            "Recovery — detection/adoption summary (MS queue, {threads} \
+             threads, {mode})"
+        ),
+        "scheme\\counter",
+        ["orphans", "adoptions", "adopted_bytes", "latency_cycles", "final_garbage_bytes"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    );
+    for (scheme, r) in SchemeKind::ALL.iter().zip(results) {
+        match r {
+            Ok(m) => {
+                let mut row: Vec<f64> =
+                    m.footprint.iter().map(|&(_, live)| live as f64).collect();
+                // A crashed-for-good victim completes fewer ops, so its
+                // trace legitimately ends early: pad with plain NaN (not
+                // ERR) like fig3 does.
+                row.truncate(n_samples);
+                row.resize(n_samples, f64::NAN);
+                trace.push_series(scheme.name(), row);
+                summary.push_series(
+                    scheme.name(),
+                    vec![
+                        m.orphans_detected as f64,
+                        m.adoptions as f64,
+                        m.adopted_bytes as f64,
+                        m.recovery_cycles as f64,
+                        m.final_garbage_bytes as f64,
+                    ],
+                );
+            }
+            Err(_) => {
+                trace.push_series(scheme.name(), vec![sweep::ERR_CELL; n_samples]);
+                summary.push_series(scheme.name(), vec![sweep::ERR_CELL; 5]);
+            }
+        }
+    }
+    (trace, summary)
 }
 
 /// §I claim: batch reclamation causes "long program interruptions and
@@ -1222,6 +1389,95 @@ mod tests {
             ca.iter().all(|&v| v < 400.0),
             "ca: immediate reclamation keeps the footprint at the live set \
              even with fail-stopped threads: {ca:?}"
+        );
+    }
+
+    #[test]
+    fn fig_recovery_quick_returns_garbage_under_the_precrash_bound() {
+        // The PR-10 acceptance claim: with restart+adoption, qsbr/rcu
+        // post-crash garbage returns under the pre-crash bound; without
+        // it, the backlog only grows with the survivors' work.
+        let (trace_rec, summary) = fig_recovery(Scale::Quick, true);
+        let (trace_no, _) = fig_recovery(Scale::Quick, false);
+        let row = |t: &SeriesTable, name: &str| -> Vec<f64> {
+            t.series.iter().find(|(n, _)| n == name).unwrap().1.clone()
+        };
+        let last_finite = |r: &[f64]| -> f64 {
+            *r.iter().rev().find(|v| v.is_finite()).expect("a finite sample")
+        };
+        // The trace is allocated-not-freed, i.e. live queue set plus
+        // garbage, and the live set random-walks upward under the 50/50
+        // mix — so the baseline for "no pinned backlog" is CA's final
+        // sample (immediate reclamation: live set plus nothing), not the
+        // first sample of the scheme's own trace. A recovered scheme may
+        // end above it only by its bounded tail of not-yet-scanned
+        // retires.
+        let ca_final = last_finite(&row(&trace_rec, "ca"));
+        for name in ["qsbr", "rcu"] {
+            let rec = row(&trace_rec, name);
+            let no = row(&trace_no, name);
+            assert!(
+                last_finite(&rec) <= ca_final + 128.0,
+                "{name}: adoption must return the trace to the live-set \
+                 baseline plus a bounded tail ({} vs ca's {})",
+                last_finite(&rec),
+                ca_final
+            );
+            assert!(
+                last_finite(&no) > 2.0 * last_finite(&rec),
+                "{name}: without recovery the backlog must keep growing \
+                 ({} vs {})",
+                last_finite(&no),
+                last_finite(&rec)
+            );
+            let s = row(&summary, name);
+            assert_eq!(s[0], 1.0, "{name}: one orphan detected");
+            assert_eq!(s[1], 1.0, "{name}: one adoption");
+            assert!(s[3] > 0.0, "{name}: recovery latency on the clock");
+        }
+        // CA needs no adoption and stays near the live set either way.
+        let ca = row(&trace_rec, "ca");
+        assert!(last_finite(&ca) < 400.0, "ca stays at the live set: {ca:?}");
+        assert_eq!(row(&summary, "ca")[1], 0.0, "ca adopts nothing");
+    }
+
+    #[test]
+    fn fig_robustness_recover_columns_repair_the_backlog() {
+        let tables = fig_robustness_with(Scale::Quick, true);
+        let garbage = &tables[2];
+        assert_eq!(garbage.x_labels, ["0", "1", "2", "1+adopt", "2+adopt"]);
+        for (name, g) in &garbage.series {
+            // Leaky never frees: the restarted victim finishing its quota
+            // can only ADD to the permanent backlog, so the repair claim
+            // does not apply to it.
+            if name == "none" {
+                assert!(
+                    g[3] >= g[1],
+                    "none: restart finishes the quota, growing the \
+                     permanent backlog ({} vs {})",
+                    g[3],
+                    g[1]
+                );
+                continue;
+            }
+            // Columns 3/4 are the final backlog after adoption: bounded
+            // for every reclaiming scheme, including qsbr/rcu whose
+            // column 1/2 peaks blow up.
+            assert!(
+                g[3] <= g[1].max(64.0 * 64.0),
+                "{name}: adoption must not leave more garbage than the \
+                 unrepaired peak ({} vs {})",
+                g[3],
+                g[1]
+            );
+        }
+        let qsbr = garbage.series.iter().find(|(n, _)| n == "qsbr").unwrap().1.clone();
+        assert!(
+            qsbr[3] < qsbr[1] / 2.0,
+            "qsbr: the adopted column must repair most of the pinned \
+             backlog ({} vs {})",
+            qsbr[3],
+            qsbr[1]
         );
     }
 

@@ -25,6 +25,7 @@
 //! | `lfbst_bench` | extension: lock-free CA external BST (paper future work) |
 //! | `htm_bench` | §VI comparator: hand-over-hand transactions (Zhou et al.) |
 //! | `fig_robustness` | extension: throughput + garbage bounds under fail-stopped cores |
+//! | `fig_recovery` | extension: garbage over time through crash → adoption → reclaim, plus recovery latency |
 //! | `all_figures` | everything above, sequentially |
 //!
 //! Every binary accepts `--jobs N`: experiment configurations are
@@ -45,6 +46,14 @@
 //! restores the old sweep behavior of aborting the whole binary on the
 //! first failed task. Without it, failed tasks render as `ERR` cells and
 //! the binary exits nonzero after completing everything else.
+//!
+//! Crash recovery (PR 10): `fig_recovery` (and the `--recover` flag of
+//! `fig_robustness`) run restart-bearing fault plans through
+//! [`runner::run_queue_recover`] — a crashed core's state is parked in a
+//! [`casmr::TlsVault`], its fail-stop certified by a
+//! [`casmr::CrashToken`], its orphan adopted on restart (forcible
+//! retraction, merge, scan) — and report the adopted backlog and the
+//! crash→adoption-complete latency in the [`Metrics`] recovery counters.
 //!
 //! Native mode (PR 8): `--native` reruns the throughput figures on **real
 //! host threads** (`casmr::NativeMachine`) instead of the simulator —
@@ -67,8 +76,9 @@ pub use hist::Histogram;
 pub use metrics::Metrics;
 pub use runner::{
     race_report_queue, race_report_set, race_report_stack, run_queue, run_queue_native,
-    run_queue_robust, run_set, run_set_latency, run_set_native, run_set_robust,
-    run_set_with_stats, run_stack, run_stack_native, SetKind,
+    run_queue_recover, run_queue_recover_with_stats, run_queue_robust, run_set, run_set_latency,
+    run_set_native, run_set_robust, run_set_with_stats, run_stack, run_stack_native,
+    RecoveryClocks, SetKind,
 };
 pub use table::SeriesTable;
 

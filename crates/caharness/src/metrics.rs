@@ -83,6 +83,21 @@ pub struct Metrics {
     pub peak_garbage_bytes: u64,
     /// Retired-but-unfreed bytes still held at the end of the run.
     pub final_garbage_bytes: u64,
+    // --- crash recovery (restart-bearing runs; zeros elsewhere) ---------
+    /// Crashed members whose fail-stop was certified (a restart notice in
+    /// the simulator, a heartbeat deadline natively) during the run.
+    pub orphans_detected: u64,
+    /// Orphaned thread-local SMR states adopted by a survivor or a
+    /// restarted core (`casmr::Smr::adopt`).
+    pub adoptions: u64,
+    /// Retired-but-unfreed bytes the orphans held at adoption time — the
+    /// backlog the adopters inherited (and, for the bounded schemes,
+    /// immediately scanned).
+    pub adopted_bytes: u64,
+    /// Worst per-victim recovery latency in simulated cycles: from the
+    /// crash clock to the moment its adoption (forcible retraction + merge
+    /// + scan) completed. 0 when nothing crashed or nothing recovered.
+    pub recovery_cycles: u64,
 }
 
 impl Metrics {
@@ -131,6 +146,10 @@ impl Metrics {
             alloc_failures: stats.sum(|c| c.alloc_failures),
             peak_garbage_bytes: 0,
             final_garbage_bytes: 0,
+            orphans_detected: 0,
+            adoptions: 0,
+            adopted_bytes: 0,
+            recovery_cycles: 0,
         }
     }
 
@@ -178,6 +197,10 @@ impl Metrics {
             alloc_failures: 0,
             peak_garbage_bytes: 0,
             final_garbage_bytes: 0,
+            orphans_detected: 0,
+            adoptions: 0,
+            adopted_bytes: 0,
+            recovery_cycles: 0,
         }
     }
 
@@ -186,6 +209,22 @@ impl Metrics {
     pub fn with_garbage(mut self, g: &casmr::GarbageStats) -> Self {
         self.peak_garbage_bytes = g.peak_bytes();
         self.final_garbage_bytes = g.live_bytes();
+        self
+    }
+
+    /// Attach crash-recovery accounting (the recovery runner calls this
+    /// with the counters its restart closures collected).
+    pub fn with_recovery(
+        mut self,
+        orphans_detected: u64,
+        adoptions: u64,
+        adopted_bytes: u64,
+        recovery_cycles: u64,
+    ) -> Self {
+        self.orphans_detected = orphans_detected;
+        self.adoptions = adoptions;
+        self.adopted_bytes = adopted_bytes;
+        self.recovery_cycles = recovery_cycles;
         self
     }
 }

@@ -12,9 +12,10 @@
 use cads::ca::{CaExtBst, CaHarrisList, CaLazyList, CaLfExtBst, CaQueue, CaStack, FbCaLazyList};
 use cads::htm::HtmLazyList;
 use cads::smr::{SmrExtBst, SmrLazyList, SmrQueue, SmrStack};
-use cads::{HashTable, QueueDs, SetDs, StackDs};
+use cads::{DsShared, HashTable, QueueDs, SetDs, StackDs};
 use casmr::{
-    GarbageStats, He, Hp, Ibr, Leaky, NativeEnv, NativeMachine, Qsbr, Rcu, SchemeKind, SmrBase,
+    CrashToken, GarbageStats, He, Hp, Ibr, Leaky, NativeEnv, NativeMachine, Orphan, Qsbr, Rcu,
+    SchemeKind, Smr, SmrBase, TlsVault,
 };
 use mcsim::machine::Ctx;
 use mcsim::{CoreOutcome, Machine, Rng};
@@ -338,6 +339,274 @@ pub fn run_queue_robust(scheme: SchemeKind, cfg: &RunConfig) -> Metrics {
             drive_queue_robust(&m, &ds, s, cfg, |tls| sch.garbage(tls))
         }),
     }
+}
+
+/// Recovery clocks per core, as reported by
+/// [`mcsim::CoreOutcome::recovered`]: `Some((crash_clock, restart_clock))`
+/// for cores that crashed and came back, `None` elsewhere.
+pub type RecoveryClocks = Vec<Option<(u64, u64)>>;
+
+/// Per-core accounting collected by the recovery runner's closures.
+#[derive(Clone, Debug, Default)]
+struct RecoveryProbe {
+    garbage: GarbageStats,
+    orphans_detected: u64,
+    adoptions: u64,
+    adopted_bytes: u64,
+    recovery_cycles: u64,
+}
+
+/// The crash-recovery runner: [`run_queue`] under a **restart-bearing**
+/// [`RunConfig::fault_plan`], through [`mcsim::Machine::run_recover_on`].
+///
+/// Every worker parks its thread-local SMR state in a [`casmr::TlsVault`]
+/// slot, so an injected crash strands the state instead of destroying it.
+/// When the victim's restart trigger fires, its recovery closure
+///
+/// 1. mints a [`casmr::CrashToken`] from the restart notice (safe: the
+///    notice proves the simulator itself fail-stopped the core),
+/// 2. extracts the wrecked state from the vault and rejoins via
+///    [`casmr::Smr::join`],
+/// 3. **adopts** the crash orphan ([`casmr::Smr::adopt`]) — forcibly
+///    retracting the victim's stale publications, merging its retire
+///    backlog, and scanning — and
+/// 4. finishes the victim's interrupted operation quota.
+///
+/// The returned [`Metrics`] carry the recovery counters
+/// (`orphans_detected`, `adoptions`, `adopted_bytes`, `recovery_cycles` =
+/// worst crash→adoption-complete latency). Plans whose crashes have no
+/// restart degrade to [`run_queue_robust`] behavior: the victim stays dead
+/// and its pinned backlog grows with the survivors' work — the contrast
+/// `fig_recovery` plots.
+pub fn run_queue_recover(scheme: SchemeKind, cfg: &RunConfig) -> Metrics {
+    run_queue_recover_with_stats(scheme, cfg).0
+}
+
+/// [`run_queue_recover`], also returning the raw machine statistics and the
+/// per-core recovery clocks — the instrument behind the gang-determinism
+/// grid (identical layouts must recover at identical clocks).
+pub fn run_queue_recover_with_stats(
+    scheme: SchemeKind,
+    cfg: &RunConfig,
+) -> (Metrics, mcsim::MachineStats, RecoveryClocks) {
+    assert_eq!(
+        cfg.mix.updates(),
+        100,
+        "queues have no read operation: use an enqueue/dequeue-only mix"
+    );
+    reject_native(cfg, "run_queue_recover");
+    let m = Machine::new(cfg.machine_config());
+    match scheme {
+        SchemeKind::Ca => {
+            let ds = CaQueue::new(&m);
+            drive_queue_recover_immediate(&m, &ds, scheme, cfg)
+        }
+        s => with_scheme!(&m, cfg, s, |sch| {
+            let ds = SmrQueue::new(&m, sch);
+            drive_queue_recover(&m, &ds, s, cfg)
+        }),
+    }
+}
+
+/// Worker state parked in the vault across the recovery runner's measured
+/// phase: thread-local SMR state, the workload RNG, and the completed-op
+/// count (so a restarted core can finish exactly its interrupted quota).
+struct Parked<T> {
+    tls: T,
+    rng: Rng,
+    done: u64,
+}
+
+fn drive_queue_recover<S>(
+    m: &Machine,
+    ds: &SmrQueue<S>,
+    scheme: SchemeKind,
+    cfg: &RunConfig,
+) -> (Metrics, mcsim::MachineStats, RecoveryClocks)
+where
+    S: for<'m> Smr<Ctx<'m>> + Sync,
+    <S as SmrBase>::Tls: Send,
+{
+    m.set_faults_armed(false);
+    m.run_on(1, |_, ctx| {
+        let mut tls = ds.register(0);
+        let mut rng = Rng::new(cfg.thread_seed(usize::MAX));
+        for _ in 0..cfg.prefill {
+            ds.enqueue(ctx, &mut tls, 1 + rng.below(cfg.key_range));
+        }
+    });
+    m.reset_timing();
+    m.set_faults_armed(true);
+
+    let vault: TlsVault<Parked<S::Tls>> = TlsVault::new(cfg.threads);
+    for tid in 0..cfg.threads {
+        vault.put(
+            tid,
+            Parked {
+                tls: ds.register(tid),
+                rng: Rng::new(cfg.thread_seed(tid)),
+                done: 0,
+            },
+        );
+    }
+    let step = |ctx: &mut Ctx, p: &mut Parked<S::Tls>| {
+        let roll = p.rng.below(100);
+        if roll < cfg.mix.insert_pct {
+            ds.enqueue(ctx, &mut p.tls, 1 + p.rng.below(cfg.key_range));
+        } else {
+            ds.dequeue(ctx, &mut p.tls);
+        }
+        ctx.op_completed();
+        p.done += 1;
+    };
+    let outs = m.run_recover_on(
+        cfg.threads,
+        |tid, ctx| {
+            // Work through the held vault guard: a crash unwinds here and
+            // merely poisons the slot, leaving the state adoptable.
+            let mut slot = vault.lock(tid);
+            let p = slot.as_mut().expect("worker state parked before the run");
+            while p.done < cfg.ops_per_thread {
+                step(ctx, p);
+            }
+            RecoveryProbe {
+                garbage: ds.smr().garbage(&p.tls),
+                ..Default::default()
+            }
+        },
+        |restart, ctx| {
+            let tid = restart.core;
+            let token = CrashToken::from_restart(restart);
+            let wreck = vault
+                .take(tid)
+                .expect("crashed worker parked its state before dying");
+            let inherited = ds.smr().garbage(&wreck.tls);
+            let mut p = Parked {
+                tls: ds.smr().join(ctx, tid),
+                rng: wreck.rng,
+                done: wreck.done,
+            };
+            ds.smr().adopt(ctx, &mut p.tls, Orphan::crashed(wreck.tls, token));
+            let recovery_cycles = ctx.now() - restart.crash_clock;
+            while p.done < cfg.ops_per_thread {
+                step(ctx, &mut p);
+            }
+            RecoveryProbe {
+                garbage: ds.smr().garbage(&p.tls),
+                orphans_detected: 1,
+                adoptions: 1,
+                adopted_bytes: inherited.live_bytes(),
+                recovery_cycles,
+            }
+        },
+    );
+    finish_recover(m, scheme, cfg, outs)
+}
+
+/// The no-scheme leg of the recovery runner (Conditional Access): nothing
+/// to adopt — CA structures hold no per-thread reclamation state, so a
+/// restarted core simply re-registers and finishes its quota. Recovery
+/// latency is the restart gap itself.
+fn drive_queue_recover_immediate<D>(
+    m: &Machine,
+    ds: &D,
+    scheme: SchemeKind,
+    cfg: &RunConfig,
+) -> (Metrics, mcsim::MachineStats, RecoveryClocks)
+where
+    D: for<'m> QueueDs<Ctx<'m>>,
+    D::Tls: Send,
+{
+    m.set_faults_armed(false);
+    m.run_on(1, |_, ctx| {
+        let mut tls = ds.register(0);
+        let mut rng = Rng::new(cfg.thread_seed(usize::MAX));
+        for _ in 0..cfg.prefill {
+            ds.enqueue(ctx, &mut tls, 1 + rng.below(cfg.key_range));
+        }
+    });
+    m.reset_timing();
+    m.set_faults_armed(true);
+
+    let vault: TlsVault<Parked<D::Tls>> = TlsVault::new(cfg.threads);
+    for tid in 0..cfg.threads {
+        vault.put(
+            tid,
+            Parked {
+                tls: ds.register(tid),
+                rng: Rng::new(cfg.thread_seed(tid)),
+                done: 0,
+            },
+        );
+    }
+    let step = |ctx: &mut Ctx, p: &mut Parked<D::Tls>| {
+        let roll = p.rng.below(100);
+        if roll < cfg.mix.insert_pct {
+            ds.enqueue(ctx, &mut p.tls, 1 + p.rng.below(cfg.key_range));
+        } else {
+            ds.dequeue(ctx, &mut p.tls);
+        }
+        ctx.op_completed();
+        p.done += 1;
+    };
+    let outs = m.run_recover_on(
+        cfg.threads,
+        |tid, ctx| {
+            let mut slot = vault.lock(tid);
+            let p = slot.as_mut().expect("worker state parked before the run");
+            while p.done < cfg.ops_per_thread {
+                step(ctx, p);
+            }
+            RecoveryProbe::default()
+        },
+        |restart, ctx| {
+            let tid = restart.core;
+            let wreck = vault
+                .take(tid)
+                .expect("crashed worker parked its state before dying");
+            let mut p = Parked {
+                tls: ds.register(tid),
+                rng: wreck.rng,
+                done: wreck.done,
+            };
+            let recovery_cycles = ctx.now() - restart.crash_clock;
+            while p.done < cfg.ops_per_thread {
+                step(ctx, &mut p);
+            }
+            RecoveryProbe {
+                orphans_detected: 1,
+                recovery_cycles,
+                ..Default::default()
+            }
+        },
+    );
+    finish_recover(m, scheme, cfg, outs)
+}
+
+/// Fold the recovery runner's per-core probes into metrics + stats.
+fn finish_recover(
+    m: &Machine,
+    scheme: SchemeKind,
+    cfg: &RunConfig,
+    outs: Vec<CoreOutcome<RecoveryProbe>>,
+) -> (Metrics, mcsim::MachineStats, RecoveryClocks) {
+    let clocks: RecoveryClocks = outs.iter().map(|o| o.recovered()).collect();
+    let mut merged = GarbageStats::default();
+    let (mut orphans, mut adoptions, mut adopted_bytes, mut recovery_cycles) = (0, 0, 0, 0u64);
+    for o in outs {
+        if let Some(p) = o.done() {
+            merged.merge(&p.garbage);
+            orphans += p.orphans_detected;
+            adoptions += p.adoptions;
+            adopted_bytes += p.adopted_bytes;
+            recovery_cycles = recovery_cycles.max(p.recovery_cycles);
+        }
+    }
+    let stats = m.stats();
+    let metrics = Metrics::from_stats(scheme.name(), cfg.threads, &stats, m.footprint_samples())
+        .with_garbage(&merged)
+        .with_recovery(orphans, adoptions, adopted_bytes, recovery_cycles);
+    (metrics, stats, clocks)
 }
 
 /// Like [`run_set`] but additionally records **per-operation latency** (in
@@ -1040,6 +1309,109 @@ mod tests {
         assert_eq!(m.total_ops, 300, "a finite stall loses no operations");
         assert_eq!(m.fault_stalls, 1);
         assert!(m.cycles >= 50_000, "the stall window is on the clock");
+    }
+
+    #[test]
+    fn recovery_runner_adopts_and_completes_every_op() {
+        // A crash+restart plan through run_queue_recover: the victim's
+        // restarted core certifies the fail-stop, adopts its own orphan,
+        // and finishes the interrupted quota — so unlike the robust
+        // runner, no operation is lost.
+        let cfg = RunConfig {
+            fault_plan: mcsim::FaultPlan::none().crash(1, 5_000).restart(1, 40_000),
+            max_cycles: Some(100_000_000),
+            smr: casmr::SmrConfig {
+                reclaim_freq: 4,
+                epoch_freq: 8,
+                ..Default::default()
+            },
+            ..tiny(2, Mix { insert_pct: 50, delete_pct: 50 })
+        };
+        let (m, stats, clocks) = run_queue_recover_with_stats(SchemeKind::Qsbr, &cfg);
+        assert_eq!(m.total_ops, 300, "the restarted core finishes its quota");
+        assert_eq!(m.orphans_detected, 1);
+        assert_eq!(m.adoptions, 1);
+        assert!(m.recovery_cycles > 0, "adoption takes simulated time");
+        let (crash, restart) = clocks[1].expect("core 1 must recover");
+        assert!(crash >= 5_000 && restart >= 40_000);
+        assert_eq!(clocks[0], None);
+        assert!(stats.crashed[1], "the crash trigger was consumed");
+    }
+
+    #[test]
+    fn recovery_runner_on_ca_needs_no_adoption() {
+        let cfg = RunConfig {
+            fault_plan: mcsim::FaultPlan::none().crash(1, 5_000).restart(1, 40_000),
+            max_cycles: Some(100_000_000),
+            ..tiny(2, Mix { insert_pct: 50, delete_pct: 50 })
+        };
+        let m = run_queue_recover(SchemeKind::Ca, &cfg);
+        assert_eq!(m.total_ops, 300);
+        assert_eq!(m.orphans_detected, 1, "the restart is still detected");
+        assert_eq!(m.adoptions, 0, "CA holds no per-thread state to adopt");
+        assert_eq!(m.adopted_bytes, 0);
+    }
+
+    #[test]
+    fn recovery_runner_without_restart_matches_the_robust_runner() {
+        // With a crash-only plan the recovery closure never runs, and the
+        // vault parking is host-side only — the simulated schedule must be
+        // identical to run_queue_robust's.
+        let cfg = RunConfig {
+            fault_plan: mcsim::FaultPlan::none().crash(1, 5_000),
+            max_cycles: Some(100_000_000),
+            ..tiny(2, Mix { insert_pct: 50, delete_pct: 50 })
+        };
+        let robust = run_queue_robust(SchemeKind::Qsbr, &cfg);
+        let recover = run_queue_recover(SchemeKind::Qsbr, &cfg);
+        assert_eq!(robust.cycles, recover.cycles);
+        assert_eq!(robust.total_ops, recover.total_ops);
+        assert_eq!(recover.orphans_detected, 0, "nobody came back to adopt");
+        assert_eq!(recover.crashed_cores, 1);
+    }
+
+    #[test]
+    fn adoption_returns_the_pinned_backlog_under_the_healthy_bound() {
+        // The PR-10 acceptance shape, at unit-test scale: a dead qsbr
+        // reader pins every retire that follows; with a restart+adoption
+        // the backlog is inherited and freed, without one it only grows.
+        let base = RunConfig {
+            max_cycles: Some(2_000_000_000),
+            smr: casmr::SmrConfig {
+                reclaim_freq: 4,
+                epoch_freq: 8,
+                ..Default::default()
+            },
+            ..tiny(4, Mix { insert_pct: 50, delete_pct: 50 })
+        };
+        let healthy = run_queue_recover(SchemeKind::Qsbr, &base);
+        let crashed = run_queue_recover(
+            SchemeKind::Qsbr,
+            &RunConfig {
+                fault_plan: mcsim::FaultPlan::none().crash(3, 4_000),
+                ..base.clone()
+            },
+        );
+        let recovered = run_queue_recover(
+            SchemeKind::Qsbr,
+            &RunConfig {
+                fault_plan: mcsim::FaultPlan::none().crash(3, 4_000).restart(3, 30_000),
+                ..base.clone()
+            },
+        );
+        assert!(
+            crashed.final_garbage_bytes > 4 * healthy.final_garbage_bytes.max(64),
+            "a dead reader must blow up the survivors' backlog ({} vs {})",
+            crashed.final_garbage_bytes,
+            healthy.final_garbage_bytes
+        );
+        assert!(
+            recovered.final_garbage_bytes <= healthy.final_garbage_bytes.max(64 * 64),
+            "adoption must return the backlog under the healthy bound ({} vs {})",
+            recovered.final_garbage_bytes,
+            healthy.final_garbage_bytes
+        );
+        assert!(recovered.adopted_bytes > 0, "the orphan held a backlog");
     }
 
     #[test]

@@ -45,6 +45,7 @@
 //! instantiation (`for<'m> Smr<SimEnv<'m>>` vs `for<'p> Smr<NativeEnv<'p>>`).
 
 use crate::env::{Env, EnvHost};
+use crate::recovery::Orphan;
 use mcsim::Addr;
 
 /// Sentinel published by inactive threads (no reservation/announcement).
@@ -166,6 +167,20 @@ impl GarbageMeter {
         self.retired - self.freed
     }
 
+    /// Fold an adopted thread's meter into this one (see
+    /// [`Smr::adopt`]): `retired` and `freed` add exactly — so run-wide
+    /// flow accounting stays balanced across membership churn — and the
+    /// peak becomes the *sum* of the two peaks, an upper bound on the true
+    /// combined instantaneous peak (the same convention as
+    /// [`GarbageStats::merge`], and the conservative direction for the
+    /// robustness bound: a scheme reported bounded under summed peaks is
+    /// bounded under the true peak too).
+    pub fn merge(&mut self, other: &GarbageMeter) {
+        self.retired += other.retired;
+        self.freed += other.freed;
+        self.peak += other.peak;
+    }
+
     /// Snapshot the counters.
     pub fn stats(&self) -> GarbageStats {
         GarbageStats {
@@ -248,6 +263,41 @@ pub trait Smr<E: Env + ?Sized>: SmrBase {
     /// Hand an unlinked node to the scheme. The scheme frees it once no
     /// thread can hold a protected reference (leaky: never).
     fn retire(&self, env: &mut E, tls: &mut Self::Tls, node: Addr);
+
+    /// Graceful leave. Must be called between operations (the thread holds
+    /// no protected references). The scheme retracts the thread's own
+    /// publications (clears hazard/era slots, closes the reservation,
+    /// announces terminal quiescence), drains whatever the retire list
+    /// allows, and hands back the residue as an [`Orphan`] for a successor
+    /// to [`Smr::adopt`] — so a departing member never strands garbage and
+    /// never wedges the survivors.
+    fn depart(&self, env: &mut E, tls: Self::Tls) -> Orphan<Self::Tls>;
+
+    /// Take over an orphan's reclamation obligations.
+    ///
+    /// For a [`Orphan::departed`] orphan this merges the residual retire
+    /// list and its [`GarbageMeter`] into `tls` and scans. For a
+    /// [`Orphan::crashed`] orphan the scheme additionally **forcibly
+    /// retracts** the victim's live publications — clearing its hazard/era
+    /// slots, deactivating its reservation, deregistering its
+    /// quiescence/pin line. That retraction is sound *only* because the
+    /// orphan carries a [`crate::recovery::CrashToken`]: the environment
+    /// has declared the thread fail-stop, so no protection it published
+    /// can ever be exercised again (see the [`crate::recovery`] module
+    /// docs for the full argument). Implementations must verify the token
+    /// names the orphan's thread.
+    fn adopt(&self, env: &mut E, tls: &mut Self::Tls, orphan: Orphan<Self::Tls>);
+
+    /// (Re)join the run as thread `tid`, coming online in the scheme's
+    /// metadata. Equivalent to [`SmrBase::register`] for most schemes
+    /// (their metadata activates lazily in `begin_op`/`read_ptr`); qsbr
+    /// overrides it to announce the current epoch *before* the first
+    /// operation, since a rejoining thread whose line still reads
+    /// "departed" would otherwise start traversing while scans ignore it.
+    fn join(&self, env: &mut E, tid: usize) -> Self::Tls {
+        let _ = env;
+        self.register(tid)
+    }
 }
 
 /// A shared reference to a scheme is a scheme: lets many data-structure
@@ -288,6 +338,15 @@ impl<E: Env + ?Sized, S: Smr<E>> Smr<E> for &S {
     }
     fn retire(&self, env: &mut E, tls: &mut Self::Tls, node: Addr) {
         (**self).retire(env, tls, node)
+    }
+    fn depart(&self, env: &mut E, tls: Self::Tls) -> Orphan<Self::Tls> {
+        (**self).depart(env, tls)
+    }
+    fn adopt(&self, env: &mut E, tls: &mut Self::Tls, orphan: Orphan<Self::Tls>) {
+        (**self).adopt(env, tls, orphan)
+    }
+    fn join(&self, env: &mut E, tid: usize) -> Self::Tls {
+        (**self).join(env, tid)
     }
 }
 
@@ -345,6 +404,36 @@ pub(crate) fn per_thread_lines<H: EnvHost + ?Sized>(
             a
         })
         .collect()
+}
+
+/// Register a wedge-watchdog attribution probe over a scheme's per-thread
+/// reservation lines (see [`mcsim::WedgeProbe`]): when a run wedges, the
+/// watchdog names the oldest outstanding reservation holder in its panic.
+/// `per_thread_lines` allocates from the static bump allocator, so the
+/// lines are contiguous — the probe's `base + t × LINE_BYTES` addressing
+/// is checked here. No-op on hosts without a watchdog (native).
+pub(crate) fn register_probe<H: EnvHost + ?Sized>(
+    host: &H,
+    lines: &[Addr],
+    name: &'static str,
+    slots: u64,
+    sentinel: u64,
+) {
+    if let Some(&base) = lines.first() {
+        debug_assert!(
+            lines
+                .windows(2)
+                .all(|w| w[1].0 == w[0].0 + crate::env::LINE_BYTES),
+            "wedge probes require contiguous per-thread lines"
+        );
+        host.register_wedge_probe(mcsim::WedgeProbe {
+            name,
+            base,
+            threads: lines.len(),
+            slots,
+            sentinel,
+        });
+    }
 }
 
 #[cfg(test)]

@@ -208,6 +208,16 @@ pub trait EnvHost: Sync {
     fn label_static(&self, a: Addr, lines: u64, name: &'static str) {
         let _ = (a, lines, name);
     }
+
+    /// Register a wedge-watchdog attribution probe over per-thread
+    /// reservation lines, so a wedged run's panic can name the oldest
+    /// outstanding reservation holder (scheme + thread). Default no-op:
+    /// the native backend has no simulated watchdog — its liveness story
+    /// is the [`crate::native::HeartbeatBoard`] detector instead.
+    #[inline]
+    fn register_wedge_probe(&self, probe: mcsim::WedgeProbe) {
+        let _ = probe;
+    }
 }
 
 impl EnvHost for Machine {
@@ -226,6 +236,10 @@ impl EnvHost for Machine {
     #[inline]
     fn label_static(&self, a: Addr, lines: u64, name: &'static str) {
         Machine::label_lines(self, a, lines, name)
+    }
+    #[inline]
+    fn register_wedge_probe(&self, probe: mcsim::WedgeProbe) {
+        Machine::register_wedge_probe(self, probe)
     }
     fn run_init<R: Send>(&self, f: impl FnOnce(&mut dyn Env) -> R + Send) -> R {
         // `run_on` wants `Fn + Sync`; the one-shot body is threaded through

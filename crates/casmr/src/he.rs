@@ -19,10 +19,11 @@
 use mcsim::Addr;
 
 use crate::api::{
-    per_thread_lines, EraClock, GarbageMeter, GarbageStats, Retired, Smr, SmrBase, SmrConfig,
-    NODE_BIRTH_WORD,
+    per_thread_lines, register_probe, EraClock, GarbageMeter, GarbageStats, Retired, Smr, SmrBase,
+    SmrConfig, NODE_BIRTH_WORD,
 };
 use crate::env::{Env, EnvHost};
+use crate::recovery::Orphan;
 
 /// Hazard-eras scheme state.
 pub struct He {
@@ -49,9 +50,14 @@ impl He {
     /// Build the scheme, allocating metadata.
     pub fn new<H: EnvHost + ?Sized>(host: &H, threads: usize, cfg: SmrConfig) -> Self {
         assert!(cfg.slots_per_thread <= crate::env::WORDS_PER_LINE as usize);
+        let clock = EraClock::new(host);
+        let slots = per_thread_lines(host, threads, 0, "he.eras");
+        // Wedge attribution: the lowest published era is the oldest hazard
+        // era — the thread whose protection pins the most intervals.
+        register_probe(host, &slots, "he.eras", cfg.slots_per_thread as u64, 0);
         Self {
-            clock: EraClock::new(host),
-            slots: per_thread_lines(host, threads, 0, "he.eras"),
+            clock,
+            slots,
             cfg,
             threads,
         }
@@ -183,6 +189,40 @@ impl<E: Env + ?Sized> Smr<E> for He {
             tls.retires_since_scan = 0;
             self.scan(ctx, tls);
         }
+    }
+
+    /// Graceful leave: clear this thread's published eras, then drain.
+    fn depart(&self, ctx: &mut E, mut tls: Self::Tls) -> Orphan<Self::Tls> {
+        for s in 0..self.cfg.slots_per_thread {
+            if tls.published[s] != 0 {
+                ctx.write(self.slot_addr(tls.tid, s), 0);
+                tls.published[s] = 0;
+            }
+        }
+        ctx.smr_fence();
+        self.scan(ctx, &mut tls);
+        tls.retires_since_scan = 0;
+        Orphan::departed(tls)
+    }
+
+    /// Adopt. The crashed leg caps the victim's era reservations the way
+    /// fail-stop allows: full retraction (all slots zeroed — the mirror
+    /// in the orphan's host state is only accurate up to the crash, so
+    /// every word is cleared unconditionally). A published era nobody
+    /// will ever protect-read under again blocks no interval.
+    fn adopt(&self, ctx: &mut E, tls: &mut Self::Tls, orphan: Orphan<Self::Tls>) {
+        let (o, token) = orphan.into_parts();
+        if let Some(t) = token {
+            assert_eq!(t.tid(), o.tid, "crash token must name the orphan");
+            for s in 0..self.cfg.slots_per_thread {
+                ctx.write(self.slot_addr(o.tid, s), 0);
+            }
+            ctx.smr_fence();
+        }
+        tls.retired.extend(o.retired);
+        tls.garbage.merge(&o.garbage);
+        self.scan(ctx, tls);
+        tls.retires_since_scan = 0;
     }
 }
 

@@ -20,8 +20,11 @@ use std::collections::HashSet;
 
 use mcsim::Addr;
 
-use crate::api::{GarbageMeter, GarbageStats, per_thread_lines, Retired, Smr, SmrBase, SmrConfig};
+use crate::api::{
+    per_thread_lines, register_probe, GarbageMeter, GarbageStats, Retired, Smr, SmrBase, SmrConfig,
+};
 use crate::env::{Env, EnvHost};
+use crate::recovery::Orphan;
 
 /// Hazard-pointer scheme state.
 pub struct Hp {
@@ -55,8 +58,13 @@ impl Hp {
             cfg.slots_per_thread <= crate::env::WORDS_PER_LINE as usize,
             "hazard slots must fit the thread's line"
         );
+        let slots = per_thread_lines(host, threads, 0, "hp.hazards");
+        // Wedge attribution: hazards are addresses, not eras, so "oldest"
+        // has no temporal meaning — but any non-zero slot deterministically
+        // names a thread still holding protections.
+        register_probe(host, &slots, "hp.hazards", cfg.slots_per_thread as u64, 0);
         Self {
-            slots: per_thread_lines(host, threads, 0, "hp.hazards"),
+            slots,
             cfg,
             threads,
             skip_scan_fence: false,
@@ -192,6 +200,40 @@ impl<E: Env + ?Sized> Smr<E> for Hp {
             tls.retires_since_scan = 0;
             self.scan(ctx, tls);
         }
+    }
+
+    /// Graceful leave: clear this thread's published hazards, then drain.
+    fn depart(&self, ctx: &mut E, mut tls: Self::Tls) -> Orphan<Self::Tls> {
+        for s in 0..self.cfg.slots_per_thread {
+            if tls.published[s] != 0 {
+                ctx.write(self.slot_addr(tls.tid, s), 0);
+                tls.published[s] = 0;
+            }
+        }
+        ctx.smr_fence();
+        self.scan(ctx, &mut tls);
+        tls.retires_since_scan = 0;
+        Orphan::departed(tls)
+    }
+
+    /// Adopt. The crashed leg clears *every* slot of the victim's hazard
+    /// line (its host-side `published` mirror is only accurate up to the
+    /// crash point, so all `slots_per_thread` words are zeroed
+    /// unconditionally). Sound only under the fail-stop declaration: a
+    /// hazard nobody will ever dereference again guards nothing.
+    fn adopt(&self, ctx: &mut E, tls: &mut Self::Tls, orphan: Orphan<Self::Tls>) {
+        let (o, token) = orphan.into_parts();
+        if let Some(t) = token {
+            assert_eq!(t.tid(), o.tid, "crash token must name the orphan");
+            for s in 0..self.cfg.slots_per_thread {
+                ctx.write(self.slot_addr(o.tid, s), 0);
+            }
+            ctx.smr_fence();
+        }
+        tls.retired.extend(o.retired);
+        tls.garbage.merge(&o.garbage);
+        self.scan(ctx, tls);
+        tls.retires_since_scan = 0;
     }
 }
 

@@ -21,10 +21,11 @@
 use mcsim::Addr;
 
 use crate::api::{
-    per_thread_lines, EraClock, GarbageMeter, GarbageStats, Retired, Smr, SmrBase, SmrConfig,
-    INACTIVE, NODE_BIRTH_WORD,
+    per_thread_lines, register_probe, EraClock, GarbageMeter, GarbageStats, Retired, Smr, SmrBase,
+    SmrConfig, INACTIVE, NODE_BIRTH_WORD,
 };
 use crate::env::{Env, EnvHost};
+use crate::recovery::Orphan;
 
 /// 2GE-IBR scheme state.
 pub struct Ibr {
@@ -49,9 +50,14 @@ pub struct IbrTls {
 impl Ibr {
     /// Build the scheme, allocating its shared metadata.
     pub fn new<H: EnvHost + ?Sized>(host: &H, threads: usize, cfg: SmrConfig) -> Self {
+        let clock = EraClock::new(host);
+        let res = per_thread_lines(host, threads, INACTIVE, "ibr.res");
+        // Wedge attribution: probe word 0 (`lo`) only — the oldest open
+        // reservation's lower bound names the thread pinning intervals.
+        register_probe(host, &res, "ibr.res", 1, INACTIVE);
         Self {
-            clock: EraClock::new(host),
-            res: per_thread_lines(host, threads, INACTIVE, "ibr.res"),
+            clock,
+            res,
             cfg,
             threads,
         }
@@ -167,6 +173,35 @@ impl<E: Env + ?Sized> Smr<E> for Ibr {
             tls.retires_since_scan = 0;
             self.scan(ctx, tls);
         }
+    }
+
+    /// Graceful leave: deactivate the reservation (idempotent between
+    /// operations), then drain.
+    fn depart(&self, ctx: &mut E, mut tls: Self::Tls) -> Orphan<Self::Tls> {
+        ctx.write(self.res[tls.tid], INACTIVE);
+        ctx.smr_fence();
+        self.scan(ctx, &mut tls);
+        tls.retires_since_scan = 0;
+        Orphan::departed(tls)
+    }
+
+    /// Adopt. A thread that crashed mid-operation leaves `[lo, hi]` open
+    /// forever, holding every node whose lifetime overlaps it. The crashed
+    /// leg caps the orphaned reservation in the strongest way the
+    /// fail-stop declaration allows: full deactivation (`lo := INACTIVE`)
+    /// — the dead thread will never dereference anything inside the
+    /// interval, so no cap short of retraction is needed.
+    fn adopt(&self, ctx: &mut E, tls: &mut Self::Tls, orphan: Orphan<Self::Tls>) {
+        let (o, token) = orphan.into_parts();
+        if let Some(t) = token {
+            assert_eq!(t.tid(), o.tid, "crash token must name the orphan");
+            ctx.write(self.res[o.tid], INACTIVE);
+            ctx.smr_fence();
+        }
+        tls.retired.extend(o.retired);
+        tls.garbage.merge(&o.garbage);
+        self.scan(ctx, tls);
+        tls.retires_since_scan = 0;
     }
 }
 

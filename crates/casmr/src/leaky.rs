@@ -9,6 +9,7 @@ use mcsim::Addr;
 
 use crate::api::{GarbageMeter, GarbageStats, Smr, SmrBase};
 use crate::env::Env;
+use crate::recovery::Orphan;
 
 /// The leaking non-scheme.
 pub struct Leaky;
@@ -65,6 +66,17 @@ impl<E: Env + ?Sized> Smr<E> for Leaky {
         // Leak: never freed. The footprint counter keeps growing, which is
         // exactly what Figure 3 shows for `none`.
         tls.on_retire();
+    }
+
+    /// Nothing published, nothing to drain: the meter is the whole estate.
+    fn depart(&self, _ctx: &mut E, tls: Self::Tls) -> Orphan<Self::Tls> {
+        Orphan::departed(tls)
+    }
+
+    /// Adoption is pure accounting — the leak changes owners, not size.
+    fn adopt(&self, _ctx: &mut E, tls: &mut Self::Tls, orphan: Orphan<Self::Tls>) {
+        let (o, _token) = orphan.into_parts();
+        tls.merge(&o);
     }
 }
 

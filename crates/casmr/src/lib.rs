@@ -29,12 +29,14 @@ pub mod leaky;
 pub mod native;
 pub mod qsbr;
 pub mod rcu;
+pub mod recovery;
 
 pub use api::{
     GarbageMeter, GarbageStats, Retired, Smr, SmrBase, SmrConfig, INACTIVE, NODE_BIRTH_WORD,
 };
 pub use env::{Env, EnvHost, SimEnv, LINE_BYTES, WORDS_PER_LINE};
-pub use native::{NativeEnv, NativeMachine, NativeStats};
+pub use native::{HeartbeatBoard, NativeEnv, NativeMachine, NativeStats};
+pub use recovery::{CrashToken, Orphan, TlsVault};
 pub use he::He;
 pub use hp::Hp;
 pub use ibr::Ibr;

@@ -24,11 +24,12 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use mcsim::Addr;
 
 use crate::env::{Env, EnvHost, LINE_BYTES, WORDS_PER_LINE};
+use crate::recovery::CrashToken;
 
 /// Lines handed from the global free list to a thread cache per refill, and
 /// returned per flush. Batching keeps the global mutex off the fast path.
@@ -238,6 +239,89 @@ impl EnvHost for NativeMachine {
     fn run_init<R: Send>(&self, f: impl FnOnce(&mut dyn Env) -> R + Send) -> R {
         let mut env = NativeEnv::new(self, 0, 1);
         f(&mut env)
+    }
+}
+
+/// One padded heartbeat counter (its own cache line, so one worker's
+/// beats never invalidate another's line).
+#[repr(align(64))]
+struct Beat(AtomicU64);
+
+/// Crash detection for native membership churn: a bounded-deadline
+/// liveness lease over per-worker heartbeat counters.
+///
+/// Each worker bumps its counter ([`HeartbeatBoard::beat`]) as it makes
+/// progress; a peer that suspects it dead probes the counter with
+/// exponential backoff ([`HeartbeatBoard::detect`]) and, once a full
+/// deadline passes with no movement, declares the worker fail-stop and
+/// mints the [`CrashToken`] that unlocks forcible adoption
+/// ([`crate::api::Smr::adopt`]).
+///
+/// Unlike the simulator — where a crash is injected, so the declaration is
+/// ground truth — native detection is a *membership contract*: the lease
+/// deadline IS the fail-stop boundary, exactly as in real cluster
+/// membership services. The contract is only sound if workers honor it
+/// (a worker that can't beat before the deadline must stop touching
+/// shared scheme state), which is why [`HeartbeatBoard::detect`] is
+/// `unsafe` and delegates its proof obligation to the caller.
+pub struct HeartbeatBoard {
+    beats: Box<[Beat]>,
+}
+
+impl HeartbeatBoard {
+    /// A board for `threads` workers, all counters at zero.
+    pub fn new(threads: usize) -> Self {
+        HeartbeatBoard {
+            beats: (0..threads).map(|_| Beat(AtomicU64::new(0))).collect(),
+        }
+    }
+
+    /// Record progress for worker `tid`. Release so the beat orders after
+    /// the scheme work it certifies.
+    #[inline]
+    pub fn beat(&self, tid: usize) {
+        self.beats[tid].0.fetch_add(1, Ordering::Release);
+    }
+
+    /// Current beat count of worker `tid`.
+    #[inline]
+    pub fn read(&self, tid: usize) -> u64 {
+        self.beats[tid].0.load(Ordering::Acquire)
+    }
+
+    /// Probe worker `tid` until it either beats (→ `None`, it is alive) or
+    /// a full `deadline` passes with no movement (→ a [`CrashToken`]
+    /// declaring it fail-stop). Probing backs off exponentially — 1 ms,
+    /// 2 ms, 4 ms, … — so a healthy worker costs a handful of loads while
+    /// a dead one costs only O(log(deadline)) wakeups.
+    ///
+    /// # Safety
+    ///
+    /// Returning `Some` *declares* the worker fail-stop; the token lets a
+    /// survivor retract the worker's SMR publications. The caller must
+    /// guarantee the membership contract: a worker that has not beaten for
+    /// `deadline` will never again touch shared scheme state (e.g. workers
+    /// check in strictly more often than `deadline`, or the supervisor has
+    /// already reaped the thread). Declaring a live-but-slow worker
+    /// crashed is a use-after-free.
+    pub unsafe fn detect(&self, tid: usize, deadline: Duration) -> Option<CrashToken> {
+        let snapshot = self.read(tid);
+        // castatic: allow(nondet) — liveness detection is wall-clock by design
+        let start = Instant::now();
+        let mut backoff = Duration::from_millis(1);
+        loop {
+            // castatic: allow(nondet) — lease-deadline probe interval
+            std::thread::sleep(backoff.min(Duration::from_millis(50)));
+            if self.read(tid) != snapshot {
+                return None; // it moved: alive
+            }
+            if start.elapsed() >= deadline {
+                // The lease expired: the membership contract (caller's
+                // safety obligation) now makes the fail-stop declaration.
+                return Some(unsafe { CrashToken::assert_fail_stop(tid) });
+            }
+            backoff *= 2;
+        }
     }
 }
 
@@ -488,5 +572,186 @@ mod tests {
             }
         });
         assert_eq!(m.stats().total_ops, 40);
+    }
+
+    #[test]
+    fn heartbeat_board_sees_a_live_worker() {
+        let board = HeartbeatBoard::new(2);
+        let stop = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                while stop.load(Ordering::Acquire) == 0 {
+                    board.beat(1);
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            });
+            // SAFETY: worker 1 beats every millisecond, far inside the
+            // 500 ms lease; `None` is the only sound outcome.
+            let verdict = unsafe { board.detect(1, Duration::from_millis(500)) };
+            assert!(verdict.is_none(), "a beating worker must not be declared dead");
+            stop.store(1, Ordering::Release);
+        });
+    }
+
+    /// Native churn, fail-stop leg: a worker goes silent mid-run without
+    /// departing; the survivor's detector declares it crashed after the
+    /// bounded deadline and adopts its orphaned qsbr state. Without the
+    /// adoption the victim's never-again-updated announcement would pin
+    /// every retire forever; with it, accounting balances to zero leaked
+    /// lines. (This test also runs under TSan/ASan in CI.)
+    #[test]
+    fn crashed_native_worker_is_detected_and_adopted() {
+        use crate::api::{Smr, SmrBase, SmrConfig};
+        use crate::qsbr::Qsbr;
+        use crate::recovery::{Orphan, TlsVault};
+
+        let m = NativeMachine::new(4 * 1024);
+        let cfg = SmrConfig {
+            reclaim_freq: 4,
+            epoch_freq: 2,
+            ..Default::default()
+        };
+        let s = Qsbr::new(&m, 2, cfg);
+        let board = HeartbeatBoard::new(2);
+        let vault = TlsVault::new(2);
+        let crashed = AtomicU64::new(0);
+
+        m.run_on(2, |tid, env| {
+            if tid == 1 {
+                // The victim: works through its vault slot (state survives
+                // abandonment), beats while healthy, then goes silent
+                // without departing — the last beat is its final touch of
+                // anything shared, honoring the lease contract.
+                vault.put(1, s.register(1));
+                let mut guard = vault.lock(1);
+                let tls = guard.as_mut().unwrap();
+                for _ in 0..40 {
+                    s.begin_op(env, tls);
+                    let n = env.alloc();
+                    s.on_alloc(env, tls, n);
+                    env.write(n, 1);
+                    s.retire(env, tls, n);
+                    s.end_op(env, tls);
+                    board.beat(1);
+                }
+                crashed.store(1, Ordering::Release);
+                // Fail-stop: return without depart(); the retire-list
+                // residue stays parked in the vault.
+            } else {
+                let mut tls = s.register(0);
+                // Churn concurrently with the victim (bounded: until the
+                // victim announces, nothing of ours can be freed), then
+                // wait out its silence.
+                for _ in 0..40 {
+                    s.begin_op(env, &mut tls);
+                    let n = env.alloc();
+                    s.on_alloc(env, &mut tls, n);
+                    env.write(n, 1);
+                    s.retire(env, &mut tls, n);
+                    s.end_op(env, &mut tls);
+                    board.beat(0);
+                }
+                while crashed.load(Ordering::Acquire) == 0 {
+                    std::thread::yield_now();
+                }
+                // SAFETY: the victim's protocol is beat-after-every-op and
+                // nothing after the `crashed` flag; once the lease expires
+                // it can never touch scheme state again.
+                let token = unsafe { board.detect(1, Duration::from_millis(200)) }
+                    .expect("a silent worker must be declared crashed");
+                let orphan_tls = vault.take(1).expect("victim parked its state");
+                s.adopt(env, &mut tls, Orphan::crashed(orphan_tls, token));
+                // Drain our own backlog too, then leave gracefully. With
+                // the victim's announcement retracted and our own going
+                // INACTIVE, the departing scan can free everything.
+                let orphan = s.depart(env, tls);
+                assert!(!orphan.is_crashed());
+                let residue = s.garbage(orphan.tls());
+                assert_eq!(residue.live, 0, "last member's depart drains everything");
+            }
+        });
+        let st = m.stats();
+        // Adoption retracted the victim's announcement and drained both
+        // retire lists: nothing leaks (the announce/era static lines are
+        // the only live allocations).
+        let static_lines = 3; // era line + 2 announce lines
+        assert_eq!(
+            st.allocated_not_freed, static_lines,
+            "crash + adopt must leave zero leaked heap lines"
+        );
+    }
+
+    /// Native churn, graceful leg: a worker departs mid-run handing its
+    /// orphan to a survivor, and a replacement joins under the same tid.
+    #[test]
+    fn graceful_native_churn_departs_and_rejoins() {
+        use crate::api::{Smr, SmrBase, SmrConfig};
+        use crate::qsbr::Qsbr;
+        use crate::recovery::TlsVault;
+
+        let m = NativeMachine::new(4 * 1024);
+        let cfg = SmrConfig {
+            reclaim_freq: 4,
+            epoch_freq: 2,
+            ..Default::default()
+        };
+        let s = Qsbr::new(&m, 2, cfg);
+        let handoff = TlsVault::new(2);
+        let departed = AtomicU64::new(0);
+
+        m.run_on(2, |tid, env| {
+            let churn = |env: &mut NativeEnv<'_>, tls: &mut _, rounds: usize| {
+                for _ in 0..rounds {
+                    s.begin_op(env, tls);
+                    let n = env.alloc();
+                    s.on_alloc(env, tls, n);
+                    env.write(n, 1);
+                    s.retire(env, tls, n);
+                    s.end_op(env, tls);
+                }
+            };
+            if tid == 1 {
+                // First incarnation: work, then leave gracefully.
+                let mut tls = s.register(1);
+                churn(env, &mut tls, 30);
+                let orphan = s.depart(env, tls);
+                handoff.put(0, orphan);
+                departed.store(1, Ordering::Release);
+                // Second incarnation: rejoin under the same tid and keep
+                // working — join re-announces before the first op.
+                let mut tls = s.join(env, 1);
+                churn(env, &mut tls, 30);
+                handoff.put(1, s.depart(env, tls));
+                departed.store(2, Ordering::Release);
+            } else {
+                let mut tls = s.register(0);
+                // Bounded concurrent churn (until tid 1's first
+                // announcement, none of it can be freed), then wait.
+                churn(env, &mut tls, 30);
+                while departed.load(Ordering::Acquire) == 0 {
+                    std::thread::yield_now();
+                }
+                s.adopt(env, &mut tls, handoff.take(0).expect("first handoff"));
+                churn(env, &mut tls, 30);
+                // Last member standing: adopt the final orphan, then a
+                // departing scan (everyone else INACTIVE) drains it all.
+                while departed.load(Ordering::Acquire) != 2 {
+                    std::thread::yield_now();
+                }
+                s.adopt(env, &mut tls, handoff.take(1).expect("final handoff"));
+                let last = s.depart(env, tls);
+                assert_eq!(
+                    s.garbage(last.tls()).live,
+                    0,
+                    "last member's depart drains everything"
+                );
+            }
+        });
+        let st = m.stats();
+        let static_lines = 3; // era line + 2 announce lines
+        assert_eq!(
+            st.allocated_not_freed, static_lines,
+            "graceful churn must leave zero leaked heap lines"
+        );
     }
 }

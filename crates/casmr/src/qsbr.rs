@@ -19,9 +19,11 @@
 use mcsim::Addr;
 
 use crate::api::{
-    per_thread_lines, EraClock, GarbageMeter, GarbageStats, Retired, Smr, SmrBase, SmrConfig,
+    per_thread_lines, register_probe, EraClock, GarbageMeter, GarbageStats, Retired, Smr, SmrBase,
+    SmrConfig, INACTIVE,
 };
 use crate::env::{Env, EnvHost};
+use crate::recovery::Orphan;
 
 /// QSBR scheme state (shared across threads).
 pub struct Qsbr {
@@ -45,9 +47,15 @@ impl Qsbr {
     /// Build the scheme for `threads` threads, allocating its shared
     /// metadata (one epoch line + one announcement line per thread).
     pub fn new<H: EnvHost + ?Sized>(host: &H, threads: usize, cfg: SmrConfig) -> Self {
+        let clock = EraClock::new(host);
+        let announce = per_thread_lines(host, threads, 0, "qsbr.announce");
+        // Wedge attribution: a never-announcing thread holds announce = 0,
+        // the oldest possible value — exactly the thread pinning everyone.
+        // INACTIVE marks departed members, which constrain nothing.
+        register_probe(host, &announce, "qsbr.announce", 1, INACTIVE);
         Self {
-            clock: EraClock::new(host),
-            announce: per_thread_lines(host, threads, 0, "qsbr.announce"),
+            clock,
+            announce,
             cfg,
             threads,
         }
@@ -56,9 +64,14 @@ impl Qsbr {
     fn scan<E: Env + ?Sized>(&self, ctx: &mut E, tls: &mut QsbrTls) {
         // Snapshot every thread's announcement (simulated loads: these lines
         // are write-mostly by their owners, so these are usually misses).
+        // INACTIVE means the thread departed (or its crash was adopted):
+        // it holds nothing and constrains nothing.
         let mut min_announce = u64::MAX;
         for t in 0..self.threads {
-            min_announce = min_announce.min(ctx.read(self.announce[t]));
+            let a = ctx.read(self.announce[t]);
+            if a != INACTIVE {
+                min_announce = min_announce.min(a);
+            }
         }
         let mut i = 0;
         while i < tls.retired.len() {
@@ -145,6 +158,51 @@ impl<E: Env + ?Sized> Smr<E> for Qsbr {
             tls.retires_since_scan = 0;
             self.scan(ctx, tls);
         }
+    }
+
+    /// Graceful leave: announce terminal quiescence ([`INACTIVE`], which
+    /// scans skip — the member no longer gates the epoch ratchet), then
+    /// drain whatever the updated minimum allows.
+    fn depart(&self, ctx: &mut E, mut tls: Self::Tls) -> Orphan<Self::Tls> {
+        ctx.write(self.announce[tls.tid], INACTIVE);
+        ctx.smr_fence();
+        self.scan(ctx, &mut tls);
+        tls.retires_since_scan = 0;
+        Orphan::departed(tls)
+    }
+
+    /// Adopt. The crashed leg forcibly deregisters the victim — writes
+    /// [`INACTIVE`] over an announcement the thread never made. This is
+    /// qsbr's deepest recovery obligation (a silent member otherwise pins
+    /// *every* retire forever) and is sound only under the fail-stop
+    /// declaration the [`crate::recovery::CrashToken`] certifies: the dead
+    /// thread will never read again, so the quiescence being asserted on
+    /// its behalf is vacuously true.
+    fn adopt(&self, ctx: &mut E, tls: &mut Self::Tls, orphan: Orphan<Self::Tls>) {
+        let (o, token) = orphan.into_parts();
+        if let Some(t) = token {
+            assert_eq!(t.tid(), o.tid, "crash token must name the orphan");
+            ctx.write(self.announce[o.tid], INACTIVE);
+            ctx.smr_fence();
+        }
+        tls.retired.extend(o.retired);
+        tls.garbage.merge(&o.garbage);
+        self.scan(ctx, tls);
+        tls.retires_since_scan = 0;
+    }
+
+    /// Come online: announce the current epoch *before* the first
+    /// operation. The slot may still read [`INACTIVE`] from a previous
+    /// member's departure; starting to traverse while scans ignore this
+    /// thread would be a use-after-free, so the announcement (with the
+    /// reader-side ordering barrier) must precede any protected read —
+    /// the same contract as liburcu's `rcu_thread_online()`.
+    fn join(&self, ctx: &mut E, tid: usize) -> Self::Tls {
+        let tls = self.register(tid);
+        let e = self.clock.read(ctx);
+        ctx.write(self.announce[tid], e);
+        ctx.smr_fence();
+        tls
     }
 }
 

@@ -14,10 +14,11 @@
 use mcsim::Addr;
 
 use crate::api::{
-    per_thread_lines, EraClock, GarbageMeter, GarbageStats, Retired, Smr, SmrBase, SmrConfig,
-    INACTIVE,
+    per_thread_lines, register_probe, EraClock, GarbageMeter, GarbageStats, Retired, Smr, SmrBase,
+    SmrConfig, INACTIVE,
 };
 use crate::env::{Env, EnvHost};
+use crate::recovery::Orphan;
 
 /// RCU/EBR scheme state.
 pub struct Rcu {
@@ -40,9 +41,14 @@ pub struct RcuTls {
 impl Rcu {
     /// Build the scheme, allocating its shared metadata.
     pub fn new<H: EnvHost + ?Sized>(host: &H, threads: usize, cfg: SmrConfig) -> Self {
+        let clock = EraClock::new(host);
+        let pins = per_thread_lines(host, threads, INACTIVE, "rcu.pins");
+        // Wedge attribution: the oldest (lowest) pinned epoch is the reader
+        // blocking reclamation; INACTIVE threads hold nothing.
+        register_probe(host, &pins, "rcu.pins", 1, INACTIVE);
         Self {
-            clock: EraClock::new(host),
-            pins: per_thread_lines(host, threads, INACTIVE, "rcu.pins"),
+            clock,
+            pins,
             cfg,
             threads,
         }
@@ -141,6 +147,34 @@ impl<E: Env + ?Sized> Smr<E> for Rcu {
             tls.retires_since_scan = 0;
             self.scan(ctx, tls);
         }
+    }
+
+    /// Graceful leave: unpin (idempotent — depart is called between
+    /// operations, where the pin is already [`INACTIVE`]), then drain.
+    fn depart(&self, ctx: &mut E, mut tls: Self::Tls) -> Orphan<Self::Tls> {
+        ctx.write(self.pins[tls.tid], INACTIVE);
+        ctx.smr_fence();
+        self.scan(ctx, &mut tls);
+        tls.retires_since_scan = 0;
+        Orphan::departed(tls)
+    }
+
+    /// Adopt. A thread that crashed *inside* a critical section leaves its
+    /// pin published forever — the epoch-based analogue of qsbr's silent
+    /// member — so the crashed leg forcibly unpins it. Sound only under
+    /// the fail-stop declaration ([`crate::recovery::CrashToken`]): the
+    /// dead reader will never dereference anything its pin was guarding.
+    fn adopt(&self, ctx: &mut E, tls: &mut Self::Tls, orphan: Orphan<Self::Tls>) {
+        let (o, token) = orphan.into_parts();
+        if let Some(t) = token {
+            assert_eq!(t.tid(), o.tid, "crash token must name the orphan");
+            ctx.write(self.pins[o.tid], INACTIVE);
+            ctx.smr_fence();
+        }
+        tls.retired.extend(o.retired);
+        tls.garbage.merge(&o.garbage);
+        self.scan(ctx, tls);
+        tls.retires_since_scan = 0;
     }
 }
 

@@ -46,7 +46,7 @@
 //! `Machine::reset_timing` rewinds the plan's cursors along with the
 //! clocks.
 
-use crate::addr::CoreId;
+use crate::addr::{Addr, CoreId};
 
 /// A timed deschedule of one core (see the module docs).
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -71,6 +71,20 @@ pub struct CrashFault {
     pub at: u64,
 }
 
+/// A scheduled recovery of a crashed core (see [`FaultPlan::restart`]):
+/// the core resumes at simulated clock `max(at, crash clock)` running a
+/// recovery closure instead of staying retired. Only meaningful through
+/// [`crate::machine::Machine::run_recover_on`]; the plain outcome APIs
+/// ignore restarts and report the crash as final.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct RestartFault {
+    /// Core to restart (must also have a [`CrashFault`] to recover from).
+    pub core: CoreId,
+    /// Trigger clock: the recovery closure starts at local clock
+    /// `max(at, crash clock)` — a restart cannot predate its crash.
+    pub at: u64,
+}
+
 /// A deterministic, seeded fault-injection plan
 /// (`MachineConfig::fault_plan`). Empty by default: a machine without a
 /// plan behaves byte-identically to one built before this module existed.
@@ -80,6 +94,9 @@ pub struct FaultPlan {
     pub stalls: Vec<StallFault>,
     /// Fail-stop crashes (at most one per core takes effect).
     pub crashes: Vec<CrashFault>,
+    /// Scheduled recoveries of crashed cores (at most one per core takes
+    /// effect; the earliest wins, like crashes).
+    pub restarts: Vec<RestartFault>,
     /// Shrink the simulated heap to this many lines (allocation
     /// pressure). `None` keeps the heap `MachineConfig::mem_bytes` gives.
     pub heap_limit_lines: Option<u64>,
@@ -106,6 +123,13 @@ impl FaultPlan {
         self
     }
 
+    /// Builder: restart `core` at clock `at` (after its crash; see
+    /// [`RestartFault`] and `Machine::run_recover_on`).
+    pub fn restart(mut self, core: CoreId, at: u64) -> Self {
+        self.restarts.push(RestartFault { core, at });
+        self
+    }
+
     /// Builder: cap the heap at `lines` lines and make exhaustion
     /// recoverable.
     pub fn alloc_pressure(mut self, lines: u64) -> Self {
@@ -118,6 +142,7 @@ impl FaultPlan {
     pub fn is_empty(&self) -> bool {
         self.stalls.is_empty()
             && self.crashes.is_empty()
+            && self.restarts.is_empty()
             && self.heap_limit_lines.is_none()
             && !self.oom_recoverable
     }
@@ -135,6 +160,34 @@ pub struct FaultStop {
     pub clock: u64,
 }
 
+/// Proof that a crashed core was restarted by the machine: handed to the
+/// recovery closure of [`crate::machine::Machine::run_recover_on`].
+/// `#[non_exhaustive]` means only the simulator can mint one — downstream
+/// layers (e.g. `casmr`'s `CrashToken`) lean on that to justify
+/// fail-stop-only recovery actions: a `Restart` in hand proves the
+/// environment *declared* the crash, it was not inferred from a stall.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct Restart {
+    /// The restarted core.
+    pub core: CoreId,
+    /// Its local clock when the [`CrashFault`] fired.
+    pub crash_clock: u64,
+    /// The local clock the recovery closure starts at
+    /// (`max(RestartFault::at, crash_clock)`).
+    pub restart_clock: u64,
+}
+
+impl Restart {
+    pub(crate) fn new(core: CoreId, crash_clock: u64, restart_clock: u64) -> Self {
+        Restart {
+            core,
+            crash_clock,
+            restart_clock,
+        }
+    }
+}
+
 /// Per-core outcome of [`crate::machine::Machine::run_outcomes`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum CoreOutcome<R> {
@@ -147,20 +200,52 @@ pub enum CoreOutcome<R> {
         /// Its local clock at the crash.
         clock: u64,
     },
+    /// A [`CrashFault`] stopped the core, then a [`RestartFault`] resumed
+    /// it (`Machine::run_recover_on` only) and its recovery closure ran to
+    /// completion.
+    Recovered {
+        /// The crashed-then-restarted core.
+        core: CoreId,
+        /// Its local clock at the crash.
+        crash_clock: u64,
+        /// The local clock the recovery closure started at.
+        restart_clock: u64,
+        /// The recovery closure's result.
+        result: R,
+    },
 }
 
 impl<R> CoreOutcome<R> {
-    /// The completed result, if the core did not crash.
+    /// The completed result: the workload's (`Done`) or the recovery
+    /// closure's (`Recovered`); `None` for an unrecovered crash.
     pub fn done(self) -> Option<R> {
         match self {
             CoreOutcome::Done(r) => Some(r),
             CoreOutcome::Crashed { .. } => None,
+            CoreOutcome::Recovered { result, .. } => Some(result),
         }
     }
 
-    /// Did this core crash?
+    /// Did this core crash? (True for `Recovered` too: the crash happened;
+    /// use [`Self::recovered`] to distinguish.)
     pub fn crashed(&self) -> bool {
-        matches!(self, CoreOutcome::Crashed { .. })
+        matches!(
+            self,
+            CoreOutcome::Crashed { .. } | CoreOutcome::Recovered { .. }
+        )
+    }
+
+    /// The `(crash_clock, restart_clock)` pair, if this core crashed and
+    /// was restarted.
+    pub fn recovered(&self) -> Option<(u64, u64)> {
+        match self {
+            CoreOutcome::Recovered {
+                crash_clock,
+                restart_clock,
+                ..
+            } => Some((*crash_clock, *restart_clock)),
+            _ => None,
+        }
     }
 }
 
@@ -254,21 +339,47 @@ impl FaultState {
     }
 }
 
+/// A registered watchdog attribution probe
+/// (`Machine::register_wedge_probe`): one per-thread array of reservation
+/// or era words in simulated static memory. When the wedge watchdog fires
+/// on a path that can read simulated memory, the panic names the probe
+/// slot holding the minimum non-sentinel value — the oldest outstanding
+/// reservation, which is what the run is wedged behind. The SMR schemes
+/// register their metadata lines (qsbr announce epochs, rcu pins, ibr
+/// reservation lower bounds, hazard-era slots) at construction.
+#[derive(Clone, Debug)]
+pub struct WedgeProbe {
+    /// Diagnostic name, e.g. `"qsbr.announce"` (scheme + line role).
+    pub name: &'static str,
+    /// Base address: thread `t`'s line is `base + t * LINE_BYTES`.
+    pub base: Addr,
+    /// Number of per-thread lines.
+    pub threads: usize,
+    /// Words read per thread line (`slot s` is word `s`).
+    pub slots: u64,
+    /// Value meaning "no outstanding reservation" — skipped.
+    pub sentinel: u64,
+}
+
 /// Fire every due stall for one core and check the wedge watchdog —
 /// the single trigger engine shared by the batched single-gang pipeline,
 /// the gang lane and the gang conductor's barrier replay (mirroring
 /// `apply_preempt_model`). `deschedule` is called once per fired stall
-/// with the §III preemption side effects (ARB, tx abort, accounting);
-/// returns how many stalls fired so the caller can tick `fault_stalls`.
+/// with the §III preemption side effects (ARB, tx abort, accounting).
+///
+/// Returns `(fired, wedged)`: how many stalls fired (the caller ticks
+/// `fault_stalls`) and whether the clock passed the watchdog ceiling. A
+/// wedged caller must call [`wedge_panic`] — attribution detail (which
+/// needs simulated-memory access only some call sites have) is the
+/// caller's job, which is why the panic no longer lives here.
 #[inline]
 pub(crate) fn apply_stalls_and_watchdog(
     clock: &mut u64,
     stalls: &[(u64, u64)],
     cursor: &mut usize,
     max_cycles: u64,
-    core: CoreId,
     mut deschedule: impl FnMut(),
-) -> u64 {
+) -> (u64, bool) {
     let mut fired = 0;
     while *cursor < stalls.len() && *clock >= stalls[*cursor].0 {
         deschedule();
@@ -276,13 +387,24 @@ pub(crate) fn apply_stalls_and_watchdog(
         *cursor += 1;
         fired += 1;
     }
-    if *clock > max_cycles {
-        panic!(
-            "wedge watchdog: core {core} passed max_cycles = {max_cycles} \
-             (clock {clock}); the run is livelocked or fault-wedged"
-        );
-    }
-    fired
+    (fired, *clock > max_cycles)
+}
+
+/// The wedge watchdog's panic, shared by every call site so the message
+/// prefix (asserted by the determinism tests) cannot drift. `detail` is
+/// the optional attribution suffix ("oldest outstanding reservation: …")
+/// built where simulated memory is readable.
+pub(crate) fn wedge_panic(
+    core: CoreId,
+    clock: u64,
+    max_cycles: u64,
+    detail: Option<String>,
+) -> ! {
+    let detail = detail.map_or(String::new(), |d| format!("; {d}"));
+    panic!(
+        "wedge watchdog: core {core} passed max_cycles = {max_cycles} \
+         (clock {clock}); the run is livelocked or fault-wedged{detail}"
+    );
 }
 
 #[cfg(test)]
@@ -295,13 +417,19 @@ mod tests {
             .stall(1, 100, 5_000)
             .stall(1, 50, 10)
             .crash(2, 200)
+            .restart(2, 900)
             .alloc_pressure(64);
         assert_eq!(p.stalls.len(), 2);
         assert_eq!(p.crashes, vec![CrashFault { core: 2, at: 200 }]);
+        assert_eq!(p.restarts, vec![RestartFault { core: 2, at: 900 }]);
         assert_eq!(p.heap_limit_lines, Some(64));
         assert!(p.oom_recoverable);
         assert!(!p.is_empty());
         assert!(FaultPlan::default().is_empty());
+        assert!(
+            !FaultPlan::none().restart(0, 10).is_empty(),
+            "a restart alone is a plan"
+        );
     }
 
     #[test]
@@ -332,16 +460,18 @@ mod tests {
         let mut cursor = 0;
         let mut clock = 99;
         let mut count = 0;
-        let fired = apply_stalls_and_watchdog(
-            &mut clock, &stalls, &mut cursor, u64::MAX, 0, || count += 1,
+        let (fired, wedged) = apply_stalls_and_watchdog(
+            &mut clock, &stalls, &mut cursor, u64::MAX, || count += 1,
         );
+        assert!(!wedged);
         assert_eq!((fired, clock, cursor, count), (0, 99, 0, 0));
         clock = 105;
         // First stall fires and pushes the clock past the second trigger,
         // which then fires in the same sweep.
-        let fired = apply_stalls_and_watchdog(
-            &mut clock, &stalls, &mut cursor, u64::MAX, 0, || count += 1,
+        let (fired, wedged) = apply_stalls_and_watchdog(
+            &mut clock, &stalls, &mut cursor, u64::MAX, || count += 1,
         );
+        assert!(!wedged);
         assert_eq!((fired, clock, cursor, count), (2, 185, 2, 2));
     }
 
@@ -350,7 +480,21 @@ mod tests {
     fn watchdog_trips() {
         let mut clock = 1_001;
         let mut cursor = 0;
-        apply_stalls_and_watchdog(&mut clock, &[], &mut cursor, 1_000, 3, || {});
+        let (_, wedged) =
+            apply_stalls_and_watchdog(&mut clock, &[], &mut cursor, 1_000, || {});
+        assert!(wedged, "past the ceiling must report wedged");
+        wedge_panic(3, clock, 1_000, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "oldest outstanding reservation: qsbr.announce core 1")]
+    fn wedge_panic_carries_attribution_detail() {
+        wedge_panic(
+            0,
+            5_000,
+            1_000,
+            Some("oldest outstanding reservation: qsbr.announce core 1 (epoch 3)".into()),
+        );
     }
 
     #[test]

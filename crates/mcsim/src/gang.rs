@@ -1124,15 +1124,25 @@ unsafe fn gang_event_inner(
                 // Injected burst deschedules + wedge watchdog, at the same
                 // point in the event as the single-gang pipeline: after the
                 // op's cost, before the periodic preemption model.
-                let fired = crate::fault::apply_stalls_and_watchdog(
+                let (fired, wedged) = crate::fault::apply_stalls_and_watchdog(
                     &mut gs.sched.clocks[l],
                     &*run.fault_stalls.add(c),
                     &mut *run.fault_cursor.add(c),
                     run.fault_max_cycles,
-                    c,
                     || lane.preempt(c),
                 );
                 lane.stats_mut(c).fault_stalls += fired;
+                if wedged {
+                    // The lane path cannot read simulated memory (no
+                    // `&mut SimState` here), so the panic carries no
+                    // attribution suffix — only the stable prefix.
+                    crate::fault::wedge_panic(
+                        c,
+                        gs.sched.clocks[l],
+                        run.fault_max_cycles,
+                        None,
+                    );
+                }
             }
             // OS-preemption model: gang-local (own ARB/tx/stats). The
             // deadline reference comes straight from the raw parts so the
@@ -1331,16 +1341,23 @@ unsafe fn apply_blocking(run: &GangRun, st: &mut SimState, q: &Queued, op: Op) {
         // `st` here), mirroring the Local arm of `gang_event_inner`. Crashes
         // never reach this path: they fire at issue time, before the op is
         // ever queued.
-        let SimState { fault, hub, .. } = &mut *st;
-        let fired = crate::fault::apply_stalls_and_watchdog(
-            &mut *clock,
-            &fault.stalls[q.core],
-            &mut fault.cursor[q.core],
-            fault.max_cycles,
-            q.core,
-            || hub.preempt(q.core),
-        );
-        hub.stats.core(q.core).fault_stalls += fired;
+        let wedged = {
+            let SimState { fault, hub, .. } = &mut *st;
+            let (fired, wedged) = crate::fault::apply_stalls_and_watchdog(
+                &mut *clock,
+                &fault.stalls[q.core],
+                &mut fault.cursor[q.core],
+                fault.max_cycles,
+                || hub.preempt(q.core),
+            );
+            hub.stats.core(q.core).fault_stalls += fired;
+            wedged
+        };
+        if wedged {
+            // This path owns `st`, so the attribution probes are readable.
+            let detail = crate::machine::wedge_attribution(st);
+            crate::fault::wedge_panic(q.core, *clock, st.fault.max_cycles, detail);
+        }
     }
     let SimState {
         next_preempt,
@@ -1631,15 +1648,19 @@ unsafe fn apply_lane_blocking(run: &GangRun, parts: &mut BankParts, q: &Queued, 
         // per-core plan/cursor views (read-only plan halves, this core's
         // own cursor element).
         let mut pp = *parts;
-        let fired = crate::fault::apply_stalls_and_watchdog(
+        let (fired, wedged) = crate::fault::apply_stalls_and_watchdog(
             &mut *clock,
             &*run.fault_stalls.add(q.core),
             &mut *run.fault_cursor.add(q.core),
             run.fault_max_cycles,
-            q.core,
             || pp.preempt(q.core),
         );
         parts.core_stats(q.core).fault_stalls += fired;
+        if wedged {
+            // Merge lanes run through `BankParts` (no `&mut SimState`), so
+            // no attribution suffix — only the stable prefix.
+            crate::fault::wedge_panic(q.core, *clock, run.fault_max_cycles, None);
+        }
     }
     let mut pp = *parts;
     crate::machine::apply_preempt_model(

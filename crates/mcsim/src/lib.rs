@@ -75,7 +75,7 @@ pub use addr::{Addr, CoreId, Line, LINE_BYTES, WORDS_PER_LINE};
 pub use alloc::{Fault, LineStatus, UafMode};
 pub use cache::MsiState;
 pub use coherence::CacheConfig;
-pub use fault::{CoreOutcome, CrashFault, FaultPlan, StallFault};
+pub use fault::{CoreOutcome, CrashFault, FaultPlan, Restart, RestartFault, StallFault, WedgeProbe};
 pub use hb::{Finding, RaceReport};
 pub use latency::LatencyModel;
 pub use machine::{Ctx, ExecBackend, FootprintSample, Machine, MachineConfig};

@@ -61,7 +61,7 @@ use std::thread::Thread;
 use crate::addr::{Addr, CoreId};
 use crate::alloc::{Allocator, Fault, UafMode};
 use crate::coherence::{BankParts, CacheConfig, CoherenceHub};
-use crate::fault::{CoreOutcome, FaultPlan, FaultState, FaultStop};
+use crate::fault::{CoreOutcome, FaultPlan, FaultState, FaultStop, Restart, WedgeProbe};
 use crate::latency::LatencyModel;
 use crate::sched::{Sched, NO_TURN};
 use crate::stats::MachineStats;
@@ -320,6 +320,10 @@ pub(crate) struct SimState {
     pub bank_occupancy: Vec<u64>,
     /// Compiled fault-injection state (see [`crate::fault`]).
     pub fault: FaultState,
+    /// Watchdog attribution probes (see [`WedgeProbe`]): read host-side
+    /// when the wedge watchdog fires to name the oldest outstanding
+    /// reservation holder in the panic.
+    pub wedge_probes: Vec<WedgeProbe>,
 }
 
 struct Shared {
@@ -452,6 +456,7 @@ impl Machine {
             serial_epilogue_events: 0,
             bank_occupancy: vec![0; n_banks],
             fault: FaultState::new(&cfg.fault_plan, cfg.cores, cfg.max_cycles),
+            wedge_probes: Vec::new(),
         };
         Self {
             shared: Arc::new(Shared {
@@ -533,6 +538,96 @@ impl Machine {
                 })
                 .collect(),
         )
+    }
+
+    /// [`Self::run_outcomes_on`] with crash **recovery**: a crashed core
+    /// whose [`crate::fault::RestartFault`] names it resumes at simulated
+    /// clock `max(restart.at, crash clock)` running `recover` instead of
+    /// staying retired, and reports [`CoreOutcome::Recovered`]. Cores
+    /// without a restart trigger stay [`CoreOutcome::Crashed`].
+    ///
+    /// Determinism: the crash fires at an event-issue boundary with the
+    /// core still owning its scheduling turn on every backend (the
+    /// `FaultStop` unwind is caught here, *inside* the workload-closure
+    /// boundary the drivers wrap), pending ticks already committed to the
+    /// core's local clock, and `FaultState::crashed` already set (so the
+    /// trigger cannot re-fire during recovery). The gap to the restart
+    /// clock is charged as plain local ticks; from there the recovery
+    /// closure's events are an ordinary continuation of the core's event
+    /// stream — a pure function of its local clock, byte-identical across
+    /// backends, gang drivers and layouts like every other fault trigger
+    /// (pinned by `fault_determinism` / `gang_determinism`).
+    ///
+    /// Restarts recover *injected crashes only*: any other panic (workload
+    /// bug, UAF detector, wedge watchdog) still propagates, and a panic
+    /// out of `recover` itself is not caught.
+    pub fn run_recover_on<R: Send>(
+        &self,
+        n: usize,
+        f: impl Fn(usize, &mut Ctx) -> R + Sync,
+        recover: impl Fn(&Restart, &mut Ctx) -> R + Sync,
+    ) -> Vec<CoreOutcome<R>> {
+        let mut restart_at = vec![u64::MAX; n];
+        for r in &self.cfg.fault_plan.restarts {
+            assert!(
+                r.core < self.cfg.cores,
+                "FaultPlan restart on core {} of {}",
+                r.core,
+                self.cfg.cores
+            );
+            if r.core < n {
+                restart_at[r.core] = restart_at[r.core].min(r.at);
+            }
+        }
+        let f = &f;
+        let recover = &recover;
+        let restart_at = &restart_at;
+        self.run_outcomes(
+            (0..n)
+                .map(|i| {
+                    Box::new(move |ctx: &mut Ctx| {
+                        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                            || f(i, &mut *ctx),
+                        ));
+                        match out {
+                            Ok(r) => CoreOutcome::Done(r),
+                            Err(e) => match e.downcast::<FaultStop>() {
+                                Ok(fs) if restart_at[i] != u64::MAX => {
+                                    // Idle until the restart trigger (a
+                                    // restart cannot predate its crash),
+                                    // then run the recovery body on the
+                                    // same core/Ctx.
+                                    let target = restart_at[i].max(fs.clock);
+                                    ctx.tick(target - fs.clock);
+                                    let info = Restart::new(i, fs.clock, target);
+                                    let result = recover(&info, ctx);
+                                    CoreOutcome::Recovered {
+                                        core: i,
+                                        crash_clock: fs.clock,
+                                        restart_clock: target,
+                                        result,
+                                    }
+                                }
+                                Ok(fs) => std::panic::resume_unwind(fs),
+                                Err(e) => std::panic::resume_unwind(e),
+                            },
+                        }
+                    }) as Box<dyn FnOnce(&mut Ctx) -> CoreOutcome<R> + Send + '_>
+                })
+                .collect(),
+        )
+        .into_iter()
+        .map(|o| match o {
+            // The wrapper already folded recovery into the inner outcome;
+            // an outer Crashed is a core whose restart trigger was absent
+            // (the re-raised FaultStop above).
+            CoreOutcome::Done(inner) => inner,
+            CoreOutcome::Crashed { core, clock } => CoreOutcome::Crashed { core, clock },
+            CoreOutcome::Recovered { .. } => {
+                unreachable!("outer run_outcomes never recovers")
+            }
+        })
+        .collect()
     }
 
     /// Backend dispatch: run the closures and collect each core's result
@@ -922,6 +1017,16 @@ impl Machine {
         self.shared.lock().hub.trace.label(a, lines, name);
     }
 
+    /// Register a watchdog attribution probe (see [`WedgeProbe`]): when
+    /// the wedge watchdog fires, the panic names the probe slot holding
+    /// the minimum non-sentinel value — the oldest outstanding
+    /// reservation/era the run is wedged behind — with the owning core
+    /// and whether it crashed. Zero cost until the watchdog actually
+    /// trips. Call between runs (SMR scheme constructors do).
+    pub fn register_wedge_probe(&self, probe: WedgeProbe) {
+        self.shared.lock().wedge_probes.push(probe);
+    }
+
     /// Introspect a core's ARB (tests only; programs must use cread/cwrite
     /// failure results instead).
     pub fn probe_arb(&self, c: CoreId) -> bool {
@@ -1298,6 +1403,38 @@ pub(crate) fn apply_preempt_model(
     }
 }
 
+/// Watchdog attribution (host-side, only on the fatal path): scan the
+/// registered [`WedgeProbe`]s for the minimum non-sentinel reservation/era
+/// value and name its holder. `None` when no probe holds anything — the
+/// wedge is then a plain livelock, not a reservation pin.
+pub(crate) fn wedge_attribution(st: &SimState) -> Option<String> {
+    let mut oldest: Option<(u64, &'static str, usize, u64)> = None;
+    for p in &st.wedge_probes {
+        for t in 0..p.threads {
+            for s in 0..p.slots {
+                let a = Addr(p.base.0 + t as u64 * crate::addr::LINE_BYTES + s * 8);
+                let v = st.hub.host_read(a);
+                if v != p.sentinel && oldest.is_none_or(|(min, ..)| v < min) {
+                    oldest = Some((v, p.name, t, s));
+                }
+            }
+        }
+    }
+    oldest.map(|(v, name, t, s)| {
+        let crashed = if st.fault.crashed.get(t).copied().unwrap_or(false) {
+            " [crashed — orphan needs adoption]"
+        } else {
+            ""
+        };
+        let slot = if s > 0 {
+            format!(" slot {s}")
+        } else {
+            String::new()
+        };
+        format!("oldest outstanding reservation: {name} core {t}{slot} (value {v}){crashed}")
+    })
+}
+
 /// Charge pending ticks, execute `op`, charge its cost, apply the
 /// OS-preemption model, and take the scheduling decision — the
 /// backend-independent core of every event.
@@ -1318,6 +1455,7 @@ fn run_event_on(st: &mut SimState, c: CoreId, pending: u64, op: Op) -> (Out, Opt
         st.hub.trace.record(c, issue_clock, op, &out);
     }
     st.sched.clocks[c] += cost;
+    let mut wedged = false;
     {
         let SimState {
             sched,
@@ -1331,22 +1469,30 @@ fn run_event_on(st: &mut SimState, c: CoreId, pending: u64, op: Op) -> (Out, Opt
             // Injected burst deschedules (and the wedge watchdog) land
             // before the periodic model, at the same point in the event:
             // after the op's cost, before the scheduling decision.
-            let fired = crate::fault::apply_stalls_and_watchdog(
+            let (fired, w) = crate::fault::apply_stalls_and_watchdog(
                 &mut sched.clocks[c],
                 &fault.stalls[c],
                 &mut fault.cursor[c],
                 fault.max_cycles,
-                c,
                 || hub.preempt(c),
             );
             hub.stats.core(c).fault_stalls += fired;
+            wedged = w;
         }
-        apply_preempt_model(
-            &mut sched.clocks[c],
-            &mut next_preempt[c],
-            *ctx_switch,
-            || hub.preempt(c),
-        );
+        if !wedged {
+            apply_preempt_model(
+                &mut sched.clocks[c],
+                &mut next_preempt[c],
+                *ctx_switch,
+                || hub.preempt(c),
+            );
+        }
+    }
+    if wedged {
+        // Fatal: attribute the wedge before panicking (this path owns the
+        // full state, so the registered probes are readable host-side).
+        let detail = wedge_attribution(st);
+        crate::fault::wedge_panic(c, st.sched.clocks[c], st.fault.max_cycles, detail);
     }
     let next = st.sched.after_event(c);
     match next {

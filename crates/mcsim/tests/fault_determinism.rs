@@ -108,6 +108,9 @@ fn run_cell(
             .map(|o| match o {
                 CoreOutcome::Done(v) => Some(v),
                 CoreOutcome::Crashed { .. } => None,
+                CoreOutcome::Recovered { .. } => {
+                    unreachable!("run_outcomes_on never recovers")
+                }
             })
             .collect(),
         per_core: st
@@ -165,6 +168,159 @@ fn fault_plan_fires_identically_across_backends_and_layouts() {
                 assert_eq!(
                     got, reference,
                     "fault schedule diverged: {label} gangs={gangs} l2_banks={l2_banks}"
+                );
+            }
+        }
+    }
+}
+
+/// Everything observable about one restart-bearing grid cell: the PR-6
+/// signature plus the recovery clocks and the recovery closure's returns.
+#[derive(Debug, PartialEq)]
+struct RestartSignature {
+    recovery_clocks: Vec<Option<(u64, u64)>>, // (crash_clock, restart_clock)
+    returns: Vec<Option<u64>>,
+    per_core: Vec<(u64, u64, u64)>,
+    crashed_stats: Vec<bool>,
+    final_counter: u64,
+}
+
+/// A restart-bearing plan through `Machine::run_recover_on`: core 6
+/// crashes mid-CAS-retry-loop, idles to its restart trigger, then runs a
+/// recovery closure that rejoins the shared-counter contention. Both the
+/// crash clock and the restart clock are part of the compared signature,
+/// so a recovery resuming one event early or late anywhere in the
+/// backend × driver × gangs × banks grid fails loudly.
+fn run_restart_cell(
+    exec: ExecBackend,
+    driver: Option<GangDriver>,
+    gangs: usize,
+    l2_banks: usize,
+) -> RestartSignature {
+    if let Some(d) = driver {
+        set_gang_driver(d);
+    }
+    let m = Machine::new(MachineConfig {
+        cores: CORES,
+        mem_bytes: 1 << 20,
+        static_lines: 64,
+        quantum: 0,
+        gangs,
+        gang_window: 256,
+        exec,
+        cache: mcsim::CacheConfig {
+            l2_banks,
+            ..Default::default()
+        },
+        fault_plan: FaultPlan::none()
+            .stall(1, 800, 25_000)
+            .crash(6, 3_000)
+            .restart(6, 40_000)
+            .crash(3, 9_000), // no restart: stays Crashed next to a Recovered peer
+        max_cycles: Some(5_000_000),
+        ..Default::default()
+    });
+    let counter = m.alloc_static(1);
+    let outs = m.run_recover_on(
+        CORES,
+        |i, ctx| {
+            let mut got = 0u64;
+            for _ in 0..60u64 {
+                loop {
+                    let cur = ctx.read(counter);
+                    if ctx.cas(counter, cur, cur.wrapping_mul(31) + i as u64 + 1).is_ok() {
+                        break;
+                    }
+                }
+                ctx.op_completed();
+                got += 1;
+            }
+            got
+        },
+        |info, ctx| {
+            // Adopt-then-continue shape: verify the restart clock is the
+            // clock the first recovery event issues at, then finish a
+            // shorter run of the same work.
+            assert!(info.restart_clock >= info.crash_clock);
+            let mut got = 1_000; // distinguish recovery returns
+            for _ in 0..20u64 {
+                loop {
+                    let cur = ctx.read(counter);
+                    if ctx.cas(counter, cur, cur.wrapping_mul(31) + 7).is_ok() {
+                        break;
+                    }
+                }
+                ctx.op_completed();
+                got += 1;
+            }
+            got
+        },
+    );
+    set_gang_driver(GangDriver::Auto);
+    let st = m.stats();
+    m.check_invariants();
+    RestartSignature {
+        recovery_clocks: outs.iter().map(|o| o.recovered()).collect(),
+        returns: outs.into_iter().map(|o| o.done()).collect(),
+        per_core: st
+            .cores
+            .iter()
+            .map(|c| (c.cycles, c.fault_stalls, c.alloc_failures))
+            .collect(),
+        crashed_stats: st.crashed.clone(),
+        final_counter: m.host_read(counter),
+    }
+}
+
+#[test]
+fn restart_faults_fire_identically_across_backends_and_layouts() {
+    for gangs in [1usize, 2, 4] {
+        let reference = run_restart_cell(ExecBackend::Threads, None, gangs, 1);
+
+        // The plan bit as designed: core 6 crashed AND recovered (its
+        // recovery closure returned), core 3 crashed for good, everyone
+        // else ran to completion.
+        let (crash_clock, restart_clock) =
+            reference.recovery_clocks[6].expect("core 6 must recover");
+        assert!(crash_clock >= 3_000, "gangs={gangs}: crash at its trigger");
+        assert_eq!(
+            restart_clock,
+            crash_clock.max(40_000),
+            "gangs={gangs}: restart at max(trigger, crash clock)"
+        );
+        assert!(
+            reference.returns[6].is_some_and(|r| r > 1_000),
+            "gangs={gangs}: core 6 returns the recovery closure's result"
+        );
+        assert!(reference.returns[3].is_none(), "gangs={gangs}: core 3 stays crashed");
+        assert_eq!(
+            reference.crashed_stats,
+            {
+                let mut v = vec![false; CORES];
+                v[3] = true;
+                v[6] = true;
+                v
+            },
+            "gangs={gangs}: both crash triggers consumed"
+        );
+        for c in [0usize, 1, 2, 4, 5, 7] {
+            assert_eq!(reference.recovery_clocks[c], None);
+            assert!(reference.returns[c].is_some());
+        }
+
+        // Byte-identity across backends × drivers × bank layouts, within
+        // this gang count — recovery clocks included.
+        let legs = [
+            (ExecBackend::Threads, None, "threads"),
+            (ExecBackend::Coop, Some(GangDriver::Seq), "coop/seq"),
+            (ExecBackend::Coop, Some(GangDriver::Spawn), "coop/spawn"),
+        ];
+        for (exec, driver, label) in legs {
+            for l2_banks in [1usize, 8] {
+                let got = run_restart_cell(exec, driver, gangs, l2_banks);
+                assert_eq!(
+                    got, reference,
+                    "restart schedule diverged: {label} gangs={gangs} l2_banks={l2_banks}"
                 );
             }
         }

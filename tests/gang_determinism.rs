@@ -262,6 +262,59 @@ fn banked_merge_grid_is_byte_identical_across_gang_drivers() {
 }
 
 #[test]
+fn restart_bearing_plans_are_deterministic_across_gang_drivers() {
+    // The PR-10 contract: a fault plan with a *restart* leg — crash at a
+    // fixed clock, come back later, mint a `CrashToken`, adopt the orphan
+    // and finish the quota — is part of the simulated program, so its
+    // results obey the same determinism grid as everything else: for every
+    // gang layout, per-core stats AND the (crash_clock, restart_clock)
+    // pair reported for the victim are byte-identical across the threads
+    // backend and both coop gang drivers.
+    use caharness::run_queue_recover_with_stats;
+    use mcsim::{set_gang_driver, FaultPlan, GangDriver};
+    let cell = |gangs: usize, exec: ExecBackend, driver: Option<GangDriver>| {
+        if let Some(d) = driver {
+            set_gang_driver(d);
+        }
+        let c = RunConfig {
+            mix: Mix {
+                insert_pct: 50,
+                delete_pct: 50,
+            },
+            threads: 4,
+            ops_per_thread: 120,
+            fault_plan: FaultPlan::none().crash(3, 5_000).restart(3, 40_000),
+            max_cycles: Some(2_000_000_000),
+            ..cfg(64, gangs, 19, exec)
+        };
+        let r = run_queue_recover_with_stats(SchemeKind::Qsbr, &c);
+        set_gang_driver(GangDriver::Auto);
+        r
+    };
+    for gangs in [1usize, 2, 4] {
+        let (m_ref, s_ref, clocks_ref) = cell(gangs, ExecBackend::Threads, None);
+        assert_eq!(m_ref.total_ops, 4 * 120, "gangs={gangs}: full quota despite the crash");
+        let (crash, restart) = clocks_ref[3].expect("victim must report recovery clocks");
+        assert!(crash >= 5_000 && restart >= 40_000, "gangs={gangs}: clocks honor the plan");
+        assert!(clocks_ref[0].is_none() && s_ref.crashed[3], "gangs={gangs}");
+        for (label, exec, driver) in [
+            ("coop/seq", ExecBackend::Coop, Some(GangDriver::Seq)),
+            ("coop/spawn", ExecBackend::Coop, Some(GangDriver::Spawn)),
+        ] {
+            let (m, s, clocks) = cell(gangs, exec, driver);
+            assert_eq!(
+                s_ref.cores, s.cores,
+                "gangs={gangs} {label}: per-core stats diverged under restart"
+            );
+            assert_eq!(clocks_ref, clocks, "gangs={gangs} {label}: recovery clocks diverged");
+            assert_eq!(m_ref.cycles, m.cycles, "gangs={gangs} {label}");
+            assert_eq!(m_ref.total_ops, m.total_ops, "gangs={gangs} {label}");
+            assert_eq!(s_ref.crashed, s.crashed, "gangs={gangs} {label}");
+        }
+    }
+}
+
+#[test]
 fn different_gang_layouts_are_different_but_valid_schedules() {
     // Sanity: gangs=2 is not required (or expected) to reproduce gangs=1
     // timing — it is a bounded-skew relaxation — but both must agree on

@@ -21,13 +21,15 @@
 //! hardware (see `casmr`'s env docs for why there is no native CA).
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use conditional_access::ds::seqcheck::walk_list;
 use conditional_access::ds::smr::SmrLazyList;
-use conditional_access::ds::SetDs;
+use conditional_access::ds::{DsShared, SetDs};
 use conditional_access::sim::Rng;
 use conditional_access::smr::{
-    He, Hp, Ibr, Leaky, NativeEnv, NativeMachine, Qsbr, Rcu, SmrConfig,
+    He, HeartbeatBoard, Hp, Ibr, Leaky, NativeEnv, NativeMachine, Orphan, Qsbr, Rcu, Smr, SmrBase,
+    SmrConfig, TlsVault,
 };
 
 /// `(op kind, key, result)`: 0 = insert, 1 = delete, 2 = contains.
@@ -168,6 +170,183 @@ fn run_with_probe(
     seed: u64,
 ) -> (Vec<Vec<Op>>, Vec<u64>, casmr::NativeStats) {
     run(threads, seed)
+}
+
+// ---------------------------------------------------------------------
+// Membership churn legs (PR 10): the native battery's obligations must
+// survive workers leaving mid-run — gracefully (depart + hand-off) and by
+// fail-stop crash (heartbeat detection + `CrashToken` adoption). In both
+// cases every value must still balance against the final contents, the
+// pool ledger must hold, and after the survivors depart the only lines
+// left allocated are the nodes still linked in the list.
+// ---------------------------------------------------------------------
+
+type QsbrTls = <Qsbr as casmr::SmrBase>::Tls;
+
+/// Run one randomized lazy-list op, appending to the log.
+fn one_op(
+    ds: &SmrLazyList<Qsbr>,
+    env: &mut NativeEnv<'_>,
+    tls: &mut QsbrTls,
+    rng: &mut Rng,
+    log: &mut Vec<Op>,
+) {
+    let key = 1 + rng.below(RANGE);
+    let entry = match rng.below(3) {
+        0 => (0, key, ds.insert(env, tls, key)),
+        1 => (1, key, ds.delete(env, tls, key)),
+        _ => (2, key, ds.contains(env, tls, key)),
+    };
+    log.push(entry);
+}
+
+/// Post-churn drain: every surviving member departs and the last one
+/// adopts all the graceful orphans, so nothing stays pinned; then the
+/// heap must hold exactly the list's linked nodes.
+fn drain_and_check(name: &str, m: &NativeMachine, ds: &SmrLazyList<Qsbr>, logs: &[Vec<Op>]) {
+    let keys = walk_list(m, ds.head_node());
+    check_accounting(name, logs, &keys);
+    let stats = m.stats();
+    assert_eq!(
+        stats.allocated_not_freed,
+        stats.allocated - stats.freed,
+        "{name}: pool ledger out of balance after churn"
+    );
+    // Static overhead in the native pool: the list's two sentinels plus
+    // the scheme's era clock and three announcement lines; everything
+    // else must be a linked node.
+    let static_lines = 2 + 1 + 3;
+    assert_eq!(
+        stats.allocated_not_freed,
+        keys.len() as u64 + static_lines,
+        "{name}: reclaimable lines leaked across churn"
+    );
+}
+
+#[test]
+fn native_graceful_churn_balances_accounting() {
+    for seed in SEEDS {
+        let m = pool();
+        let ds = SmrLazyList::new(&m, Qsbr::new(&m, 3, tight_smr()));
+        let handoff: TlsVault<Orphan<QsbrTls>> = TlsVault::new(1);
+        let final_vault: TlsVault<QsbrTls> = TlsVault::new(2);
+        let departed = AtomicU64::new(0);
+        let logs: Vec<Vec<Op>> = m.run_on(3, |tid, env| {
+            let mut tls = ds.register(tid);
+            let mut rng = Rng::new(seed ^ ((tid as u64) << 32));
+            let mut log = Vec::new();
+            let quota = if tid == 2 { OPS / 2 } else { OPS };
+            for _ in 0..quota {
+                one_op(&ds, env, &mut tls, &mut rng, &mut log);
+            }
+            if tid == 2 {
+                // Graceful leave mid-run: retract publications, drain what
+                // the retire list allows, hand the rest to a survivor.
+                let o = ds.smr().depart(env, tls);
+                assert!(!o.is_crashed());
+                handoff.put(0, o);
+                departed.store(1, Ordering::Release);
+                return log;
+            }
+            if tid == 0 {
+                while departed.load(Ordering::Acquire) == 0 {
+                    std::thread::yield_now();
+                }
+                let o = handoff.take(0).expect("departing worker handed off");
+                ds.smr().adopt(env, &mut tls, o);
+                // Keep operating after the adoption: the membership change
+                // must be invisible to the structure's semantics.
+                for _ in 0..20 {
+                    one_op(&ds, env, &mut tls, &mut rng, &mut log);
+                }
+            }
+            final_vault.put(tid, tls);
+            log
+        });
+        m.run_on(1, |_, env| {
+            let mut last = final_vault.take(0).expect("survivor 0 parked");
+            let o = ds.smr().depart(env, final_vault.take(1).expect("survivor 1 parked"));
+            ds.smr().adopt(env, &mut last, o);
+            let end = ds.smr().depart(env, last);
+            assert_eq!(ds.smr().garbage(end.tls()).live, 0);
+        });
+        drain_and_check("qsbr graceful churn", &m, &ds, &logs);
+    }
+}
+
+#[test]
+fn native_crashed_worker_is_detected_and_adopted_with_the_structure() {
+    for seed in SEEDS {
+        let m = pool();
+        let ds = SmrLazyList::new(&m, Qsbr::new(&m, 3, tight_smr()));
+        let board = HeartbeatBoard::new(3);
+        let vault: TlsVault<(QsbrTls, Vec<Op>)> = TlsVault::new(3);
+        for t in 0..3 {
+            vault.put(t, (ds.register(t), Vec::new()));
+        }
+        let crashed = AtomicU64::new(0);
+        let logs: Vec<Vec<Vec<Op>>> = m.run_on(3, |tid, env| {
+            let mut rng = Rng::new(seed ^ ((tid as u64) << 32));
+            if tid == 2 {
+                // Victim: operates through the vault guard, beating per
+                // op, then fail-stops at a quiescent point — no depart, no
+                // further beats. Its state stays parked in the vault.
+                let mut guard = vault.lock(2);
+                let (tls, log) = guard.as_mut().expect("victim state parked");
+                for _ in 0..OPS / 2 {
+                    board.beat(2);
+                    one_op(&ds, env, tls, &mut rng, log);
+                }
+                crashed.store(1, Ordering::Release);
+                return Vec::new();
+            }
+            let mut guard = vault.lock(tid);
+            let (tls, log) = guard.as_mut().expect("worker state parked");
+            for _ in 0..OPS {
+                board.beat(tid);
+                one_op(&ds, env, tls, &mut rng, log);
+            }
+            if tid == 0 {
+                while crashed.load(Ordering::Acquire) == 0 {
+                    std::thread::yield_now();
+                }
+                // Membership contract: a member whose heartbeat stays
+                // frozen past the lease deadline is declared fail-stop.
+                // SAFETY: the victim stopped beating because it returned;
+                // it will never touch the structure again.
+                let token = unsafe {
+                    board.detect(2, std::time::Duration::from_millis(200))
+                }
+                .expect("a silent worker past its lease must be declared crashed");
+                drop(guard);
+                let (orphan_tls, victim_log) =
+                    vault.take(2).expect("victim state parked for adoption");
+                let mut guard = vault.lock(0);
+                let (tls, log) = guard.as_mut().expect("adopter state parked");
+                ds.smr().adopt(env, tls, Orphan::crashed(orphan_tls, token));
+                for _ in 0..20 {
+                    one_op(&ds, env, tls, &mut rng, log);
+                }
+                return vec![victim_log];
+            }
+            Vec::new()
+        });
+        let mut all_logs: Vec<Vec<Op>> = logs.into_iter().flatten().collect();
+        for t in 0..2 {
+            let (tls, log) = vault.take(t).expect("worker parked after run");
+            all_logs.push(log);
+            vault.put(t, (tls, Vec::new()));
+        }
+        m.run_on(1, |_, env| {
+            let (mut last, _) = vault.take(0).expect("adopter parked");
+            let (tls1, _) = vault.take(1).expect("survivor parked");
+            let o = ds.smr().depart(env, tls1);
+            ds.smr().adopt(env, &mut last, o);
+            let end = ds.smr().depart(env, last);
+            assert_eq!(ds.smr().garbage(end.tls()).live, 0);
+        });
+        drain_and_check("qsbr crash adoption", &m, &ds, &all_logs);
+    }
 }
 
 #[test]

@@ -30,9 +30,12 @@ use conditional_access::sim::machine::Ctx;
 use conditional_access::ds::ca::{CaExtBst, CaLazyList, CaQueue, CaStack};
 use conditional_access::ds::seqcheck::{walk_bst, walk_list};
 use conditional_access::ds::smr::{SmrExtBst, SmrLazyList, SmrQueue, SmrStack};
-use conditional_access::ds::{QueueDs, SetDs, StackDs};
-use conditional_access::sim::{Machine, MachineConfig, Rng, UafMode};
-use conditional_access::smr::{He, Hp, Ibr, Leaky, Qsbr, Rcu, SchemeKind, Smr, SmrConfig};
+use conditional_access::ds::{DsShared, QueueDs, SetDs, StackDs};
+use conditional_access::sim::{CoreOutcome, FaultPlan, Machine, MachineConfig, Rng, UafMode};
+use conditional_access::smr::{
+    CrashToken, He, Hp, Ibr, Leaky, Orphan, Qsbr, Rcu, SchemeKind, Smr, SmrBase, SmrConfig,
+    TlsVault,
+};
 
 /// `(op kind, key, result)`: 0 = insert, 1 = delete, 2 = contains.
 type Op = (u8, u64, bool);
@@ -618,6 +621,197 @@ fn concurrent_extbst_runs_have_zero_uaf_violations() {
             );
             check_set_accounting(&accounting(&h), &keys);
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Crash + adoption leg (PR 10): the differential obligations must survive
+// membership churn. One core crashes mid-run (fail-stop, injected by the
+// fault plan), restarts at a later clock, adopts its own orphaned SMR
+// state through a `CrashToken`, and finishes its quota — with the UAF
+// oracle recording throughout. Afterwards the histories must still
+// conserve every value, the oracle must have recorded nothing, and a full
+// departing drain must free every line except the queue's current dummy.
+// ---------------------------------------------------------------------
+
+/// Crash-survivable per-worker state, parked in a [`TlsVault`] so the
+/// injected crash poisons the slot without dropping the SMR state.
+struct RecWorker<T> {
+    tls: T,
+    rng: Rng,
+    log: Vec<QueueOp>,
+    done: u64,
+    /// Set when the victim reaches its hang window. The injected crash is
+    /// clock-triggered; asserting this flag in the recovery closure proves
+    /// the crash landed at a quiescent point (between operations), so no
+    /// operation was torn and the accounting below may demand exactness.
+    hanging: bool,
+}
+
+fn queue_crash_recovery_leg<S>(build: impl FnOnce(&Machine) -> S, name: &str, seed: u64)
+where
+    S: for<'m> Smr<Ctx<'m>> + Sync,
+    <S as SmrBase>::Tls: Send,
+{
+    const THREADS: usize = 4;
+    const OPS: u64 = 200;
+    const HALF: u64 = 100;
+    const VICTIM: usize = 3;
+    let m = Machine::new(MachineConfig {
+        cores: THREADS,
+        mem_bytes: 32 << 20,
+        static_lines: 2048,
+        uaf_mode: UafMode::Record,
+        // The crash clock is far past the whole workload: the victim is
+        // guaranteed to be in its hang loop (a non-responsive member, the
+        // shape the native detector declares crashed), never mid-op.
+        fault_plan: FaultPlan::none().crash(VICTIM, 500_000).restart(VICTIM, 520_000),
+        ..Default::default()
+    });
+    let q = SmrQueue::new(&m, build(&m));
+    let scratch = m.alloc_static(1);
+    let vault: TlsVault<RecWorker<S::Tls>> = TlsVault::new(THREADS);
+    for t in 0..THREADS {
+        vault.put(
+            t,
+            RecWorker {
+                tls: q.register(t),
+                rng: Rng::new(seed ^ ((t as u64) << 32)),
+                log: Vec::new(),
+                done: 0,
+                hanging: false,
+            },
+        );
+    }
+    let step = |ctx: &mut Ctx<'_>, w: &mut RecWorker<S::Tls>| {
+        let entry = if w.rng.below(2) == 0 {
+            let v = 1 + w.rng.below(48);
+            q.enqueue(ctx, &mut w.tls, v);
+            (0, v)
+        } else {
+            (1, q.dequeue(ctx, &mut w.tls).map_or(0, |v| v + 1))
+        };
+        w.log.push(entry);
+        w.done += 1;
+    };
+    let outs = m.run_recover_on(
+        THREADS,
+        |tid, ctx| {
+            let mut guard = vault.lock(tid);
+            let w = guard.as_mut().expect("worker parked before run");
+            let quota = if tid == VICTIM { HALF } else { OPS };
+            while w.done < quota {
+                step(ctx, w);
+            }
+            if tid == VICTIM {
+                w.hanging = true;
+                // Hang at a quiescent point. Reads are events, so the
+                // injected crash fires here; the loop bound is never hit.
+                for _ in 0..u64::MAX {
+                    let _ = ctx.read(scratch);
+                    ctx.tick(50);
+                }
+            }
+        },
+        |restart, ctx| {
+            let token = CrashToken::from_restart(restart);
+            let o = vault.take(restart.core).expect("crash parked the state");
+            assert!(o.hanging, "crash must land in the victim's hang window");
+            let RecWorker { tls: orphan_tls, rng, log, done, .. } = o;
+            let mut tls = q.smr().join(ctx, restart.core);
+            q.smr().adopt(ctx, &mut tls, Orphan::crashed(orphan_tls, token));
+            let mut w = RecWorker { tls, rng, log, done, hanging: false };
+            while w.done < OPS {
+                step(ctx, &mut w);
+            }
+            vault.put(restart.core, w);
+        },
+    );
+    for (t, o) in outs.iter().enumerate() {
+        if t == VICTIM {
+            assert!(o.recovered().is_some(), "{name}: victim must recover");
+        } else {
+            assert!(matches!(o, CoreOutcome::Done(())), "{name}: survivor {t}");
+        }
+    }
+    // Histories out (tls stays parked for the drain + departs below).
+    let mut logs = Vec::new();
+    for t in 0..THREADS {
+        let mut w = vault.take(t).expect("worker parked after run");
+        assert_eq!(w.done, OPS, "{name}: worker {t} finished its quota");
+        logs.push(std::mem::take(&mut w.log));
+        vault.put(t, w);
+    }
+    // Drain the queue, then depart every member; each departing orphan is
+    // folded into worker 0 so nothing is stranded, and the last depart
+    // runs with every publication retracted.
+    let drained = m
+        .run_on(1, |_, ctx| {
+            let mut w0 = vault.take(0).expect("worker 0 parked");
+            let mut out = Vec::new();
+            while let Some(v) = q.dequeue(ctx, &mut w0.tls) {
+                out.push(v);
+            }
+            for t in 1..THREADS {
+                let w = vault.take(t).expect("worker parked");
+                let o = q.smr().depart(ctx, w.tls);
+                q.smr().adopt(ctx, &mut w0.tls, o);
+            }
+            let last = q.smr().depart(ctx, w0.tls);
+            assert_eq!(
+                q.smr().garbage(last.tls()).live,
+                0,
+                "{name}: final depart must drain every retire"
+            );
+            out
+        })
+        .pop()
+        .unwrap();
+    check_flow_accounting(&logs, &drained);
+    assert_eq!(
+        m.faults().len(),
+        0,
+        "{name}: UAF oracle violation(s) across crash + adoption (seed {seed:#x})"
+    );
+    assert_eq!(
+        m.stats().allocated_not_freed,
+        1,
+        "{name}: only the queue's current dummy may outlive the drain"
+    );
+}
+
+#[test]
+fn queue_crash_adoption_is_leak_free_qsbr() {
+    for seed in SEEDS {
+        queue_crash_recovery_leg(|m| Qsbr::new(m, 4, tight_smr()), "qsbr", seed);
+    }
+}
+
+#[test]
+fn queue_crash_adoption_is_leak_free_rcu() {
+    for seed in SEEDS {
+        queue_crash_recovery_leg(|m| Rcu::new(m, 4, tight_smr()), "rcu", seed);
+    }
+}
+
+#[test]
+fn queue_crash_adoption_is_leak_free_ibr() {
+    for seed in SEEDS {
+        queue_crash_recovery_leg(|m| Ibr::new(m, 4, tight_smr()), "ibr", seed);
+    }
+}
+
+#[test]
+fn queue_crash_adoption_is_leak_free_hp() {
+    for seed in SEEDS {
+        queue_crash_recovery_leg(|m| Hp::new(m, 4, tight_smr()), "hp", seed);
+    }
+}
+
+#[test]
+fn queue_crash_adoption_is_leak_free_he() {
+    for seed in SEEDS {
+        queue_crash_recovery_leg(|m| He::new(m, 4, tight_smr()), "he", seed);
     }
 }
 
